@@ -1,0 +1,76 @@
+//! Ablation (ours): cost of the bounded model finder versus its
+//! fresh-element bound.
+//!
+//! Our Z3 substitute iterates finite domains with 0..=k fresh elements.
+//! Unsatisfiable sentences pay for every domain size up to the bound;
+//! satisfiable ones stop at the first witness. This bench quantifies that
+//! asymmetry and the growth in k — the knob DESIGN.md calls out.
+
+use birds::datalog::{CmpOp, PredRef, Term};
+use birds::fol::Formula;
+use birds::solver::BoundedSolver;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn rel(name: &str, vars: &[&str]) -> Formula {
+    Formula::Rel(
+        PredRef::plain(name),
+        vars.iter().map(|v| Term::var(*v)).collect(),
+    )
+}
+
+/// UNSAT: the union steady-state check of Example 4.1.
+fn unsat_sentence() -> Formula {
+    Formula::exists(
+        vec!["Y".into()],
+        Formula::and(vec![
+            Formula::or(vec![rel("r1", &["Y"]), rel("r2", &["Y"])]),
+            Formula::not(rel("r1", &["Y"])),
+            Formula::not(rel("r2", &["Y"])),
+        ]),
+    )
+}
+
+/// SAT: a two-relation sentence with a comparison witness.
+fn sat_sentence() -> Formula {
+    Formula::exists(
+        vec!["X".into(), "Y".into()],
+        Formula::and(vec![
+            rel("r", &["X", "Y"]),
+            Formula::not(rel("s", &["X", "Y"])),
+            Formula::Cmp(CmpOp::Gt, Term::var("Y"), Term::constant(2)),
+        ]),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/solver_bound");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    for k in [1usize, 2, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("unsat", k), &k, |b, &k| {
+            let f = unsat_sentence();
+            let solver = BoundedSolver::with_max_fresh(k);
+            b.iter(|| {
+                let out = solver.check(&f).unwrap();
+                assert!(!out.is_sat());
+                out
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sat", k), &k, |b, &k| {
+            let f = sat_sentence();
+            let solver = BoundedSolver::with_max_fresh(k);
+            b.iter(|| {
+                let out = solver.check(&f).unwrap();
+                assert!(out.is_sat());
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

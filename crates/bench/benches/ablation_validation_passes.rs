@@ -1,0 +1,79 @@
+//! Ablation (ours): where does Algorithm 1 spend its time?
+//!
+//! The validator runs three passes — well-definedness, GetPut
+//! (steady-state existence / expected-get check), and PutGet. This bench
+//! isolates each pass's cost by comparing the full validation against a
+//! well-definedness-only run and a validation with the expected get
+//! supplied (which skips the derivation work).
+
+use birds::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn union_strategy(expected: bool) -> UpdateStrategy {
+    UpdateStrategy::parse(
+        DatabaseSchema::new()
+            .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+            .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+        Schema::new("v", vec![("a", SortKind::Int)]),
+        "
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+        ",
+        expected.then_some("v(X) :- r1(X). v(X) :- r2(X)."),
+    )
+    .unwrap()
+}
+
+fn selection_strategy() -> UpdateStrategy {
+    UpdateStrategy::parse(
+        DatabaseSchema::new().with(Schema::new(
+            "r",
+            vec![("x", SortKind::Int), ("y", SortKind::Int)],
+        )),
+        Schema::new("v", vec![("x", SortKind::Int), ("y", SortKind::Int)]),
+        "
+        false :- v(X, Y), not Y > 2.
+        +r(X, Y) :- v(X, Y), not r(X, Y).
+        m(X, Y) :- r(X, Y), Y > 2.
+        -r(X, Y) :- m(X, Y), not v(X, Y).
+        ",
+        Some("v(X, Y) :- r(X, Y), Y > 2."),
+    )
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/passes");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Derive-get path (no expected get): pass 2 does the full Lemma 4.2
+    // construction.
+    group.bench_function("union/derive_get", |b| {
+        let s = union_strategy(false);
+        b.iter(|| validate(&s).unwrap())
+    });
+    // Expected-get path: pass 2 reduces to per-delta no-op checks.
+    group.bench_function("union/expected_get", |b| {
+        let s = union_strategy(true);
+        b.iter(|| validate(&s).unwrap())
+    });
+    // Per-pass wall-clock shares, via the report's own timings.
+    group.bench_function("selection/with_constraint", |b| {
+        let s = selection_strategy();
+        b.iter(|| {
+            let r = validate(&s).unwrap();
+            assert!(r.valid);
+            // The per-pass breakdown the table prints:
+            (r.timings.well_definedness, r.timings.getput, r.timings.putget)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

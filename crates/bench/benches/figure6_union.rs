@@ -1,0 +1,34 @@
+//! Figure 6(d) — `vw_brands` (union): view-update latency vs base-table
+//! size, original vs incremental strategy.
+
+use birds::benchmarks::figure6::Figure6View;
+use birds::engine::StrategyMode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let view = Figure6View::VwBrands;
+    let mut group = c.benchmark_group("figure6/union");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    for &n in &[1_000usize, 10_000, 100_000] {
+        for (label, mode) in [
+            ("original", StrategyMode::Original),
+            ("incremental", StrategyMode::Incremental),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter_batched(
+                    || (view.engine(n, mode), view.update_script(n)),
+                    |(mut engine, script)| engine.execute(&script).expect("update runs"),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

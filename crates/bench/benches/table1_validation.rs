@@ -1,0 +1,60 @@
+//! Table 1: validation time per corpus view (the paper's "Validation
+//! Time (s)" column).
+//!
+//! One criterion group with a bench per corpus row. Joins and heavily
+//! constrained strategies are the slow rows, exactly as in the paper.
+//!
+//! Run a quick subset with
+//! `cargo bench -p birds-bench --bench table1_validation -- luxuryitems`.
+
+use birds::benchmarks::corpus;
+use birds::validate;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Rows benchmarked by default: representatives across operator classes
+/// whose single validation stays well below a second, so criterion can
+/// sample meaningfully. The full table (including the multi-second join
+/// rows) is produced by the `table1` binary instead.
+const FAST_ROWS: &[&str] = &[
+    "car_master",
+    "goodstudents",
+    "luxuryitems",
+    "usa_city",
+    "ced",
+    "residents1962",
+    "employees",
+    "researchers",
+    "paramountmovies",
+    "officeinfo",
+    "vw_brands",
+    "tracks2",
+    "ukaz_lok",
+    "message",
+    "phonelist",
+];
+
+fn bench_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/validation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for e in corpus::entries() {
+        if !FAST_ROWS.contains(&e.name) {
+            continue;
+        }
+        let strategy = e.strategy().expect("fast rows are expressible");
+        group.bench_function(e.name, |b| {
+            b.iter(|| {
+                let report = validate(&strategy).expect("validation runs");
+                assert!(report.valid, "{}: {:?}", e.name, report.reason);
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Criterion benchmark harness for the paper's evaluation (§6.2).
+//!
+//! This crate has no library API of its own; see the `benches/` targets:
+//!
+//! * `table1_validation` — validation time over the Table 1 corpus.
+//! * `figure6_{selection,projection,join,union}` — view-update latency
+//!   versus base-table size, original vs incremental strategy.
+//! * `ablation_validation_passes` — per-pass cost of Algorithm 1.
+//! * `ablation_solver_bound` — bounded-solver cost versus domain bound.

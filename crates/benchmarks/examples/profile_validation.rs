@@ -1,0 +1,16 @@
+//! Per-pass timing probe for slow corpus validations.
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "officeinfo".into());
+    let e = birds_benchmarks::corpus::entry(&name).expect("known view");
+    let s = e.strategy().expect("expressible");
+    let t = std::time::Instant::now();
+    let report = birds_core::validate(&s).unwrap();
+    println!(
+        "{name}: valid={} total={:?} wd={:?} getput={:?} putget={:?}",
+        report.valid,
+        t.elapsed(),
+        report.timings.well_definedness,
+        report.timings.getput,
+        report.timings.putget
+    );
+}

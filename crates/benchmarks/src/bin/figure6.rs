@@ -1,0 +1,58 @@
+//! Regenerate the paper's Figure 6: view-update latency versus base-table
+//! size, original versus incrementalized strategy.
+//!
+//! ```text
+//! cargo run --release -p birds-benchmarks --bin figure6                  # all panels
+//! cargo run --release -p birds-benchmarks --bin figure6 -- luxuryitems   # one panel
+//! cargo run --release -p birds-benchmarks --bin figure6 -- luxuryitems 1000 10000
+//! ```
+
+use birds_benchmarks::figure6::{sweep, Figure6View};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (views, sizes): (Vec<Figure6View>, Vec<usize>) = match args.split_first() {
+        None => (Figure6View::all().to_vec(), default_sizes()),
+        Some((name, rest)) => {
+            let view = Figure6View::from_name(name).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown view '{name}'; expected one of: {}",
+                    Figure6View::all().map(|v| v.name()).join(", ")
+                );
+                std::process::exit(2);
+            });
+            let sizes: Vec<usize> = if rest.is_empty() {
+                default_sizes()
+            } else {
+                rest.iter()
+                    .map(|s| s.parse().expect("sizes must be integers"))
+                    .collect()
+            };
+            (vec![view], sizes)
+        }
+    };
+
+    for view in views {
+        println!("== {} ==", view.name());
+        println!(
+            "{:>10} {:>16} {:>16} {:>8}",
+            "base size", "original (ms)", "incremental (ms)", "speedup"
+        );
+        for p in sweep(view, &sizes) {
+            let orig = p.original.as_secs_f64() * 1e3;
+            let inc = p.incremental.as_secs_f64() * 1e3;
+            println!(
+                "{:>10} {:>16.2} {:>16.2} {:>7.1}x",
+                p.base_size,
+                orig,
+                inc,
+                orig / inc.max(1e-9)
+            );
+        }
+        println!();
+    }
+}
+
+fn default_sizes() -> Vec<usize> {
+    vec![1_000, 10_000, 100_000, 300_000, 1_000_000]
+}

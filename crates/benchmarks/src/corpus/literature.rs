@@ -1,0 +1,773 @@
+//! Table 1 rows 1–23: views collected from the literature (textbooks,
+//! tutorials, papers, and the paper's own §3.3 case study).
+
+use super::{CorpusEntry, RelSpec, SourceKind};
+use birds_store::ValueSort::{Int, Str};
+
+/// Rows 1–23 in Table 1 order.
+pub fn entries() -> Vec<CorpusEntry> {
+    vec![
+        // ------------------------------------------------------------------
+        // #1 car_master — projection (drop the price column).
+        CorpusEntry {
+            id: 1,
+            name: "car_master",
+            source: SourceKind::Literature,
+            operators: "P",
+            constraint_classes: "",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[RelSpec {
+                name: "car",
+                cols: &[("cid", Int), ("cname", Str), ("price", Int)],
+            }],
+            view: RelSpec {
+                name: "car_master",
+                cols: &[("cid", Int), ("cname", Str)],
+            },
+            putdelta: "
+                -car(I, N, P) :- car(I, N, P), not car_master(I, N).
+                incar(I, N) :- car(I, N, _).
+                +car(I, N, P) :- car_master(I, N), not incar(I, N), P = 0.
+            ",
+            expected_get: "car_master(I, N) :- car(I, N, _).",
+        },
+        // ------------------------------------------------------------------
+        // #2 goodstudents — projection + selection (gpa > 3), domain
+        // constraint on the view.
+        CorpusEntry {
+            id: 2,
+            name: "goodstudents",
+            source: SourceKind::Literature,
+            operators: "P,S",
+            constraint_classes: "C",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[RelSpec {
+                name: "student",
+                cols: &[("sid", Int), ("sname", Str), ("gpa", Int), ("year", Int)],
+            }],
+            view: RelSpec {
+                name: "goodstudents",
+                cols: &[("sid", Int), ("sname", Str), ("gpa", Int)],
+            },
+            putdelta: "
+                false :- goodstudents(S, N, G), not G > 3.
+                -student(S, N, G, Y) :- student(S, N, G, Y), G > 3, not goodstudents(S, N, G).
+                enrolled(S, N, G) :- student(S, N, G, _).
+                +student(S, N, G, Y) :- goodstudents(S, N, G), not enrolled(S, N, G), Y = 0.
+            ",
+            expected_get: "goodstudents(S, N, G) :- student(S, N, G, _), G > 3.",
+        },
+        // ------------------------------------------------------------------
+        // #3 luxuryitems — selection (price > 1000); Figure 6(a) view.
+        CorpusEntry {
+            id: 3,
+            name: "luxuryitems",
+            source: SourceKind::Literature,
+            operators: "S",
+            constraint_classes: "C",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[RelSpec {
+                name: "items",
+                cols: &[("id", Int), ("price", Int)],
+            }],
+            view: RelSpec {
+                name: "luxuryitems",
+                cols: &[("id", Int), ("price", Int)],
+            },
+            putdelta: "
+                false :- luxuryitems(I, P), not P > 1000.
+                +items(I, P) :- luxuryitems(I, P), not items(I, P).
+                expensive(I, P) :- items(I, P), P > 1000.
+                -items(I, P) :- expensive(I, P), not luxuryitems(I, P).
+            ",
+            expected_get: "luxuryitems(I, P) :- items(I, P), P > 1000.",
+        },
+        // ------------------------------------------------------------------
+        // #4 usa_city — projection + selection (country = 'USA').
+        CorpusEntry {
+            id: 4,
+            name: "usa_city",
+            source: SourceKind::Literature,
+            operators: "P,S",
+            constraint_classes: "C",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[RelSpec {
+                name: "city",
+                cols: &[("cid", Int), ("cname", Str), ("country", Str), ("pop", Int)],
+            }],
+            view: RelSpec {
+                name: "usa_city",
+                cols: &[("cid", Int), ("cname", Str)],
+            },
+            putdelta: "
+                false :- usa_city(I, N), not I > 0.
+                -city(I, N, C, P) :- city(I, N, C, P), C = 'USA', not usa_city(I, N).
+                inusa(I, N) :- city(I, N, 'USA', _).
+                +city(I, N, C, P) :- usa_city(I, N), not inusa(I, N), C = 'USA', P = 0.
+            ",
+            expected_get: "usa_city(I, N) :- city(I, N, 'USA', _).",
+        },
+        // ------------------------------------------------------------------
+        // #5 ced — set difference (current departments), §3.3 case study.
+        CorpusEntry {
+            id: 5,
+            name: "ced",
+            source: SourceKind::Literature,
+            operators: "D",
+            constraint_classes: "",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[
+                RelSpec {
+                    name: "ed",
+                    cols: &[("emp_name", Str), ("dept_name", Str)],
+                },
+                RelSpec {
+                    name: "eed",
+                    cols: &[("emp_name", Str), ("dept_name", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "ced",
+                cols: &[("emp_name", Str), ("dept_name", Str)],
+            },
+            putdelta: "
+                +ed(E, D) :- ced(E, D), not ed(E, D).
+                -eed(E, D) :- ced(E, D), eed(E, D).
+                +eed(E, D) :- ed(E, D), not ced(E, D), not eed(E, D).
+            ",
+            expected_get: "ced(E, D) :- ed(E, D), not eed(E, D).",
+        },
+        // ------------------------------------------------------------------
+        // #6 residents1962 — selection on a date range, §3.3 case study
+        // (authored here against a base `residents` table).
+        CorpusEntry {
+            id: 6,
+            name: "residents1962",
+            source: SourceKind::Literature,
+            operators: "S",
+            constraint_classes: "C",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[RelSpec {
+                name: "residents",
+                cols: &[("emp_name", Str), ("birth_date", Str), ("gender", Str)],
+            }],
+            view: RelSpec {
+                name: "residents1962",
+                cols: &[("emp_name", Str), ("birth_date", Str), ("gender", Str)],
+            },
+            putdelta: "
+                false :- residents1962(E, B, G), B > '1962-12-31'.
+                false :- residents1962(E, B, G), B < '1962-01-01'.
+                +residents(E, B, G) :- residents1962(E, B, G), not residents(E, B, G).
+                -residents(E, B, G) :- residents(E, B, G), not B < '1962-01-01',
+                                       not B > '1962-12-31', not residents1962(E, B, G).
+            ",
+            expected_get: "residents1962(E, B, G) :- residents(E, B, G),
+                               not B < '1962-01-01', not B > '1962-12-31'.",
+        },
+        // ------------------------------------------------------------------
+        // #7 employees — semi-join + projection with an inclusion
+        // dependency, §3.3 case study.
+        CorpusEntry {
+            id: 7,
+            name: "employees",
+            source: SourceKind::Literature,
+            operators: "SJ,P",
+            constraint_classes: "ID",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[
+                RelSpec {
+                    name: "residents",
+                    cols: &[("emp_name", Str), ("birth_date", Str), ("gender", Str)],
+                },
+                RelSpec {
+                    name: "ced",
+                    cols: &[("emp_name", Str), ("dept_name", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "employees",
+                cols: &[("emp_name", Str), ("birth_date", Str), ("gender", Str)],
+            },
+            putdelta: "
+                false :- employees(E, B, G), not inced(E).
+                inced(E) :- ced(E, _).
+                +residents(E, B, G) :- employees(E, B, G), not residents(E, B, G).
+                -residents(E, B, G) :- residents(E, B, G), inced(E), not employees(E, B, G).
+            ",
+            expected_get: "employees(E, B, G) :- residents(E, B, G), ced(E, _).",
+        },
+        // ------------------------------------------------------------------
+        // #8 researchers — semi-join + selection + projection.
+        CorpusEntry {
+            id: 8,
+            name: "researchers",
+            source: SourceKind::Literature,
+            operators: "SJ,S,P",
+            constraint_classes: "",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[
+                RelSpec {
+                    name: "person",
+                    cols: &[("pname", Str), ("birth", Str)],
+                },
+                RelSpec {
+                    name: "works",
+                    cols: &[("pname", Str), ("field", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "researchers",
+                cols: &[("pname", Str), ("birth", Str)],
+            },
+            putdelta: "
+                false :- researchers(E, B), not inres(E).
+                inres(E) :- works(E, 'research').
+                +person(E, B) :- researchers(E, B), not person(E, B).
+                -person(E, B) :- person(E, B), inres(E), not researchers(E, B).
+            ",
+            expected_get: "researchers(E, B) :- person(E, B), works(E, 'research').",
+        },
+        // ------------------------------------------------------------------
+        // #9 retired — semi-join complement (projection + difference),
+        // §3.3 case study.
+        CorpusEntry {
+            id: 9,
+            name: "retired",
+            source: SourceKind::Literature,
+            operators: "SJ,P,D",
+            constraint_classes: "",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[
+                RelSpec {
+                    name: "residents",
+                    cols: &[("emp_name", Str), ("birth_date", Str), ("gender", Str)],
+                },
+                RelSpec {
+                    name: "ced",
+                    cols: &[("emp_name", Str), ("dept_name", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "retired",
+                cols: &[("emp_name", Str)],
+            },
+            putdelta: "
+                -ced(E, D) :- ced(E, D), retired(E).
+                +ced(E, D) :- residents(E, _, _), not retired(E), not inced(E), D = 'unknown'.
+                inced(E) :- ced(E, _).
+                +residents(E, B, G) :- retired(E), G = 'unknown', not inresidents(E),
+                                       B = '00-00-00'.
+                inresidents(E) :- residents(E, _, _).
+            ",
+            expected_get: "retired(E) :- residents(E, _, _), not ced(E, _).",
+        },
+        // ------------------------------------------------------------------
+        // #10 paramountmovies — projection + selection (the classic
+        // Garcia-Molina/Ullman/Widom example).
+        CorpusEntry {
+            id: 10,
+            name: "paramountmovies",
+            source: SourceKind::Literature,
+            operators: "P,S",
+            constraint_classes: "",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[RelSpec {
+                name: "movies",
+                cols: &[("title", Str), ("year", Int), ("length", Int), ("studio", Str)],
+            }],
+            view: RelSpec {
+                name: "paramountmovies",
+                cols: &[("title", Str), ("year", Int)],
+            },
+            putdelta: "
+                -movies(T, Y, L, S) :- movies(T, Y, L, S), S = 'Paramount',
+                                       not paramountmovies(T, Y).
+                inpm(T, Y) :- movies(T, Y, _, 'Paramount').
+                +movies(T, Y, L, S) :- paramountmovies(T, Y), not inpm(T, Y),
+                                       L = 0, S = 'Paramount'.
+            ",
+            expected_get: "paramountmovies(T, Y) :- movies(T, Y, _, 'Paramount').",
+        },
+        // ------------------------------------------------------------------
+        // #11 officeinfo — projection; Figure 6(b) view.
+        CorpusEntry {
+            id: 11,
+            name: "officeinfo",
+            source: SourceKind::Literature,
+            operators: "P",
+            constraint_classes: "",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[RelSpec {
+                name: "office",
+                cols: &[("oid", Int), ("oname", Str), ("floor", Int), ("phone", Str)],
+            }],
+            view: RelSpec {
+                name: "officeinfo",
+                cols: &[("oid", Int), ("oname", Str), ("phone", Str)],
+            },
+            putdelta: "
+                -office(O, N, F, P) :- office(O, N, F, P), not officeinfo(O, N, P).
+                inoffice(O, N, P) :- office(O, N, _, P).
+                +office(O, N, F, P) :- officeinfo(O, N, P), not inoffice(O, N, P), F = 0.
+            ",
+            expected_get: "officeinfo(O, N, P) :- office(O, N, _, P).",
+        },
+        // ------------------------------------------------------------------
+        // #12 vw_brands — union + projection; Figure 6(d) view.
+        CorpusEntry {
+            id: 12,
+            name: "vw_brands",
+            source: SourceKind::Literature,
+            operators: "U,P",
+            constraint_classes: "C",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[
+                RelSpec {
+                    name: "brands_a",
+                    cols: &[("bid", Int), ("bname", Str), ("country", Str)],
+                },
+                RelSpec {
+                    name: "brands_b",
+                    cols: &[("bid", Int), ("bname", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "vw_brands",
+                cols: &[("bid", Int), ("bname", Str)],
+            },
+            putdelta: "
+                false :- vw_brands(I, N), not I > 0.
+                ina(I, N) :- brands_a(I, N, _).
+                -brands_a(I, N, C) :- brands_a(I, N, C), not vw_brands(I, N).
+                -brands_b(I, N) :- brands_b(I, N), not vw_brands(I, N).
+                +brands_b(I, N) :- vw_brands(I, N), not ina(I, N), not brands_b(I, N).
+            ",
+            expected_get: "
+                vw_brands(I, N) :- brands_a(I, N, _).
+                vw_brands(I, N) :- brands_b(I, N).
+            ",
+        },
+        // ------------------------------------------------------------------
+        // #13 tracks2 — projection (drop the date column).
+        CorpusEntry {
+            id: 13,
+            name: "tracks2",
+            source: SourceKind::Literature,
+            operators: "P",
+            constraint_classes: "",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[RelSpec {
+                name: "tracks",
+                cols: &[("track", Str), ("date", Str), ("rating", Int), ("album", Str)],
+            }],
+            view: RelSpec {
+                name: "tracks2",
+                cols: &[("track", Str), ("rating", Int), ("album", Str)],
+            },
+            putdelta: "
+                -tracks(T, D, R, A) :- tracks(T, D, R, A), not tracks2(T, R, A).
+                intracks(T, R, A) :- tracks(T, _, R, A).
+                +tracks(T, D, R, A) :- tracks2(T, R, A), not intracks(T, R, A),
+                                       D = 'unknown'.
+            ",
+            expected_get: "tracks2(T, R, A) :- tracks(T, _, R, A).",
+        },
+        // ------------------------------------------------------------------
+        // #14 residents — three-way union with gender-directed update
+        // propagation, §3.3 case study.
+        CorpusEntry {
+            id: 14,
+            name: "residents",
+            source: SourceKind::Literature,
+            operators: "U",
+            constraint_classes: "",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[
+                RelSpec {
+                    name: "male",
+                    cols: &[("emp_name", Str), ("birth_date", Str)],
+                },
+                RelSpec {
+                    name: "female",
+                    cols: &[("emp_name", Str), ("birth_date", Str)],
+                },
+                RelSpec {
+                    name: "others",
+                    cols: &[("emp_name", Str), ("birth_date", Str), ("gender", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "residents",
+                cols: &[("emp_name", Str), ("birth_date", Str), ("gender", Str)],
+            },
+            putdelta: "
+                +male(E, B) :- residents(E, B, 'M'), not male(E, B), not others(E, B, 'M').
+                -male(E, B) :- male(E, B), not residents(E, B, 'M').
+                +female(E, B) :- residents(E, B, G), G = 'F', not female(E, B),
+                                 not others(E, B, G).
+                -female(E, B) :- female(E, B), not residents(E, B, 'F').
+                +others(E, B, G) :- residents(E, B, G), not G = 'M', not G = 'F',
+                                    not others(E, B, G).
+                -others(E, B, G) :- others(E, B, G), not residents(E, B, G).
+            ",
+            expected_get: "
+                residents(E, B, G) :- others(E, B, G).
+                residents(E, B, 'F') :- female(E, B).
+                residents(E, B, 'M') :- male(E, B).
+            ",
+        },
+        // ------------------------------------------------------------------
+        // #15 tracks3 — selection (rating > 3) over a wide relation.
+        CorpusEntry {
+            id: 15,
+            name: "tracks3",
+            source: SourceKind::Literature,
+            operators: "S",
+            constraint_classes: "C",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[RelSpec {
+                name: "tracks",
+                cols: &[("track", Str), ("date", Str), ("rating", Int), ("album", Str)],
+            }],
+            view: RelSpec {
+                name: "tracks3",
+                cols: &[("track", Str), ("date", Str), ("rating", Int), ("album", Str)],
+            },
+            putdelta: "
+                false :- tracks3(T, D, R, A), not R > 3.
+                rated(T, D, R, A) :- tracks(T, D, R, A), R > 3.
+                -tracks(T, D, R, A) :- rated(T, D, R, A), not tracks3(T, D, R, A).
+                +tracks(T, D, R, A) :- tracks3(T, D, R, A), not tracks(T, D, R, A).
+            ",
+            expected_get: "tracks3(T, D, R, A) :- tracks(T, D, R, A), R > 3.",
+        },
+        // ------------------------------------------------------------------
+        // #16 tracks1 — inner join (tracks ⋈ albums) keyed by album; the
+        // join head is not guardable, so the strategy leaves LVGN-Datalog
+        // (paper footnote 6) and the PK constraint is not negation-guarded
+        // (footnote 7).
+        CorpusEntry {
+            id: 16,
+            name: "tracks1",
+            source: SourceKind::Literature,
+            operators: "IJ",
+            constraint_classes: "PK",
+            expressible: true,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "tracks",
+                    cols: &[("track", Str), ("rating", Int), ("album", Str)],
+                },
+                RelSpec {
+                    name: "albums",
+                    cols: &[("album", Str), ("quantity", Int)],
+                },
+            ],
+            view: RelSpec {
+                name: "tracks1",
+                cols: &[("track", Str), ("rating", Int), ("album", Str), ("quantity", Int)],
+            },
+            putdelta: "
+                false :- albums(A, Q1), albums(A, Q2), not Q1 = Q2.
+                false :- tracks(T, R, A), not inalbums(A).
+                inalbums(A) :- albums(A, _).
+                false :- tracks1(T, R, A, Q), tracks1(T2, R2, A, Q2), not Q = Q2.
+                false :- tracks1(T, R, A, Q), albums(A, Q2), not Q = Q2.
+                +tracks(T, R, A) :- tracks1(T, R, A, Q), not tracks(T, R, A).
+                +albums(A, Q) :- tracks1(T, R, A, Q), not albums(A, Q).
+                -tracks(T, R, A) :- tracks(T, R, A), albums(A, Q), not tracks1(T, R, A, Q).
+            ",
+            expected_get: "tracks1(T, R, A, Q) :- tracks(T, R, A), albums(A, Q).",
+        },
+        // ------------------------------------------------------------------
+        // #17 bstudents — inner join + projection + selection
+        // (grade = 'B'), with PK/FK and agreement constraints.
+        CorpusEntry {
+            id: 17,
+            name: "bstudents",
+            source: SourceKind::Literature,
+            operators: "IJ,P,S",
+            constraint_classes: "PK",
+            expressible: true,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "students",
+                    cols: &[("sid", Int), ("sname", Str)],
+                },
+                RelSpec {
+                    name: "grades",
+                    cols: &[("sid", Int), ("course", Str), ("grade", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "bstudents",
+                cols: &[("sid", Int), ("sname", Str), ("course", Str)],
+            },
+            putdelta: "
+                false :- students(S, N1), students(S, N2), not N1 = N2.
+                false :- grades(S, C, G), not instudents(S).
+                instudents(S) :- students(S, _).
+                false :- bstudents(S, N, C), students(S, N2), not N = N2.
+                false :- bstudents(S, N1, C1), bstudents(S, N2, C2), not N1 = N2.
+                +students(S, N) :- bstudents(S, N, C), not students(S, N).
+                +grades(S, C, G) :- bstudents(S, N, C), not ingrades(S, C), G = 'B'.
+                ingrades(S, C) :- grades(S, C, 'B').
+                -grades(S, C, G) :- grades(S, C, G), G = 'B', students(S, N),
+                                    not bstudents(S, N, C).
+            ",
+            expected_get: "bstudents(S, N, C) :- students(S, N), grades(S, C, 'B').",
+        },
+        // ------------------------------------------------------------------
+        // #18 all_cars — inner join with PK and FK (car.mid → manufacturer).
+        CorpusEntry {
+            id: 18,
+            name: "all_cars",
+            source: SourceKind::Literature,
+            operators: "IJ",
+            constraint_classes: "PK, FK",
+            expressible: true,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "car",
+                    cols: &[("cid", Int), ("model", Str), ("mid", Int)],
+                },
+                RelSpec {
+                    name: "manufacturer",
+                    cols: &[("mid", Int), ("mname", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "all_cars",
+                cols: &[("cid", Int), ("model", Str), ("mid", Int), ("mname", Str)],
+            },
+            putdelta: "
+                false :- manufacturer(M, N1), manufacturer(M, N2), not N1 = N2.
+                false :- car(C, MO, M), not inman(M).
+                inman(M) :- manufacturer(M, _).
+                false :- all_cars(C, MO, M, N), all_cars(C2, MO2, M, N2), not N = N2.
+                false :- all_cars(C, MO, M, N), manufacturer(M, N2), not N = N2.
+                +car(C, MO, M) :- all_cars(C, MO, M, N), not car(C, MO, M).
+                +manufacturer(M, N) :- all_cars(C, MO, M, N), not manufacturer(M, N).
+                -car(C, MO, M) :- car(C, MO, M), manufacturer(M, N), not all_cars(C, MO, M, N).
+            ",
+            expected_get: "all_cars(C, MO, M, N) :- car(C, MO, M), manufacturer(M, N).",
+        },
+        // ------------------------------------------------------------------
+        // #19 measurement — partitioned-table union (the PostgreSQL
+        // sharding tutorial pattern) routed by date, with partition
+        // constraints.
+        CorpusEntry {
+            id: 19,
+            name: "measurement",
+            source: SourceKind::Literature,
+            operators: "U",
+            constraint_classes: "C, ID",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[
+                RelSpec {
+                    name: "m2006",
+                    cols: &[("mid", Int), ("mdate", Str), ("val", Int)],
+                },
+                RelSpec {
+                    name: "m2007",
+                    cols: &[("mid", Int), ("mdate", Str), ("val", Int)],
+                },
+            ],
+            view: RelSpec {
+                name: "measurement",
+                cols: &[("mid", Int), ("mdate", Str), ("val", Int)],
+            },
+            putdelta: "
+                false :- measurement(I, D, V), D < '2006-01-01'.
+                false :- measurement(I, D, V), D > '2007-12-31'.
+                false :- m2006(I, D, V), D > '2006-12-31'.
+                false :- m2006(I, D, V), D < '2006-01-01'.
+                false :- m2007(I, D, V), D > '2007-12-31'.
+                false :- m2007(I, D, V), not D > '2006-12-31'.
+                +m2006(I, D, V) :- measurement(I, D, V), not D > '2006-12-31',
+                                   not m2006(I, D, V).
+                +m2007(I, D, V) :- measurement(I, D, V), D > '2006-12-31',
+                                   not m2007(I, D, V).
+                -m2006(I, D, V) :- m2006(I, D, V), not measurement(I, D, V).
+                -m2007(I, D, V) :- m2007(I, D, V), not measurement(I, D, V).
+            ",
+            expected_get: "
+                measurement(I, D, V) :- m2006(I, D, V).
+                measurement(I, D, V) :- m2007(I, D, V).
+            ",
+        },
+        // ------------------------------------------------------------------
+        // #20 newpc — inner join + projection + selection (price < 2000)
+        // with a join dependency (the view decomposes losslessly onto its
+        // sources).
+        CorpusEntry {
+            id: 20,
+            name: "newpc",
+            source: SourceKind::Literature,
+            operators: "IJ,P,S",
+            constraint_classes: "JD",
+            expressible: true,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "pc",
+                    cols: &[("model", Str), ("price", Int)],
+                },
+                RelSpec {
+                    name: "product",
+                    cols: &[("model", Str), ("maker", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "newpc",
+                cols: &[("model", Str), ("price", Int), ("maker", Str)],
+            },
+            putdelta: "
+                false :- newpc(M, P, A), not P < 2000.
+                false :- pc(M, P1), pc(M, P2), not P1 = P2.
+                false :- product(M, A1), product(M, A2), not A1 = A2.
+                false :- pc(M, P), not inproduct(M).
+                inproduct(M) :- product(M, _).
+                false :- newpc(M, P1, A1), newpc(M, P2, A2), not P1 = P2.
+                false :- newpc(M, P, A), product(M, A2), not A = A2.
+                +pc(M, P) :- newpc(M, P, A), not pc(M, P).
+                +product(M, A) :- newpc(M, P, A), not product(M, A).
+                cheappc(M, P) :- pc(M, P), P < 2000.
+                -pc(M, P) :- cheappc(M, P), product(M, A), not newpc(M, P, A).
+            ",
+            expected_get: "newpc(M, P, A) :- pc(M, P), P < 2000, product(M, A).",
+        },
+        // ------------------------------------------------------------------
+        // #21 activestudents — inner join + projection + selection
+        // (status = 'active') with PK and join-dependency constraints.
+        CorpusEntry {
+            id: 21,
+            name: "activestudents",
+            source: SourceKind::Literature,
+            operators: "IJ,P,S",
+            constraint_classes: "PK, JD",
+            expressible: true,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "students",
+                    cols: &[("sid", Int), ("sname", Str), ("status", Str)],
+                },
+                RelSpec {
+                    name: "clubs",
+                    cols: &[("sid", Int), ("club", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "activestudents",
+                cols: &[("sid", Int), ("sname", Str), ("club", Str)],
+            },
+            putdelta: "
+                false :- students(S, N1, ST1), students(S, N2, ST2), not N1 = N2.
+                false :- students(S, N1, ST1), students(S, N2, ST2), not ST1 = ST2.
+                false :- clubs(S, C), not instudents(S).
+                instudents(S) :- students(S, _, _).
+                false :- activestudents(S, N1, C1), activestudents(S, N2, C2), not N1 = N2.
+                false :- activestudents(S, N, C), students(S, N2, ST), not N = N2.
+                false :- activestudents(S, N, C), students(S, N2, ST), not ST = 'active'.
+                +students(S, N, ST) :- activestudents(S, N, C), not inactive(S, N),
+                                       ST = 'active'.
+                inactive(S, N) :- students(S, N, 'active').
+                +clubs(S, C) :- activestudents(S, N, C), not clubs(S, C).
+                act(S, N, C) :- students(S, N, 'active'), clubs(S, C).
+                -clubs(S, C) :- act(S, N, C), not activestudents(S, N, C).
+            ",
+            expected_get: "activestudents(S, N, C) :- students(S, N, 'active'), clubs(S, C).",
+        },
+        // ------------------------------------------------------------------
+        // #22 vw_customers — inner join + projection (drop phone) with
+        // PK, FK and join-dependency constraints.
+        CorpusEntry {
+            id: 22,
+            name: "vw_customers",
+            source: SourceKind::Literature,
+            operators: "IJ,P",
+            constraint_classes: "PK, FK, JD",
+            expressible: true,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "customers",
+                    cols: &[("cid", Int), ("cname", Str), ("phone", Str), ("aid", Int)],
+                },
+                RelSpec {
+                    name: "addresses",
+                    cols: &[("aid", Int), ("city", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "vw_customers",
+                cols: &[("cid", Int), ("cname", Str), ("aid", Int), ("city", Str)],
+            },
+            putdelta: "
+                false :- addresses(A, C1), addresses(A, C2), not C1 = C2.
+                false :- customers(C, N, P, A), not inaddr(A).
+                inaddr(A) :- addresses(A, _).
+                false :- vw_customers(C, N, A, CI), vw_customers(C2, N2, A, CI2), not CI = CI2.
+                false :- vw_customers(C, N, A, CI), addresses(A, CI2), not CI = CI2.
+                +addresses(A, CI) :- vw_customers(C, N, A, CI), not addresses(A, CI).
+                incust(C, N, A) :- customers(C, N, _, A).
+                +customers(C, N, PH, A) :- vw_customers(C, N, A, CI), not incust(C, N, A),
+                                           PH = 'unknown'.
+                -customers(C, N, PH, A) :- customers(C, N, PH, A), addresses(A, CI),
+                                           not vw_customers(C, N, A, CI).
+            ",
+            expected_get: "vw_customers(C, N, A, CI) :- customers(C, N, _, A), addresses(A, CI).",
+        },
+        // ------------------------------------------------------------------
+        // #23 emp_view — join + projection + AGGREGATION (average salary
+        // per department). Aggregation is outside nonrecursive Datalog, so
+        // no putback program exists in the language (the single ✗/✗ row of
+        // Table 1).
+        CorpusEntry {
+            id: 23,
+            name: "emp_view",
+            source: SourceKind::Literature,
+            operators: "IJ,P,A",
+            constraint_classes: "",
+            expressible: false,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "emp",
+                    cols: &[("eid", Int), ("ename", Str), ("did", Int), ("salary", Int)],
+                },
+                RelSpec {
+                    name: "dept",
+                    cols: &[("did", Int), ("dname", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "emp_view",
+                cols: &[("did", Int), ("avg_salary", Int)],
+            },
+            putdelta: "",
+            expected_get: "",
+        },
+    ]
+}

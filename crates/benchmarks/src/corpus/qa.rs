@@ -1,0 +1,364 @@
+//! Table 1 rows 24–32: view update questions collected from Database
+//! Administrators Stack Exchange and Stack Overflow.
+
+use super::{CorpusEntry, RelSpec, SourceKind};
+use birds_store::ValueSort::{Int, Str};
+
+/// Rows 24–32 in Table 1 order.
+pub fn entries() -> Vec<CorpusEntry> {
+    vec![
+        // ------------------------------------------------------------------
+        // #24 ukaz_lok — selection (status > 0) with a domain constraint.
+        CorpusEntry {
+            id: 24,
+            name: "ukaz_lok",
+            source: SourceKind::QaSite,
+            operators: "S",
+            constraint_classes: "C",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[RelSpec {
+                name: "lok",
+                cols: &[("lid", Int), ("nazev", Str), ("stav", Int)],
+            }],
+            view: RelSpec {
+                name: "ukaz_lok",
+                cols: &[("lid", Int), ("nazev", Str), ("stav", Int)],
+            },
+            putdelta: "
+                false :- ukaz_lok(I, N, S), not S > 0.
+                active(I, N, S) :- lok(I, N, S), S > 0.
+                -lok(I, N, S) :- active(I, N, S), not ukaz_lok(I, N, S).
+                +lok(I, N, S) :- ukaz_lok(I, N, S), not lok(I, N, S).
+            ",
+            expected_get: "ukaz_lok(I, N, S) :- lok(I, N, S), S > 0.",
+        },
+        // ------------------------------------------------------------------
+        // #25 message — tagged union of inbox and outbox.
+        CorpusEntry {
+            id: 25,
+            name: "message",
+            source: SourceKind::QaSite,
+            operators: "U",
+            constraint_classes: "C",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[
+                RelSpec {
+                    name: "inbox",
+                    cols: &[("mid", Int), ("body", Str)],
+                },
+                RelSpec {
+                    name: "outbox",
+                    cols: &[("mid", Int), ("body", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "message",
+                cols: &[("mid", Int), ("body", Str), ("dir", Str)],
+            },
+            putdelta: "
+                false :- message(I, B, D), not D = 'in', not D = 'out'.
+                +inbox(I, B) :- message(I, B, 'in'), not inbox(I, B).
+                -inbox(I, B) :- inbox(I, B), not message(I, B, 'in').
+                +outbox(I, B) :- message(I, B, D), D = 'out', not outbox(I, B).
+                -outbox(I, B) :- outbox(I, B), not message(I, B, 'out').
+            ",
+            expected_get: "
+                message(I, B, 'in') :- inbox(I, B).
+                message(I, B, 'out') :- outbox(I, B).
+            ",
+        },
+        // ------------------------------------------------------------------
+        // #26 outstanding_task — projection + semi-join over a wide tasks
+        // relation (the row with the paper's longest validation time);
+        // Figure 6(c) view.
+        CorpusEntry {
+            id: 26,
+            name: "outstanding_task",
+            source: SourceKind::QaSite,
+            operators: "P,SJ",
+            constraint_classes: "ID, C",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[
+                RelSpec {
+                    name: "tasks",
+                    cols: &[
+                        ("tid", Int),
+                        ("title", Str),
+                        ("due", Str),
+                        ("owner", Str),
+                        ("status", Str),
+                    ],
+                },
+                RelSpec {
+                    name: "assignment",
+                    cols: &[("tid", Int), ("worker", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "outstanding_task",
+                cols: &[("tid", Int), ("title", Str), ("due", Str), ("owner", Str)],
+            },
+            putdelta: "
+                false :- outstanding_task(T, TI, DU, OW), not inassign(T).
+                false :- outstanding_task(T, TI, DU, OW), not T > 0.
+                inassign(T) :- assignment(T, _).
+                opentask(T, TI, DU, OW) :- tasks(T, TI, DU, OW, 'open').
+                +tasks(T, TI, DU, OW, S) :- outstanding_task(T, TI, DU, OW),
+                                            not opentask(T, TI, DU, OW), S = 'open'.
+                -tasks(T, TI, DU, OW, S) :- tasks(T, TI, DU, OW, S), S = 'open',
+                                            inassign(T),
+                                            not outstanding_task(T, TI, DU, OW).
+            ",
+            expected_get: "outstanding_task(T, TI, DU, OW) :-
+                               tasks(T, TI, DU, OW, 'open'), assignment(T, _).",
+        },
+        // ------------------------------------------------------------------
+        // #27 poi_view — inner join + projection with PK.
+        CorpusEntry {
+            id: 27,
+            name: "poi_view",
+            source: SourceKind::QaSite,
+            operators: "P,IJ",
+            constraint_classes: "PK",
+            expressible: true,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "poi",
+                    cols: &[("pid", Int), ("pname", Str), ("cat_id", Int)],
+                },
+                RelSpec {
+                    name: "categories",
+                    cols: &[("cat_id", Int), ("cat_name", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "poi_view",
+                cols: &[("pid", Int), ("pname", Str), ("cat_id", Int), ("cat_name", Str)],
+            },
+            putdelta: "
+                false :- categories(C, N1), categories(C, N2), not N1 = N2.
+                false :- poi(P, N, C), not incat(C).
+                incat(C) :- categories(C, _).
+                false :- poi_view(P, N, C, CN), poi_view(P2, N2, C, CN2), not CN = CN2.
+                false :- poi_view(P, N, C, CN), categories(C, CN2), not CN = CN2.
+                +poi(P, N, C) :- poi_view(P, N, C, CN), not poi(P, N, C).
+                +categories(C, CN) :- poi_view(P, N, C, CN), not categories(C, CN).
+                -poi(P, N, C) :- poi(P, N, C), categories(C, CN), not poi_view(P, N, C, CN).
+            ",
+            expected_get: "poi_view(P, N, C, CN) :- poi(P, N, C), categories(C, CN).",
+        },
+        // ------------------------------------------------------------------
+        // #28 phonelist — three-way tagged union (staff / client /
+        // supplier phone books).
+        CorpusEntry {
+            id: 28,
+            name: "phonelist",
+            source: SourceKind::QaSite,
+            operators: "U",
+            constraint_classes: "C",
+            expressible: true,
+            lvgn_expected: true,
+            sources: &[
+                RelSpec {
+                    name: "staff",
+                    cols: &[("pname", Str), ("phone", Str)],
+                },
+                RelSpec {
+                    name: "clients",
+                    cols: &[("pname", Str), ("phone", Str)],
+                },
+                RelSpec {
+                    name: "suppliers",
+                    cols: &[("pname", Str), ("phone", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "phonelist",
+                cols: &[("pname", Str), ("phone", Str), ("kind", Str)],
+            },
+            putdelta: "
+                false :- phonelist(N, P, K), not K = 'staff', not K = 'client',
+                         not K = 'supplier'.
+                +staff(N, P) :- phonelist(N, P, 'staff'), not staff(N, P).
+                -staff(N, P) :- staff(N, P), not phonelist(N, P, 'staff').
+                +clients(N, P) :- phonelist(N, P, K), K = 'client', not clients(N, P).
+                -clients(N, P) :- clients(N, P), not phonelist(N, P, 'client').
+                +suppliers(N, P) :- phonelist(N, P, K), K = 'supplier', not suppliers(N, P).
+                -suppliers(N, P) :- suppliers(N, P), not phonelist(N, P, 'supplier').
+            ",
+            expected_get: "
+                phonelist(N, P, 'staff') :- staff(N, P).
+                phonelist(N, P, 'client') :- clients(N, P).
+                phonelist(N, P, 'supplier') :- suppliers(N, P).
+            ",
+        },
+        // ------------------------------------------------------------------
+        // #29 products — LEFT JOIN of products with stock (missing stock
+        // reported as quantity -1), with PK, FK and domain constraints.
+        CorpusEntry {
+            id: 29,
+            name: "products",
+            source: SourceKind::QaSite,
+            operators: "LJ",
+            constraint_classes: "PK, FK, C",
+            expressible: true,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "product",
+                    cols: &[("pid", Int), ("pname", Str)],
+                },
+                RelSpec {
+                    name: "stock",
+                    cols: &[("pid", Int), ("qty", Int)],
+                },
+            ],
+            view: RelSpec {
+                name: "products",
+                cols: &[("pid", Int), ("pname", Str), ("qty", Int)],
+            },
+            putdelta: "
+                false :- product(P, N1), product(P, N2), not N1 = N2.
+                false :- stock(P, Q1), stock(P, Q2), not Q1 = Q2.
+                false :- stock(P, Q), not inproduct(P).
+                inproduct(P) :- product(P, _).
+                false :- products(P, N, Q), not Q > -2.
+                false :- products(P, N1, Q1), products(P, N2, Q2), not N1 = N2.
+                false :- products(P, N1, Q1), products(P, N2, Q2), not Q1 = Q2.
+                false :- products(P, N, Q), product(P, N2), not N = N2.
+                false :- products(P, N, Q), not Q = -1, stock(P, Q2), not Q = Q2.
+                instock(P) :- stock(P, _).
+                false :- products(P, N, Q), Q = -1, instock(P).
+                +product(P, N) :- products(P, N, Q), not product(P, N).
+                inview(P, N) :- products(P, N, _).
+                -product(P, N) :- product(P, N), not inview(P, N).
+                +stock(P, Q) :- products(P, N, Q), not Q = -1, not stock(P, Q).
+            ",
+            expected_get: "
+                products(P, N, Q) :- product(P, N), stock(P, Q).
+                products(P, N, Q) :- product(P, N), not instock2(P), Q = -1.
+                instock2(P) :- stock(P, _).
+            ",
+        },
+        // ------------------------------------------------------------------
+        // #30 koncerty — inner join (concerts with their venues), PK.
+        CorpusEntry {
+            id: 30,
+            name: "koncerty",
+            source: SourceKind::QaSite,
+            operators: "IJ",
+            constraint_classes: "PK",
+            expressible: true,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "koncert",
+                    cols: &[("kid", Int), ("nazev", Str), ("mid", Int)],
+                },
+                RelSpec {
+                    name: "misto",
+                    cols: &[("mid", Int), ("mesto", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "koncerty",
+                cols: &[("kid", Int), ("nazev", Str), ("mid", Int), ("mesto", Str)],
+            },
+            putdelta: "
+                false :- misto(M, C1), misto(M, C2), not C1 = C2.
+                false :- koncert(K, N, M), not inmisto(M).
+                inmisto(M) :- misto(M, _).
+                false :- koncerty(K, N, M, C), koncerty(K2, N2, M, C2), not C = C2.
+                false :- koncerty(K, N, M, C), misto(M, C2), not C = C2.
+                +koncert(K, N, M) :- koncerty(K, N, M, C), not koncert(K, N, M).
+                +misto(M, C) :- koncerty(K, N, M, C), not misto(M, C).
+                -koncert(K, N, M) :- koncert(K, N, M), misto(M, C), not koncerty(K, N, M, C).
+            ",
+            expected_get: "koncerty(K, N, M, C) :- koncert(K, N, M), misto(M, C).",
+        },
+        // ------------------------------------------------------------------
+        // #31 purchaseview — inner join + projection with PK, FK and a
+        // join dependency.
+        CorpusEntry {
+            id: 31,
+            name: "purchaseview",
+            source: SourceKind::QaSite,
+            operators: "P,IJ",
+            constraint_classes: "PK, FK, JD",
+            expressible: true,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "purchases",
+                    cols: &[("pur_id", Int), ("item_id", Int), ("qty", Int), ("note", Str)],
+                },
+                RelSpec {
+                    name: "item",
+                    cols: &[("item_id", Int), ("iname", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "purchaseview",
+                cols: &[("pur_id", Int), ("item_id", Int), ("qty", Int), ("iname", Str)],
+            },
+            putdelta: "
+                false :- item(I, N1), item(I, N2), not N1 = N2.
+                false :- purchases(P, I, Q, NO), not initem(I).
+                initem(I) :- item(I, _).
+                false :- purchaseview(P, I, Q, N), purchaseview(P2, I, Q2, N2), not N = N2.
+                false :- purchaseview(P, I, Q, N), item(I, N2), not N = N2.
+                +item(I, N) :- purchaseview(P, I, Q, N), not item(I, N).
+                inpurchases(P, I, Q) :- purchases(P, I, Q, _).
+                +purchases(P, I, Q, NO) :- purchaseview(P, I, Q, N),
+                                           not inpurchases(P, I, Q), NO = 'none'.
+                -purchases(P, I, Q, NO) :- purchases(P, I, Q, NO), item(I, N),
+                                           not purchaseview(P, I, Q, N).
+            ",
+            expected_get: "purchaseview(P, I, Q, N) :- purchases(P, I, Q, _), item(I, N).",
+        },
+        // ------------------------------------------------------------------
+        // #32 vehicle_view — inner join + projection with PK, FK and a
+        // join dependency (the widest Q&A schema).
+        CorpusEntry {
+            id: 32,
+            name: "vehicle_view",
+            source: SourceKind::QaSite,
+            operators: "P,IJ",
+            constraint_classes: "PK, FK, JD",
+            expressible: true,
+            lvgn_expected: false,
+            sources: &[
+                RelSpec {
+                    name: "vehicles",
+                    cols: &[("vid", Int), ("plate", Str), ("vtype", Str), ("oid", Int)],
+                },
+                RelSpec {
+                    name: "owners",
+                    cols: &[("oid", Int), ("oname", Str)],
+                },
+            ],
+            view: RelSpec {
+                name: "vehicle_view",
+                cols: &[("vid", Int), ("plate", Str), ("oid", Int), ("oname", Str)],
+            },
+            putdelta: "
+                false :- owners(O, N1), owners(O, N2), not N1 = N2.
+                false :- vehicles(V, P, T, O), not inowners(O).
+                inowners(O) :- owners(O, _).
+                false :- vehicle_view(V, P, O, N), vehicle_view(V2, P2, O, N2), not N = N2.
+                false :- vehicle_view(V, P, O, N), owners(O, N2), not N = N2.
+                +owners(O, N) :- vehicle_view(V, P, O, N), not owners(O, N).
+                invehicles(V, P, O) :- vehicles(V, P, _, O).
+                +vehicles(V, P, T, O) :- vehicle_view(V, P, O, N),
+                                         not invehicles(V, P, O), T = 'car'.
+                -vehicles(V, P, T, O) :- vehicles(V, P, T, O), owners(O, N),
+                                         not vehicle_view(V, P, O, N).
+            ",
+            expected_get: "vehicle_view(V, P, O, N) :- vehicles(V, P, _, O), owners(O, N).",
+        },
+    ]
+}

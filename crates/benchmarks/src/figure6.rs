@@ -1,0 +1,221 @@
+//! The Figure 6 experiment: view-update latency versus base-table size,
+//! original strategy versus incrementalized strategy.
+//!
+//! The paper selects four typical views from the corpus — `luxuryitems`
+//! (selection), `officeinfo` (projection), `outstanding_task` (semi-join)
+//! and `vw_brands` (union) — randomly generates base-table data, and
+//! measures the running time of one view-update transaction as the base
+//! size grows. The expected shape: the original strategy's latency grows
+//! linearly with the base size (the putback program re-reads the whole
+//! source and view), while the incrementalized strategy stays flat.
+
+use crate::corpus;
+use crate::datagen;
+use birds_core::UpdateStrategy;
+use birds_datalog::{parse_program, Program};
+use birds_engine::{Engine, StrategyMode};
+use birds_store::Database;
+use std::time::{Duration, Instant};
+
+/// One of the four views measured in Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure6View {
+    /// Figure 6(a): selection.
+    Luxuryitems,
+    /// Figure 6(b): projection.
+    Officeinfo,
+    /// Figure 6(c): semi-join.
+    OutstandingTask,
+    /// Figure 6(d): union.
+    VwBrands,
+}
+
+impl Figure6View {
+    /// All four panels in paper order.
+    pub fn all() -> [Figure6View; 4] {
+        [
+            Figure6View::Luxuryitems,
+            Figure6View::Officeinfo,
+            Figure6View::OutstandingTask,
+            Figure6View::VwBrands,
+        ]
+    }
+
+    /// Corpus view name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Figure6View::Luxuryitems => "luxuryitems",
+            Figure6View::Officeinfo => "officeinfo",
+            Figure6View::OutstandingTask => "outstanding_task",
+            Figure6View::VwBrands => "vw_brands",
+        }
+    }
+
+    /// Parse a panel selector (`luxuryitems`, `officeinfo`, …).
+    pub fn from_name(name: &str) -> Option<Figure6View> {
+        Figure6View::all().into_iter().find(|v| v.name() == name)
+    }
+
+    /// The view's update strategy from the corpus.
+    pub fn strategy(&self) -> UpdateStrategy {
+        corpus::entry(self.name())
+            .expect("figure-6 views are in the corpus")
+            .strategy()
+            .expect("figure-6 views are expressible")
+    }
+
+    /// The view definition (expected get) from the corpus.
+    pub fn get(&self) -> Program {
+        parse_program(
+            corpus::entry(self.name())
+                .expect("figure-6 views are in the corpus")
+                .expected_get,
+        )
+        .expect("corpus gets parse")
+    }
+
+    /// Generate the base tables at size `n`.
+    pub fn database(&self, n: usize) -> Database {
+        match self {
+            Figure6View::Luxuryitems => datagen::items_database(n),
+            Figure6View::Officeinfo => datagen::office_database(n),
+            Figure6View::OutstandingTask => datagen::tasks_database(n),
+            Figure6View::VwBrands => datagen::brands_database(n),
+        }
+    }
+
+    /// The measured transaction: one INSERT plus one DELETE on the view,
+    /// combined in a `BEGIN … END` block (the paper's workload is a
+    /// single SQL statement modifying the view; we use a two-statement
+    /// transaction so both delta directions are exercised).
+    pub fn update_script(&self, n: usize) -> String {
+        let fresh = n as i64 + 7;
+        match self {
+            Figure6View::Luxuryitems => format!(
+                "BEGIN; INSERT INTO luxuryitems VALUES ({fresh}, 4999); \
+                 DELETE FROM luxuryitems WHERE id = 1; END;"
+            ),
+            Figure6View::Officeinfo => format!(
+                "BEGIN; INSERT INTO officeinfo VALUES ({fresh}, 'annex', '+81-99'); \
+                 DELETE FROM officeinfo WHERE oid = 1; END;"
+            ),
+            Figure6View::OutstandingTask => format!(
+                "BEGIN; INSERT INTO outstanding_task VALUES \
+                 (1, 'hotfix{fresh}', '2020-07-01', 'ownerX'); \
+                 DELETE FROM outstanding_task WHERE tid = 2; END;"
+            ),
+            Figure6View::VwBrands => format!(
+                "BEGIN; INSERT INTO vw_brands VALUES ({fresh}, 'newbrand'); \
+                 DELETE FROM vw_brands WHERE bid = 1; END;"
+            ),
+        }
+    }
+
+    /// Build an engine with the view registered (skipping re-validation:
+    /// Table 1 already established validity; Figure 6 measures runtime).
+    pub fn engine(&self, n: usize, mode: StrategyMode) -> Engine {
+        let mut engine = Engine::new(self.database(n));
+        engine
+            .register_view_unchecked(self.strategy(), self.get(), mode)
+            .expect("figure-6 view registers");
+        engine
+    }
+
+    /// Time one update transaction at base size `n` under `mode`.
+    pub fn measure(&self, n: usize, mode: StrategyMode) -> Duration {
+        let mut engine = self.engine(n, mode);
+        let script = self.update_script(n);
+        let t = Instant::now();
+        engine.execute(&script).expect("figure-6 update executes");
+        t.elapsed()
+    }
+}
+
+/// One measured point of a Figure 6 panel.
+#[derive(Debug, Clone)]
+pub struct Figure6Point {
+    /// Base-table size (tuples).
+    pub base_size: usize,
+    /// Latency with the original putback program.
+    pub original: Duration,
+    /// Latency with the incrementalized program.
+    pub incremental: Duration,
+}
+
+/// Sweep one panel over the given base sizes.
+pub fn sweep(view: Figure6View, sizes: &[usize]) -> Vec<Figure6Point> {
+    sizes
+        .iter()
+        .map(|&n| Figure6Point {
+            base_size: n,
+            original: view.measure(n, StrategyMode::Original),
+            incremental: view.measure(n, StrategyMode::Incremental),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_store::Value;
+
+    #[test]
+    fn all_views_execute_in_both_modes() {
+        for view in Figure6View::all() {
+            for mode in [StrategyMode::Original, StrategyMode::Incremental] {
+                let mut engine = view.engine(200, mode);
+                let before = engine.relation(view.name()).unwrap().len();
+                engine
+                    .execute(&view.update_script(200))
+                    .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", view.name()));
+                let after = engine.relation(view.name()).unwrap().len();
+                assert!(
+                    before != after || before > 0,
+                    "{}: update had no observable effect",
+                    view.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn original_and_incremental_agree_on_final_state() {
+        for view in Figure6View::all() {
+            let mut orig = view.engine(300, StrategyMode::Original);
+            let mut inc = view.engine(300, StrategyMode::Incremental);
+            orig.execute(&view.update_script(300)).unwrap();
+            inc.execute(&view.update_script(300)).unwrap();
+            assert!(
+                orig.database().same_contents(inc.database()),
+                "{}: strategies diverge",
+                view.name()
+            );
+        }
+    }
+
+    #[test]
+    fn luxuryitems_insert_reaches_base_table() {
+        let view = Figure6View::Luxuryitems;
+        let mut engine = view.engine(100, StrategyMode::Incremental);
+        engine.execute(&view.update_script(100)).unwrap();
+        let items = engine.relation("items").unwrap();
+        assert!(items
+            .iter()
+            .any(|t| t[0] == Value::int(107) && t[1] == Value::int(4999)));
+    }
+
+    #[test]
+    fn sweep_produces_all_points() {
+        let points = sweep(Figure6View::VwBrands, &[50, 100]);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].base_size, 50);
+    }
+
+    #[test]
+    fn from_name_roundtrip() {
+        for v in Figure6View::all() {
+            assert_eq!(Figure6View::from_name(v.name()), Some(v));
+        }
+        assert_eq!(Figure6View::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! The Table 1 experiment: validate every corpus strategy and collect the
+//! columns the paper reports.
+
+use crate::corpus::{self, CorpusEntry};
+use birds_core::{validate, UpdateStrategy};
+use birds_sql::compile_strategy;
+use std::time::Duration;
+
+/// One regenerated row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Row number (1–32).
+    pub id: usize,
+    /// View name.
+    pub name: &'static str,
+    /// Collection group label.
+    pub group: &'static str,
+    /// Operator mix in the view definition.
+    pub operators: &'static str,
+    /// Program size in rules (the paper's LOC column), `None` when the
+    /// strategy is not expressible.
+    pub program_size: Option<usize>,
+    /// Constraint classes.
+    pub constraints: &'static str,
+    /// LVGN-Datalog membership (paper column "LVGN-Datalog").
+    pub lvgn: Option<bool>,
+    /// Expressible in NR-Datalog with negation and builtins at all
+    /// (paper column "NR-Datalog"; `false` only for the aggregation view).
+    pub expressible: bool,
+    /// Did Algorithm 1 accept the strategy?
+    pub valid: Option<bool>,
+    /// Wall-clock validation time.
+    pub validation_time: Option<Duration>,
+    /// Compiled SQL size in bytes (view + trigger program).
+    pub sql_bytes: Option<usize>,
+}
+
+/// Validate one corpus entry and collect its Table 1 row.
+pub fn run_entry(entry: &CorpusEntry) -> Table1Row {
+    let mut row = Table1Row {
+        id: entry.id,
+        name: entry.name,
+        group: entry.source.label(),
+        operators: entry.operators,
+        program_size: None,
+        constraints: entry.constraint_classes,
+        lvgn: None,
+        expressible: entry.expressible,
+        valid: None,
+        validation_time: None,
+        sql_bytes: None,
+    };
+    let Some(strategy) = entry.strategy() else {
+        return row;
+    };
+    row.program_size = Some(strategy.program_size());
+    row.lvgn = Some(strategy.is_lvgn());
+    match validate(&strategy) {
+        Ok(report) => {
+            row.valid = Some(report.valid);
+            row.validation_time = Some(report.timings.total());
+            if let Some(get) = &report.derived_get {
+                row.sql_bytes = Some(compile_strategy(&strategy, get).byte_size());
+            }
+        }
+        Err(e) => {
+            // A solver resource error counts as "did not validate" — the
+            // paper's caveat for programs outside the decidable fragment.
+            row.valid = None;
+            row.validation_time = None;
+            let _ = e;
+        }
+    }
+    row
+}
+
+/// Run the whole Table 1 experiment (all 32 rows, in order).
+pub fn run_table1() -> Vec<Table1Row> {
+    corpus::entries().iter().map(run_entry).collect()
+}
+
+/// Format rows as an aligned text table (the binary's output).
+pub fn format_table(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>3} {:<11} {:<17} {:<9} {:>4} {:<12} {:>5} {:>10} {:>6} {:>9} {:>9}\n",
+        "ID", "Group", "View", "Operator", "LOC", "Constraint", "LVGN", "NR-Datalog",
+        "Valid", "Time(s)", "SQL(B)"
+    ));
+    for r in rows {
+        let yesno = |b: Option<bool>| match b {
+            Some(true) => "Y",
+            Some(false) => "n",
+            None => "-",
+        };
+        out.push_str(&format!(
+            "{:>3} {:<11} {:<17} {:<9} {:>4} {:<12} {:>5} {:>10} {:>6} {:>9} {:>9}\n",
+            r.id,
+            r.group,
+            r.name,
+            r.operators,
+            r.program_size.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            if r.constraints.is_empty() { "-" } else { r.constraints },
+            yesno(r.lvgn),
+            if r.expressible { "Y" } else { "n" },
+            yesno(r.valid),
+            r.validation_time
+                .map(|d| format!("{:.3}", d.as_secs_f64()))
+                .unwrap_or_else(|| "-".into()),
+            r.sql_bytes.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+        ));
+    }
+    out
+}
+
+/// Convenience used by tests and the ablation bench: validate a single
+/// named view from the corpus.
+pub fn validate_view(name: &str) -> Option<(UpdateStrategy, Table1Row)> {
+    let e = corpus::entry(name)?;
+    let s = e.strategy()?;
+    let row = run_entry(&e);
+    Some((s, row))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_view_row_is_complete() {
+        let (_, row) = validate_view("vw_brands").unwrap();
+        assert_eq!(row.lvgn, Some(true));
+        assert_eq!(row.valid, Some(true));
+        assert!(row.sql_bytes.unwrap() > 500);
+        assert!(row.validation_time.unwrap().as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn aggregation_row_is_all_dashes() {
+        let e = corpus::entry("emp_view").unwrap();
+        let row = run_entry(&e);
+        assert!(!row.expressible);
+        assert_eq!(row.valid, None);
+        assert_eq!(row.sql_bytes, None);
+    }
+
+    #[test]
+    fn format_contains_all_rows() {
+        let rows = vec![
+            run_entry(&corpus::entry("luxuryitems").unwrap()),
+            run_entry(&corpus::entry("emp_view").unwrap()),
+        ];
+        let text = format_table(&rows);
+        assert!(text.contains("luxuryitems"));
+        assert!(text.contains("emp_view"));
+    }
+}

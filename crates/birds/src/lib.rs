@@ -1,0 +1,113 @@
+//! # birds — Programmable View Update Strategies on Relations
+//!
+//! A Rust reproduction of the BIRDS system from *“Programmable View Update
+//! Strategies on Relations”* (Tran, Kato, Hu — VLDB 2020).
+//!
+//! A **view update strategy** is a putback program `putdelta`: a set of
+//! non-recursive Datalog rules (with negation, equalities and comparisons)
+//! that map the original source database `S` and an updated view `V′` to
+//! **delta relations** `+r` / `-r` on the source tables. BIRDS
+//!
+//! 1. **validates** the strategy (Algorithm 1 of the paper):
+//!    well-definedness, existence of a view definition satisfying
+//!    **GetPut**, and the **PutGet** round-tripping property — a sound and
+//!    complete decision procedure for the LVGN-Datalog fragment;
+//! 2. **derives** the unique view definition `get` from the strategy;
+//! 3. **incrementalizes** the strategy (§5) so each view update costs
+//!    `O(|ΔV|)` rather than `O(|S|)`;
+//! 4. **compiles** the strategy to SQL (`CREATE VIEW` + `INSTEAD OF`
+//!    triggers) and — in this reproduction — also executes it directly in
+//!    an in-process updatable-view [`Engine`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use birds::prelude::*;
+//!
+//! // Source schema: two unary tables; view v = r1 ∪ r2 (Example 3.1).
+//! let source = DatabaseSchema::new()
+//!     .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+//!     .with(Schema::new("r2", vec![("a", SortKind::Int)]));
+//! let view = Schema::new("v", vec![("a", SortKind::Int)]);
+//!
+//! // The programmable update strategy, as Datalog delta rules.
+//! let strategy = UpdateStrategy::parse(
+//!     source,
+//!     view,
+//!     "
+//!     -r1(X) :- r1(X), not v(X).
+//!     -r2(X) :- r2(X), not v(X).
+//!     +r1(X) :- v(X), not r1(X), not r2(X).
+//!     ",
+//!     None,
+//! )
+//! .unwrap();
+//!
+//! // Validate (Algorithm 1) and read back the derived view definition.
+//! let report = validate(&strategy).unwrap();
+//! assert!(report.valid);
+//! let get = report.derived_get.clone().unwrap();
+//! assert_eq!(get.len(), 2); // v(X) :- r1(X).  v(X) :- r2(X).
+//!
+//! // Run it: an in-process database with an updatable view.
+//! let mut db = Database::new();
+//! db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap()).unwrap();
+//! db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap()).unwrap();
+//! let mut engine = Engine::new(db);
+//! engine.register_view(strategy, StrategyMode::Incremental).unwrap();
+//!
+//! engine.execute("BEGIN; INSERT INTO v VALUES (3); DELETE FROM v WHERE a = 2; END;").unwrap();
+//! assert!(engine.relation("r1").unwrap().contains(&tuple![3]));
+//! assert!(!engine.relation("r2").unwrap().contains(&tuple![2]));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | re-exported from | paper section |
+//! |---|---|---|
+//! | [`datalog`] | `birds-datalog` | §2.1, §3.1–3.2 (language, LVGN) |
+//! | [`store`] | `birds-store` | relational substrate, `R ⊕ ΔR` |
+//! | [`eval`] | `birds-eval` | bottom-up Datalog evaluation |
+//! | [`fol`] | `birds-fol` | §4 + Appendices A–B (Datalog ↔ FO) |
+//! | [`solver`] | `birds-solver` | the Z3 substitute (bounded model finder) |
+//! | [`core`] | `birds-core` | §4 validation, §5 incrementalization |
+//! | [`sql`] | `birds-sql` | §6.1 SQL/trigger compilation |
+//! | [`engine`] | `birds-engine` | §6.1 runtime (triggers, Algorithm 2) |
+//! | [`benchmarks`] | `birds-benchmarks` | §6.2 (Table 1 corpus, Figure 6) |
+
+pub use birds_core as core;
+pub use birds_datalog as datalog;
+pub use birds_engine as engine;
+pub use birds_eval as eval;
+pub use birds_fol as fol;
+pub use birds_solver as solver;
+pub use birds_sql as sql;
+pub use birds_store as store;
+
+pub use birds_benchmarks as benchmarks;
+
+// Top-level convenience re-exports: the types almost every user touches.
+pub use birds_core::{
+    incrementalize, incrementalize_general, incrementalize_lvgn, validate, CoreError,
+    UpdateStrategy, ValidationReport, Validator,
+};
+pub use birds_datalog::{parse_program, parse_rule, Program, Rule};
+pub use birds_engine::{Engine, EngineError, ExecutionStats, StrategyMode};
+pub use birds_sql::{compile_strategy, CompiledSql};
+pub use birds_store::{Database, DatabaseSchema, Relation, Schema, SortKind, Tuple, Value};
+
+/// Everything needed for typical use, importable with one `use`.
+pub mod prelude {
+    pub use birds_core::validate::FailedPass;
+    pub use birds_core::{
+        incrementalize, validate, UpdateStrategy, ValidationReport, Validator,
+    };
+    pub use birds_datalog::{parse_program, parse_rule, DeltaKind, PredRef, Program, Rule};
+    pub use birds_engine::{Engine, EngineError, ExecutionStats, StrategyMode};
+    pub use birds_solver::{BoundedSolver, SatOutcome};
+    pub use birds_sql::{compile_strategy, CompiledSql};
+    pub use birds_store::{
+        tuple, Database, DatabaseSchema, Delta, DeltaSet, Relation, Schema, SortKind, Tuple,
+        Value,
+    };
+}

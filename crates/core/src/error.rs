@@ -1,0 +1,54 @@
+//! Core errors.
+
+use std::fmt;
+
+/// Errors raised while building or validating update strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The putback program has a structural problem (bad head, arity
+    /// mismatch with the schema, …).
+    BadStrategy(String),
+    /// A Datalog analysis failed (safety / recursion).
+    Analysis(String),
+    /// First-order machinery failed (unfold / RANF / translation).
+    Logic(String),
+    /// The bounded solver gave up (budget / domain bound).
+    Solver(String),
+    /// The view definition cannot be derived (program outside LVGN and no
+    /// expected get provided).
+    CannotDeriveGet(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadStrategy(m) => write!(f, "bad strategy: {m}"),
+            CoreError::Analysis(m) => write!(f, "analysis error: {m}"),
+            CoreError::Logic(m) => write!(f, "logic error: {m}"),
+            CoreError::Solver(m) => write!(f, "solver error: {m}"),
+            CoreError::CannotDeriveGet(m) => {
+                write!(f, "cannot derive view definition: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<birds_fol::UnfoldError> for CoreError {
+    fn from(e: birds_fol::UnfoldError) -> Self {
+        CoreError::Logic(e.to_string())
+    }
+}
+
+impl From<birds_fol::ToDatalogError> for CoreError {
+    fn from(e: birds_fol::ToDatalogError) -> Self {
+        CoreError::Logic(e.to_string())
+    }
+}
+
+impl From<birds_solver::SolverError> for CoreError {
+    fn from(e: birds_solver::SolverError) -> Self {
+        CoreError::Solver(e.to_string())
+    }
+}

@@ -1,0 +1,421 @@
+//! Linear-view normal form (Claim 1 in Appendix A.5) and the construction
+//! of the formulas `φ1`, `φ2`, `φ3` of Lemma 4.2.
+//!
+//! For an LVGN putback program, the *violation* formula of every
+//! steady-state condition —
+//!
+//! * `ϕ₋ᵣ(~X) ∧ r(~X)` (a deletion would actually remove a tuple),
+//! * `ϕ₊ᵣ(~X) ∧ ¬r(~X)` (an insertion would actually add a tuple),
+//! * `Φσ(~X)` (a constraint is violated)
+//!
+//! — can be rewritten into the linear-view form
+//! `(∨ₖ ∃E₁ₖ v(~Y₁ₖ) ∧ ψ₁ₖ) ∨ (∨ₖ ∃E₂ₖ ¬v(~Y₂ₖ) ∧ ψ₂ₖ) ∨ ψ₃` with the
+//! view atom `v` occurring nowhere inside the `ψ`s. Collecting the pieces
+//! over canonical view variables `Y0 … Ym−1` yields:
+//!
+//! * `φ1(~Y)`: a steady-state view must satisfy `∀~Y, v(~Y) → ¬φ1(~Y)`
+//!   (upper bound on the view);
+//! * `φ2(~Y)`: it must satisfy `∀~Y, φ2(~Y) → v(~Y)` (lower bound — this
+//!   is the derived view definition `get`);
+//! * `φ3`: a v-free sentence that must be unsatisfiable for any steady
+//!   state to exist.
+
+use crate::error::CoreError;
+use crate::strategy::UpdateStrategy;
+use birds_datalog::{DeltaKind, PredRef, Term};
+use birds_fol::formula::FreshVars;
+use birds_fol::{unfold_constraint, unfold_query, Formula};
+use std::collections::BTreeMap;
+
+/// Polarity of the view atom in a linear-view piece.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewPolarity {
+    /// Piece of the form `∃E, v(~Y) ∧ ψ` — contributes to `φ1`.
+    Positive,
+    /// Piece of the form `∃E, ¬v(~Y) ∧ ψ` — contributes to `φ2`.
+    Negative,
+    /// View-free piece — contributes to `φ3`.
+    Free,
+}
+
+/// The assembled `φ1`, `φ2`, `φ3` of Lemma 4.2.
+#[derive(Debug, Clone)]
+pub struct LinearViewForm {
+    /// Arity of the view.
+    pub view_arity: usize,
+    /// Canonical view variables `Y0 … Ym−1`.
+    pub view_vars: Vec<String>,
+    /// `φ1(~Y)` — the view's upper-bound violation formula.
+    pub phi1: Formula,
+    /// `φ2(~Y)` — the view's lower bound; the derived `get`.
+    pub phi2: Formula,
+    /// `φ3` — closed, view-free; must be unsatisfiable.
+    pub phi3: Formula,
+}
+
+/// Build the linear-view form for an LVGN strategy.
+pub fn linear_view_form(strategy: &UpdateStrategy) -> Result<LinearViewForm, CoreError> {
+    let view = &strategy.view.name;
+    let arity = strategy.view.arity();
+    let view_vars: Vec<String> = (0..arity).map(|i| format!("Y{i}")).collect();
+    let mut fresh = FreshVars::new();
+
+    let mut pos: Vec<Formula> = Vec::new();
+    let mut neg: Vec<Formula> = Vec::new();
+    let mut free: Vec<Formula> = Vec::new();
+
+    // Steady-state violation sentences per source relation (12).
+    for schema in &strategy.source_schema.relations {
+        let k = schema.arity();
+        let xs: Vec<String> = (0..k).map(|i| format!("X{i}")).collect();
+        let x_terms: Vec<Term> = xs.iter().map(|v| Term::var(v.clone())).collect();
+        for kind in [DeltaKind::Delete, DeltaKind::Insert] {
+            let pred = PredRef {
+                name: schema.name.clone(),
+                kind,
+            };
+            if strategy.putdelta.rules_for(&pred).next().is_none() {
+                continue;
+            }
+            let (vars, phi) = unfold_query(&strategy.putdelta, &pred)?;
+            debug_assert_eq!(vars, xs);
+            let effect = Formula::Rel(PredRef::plain(&schema.name), x_terms.clone());
+            let effect = if kind == DeltaKind::Delete {
+                effect // ϕ₋ᵣ ∧ r
+            } else {
+                Formula::not(effect) // ϕ₊ᵣ ∧ ¬r
+            };
+            let sentence = Formula::exists(xs.clone(), Formula::and(vec![phi, effect]));
+            classify(
+                &sentence.alpha_rename(&mut fresh),
+                view,
+                arity,
+                &view_vars,
+                &mut fresh,
+                &mut pos,
+                &mut neg,
+                &mut free,
+            )?;
+        }
+    }
+
+    // Constraint violation sentences (they join the same classification,
+    // per the proof of Lemma 4.2).
+    for rule in strategy.constraints() {
+        let sentence = unfold_constraint(&strategy.putdelta, rule)?;
+        classify(
+            &sentence.alpha_rename(&mut fresh),
+            view,
+            arity,
+            &view_vars,
+            &mut fresh,
+            &mut pos,
+            &mut neg,
+            &mut free,
+        )?;
+    }
+
+    Ok(LinearViewForm {
+        view_arity: arity,
+        view_vars,
+        phi1: Formula::or(pos),
+        phi2: Formula::or(neg),
+        phi3: Formula::or(free),
+    })
+}
+
+/// Does the formula mention the view predicate anywhere?
+fn mentions_view(f: &Formula, view: &str) -> bool {
+    match f {
+        Formula::Rel(p, _) => p.kind == DeltaKind::None && p.name == view,
+        Formula::Cmp(..) | Formula::True | Formula::False => false,
+        Formula::Not(inner) => mentions_view(inner, view),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().any(|g| mentions_view(g, view)),
+        Formula::Exists(_, inner) | Formula::Forall(_, inner) => mentions_view(inner, view),
+    }
+}
+
+/// One disjunct in v-DNF: existential variables plus conjuncts.
+type Piece = (Vec<String>, Vec<Formula>);
+
+/// Split a (view-mentioning or not) formula into disjunct pieces,
+/// distributing conjunction over disjunction only along view-mentioning
+/// paths.
+fn split(f: &Formula, view: &str) -> Result<Vec<Piece>, CoreError> {
+    if !mentions_view(f, view) {
+        return Ok(vec![(vec![], vec![f.clone()])]);
+    }
+    match f {
+        Formula::Or(fs) => {
+            let mut out = Vec::new();
+            for g in fs {
+                out.extend(split(g, view)?);
+            }
+            Ok(out)
+        }
+        Formula::And(fs) => {
+            let mut acc: Vec<Piece> = vec![(vec![], vec![])];
+            for g in fs {
+                let parts = split(g, view)?;
+                let mut next = Vec::with_capacity(acc.len() * parts.len());
+                for (evars, conj) in &acc {
+                    for (pe, pc) in &parts {
+                        let mut e = evars.clone();
+                        e.extend(pe.iter().cloned());
+                        let mut c = conj.clone();
+                        c.extend(pc.iter().cloned());
+                        next.push((e, c));
+                    }
+                }
+                acc = next;
+            }
+            Ok(acc)
+        }
+        Formula::Exists(vars, inner) => {
+            let mut out = split(inner, view)?;
+            for (evars, _) in &mut out {
+                let mut v = vars.clone();
+                v.extend(evars.drain(..));
+                *evars = v;
+            }
+            Ok(out)
+        }
+        Formula::Rel(..) | Formula::Not(_) => Ok(vec![(vec![], vec![f.clone()])]),
+        other => Err(CoreError::Logic(format!(
+            "cannot put formula into linear-view form: unexpected node {other}"
+        ))),
+    }
+}
+
+/// Classify the disjuncts of a closed violation sentence into the
+/// `φ1`/`φ2`/`φ3` buckets over the canonical view variables.
+#[allow(clippy::too_many_arguments)]
+fn classify(
+    sentence: &Formula,
+    view: &str,
+    arity: usize,
+    view_vars: &[String],
+    fresh: &mut FreshVars,
+    pos: &mut Vec<Formula>,
+    neg: &mut Vec<Formula>,
+    free: &mut Vec<Formula>,
+) -> Result<(), CoreError> {
+    for (evars, conjuncts) in split(sentence, view)? {
+        // Locate the (single) view literal.
+        let mut view_args: Option<(ViewPolarity, Vec<Term>)> = None;
+        let mut psi: Vec<Formula> = Vec::new();
+        for c in conjuncts {
+            let as_view = match &c {
+                Formula::Rel(p, terms) if p.kind == DeltaKind::None && p.name == view => {
+                    Some((ViewPolarity::Positive, terms.clone()))
+                }
+                Formula::Not(inner) => match &**inner {
+                    Formula::Rel(p, terms)
+                        if p.kind == DeltaKind::None && p.name == view =>
+                    {
+                        Some((ViewPolarity::Negative, terms.clone()))
+                    }
+                    other if mentions_view(other, view) => {
+                        return Err(CoreError::Logic(format!(
+                            "view occurs under complex negation: ¬({other})"
+                        )))
+                    }
+                    _ => None,
+                },
+                other if mentions_view(other, view) => {
+                    return Err(CoreError::Logic(format!(
+                        "view occurs in a non-literal position: {other}"
+                    )))
+                }
+                _ => None,
+            };
+            match as_view {
+                Some(va) => {
+                    if view_args.is_some() {
+                        return Err(CoreError::Logic(
+                            "multiple view atoms in one disjunct (self-join)".into(),
+                        ));
+                    }
+                    if va.1.len() != arity {
+                        return Err(CoreError::Logic(format!(
+                            "view atom has arity {} but the view has arity {arity}",
+                            va.1.len()
+                        )));
+                    }
+                    view_args = Some(va);
+                }
+                None => psi.push(c),
+            }
+        }
+
+        match view_args {
+            None => {
+                free.push(Formula::exists(evars, Formula::and(psi)));
+            }
+            Some((polarity, args)) => {
+                let piece =
+                    canonicalize_piece(&args, evars, Formula::and(psi), view_vars, fresh);
+                match polarity {
+                    ViewPolarity::Positive => pos.push(piece),
+                    ViewPolarity::Negative => neg.push(piece),
+                    ViewPolarity::Free => unreachable!(),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rewrite a piece `∃E, v(args) ∧ ψ` over the canonical view variables:
+/// the j-th view argument becomes `Yj` (repeated variables and constants
+/// turn into equalities), remaining existentials stay quantified.
+fn canonicalize_piece(
+    args: &[Term],
+    evars: Vec<String>,
+    psi: Formula,
+    view_vars: &[String],
+    fresh: &mut FreshVars,
+) -> Formula {
+    let mut map: BTreeMap<String, Term> = BTreeMap::new();
+    let mut eqs: Vec<Formula> = Vec::new();
+    for (j, arg) in args.iter().enumerate() {
+        let yj = Term::var(view_vars[j].clone());
+        match arg {
+            Term::Var(x) => {
+                if let Some(first) = map.get(x) {
+                    eqs.push(Formula::eq(yj, first.clone()));
+                } else {
+                    map.insert(x.clone(), yj);
+                }
+            }
+            Term::Const(c) => eqs.push(Formula::eq(yj, Term::Const(c.clone()))),
+        }
+    }
+    let psi = psi.substitute(&map, fresh);
+    let remaining: Vec<String> = evars
+        .into_iter()
+        .filter(|v| !map.contains_key(v))
+        .collect();
+    Formula::exists(remaining, Formula::and([eqs, vec![psi]].concat()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_store::{DatabaseSchema, Schema, SortKind};
+
+    fn union_strategy() -> UpdateStrategy {
+        UpdateStrategy::parse(
+            DatabaseSchema::new()
+                .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+                .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+            Schema::new("v", vec![("a", SortKind::Int)]),
+            "
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+            ",
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn union_example_4_1_shapes() {
+        let lv = linear_view_form(&union_strategy()).unwrap();
+        assert_eq!(lv.view_arity, 1);
+        // φ3 must be empty (False): no view-free violations.
+        assert_eq!(lv.phi3, Formula::False);
+        // φ2 = r1(Y0) ∨ r2(Y0) up to structure: two disjuncts mentioning r1
+        // and r2.
+        let s2 = lv.phi2.to_string();
+        assert!(s2.contains("r1(Y0)") && s2.contains("r2(Y0)"), "{s2}");
+        // φ1 = ¬r1 ∧ ¬r2 piece (from +r1 with ¬r applied).
+        let s1 = lv.phi1.to_string();
+        assert!(s1.contains("¬(r1(Y0))") && s1.contains("¬(r2(Y0))"), "{s1}");
+        // Free variables are exactly the canonical view variables.
+        assert_eq!(
+            lv.phi2.free_vars().into_iter().collect::<Vec<_>>(),
+            vec!["Y0".to_string()]
+        );
+        assert!(lv.phi3.free_vars().is_empty());
+    }
+
+    #[test]
+    fn constraints_classify_into_phi1() {
+        // ⊥ :- v(X), X > 2 — a positive-view constraint lands in φ1.
+        let s = UpdateStrategy::parse(
+            DatabaseSchema::new().with(Schema::new("r", vec![("a", SortKind::Int)])),
+            Schema::new("v", vec![("a", SortKind::Int)]),
+            "
+            false :- v(X), X > 2.
+            -r(X) :- r(X), not v(X).
+            +r(X) :- v(X), not r(X).
+            ",
+            None,
+        )
+        .unwrap();
+        let lv = linear_view_form(&s).unwrap();
+        let s1 = lv.phi1.to_string();
+        assert!(s1.contains("> 2"), "constraint must appear in φ1: {s1}");
+    }
+
+    #[test]
+    fn view_constants_become_equalities() {
+        // -male(E,B) :- male(E,B), not residents(E,B,'M').  — the view
+        // atom has the constant 'M' in position 2.
+        let s = UpdateStrategy::parse(
+            DatabaseSchema::new().with(Schema::new(
+                "male",
+                vec![("e", SortKind::Str), ("b", SortKind::Str)],
+            )),
+            Schema::new(
+                "residents",
+                vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+            ),
+            "
+            -male(E, B) :- male(E, B), not residents(E, B, 'M').
+            +male(E, B) :- residents(E, B, 'M'), not male(E, B).
+            ",
+            None,
+        )
+        .unwrap();
+        let lv = linear_view_form(&s).unwrap();
+        let s2 = lv.phi2.to_string();
+        assert!(s2.contains("Y2 = 'M'"), "{s2}");
+    }
+
+    #[test]
+    fn selection_strategy_phi2_carries_the_condition() {
+        // Example 5.2's source strategy.
+        let s = UpdateStrategy::parse(
+            DatabaseSchema::new().with(Schema::new(
+                "r",
+                vec![("x", SortKind::Int), ("y", SortKind::Int)],
+            )),
+            Schema::new("v", vec![("x", SortKind::Int), ("y", SortKind::Int)]),
+            "
+            +r(X, Y) :- v(X, Y), not r(X, Y).
+            m(X, Y) :- r(X, Y), Y > 2.
+            -r(X, Y) :- m(X, Y), not v(X, Y).
+            ",
+            None,
+        )
+        .unwrap();
+        let lv = linear_view_form(&s).unwrap();
+        let s2 = lv.phi2.to_string();
+        // φ2 comes from the -r rule: m(X,Y) ∧ r(X,Y) with m unfolded.
+        assert!(s2.contains("> 2"), "{s2}");
+        assert!(!s2.contains("m("), "intermediate must be inlined: {s2}");
+    }
+
+    #[test]
+    fn mentions_view_is_accurate() {
+        let f = Formula::exists(
+            vec!["X".into()],
+            Formula::not(Formula::Rel(PredRef::plain("v"), vec![Term::var("X")])),
+        );
+        assert!(mentions_view(&f, "v"));
+        assert!(!mentions_view(&f, "w"));
+    }
+}

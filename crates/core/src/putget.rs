@@ -1,0 +1,234 @@
+//! Construction of the `newsource` and `putget` programs (§4.4).
+//!
+//! `newsource` adds, for every source relation `r`, the rules
+//!
+//! ```text
+//! r__new(~X) :- r(~X), not -r(~X).
+//! r__new(~X) :- +r(~X).
+//! ```
+//!
+//! (omitting delta atoms the putback program never defines). `putget`
+//! composes: the putback program, `newsource`, and the view definition
+//! `get` with every source atom substituted by its `__new` version — its
+//! `v__new` relation is exactly `get(put(S, V))`.
+
+use crate::strategy::UpdateStrategy;
+use birds_datalog::{Atom, DeltaKind, Head, Literal, PredRef, Program, Rule, Term};
+
+/// Build the `newsource` rules for a strategy.
+pub fn build_newsource_rules(strategy: &UpdateStrategy) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    for schema in &strategy.source_schema.relations {
+        let name = &schema.name;
+        let vars: Vec<Term> = (0..schema.arity())
+            .map(|i| Term::var(format!("X{i}")))
+            .collect();
+        let new_head = Atom::new(PredRef::new_rel(name), vars.clone());
+        let has_del = strategy
+            .putdelta
+            .rules_for(&PredRef::del(name))
+            .next()
+            .is_some();
+        let has_ins = strategy
+            .putdelta
+            .rules_for(&PredRef::ins(name))
+            .next()
+            .is_some();
+        let mut body = vec![Literal::pos(Atom::new(PredRef::plain(name), vars.clone()))];
+        if has_del {
+            body.push(Literal::neg(Atom::new(PredRef::del(name), vars.clone())));
+        }
+        rules.push(Rule::new(new_head.clone(), body));
+        if has_ins {
+            rules.push(Rule::new(
+                new_head,
+                vec![Literal::pos(Atom::new(PredRef::ins(name), vars))],
+            ));
+        }
+    }
+    rules
+}
+
+/// Rewrite a `get` program for composition: the view head becomes
+/// `v__new`; source atoms become `r__new` when `to_new_sources`; all other
+/// (intermediate) predicates get the given suffix to avoid collisions with
+/// putback-program predicates.
+pub fn transform_get_program(
+    get: &Program,
+    strategy: &UpdateStrategy,
+    to_new_sources: bool,
+    suffix: &str,
+) -> Program {
+    let view = &strategy.view.name;
+    let is_source = |n: &str| strategy.source_schema.get(n).is_some();
+    let map_pred = |p: &PredRef| -> PredRef {
+        if p.kind != DeltaKind::None {
+            return p.clone(); // deltas should not occur in get programs
+        }
+        if p.name == *view {
+            PredRef::new_rel(view)
+        } else if is_source(&p.name) {
+            if to_new_sources {
+                PredRef::new_rel(&p.name)
+            } else {
+                p.clone()
+            }
+        } else {
+            PredRef::plain(format!("{}{suffix}", p.name))
+        }
+    };
+    let map_atom = |a: &Atom| Atom::new(map_pred(&a.pred), a.terms.clone());
+    Program::new(
+        get.rules
+            .iter()
+            .map(|r| Rule {
+                head: match &r.head {
+                    Head::Atom(a) => Head::Atom(map_atom(a)),
+                    Head::Bottom => Head::Bottom,
+                },
+                body: r
+                    .body
+                    .iter()
+                    .map(|l| match l {
+                        Literal::Atom { atom, negated } => Literal::Atom {
+                            atom: map_atom(atom),
+                            negated: *negated,
+                        },
+                        other => other.clone(),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    )
+}
+
+/// Build the full `putget` program. Returns the program and the predicate
+/// (`v__new`) whose relation equals `get(put(S, V))`.
+pub fn build_putget_program(strategy: &UpdateStrategy, get: &Program) -> (Program, PredRef) {
+    let mut program = Program::new(
+        strategy
+            .putdelta
+            .proper_rules()
+            .cloned()
+            .collect::<Vec<_>>(),
+    );
+    program.rules.extend(build_newsource_rules(strategy));
+    program.extend(transform_get_program(get, strategy, true, "__g"));
+    (program, PredRef::new_rel(&strategy.view.name))
+}
+
+/// Build the program whose IDB `v` is defined by `get` over the *original*
+/// sources, merged with the putback rules — used for the GetPut check with
+/// an explicit expected get (§4.3). Intermediate get predicates are
+/// suffixed to avoid collisions; the view keeps its own name so the
+/// putback rules' `v` atoms resolve to the definition.
+pub fn build_getput_program(strategy: &UpdateStrategy, get: &Program) -> Program {
+    let view = &strategy.view.name;
+    let is_source = |n: &str| strategy.source_schema.get(n).is_some();
+    let map_pred = |p: &PredRef| -> PredRef {
+        if p.kind != DeltaKind::None || p.name == *view || is_source(&p.name) {
+            p.clone()
+        } else {
+            PredRef::plain(format!("{}__g", p.name))
+        }
+    };
+    let map_atom = |a: &Atom| Atom::new(map_pred(&a.pred), a.terms.clone());
+    let mut program = Program::new(
+        strategy
+            .putdelta
+            .proper_rules()
+            .cloned()
+            .collect::<Vec<_>>(),
+    );
+    for r in &get.rules {
+        program.rules.push(Rule {
+            head: match &r.head {
+                Head::Atom(a) => Head::Atom(map_atom(a)),
+                Head::Bottom => Head::Bottom,
+            },
+            body: r
+                .body
+                .iter()
+                .map(|l| match l {
+                    Literal::Atom { atom, negated } => Literal::Atom {
+                        atom: map_atom(atom),
+                        negated: *negated,
+                    },
+                    other => other.clone(),
+                })
+                .collect(),
+        });
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_datalog::parse_program;
+    use birds_store::{DatabaseSchema, Schema, SortKind};
+
+    fn union_strategy() -> UpdateStrategy {
+        UpdateStrategy::parse(
+            DatabaseSchema::new()
+                .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+                .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+            Schema::new("v", vec![("a", SortKind::Int)]),
+            "
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+            ",
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn newsource_rules_match_the_paper_listing() {
+        // The §4.4 example: r1 has -r1 and +r1; r2 has only -r2.
+        let rules = build_newsource_rules(&union_strategy());
+        let program = Program::new(rules);
+        // `__new` heads are DeltaKind::New predicates, which render as
+        // `r__new`; compare against the paper's listing textually.
+        let expected = "r1__new(X0) :- r1(X0), not -r1(X0).\n\
+                        r1__new(X0) :- +r1(X0).\n\
+                        r2__new(X0) :- r2(X0), not -r2(X0).";
+        assert_eq!(program.to_string().trim(), expected);
+    }
+
+    #[test]
+    fn putget_program_composes_get_over_new_sources() {
+        let strategy = union_strategy();
+        let get = parse_program("v(X) :- r1(X). v(X) :- r2(X).").unwrap();
+        let (putget, vnew) = build_putget_program(&strategy, &get);
+        assert_eq!(vnew, PredRef::new_rel("v"));
+        let text = putget.to_string();
+        assert!(text.contains("v__new(X) :- r1__new(X)."), "{text}");
+        assert!(text.contains("v__new(X) :- r2__new(X)."), "{text}");
+        // The putback rules are included verbatim.
+        assert!(text.contains("+r1(X) :- v(X), not r1(X), not r2(X)."));
+    }
+
+    #[test]
+    fn get_intermediates_are_renamed() {
+        let strategy = union_strategy();
+        let get =
+            parse_program("m(X) :- r1(X). v(X) :- m(X). v(X) :- r2(X).").unwrap();
+        let (putget, _) = build_putget_program(&strategy, &get);
+        let text = putget.to_string();
+        assert!(text.contains("m__g(X) :- r1__new(X)."), "{text}");
+        assert!(text.contains("v__new(X) :- m__g(X)."), "{text}");
+    }
+
+    #[test]
+    fn getput_program_defines_view_from_sources() {
+        let strategy = union_strategy();
+        let get = parse_program("v(X) :- r1(X). v(X) :- r2(X).").unwrap();
+        let p = build_getput_program(&strategy, &get);
+        let text = p.to_string();
+        assert!(text.contains("v(X) :- r1(X)."), "{text}");
+        // putback rules still reference v, now an IDB:
+        assert!(text.contains("-r1(X) :- r1(X), not v(X)."));
+    }
+}

@@ -1,0 +1,591 @@
+//! The validation algorithm (Algorithm 1, §4).
+//!
+//! Three passes: well-definedness → existence of a view definition
+//! satisfying GetPut (using `expected_get` when provided, deriving `get`
+//! from `φ2` otherwise) → the PutGet property. Each satisfiability check
+//! goes to the bounded solver ([`birds_solver::BoundedSolver`], our Z3
+//! substitute); a `Sat` answer comes with a counterexample database that is
+//! embedded in the report.
+
+use crate::error::CoreError;
+use crate::linear_view::linear_view_form;
+use crate::putget::{build_getput_program, build_putget_program};
+use crate::strategy::UpdateStrategy;
+use birds_datalog::{DeltaKind, PredRef, Program, Term};
+use birds_fol::{formula_to_datalog, unfold_constraint, unfold_query, Formula, ToDatalogError};
+use birds_solver::{BoundedSolver, Model, SatOutcome};
+use std::time::{Duration, Instant};
+
+/// Which pass of Algorithm 1 rejected the strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailedPass {
+    /// Pass 1: the program can produce a contradictory ΔS.
+    WellDefinedness,
+    /// Pass 2: no view definition satisfying GetPut exists (or the
+    /// expected one fails and none can be derived).
+    GetPut,
+    /// Pass 3: the derived/expected get does not satisfy PutGet.
+    PutGet,
+}
+
+/// Per-pass wall-clock timings (used by the ablation bench).
+#[derive(Debug, Clone, Default)]
+pub struct PassTimings {
+    /// Pass 1 duration.
+    pub well_definedness: Duration,
+    /// Pass 2 duration.
+    pub getput: Duration,
+    /// Pass 3 duration.
+    pub putget: Duration,
+}
+
+impl PassTimings {
+    /// Total validation time.
+    pub fn total(&self) -> Duration {
+        self.well_definedness + self.getput + self.putget
+    }
+}
+
+/// Result of validating a strategy.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Overall verdict.
+    pub valid: bool,
+    /// Failing pass, when invalid.
+    pub failed_pass: Option<FailedPass>,
+    /// Human-readable explanation, when invalid.
+    pub reason: Option<String>,
+    /// A counterexample database from the solver, when available.
+    pub counterexample: Option<Model>,
+    /// The view definition satisfying GetPut/PutGet, when validation got
+    /// that far (always present for a valid strategy).
+    pub derived_get: Option<Program>,
+    /// `true` when `derived_get` is the user's `expected_get`.
+    pub used_expected_get: bool,
+    /// LVGN-Datalog membership of the putback program.
+    pub lvgn: bool,
+    /// Per-pass timings.
+    pub timings: PassTimings,
+}
+
+impl ValidationReport {
+    fn invalid(
+        pass: FailedPass,
+        reason: String,
+        counterexample: Option<Model>,
+        lvgn: bool,
+        timings: PassTimings,
+    ) -> Self {
+        ValidationReport {
+            valid: false,
+            failed_pass: Some(pass),
+            reason: Some(reason),
+            counterexample,
+            derived_get: None,
+            used_expected_get: false,
+            lvgn,
+            timings,
+        }
+    }
+}
+
+/// The validator: Algorithm 1 parameterized by a bounded solver.
+#[derive(Debug, Clone, Default)]
+pub struct Validator {
+    /// Satisfiability backend.
+    pub solver: BoundedSolver,
+}
+
+/// Validate with the default solver configuration.
+pub fn validate(strategy: &UpdateStrategy) -> Result<ValidationReport, CoreError> {
+    Validator::default().validate(strategy)
+}
+
+impl Validator {
+    /// Run Algorithm 1 on a strategy.
+    pub fn validate(&self, strategy: &UpdateStrategy) -> Result<ValidationReport, CoreError> {
+        let lvgn = strategy.is_lvgn();
+        let mut timings = PassTimings::default();
+
+        // Constraint violation sentences Σ over (S, V) with v free.
+        let sigma: Vec<Formula> = strategy
+            .constraints()
+            .iter()
+            .map(|r| unfold_constraint(&strategy.putdelta, r))
+            .collect::<Result<_, _>>()?;
+
+        // ---- Pass 1: well-definedness (§4.2) -------------------------
+        let t0 = Instant::now();
+        for schema in &strategy.source_schema.relations {
+            let name = &schema.name;
+            let has_ins = strategy
+                .putdelta
+                .rules_for(&PredRef::ins(name))
+                .next()
+                .is_some();
+            let has_del = strategy
+                .putdelta
+                .rules_for(&PredRef::del(name))
+                .next()
+                .is_some();
+            if !(has_ins && has_del) {
+                continue;
+            }
+            let (_, plus) = unfold_query(&strategy.putdelta, &PredRef::ins(name))?;
+            let (_, minus) = unfold_query(&strategy.putdelta, &PredRef::del(name))?;
+            // Both formulas share canonical variables X0..Xk-1: their
+            // conjunction is exactly the rule (2) join.
+            let d_i = Formula::and(vec![plus, minus]);
+            if let SatOutcome::Sat(model) = self.solver.check_under(&d_i, &sigma)? {
+                timings.well_definedness = t0.elapsed();
+                return Ok(ValidationReport::invalid(
+                    FailedPass::WellDefinedness,
+                    format!(
+                        "the program can both insert and delete the same tuple of '{name}'"
+                    ),
+                    Some(model),
+                    lvgn,
+                    timings,
+                ));
+            }
+        }
+        timings.well_definedness = t0.elapsed();
+
+        // ---- Pass 2: a view definition satisfying GetPut (§4.3) ------
+        let t1 = Instant::now();
+        let mut get: Option<Program> = None;
+        let mut used_expected = false;
+
+        if let Some(expected) = &strategy.expected_get {
+            match self.check_getput_with(strategy, expected)? {
+                None => {
+                    get = Some(expected.clone());
+                    used_expected = true;
+                }
+                Some((rel, model)) => {
+                    if !lvgn {
+                        timings.getput = t1.elapsed();
+                        return Ok(ValidationReport::invalid(
+                            FailedPass::GetPut,
+                            format!(
+                                "expected get does not satisfy GetPut (delta on '{rel}' \
+                                 is not a no-op) and the program is outside LVGN-Datalog, \
+                                 so no view definition can be derived"
+                            ),
+                            Some(model),
+                            lvgn,
+                            timings,
+                        ));
+                    }
+                }
+            }
+        }
+
+        if get.is_none() {
+            if !lvgn {
+                return Err(CoreError::CannotDeriveGet(
+                    "the program is outside LVGN-Datalog; provide an expected get".into(),
+                ));
+            }
+            // Lemma 4.2: build φ1, φ2, φ3 and run the two existence checks.
+            let lv = linear_view_form(strategy)?;
+            if let SatOutcome::Sat(model) = self.solver.check(&lv.phi3)? {
+                timings.getput = t1.elapsed();
+                return Ok(ValidationReport::invalid(
+                    FailedPass::GetPut,
+                    "no steady-state view exists: the view-free violation \
+                     formula φ3 is satisfiable"
+                        .into(),
+                    Some(model),
+                    lvgn,
+                    timings,
+                ));
+            }
+            let both = Formula::and(vec![lv.phi1.clone(), lv.phi2.clone()]);
+            if let SatOutcome::Sat(model) = self.solver.check(&both)? {
+                timings.getput = t1.elapsed();
+                return Ok(ValidationReport::invalid(
+                    FailedPass::GetPut,
+                    "no steady-state view exists: the bounds cross (∃Y φ1 ∧ φ2 \
+                     is satisfiable)"
+                        .into(),
+                    Some(model),
+                    lvgn,
+                    timings,
+                ));
+            }
+            // Derive get from φ2 (the lower bound).
+            let derived = match formula_to_datalog(&lv.phi2, &lv.view_vars, &strategy.view.name)
+            {
+                Ok(p) => p,
+                Err(ToDatalogError::Trivial) if lv.phi2 == Formula::False => {
+                    // The steady-state lower bound is empty: the derived
+                    // view definition is the empty view.
+                    Program::new(vec![])
+                }
+                Err(e) => return Err(e.into()),
+            };
+            get = Some(derived);
+        }
+        timings.getput = t1.elapsed();
+        let get = get.expect("set above");
+
+        // ---- Pass 3: PutGet (§4.4) ------------------------------------
+        let t2 = Instant::now();
+        let phi_putget = if get.is_empty() {
+            Formula::False
+        } else {
+            let (putget, vnew) = build_putget_program(strategy, &get);
+            let (_, phi) = unfold_query(&putget, &vnew)?;
+            phi
+        };
+        let view_vars: Vec<String> = (0..strategy.view.arity())
+            .map(|i| format!("X{i}"))
+            .collect();
+        let v_atom = Formula::Rel(
+            strategy.view_pred(),
+            view_vars.iter().map(|v| Term::var(v.clone())).collect(),
+        );
+        // Φ1 = ∃Y φputget(Y) ∧ ¬v(Y): put produces view tuples v lacks.
+        let phi_1 = Formula::exists(
+            view_vars.clone(),
+            Formula::and(vec![phi_putget.clone(), Formula::not(v_atom.clone())]),
+        );
+        // Φ2 = ∃Y v(Y) ∧ ¬φputget(Y): view tuples put fails to reproduce.
+        let phi_2 = Formula::exists(
+            view_vars,
+            Formula::and(vec![v_atom, Formula::not(phi_putget)]),
+        );
+        for (phi, what) in [(phi_1, "loses"), (phi_2, "invents")] {
+            if let SatOutcome::Sat(model) = self.solver.check_under(&phi, &sigma)? {
+                timings.putget = t2.elapsed();
+                let direction = if what == "loses" {
+                    "get(put(S,V)) contains a tuple outside V"
+                } else {
+                    "V contains a tuple get(put(S,V)) misses"
+                };
+                return Ok(ValidationReport::invalid(
+                    FailedPass::PutGet,
+                    format!("PutGet fails: {direction}"),
+                    Some(model),
+                    lvgn,
+                    timings,
+                ));
+            }
+        }
+        timings.putget = t2.elapsed();
+
+        Ok(ValidationReport {
+            valid: true,
+            failed_pass: None,
+            reason: None,
+            counterexample: None,
+            derived_get: Some(get),
+            used_expected_get: used_expected,
+            lvgn,
+            timings,
+        })
+    }
+
+    /// GetPut check against an explicit view definition: with `v` defined
+    /// by `get`, every delta of the putback program must be a no-op on its
+    /// relation. Returns `None` when GetPut holds, or the offending
+    /// relation name and a counterexample.
+    fn check_getput_with(
+        &self,
+        strategy: &UpdateStrategy,
+        get: &Program,
+    ) -> Result<Option<(String, Model)>, CoreError> {
+        let combined = build_getput_program(strategy, get);
+        // Σ with the view unfolded through its definition.
+        let sigma: Vec<Formula> = strategy
+            .constraints()
+            .iter()
+            .map(|r| unfold_constraint(&combined, r))
+            .collect::<Result<_, _>>()?;
+        for schema in &strategy.source_schema.relations {
+            let name = &schema.name;
+            let xs: Vec<Term> = (0..schema.arity())
+                .map(|i| Term::var(format!("X{i}")))
+                .collect();
+            for kind in [DeltaKind::Delete, DeltaKind::Insert] {
+                let pred = PredRef {
+                    name: name.clone(),
+                    kind,
+                };
+                if combined.rules_for(&pred).next().is_none() {
+                    continue;
+                }
+                let (_, phi) = unfold_query(&combined, &pred)?;
+                let effect = Formula::Rel(PredRef::plain(name), xs.clone());
+                let violation = if kind == DeltaKind::Delete {
+                    Formula::and(vec![phi, effect])
+                } else {
+                    Formula::and(vec![phi, Formula::not(effect)])
+                };
+                if let SatOutcome::Sat(model) = self.solver.check_under(&violation, &sigma)? {
+                    return Ok(Some((name.clone(), model)));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_datalog::parse_program;
+    use birds_store::{DatabaseSchema, Schema, SortKind};
+
+    fn union_schemas() -> (DatabaseSchema, Schema) {
+        (
+            DatabaseSchema::new()
+                .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+                .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+            Schema::new("v", vec![("a", SortKind::Int)]),
+        )
+    }
+
+    const UNION_PUT: &str = "
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+    ";
+
+    #[test]
+    fn union_strategy_is_valid_and_derives_union_get() {
+        let (src, view) = union_schemas();
+        let s = UpdateStrategy::parse(src, view, UNION_PUT, None).unwrap();
+        let report = validate(&s).unwrap();
+        assert!(report.valid, "{:?}", report.reason);
+        assert!(report.lvgn);
+        let get = report.derived_get.unwrap();
+        let expected = parse_program("v(X) :- r1(X). v(X) :- r2(X).").unwrap();
+        assert!(get.alpha_eq(&expected), "derived: {get}");
+    }
+
+    #[test]
+    fn union_strategy_accepts_matching_expected_get() {
+        let (src, view) = union_schemas();
+        let s = UpdateStrategy::parse(
+            src,
+            view,
+            UNION_PUT,
+            Some("v(X) :- r1(X). v(X) :- r2(X)."),
+        )
+        .unwrap();
+        let report = validate(&s).unwrap();
+        assert!(report.valid);
+        assert!(report.used_expected_get);
+    }
+
+    #[test]
+    fn wrong_expected_get_falls_back_to_derivation() {
+        let (src, view) = union_schemas();
+        // expected get = intersection: GetPut fails, derivation succeeds.
+        let s = UpdateStrategy::parse(
+            src,
+            view,
+            UNION_PUT,
+            Some("v(X) :- r1(X), r2(X)."),
+        )
+        .unwrap();
+        let report = validate(&s).unwrap();
+        assert!(report.valid);
+        assert!(!report.used_expected_get);
+        let get = report.derived_get.unwrap();
+        assert_eq!(get.len(), 2, "union derived: {get}");
+    }
+
+    #[test]
+    fn ill_defined_strategy_rejected() {
+        // Inserts and deletes the same tuple when v and r1 overlap... make
+        // a direct contradiction: +r1 and -r1 can both fire on v(X)∧r1(X).
+        let (src, view) = union_schemas();
+        let put = "
+            +r1(X) :- v(X).
+            -r1(X) :- v(X), r1(X).
+        ";
+        let s = UpdateStrategy::parse(src, view, put, None).unwrap();
+        let report = validate(&s).unwrap();
+        assert!(!report.valid);
+        assert_eq!(report.failed_pass, Some(FailedPass::WellDefinedness));
+        assert!(report.counterexample.is_some());
+    }
+
+    #[test]
+    fn no_steady_state_rejected() {
+        // -r1 fires on every r1 tuple regardless of the view: GetPut can
+        // never hold unless r1 is empty... on nonempty r1 the delta is not
+        // a no-op, and there is no view to fix it: φ3 = ∃X r1(X) ∧ r1(X).
+        let (src, view) = union_schemas();
+        let put = "-r1(X) :- r1(X).";
+        let s = UpdateStrategy::parse(src, view, put, None).unwrap();
+        let report = validate(&s).unwrap();
+        assert!(!report.valid);
+        assert_eq!(report.failed_pass, Some(FailedPass::GetPut));
+    }
+
+    #[test]
+    fn crossing_bounds_rejected() {
+        // +r1 demands v ⊇ r2-part while -r1... construct: view must
+        // contain all r2 tuples (else they get inserted into r1?) — build
+        // a direct crossing: deletion rule with positive v and insert rule
+        // with negative v on the same data forces φ1 ∧ φ2 overlap.
+        let (src, view) = union_schemas();
+        let put = "
+            -r1(X) :- r1(X), v(X).
+            +r1(X) :- r2(X), not v(X), not r1(X).
+        ";
+        // Steady state needs v ∩ r1 = ∅ (from -r1) and r2 \ r1 ⊆ v (from
+        // +r1); φ1 = r1(Y), φ2 = r2(Y) ∧ ¬r1(Y): φ1 ∧ φ2 = ⊥, so a
+        // GetPut-compatible get (= r2 \ r1) exists. But PutGet fails: for
+        // V = {a} with r2 empty, put inserts nothing and get(put(S,V)) = ∅
+        // ≠ V. Lemma 4.1 in action — GetPut-existence alone is not
+        // validity.
+        let s = UpdateStrategy::parse(src, view, put, None).unwrap();
+        let report = validate(&s).unwrap();
+        assert!(!report.valid);
+        assert_eq!(report.failed_pass, Some(FailedPass::PutGet));
+        assert!(report.counterexample.is_some());
+
+        // Now a genuine crossing: the view must include r1 (¬v deletes
+        // from r1 ⇒ steady needs r1 ⊆ v) but also exclude r1 (v ∧ r1
+        // inserts into r2? make it delete) —
+        let (src2, view2) = union_schemas();
+        let put2 = "
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), v(X), r1(X).
+        ";
+        // steady: r1 ⊆ v and ¬∃x v∧r1∧r2 ⇒ crossing when r1∩r2 ≠ ∅:
+        // φ2 = r1(Y) (lower bound), φ1 = r1(Y)∧r2(Y) (upper-bound
+        // violation): φ1∧φ2 satisfiable ⇒ invalid.
+        let s2 = UpdateStrategy::parse(src2, view2, put2, None).unwrap();
+        let report2 = validate(&s2).unwrap();
+        assert!(!report2.valid);
+        assert_eq!(report2.failed_pass, Some(FailedPass::GetPut));
+        assert!(report2.counterexample.is_some());
+    }
+
+    #[test]
+    fn selection_strategy_with_constraint_validates() {
+        // Example 5.2's strategy with its constraint.
+        let src = DatabaseSchema::new().with(Schema::new(
+            "r",
+            vec![("x", SortKind::Int), ("y", SortKind::Int)],
+        ));
+        let view = Schema::new("v", vec![("x", SortKind::Int), ("y", SortKind::Int)]);
+        let put = "
+            false :- v(X, Y), not Y > 2.
+            +r(X, Y) :- v(X, Y), not r(X, Y).
+            m(X, Y) :- r(X, Y), Y > 2.
+            -r(X, Y) :- m(X, Y), not v(X, Y).
+        ";
+        let s = UpdateStrategy::parse(
+            src,
+            view,
+            put,
+            Some("v(X, Y) :- r(X, Y), Y > 2."),
+        )
+        .unwrap();
+        let report = validate(&s).unwrap();
+        assert!(report.valid, "{:?}", report.reason);
+        assert!(report.used_expected_get);
+    }
+
+    #[test]
+    fn selection_without_constraint_fails_putget() {
+        // Without the domain constraint, inserting a view tuple with
+        // Y ≤ 2 is accepted by put (goes into r) but then get filters it
+        // out: PutGet fails. The derived get-with-GetPut exists (lower
+        // bound), so the failure surfaces in pass 3.
+        let src = DatabaseSchema::new().with(Schema::new(
+            "r",
+            vec![("x", SortKind::Int), ("y", SortKind::Int)],
+        ));
+        let view = Schema::new("v", vec![("x", SortKind::Int), ("y", SortKind::Int)]);
+        let put = "
+            +r(X, Y) :- v(X, Y), not r(X, Y).
+            m(X, Y) :- r(X, Y), Y > 2.
+            -r(X, Y) :- m(X, Y), not v(X, Y).
+        ";
+        let s = UpdateStrategy::parse(
+            src,
+            view,
+            put,
+            Some("v(X, Y) :- r(X, Y), Y > 2."),
+        )
+        .unwrap();
+        let report = validate(&s).unwrap();
+        assert!(!report.valid);
+        assert_eq!(report.failed_pass, Some(FailedPass::PutGet));
+    }
+
+    #[test]
+    fn ced_difference_strategy_validates() {
+        // The case-study view ced = ed \ eed with its update strategy.
+        let src = DatabaseSchema::new()
+            .with(Schema::new(
+                "ed",
+                vec![("e", SortKind::Str), ("d", SortKind::Str)],
+            ))
+            .with(Schema::new(
+                "eed",
+                vec![("e", SortKind::Str), ("d", SortKind::Str)],
+            ));
+        let view = Schema::new("ced", vec![("e", SortKind::Str), ("d", SortKind::Str)]);
+        let put = "
+            +ed(E, D) :- ced(E, D), not ed(E, D).
+            -eed(E, D) :- ced(E, D), eed(E, D).
+            +eed(E, D) :- ed(E, D), not ced(E, D), not eed(E, D).
+        ";
+        let s = UpdateStrategy::parse(
+            src,
+            view,
+            put,
+            Some("ced(E, D) :- ed(E, D), not eed(E, D)."),
+        )
+        .unwrap();
+        let report = validate(&s).unwrap();
+        assert!(report.valid, "{:?}", report.reason);
+        assert!(report.used_expected_get);
+        assert!(report.lvgn);
+    }
+
+    #[test]
+    fn derived_get_without_expected_for_difference() {
+        let src = DatabaseSchema::new()
+            .with(Schema::new(
+                "ed",
+                vec![("e", SortKind::Str), ("d", SortKind::Str)],
+            ))
+            .with(Schema::new(
+                "eed",
+                vec![("e", SortKind::Str), ("d", SortKind::Str)],
+            ));
+        let view = Schema::new("ced", vec![("e", SortKind::Str), ("d", SortKind::Str)]);
+        let put = "
+            +ed(E, D) :- ced(E, D), not ed(E, D).
+            -eed(E, D) :- ced(E, D), eed(E, D).
+            +eed(E, D) :- ed(E, D), not ced(E, D), not eed(E, D).
+        ";
+        let s = UpdateStrategy::parse(src, view, put, None).unwrap();
+        let report = validate(&s).unwrap();
+        assert!(report.valid, "{:?}", report.reason);
+        let get = report.derived_get.unwrap();
+        let text = get.to_string();
+        assert!(
+            text.contains("ed(") && text.contains("not eed("),
+            "derived get should be the difference: {text}"
+        );
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let (src, view) = union_schemas();
+        let s = UpdateStrategy::parse(src, view, UNION_PUT, None).unwrap();
+        let report = validate(&s).unwrap();
+        assert!(report.timings.total() > Duration::ZERO);
+    }
+}

@@ -1,0 +1,257 @@
+//! Equivalence tests for the two incrementalization paths (§5):
+//! on random databases and random view deltas, the source delta computed
+//! by (a) the original putback program over `(S, V′)`, (b) the LVGN
+//! shortcut `∂put` (Lemma 5.2), and (c) the general binarize-then-rewrite
+//! pipeline (Appendix C / Figure 7) must agree about the new source.
+
+use birds_core::{incrementalize_general, incrementalize_lvgn, UpdateStrategy};
+use birds_datalog::{DeltaKind, PredRef, Program};
+use birds_eval::{evaluate_program, EvalContext};
+use birds_store::{tuple, Database, Relation, Tuple};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Compute the new source when the view changes from `v_old` to `v_new`,
+/// using the original putback program over `(S, V′)`.
+fn new_source_via_original(
+    strategy: &UpdateStrategy,
+    db: &Database,
+    v_new: &[Tuple],
+) -> Database {
+    let mut scratch = db.clone();
+    scratch
+        .add_relation(
+            Relation::with_tuples(
+                strategy.view.name.clone(),
+                strategy.view.arity(),
+                v_new.iter().cloned(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let out = {
+        let mut ctx = EvalContext::new(&mut scratch);
+        evaluate_program(&strategy.putdelta, &mut ctx).unwrap()
+    };
+    apply_deltas(strategy, db, &out.relations)
+}
+
+/// Compute the new source via an incremental program reading `(S, +v, -v)`.
+fn new_source_via_incremental(
+    strategy: &UpdateStrategy,
+    program: &Program,
+    db: &Database,
+    v_old: &HashSet<Tuple>,
+    v_new: &HashSet<Tuple>,
+) -> Database {
+    let mut scratch = db.clone();
+    // The incremental program reads the OLD view plus the view deltas.
+    scratch
+        .add_relation(
+            Relation::with_tuples(
+                strategy.view.name.clone(),
+                strategy.view.arity(),
+                v_old.iter().cloned(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let out = {
+        let mut ctx = EvalContext::new(&mut scratch);
+        ctx.insert_overlay(
+            Relation::with_tuples(
+                PredRef::ins(&strategy.view.name).flat_name(),
+                strategy.view.arity(),
+                v_new.difference(v_old).cloned(),
+            )
+            .unwrap(),
+        );
+        ctx.insert_overlay(
+            Relation::with_tuples(
+                PredRef::del(&strategy.view.name).flat_name(),
+                strategy.view.arity(),
+                v_old.difference(v_new).cloned(),
+            )
+            .unwrap(),
+        );
+        evaluate_program(program, &mut ctx).unwrap()
+    };
+    apply_deltas(strategy, db, &out.relations)
+}
+
+/// Apply the `±r` outputs of an evaluation to a copy of the source.
+fn apply_deltas(
+    strategy: &UpdateStrategy,
+    db: &Database,
+    outputs: &std::collections::BTreeMap<PredRef, Relation>,
+) -> Database {
+    let mut next = db.clone();
+    for schema in &strategy.source_schema.relations {
+        let rel = next.relation_mut(&schema.name).unwrap();
+        if let Some(dels) = outputs.get(&PredRef::del(&schema.name)) {
+            for t in dels.iter() {
+                rel.remove(t);
+            }
+        }
+        if let Some(inss) = outputs.get(&PredRef::ins(&schema.name)) {
+            for t in inss.iter() {
+                rel.insert(t.clone()).unwrap();
+            }
+        }
+    }
+    next
+}
+
+/// `get` for the union view, computed by hand.
+fn union_view(db: &Database) -> HashSet<Tuple> {
+    let mut v: HashSet<Tuple> = db.relation("r1").unwrap().iter().cloned().collect();
+    v.extend(db.relation("r2").unwrap().iter().cloned());
+    v
+}
+
+fn union_strategy() -> UpdateStrategy {
+    use birds_store::{DatabaseSchema, Schema, SortKind};
+    UpdateStrategy::parse(
+        DatabaseSchema::new()
+            .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+            .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+        Schema::new("v", vec![("a", SortKind::Int)]),
+        "
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+        ",
+        None,
+    )
+    .unwrap()
+}
+
+fn selection_strategy() -> UpdateStrategy {
+    use birds_store::{DatabaseSchema, Schema, SortKind};
+    UpdateStrategy::parse(
+        DatabaseSchema::new().with(Schema::new(
+            "r",
+            vec![("x", SortKind::Int), ("y", SortKind::Int)],
+        )),
+        Schema::new("v", vec![("x", SortKind::Int), ("y", SortKind::Int)]),
+        "
+        false :- v(X, Y), not Y > 2.
+        +r(X, Y) :- v(X, Y), not r(X, Y).
+        m(X, Y) :- r(X, Y), Y > 2.
+        -r(X, Y) :- m(X, Y), not v(X, Y).
+        ",
+        None,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Union view: original ≡ ∂put(LVGN) ≡ ∂put(general) for arbitrary
+    /// single-tuple view deltas starting from a consistent state.
+    #[test]
+    fn union_paths_agree(
+        r1 in proptest::collection::vec(0i64..8, 0..6),
+        r2 in proptest::collection::vec(0i64..8, 0..6),
+        ins in 0i64..10,
+        del in 0i64..10,
+    ) {
+        let strategy = union_strategy();
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r1", 1, r1.iter().map(|&x| tuple![x])).unwrap()).unwrap();
+        db.add_relation(Relation::with_tuples("r2", 1, r2.iter().map(|&x| tuple![x])).unwrap()).unwrap();
+
+        let v_old = union_view(&db);
+        let mut v_new = v_old.clone();
+        v_new.insert(tuple![ins]);
+        v_new.remove(&tuple![del]);
+
+        let via_orig = new_source_via_original(
+            &strategy, &db, &v_new.iter().cloned().collect::<Vec<_>>());
+
+        let dput_lvgn = incrementalize_lvgn(&strategy).unwrap();
+        let via_lvgn =
+            new_source_via_incremental(&strategy, &dput_lvgn, &db, &v_old, &v_new);
+
+        let dput_gen = incrementalize_general(&strategy).unwrap();
+        let via_gen =
+            new_source_via_incremental(&strategy, &dput_gen, &db, &v_old, &v_new);
+
+        prop_assert!(via_orig.same_contents(&via_lvgn),
+            "LVGN ∂put diverged:\n{dput_lvgn}");
+        prop_assert!(via_orig.same_contents(&via_gen),
+            "general ∂put diverged:\n{dput_gen}");
+    }
+
+    /// Selection view with an intermediate predicate: the three paths
+    /// agree (deltas respect the Y > 2 constraint, as the runtime
+    /// enforces).
+    #[test]
+    fn selection_paths_agree(
+        rows in proptest::collection::vec((0i64..6, 0i64..6), 0..8),
+        ix in 0i64..6,
+        iy in 3i64..9,
+        del in 0i64..6,
+    ) {
+        let strategy = selection_strategy();
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("r", 2, rows.iter().map(|&(x, y)| tuple![x, y])).unwrap(),
+        ).unwrap();
+
+        // v_old = σ_{y>2}(r)
+        let v_old: HashSet<Tuple> = db
+            .relation("r").unwrap().iter()
+            .filter(|t| t[1] > birds_store::Value::int(2))
+            .cloned()
+            .collect();
+        let mut v_new = v_old.clone();
+        v_new.insert(tuple![ix, iy]);
+        v_new.retain(|t| t[0] != birds_store::Value::int(del));
+
+        let via_orig = new_source_via_original(
+            &strategy, &db, &v_new.iter().cloned().collect::<Vec<_>>());
+
+        let dput_lvgn = incrementalize_lvgn(&strategy).unwrap();
+        let via_lvgn =
+            new_source_via_incremental(&strategy, &dput_lvgn, &db, &v_old, &v_new);
+
+        let dput_gen = incrementalize_general(&strategy).unwrap();
+        let via_gen =
+            new_source_via_incremental(&strategy, &dput_gen, &db, &v_old, &v_new);
+
+        prop_assert!(via_orig.same_contents(&via_lvgn),
+            "LVGN ∂put diverged:\n{dput_lvgn}");
+        prop_assert!(via_orig.same_contents(&via_gen),
+            "general ∂put diverged:\n{dput_gen}");
+    }
+}
+
+/// Example 5.1 from the paper: a no-op delta stays a no-op through ∂put.
+#[test]
+fn example_5_1_interchangeability() {
+    let strategy = union_strategy();
+    let mut db = Database::new();
+    db.add_relation(
+        Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap(),
+    )
+    .unwrap();
+    db.add_relation(
+        Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap(),
+    )
+    .unwrap();
+    let v_old = union_view(&db);
+    // ΔV = {+3, -2} — the paper's running update.
+    let mut v_new = v_old.clone();
+    v_new.insert(tuple![3]);
+    v_new.remove(&tuple![2]);
+
+    let dput = incrementalize_lvgn(&strategy).unwrap();
+    let next = new_source_via_incremental(&strategy, &dput, &db, &v_old, &v_new);
+    // S' = {r1(1), r1(3), r2(4)}
+    assert!(next.relation("r1").unwrap().contains(&tuple![1]));
+    assert!(next.relation("r1").unwrap().contains(&tuple![3]));
+    assert!(!next.relation("r2").unwrap().contains(&tuple![2]));
+    assert!(next.relation("r2").unwrap().contains(&tuple![4]));
+}

@@ -1,0 +1,448 @@
+//! Static analyses: safety (range restriction), arity consistency,
+//! non-recursion and stratification.
+//!
+//! The paper's language is *non-recursive* Datalog with safe negation
+//! (§2.1): every variable occurring in a negated atom or builtin must also
+//! occur in a positive atom — we additionally let positive equalities
+//! against constants (or against already-bound variables) bind variables,
+//! which is how the paper itself uses equalities as guards (§3.2.1 and the
+//! Appendix A.2 rewriting).
+
+use crate::ast::{CmpOp, Head, Literal, PredRef, Program, Rule, Term};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Errors from static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A head / negated / builtin variable is not bound by any positive
+    /// atom or grounding equality chain.
+    UnsafeVariable {
+        rule: String,
+        variable: String,
+    },
+    /// A predicate is used with two different arities.
+    InconsistentArity {
+        predicate: String,
+        first: usize,
+        second: usize,
+    },
+    /// The program's dependency graph has a cycle through the predicate.
+    Recursive { predicate: String },
+    /// A rule head uses a predicate also used as EDB input — specifically,
+    /// a plain predicate cannot appear both as a head and as `+r`/`-r`
+    /// target base... (not an error in general; reserved for engine-level
+    /// checks). Currently unused placeholder kept out of the public enum.
+    #[doc(hidden)]
+    _Reserved,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnsafeVariable { rule, variable } => {
+                write!(f, "unsafe variable '{variable}' in rule: {rule}")
+            }
+            AnalysisError::InconsistentArity {
+                predicate,
+                first,
+                second,
+            } => write!(
+                f,
+                "predicate '{predicate}' used with arities {first} and {second}"
+            ),
+            AnalysisError::Recursive { predicate } => {
+                write!(f, "program is recursive through predicate '{predicate}'")
+            }
+            AnalysisError::_Reserved => write!(f, "reserved"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Compute the set of *bound* (range-restricted) variables of a rule body.
+///
+/// Seed: variables of positive atoms. Closure: a positive equality `X = t`
+/// binds `X` when `t` is a constant or an already-bound variable (and
+/// symmetrically).
+pub fn binding_closure(rule: &Rule) -> BTreeSet<String> {
+    let mut bound: BTreeSet<String> = rule
+        .positive_atoms()
+        .flat_map(|a| a.variables().into_iter().map(str::to_owned))
+        .collect();
+    loop {
+        let mut changed = false;
+        for lit in &rule.body {
+            if let Literal::Builtin {
+                op: CmpOp::Eq,
+                left,
+                right,
+                negated: false,
+            } = lit
+            {
+                let newly = match (left, right) {
+                    (Term::Var(x), Term::Const(_)) => Some(x),
+                    (Term::Const(_), Term::Var(x)) => Some(x),
+                    (Term::Var(x), Term::Var(y)) => {
+                        if bound.contains(x) && !bound.contains(y) {
+                            Some(y)
+                        } else if bound.contains(y) && !bound.contains(x) {
+                            Some(x)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some(v) = newly {
+                    if bound.insert(v.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return bound;
+        }
+    }
+}
+
+/// Check safety (range restriction) of every rule, plus arity consistency
+/// across the program.
+pub fn check_safety(program: &Program) -> Result<(), Vec<AnalysisError>> {
+    let mut errors = Vec::new();
+
+    // Arity consistency.
+    let mut arities: BTreeMap<PredRef, usize> = BTreeMap::new();
+    // Delta predicates must also agree with their base relation's arity.
+    let mut base_arities: BTreeMap<String, usize> = BTreeMap::new();
+    let mut record = |pred: &PredRef, arity: usize, errors: &mut Vec<AnalysisError>| {
+        if let Some(&prev) = arities.get(pred) {
+            if prev != arity {
+                errors.push(AnalysisError::InconsistentArity {
+                    predicate: pred.to_string(),
+                    first: prev,
+                    second: arity,
+                });
+            }
+        } else {
+            arities.insert(pred.clone(), arity);
+        }
+        if let Some(&prev) = base_arities.get(&pred.name) {
+            if prev != arity {
+                errors.push(AnalysisError::InconsistentArity {
+                    predicate: pred.name.clone(),
+                    first: prev,
+                    second: arity,
+                });
+            }
+        } else {
+            base_arities.insert(pred.name.clone(), arity);
+        }
+    };
+    for rule in &program.rules {
+        if let Some(a) = rule.head.atom() {
+            record(&a.pred, a.arity(), &mut errors);
+        }
+        for lit in &rule.body {
+            if let Some(a) = lit.atom() {
+                record(&a.pred, a.arity(), &mut errors);
+            }
+        }
+    }
+
+    // Range restriction.
+    for rule in &program.rules {
+        let bound = binding_closure(rule);
+        let mut need: BTreeSet<&str> = BTreeSet::new();
+        if let Head::Atom(a) = &rule.head {
+            need.extend(a.variables());
+        }
+        for lit in &rule.body {
+            match lit {
+                Literal::Atom { atom, negated: true } => {
+                    // Anonymous variables inside a negated atom are
+                    // existentially quantified *inside* the negation
+                    // (`not ced(E, _)` reads `¬∃X ced(E, X)`), so they are
+                    // exempt from range restriction.
+                    need.extend(
+                        atom.terms
+                            .iter()
+                            .filter(|t| !t.is_anonymous())
+                            .filter_map(Term::as_var),
+                    )
+                }
+                Literal::Builtin {
+                    op,
+                    left,
+                    right,
+                    negated,
+                } => {
+                    // A positive grounding equality is itself a binder; all
+                    // other builtins (comparisons, negated equalities)
+                    // require their variables bound.
+                    let is_binder = *op == CmpOp::Eq && !*negated;
+                    if !is_binder {
+                        need.extend([left, right].into_iter().filter_map(Term::as_var));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for v in need {
+            if !bound.contains(v) {
+                errors.push(AnalysisError::UnsafeVariable {
+                    rule: rule.to_string(),
+                    variable: v.to_owned(),
+                });
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Predicate dependency graph: edges from each head predicate to every
+/// predicate in its rules' bodies.
+pub fn dependency_graph(program: &Program) -> BTreeMap<PredRef, BTreeSet<PredRef>> {
+    let mut graph: BTreeMap<PredRef, BTreeSet<PredRef>> = BTreeMap::new();
+    for rule in &program.rules {
+        let Some(head) = rule.head.atom() else {
+            continue;
+        };
+        let entry = graph.entry(head.pred.clone()).or_default();
+        for lit in &rule.body {
+            if let Some(a) = lit.atom() {
+                entry.insert(a.pred.clone());
+            }
+        }
+    }
+    graph
+}
+
+/// Check that the program is non-recursive (no cycle among IDB predicates).
+pub fn check_nonrecursive(program: &Program) -> Result<(), AnalysisError> {
+    let graph = dependency_graph(program);
+    // Depth-first cycle detection restricted to IDB nodes.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: BTreeMap<&PredRef, Mark> =
+        graph.keys().map(|k| (k, Mark::White)).collect();
+
+    fn visit<'a>(
+        node: &'a PredRef,
+        graph: &'a BTreeMap<PredRef, BTreeSet<PredRef>>,
+        marks: &mut BTreeMap<&'a PredRef, Mark>,
+    ) -> Option<PredRef> {
+        match marks.get(node) {
+            Some(Mark::Black) | None => return None, // EDB or done
+            Some(Mark::Grey) => return Some(node.clone()),
+            Some(Mark::White) => {}
+        }
+        marks.insert(node, Mark::Grey);
+        if let Some(deps) = graph.get(node) {
+            for dep in deps {
+                if let Some(cyc) = visit(dep, graph, marks) {
+                    return Some(cyc);
+                }
+            }
+        }
+        marks.insert(node, Mark::Black);
+        None
+    }
+
+    let nodes: Vec<&PredRef> = graph.keys().collect();
+    for node in nodes {
+        if let Some(pred) = visit(node, &graph, &mut marks) {
+            return Err(AnalysisError::Recursive {
+                predicate: pred.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Stratification: a topological order of the IDB predicates such that
+/// every predicate is preceded by everything it depends on (§5 Step 1).
+///
+/// For non-recursive programs this always exists; errors mirror
+/// [`check_nonrecursive`].
+pub fn stratify(program: &Program) -> Result<Vec<PredRef>, AnalysisError> {
+    check_nonrecursive(program)?;
+    let graph = dependency_graph(program);
+    let idb: BTreeSet<&PredRef> = graph.keys().collect();
+    let mut order = Vec::new();
+    let mut done: BTreeSet<&PredRef> = BTreeSet::new();
+
+    fn visit<'a>(
+        node: &'a PredRef,
+        graph: &'a BTreeMap<PredRef, BTreeSet<PredRef>>,
+        idb: &BTreeSet<&'a PredRef>,
+        done: &mut BTreeSet<&'a PredRef>,
+        order: &mut Vec<PredRef>,
+    ) {
+        if done.contains(node) || !idb.contains(node) {
+            return;
+        }
+        done.insert(node);
+        if let Some(deps) = graph.get(node) {
+            for dep in deps {
+                // Look up the canonical reference inside the graph keys.
+                if let Some((canon, _)) = graph.get_key_value(dep) {
+                    visit(canon, graph, idb, done, order);
+                }
+            }
+        }
+        order.push(node.clone());
+    }
+
+    for node in graph.keys() {
+        visit(node, &graph, &idb, &mut done, &mut order);
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_rule};
+
+    #[test]
+    fn safe_program_passes() {
+        let p = parse_program(
+            "
+            -r1(X) :- r1(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+            ",
+        )
+        .unwrap();
+        assert!(check_safety(&p).is_ok());
+    }
+
+    #[test]
+    fn unsafe_head_variable_detected() {
+        let p = parse_program("h(X, Y) :- r(X).").unwrap();
+        let errs = check_safety(&p).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            AnalysisError::UnsafeVariable { variable, .. } if variable == "Y"
+        )));
+    }
+
+    #[test]
+    fn unsafe_negated_variable_detected() {
+        let p = parse_program("h(X) :- r(X), not s(X, Y).").unwrap();
+        assert!(check_safety(&p).is_err());
+    }
+
+    #[test]
+    fn equality_binds_variables() {
+        // G is bound through G = 'unknown'; B through B = '00-00-00'.
+        let p = parse_program(
+            "+residents(E, B, G) :- retired(E), G = 'unknown', not residents(E, _, _), B = '00-00-00'.",
+        )
+        .unwrap();
+        assert!(check_safety(&p).is_ok(), "{:?}", check_safety(&p));
+    }
+
+    #[test]
+    fn transitive_equality_binding() {
+        let p = parse_program("h(X, Y) :- r(X), Y = Z, Z = X.").unwrap();
+        assert!(check_safety(&p).is_ok());
+    }
+
+    #[test]
+    fn comparison_variables_must_be_bound() {
+        let p = parse_program("h(X) :- r(X), Y > 2.").unwrap();
+        assert!(check_safety(&p).is_err());
+    }
+
+    #[test]
+    fn inconsistent_arity_detected() {
+        let p = parse_program("h(X) :- r(X). g(X) :- r(X, X).").unwrap();
+        let errs = check_safety(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, AnalysisError::InconsistentArity { .. })));
+    }
+
+    #[test]
+    fn delta_and_base_arity_must_agree() {
+        let p = parse_program("h(X) :- +r(X), s(X). g(X, Y) :- r(X, Y), s(X).").unwrap();
+        let errs = check_safety(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, AnalysisError::InconsistentArity { .. })));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let p = parse_program("p(X) :- q(X). q(X) :- p(X).").unwrap();
+        assert!(matches!(
+            check_nonrecursive(&p),
+            Err(AnalysisError::Recursive { .. })
+        ));
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let p = parse_program("p(X) :- r(X), p(X).").unwrap();
+        assert!(check_nonrecursive(&p).is_err());
+    }
+
+    #[test]
+    fn stratification_orders_dependencies_first() {
+        let p = parse_program(
+            "
+            a(X) :- b(X), c(X).
+            b(X) :- d(X).
+            c(X) :- d(X), not b(X).
+            ",
+        )
+        .unwrap();
+        let order = stratify(&p).unwrap();
+        let pos = |n: &str| {
+            order
+                .iter()
+                .position(|p| p.name == n)
+                .unwrap_or(usize::MAX)
+        };
+        assert!(pos("b") < pos("a"));
+        assert!(pos("c") < pos("a"));
+        assert!(pos("b") < pos("c"));
+    }
+
+    #[test]
+    fn case_study_residents_program_is_safe_and_stratifiable() {
+        let p = parse_program(
+            "
+            +male(E, B) :- residents(E, B, 'M'), not male(E, B), not others(E, B, 'M').
+            -male(E, B) :- male(E, B), not residents(E, B, 'M').
+            +female(E, B) :- residents(E, B, G), G = 'F', not female(E, B), not others(E, B, G).
+            -female(E, B) :- female(E, B), not residents(E, B, 'F').
+            +others(E, B, G) :- residents(E, B, G), not G = 'M', not G = 'F', not others(E, B, G).
+            -others(E, B, G) :- others(E, B, G), not residents(E, B, G).
+            ",
+        )
+        .unwrap();
+        assert!(check_safety(&p).is_ok(), "{:?}", check_safety(&p));
+        assert!(stratify(&p).is_ok());
+    }
+
+    #[test]
+    fn binding_closure_of_rule() {
+        let r = parse_rule("h(X, Y) :- r(X), Y = 3, not s(Z), Z = X.").unwrap();
+        let bound = binding_closure(&r);
+        assert!(bound.contains("X") && bound.contains("Y") && bound.contains("Z"));
+    }
+}

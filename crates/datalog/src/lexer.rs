@@ -1,0 +1,482 @@
+//! Lexer for the concrete Datalog syntax.
+//!
+//! Token set (paper notation → concrete syntax):
+//!
+//! * `¬`        → `not` (keyword) or `¬`
+//! * `⊥`        → `false` (keyword) or `_|_` or `⊥`
+//! * `:−`       → `:-`
+//! * delta      → `+name` / `-name` before a `(`
+//! * constants  → integers, floats, `'single-quoted strings'`, `true`/`false`
+//! * variables  → identifiers starting with an uppercase letter; `_` is the
+//!   anonymous variable
+//! * `%`        → line comment
+
+use std::fmt;
+
+/// Lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier starting lowercase: predicate or attribute name.
+    LowerIdent(String),
+    /// Identifier starting uppercase (or `_x`): a variable.
+    UpperIdent(String),
+    /// Anonymous variable `_`.
+    Underscore,
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Keyword `not` / `¬`.
+    Not,
+    /// Keyword `true`.
+    True,
+    /// `⊥` / `_|_` / keyword `false`.
+    Bottom,
+    /// `:-`
+    Implies,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::LowerIdent(s) | Token::UpperIdent(s) => write!(f, "{s}"),
+            Token::Underscore => write!(f, "_"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Not => write!(f, "not"),
+            Token::True => write!(f, "true"),
+            Token::Bottom => write!(f, "false"),
+            Token::Implies => write!(f, ":-"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Gt => write!(f, ">"),
+            Token::Le => write!(f, "<="),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A token with its source position (byte offset and 1-based line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '%' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Spanned {
+                    token: Token::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned {
+                    token: Token::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned {
+                    token: Token::Comma,
+                    line,
+                });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned {
+                    token: Token::Dot,
+                    line,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned {
+                    token: Token::Plus,
+                    line,
+                });
+                i += 1;
+            }
+            '-' => {
+                out.push(Spanned {
+                    token: Token::Minus,
+                    line,
+                });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned {
+                    token: Token::Eq,
+                    line,
+                });
+                i += 1;
+            }
+            '¬' => {
+                out.push(Spanned {
+                    token: Token::Not,
+                    line,
+                });
+                i += 1;
+            }
+            '⊥' => {
+                out.push(Spanned {
+                    token: Token::Bottom,
+                    line,
+                });
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Spanned {
+                        token: Token::Neq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "unexpected '!' (did you mean '!='?)".into(),
+                        line,
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Spanned {
+                        token: Token::Le,
+                        line,
+                    });
+                    i += 2;
+                } else if i + 1 < n && chars[i + 1] == '>' {
+                    out.push(Spanned {
+                        token: Token::Neq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            ':' => {
+                if i + 1 < n && chars[i + 1] == '-' {
+                    out.push(Spanned {
+                        token: Token::Implies,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "unexpected ':' (did you mean ':-'?)".into(),
+                        line,
+                    });
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= n {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            line,
+                        });
+                    }
+                    if chars[i] == '\'' {
+                        if i + 1 < n && chars[i + 1] == '\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        s.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    line,
+                });
+            }
+            '_' => {
+                // `_|_` is ⊥; `_` alone or before a delimiter is anonymous;
+                // `_foo` is a (lowercase-ish) variable-like identifier that
+                // we treat as a variable for ergonomics.
+                if i + 2 < n && chars[i + 1] == '|' && chars[i + 2] == '_' {
+                    out.push(Spanned {
+                        token: Token::Bottom,
+                        line,
+                    });
+                    i += 3;
+                } else if i + 1 < n && (chars[i + 1].is_alphanumeric() || chars[i + 1] == '_') {
+                    let start = i;
+                    i += 1;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    let ident: String = chars[start..i].iter().collect();
+                    out.push(Spanned {
+                        token: Token::UpperIdent(ident),
+                        line,
+                    });
+                } else {
+                    out.push(Spanned {
+                        token: Token::Underscore,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < n && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        message: format!("bad float literal '{text}'"),
+                        line,
+                    })?;
+                    out.push(Spanned {
+                        token: Token::Float(v),
+                        line,
+                    });
+                } else {
+                    let v: i64 = text.parse().map_err(|_| LexError {
+                        message: format!("integer literal '{text}' out of range"),
+                        line,
+                    })?;
+                    out.push(Spanned {
+                        token: Token::Int(v),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = chars[start..i].iter().collect();
+                let token = match ident.as_str() {
+                    "not" => Token::Not,
+                    "true" => Token::True,
+                    "false" => Token::Bottom,
+                    _ if c.is_uppercase() => Token::UpperIdent(ident),
+                    _ => Token::LowerIdent(ident),
+                };
+                out.push(Spanned { token, line });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lex_simple_rule() {
+        let t = toks("-r1(X) :- r1(X), not v(X).");
+        assert_eq!(
+            t,
+            vec![
+                Token::Minus,
+                Token::LowerIdent("r1".into()),
+                Token::LParen,
+                Token::UpperIdent("X".into()),
+                Token::RParen,
+                Token::Implies,
+                Token::LowerIdent("r1".into()),
+                Token::LParen,
+                Token::UpperIdent("X".into()),
+                Token::RParen,
+                Token::Comma,
+                Token::Not,
+                Token::LowerIdent("v".into()),
+                Token::LParen,
+                Token::UpperIdent("X".into()),
+                Token::RParen,
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        assert_eq!(
+            toks("'a''b' 'x'"),
+            vec![Token::Str("a'b".into()), Token::Str("x".into())]
+        );
+    }
+
+    #[test]
+    fn lex_comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= <> != ="),
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Neq,
+                Token::Neq,
+                Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            toks("42 3.25"),
+            vec![Token::Int(42), Token::Float(3.25)]
+        );
+    }
+
+    #[test]
+    fn lex_bottom_forms() {
+        assert_eq!(
+            toks("_|_ false ⊥"),
+            vec![Token::Bottom, Token::Bottom, Token::Bottom]
+        );
+    }
+
+    #[test]
+    fn lex_comments_and_unicode_not() {
+        assert_eq!(
+            toks("% a comment line\n¬ p"),
+            vec![Token::Not, Token::LowerIdent("p".into())]
+        );
+    }
+
+    #[test]
+    fn lex_anonymous_and_named_underscore() {
+        assert_eq!(
+            toks("_ _x"),
+            vec![Token::Underscore, Token::UpperIdent("_x".into())]
+        );
+    }
+
+    #[test]
+    fn lex_error_has_line() {
+        let err = lex("p(X).\n&").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! # birds-datalog
+//!
+//! The Datalog dialect of the BIRDS reproduction: **non-recursive Datalog
+//! with negation, builtin predicates and delta predicates** (paper §2.1 and
+//! §3), plus the static analyses the paper relies on:
+//!
+//! * a hand-written lexer / recursive-descent parser for the concrete
+//!   syntax used throughout the paper (`-r1(X) :- r1(X), not v(X).`);
+//! * safety (range restriction) checking;
+//! * predicate dependency graphs, non-recursion checking and
+//!   stratification;
+//! * classification into **LVGN-Datalog** (linear-view guarded-negation
+//!   Datalog, §3.2), the fragment for which the paper's validation is sound
+//!   and complete.
+//!
+//! Delta predicates `+r` / `-r` (and the internal `r_new` used by the
+//! PutGet construction of §4.4) are first-class: a predicate reference is a
+//! `(name, DeltaKind)` pair.
+
+pub mod analysis;
+pub mod ast;
+pub mod lexer;
+pub mod lvgn;
+pub mod parser;
+pub mod pretty;
+
+pub use analysis::{
+    binding_closure, check_nonrecursive, check_safety, dependency_graph, stratify, AnalysisError,
+};
+pub use ast::{Atom, CmpOp, DeltaKind, Head, Literal, PredRef, Program, Rule, Term};
+pub use lvgn::{check_guarded_negation, check_linear_view, check_lvgn, LvgnViolation};
+pub use parser::{parse_program, parse_rule, ParseError};

@@ -1,0 +1,374 @@
+//! Classification into **LVGN-Datalog** (paper §3.2): non-recursive
+//! guarded-negation Datalog with equalities, constants and comparisons,
+//! under the *linear view* restriction.
+//!
+//! * **Guarded negation** (§3.2.1): for every atom / equality / comparison
+//!   `L` occurring in the rule head or negated in the body, the body must
+//!   have a guard — a positive atom (helped by positive constant
+//!   equalities, exactly as in the Appendix A.2 rewriting) containing all
+//!   variables of `L`.
+//! * **Comparisons** are restricted to `X < c` / `X > c` (variable vs
+//!   constant on totally ordered domains). We also admit the definable
+//!   `<=` / `>=` forms.
+//! * **Linear view** (Definition 3.2): the view predicate occurs only in
+//!   rules defining delta relations (or in `⊥` constraints, §3.2.3); each
+//!   such rule has at most one view atom; no anonymous variable occurs in
+//!   the view atom.
+//!
+//! The checker returns *all* violations so Table-1 style reports can
+//! explain exactly why a strategy falls outside the fragment.
+
+use crate::analysis::{check_nonrecursive, check_safety};
+use crate::ast::{CmpOp, Head, Literal, Program, Rule, Term};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A reason why a program is not in LVGN-Datalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LvgnViolation {
+    /// A head atom or negated literal has no guard.
+    NotGuarded {
+        /// Offending rule (pretty-printed).
+        rule: String,
+        /// Offending literal or head (pretty-printed).
+        literal: String,
+    },
+    /// A comparison is not of the form `X op c`.
+    BadComparison { rule: String, literal: String },
+    /// The view predicate appears in a rule that defines neither a delta
+    /// relation nor a constraint.
+    ViewOutsideDeltaRules { rule: String },
+    /// More than one view atom in a delta/constraint rule (self-join on
+    /// the view).
+    ViewSelfJoin { rule: String },
+    /// An anonymous variable occurs in a view atom (projection on the
+    /// view).
+    ViewProjection { rule: String },
+    /// The view predicate occurs in a rule head.
+    ViewInHead { rule: String },
+    /// The program is recursive or unsafe (LVGN requires non-recursive
+    /// safe Datalog to begin with).
+    NotValidDatalog { detail: String },
+}
+
+impl fmt::Display for LvgnViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LvgnViolation::NotGuarded { rule, literal } => {
+                write!(f, "literal '{literal}' is not negation-guarded in rule: {rule}")
+            }
+            LvgnViolation::BadComparison { rule, literal } => write!(
+                f,
+                "comparison '{literal}' is not of the form 'Var op constant' in rule: {rule}"
+            ),
+            LvgnViolation::ViewOutsideDeltaRules { rule } => write!(
+                f,
+                "view predicate used outside delta/constraint rules: {rule}"
+            ),
+            LvgnViolation::ViewSelfJoin { rule } => {
+                write!(f, "self-join on the view in rule: {rule}")
+            }
+            LvgnViolation::ViewProjection { rule } => write!(
+                f,
+                "anonymous variable (projection) in a view atom in rule: {rule}"
+            ),
+            LvgnViolation::ViewInHead { rule } => {
+                write!(f, "view predicate occurs in a rule head: {rule}")
+            }
+            LvgnViolation::NotValidDatalog { detail } => {
+                write!(f, "not valid non-recursive safe Datalog: {detail}")
+            }
+        }
+    }
+}
+
+/// Variables bound by positive constant equalities in the rule body
+/// (these do not need to appear in an atom guard; see Appendix A.2).
+fn const_bound_vars(rule: &Rule) -> BTreeSet<&str> {
+    let mut bound = BTreeSet::new();
+    for lit in &rule.body {
+        if let Literal::Builtin {
+            op: CmpOp::Eq,
+            left,
+            right,
+            negated: false,
+        } = lit
+        {
+            match (left, right) {
+                (Term::Var(x), Term::Const(_)) => {
+                    bound.insert(x.as_str());
+                }
+                (Term::Const(_), Term::Var(x)) => {
+                    bound.insert(x.as_str());
+                }
+                _ => {}
+            }
+        }
+    }
+    bound
+}
+
+/// Does some single positive body atom contain all of `vars`?
+fn has_guard(rule: &Rule, vars: &BTreeSet<&str>) -> bool {
+    if vars.is_empty() {
+        return true;
+    }
+    rule.positive_atoms()
+        .any(|a| vars.iter().all(|v| a.variables().contains(v)))
+}
+
+/// Check the guarded-negation condition (§3.2.1) on every rule.
+pub fn check_guarded_negation(program: &Program) -> Vec<LvgnViolation> {
+    let mut violations = Vec::new();
+    for rule in &program.rules {
+        let cbound = const_bound_vars(rule);
+        let check_lit = |vars: BTreeSet<&str>, display: String, violations: &mut Vec<LvgnViolation>| {
+            let need: BTreeSet<&str> = vars.difference(&cbound).copied().collect();
+            if !has_guard(rule, &need) {
+                violations.push(LvgnViolation::NotGuarded {
+                    rule: rule.to_string(),
+                    literal: display,
+                });
+            }
+        };
+        if let Head::Atom(a) = &rule.head {
+            check_lit(a.variables(), a.to_string(), &mut violations);
+        }
+        for lit in &rule.body {
+            match lit {
+                Literal::Atom {
+                    atom,
+                    negated: true,
+                } => {
+                    // Anonymous variables in a negated atom are inner
+                    // existentials (`¬∃X ced(E, X)`); only the free
+                    // variables need a guard.
+                    let vars: BTreeSet<&str> = atom
+                        .terms
+                        .iter()
+                        .filter(|t| !t.is_anonymous())
+                        .filter_map(Term::as_var)
+                        .collect();
+                    check_lit(vars, atom.to_string(), &mut violations)
+                }
+                Literal::Builtin { negated: true, .. } => {
+                    check_lit(lit.variables(), lit.to_string(), &mut violations)
+                }
+                _ => {}
+            }
+        }
+        // Comparison form restriction: X op c only (op in <, >, <=, >=).
+        for lit in &rule.body {
+            if let Literal::Builtin {
+                op, left, right, ..
+            } = lit
+            {
+                if *op != CmpOp::Eq {
+                    let ok = matches!(
+                        (left, right),
+                        (Term::Var(_), Term::Const(_)) | (Term::Const(_), Term::Var(_))
+                    );
+                    if !ok {
+                        violations.push(LvgnViolation::BadComparison {
+                            rule: rule.to_string(),
+                            literal: lit.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Check the linear-view restriction (Definition 3.2, extended to
+/// constraints per §3.2.3) for view predicate `view`.
+pub fn check_linear_view(program: &Program, view: &str) -> Vec<LvgnViolation> {
+    let mut violations = Vec::new();
+    for rule in &program.rules {
+        if let Some(h) = rule.head.atom() {
+            if h.pred.name == view {
+                violations.push(LvgnViolation::ViewInHead {
+                    rule: rule.to_string(),
+                });
+                continue;
+            }
+        }
+        let is_delta_rule = rule
+            .head
+            .atom()
+            .is_some_and(|a| a.pred.is_delta());
+        let is_constraint = rule.is_constraint();
+        let view_atoms: Vec<_> = rule
+            .body
+            .iter()
+            .filter_map(Literal::atom)
+            .filter(|a| a.pred.name == view)
+            .collect();
+        if view_atoms.is_empty() {
+            continue;
+        }
+        if !is_delta_rule && !is_constraint {
+            violations.push(LvgnViolation::ViewOutsideDeltaRules {
+                rule: rule.to_string(),
+            });
+            continue;
+        }
+        if view_atoms.len() > 1 {
+            violations.push(LvgnViolation::ViewSelfJoin {
+                rule: rule.to_string(),
+            });
+        }
+        for atom in view_atoms {
+            if atom.terms.iter().any(Term::is_anonymous) {
+                violations.push(LvgnViolation::ViewProjection {
+                    rule: rule.to_string(),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Full LVGN-Datalog membership check for a putback program over view
+/// predicate `view`. Returns all violations; an empty list means the
+/// program is in the fragment (and hence the paper's validation is both
+/// sound and complete for it — Theorem 4.3).
+pub fn check_lvgn(program: &Program, view: &str) -> Vec<LvgnViolation> {
+    let mut violations = Vec::new();
+    if let Err(errs) = check_safety(program) {
+        violations.extend(errs.into_iter().map(|e| LvgnViolation::NotValidDatalog {
+            detail: e.to_string(),
+        }));
+    }
+    if let Err(e) = check_nonrecursive(program) {
+        violations.push(LvgnViolation::NotValidDatalog {
+            detail: e.to_string(),
+        });
+    }
+    violations.extend(check_guarded_negation(program));
+    violations.extend(check_linear_view(program, view));
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn example_3_2_is_guarded() {
+        // h(X,Y,Z) :- r1(X,Y,Z), not Z = 1, not r2(X,Y,Z).
+        let p = parse_program("h(X, Y, Z) :- r1(X, Y, Z), not Z = 1, not r2(X, Y, Z).").unwrap();
+        assert!(check_guarded_negation(&p).is_empty());
+    }
+
+    #[test]
+    fn unguarded_negation_detected() {
+        // Negated atom joins variables from two different positive atoms:
+        // no single positive atom contains both X and Y.
+        let p = parse_program("h(X, Y) :- r(X), s(Y), not t(X, Y).").unwrap();
+        let v = check_guarded_negation(&p);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, LvgnViolation::NotGuarded { .. })));
+    }
+
+    #[test]
+    fn unguarded_head_detected() {
+        // Inner join: head contains X,Y,Z but no body atom has all three
+        // (footnote 6 of the paper: inner join is not GN-Datalog).
+        let p = parse_program("v(X, Y, Z) :- s1(X, Y), s2(Y, Z).").unwrap();
+        let v = check_guarded_negation(&p);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, LvgnViolation::NotGuarded { .. })));
+    }
+
+    #[test]
+    fn primary_key_constraint_is_not_guarded() {
+        // Footnote 7: ⊥ :- r(A,B1), r(A,B2), not B1 = B2 — the negated
+        // equality B1 = B2 has no single-atom guard.
+        let p = parse_program("false :- r(A, B1), r(A, B2), not B1 = B2.").unwrap();
+        let v = check_guarded_negation(&p);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, LvgnViolation::NotGuarded { .. })));
+    }
+
+    #[test]
+    fn constant_equalities_help_guarding() {
+        let p = parse_program("h(Z, X1) :- p(Z, W, X2), not r(W, X3), X1 = 1, X2 = 3, X3 = 4.")
+            .unwrap();
+        assert!(check_guarded_negation(&p).is_empty(), "{:?}", check_guarded_negation(&p));
+    }
+
+    #[test]
+    fn variable_variable_comparison_rejected() {
+        let p = parse_program("h(X, Y) :- r(X, Y), X < Y.").unwrap();
+        let v = check_guarded_negation(&p);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, LvgnViolation::BadComparison { .. })));
+    }
+
+    #[test]
+    fn example_3_3_linear_view() {
+        // rule1 conforms; rule2 has projection; rule3 has self-join.
+        let ok = parse_program("-r(X, Y, Z) :- r(X, Y, Z), not v(X, Y).").unwrap();
+        assert!(check_linear_view(&ok, "v").is_empty());
+
+        let proj = parse_program("-r(X, Y, Z) :- r(X, Y, Z), not v(X, _).").unwrap();
+        assert!(check_linear_view(&proj, "v")
+            .iter()
+            .any(|x| matches!(x, LvgnViolation::ViewProjection { .. })));
+
+        let sj = parse_program("+r(X, Y, Z) :- v(X, Y), v(Y, Z), not r(X, Y, Z).").unwrap();
+        assert!(check_linear_view(&sj, "v")
+            .iter()
+            .any(|x| matches!(x, LvgnViolation::ViewSelfJoin { .. })));
+    }
+
+    #[test]
+    fn view_allowed_in_constraints() {
+        let p = parse_program("false :- v(X, Y, Z), Z > 2.").unwrap();
+        assert!(check_linear_view(&p, "v").is_empty());
+    }
+
+    #[test]
+    fn view_outside_delta_rules_detected() {
+        let p = parse_program("m(X) :- v(X), r(X). -r(X) :- m(X).").unwrap();
+        assert!(check_linear_view(&p, "v")
+            .iter()
+            .any(|x| matches!(x, LvgnViolation::ViewOutsideDeltaRules { .. })));
+    }
+
+    #[test]
+    fn view_in_head_detected() {
+        let p = parse_program("v(X) :- r(X).").unwrap();
+        assert!(check_linear_view(&p, "v")
+            .iter()
+            .any(|x| matches!(x, LvgnViolation::ViewInHead { .. })));
+    }
+
+    #[test]
+    fn union_strategy_is_lvgn() {
+        let p = parse_program(
+            "
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+            ",
+        )
+        .unwrap();
+        assert!(check_lvgn(&p, "v").is_empty());
+    }
+
+    #[test]
+    fn recursive_program_not_lvgn() {
+        let p = parse_program("+r(X) :- v(X), not q(X). q(X) :- q(X).").unwrap();
+        assert!(check_lvgn(&p, "v")
+            .iter()
+            .any(|x| matches!(x, LvgnViolation::NotValidDatalog { .. })));
+    }
+}

@@ -1,0 +1,402 @@
+//! Recursive-descent parser for the Datalog dialect.
+//!
+//! Grammar (LL(1) over the lexer's tokens):
+//!
+//! ```text
+//! program  := rule*
+//! rule     := head ( ':-' body )? '.'
+//! head     := '⊥' | atom
+//! atom     := ('+' | '-')? lower_ident '(' term (',' term)* ')'
+//! body     := literal (',' literal)*
+//! literal  := 'not'? ( atom | term cmp term )
+//! cmp      := '=' | '<>' | '!=' | '<' | '>' | '<=' | '>='
+//! term     := Variable | '_' | constant | '-' integer
+//! ```
+//!
+//! `t1 <> t2` parses as a negated equality; a `not` in front flips the
+//! polarity again.
+
+use crate::ast::{Atom, CmpOp, DeltaKind, Head, Literal, PredRef, Program, Rule, Term};
+use crate::lexer::{lex, LexError, Spanned, Token};
+use birds_store::Value;
+use std::fmt;
+
+/// Parse error (includes lexing failures).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Parse failure with message and 1-based line.
+    Syntax { message: String, line: usize },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Syntax { message, line } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    anon_counter: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError::Syntax {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected '{want}', found '{t}'"))
+            }
+            None => self.err(format!("expected '{want}', found end of input")),
+        }
+    }
+
+    fn fresh_anon(&mut self) -> Term {
+        let t = Term::Var(format!("_#{}", self.anon_counter));
+        self.anon_counter += 1;
+        t
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        let mut rules = Vec::new();
+        while self.peek().is_some() {
+            rules.push(self.parse_rule()?);
+        }
+        Ok(Program::new(rules))
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+        let head = match self.peek() {
+            Some(Token::Bottom) => {
+                self.bump();
+                Head::Bottom
+            }
+            _ => Head::Atom(self.parse_atom()?),
+        };
+        let body = match self.peek() {
+            Some(Token::Implies) => {
+                self.bump();
+                self.parse_body()?
+            }
+            _ => Vec::new(),
+        };
+        self.expect(&Token::Dot)?;
+        Ok(Rule { head, body })
+    }
+
+    fn parse_body(&mut self) -> Result<Vec<Literal>, ParseError> {
+        let mut lits = vec![self.parse_literal()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.bump();
+            lits.push(self.parse_literal()?);
+        }
+        Ok(lits)
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        let mut negated = false;
+        while self.peek() == Some(&Token::Not) {
+            self.bump();
+            negated = !negated;
+        }
+        // Delta atom: '+'/'-' followed by a lowercase identifier.
+        let starts_atom = match (self.peek(), self.peek2()) {
+            (Some(Token::Plus | Token::Minus), Some(Token::LowerIdent(_))) => true,
+            (Some(Token::LowerIdent(_)), Some(Token::LParen)) => true,
+            _ => false,
+        };
+        if starts_atom {
+            let atom = self.parse_atom()?;
+            return Ok(Literal::Atom { atom, negated });
+        }
+        // Builtin comparison.
+        let left = self.parse_term()?;
+        let (op, flip) = match self.bump() {
+            Some(Token::Eq) => (CmpOp::Eq, false),
+            Some(Token::Neq) => (CmpOp::Eq, true),
+            Some(Token::Lt) => (CmpOp::Lt, false),
+            Some(Token::Gt) => (CmpOp::Gt, false),
+            Some(Token::Le) => (CmpOp::Le, false),
+            Some(Token::Ge) => (CmpOp::Ge, false),
+            other => {
+                return self.err(format!(
+                    "expected comparison operator, found {}",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                ))
+            }
+        };
+        let right = self.parse_term()?;
+        Ok(Literal::Builtin {
+            op,
+            left,
+            right,
+            negated: negated ^ flip,
+        })
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+        let kind = match self.peek() {
+            Some(Token::Plus) => {
+                self.bump();
+                DeltaKind::Insert
+            }
+            Some(Token::Minus) => {
+                self.bump();
+                DeltaKind::Delete
+            }
+            _ => DeltaKind::None,
+        };
+        let name = match self.bump() {
+            Some(Token::LowerIdent(n)) => n,
+            other => {
+                return self.err(format!(
+                    "expected predicate name, found {}",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                ))
+            }
+        };
+        self.expect(&Token::LParen)?;
+        let mut terms = vec![self.parse_term()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.bump();
+            terms.push(self.parse_term()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Atom::new(PredRef { name, kind }, terms))
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Token::UpperIdent(v)) => Ok(Term::Var(v)),
+            Some(Token::Underscore) => Ok(self.fresh_anon()),
+            Some(Token::Int(i)) => Ok(Term::Const(Value::Int(i))),
+            Some(Token::Float(x)) => Ok(Term::Const(Value::float(x))),
+            Some(Token::Str(s)) => Ok(Term::Const(Value::Str(s))),
+            Some(Token::True) => Ok(Term::Const(Value::Bool(true))),
+            Some(Token::Minus) => match self.bump() {
+                Some(Token::Int(i)) => Ok(Term::Const(Value::Int(-i))),
+                Some(Token::Float(x)) => Ok(Term::Const(Value::float(-x))),
+                other => self.err(format!(
+                    "expected number after '-', found {}",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                )),
+            },
+            other => self.err(format!(
+                "expected term, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )),
+        }
+    }
+}
+
+/// Parse a whole program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        anon_counter: 0,
+    };
+    p.parse_program()
+}
+
+/// Parse a single rule (convenience for tests and builders).
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        anon_counter: 0,
+    };
+    let rule = p.parse_rule()?;
+    if p.peek().is_some() {
+        return p.err("trailing input after rule");
+    }
+    Ok(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_union_strategy_from_example_3_1() {
+        let src = "
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p.rules[0].head.atom().unwrap().pred,
+            PredRef::del("r1")
+        );
+        assert_eq!(
+            p.rules[2].head.atom().unwrap().pred,
+            PredRef::ins("r1")
+        );
+        assert!(p.rules[0].body[1].is_negated());
+    }
+
+    #[test]
+    fn parse_constants_and_comparisons() {
+        let r = parse_rule(
+            "residents1962(E,B,G) :- residents(E,B,G), not B < '1962-01-01', not B > '1962-12-31'.",
+        )
+        .unwrap();
+        assert_eq!(r.body.len(), 3);
+        match &r.body[1] {
+            Literal::Builtin {
+                op,
+                negated,
+                right,
+                ..
+            } => {
+                assert_eq!(*op, CmpOp::Lt);
+                assert!(*negated);
+                assert_eq!(right, &Term::Const(Value::str("1962-01-01")));
+            }
+            _ => panic!("expected builtin"),
+        }
+    }
+
+    #[test]
+    fn parse_constraint() {
+        let r = parse_rule("false :- v(X,Y,Z), Z > 2.").unwrap();
+        assert!(r.is_constraint());
+        let r2 = parse_rule("_|_ :- v(X), X = 1.").unwrap();
+        assert!(r2.is_constraint());
+    }
+
+    #[test]
+    fn neq_is_negated_eq() {
+        let r = parse_rule("p(X) :- r(X), X <> 1.").unwrap();
+        match &r.body[1] {
+            Literal::Builtin { op, negated, .. } => {
+                assert_eq!(*op, CmpOp::Eq);
+                assert!(*negated);
+            }
+            _ => panic!(),
+        }
+        // double negation: not X <> 1  ==  X = 1
+        let r = parse_rule("p(X) :- r(X), not X <> 1.").unwrap();
+        match &r.body[1] {
+            Literal::Builtin { op, negated, .. } => {
+                assert_eq!(*op, CmpOp::Eq);
+                assert!(!negated);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let r = parse_rule("retired(E) :- residents(E,_,_), not ced(E,_).").unwrap();
+        let anon: Vec<String> = r
+            .body
+            .iter()
+            .flat_map(|l| l.variables())
+            .filter(|v| v.starts_with("_#"))
+            .map(str::to_owned)
+            .collect();
+        // three distinct anonymous variables
+        let unique: std::collections::BTreeSet<_> = anon.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn negative_number_constants() {
+        let r = parse_rule("p(X) :- r(X), X > -5.").unwrap();
+        match &r.body[1] {
+            Literal::Builtin { right, .. } => {
+                assert_eq!(right, &Term::Const(Value::Int(-5)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn facts_have_empty_bodies() {
+        let p = parse_program("r(1, 'a'). r(2, 'b').").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.rules[0].body.is_empty());
+        assert!(p.rules[0].head.atom().unwrap().is_ground());
+    }
+
+    #[test]
+    fn delta_atoms_in_bodies() {
+        // well-definedness check rule (2) of §4.2
+        let r = parse_rule("d1(X) :- +r1(X), -r1(X).").unwrap();
+        assert_eq!(r.body[0].atom().unwrap().pred, PredRef::ins("r1"));
+        assert_eq!(r.body[1].atom().unwrap().pred, PredRef::del("r1"));
+    }
+
+    #[test]
+    fn error_reporting_includes_line() {
+        let err = parse_program("p(X) :- q(X).\np(Y) :- ,").unwrap_err();
+        match err {
+            ParseError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reject_trailing_garbage_in_single_rule() {
+        assert!(parse_rule("p(X) :- q(X). extra").is_err());
+    }
+
+    #[test]
+    fn unicode_negation_and_bottom() {
+        let r = parse_rule("⊥ :- v(X), ¬ r(X).").unwrap();
+        assert!(r.is_constraint());
+        assert!(r.body[1].is_negated());
+    }
+}

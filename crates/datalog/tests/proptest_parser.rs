@@ -1,0 +1,175 @@
+//! Property-based tests for the Datalog front end: pretty-print → parse
+//! round-trips, alpha-equivalence laws, and classification stability.
+
+use birds_datalog::{
+    check_lvgn, check_safety, parse_program, Atom, CmpOp, DeltaKind, Head, Literal, PredRef,
+    Program, Rule, Term,
+};
+use proptest::prelude::*;
+
+/// Generator for predicate names.
+fn arb_pred_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("reserved words", |s| {
+        !matches!(s.as_str(), "not" | "false" | "true" | "and")
+    })
+}
+
+/// Generator for variable names.
+fn arb_var() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9]{0,2}".prop_map(|s| s)
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_var().prop_map(Term::Var),
+        (-50i64..50).prop_map(Term::constant),
+        "[a-z0-9 -]{0,8}".prop_map(|s| Term::Const(s.into())),
+    ]
+}
+
+fn arb_delta_kind() -> impl Strategy<Value = DeltaKind> {
+    prop_oneof![
+        Just(DeltaKind::None),
+        Just(DeltaKind::Insert),
+        Just(DeltaKind::Delete),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (
+        arb_pred_name(),
+        arb_delta_kind(),
+        proptest::collection::vec(arb_term(), 1..4),
+    )
+        .prop_map(|(name, kind, terms)| Atom::new(PredRef { name, kind }, terms))
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (arb_atom(), any::<bool>()).prop_map(|(atom, negated)| Literal::Atom { atom, negated }),
+        (
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Ge)
+            ],
+            arb_var().prop_map(Term::Var),
+            (-50i64..50).prop_map(Term::constant),
+            any::<bool>(),
+        )
+            .prop_map(|(op, left, right, negated)| Literal::Builtin {
+                op,
+                left,
+                right,
+                negated,
+            }),
+    ]
+}
+
+/// Rules whose head may be ⊥ (constraint) or an atom; bodies are
+/// arbitrary literal mixes. Safety is *not* guaranteed by construction —
+/// round-tripping must work for unsafe programs too (the checker, not the
+/// parser, rejects them).
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    (
+        prop_oneof![
+            arb_atom().prop_map(Head::Atom),
+            Just(Head::Bottom),
+        ],
+        proptest::collection::vec(arb_literal(), 1..5),
+    )
+        .prop_map(|(head, body)| Rule { head, body })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_rule(), 1..6).prop_map(Program::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse is the identity on ASTs.
+    #[test]
+    fn pretty_parse_roundtrip(program in arb_program()) {
+        let text = program.to_string();
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("reparse failed on:\n{text}\n{e}"));
+        prop_assert_eq!(program, reparsed);
+    }
+
+    /// Alpha-equivalence is reflexive and invariant under a global
+    /// variable renaming.
+    #[test]
+    fn alpha_eq_respects_renaming(program in arb_program()) {
+        prop_assert!(program.alpha_eq(&program));
+        // Rename every variable V ↦ V_R.
+        let renamed_text = {
+            let mut p = program.clone();
+            for rule in &mut p.rules {
+                let rename = |t: &mut Term| {
+                    if let Term::Var(v) = t {
+                        if !v.starts_with('_') {
+                            *v = format!("{v}R");
+                        }
+                    }
+                };
+                if let Head::Atom(a) = &mut rule.head {
+                    a.terms.iter_mut().for_each(rename);
+                }
+                for lit in &mut rule.body {
+                    match lit {
+                        Literal::Atom { atom, .. } => {
+                            atom.terms.iter_mut().for_each(rename)
+                        }
+                        Literal::Builtin { left, right, .. } => {
+                            rename(left);
+                            rename(right);
+                        }
+                    }
+                }
+            }
+            p
+        };
+        prop_assert!(program.alpha_eq(&renamed_text),
+            "alpha_eq must ignore a consistent renaming");
+    }
+
+    /// The safety check never panics and is deterministic.
+    #[test]
+    fn safety_check_is_deterministic(program in arb_program()) {
+        let a = check_safety(&program).is_ok();
+        let b = check_safety(&program).is_ok();
+        prop_assert_eq!(a, b);
+    }
+
+    /// LVGN classification never panics and is stable under reprinting.
+    #[test]
+    fn lvgn_check_stable_under_roundtrip(program in arb_program()) {
+        let before = check_lvgn(&program, "v").len();
+        let text = program.to_string();
+        let reparsed = parse_program(&text).unwrap();
+        let after = check_lvgn(&reparsed, "v").len();
+        prop_assert_eq!(before, after);
+    }
+}
+
+/// Fixed-seed regressions for syntax corner cases the generator rarely
+/// hits.
+#[test]
+fn corner_case_roundtrips() {
+    for src in [
+        "false :- v(X), X > 2.",
+        "h(X) :- r(X, _), not s(_, X).",
+        "+r(X) :- v(X), not r(X).",
+        "-r(X, 'it''s') :- r(X, 'it''s'), not v(X).",
+        "h('a b', -5) :- r('a b', -5).",
+        "h(X) :- r(X), X = 'unknown'.",
+    ] {
+        let p = parse_program(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let text = p.to_string();
+        let again = parse_program(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(p, again, "roundtrip drift on {src}");
+    }
+}

@@ -1,0 +1,825 @@
+//! The updatable-view engine.
+
+use crate::algorithm2::derive_view_delta;
+use crate::error::{EngineError, EngineResult};
+use birds_core::{incrementalize, validate, UpdateStrategy};
+use birds_datalog::{DeltaKind, Literal, PredRef, Program, Rule};
+use birds_eval::{evaluate_program, evaluate_query, eval_rule_into, EvalContext};
+use birds_sql::parse_script;
+use birds_store::{Database, Delta, DeltaSet, Relation, Tuple};
+use std::collections::{BTreeMap, HashSet};
+
+/// How a registered view's strategy is executed on each update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyMode {
+    /// Evaluate the full putback program over `(S, V′)` on every update
+    /// (the paper's non-incremental baseline, black curves in Figure 6).
+    Original,
+    /// Evaluate the incrementalized program `∂put` over `(S, +v, -v)`
+    /// (§5; blue curves in Figure 6).
+    Incremental,
+}
+
+/// Statistics from one executed view-update transaction.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionStats {
+    /// Tuples in the derived view delta.
+    pub view_delta_size: usize,
+    /// Tuples in the applied source delta.
+    pub source_delta_size: usize,
+    /// Cascaded view updates triggered (views over views).
+    pub cascades: usize,
+}
+
+struct RegisteredView {
+    strategy: UpdateStrategy,
+    get: Program,
+    incremental: Option<Program>,
+    mode: StrategyMode,
+}
+
+/// In-process updatable-view database.
+pub struct Engine {
+    db: Database,
+    views: BTreeMap<String, RegisteredView>,
+}
+
+impl Engine {
+    /// Engine over an initial database of base tables.
+    pub fn new(db: Database) -> Self {
+        Engine {
+            db,
+            views: BTreeMap::new(),
+        }
+    }
+
+    /// Read access to any relation (base table or materialized view).
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.db.relation(name)
+    }
+
+    /// The underlying database (for inspection).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Is `name` a registered updatable view?
+    pub fn is_view(&self, name: &str) -> bool {
+        self.views.contains_key(name)
+    }
+
+    /// Register an updatable view after validating its strategy
+    /// (Algorithm 1). The view is materialized from the derived (or
+    /// accepted expected) get. Fails when validation rejects the strategy.
+    pub fn register_view(
+        &mut self,
+        strategy: UpdateStrategy,
+        mode: StrategyMode,
+    ) -> EngineResult<()> {
+        let report = validate(&strategy)
+            .map_err(|e| EngineError::Registration(e.to_string()))?;
+        if !report.valid {
+            return Err(EngineError::Registration(format!(
+                "strategy for '{}' is invalid: {}",
+                strategy.view.name,
+                report.reason.unwrap_or_default()
+            )));
+        }
+        let get = report
+            .derived_get
+            .expect("valid reports carry a view definition");
+        self.register_view_unchecked(strategy, get, mode)
+    }
+
+    /// Register without running the validator — for callers that already
+    /// validated (benchmarks; bulk registration).
+    pub fn register_view_unchecked(
+        &mut self,
+        strategy: UpdateStrategy,
+        get: Program,
+        mode: StrategyMode,
+    ) -> EngineResult<()> {
+        let name = strategy.view.name.clone();
+        if self.db.contains_relation(&name) {
+            return Err(EngineError::Registration(format!(
+                "relation '{name}' already exists"
+            )));
+        }
+        for schema in &strategy.source_schema.relations {
+            if !self.db.contains_relation(&schema.name) {
+                return Err(EngineError::Registration(format!(
+                    "source relation '{}' does not exist",
+                    schema.name
+                )));
+            }
+        }
+        // Materialize the view.
+        let mut rel = if get.is_empty() {
+            Relation::new(name.clone(), strategy.view.arity())
+        } else {
+            let mut ctx = EvalContext::new(&mut self.db);
+            let rel = evaluate_query(&get, &PredRef::plain(&name), &mut ctx)?;
+            Relation::with_tuples(name.clone(), rel.arity(), rel.tuples().iter().cloned())?
+        };
+        // Per-column hash indexes so DML predicates (Algorithm 2) probe
+        // instead of scanning — the analogue of the B-tree indexes the
+        // paper's PostgreSQL setup relies on. Built once, maintained
+        // incrementally under updates.
+        for col in 0..rel.arity() {
+            rel.ensure_index(&[col])
+                .map_err(|e| EngineError::Store(e.to_string()))?;
+        }
+        self.db.set_relation(rel);
+        let incremental = if mode == StrategyMode::Incremental {
+            Some(
+                incrementalize(&strategy)
+                    .map_err(|e| EngineError::Registration(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+        // Warm-up evaluation with an empty view delta: forces the planner
+        // to build every base-table index the strategy's plans probe, so
+        // the first real update doesn't pay an O(|S|) index build (the
+        // paper's PostgreSQL setup has its B-trees before measuring).
+        {
+            let t = std::time::Instant::now();
+            let program = incremental.as_ref().unwrap_or(&strategy.putdelta);
+            let mut ctx = EvalContext::new(&mut self.db);
+            if mode == StrategyMode::Incremental {
+                ctx.insert_overlay(Relation::new(
+                    PredRef::ins(&name).flat_name(),
+                    strategy.view.arity(),
+                ));
+                ctx.insert_overlay(Relation::new(
+                    PredRef::del(&name).flat_name(),
+                    strategy.view.arity(),
+                ));
+            }
+            let _ = evaluate_program(program, &mut ctx)?;
+            if std::env::var_os("BIRDS_ENGINE_DEBUG").is_some() {
+                eprintln!("[engine] warm-up ({mode:?}): {:?}", t.elapsed());
+            }
+        }
+        self.views.insert(
+            name,
+            RegisteredView {
+                strategy,
+                get,
+                incremental,
+                mode,
+            },
+        );
+        Ok(())
+    }
+
+    /// Re-materialize a registered view from its get definition (used
+    /// after direct base-table mutation).
+    pub fn refresh_view(&mut self, name: &str) -> EngineResult<()> {
+        let rv = self
+            .views
+            .get(name)
+            .ok_or_else(|| EngineError::NotAView(name.to_owned()))?;
+        let get = rv.get.clone();
+        let arity = rv.strategy.view.arity();
+        let tuples: Vec<Tuple> = if get.is_empty() {
+            vec![]
+        } else {
+            let mut ctx = EvalContext::new(&mut self.db);
+            let rel = evaluate_query(&get, &PredRef::plain(name), &mut ctx)?;
+            rel.tuples().iter().cloned().collect()
+        };
+        let target = self
+            .db
+            .relation_mut(name)
+            .ok_or_else(|| EngineError::NotAView(name.to_owned()))?;
+        let _ = arity;
+        target.replace_all(tuples)?;
+        Ok(())
+    }
+
+    /// Execute a view-update transaction: one or more DML statements (a
+    /// `BEGIN … END` script) targeting a single registered view.
+    pub fn execute(&mut self, sql: &str) -> EngineResult<ExecutionStats> {
+        let statements = parse_script(sql)?;
+        if statements.is_empty() {
+            return Ok(ExecutionStats::default());
+        }
+        let table = statements[0].table().to_owned();
+        if statements.iter().any(|s| s.table() != table) {
+            return Err(EngineError::BadStatement(
+                "a transaction must target a single view".into(),
+            ));
+        }
+        let rv = self
+            .views
+            .get(&table)
+            .ok_or_else(|| EngineError::NotAView(table.clone()))?;
+        let schema = rv.strategy.view.clone();
+        let view_rel = self
+            .db
+            .relation(&table)
+            .ok_or_else(|| EngineError::NotAView(table.clone()))?;
+        let t0 = std::time::Instant::now();
+        let delta = derive_view_delta(view_rel, &schema, &statements)?;
+        if std::env::var_os("BIRDS_ENGINE_DEBUG").is_some() {
+            eprintln!("[engine] derive_view_delta: {:?}", t0.elapsed());
+        }
+        self.apply_view_delta(&table, delta, 0)
+    }
+
+    /// Apply an (effective, normalized) view delta to a registered view:
+    /// the trigger pipeline of §6.1.
+    fn apply_view_delta(
+        &mut self,
+        view_name: &str,
+        delta: Delta,
+        depth: usize,
+    ) -> EngineResult<ExecutionStats> {
+        if depth > 8 {
+            return Err(EngineError::Eval(
+                "view update cascade exceeded depth limit".into(),
+            ));
+        }
+        let mut stats = ExecutionStats {
+            view_delta_size: delta.len(),
+            ..Default::default()
+        };
+        if delta.is_empty() {
+            return Ok(stats);
+        }
+        let rv = self
+            .views
+            .get(view_name)
+            .ok_or_else(|| EngineError::NotAView(view_name.to_owned()))?;
+        let mode = rv.mode;
+        let strategy = rv.strategy.clone();
+        let incremental = rv.incremental.clone();
+
+        let debug = std::env::var_os("BIRDS_ENGINE_DEBUG").is_some();
+        let t_eval = std::time::Instant::now();
+        // Compute ΔS. In incremental mode the program reads the OLD view
+        // plus the delta relations; in original mode it reads the updated
+        // view V′, so we mutate the materialized view first.
+        let delta_set: DeltaSet = match mode {
+            StrategyMode::Incremental => {
+                let program = incremental.as_ref().expect("incremental mode has ∂put");
+                let mut ctx = EvalContext::new(&mut self.db);
+                ctx.insert_overlay(Relation::with_tuples(
+                    PredRef::ins(view_name).flat_name(),
+                    strategy.view.arity(),
+                    delta.insertions.iter().cloned(),
+                )?);
+                ctx.insert_overlay(Relation::with_tuples(
+                    PredRef::del(view_name).flat_name(),
+                    strategy.view.arity(),
+                    delta.deletions.iter().cloned(),
+                )?);
+                let out = evaluate_program(program, &mut ctx)?;
+                collect_delta_set(&strategy, out.relations)
+            }
+            StrategyMode::Original => {
+                self.mutate_view(view_name, &delta, false)?;
+                let mut ctx = EvalContext::new(&mut self.db);
+                let out = evaluate_program(&strategy.putdelta, &mut ctx)?;
+                collect_delta_set(&strategy, out.relations)
+            }
+        };
+
+        if debug {
+            eprintln!("[engine] delta computation ({mode:?}): {:?}", t_eval.elapsed());
+        }
+
+        // For the incremental path, the constraints are checked against
+        // the updated view, so mutate now.
+        let t_mut = std::time::Instant::now();
+        if mode == StrategyMode::Incremental {
+            self.mutate_view(view_name, &delta, false)?;
+        }
+
+        // Constraint check over (S, V′).
+        let t_check = std::time::Instant::now();
+        if let Err(e) = self.check_constraints(&strategy, &delta) {
+            self.mutate_view(view_name, &delta, true)?; // rollback
+            return Err(e);
+        }
+        if debug {
+            eprintln!(
+                "[engine] mutate: {:?}  constraints: {:?}",
+                t_check.duration_since(t_mut),
+                t_check.elapsed()
+            );
+        }
+
+        if !delta_set.is_non_contradictory() {
+            self.mutate_view(view_name, &delta, true)?;
+            return Err(EngineError::ContradictoryDelta(format!(
+                "view update on '{view_name}'"
+            )));
+        }
+        stats.source_delta_size = delta_set.len();
+
+        // Apply ΔS: base tables directly; registered views cascade.
+        let mut cascades: Vec<(String, Delta)> = Vec::new();
+        let mut base: DeltaSet = DeltaSet::new();
+        for (rel_name, d) in delta_set.iter() {
+            if d.is_empty() {
+                continue;
+            }
+            if self.views.contains_key(rel_name) {
+                // Normalize against the current (old) state of that view.
+                let rel = self
+                    .db
+                    .relation(rel_name)
+                    .ok_or_else(|| EngineError::NotAView(rel_name.to_owned()))?;
+                let mut eff = d.clone();
+                eff.insertions.retain(|t| !rel.contains(t));
+                eff.deletions.retain(|t| rel.contains(t));
+                cascades.push((rel_name.to_owned(), eff));
+            } else {
+                let entry = base.entry(rel_name);
+                entry.insertions.extend(d.insertions.iter().cloned());
+                entry.deletions.extend(d.deletions.iter().cloned());
+            }
+        }
+        if let Err(e) = base.apply_to(&mut self.db) {
+            self.mutate_view(view_name, &delta, true)?;
+            return Err(EngineError::Store(e.to_string()));
+        }
+        for (sub_view, sub_delta) in cascades {
+            stats.cascades += 1;
+            let sub_stats = self.apply_view_delta(&sub_view, sub_delta, depth + 1)?;
+            stats.cascades += sub_stats.cascades;
+        }
+        Ok(stats)
+    }
+
+    /// Apply (or roll back) an effective view delta on the materialized
+    /// view relation.
+    fn mutate_view(
+        &mut self,
+        view_name: &str,
+        delta: &Delta,
+        rollback: bool,
+    ) -> EngineResult<()> {
+        let rel = self
+            .db
+            .relation_mut(view_name)
+            .ok_or_else(|| EngineError::NotAView(view_name.to_owned()))?;
+        let (ins, del) = if rollback {
+            (&delta.deletions, &delta.insertions)
+        } else {
+            (&delta.insertions, &delta.deletions)
+        };
+        for t in del {
+            rel.remove(t);
+        }
+        for t in ins {
+            rel.insert(t.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Check the strategy's constraints against the current `(S, V′)`.
+    ///
+    /// Fast path: a constraint whose body has exactly one positive view
+    /// atom (and no other view occurrence) can only be newly violated by
+    /// an *inserted* view tuple — `S` is unchanged at check time and old
+    /// view tuples passed the same check earlier — so it is evaluated with
+    /// the view atom restricted to `Δ⁺V`. Other constraints are checked in
+    /// full.
+    fn check_constraints(
+        &mut self,
+        strategy: &UpdateStrategy,
+        delta: &Delta,
+    ) -> EngineResult<()> {
+        let view = &strategy.view.name;
+        for rule in strategy.constraints() {
+            let view_lits: Vec<(&Literal, bool)> = rule
+                .body
+                .iter()
+                .filter_map(|l| match l {
+                    Literal::Atom { atom, negated }
+                        if atom.pred.kind == DeltaKind::None && atom.pred.name == *view =>
+                    {
+                        Some((l, *negated))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let fast = view_lits.len() == 1 && !view_lits[0].1;
+            let check_rule: Rule = if fast {
+                let mut r = rule.clone();
+                for lit in &mut r.body {
+                    if let Literal::Atom { atom, negated: false } = lit {
+                        if atom.pred.kind == DeltaKind::None && atom.pred.name == *view {
+                            atom.pred = PredRef::ins(view);
+                        }
+                    }
+                }
+                r
+            } else {
+                rule.clone()
+            };
+            // Evaluate the constraint body; any witness = violation.
+            let mut ctx = EvalContext::new(&mut self.db);
+            if fast {
+                ctx.insert_overlay(Relation::with_tuples(
+                    PredRef::ins(view).flat_name(),
+                    strategy.view.arity(),
+                    delta.insertions.iter().cloned(),
+                )?);
+            }
+            // Materialize only the intermediates the constraint
+            // (transitively) references — computing unrelated
+            // intermediates would reintroduce O(|S|) work on the
+            // incremental path.
+            let intermediates: Vec<&Rule> = strategy
+                .putdelta
+                .proper_rules()
+                .filter(|r| {
+                    r.head
+                        .atom()
+                        .is_some_and(|a| a.pred.kind == DeltaKind::None)
+                })
+                .collect();
+            // First, inline single-positive-literal intermediate
+            // definitions directly into the check rule (`¬inassign(T)` ↝
+            // `¬assignment(T, _)`): the planner can then probe instead of
+            // materializing the whole intermediate per update.
+            let check_rule = inline_simple_defs(&check_rule, &strategy.putdelta);
+            let mut needed: HashSet<String> = HashSet::new();
+            let mut frontier: Vec<String> = check_rule
+                .body
+                .iter()
+                .filter_map(|l| l.atom())
+                .map(|a| a.pred.name.clone())
+                .collect();
+            while let Some(name) = frontier.pop() {
+                if !needed.insert(name.clone()) {
+                    continue;
+                }
+                for r in &intermediates {
+                    if r.head.atom().is_some_and(|a| a.pred.name == name) {
+                        frontier.extend(
+                            r.body
+                                .iter()
+                                .filter_map(|l| l.atom())
+                                .map(|a| a.pred.name.clone()),
+                        );
+                    }
+                }
+            }
+            let support = Program::new(
+                intermediates
+                    .iter()
+                    .filter(|r| {
+                        r.head
+                            .atom()
+                            .is_some_and(|a| needed.contains(&a.pred.name))
+                    })
+                    .map(|r| (*r).clone())
+                    .collect(),
+            );
+            if !support.is_empty() {
+                let out = evaluate_program(&support, &mut ctx)?;
+                for (_, rel) in out.relations {
+                    ctx.insert_overlay(rel);
+                }
+            }
+            let mut witnesses: HashSet<Tuple> = HashSet::new();
+            eval_rule_into(&check_rule, &mut ctx, &mut witnesses, true)?;
+            if !witnesses.is_empty() {
+                return Err(EngineError::ConstraintViolation {
+                    view: view.clone(),
+                    constraint: rule.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Inline intermediate predicates defined by exactly one rule with a
+/// single positive body atom into `rule` (both polarities). Definition
+/// body variables that are existential become anonymous variables in the
+/// inlined literal, preserving the `∃` reading. Non-simple definitions
+/// are left for support materialization.
+fn inline_simple_defs(rule: &Rule, program: &Program) -> Rule {
+    use birds_datalog::{Atom, Term};
+    let mut out = rule.clone();
+    let mut anon = 0usize;
+    for _ in 0..4 {
+        let mut changed = false;
+        for lit in &mut out.body {
+            let Literal::Atom { atom, .. } = lit else { continue };
+            if atom.pred.kind != DeltaKind::None {
+                continue;
+            }
+            let defs: Vec<&Rule> = program
+                .proper_rules()
+                .filter(|r| r.head.atom().is_some_and(|h| h.pred == atom.pred))
+                .collect();
+            let [def] = defs.as_slice() else { continue };
+            let Some(dh) = def.head.atom() else { continue };
+            let [Literal::Atom {
+                atom: def_atom,
+                negated: false,
+            }] = def.body.as_slice()
+            else {
+                continue;
+            };
+            let head_vars: Vec<&str> =
+                dh.terms.iter().filter_map(Term::as_var).collect();
+            if head_vars.len() != dh.terms.len()
+                || head_vars.iter().collect::<HashSet<_>>().len() != head_vars.len()
+            {
+                continue;
+            }
+            let map: std::collections::HashMap<&str, &Term> = head_vars
+                .iter()
+                .copied()
+                .zip(atom.terms.iter())
+                .collect();
+            let new_terms: Vec<Term> = def_atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => map.get(v.as_str()).map(|&x| x.clone()).unwrap_or_else(|| {
+                        anon += 1;
+                        Term::Var(format!("_#cc{anon}"))
+                    }),
+                    Term::Const(_) => t.clone(),
+                })
+                .collect();
+            *atom = Atom::new(def_atom.pred.clone(), new_terms);
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
+/// Collect the evaluator's delta-predicate outputs into a `DeltaSet`.
+fn collect_delta_set(
+    strategy: &UpdateStrategy,
+    relations: BTreeMap<PredRef, Relation>,
+) -> DeltaSet {
+    let mut ds = DeltaSet::new();
+    for schema in &strategy.source_schema.relations {
+        ds.entry(&schema.name); // ensure an entry per source
+    }
+    for (pred, rel) in relations {
+        match pred.kind {
+            DeltaKind::Insert => {
+                let entry = ds.entry(&pred.name);
+                entry.insertions.extend(rel.tuples().iter().cloned());
+            }
+            DeltaKind::Delete => {
+                let entry = ds.entry(&pred.name);
+                entry.deletions.extend(rel.tuples().iter().cloned());
+            }
+            _ => {}
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_store::{tuple, DatabaseSchema, Schema, SortKind};
+
+    fn union_engine(mode: StrategyMode) -> Engine {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap())
+            .unwrap();
+        db.add_relation(
+            Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap(),
+        )
+        .unwrap();
+        let strategy = UpdateStrategy::parse(
+            DatabaseSchema::new()
+                .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+                .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+            Schema::new("v", vec![("a", SortKind::Int)]),
+            "
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+            ",
+            None,
+        )
+        .unwrap();
+        let mut engine = Engine::new(db);
+        engine.register_view(strategy, mode).unwrap();
+        engine
+    }
+
+    #[test]
+    fn view_is_materialized_on_registration() {
+        let engine = union_engine(StrategyMode::Original);
+        let v = engine.relation("v").unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(&tuple![1]) && v.contains(&tuple![2]) && v.contains(&tuple![4]));
+    }
+
+    #[test]
+    fn example_3_1_end_to_end_original() {
+        // Insert 3 and delete 2: expect +r1(3), -r2(2) applied.
+        let mut engine = union_engine(StrategyMode::Original);
+        engine
+            .execute("BEGIN; INSERT INTO v VALUES (3); DELETE FROM v WHERE a = 2; END;")
+            .unwrap();
+        let r1 = engine.relation("r1").unwrap();
+        let r2 = engine.relation("r2").unwrap();
+        assert!(r1.contains(&tuple![1]) && r1.contains(&tuple![3]));
+        assert!(!r2.contains(&tuple![2]) && r2.contains(&tuple![4]));
+        let v = engine.relation("v").unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(&tuple![3]));
+    }
+
+    #[test]
+    fn example_3_1_end_to_end_incremental() {
+        let mut engine = union_engine(StrategyMode::Incremental);
+        engine
+            .execute("BEGIN; INSERT INTO v VALUES (3); DELETE FROM v WHERE a = 2; END;")
+            .unwrap();
+        let r1 = engine.relation("r1").unwrap();
+        let r2 = engine.relation("r2").unwrap();
+        assert!(r1.contains(&tuple![3]));
+        assert!(!r2.contains(&tuple![2]));
+    }
+
+    #[test]
+    fn original_and_incremental_agree() {
+        let scripts = [
+            "INSERT INTO v VALUES (10);",
+            "DELETE FROM v WHERE a = 1;",
+            "BEGIN; INSERT INTO v VALUES (5); INSERT INTO v VALUES (6); DELETE FROM v WHERE a = 4; END;",
+            "UPDATE v SET a = 99 WHERE a = 2;",
+        ];
+        for script in scripts {
+            let mut orig = union_engine(StrategyMode::Original);
+            let mut inc = union_engine(StrategyMode::Incremental);
+            orig.execute(script).unwrap();
+            inc.execute(script).unwrap();
+            assert!(
+                orig.database().same_contents(inc.database()),
+                "divergence on {script}"
+            );
+        }
+    }
+
+    #[test]
+    fn putget_holds_after_updates() {
+        // After any update, re-running get over the new source must give
+        // the updated view (PutGet, empirically).
+        let mut engine = union_engine(StrategyMode::Original);
+        engine.execute("INSERT INTO v VALUES (7);").unwrap();
+        engine.execute("DELETE FROM v WHERE a = 1;").unwrap();
+        let v_before: Vec<Tuple> = {
+            let mut v: Vec<Tuple> =
+                engine.relation("v").unwrap().iter().cloned().collect();
+            v.sort();
+            v
+        };
+        engine.refresh_view("v").unwrap();
+        let mut v_after: Vec<Tuple> =
+            engine.relation("v").unwrap().iter().cloned().collect();
+        v_after.sort();
+        assert_eq!(v_before, v_after);
+    }
+
+    #[test]
+    fn non_view_target_rejected() {
+        let mut engine = union_engine(StrategyMode::Original);
+        assert!(matches!(
+            engine.execute("INSERT INTO r1 VALUES (9);"),
+            Err(EngineError::NotAView(_))
+        ));
+    }
+
+    fn constrained_engine(mode: StrategyMode) -> Engine {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("r", 2, vec![tuple![1, 5], tuple![2, 9]]).unwrap(),
+        )
+        .unwrap();
+        let strategy = UpdateStrategy::parse(
+            DatabaseSchema::new().with(Schema::new(
+                "r",
+                vec![("x", SortKind::Int), ("y", SortKind::Int)],
+            )),
+            Schema::new("v", vec![("x", SortKind::Int), ("y", SortKind::Int)]),
+            "
+            false :- v(X, Y), not Y > 2.
+            +r(X, Y) :- v(X, Y), not r(X, Y).
+            m(X, Y) :- r(X, Y), Y > 2.
+            -r(X, Y) :- m(X, Y), not v(X, Y).
+            ",
+            None,
+        )
+        .unwrap();
+        let mut engine = Engine::new(db);
+        engine.register_view(strategy, mode).unwrap();
+        engine
+    }
+
+    #[test]
+    fn constraint_violation_rejects_and_rolls_back() {
+        for mode in [StrategyMode::Original, StrategyMode::Incremental] {
+            let mut engine = constrained_engine(mode);
+            let err = engine.execute("INSERT INTO v VALUES (3, 1);").unwrap_err();
+            assert!(matches!(err, EngineError::ConstraintViolation { .. }));
+            // view unchanged
+            let v = engine.relation("v").unwrap();
+            assert_eq!(v.len(), 2);
+            assert!(!v.contains(&tuple![3, 1]));
+            // source unchanged
+            assert_eq!(engine.relation("r").unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn selection_view_update_flows_to_source() {
+        for mode in [StrategyMode::Original, StrategyMode::Incremental] {
+            let mut engine = constrained_engine(mode);
+            engine.execute("INSERT INTO v VALUES (3, 7);").unwrap();
+            assert!(engine.relation("r").unwrap().contains(&tuple![3, 7]));
+            engine.execute("DELETE FROM v WHERE x = 1;").unwrap();
+            assert!(!engine.relation("r").unwrap().contains(&tuple![1, 5]));
+        }
+    }
+
+    #[test]
+    fn view_over_view_cascade() {
+        // residents1962-style: a view whose "source" is another view.
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("r1", 1, vec![tuple![1], tuple![3]]).unwrap(),
+        )
+        .unwrap();
+        db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![8]]).unwrap())
+            .unwrap();
+        let mut engine = Engine::new(db);
+        // v = r1 ∪ r2 (updatable)
+        let v_strategy = UpdateStrategy::parse(
+            DatabaseSchema::new()
+                .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+                .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+            Schema::new("v", vec![("a", SortKind::Int)]),
+            "
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+            ",
+            None,
+        )
+        .unwrap();
+        engine
+            .register_view(v_strategy, StrategyMode::Original)
+            .unwrap();
+        // w = σ_{a>2}(v), updating v as its source
+        let w_strategy = UpdateStrategy::parse(
+            DatabaseSchema::new().with(Schema::new("v", vec![("a", SortKind::Int)])),
+            Schema::new("w", vec![("a", SortKind::Int)]),
+            "
+            false :- w(X), not X > 2.
+            +v(X) :- w(X), not v(X).
+            mv(X) :- v(X), X > 2.
+            -v(X) :- mv(X), not w(X).
+            ",
+            None,
+        )
+        .unwrap();
+        engine
+            .register_view(w_strategy, StrategyMode::Original)
+            .unwrap();
+        assert_eq!(engine.relation("w").unwrap().len(), 2); // {3, 8}
+
+        // Insert into w: must cascade into v and then into r1.
+        let stats = engine.execute("INSERT INTO w VALUES (9);").unwrap();
+        assert!(stats.cascades >= 1);
+        assert!(engine.relation("v").unwrap().contains(&tuple![9]));
+        assert!(engine.relation("r1").unwrap().contains(&tuple![9]));
+        // Delete from w: cascades a deletion.
+        engine.execute("DELETE FROM w WHERE a = 8;").unwrap();
+        assert!(!engine.relation("v").unwrap().contains(&tuple![8]));
+        assert!(!engine.relation("r2").unwrap().contains(&tuple![8]));
+        // w itself reflects both updates.
+        let w = engine.relation("w").unwrap();
+        assert!(w.contains(&tuple![9]) && !w.contains(&tuple![8]));
+    }
+
+    #[test]
+    fn empty_transaction_is_noop() {
+        let mut engine = union_engine(StrategyMode::Original);
+        let stats = engine.execute("INSERT INTO v VALUES (1);").unwrap(); // already present
+        assert_eq!(stats.view_delta_size, 0);
+        assert_eq!(engine.relation("r1").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Errors raised by the updatable-view runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The statement targets a relation that is not a registered view.
+    NotAView(String),
+    /// A view update violates one of the strategy's integrity
+    /// constraints; the transaction is rejected (paper §6.1: "RAISE
+    /// 'Invalid view updates'").
+    ConstraintViolation {
+        view: String,
+        constraint: String,
+    },
+    /// The computed source delta is contradictory (the strategy is not
+    /// well defined on this input).
+    ContradictoryDelta(String),
+    /// DML parsing failed.
+    Dml(String),
+    /// A DML row has the wrong arity / unknown column.
+    BadStatement(String),
+    /// Datalog evaluation failed.
+    Eval(String),
+    /// Storage failure.
+    Store(String),
+    /// A name clash or missing relation during registration.
+    Registration(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NotAView(n) => write!(f, "'{n}' is not a registered updatable view"),
+            EngineError::ConstraintViolation { view, constraint } => {
+                write!(f, "invalid view update on '{view}': constraint violated: {constraint}")
+            }
+            EngineError::ContradictoryDelta(m) => {
+                write!(f, "contradictory source delta: {m}")
+            }
+            EngineError::Dml(m) => write!(f, "{m}"),
+            EngineError::BadStatement(m) => write!(f, "bad statement: {m}"),
+            EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
+            EngineError::Store(m) => write!(f, "store error: {m}"),
+            EngineError::Registration(m) => write!(f, "registration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<birds_eval::EvalError> for EngineError {
+    fn from(e: birds_eval::EvalError) -> Self {
+        EngineError::Eval(e.to_string())
+    }
+}
+
+impl From<birds_store::StoreError> for EngineError {
+    fn from(e: birds_store::StoreError) -> Self {
+        EngineError::Store(e.to_string())
+    }
+}
+
+impl From<birds_sql::dml::DmlParseError> for EngineError {
+    fn from(e: birds_sql::dml::DmlParseError) -> Self {
+        EngineError::Dml(e.to_string())
+    }
+}

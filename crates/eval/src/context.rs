@@ -1,0 +1,107 @@
+//! Evaluation context: a base database plus an overlay of temporary
+//! relations.
+//!
+//! The putback transformation evaluates over the *pair* `(S, V)` of source
+//! database and (updated) view (paper §3.1); the engine additionally feeds
+//! view deltas `+v` / `-v` to incremental programs. Rather than copying
+//! multi-million-tuple base relations into a scratch database for every
+//! view update, the context overlays small temporary relations (updated
+//! view, view deltas, intermediate IDB results) on top of a borrowed base
+//! database. Lookups hit the overlay first; the base is only mutated to
+//! build indexes.
+
+use birds_store::{Database, Relation, StoreResult};
+use std::collections::BTreeMap;
+
+/// A base database with temporary overlay relations.
+pub struct EvalContext<'a> {
+    base: &'a mut Database,
+    overlay: BTreeMap<String, Relation>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Wrap a base database with an empty overlay.
+    pub fn new(base: &'a mut Database) -> Self {
+        EvalContext {
+            base,
+            overlay: BTreeMap::new(),
+        }
+    }
+
+    /// Insert (or replace) an overlay relation under its own name.
+    /// Overlay relations shadow base relations of the same name.
+    pub fn insert_overlay(&mut self, rel: Relation) {
+        self.overlay.insert(rel.name().to_owned(), rel);
+    }
+
+    /// Look up a relation: overlay first, then base.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.overlay.get(name).or_else(|| self.base.relation(name))
+    }
+
+    /// `true` if the name resolves to an overlay or base relation.
+    pub fn contains(&self, name: &str) -> bool {
+        self.overlay.contains_key(name) || self.base.contains_relation(name)
+    }
+
+    /// Ensure a hash index over `cols` exists on the named relation
+    /// (wherever it lives).
+    pub fn ensure_index(&mut self, name: &str, cols: &[usize]) -> StoreResult<()> {
+        if let Some(rel) = self.overlay.get_mut(name) {
+            return rel.ensure_index(cols);
+        }
+        if let Some(rel) = self.base.relation_mut(name) {
+            return rel.ensure_index(cols);
+        }
+        Ok(()) // unknown relations are reported later by the evaluator
+    }
+
+    /// Remove and return an overlay relation.
+    pub fn take_overlay(&mut self, name: &str) -> Option<Relation> {
+        self.overlay.remove(name)
+    }
+
+    /// Names of all overlay relations.
+    pub fn overlay_names(&self) -> impl Iterator<Item = &str> {
+        self.overlay.keys().map(String::as_str)
+    }
+
+    /// Size of the named relation, if it exists (used by the join
+    /// planner's greedy ordering).
+    pub fn relation_len(&self, name: &str) -> Option<usize> {
+        self.relation(name).map(Relation::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_store::tuple;
+
+    #[test]
+    fn overlay_shadows_base() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("v", 1, vec![tuple![1]]).unwrap())
+            .unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        assert_eq!(ctx.relation("v").unwrap().len(), 1);
+        ctx.insert_overlay(Relation::with_tuples("v", 1, vec![tuple![2], tuple![3]]).unwrap());
+        assert_eq!(ctx.relation("v").unwrap().len(), 2);
+        let taken = ctx.take_overlay("v").unwrap();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(ctx.relation("v").unwrap().len(), 1, "base visible again");
+    }
+
+    #[test]
+    fn ensure_index_reaches_base_and_overlay() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r", 2, vec![tuple![1, 2]]).unwrap())
+            .unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        ctx.insert_overlay(Relation::with_tuples("t", 2, vec![tuple![3, 4]]).unwrap());
+        ctx.ensure_index("r", &[0]).unwrap();
+        ctx.ensure_index("t", &[1]).unwrap();
+        assert!(ctx.relation("r").unwrap().has_index(&[0]));
+        assert!(ctx.relation("t").unwrap().has_index(&[1]));
+    }
+}

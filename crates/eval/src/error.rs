@@ -1,0 +1,62 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+/// Result alias for evaluation.
+pub type EvalResult<T> = Result<T, EvalError>;
+
+/// Errors raised during Datalog evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An EDB predicate has no backing relation in the context.
+    UnknownRelation(String),
+    /// A predicate is used with an arity different from its relation.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        found: usize,
+    },
+    /// A comparison between values of different sorts.
+    SortMismatch { rule: String, detail: String },
+    /// The program is recursive or otherwise not evaluable.
+    BadProgram(String),
+    /// A rule is unsafe: evaluation reached a literal whose variables were
+    /// not bound (the static safety check would have caught this).
+    UnsafeRule { rule: String, variable: String },
+    /// Storage-level failure (bubbled up).
+    Store(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownRelation(r) => {
+                write!(f, "no relation backs EDB predicate '{r}'")
+            }
+            EvalError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate '{relation}' used with arity {found} but relation has arity {expected}"
+            ),
+            EvalError::SortMismatch { rule, detail } => {
+                write!(f, "sort mismatch in rule '{rule}': {detail}")
+            }
+            EvalError::BadProgram(m) => write!(f, "program not evaluable: {m}"),
+            EvalError::UnsafeRule { rule, variable } => {
+                write!(f, "unsafe variable '{variable}' reached at runtime in rule: {rule}")
+            }
+            EvalError::Store(m) => write!(f, "store error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<birds_store::StoreError> for EvalError {
+    fn from(e: birds_store::StoreError) -> Self {
+        EvalError::Store(e.to_string())
+    }
+}

@@ -1,0 +1,611 @@
+//! Stratified bottom-up execution of planned rules.
+
+use crate::context::EvalContext;
+use crate::error::{EvalError, EvalResult};
+use crate::plan::{plan_rule, RulePlan, StepKind};
+use birds_datalog::{check_nonrecursive, stratify, Head, Literal, PredRef, Program, Rule, Term};
+use birds_store::{Relation, Tuple, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The IDB relations produced by a program run.
+#[derive(Debug, Default)]
+pub struct EvalOutput {
+    /// One relation per IDB predicate, keyed by predicate reference.
+    pub relations: BTreeMap<PredRef, Relation>,
+}
+
+impl EvalOutput {
+    /// The relation of predicate `p`, if the program defined it.
+    pub fn relation(&self, p: &PredRef) -> Option<&Relation> {
+        self.relations.get(p)
+    }
+}
+
+/// Evaluate a non-recursive program: compute every IDB relation bottom-up
+/// in stratification order. Constraint (`⊥`) rules are ignored here — use
+/// [`violated_constraints`].
+pub fn evaluate_program(program: &Program, ctx: &mut EvalContext) -> EvalResult<EvalOutput> {
+    check_nonrecursive(program).map_err(|e| EvalError::BadProgram(e.to_string()))?;
+    let order = stratify(program).map_err(|e| EvalError::BadProgram(e.to_string()))?;
+
+    for pred in &order {
+        let arity = program
+            .arity_of(pred)
+            .ok_or_else(|| EvalError::BadProgram(format!("no arity for {pred}")))?;
+        let mut result: HashSet<Tuple> = HashSet::new();
+        for rule in program.rules_for(pred) {
+            eval_rule_into(rule, ctx, &mut result, false)?;
+        }
+        let rel = Relation::with_tuples(pred.flat_name(), arity, result)?;
+        ctx.insert_overlay(rel);
+    }
+
+    // Move results out of the overlay.
+    let mut out = EvalOutput::default();
+    for pred in &order {
+        if let Some(rel) = ctx.take_overlay(&pred.flat_name()) {
+            out.relations.insert(pred.clone(), rel);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate a program and return only the relation of `pred`.
+pub fn evaluate_query(
+    program: &Program,
+    pred: &PredRef,
+    ctx: &mut EvalContext,
+) -> EvalResult<Relation> {
+    let mut out = evaluate_program(program, ctx)?;
+    out.relations
+        .remove(pred)
+        .ok_or_else(|| EvalError::BadProgram(format!("program does not define {pred}")))
+}
+
+/// Evaluate the program's integrity constraints: returns every `⊥` rule
+/// whose body is satisfiable in the current context. IDB relations the
+/// constraints depend on are computed first (and left in the overlay).
+pub fn violated_constraints(program: &Program, ctx: &mut EvalContext) -> EvalResult<Vec<Rule>> {
+    // Materialize IDB support (e.g. a constraint over an intermediate
+    // predicate).
+    let out = evaluate_program(program, ctx)?;
+    for (_, rel) in out.relations {
+        ctx.insert_overlay(rel);
+    }
+    let mut violated = Vec::new();
+    for rule in program.constraints() {
+        let mut found: HashSet<Tuple> = HashSet::new();
+        eval_rule_into(rule, ctx, &mut found, true)?;
+        if !found.is_empty() {
+            violated.push(rule.clone());
+        }
+    }
+    Ok(violated)
+}
+
+/// Evaluate one rule, inserting derived head tuples into `out`.
+/// With `stop_at_first`, stops after one derivation (constraint checking).
+pub fn eval_rule_into(
+    rule: &Rule,
+    ctx: &mut EvalContext,
+    out: &mut HashSet<Tuple>,
+    stop_at_first: bool,
+) -> EvalResult<()> {
+    // Facts: ground head, empty body.
+    if rule.body.is_empty() {
+        match &rule.head {
+            Head::Atom(a) => {
+                let t: Option<Vec<Value>> =
+                    a.terms.iter().map(|t| t.as_const().cloned()).collect();
+                let t = t.ok_or_else(|| EvalError::UnsafeRule {
+                    rule: rule.to_string(),
+                    variable: "head of fact".into(),
+                })?;
+                out.insert(Tuple::new(t));
+            }
+            Head::Bottom => {
+                // `⊥.` — an always-violated constraint; represent by a
+                // nullary witness.
+                out.insert(Tuple::new(vec![]));
+            }
+        }
+        return Ok(());
+    }
+
+    // Validate arities of all body atoms up front.
+    for lit in &rule.body {
+        if let Some(a) = lit.atom() {
+            let flat = a.pred.flat_name();
+            let rel = ctx
+                .relation(&flat)
+                .ok_or_else(|| EvalError::UnknownRelation(flat.clone()))?;
+            if rel.arity() != a.arity() {
+                return Err(EvalError::ArityMismatch {
+                    relation: flat,
+                    expected: rel.arity(),
+                    found: a.arity(),
+                });
+            }
+        }
+    }
+
+    let plan = plan_rule(rule, ctx)?;
+    for (name, cols) in &plan.index_requests {
+        ctx.ensure_index(name, cols)?;
+    }
+    let mut bindings: HashMap<&str, Value> = HashMap::new();
+    step(rule, &plan, 0, ctx, &mut bindings, out, stop_at_first)
+}
+
+/// Resolve a term under the current bindings.
+fn resolve<'a>(t: &'a Term, bindings: &'a HashMap<&str, Value>) -> Option<&'a Value> {
+    match t {
+        Term::Const(v) => Some(v),
+        Term::Var(name) => bindings.get(name.as_str()),
+    }
+}
+
+/// Instantiate the head atom once all its variables are bound.
+fn emit(
+    rule: &Rule,
+    bindings: &HashMap<&str, Value>,
+    out: &mut HashSet<Tuple>,
+) -> EvalResult<()> {
+    match &rule.head {
+        Head::Atom(a) => {
+            let mut vals = Vec::with_capacity(a.terms.len());
+            for t in &a.terms {
+                let v = resolve(t, bindings).ok_or_else(|| EvalError::UnsafeRule {
+                    rule: rule.to_string(),
+                    variable: t.to_string(),
+                })?;
+                vals.push(v.clone());
+            }
+            out.insert(Tuple::new(vals));
+        }
+        Head::Bottom => {
+            out.insert(Tuple::new(vec![]));
+        }
+    }
+    Ok(())
+}
+
+/// Recursive execution of plan steps. Returns `Ok(())`; `out` accumulates
+/// results. With `stop_at_first`, unwinds as soon as `out` is nonempty.
+#[allow(clippy::too_many_arguments)]
+fn step<'r>(
+    rule: &'r Rule,
+    plan: &RulePlan,
+    idx: usize,
+    ctx: &EvalContext,
+    bindings: &mut HashMap<&'r str, Value>,
+    out: &mut HashSet<Tuple>,
+    stop_at_first: bool,
+) -> EvalResult<()> {
+    if stop_at_first && !out.is_empty() {
+        return Ok(());
+    }
+    let Some(s) = plan.steps.get(idx) else {
+        return emit(rule, bindings, out);
+    };
+    let lit = &rule.body[s.literal];
+    match (&s.kind, lit) {
+        (StepKind::Join, Literal::Atom { atom, .. }) => {
+            let flat = atom.pred.flat_name();
+            let rel = ctx
+                .relation(&flat)
+                .ok_or_else(|| EvalError::UnknownRelation(flat.clone()))?;
+            let matches = probe_atom(rel, &atom.terms, &s.probe_cols, bindings);
+            // Collect matches to avoid holding a borrow of ctx across the
+            // recursive call (bindings mutation is local anyway).
+            let matches: Vec<Tuple> = matches.cloned().collect();
+            'tuples: for tuple in matches {
+                let mut newly_bound: Vec<&'r str> = Vec::new();
+                for (i, term) in atom.terms.iter().enumerate() {
+                    match term {
+                        Term::Const(c) => {
+                            if &tuple[i] != c {
+                                unbind(bindings, &newly_bound);
+                                continue 'tuples;
+                            }
+                        }
+                        Term::Var(v) => {
+                            if term.is_anonymous() {
+                                continue;
+                            }
+                            match bindings.get(v.as_str()) {
+                                Some(bv) => {
+                                    if bv != &tuple[i] {
+                                        unbind(bindings, &newly_bound);
+                                        continue 'tuples;
+                                    }
+                                }
+                                None => {
+                                    bindings.insert(v.as_str(), tuple[i].clone());
+                                    newly_bound.push(v.as_str());
+                                }
+                            }
+                        }
+                    }
+                }
+                step(rule, plan, idx + 1, ctx, bindings, out, stop_at_first)?;
+                unbind(bindings, &newly_bound);
+                if stop_at_first && !out.is_empty() {
+                    return Ok(());
+                }
+            }
+            Ok(())
+        }
+        (StepKind::ExistsCheck | StepKind::NegCheck, Literal::Atom { atom, .. }) => {
+            let flat = atom.pred.flat_name();
+            let rel = ctx
+                .relation(&flat)
+                .ok_or_else(|| EvalError::UnknownRelation(flat.clone()))?;
+            let exists = atom_exists(rel, &atom.terms, &s.probe_cols, bindings)?;
+            let pass = if s.kind == StepKind::NegCheck {
+                !exists
+            } else {
+                exists
+            };
+            if pass {
+                step(rule, plan, idx + 1, ctx, bindings, out, stop_at_first)?;
+            }
+            Ok(())
+        }
+        (
+            StepKind::Filter,
+            Literal::Builtin {
+                op,
+                left,
+                right,
+                negated,
+            },
+        ) => {
+            let lv = resolve(left, bindings).ok_or_else(|| EvalError::UnsafeRule {
+                rule: rule.to_string(),
+                variable: left.to_string(),
+            })?;
+            let rv = resolve(right, bindings).ok_or_else(|| EvalError::UnsafeRule {
+                rule: rule.to_string(),
+                variable: right.to_string(),
+            })?;
+            let res = op.eval(lv, rv).ok_or_else(|| EvalError::SortMismatch {
+                rule: rule.to_string(),
+                detail: format!("{lv} {} {rv}", op.symbol()),
+            })?;
+            if res != *negated {
+                step(rule, plan, idx + 1, ctx, bindings, out, stop_at_first)?;
+            }
+            Ok(())
+        }
+        (StepKind::Bind, Literal::Builtin { left, right, .. }) => {
+            let (var, value) = match (resolve(left, bindings), resolve(right, bindings)) {
+                (Some(v), None) => match right {
+                    Term::Var(name) => (name.as_str(), v.clone()),
+                    _ => unreachable!("planner guarantees unbound side is a variable"),
+                },
+                (None, Some(v)) => match left {
+                    Term::Var(name) => (name.as_str(), v.clone()),
+                    _ => unreachable!("planner guarantees unbound side is a variable"),
+                },
+                (Some(lv), Some(rv)) => {
+                    // Both became bound by the time we run: act as filter.
+                    if lv == rv {
+                        return step(rule, plan, idx + 1, ctx, bindings, out, stop_at_first);
+                    }
+                    return Ok(());
+                }
+                (None, None) => {
+                    return Err(EvalError::UnsafeRule {
+                        rule: rule.to_string(),
+                        variable: left.to_string(),
+                    })
+                }
+            };
+            bindings.insert(var, value);
+            step(rule, plan, idx + 1, ctx, bindings, out, stop_at_first)?;
+            bindings.remove(var);
+            Ok(())
+        }
+        (kind, lit) => Err(EvalError::BadProgram(format!(
+            "plan step {kind:?} does not match literal {lit}"
+        ))),
+    }
+}
+
+fn unbind<'r>(bindings: &mut HashMap<&'r str, Value>, names: &[&'r str]) {
+    for n in names {
+        bindings.remove(n);
+    }
+}
+
+/// Probe the relation for tuples matching the atom's bound positions.
+fn probe_atom<'a>(
+    rel: &'a Relation,
+    terms: &[Term],
+    probe_cols: &[usize],
+    bindings: &HashMap<&str, Value>,
+) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+    if probe_cols.is_empty() {
+        return Box::new(rel.iter());
+    }
+    let key: Vec<&Value> = probe_cols
+        .iter()
+        .map(|&c| resolve(&terms[c], bindings).expect("probe columns are bound"))
+        .collect();
+    rel.probe(probe_cols, &key)
+}
+
+/// Existence test for a (possibly partially anonymous) atom with all named
+/// variables bound.
+fn atom_exists(
+    rel: &Relation,
+    terms: &[Term],
+    probe_cols: &[usize],
+    bindings: &HashMap<&str, Value>,
+) -> EvalResult<bool> {
+    // Fast path: every position bound -> plain set membership.
+    if probe_cols.len() == terms.len() {
+        let vals: Vec<Value> = terms
+            .iter()
+            .map(|t| resolve(t, bindings).expect("all positions bound").clone())
+            .collect();
+        return Ok(rel.contains(&Tuple::new(vals)));
+    }
+    Ok(probe_atom(rel, terms, probe_cols, bindings)
+        .next()
+        .is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_datalog::parse_program;
+    use birds_store::{tuple, Database};
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap())
+            .unwrap();
+        db.add_relation(
+            Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            Relation::with_tuples("v", 1, vec![tuple![1], tuple![3], tuple![4]]).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn example_3_1_delta_computation() {
+        // The paper's running example: S = {r1(1), r2(2), r2(4)},
+        // V' = {1,3,4} must yield ΔR1 = {+r1(3)}, ΔR2 = {-r2(2)}.
+        let program = parse_program(
+            "
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+            ",
+        )
+        .unwrap();
+        let mut db = setup();
+        let mut ctx = EvalContext::new(&mut db);
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        let plus_r1 = out.relation(&PredRef::ins("r1")).unwrap();
+        assert_eq!(plus_r1.len(), 1);
+        assert!(plus_r1.contains(&tuple![3]));
+        let minus_r2 = out.relation(&PredRef::del("r2")).unwrap();
+        assert_eq!(minus_r2.len(), 1);
+        assert!(minus_r2.contains(&tuple![2]));
+        let minus_r1 = out.relation(&PredRef::del("r1")).unwrap();
+        assert!(minus_r1.is_empty());
+    }
+
+    #[test]
+    fn multi_stratum_evaluation() {
+        let program = parse_program(
+            "
+            m(X) :- r2(X), X > 2.
+            h(X) :- m(X), v(X).
+            ",
+        )
+        .unwrap();
+        let mut db = setup();
+        let mut ctx = EvalContext::new(&mut db);
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        let h = out.relation(&PredRef::plain("h")).unwrap();
+        assert_eq!(h.len(), 1);
+        assert!(h.contains(&tuple![4]));
+    }
+
+    #[test]
+    fn selection_with_string_comparison() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "p",
+                2,
+                vec![
+                    tuple!["ann", "1961-05-05"],
+                    tuple!["bob", "1962-06-07"],
+                    tuple!["joe", "1963-01-01"],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let program = parse_program(
+            "b62(E, B) :- p(E, B), not B < '1962-01-01', not B > '1962-12-31'.",
+        )
+        .unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        let r = out.relation(&PredRef::plain("b62")).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple!["bob", "1962-06-07"]));
+    }
+
+    #[test]
+    fn anonymous_variable_semantics() {
+        // retired(E) :- p(E,_), not q(E,_) — anonymous positions are
+        // inner existentials on both polarities.
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("p", 2, vec![tuple![1, 10], tuple![2, 20]]).unwrap(),
+        )
+        .unwrap();
+        db.add_relation(Relation::with_tuples("q", 2, vec![tuple![1, 99]]).unwrap())
+            .unwrap();
+        let program = parse_program("retired(E) :- p(E, _), not q(E, _).").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        let r = out.relation(&PredRef::plain("retired")).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple![2]));
+    }
+
+    #[test]
+    fn repeated_variables_in_atoms() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("e", 2, vec![tuple![1, 1], tuple![1, 2]]).unwrap(),
+        )
+        .unwrap();
+        let program = parse_program("diag(X) :- e(X, X).").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        let r = out.relation(&PredRef::plain("diag")).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple![1]));
+    }
+
+    #[test]
+    fn head_constants_are_emitted() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("f", 2, vec![tuple!["ann", 1960]]).unwrap())
+            .unwrap();
+        let program = parse_program("res(E, B, 'F') :- f(E, B).").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        let r = out.relation(&PredRef::plain("res")).unwrap();
+        assert!(r.contains(&tuple!["ann", 1960, "F"]));
+    }
+
+    #[test]
+    fn facts_and_union() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r", 1, vec![tuple![5]]).unwrap())
+            .unwrap();
+        let program = parse_program("u(1). u(X) :- r(X).").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        let u = out.relation(&PredRef::plain("u")).unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(&tuple![1]) && u.contains(&tuple![5]));
+    }
+
+    #[test]
+    fn constraint_violation_detection() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("v", 3, vec![tuple![1, 1, 1], tuple![1, 1, 5]]).unwrap(),
+        )
+        .unwrap();
+        let program = parse_program("false :- v(X, Y, Z), Z > 2.").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let violated = violated_constraints(&program, &mut ctx).unwrap();
+        assert_eq!(violated.len(), 1);
+    }
+
+    #[test]
+    fn constraint_satisfied() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("v", 3, vec![tuple![1, 1, 1]]).unwrap())
+            .unwrap();
+        let program = parse_program("false :- v(X, Y, Z), Z > 2.").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        assert!(violated_constraints(&program, &mut ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn constraint_over_idb_predicate() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r", 1, vec![tuple![10]]).unwrap())
+            .unwrap();
+        let program = parse_program(
+            "
+            big(X) :- r(X), X > 5.
+            false :- big(X).
+            ",
+        )
+        .unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        assert_eq!(violated_constraints(&program, &mut ctx).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cross_sort_comparison_is_an_error() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r", 1, vec![tuple!["abc"]]).unwrap())
+            .unwrap();
+        let program = parse_program("h(X) :- r(X), X > 5.").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        assert!(matches!(
+            evaluate_program(&program, &mut ctx),
+            Err(EvalError::SortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r", 2, vec![tuple![1, 2]]).unwrap())
+            .unwrap();
+        let program = parse_program("h(X) :- r(X).").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        assert!(matches!(
+            evaluate_program(&program, &mut ctx),
+            Err(EvalError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluate_query_selects_one_relation() {
+        let mut db = setup();
+        let program = parse_program("h(X) :- r2(X). g(X) :- r1(X).").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let h = evaluate_query(&program, &PredRef::plain("h"), &mut ctx).unwrap();
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn overlay_view_shadows_base_in_program() {
+        // Evaluating putdelta against an *updated* view supplied as overlay.
+        let mut db = setup(); // base v = {1,3,4}
+        let program = parse_program("-r2(X) :- r2(X), not v(X).").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        ctx.insert_overlay(Relation::with_tuples("v", 1, vec![tuple![2]]).unwrap());
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        let del = out.relation(&PredRef::del("r2")).unwrap();
+        // with overlay v = {2}: r2 = {2,4} minus v -> delete 4 only
+        assert_eq!(del.len(), 1);
+        assert!(del.contains(&tuple![4]));
+    }
+
+    #[test]
+    fn negated_equality_filter() {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("g", 1, vec![tuple!["M"], tuple!["F"], tuple!["X"]]).unwrap(),
+        )
+        .unwrap();
+        let program = parse_program("o(G) :- g(G), not G = 'M', not G = 'F'.").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        let o = out.relation(&PredRef::plain("o")).unwrap();
+        assert_eq!(o.len(), 1);
+        assert!(o.contains(&tuple!["X"]));
+    }
+}

@@ -1,0 +1,353 @@
+//! Greedy join planning for a single rule.
+//!
+//! The planner orders body literals so that:
+//!
+//! 1. cheap *filters* (negated atoms, comparisons, fully-bound positive
+//!    atoms) run as early as their variables are bound;
+//! 2. grounding equalities (`X = c`, `X = Y` with one side bound) bind
+//!    immediately;
+//! 3. remaining positive atoms are chosen greedily by (most bound argument
+//!    positions, smallest relation) — so a rule whose body contains a tiny
+//!    delta relation starts its join there, giving the `O(|Δ|)` behaviour
+//!    the incrementalized strategies rely on (paper §5 / Figure 6).
+//!
+//! Planning also records which `(relation, columns)` hash indexes the
+//! execution will probe so the evaluator can build them up front.
+
+use crate::context::EvalContext;
+use crate::error::{EvalError, EvalResult};
+use birds_datalog::{CmpOp, Literal, Rule, Term};
+use std::collections::BTreeSet;
+
+/// How a planned literal will be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepKind {
+    /// Positive atom that binds at least one new variable: iterate probe
+    /// results.
+    Join,
+    /// Positive atom whose non-anonymous variables are all bound:
+    /// existence check.
+    ExistsCheck,
+    /// Negated atom: non-existence check.
+    NegCheck,
+    /// Builtin filter (comparison, or equality with both sides bound).
+    Filter,
+    /// Positive equality that assigns a value to an unbound variable.
+    Bind,
+}
+
+/// One step of a rule plan: which body literal to run and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Index into `rule.body`.
+    pub literal: usize,
+    /// Execution mode.
+    pub kind: StepKind,
+    /// For atom steps: argument positions that are bound (constant or
+    /// bound variable) at this point — the index probe columns.
+    pub probe_cols: Vec<usize>,
+}
+
+/// A complete plan for one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RulePlan {
+    /// Ordered steps covering every body literal exactly once.
+    pub steps: Vec<Step>,
+    /// `(relation flat name, columns)` indexes the plan will probe.
+    pub index_requests: Vec<(String, Vec<usize>)>,
+}
+
+/// Positions of an atom's terms that are bound given `bound` variables.
+/// Anonymous variables are never bound.
+fn bound_positions(terms: &[Term], bound: &BTreeSet<String>) -> Vec<usize> {
+    terms
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => !t.is_anonymous() && bound.contains(v),
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Is `t` resolvable (a constant or a bound variable)?
+fn resolvable(t: &Term, bound: &BTreeSet<String>) -> bool {
+    match t {
+        Term::Const(_) => true,
+        Term::Var(v) => bound.contains(v),
+    }
+}
+
+/// Plan a rule against the current context (relation sizes drive the
+/// greedy choice; all body relations must already exist).
+pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+    let mut steps = Vec::new();
+    let mut index_requests = Vec::new();
+
+    let push_atom_step =
+        |literal: usize,
+         kind: StepKind,
+         flat: String,
+         arity: usize,
+         probe_cols: Vec<usize>,
+         steps: &mut Vec<Step>,
+         index_requests: &mut Vec<(String, Vec<usize>)>| {
+            if !probe_cols.is_empty() && probe_cols.len() < arity {
+                index_requests.push((flat, probe_cols.clone()));
+            }
+            steps.push(Step {
+                literal,
+                kind,
+                probe_cols,
+            });
+        };
+
+    while !remaining.is_empty() {
+        // Phase 1: place every literal currently usable as a filter/binder.
+        let mut placed_any = true;
+        while placed_any {
+            placed_any = false;
+            let mut i = 0;
+            while i < remaining.len() {
+                let li = remaining[i];
+                match &rule.body[li] {
+                    Literal::Atom { atom, negated } => {
+                        let named_vars_bound = atom.terms.iter().all(|t| match t {
+                            Term::Const(_) => true,
+                            Term::Var(v) => t.is_anonymous() || bound.contains(v),
+                        });
+                        if named_vars_bound {
+                            let cols = bound_positions(&atom.terms, &bound);
+                            let kind = if *negated {
+                                StepKind::NegCheck
+                            } else {
+                                StepKind::ExistsCheck
+                            };
+                            push_atom_step(
+                                li,
+                                kind,
+                                atom.pred.flat_name(),
+                                atom.arity(),
+                                cols,
+                                &mut steps,
+                                &mut index_requests,
+                            );
+                            remaining.remove(i);
+                            placed_any = true;
+                            continue;
+                        }
+                        i += 1;
+                    }
+                    Literal::Builtin {
+                        op,
+                        left,
+                        right,
+                        negated,
+                    } => {
+                        let l_ok = resolvable(left, &bound);
+                        let r_ok = resolvable(right, &bound);
+                        if l_ok && r_ok {
+                            steps.push(Step {
+                                literal: li,
+                                kind: StepKind::Filter,
+                                probe_cols: vec![],
+                            });
+                            remaining.remove(i);
+                            placed_any = true;
+                            continue;
+                        }
+                        // Grounding equality: bind the unbound side.
+                        if *op == CmpOp::Eq && !*negated && (l_ok || r_ok) {
+                            let newly = if l_ok { right } else { left };
+                            if let Term::Var(v) = newly {
+                                bound.insert(v.clone());
+                                steps.push(Step {
+                                    literal: li,
+                                    kind: StepKind::Bind,
+                                    probe_cols: vec![],
+                                });
+                                remaining.remove(i);
+                                placed_any = true;
+                                continue;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if remaining.is_empty() {
+            break;
+        }
+
+        // Phase 2: choose the next positive atom to join.
+        let mut best: Option<(usize, usize, usize, usize)> = None; // (pos in remaining, li, -bound count inverted, size)
+        for (pos, &li) in remaining.iter().enumerate() {
+            if let Literal::Atom {
+                atom,
+                negated: false,
+            } = &rule.body[li]
+            {
+                let flat = atom.pred.flat_name();
+                let size = ctx
+                    .relation_len(&flat)
+                    .ok_or_else(|| EvalError::UnknownRelation(flat.clone()))?;
+                let nbound = bound_positions(&atom.terms, &bound).len();
+                let better = match best {
+                    None => true,
+                    Some((_, _, best_bound, best_size)) => {
+                        // Prefer: at least one bound position (indexable),
+                        // then smaller relation, then more bound positions.
+                        let cand_indexed = nbound > 0;
+                        let best_indexed = best_bound > 0;
+                        (cand_indexed, std::cmp::Reverse(size), nbound)
+                            > (best_indexed, std::cmp::Reverse(best_size), best_bound)
+                    }
+                };
+                if better {
+                    best = Some((pos, li, nbound, size));
+                }
+            }
+        }
+        let Some((pos, li, _, _)) = best else {
+            // Only negated atoms / builtins with unbound variables remain.
+            let lit = &rule.body[remaining[0]];
+            let var = lit
+                .variables()
+                .into_iter()
+                .find(|v| !bound.contains(*v))
+                .unwrap_or("?")
+                .to_owned();
+            return Err(EvalError::UnsafeRule {
+                rule: rule.to_string(),
+                variable: var,
+            });
+        };
+        let Literal::Atom { atom, .. } = &rule.body[li] else {
+            unreachable!()
+        };
+        let cols = bound_positions(&atom.terms, &bound);
+        for t in &atom.terms {
+            if let Term::Var(v) = t {
+                if !t.is_anonymous() {
+                    bound.insert(v.clone());
+                }
+            }
+        }
+        push_atom_step(
+            li,
+            StepKind::Join,
+            atom.pred.flat_name(),
+            atom.arity(),
+            cols,
+            &mut steps,
+            &mut index_requests,
+        );
+        remaining.remove(pos);
+    }
+
+    Ok(RulePlan {
+        steps,
+        index_requests,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_datalog::parse_rule;
+    use birds_store::{Database, Relation};
+
+    fn ctx_with(db: &mut Database) -> EvalContext<'_> {
+        EvalContext::new(db)
+    }
+
+    fn db_sizes(sizes: &[(&str, usize, usize)]) -> Database {
+        // (name, arity, ntuples) with integer filler tuples
+        let mut db = Database::new();
+        for &(name, arity, n) in sizes {
+            let tuples = (0..n as i64).map(|i| {
+                birds_store::Tuple::new(
+                    (0..arity).map(|c| birds_store::Value::Int(i + c as i64)).collect(),
+                )
+            });
+            db.add_relation(Relation::with_tuples(name, arity, tuples).unwrap())
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn small_relation_drives_the_join() {
+        let mut db = db_sizes(&[("big", 2, 1000), ("+v", 2, 2)]);
+        let mut ctx = ctx_with(&mut db);
+        // +r(X,Y) :- +v(X,Y), big(X,Y) — plan must start at +v.
+        let rule = parse_rule("+r(X, Y) :- big(X, Y), +v(X, Y).").unwrap();
+        let plan = plan_rule(&rule, &mut ctx).unwrap();
+        assert_eq!(plan.steps[0].literal, 1, "join starts at +v");
+        // big(X,Y) then fully bound -> exists check, no partial index.
+        assert_eq!(plan.steps[1].kind, StepKind::ExistsCheck);
+    }
+
+    #[test]
+    fn negated_atoms_run_once_bound() {
+        let mut db = db_sizes(&[("r", 1, 10), ("s", 1, 10)]);
+        let mut ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(X) :- r(X), not s(X).").unwrap();
+        let plan = plan_rule(&rule, &mut ctx).unwrap();
+        assert_eq!(
+            plan.steps.iter().map(|s| s.kind.clone()).collect::<Vec<_>>(),
+            vec![StepKind::Join, StepKind::NegCheck]
+        );
+    }
+
+    #[test]
+    fn grounding_equality_binds_before_probe() {
+        let mut db = db_sizes(&[("r", 2, 100)]);
+        let mut ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(X) :- r(X, Y), Y = 5.").unwrap();
+        let plan = plan_rule(&rule, &mut ctx).unwrap();
+        // Y = 5 binds first, then r(X,Y) probes with column 1 bound.
+        assert_eq!(plan.steps[0].kind, StepKind::Bind);
+        assert_eq!(plan.steps[1].kind, StepKind::Join);
+        assert_eq!(plan.steps[1].probe_cols, vec![1]);
+        assert_eq!(plan.index_requests, vec![("r".to_string(), vec![1])]);
+    }
+
+    #[test]
+    fn unknown_relation_reported() {
+        let mut db = db_sizes(&[]);
+        let mut ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(X) :- ghost(X).").unwrap();
+        assert!(matches!(
+            plan_rule(&rule, &mut ctx),
+            Err(EvalError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn unsafe_rule_detected_at_planning() {
+        let mut db = db_sizes(&[("r", 1, 1)]);
+        let ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(X) :- r(X), not s(X, Y).").unwrap();
+        // s is unknown AND Y unbound; make s known to isolate unsafety.
+        db_sizes(&[]);
+        let mut db2 = db_sizes(&[("r", 1, 1), ("s", 2, 1)]);
+        let mut ctx2 = ctx_with(&mut db2);
+        let err = plan_rule(&rule, &mut ctx2).unwrap_err();
+        assert!(matches!(err, EvalError::UnsafeRule { .. }));
+        let _ = ctx; // silence unused in the first setup
+    }
+
+    #[test]
+    fn constants_count_as_bound_positions() {
+        let mut db = db_sizes(&[("r", 2, 50)]);
+        let mut ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(X) :- r(X, 7).").unwrap();
+        let plan = plan_rule(&rule, &mut ctx).unwrap();
+        assert_eq!(plan.steps[0].probe_cols, vec![1]);
+    }
+}

@@ -1,0 +1,460 @@
+//! First-order formulas over the Datalog vocabulary.
+
+use birds_datalog::{CmpOp, PredRef, Term};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A first-order formula. Terms and predicate references are shared with
+/// the Datalog AST, so conversions in both directions are loss-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Relational atom `r(t1, …, tk)`.
+    Rel(PredRef, Vec<Term>),
+    /// Comparison / equality `t1 op t2`.
+    Cmp(CmpOp, Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction (empty = `⊤`).
+    And(Vec<Formula>),
+    /// N-ary disjunction (empty = `⊥`).
+    Or(Vec<Formula>),
+    /// Existential quantification over the listed variables.
+    Exists(Vec<String>, Box<Formula>),
+    /// Universal quantification over the listed variables.
+    Forall(Vec<String>, Box<Formula>),
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+}
+
+impl Formula {
+    /// Convenience: `¬f` with double-negation collapse.
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::Not(inner) => *inner,
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Convenience: conjunction with unit / absorbing simplification.
+    pub fn and(fs: Vec<Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().unwrap(),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Convenience: disjunction with unit / absorbing simplification.
+    pub fn or(fs: Vec<Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().unwrap(),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Convenience: `∃vars. f`, dropping empty quantifiers and merging
+    /// nested existentials.
+    pub fn exists(vars: Vec<String>, f: Formula) -> Formula {
+        if vars.is_empty() {
+            return f;
+        }
+        match f {
+            Formula::Exists(mut inner_vars, inner) => {
+                let mut all = vars;
+                all.extend(inner_vars.drain(..));
+                Formula::Exists(all, inner)
+            }
+            other => Formula::Exists(vars, Box::new(other)),
+        }
+    }
+
+    /// Equality shorthand.
+    pub fn eq(a: Term, b: Term) -> Formula {
+        Formula::Cmp(CmpOp::Eq, a, b)
+    }
+
+    /// Number of nodes in the formula tree (a cost estimate for grounding).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Formula::Not(f) => f.size(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(Formula::size).sum(),
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.size(),
+            _ => 0,
+        }
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        fn go(f: &Formula, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+            match f {
+                Formula::Rel(_, terms) => {
+                    for t in terms {
+                        if let Term::Var(v) = t {
+                            if !bound.iter().any(|b| b == v) {
+                                out.insert(v.clone());
+                            }
+                        }
+                    }
+                }
+                Formula::Cmp(_, a, b) => {
+                    for t in [a, b] {
+                        if let Term::Var(v) = t {
+                            if !bound.iter().any(|x| x == v) {
+                                out.insert(v.clone());
+                            }
+                        }
+                    }
+                }
+                Formula::Not(inner) => go(inner, bound, out),
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for f in fs {
+                        go(f, bound, out);
+                    }
+                }
+                Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
+                    let n = bound.len();
+                    bound.extend(vars.iter().cloned());
+                    go(inner, bound, out);
+                    bound.truncate(n);
+                }
+                Formula::True | Formula::False => {}
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// All predicates mentioned (with the arity of first occurrence).
+    pub fn predicates(&self) -> BTreeMap<PredRef, usize> {
+        fn go(f: &Formula, out: &mut BTreeMap<PredRef, usize>) {
+            match f {
+                Formula::Rel(p, terms) => {
+                    out.entry(p.clone()).or_insert(terms.len());
+                }
+                Formula::Cmp(..) | Formula::True | Formula::False => {}
+                Formula::Not(inner) => go(inner, out),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|f| go(f, out)),
+                Formula::Exists(_, inner) | Formula::Forall(_, inner) => go(inner, out),
+            }
+        }
+        let mut out = BTreeMap::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// All constants mentioned.
+    pub fn constants(&self) -> BTreeSet<birds_store::Value> {
+        fn term(t: &Term, out: &mut BTreeSet<birds_store::Value>) {
+            if let Term::Const(v) = t {
+                out.insert(v.clone());
+            }
+        }
+        fn go(f: &Formula, out: &mut BTreeSet<birds_store::Value>) {
+            match f {
+                Formula::Rel(_, terms) => terms.iter().for_each(|t| term(t, out)),
+                Formula::Cmp(_, a, b) => {
+                    term(a, out);
+                    term(b, out);
+                }
+                Formula::Not(inner) => go(inner, out),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|f| go(f, out)),
+                Formula::Exists(_, inner) | Formula::Forall(_, inner) => go(inner, out),
+                Formula::True | Formula::False => {}
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// Capture-avoiding substitution of free variables by terms.
+    ///
+    /// Bound variables that would capture a substituted term's variable are
+    /// renamed using `fresh`.
+    pub fn substitute(&self, map: &BTreeMap<String, Term>, fresh: &mut FreshVars) -> Formula {
+        match self {
+            Formula::Rel(p, terms) => Formula::Rel(
+                p.clone(),
+                terms.iter().map(|t| subst_term(t, map)).collect(),
+            ),
+            Formula::Cmp(op, a, b) => {
+                Formula::Cmp(*op, subst_term(a, map), subst_term(b, map))
+            }
+            Formula::Not(inner) => Formula::Not(Box::new(inner.substitute(map, fresh))),
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|f| f.substitute(map, fresh)).collect())
+            }
+            Formula::Or(fs) => {
+                Formula::Or(fs.iter().map(|f| f.substitute(map, fresh)).collect())
+            }
+            Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
+                // Variables being substituted *into* the formula:
+                let incoming: BTreeSet<&str> = map
+                    .values()
+                    .filter_map(Term::as_var)
+                    .collect();
+                let mut new_vars = Vec::with_capacity(vars.len());
+                let mut inner_map = map.clone();
+                for v in vars {
+                    // A bound variable shadows any outer substitution.
+                    inner_map.remove(v);
+                    if incoming.contains(v.as_str()) {
+                        let nv = fresh.next_var();
+                        inner_map.insert(v.clone(), Term::Var(nv.clone()));
+                        new_vars.push(nv);
+                    } else {
+                        new_vars.push(v.clone());
+                    }
+                }
+                let new_inner = inner.substitute(&inner_map, fresh);
+                match self {
+                    Formula::Exists(..) => Formula::Exists(new_vars, Box::new(new_inner)),
+                    _ => Formula::Forall(new_vars, Box::new(new_inner)),
+                }
+            }
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+        }
+    }
+
+    /// Rename every bound variable to a globally fresh name. Useful before
+    /// transformations that move subformulas across quantifiers.
+    pub fn alpha_rename(&self, fresh: &mut FreshVars) -> Formula {
+        fn go(f: &Formula, map: &BTreeMap<String, Term>, fresh: &mut FreshVars) -> Formula {
+            match f {
+                Formula::Rel(p, terms) => Formula::Rel(
+                    p.clone(),
+                    terms.iter().map(|t| subst_term(t, map)).collect(),
+                ),
+                Formula::Cmp(op, a, b) => {
+                    Formula::Cmp(*op, subst_term(a, map), subst_term(b, map))
+                }
+                Formula::Not(inner) => Formula::Not(Box::new(go(inner, map, fresh))),
+                Formula::And(fs) => {
+                    Formula::And(fs.iter().map(|f| go(f, map, fresh)).collect())
+                }
+                Formula::Or(fs) => Formula::Or(fs.iter().map(|f| go(f, map, fresh)).collect()),
+                Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
+                    let mut inner_map = map.clone();
+                    let mut new_vars = Vec::with_capacity(vars.len());
+                    for v in vars {
+                        let nv = fresh.next_var();
+                        inner_map.insert(v.clone(), Term::Var(nv.clone()));
+                        new_vars.push(nv);
+                    }
+                    let new_inner = go(inner, &inner_map, fresh);
+                    match f {
+                        Formula::Exists(..) => Formula::Exists(new_vars, Box::new(new_inner)),
+                        _ => Formula::Forall(new_vars, Box::new(new_inner)),
+                    }
+                }
+                Formula::True => Formula::True,
+                Formula::False => Formula::False,
+            }
+        }
+        go(self, &BTreeMap::new(), fresh)
+    }
+}
+
+fn subst_term(t: &Term, map: &BTreeMap<String, Term>) -> Term {
+    match t {
+        Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+        Term::Const(_) => t.clone(),
+    }
+}
+
+/// Fresh variable name generator shared across transformations.
+#[derive(Debug, Default)]
+pub struct FreshVars {
+    counter: usize,
+}
+
+impl FreshVars {
+    /// New generator starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next fresh variable name (`V!0`, `V!1`, …; the `!` cannot appear in
+    /// parsed variable names, so freshness is global).
+    pub fn next_var(&mut self) -> String {
+        let v = format!("V!{}", self.counter);
+        self.counter += 1;
+        v
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Rel(p, terms) => {
+                write!(f, "{p}(")?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Cmp(op, a, b) => write!(f, "{a} {} {b}", op.symbol()),
+            Formula::Not(inner) => write!(f, "¬({inner})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(vars, inner) => write!(f, "∃{}.({inner})", vars.join(",")),
+            Formula::Forall(vars, inner) => write!(f, "∀{}.({inner})", vars.join(",")),
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_datalog::Term;
+
+    fn rel(name: &str, vars: &[&str]) -> Formula {
+        Formula::Rel(
+            PredRef::plain(name),
+            vars.iter().map(|v| Term::var(*v)).collect(),
+        )
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let f = Formula::exists(
+            vec!["Y".into()],
+            Formula::and(vec![rel("r", &["X", "Y"]), rel("s", &["Y", "Z"])]),
+        );
+        let fv = f.free_vars();
+        assert!(fv.contains("X") && fv.contains("Z") && !fv.contains("Y"));
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Formula::and(vec![]), Formula::True);
+        assert_eq!(Formula::or(vec![]), Formula::False);
+        assert_eq!(
+            Formula::and(vec![Formula::True, rel("r", &["X"])]),
+            rel("r", &["X"])
+        );
+        assert_eq!(
+            Formula::and(vec![Formula::False, rel("r", &["X"])]),
+            Formula::False
+        );
+        assert_eq!(Formula::not(Formula::not(rel("r", &["X"]))), rel("r", &["X"]));
+        // nested exists merge
+        let f = Formula::exists(
+            vec!["X".into()],
+            Formula::exists(vec!["Y".into()], rel("r", &["X", "Y"])),
+        );
+        match f {
+            Formula::Exists(vars, _) => assert_eq!(vars, vec!["X".to_string(), "Y".to_string()]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn substitution_is_capture_avoiding() {
+        // ∃Y r(X, Y) with X := Y must not capture.
+        let f = Formula::exists(vec!["Y".into()], rel("r", &["X", "Y"]));
+        let mut map = BTreeMap::new();
+        map.insert("X".to_string(), Term::var("Y"));
+        let mut fresh = FreshVars::new();
+        let g = f.substitute(&map, &mut fresh);
+        match g {
+            Formula::Exists(vars, inner) => {
+                assert_ne!(vars[0], "Y", "bound var must be renamed");
+                let fv = inner.free_vars();
+                assert!(fv.contains("Y"), "substituted Y must be free inside");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn substitution_shadowing() {
+        // ∃X r(X) with X := c is a no-op (X is bound).
+        let f = Formula::exists(vec!["X".into()], rel("r", &["X"]));
+        let mut map = BTreeMap::new();
+        map.insert("X".to_string(), Term::constant(1));
+        let mut fresh = FreshVars::new();
+        assert_eq!(f.substitute(&map, &mut fresh), f);
+    }
+
+    #[test]
+    fn predicates_and_constants_collection() {
+        let f = Formula::and(vec![
+            rel("r", &["X"]),
+            Formula::eq(Term::var("X"), Term::constant("M")),
+            Formula::not(Formula::Rel(
+                PredRef::ins("s"),
+                vec![Term::constant(3)],
+            )),
+        ]);
+        let preds = f.predicates();
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[&PredRef::ins("s")], 1);
+        let consts = f.constants();
+        assert!(consts.contains(&birds_store::Value::str("M")));
+        assert!(consts.contains(&birds_store::Value::int(3)));
+    }
+
+    #[test]
+    fn alpha_rename_preserves_free_vars() {
+        let f = Formula::exists(
+            vec!["Y".into()],
+            Formula::and(vec![rel("r", &["X", "Y"]), rel("s", &["Y", "Y"])]),
+        );
+        let mut fresh = FreshVars::new();
+        let g = f.alpha_rename(&mut fresh);
+        assert_eq!(g.free_vars(), f.free_vars());
+        match g {
+            Formula::Exists(vars, _) => assert!(vars[0].starts_with("V!")),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # birds-fol
+//!
+//! First-order logic substrate for the BIRDS reproduction. The paper's
+//! validation algorithm (§4) works by translating Datalog programs to
+//! first-order formulas and back:
+//!
+//! * **Datalog → FO** unfolding (the construction in the proof of
+//!   Lemma 3.1, Appendix A.2): every non-recursive Datalog query is
+//!   equivalent to an FO formula obtained by inlining IDB definitions;
+//! * **safe-range analysis** (`rr(φ)`, Appendix B) and **SRNF / RANF**
+//!   normal forms, following Abiteboul–Hull–Vianu as the paper does;
+//! * **FO → Datalog** translation of safe-range formulas (Appendix B),
+//!   used to express the derived view definition `get` as a Datalog
+//!   query.
+//!
+//! The bounded satisfiability solver (`birds-solver`) consumes the
+//! [`Formula`] type defined here.
+
+pub mod formula;
+pub mod miniscope;
+pub mod ranf;
+pub mod range;
+pub mod srnf;
+pub mod to_datalog;
+pub mod unfold;
+
+pub use formula::Formula;
+pub use miniscope::miniscope;
+pub use ranf::{to_ranf, RanfError};
+pub use range::{is_safe_range, range_restricted};
+pub use srnf::to_srnf;
+pub use to_datalog::{formula_to_datalog, ToDatalogError};
+pub use unfold::{unfold_constraint, unfold_query, UnfoldError};

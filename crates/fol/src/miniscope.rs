@@ -1,0 +1,292 @@
+//! Quantifier miniscoping: push quantifiers to their smallest scope.
+//!
+//! The bounded solver grounds `∃x1…xk φ` by enumerating the full domain
+//! product over `x1…xk`, which is exponential in `k`. Miniscoping splits
+//! conjunctions under an existential into *variable-connected components*
+//! and distributes existentials over disjunctions, so the expansion cost
+//! becomes the product over each small component instead of the whole
+//! prefix:
+//!
+//! * `∃x (A(x) ∧ B)        ≡ (∃x A(x)) ∧ B`
+//! * `∃x,y (A(x) ∧ B(y))   ≡ (∃x A(x)) ∧ (∃y B(y))`
+//! * `∃x (A ∨ B)           ≡ (∃x A) ∨ (∃x B)`
+//! * dually for `∀` (which distributes over `∧`, and splits out of `∨`
+//!   for disjuncts not using the variable).
+
+use crate::formula::Formula;
+use std::collections::BTreeSet;
+
+/// Push quantifiers inward as far as possible.
+pub fn miniscope(f: &Formula) -> Formula {
+    match f {
+        Formula::Rel(..) | Formula::Cmp(..) | Formula::True | Formula::False => f.clone(),
+        Formula::Not(inner) => Formula::not(miniscope(inner)),
+        Formula::And(fs) => Formula::and(fs.iter().map(miniscope).collect()),
+        Formula::Or(fs) => Formula::or(fs.iter().map(miniscope).collect()),
+        Formula::Exists(vars, inner) => scope_exists(vars, &miniscope(inner)),
+        Formula::Forall(vars, inner) => scope_forall(vars, &miniscope(inner)),
+    }
+}
+
+/// Distribute `∃vars` over an already-miniscoped body.
+fn scope_exists(vars: &[String], inner: &Formula) -> Formula {
+    // Drop unused variables.
+    let free = inner.free_vars();
+    let vars: Vec<String> = vars.iter().filter(|v| free.contains(*v)).cloned().collect();
+    if vars.is_empty() {
+        return inner.clone();
+    }
+    match inner {
+        // ∃x (A ∨ B) ≡ ∃x A ∨ ∃x B
+        Formula::Or(ds) => Formula::or(
+            ds.iter()
+                .map(|d| scope_exists(&vars, d))
+                .collect(),
+        ),
+        Formula::And(parts) => {
+            // Split into components connected through the quantified vars.
+            let groups = connected_components(parts, &vars);
+            let mut out = Vec::with_capacity(groups.len());
+            for (group_vars, group_parts) in groups {
+                let conj = Formula::and(group_parts);
+                if group_vars.is_empty() {
+                    out.push(conj);
+                } else if group_parts_len_one_or(&conj) {
+                    // Try pushing further into a single part (e.g. an Or).
+                    out.push(scope_exists(&group_vars.into_iter().collect::<Vec<_>>(), &conj));
+                } else {
+                    out.push(Formula::exists(
+                        group_vars.into_iter().collect(),
+                        conj,
+                    ));
+                }
+            }
+            Formula::and(out)
+        }
+        // Nested exists: merge and retry.
+        Formula::Exists(inner_vars, g) => {
+            let mut all = vars.clone();
+            all.extend(inner_vars.iter().cloned());
+            scope_exists(&all, g)
+        }
+        _ => Formula::exists(vars, inner.clone()),
+    }
+}
+
+fn group_parts_len_one_or(f: &Formula) -> bool {
+    matches!(f, Formula::Or(_))
+}
+
+/// Distribute `∀vars` over an already-miniscoped body.
+fn scope_forall(vars: &[String], inner: &Formula) -> Formula {
+    let free = inner.free_vars();
+    let vars: Vec<String> = vars.iter().filter(|v| free.contains(*v)).cloned().collect();
+    if vars.is_empty() {
+        return inner.clone();
+    }
+    match inner {
+        // ∀x (A ∧ B) ≡ ∀x A ∧ ∀x B
+        Formula::And(cs) => Formula::and(
+            cs.iter()
+                .map(|c| scope_forall(&vars, c))
+                .collect(),
+        ),
+        Formula::Or(parts) => {
+            // ∀x (A(x) ∨ B) ≡ (∀x A(x)) ∨ B when x ∉ B: group disjuncts
+            // by connectivity through the quantified variables.
+            let groups = connected_components(parts, &vars);
+            let mut out = Vec::with_capacity(groups.len());
+            for (group_vars, group_parts) in groups {
+                let disj = Formula::or(group_parts);
+                if group_vars.is_empty() {
+                    out.push(disj);
+                } else {
+                    out.push(Formula::Forall(
+                        group_vars.into_iter().collect(),
+                        Box::new(disj),
+                    ));
+                }
+            }
+            Formula::or(out)
+        }
+        Formula::Forall(inner_vars, g) => {
+            let mut all = vars.clone();
+            all.extend(inner_vars.iter().cloned());
+            scope_forall(&all, g)
+        }
+        _ => Formula::Forall(vars, Box::new(inner.clone())),
+    }
+}
+
+/// Partition `parts` into groups connected through shared quantified
+/// variables; returns each group with the variables it owns. Parts using
+/// no quantified variable form a single var-free group.
+fn connected_components(
+    parts: &[Formula],
+    vars: &[String],
+) -> Vec<(BTreeSet<String>, Vec<Formula>)> {
+    let var_set: BTreeSet<&str> = vars.iter().map(String::as_str).collect();
+    let part_vars: Vec<BTreeSet<String>> = parts
+        .iter()
+        .map(|p| {
+            p.free_vars()
+                .into_iter()
+                .filter(|v| var_set.contains(v.as_str()))
+                .collect()
+        })
+        .collect();
+
+    // Union-find over parts.
+    let n = parts.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !part_vars[i].is_disjoint(&part_vars[j]) {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+
+    let mut groups: Vec<(BTreeSet<String>, Vec<Formula>)> = Vec::new();
+    let mut root_index: std::collections::BTreeMap<usize, usize> = Default::default();
+    let mut var_free: Vec<Formula> = Vec::new();
+    for i in 0..n {
+        if part_vars[i].is_empty() {
+            var_free.push(parts[i].clone());
+            continue;
+        }
+        let root = find(&mut parent, i);
+        let gi = *root_index.entry(root).or_insert_with(|| {
+            groups.push((BTreeSet::new(), Vec::new()));
+            groups.len() - 1
+        });
+        groups[gi].0.extend(part_vars[i].iter().cloned());
+        groups[gi].1.push(parts[i].clone());
+    }
+    if !var_free.is_empty() {
+        groups.push((BTreeSet::new(), var_free));
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_datalog::{PredRef, Term};
+
+    fn rel(name: &str, vars: &[&str]) -> Formula {
+        Formula::Rel(
+            PredRef::plain(name),
+            vars.iter().map(|v| Term::var(*v)).collect(),
+        )
+    }
+
+    #[test]
+    fn independent_conjuncts_split() {
+        // ∃x,y (A(x) ∧ B(y)) → (∃x A) ∧ (∃y B)
+        let f = Formula::Exists(
+            vec!["X".into(), "Y".into()],
+            Box::new(Formula::And(vec![rel("a", &["X"]), rel("b", &["Y"])])),
+        );
+        let g = miniscope(&f);
+        match &g {
+            Formula::And(cs) => {
+                assert_eq!(cs.len(), 2);
+                assert!(cs.iter().all(|c| matches!(c, Formula::Exists(vs, _) if vs.len() == 1)));
+            }
+            other => panic!("expected And, got {other}"),
+        }
+        assert_eq!(g.free_vars(), f.free_vars());
+    }
+
+    #[test]
+    fn var_free_conjunct_escapes() {
+        // ∃x (A(x) ∧ B(z)) → (∃x A(x)) ∧ B(z)
+        let f = Formula::Exists(
+            vec!["X".into()],
+            Box::new(Formula::And(vec![rel("a", &["X"]), rel("b", &["Z"])])),
+        );
+        let g = miniscope(&f);
+        match &g {
+            Formula::And(cs) => {
+                assert!(cs.iter().any(|c| matches!(c, Formula::Rel(..))));
+            }
+            other => panic!("expected And, got {other}"),
+        }
+    }
+
+    #[test]
+    fn exists_distributes_over_or() {
+        let f = Formula::Exists(
+            vec!["X".into()],
+            Box::new(Formula::Or(vec![rel("a", &["X"]), rel("b", &["X"])])),
+        );
+        let g = miniscope(&f);
+        assert!(matches!(g, Formula::Or(_)), "{g}");
+    }
+
+    #[test]
+    fn connected_parts_stay_together() {
+        // ∃x,y (A(x,y) ∧ B(y)) cannot be split.
+        let f = Formula::Exists(
+            vec!["X".into(), "Y".into()],
+            Box::new(Formula::And(vec![rel("a", &["X", "Y"]), rel("b", &["Y"])])),
+        );
+        let g = miniscope(&f);
+        match &g {
+            Formula::Exists(vs, _) => assert_eq!(vs.len(), 2),
+            other => panic!("expected Exists, got {other}"),
+        }
+    }
+
+    #[test]
+    fn forall_distributes_over_and_and_splits_or() {
+        // ∀x (A(x) ∨ B(z)) → (∀x A(x)) ∨ B(z)
+        let f = Formula::Forall(
+            vec!["X".into()],
+            Box::new(Formula::Or(vec![rel("a", &["X"]), rel("b", &["Z"])])),
+        );
+        let g = miniscope(&f);
+        match &g {
+            Formula::Or(ds) => {
+                assert!(ds.iter().any(|d| matches!(d, Formula::Forall(..))));
+                assert!(ds.iter().any(|d| matches!(d, Formula::Rel(..))));
+            }
+            other => panic!("expected Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unused_quantified_vars_are_dropped() {
+        let f = Formula::Exists(vec!["X".into(), "Z".into()], Box::new(rel("a", &["X"])));
+        let g = miniscope(&f);
+        match &g {
+            Formula::Exists(vs, _) => assert_eq!(vs, &vec!["X".to_string()]),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn miniscope_preserves_free_vars() {
+        let f = Formula::Exists(
+            vec!["X".into()],
+            Box::new(Formula::And(vec![
+                rel("a", &["X", "W"]),
+                Formula::not(rel("b", &["X"])),
+                rel("c", &["W"]),
+            ])),
+        );
+        let g = miniscope(&f);
+        assert_eq!(g.free_vars(), f.free_vars());
+    }
+}

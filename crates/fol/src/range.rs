@@ -1,0 +1,169 @@
+//! Range restriction analysis (`rr(φ)`), per Appendix B.
+//!
+//! `rr` is defined on SRNF formulas. `⊥` (represented as `None`) signals
+//! that some quantified variable is not range-restricted; `⊥` is
+//! contagious through all set operations.
+
+use crate::formula::Formula;
+use crate::srnf::is_srnf;
+use birds_datalog::{CmpOp, Term};
+use std::collections::BTreeSet;
+
+/// Range-restricted variables of an SRNF formula. `None` encodes the
+/// appendix's `⊥` marker.
+pub fn range_restricted(f: &Formula) -> Option<BTreeSet<String>> {
+    debug_assert!(is_srnf(f), "rr is defined on SRNF formulas: {f}");
+    match f {
+        Formula::Rel(_, terms) => Some(
+            terms
+                .iter()
+                .filter_map(Term::as_var)
+                .map(str::to_owned)
+                .collect(),
+        ),
+        Formula::Cmp(CmpOp::Eq, a, b) => match (a, b) {
+            (Term::Var(x), Term::Const(_)) | (Term::Const(_), Term::Var(x)) => {
+                Some([x.clone()].into())
+            }
+            _ => Some(BTreeSet::new()),
+        },
+        // Comparisons restrict nothing.
+        Formula::Cmp(..) => Some(BTreeSet::new()),
+        Formula::Not(_) | Formula::True | Formula::False => Some(BTreeSet::new()),
+        Formula::And(fs) => {
+            // Union of conjunct rr's, then propagate variable-variable
+            // equalities (φ1 ∧ x = y case of the appendix).
+            let mut set = BTreeSet::new();
+            for g in fs {
+                set.extend(range_restricted(g)?);
+            }
+            loop {
+                let mut changed = false;
+                for g in fs {
+                    if let Formula::Cmp(CmpOp::Eq, Term::Var(x), Term::Var(y)) = g {
+                        if set.contains(x) && set.insert(y.clone()) {
+                            changed = true;
+                        }
+                        if set.contains(y) && set.insert(x.clone()) {
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            Some(set)
+        }
+        Formula::Or(fs) => {
+            let mut iter = fs.iter();
+            let mut set = range_restricted(iter.next()?)?;
+            for g in iter {
+                let other = range_restricted(g)?;
+                set = set.intersection(&other).cloned().collect();
+            }
+            Some(set)
+        }
+        Formula::Exists(vars, inner) => {
+            let inner_rr = range_restricted(inner)?;
+            if vars.iter().all(|v| inner_rr.contains(v)) {
+                Some(
+                    inner_rr
+                        .into_iter()
+                        .filter(|v| !vars.contains(v))
+                        .collect(),
+                )
+            } else {
+                None // ⊥: a quantified variable is not restricted
+            }
+        }
+        Formula::Forall(..) => unreachable!("SRNF has no universal quantifiers"),
+    }
+}
+
+/// Is the SRNF formula safe-range, i.e. `rr(φ) = free(φ)`?
+pub fn is_safe_range(f: &Formula) -> bool {
+    match range_restricted(f) {
+        Some(rr) => rr == f.free_vars(),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_datalog::PredRef;
+
+    fn rel(name: &str, vars: &[&str]) -> Formula {
+        Formula::Rel(
+            PredRef::plain(name),
+            vars.iter().map(|v| Term::var(*v)).collect(),
+        )
+    }
+
+    #[test]
+    fn atoms_restrict_their_variables() {
+        let f = rel("r", &["X", "Y"]);
+        assert!(is_safe_range(&f));
+    }
+
+    #[test]
+    fn negation_restricts_nothing() {
+        let f = Formula::not(rel("r", &["X"]));
+        assert!(!is_safe_range(&f));
+        // but conjoined with a positive atom it is fine
+        let g = Formula::and(vec![rel("s", &["X"]), Formula::not(rel("r", &["X"]))]);
+        assert!(is_safe_range(&g));
+    }
+
+    #[test]
+    fn constant_equality_restricts() {
+        let f = Formula::eq(Term::var("X"), Term::constant(1));
+        assert!(is_safe_range(&f));
+    }
+
+    #[test]
+    fn variable_equality_propagates_in_conjunction() {
+        let f = Formula::and(vec![
+            rel("r", &["X"]),
+            Formula::eq(Term::var("X"), Term::var("Y")),
+        ]);
+        assert!(is_safe_range(&f));
+    }
+
+    #[test]
+    fn disjunction_intersects() {
+        // r(X) ∨ s(X,Y) restricts only X.
+        let f = Formula::or(vec![rel("r", &["X"]), rel("s", &["X", "Y"])]);
+        let rr = range_restricted(&f).unwrap();
+        assert!(rr.contains("X") && !rr.contains("Y"));
+        assert!(!is_safe_range(&f));
+    }
+
+    #[test]
+    fn unrestricted_quantified_variable_is_bottom() {
+        // ∃Y ¬r(X,Y): Y not restricted -> ⊥
+        let f = Formula::exists(vec!["Y".into()], Formula::not(rel("r", &["X", "Y"])));
+        assert_eq!(range_restricted(&f), None);
+        // ⊥ is contagious through conjunction.
+        let g = Formula::and(vec![rel("s", &["X"]), f]);
+        assert_eq!(range_restricted(&g), None);
+    }
+
+    #[test]
+    fn well_restricted_existential() {
+        let f = Formula::exists(
+            vec!["Y".into()],
+            Formula::and(vec![rel("r", &["X", "Y"]), Formula::not(rel("s", &["Y"]))]),
+        );
+        assert!(is_safe_range(&f));
+    }
+
+    #[test]
+    fn comparisons_restrict_nothing() {
+        let f = Formula::Cmp(CmpOp::Lt, Term::var("X"), Term::constant(5));
+        assert!(!is_safe_range(&f));
+        let g = Formula::and(vec![rel("r", &["X"]), f]);
+        assert!(is_safe_range(&g));
+    }
+}

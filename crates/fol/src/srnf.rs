@@ -1,0 +1,145 @@
+//! Safe-range normal form (SRNF), per Appendix B.
+//!
+//! SRNF formulas have no universal quantifiers, no implications, and no
+//! conjunction or disjunction directly below a negation sign. The
+//! transformation applies the standard equivalences:
+//!
+//! * `∀x ψ ≡ ¬∃x ¬ψ`
+//! * `¬¬ψ ≡ ψ`
+//! * `¬(ψ1 ∨ … ∨ ψn) ≡ ¬ψ1 ∧ … ∧ ¬ψn`
+//! * `¬(ψ1 ∧ … ∧ ψn) ≡ ¬ψ1 ∨ … ∨ ¬ψn`
+
+use crate::formula::Formula;
+
+/// Convert a formula to SRNF.
+pub fn to_srnf(f: &Formula) -> Formula {
+    match f {
+        Formula::Rel(..) | Formula::Cmp(..) | Formula::True | Formula::False => f.clone(),
+        Formula::And(fs) => Formula::and(fs.iter().map(to_srnf).collect()),
+        Formula::Or(fs) => Formula::or(fs.iter().map(to_srnf).collect()),
+        Formula::Exists(vars, inner) => Formula::exists(vars.clone(), to_srnf(inner)),
+        Formula::Forall(vars, inner) => {
+            // ∀x ψ ≡ ¬∃x ¬ψ
+            to_srnf(&Formula::not(Formula::exists(
+                vars.clone(),
+                Formula::not((**inner).clone()),
+            )))
+        }
+        Formula::Not(inner) => match &**inner {
+            Formula::Not(g) => to_srnf(g),
+            Formula::And(fs) => {
+                Formula::or(fs.iter().map(|g| to_srnf(&Formula::not(g.clone()))).collect())
+            }
+            Formula::Or(fs) => {
+                Formula::and(fs.iter().map(|g| to_srnf(&Formula::not(g.clone()))).collect())
+            }
+            Formula::Forall(vars, g) => {
+                // ¬∀x ψ ≡ ∃x ¬ψ
+                to_srnf(&Formula::exists(
+                    vars.clone(),
+                    Formula::not((**g).clone()),
+                ))
+            }
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            _ => {
+                let inner_srnf = to_srnf(inner);
+                // The inner transformation may expose a new ∧/∨ at the top.
+                match inner_srnf {
+                    Formula::And(_) | Formula::Or(_) | Formula::Not(_) => {
+                        to_srnf(&Formula::not(inner_srnf))
+                    }
+                    other => Formula::not(other),
+                }
+            }
+        },
+    }
+}
+
+/// Is the formula already in SRNF?
+pub fn is_srnf(f: &Formula) -> bool {
+    match f {
+        Formula::Rel(..) | Formula::Cmp(..) | Formula::True | Formula::False => true,
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_srnf),
+        Formula::Exists(_, inner) => is_srnf(inner),
+        Formula::Forall(..) => false,
+        Formula::Not(inner) => match &**inner {
+            Formula::And(_) | Formula::Or(_) | Formula::Not(_) | Formula::Forall(..) => false,
+            g => is_srnf(g),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_datalog::{PredRef, Term};
+
+    fn rel(name: &str, vars: &[&str]) -> Formula {
+        Formula::Rel(
+            PredRef::plain(name),
+            vars.iter().map(|v| Term::var(*v)).collect(),
+        )
+    }
+
+    #[test]
+    fn forall_is_eliminated() {
+        let f = Formula::Forall(vec!["X".into()], Box::new(rel("r", &["X"])));
+        let g = to_srnf(&f);
+        assert!(is_srnf(&g), "{g}");
+        assert!(g.to_string().contains("¬(∃"));
+    }
+
+    #[test]
+    fn de_morgan_under_negation() {
+        let f = Formula::not(Formula::And(vec![rel("r", &["X"]), rel("s", &["X"])]));
+        let g = to_srnf(&f);
+        assert!(is_srnf(&g), "{g}");
+        match g {
+            Formula::Or(fs) => assert_eq!(fs.len(), 2),
+            other => panic!("expected Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let f = Formula::Not(Box::new(Formula::Not(Box::new(rel("r", &["X"])))));
+        assert_eq!(to_srnf(&f), rel("r", &["X"]));
+    }
+
+    #[test]
+    fn negated_exists_is_allowed() {
+        let f = Formula::not(Formula::exists(vec!["Y".into()], rel("r", &["X", "Y"])));
+        let g = to_srnf(&f);
+        assert!(is_srnf(&g));
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn nested_universal_in_conjunction() {
+        let f = Formula::and(vec![
+            rel("r", &["X"]),
+            Formula::Forall(
+                vec!["Y".into()],
+                Box::new(Formula::or(vec![
+                    Formula::not(rel("s", &["X", "Y"])),
+                    rel("t", &["Y"]),
+                ])),
+            ),
+        ]);
+        let g = to_srnf(&f);
+        assert!(is_srnf(&g), "{g}");
+        assert_eq!(g.free_vars(), f.free_vars());
+    }
+
+    #[test]
+    fn srnf_preserves_free_variables() {
+        let f = Formula::not(Formula::And(vec![
+            rel("r", &["X", "Y"]),
+            Formula::not(rel("s", &["Y"])),
+        ]));
+        let g = to_srnf(&f);
+        assert!(is_srnf(&g), "{g}");
+        assert_eq!(g.free_vars(), f.free_vars());
+    }
+}

@@ -1,0 +1,372 @@
+//! Datalog → first-order unfolding.
+//!
+//! Follows the construction in the paper's proof of Lemma 3.1 (Appendix
+//! A.2): for an IDB predicate `r` with rules `r(~X) :- α1, …, αn`, the
+//! formula `ϕ_r(~X)` is the disjunction over rules of `∃~E ⋀ β_j`, where
+//! each `β_j` inlines IDB atoms recursively (negated for negated atoms) and
+//! keeps EDB atoms / builtins as-is. Unlike the paper's presentation we do
+//! not hoist constants out of atoms into equalities — the downstream
+//! consumers (the solver and the RANF pipeline) handle constants in place.
+//!
+//! Anonymous variables inside *negated* atoms become existentials under
+//! the negation: `¬ced(E, _)` unfolds to `¬∃A. ced(E, A)`.
+
+use crate::formula::{Formula, FreshVars};
+use birds_datalog::{check_nonrecursive, Head, Literal, PredRef, Program, Rule, Term};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors during unfolding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnfoldError {
+    /// The program is recursive.
+    Recursive(String),
+    /// A queried predicate has no arity (never occurs in the program).
+    UnknownPredicate(String),
+}
+
+impl fmt::Display for UnfoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnfoldError::Recursive(p) => write!(f, "cannot unfold recursive program ({p})"),
+            UnfoldError::UnknownPredicate(p) => write!(f, "unknown predicate '{p}'"),
+        }
+    }
+}
+
+impl std::error::Error for UnfoldError {}
+
+/// Unfold the Datalog query `(program, pred)` into an equivalent FO
+/// formula. Returns the canonical free variables (one per head position)
+/// and the formula.
+///
+/// Predicates without defining rules are EDB and stay as relational atoms.
+pub fn unfold_query(
+    program: &Program,
+    pred: &PredRef,
+) -> Result<(Vec<String>, Formula), UnfoldError> {
+    check_nonrecursive(program).map_err(|e| UnfoldError::Recursive(e.to_string()))?;
+    let arity = program
+        .arity_of(pred)
+        .ok_or_else(|| UnfoldError::UnknownPredicate(pred.to_string()))?;
+    let mut ctx = Unfolder {
+        program,
+        fresh: FreshVars::new(),
+        cache: BTreeMap::new(),
+    };
+    let vars: Vec<String> = (0..arity).map(|i| format!("X{i}")).collect();
+    let f = ctx.pred_formula(pred, &vars.iter().map(|v| Term::var(v.clone())).collect::<Vec<_>>());
+    Ok((vars, f))
+}
+
+/// Unfold an integrity-constraint rule (`⊥ :- Φ(~X)`) into the closed
+/// sentence `∃~X. Φ(~X)` with all IDB atoms inlined. The constraint is
+/// *violated* on databases satisfying this sentence.
+pub fn unfold_constraint(program: &Program, rule: &Rule) -> Result<Formula, UnfoldError> {
+    check_nonrecursive(program).map_err(|e| UnfoldError::Recursive(e.to_string()))?;
+    let mut ctx = Unfolder {
+        program,
+        fresh: FreshVars::new(),
+        cache: BTreeMap::new(),
+    };
+    let constraint = Rule {
+        head: Head::Bottom,
+        body: rule.body.clone(),
+    };
+    Ok(ctx.rule_formula(&constraint))
+}
+
+struct Unfolder<'a> {
+    program: &'a Program,
+    fresh: FreshVars,
+    /// Canonical unfolded formula per IDB predicate, over variables
+    /// `C0, …, Ck-1`.
+    cache: BTreeMap<PredRef, Formula>,
+}
+
+impl Unfolder<'_> {
+    /// Formula for `pred(terms)`.
+    fn pred_formula(&mut self, pred: &PredRef, terms: &[Term]) -> Formula {
+        let is_idb = self.program.rules_for(pred).next().is_some();
+        if !is_idb {
+            return Formula::Rel(pred.clone(), terms.to_vec());
+        }
+        let canonical = self.canonical(pred);
+        // Substitute the canonical parameters by the actual terms, renaming
+        // the formula's bound variables apart first.
+        let renamed = canonical.alpha_rename(&mut self.fresh);
+        let map: BTreeMap<String, Term> = (0..terms.len())
+            .map(|i| (format!("C{i}"), terms[i].clone()))
+            .collect();
+        renamed.substitute(&map, &mut self.fresh)
+    }
+
+    /// Canonical formula of an IDB predicate over parameters `C0..Ck-1`.
+    fn canonical(&mut self, pred: &PredRef) -> Formula {
+        if let Some(f) = self.cache.get(pred) {
+            return f.clone();
+        }
+        let rules: Vec<&Rule> = self.program.rules_for(pred).collect();
+        let disjuncts: Vec<Formula> = rules
+            .iter()
+            .map(|r| self.rule_formula(r))
+            .collect();
+        let f = Formula::or(disjuncts);
+        self.cache.insert(pred.clone(), f.clone());
+        f
+    }
+
+    /// Formula of one rule, over head parameters `C0..Ck-1`.
+    fn rule_formula(&mut self, rule: &Rule) -> Formula {
+        let head = match &rule.head {
+            Head::Atom(a) => a,
+            Head::Bottom => {
+                // Constraint rules: the formula is the existential closure
+                // of the body conjunction.
+                let mut map: BTreeMap<String, Term> = BTreeMap::new();
+                let mut evars: Vec<String> = Vec::new();
+                for v in rule.variables() {
+                    if v.starts_with("_#") {
+                        continue; // handled per-literal
+                    }
+                    let nv = self.fresh.next_var();
+                    map.insert(v.to_owned(), Term::var(nv.clone()));
+                    evars.push(nv);
+                }
+                let body = self.body_formula(rule, &map);
+                return Formula::exists(evars, body);
+            }
+        };
+        // Map rule head variables to canonical parameters; repeated
+        // variables and constants become equalities.
+        let mut map: BTreeMap<String, Term> = BTreeMap::new();
+        let mut eqs: Vec<Formula> = Vec::new();
+        for (i, t) in head.terms.iter().enumerate() {
+            let ci = Term::var(format!("C{i}"));
+            match t {
+                Term::Var(v) => {
+                    if let Some(first) = map.get(v) {
+                        eqs.push(Formula::eq(ci, first.clone()));
+                    } else {
+                        map.insert(v.clone(), ci);
+                    }
+                }
+                Term::Const(c) => {
+                    eqs.push(Formula::eq(ci, Term::Const(c.clone())));
+                }
+            }
+        }
+        // Remaining body variables are existential: rename them fresh.
+        // Anonymous variables are handled per-literal (they may need to be
+        // quantified inside a negation), so they are skipped here.
+        let mut evars: Vec<String> = Vec::new();
+        for v in rule.variables() {
+            if !map.contains_key(v) && !v.starts_with("_#") {
+                let nv = self.fresh.next_var();
+                map.insert(v.to_owned(), Term::var(nv.clone()));
+                evars.push(nv);
+            }
+        }
+        let body = self.body_formula(rule, &map);
+        Formula::exists(evars, Formula::and([eqs, vec![body]].concat()))
+    }
+
+    /// Conjunction of a rule's body literals under a variable mapping.
+    fn body_formula(&mut self, rule: &Rule, map: &BTreeMap<String, Term>) -> Formula {
+        let mut conj = Vec::new();
+        for lit in &rule.body {
+            conj.push(self.literal_formula(lit, map));
+        }
+        Formula::and(conj)
+    }
+
+    fn literal_formula(&mut self, lit: &Literal, map: &BTreeMap<String, Term>) -> Formula {
+        let subst = |t: &Term, me: &mut Self| -> Term {
+            match t {
+                Term::Var(v) => map
+                    .get(v)
+                    .cloned()
+                    .unwrap_or_else(|| Term::var(me.fresh.next_var())),
+                Term::Const(_) => t.clone(),
+            }
+        };
+        match lit {
+            Literal::Atom { atom, negated } => {
+                // Anonymous variables: fresh names; inside a negation they
+                // are quantified under the ¬.
+                let mut anon_vars: Vec<String> = Vec::new();
+                let terms: Vec<Term> = atom
+                    .terms
+                    .iter()
+                    .map(|t| {
+                        if t.is_anonymous() {
+                            let nv = self.fresh.next_var();
+                            anon_vars.push(nv.clone());
+                            Term::var(nv)
+                        } else {
+                            subst(t, self)
+                        }
+                    })
+                    .collect();
+                let inner = self.pred_formula(&atom.pred, &terms);
+                if *negated {
+                    Formula::not(Formula::exists(anon_vars, inner))
+                } else {
+                    // Positive anonymous variables are existential at the
+                    // atom level (equivalently at the rule level).
+                    Formula::exists(anon_vars, inner)
+                }
+            }
+            Literal::Builtin {
+                op,
+                left,
+                right,
+                negated,
+            } => {
+                let f = Formula::Cmp(*op, subst(left, self), subst(right, self));
+                if *negated {
+                    Formula::not(f)
+                } else {
+                    f
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_datalog::parse_program;
+
+    /// Evaluate an unfolded formula on tiny explicit databases to check it
+    /// against direct Datalog evaluation.
+    fn assert_unfold_ok(src: &str, pred: PredRef) {
+        let program = parse_program(src).unwrap();
+        let (vars, f) = unfold_query(&program, &pred).unwrap();
+        assert_eq!(
+            f.free_vars(),
+            vars.iter().cloned().collect(),
+            "free vars of {f} must be exactly the canonical parameters"
+        );
+    }
+
+    #[test]
+    fn unfold_edb_is_atom() {
+        let program = parse_program("h(X) :- r(X).").unwrap();
+        let (_, f) = unfold_query(&program, &PredRef::plain("r")).unwrap();
+        assert!(matches!(f, Formula::Rel(..)));
+    }
+
+    #[test]
+    fn unfold_union() {
+        let src = "v(X) :- r1(X). v(X) :- r2(X).";
+        let program = parse_program(src).unwrap();
+        let (vars, f) = unfold_query(&program, &PredRef::plain("v")).unwrap();
+        assert_eq!(vars, vec!["X0"]);
+        match &f {
+            Formula::Or(fs) => assert_eq!(fs.len(), 2),
+            other => panic!("expected Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unfold_handles_negation_and_nesting() {
+        assert_unfold_ok(
+            "
+            m(X) :- r(X), X > 2.
+            h(X) :- m(X), not s(X).
+            ",
+            PredRef::plain("h"),
+        );
+    }
+
+    #[test]
+    fn unfold_head_constants_become_equalities() {
+        let program = parse_program("res(E, B, 'F') :- female(E, B).").unwrap();
+        let (vars, f) = unfold_query(&program, &PredRef::plain("res")).unwrap();
+        assert_eq!(vars.len(), 3);
+        // Must contain an equality X2 = 'F'.
+        let printed = f.to_string();
+        assert!(printed.contains("X2 = 'F'"), "{printed}");
+    }
+
+    #[test]
+    fn unfold_repeated_head_variables() {
+        let program = parse_program("diag(X, X) :- r(X).").unwrap();
+        let (_, f) = unfold_query(&program, &PredRef::plain("diag")).unwrap();
+        let printed = f.to_string();
+        assert!(printed.contains("X1 = X0"), "{printed}");
+    }
+
+    #[test]
+    fn unfold_anonymous_in_negated_atom() {
+        let program = parse_program("retired(E) :- residents(E, _, _), not ced(E, _).").unwrap();
+        let (_, f) = unfold_query(&program, &PredRef::plain("retired")).unwrap();
+        // The ¬ced must contain an ∃ inside the negation.
+        let printed = f.to_string();
+        assert!(
+            printed.contains("¬(∃") ,
+            "negated atom with anonymous variable must quantify inside: {printed}"
+        );
+        assert_eq!(f.free_vars().len(), 1);
+    }
+
+    #[test]
+    fn unfold_idb_inlining_is_deep() {
+        let src = "
+            a(X) :- b(X), not c(X).
+            b(X) :- r(X), X > 1.
+            c(X) :- s(X, _).
+        ";
+        let program = parse_program(src).unwrap();
+        let (_, f) = unfold_query(&program, &PredRef::plain("a")).unwrap();
+        let preds = f.predicates();
+        assert!(preds.contains_key(&PredRef::plain("r")));
+        assert!(preds.contains_key(&PredRef::plain("s")));
+        assert!(!preds.contains_key(&PredRef::plain("b")), "b must be inlined");
+        assert!(!preds.contains_key(&PredRef::plain("c")), "c must be inlined");
+    }
+
+    #[test]
+    fn unfold_delta_predicates() {
+        let src = "
+            -r1(X) :- r1(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+        ";
+        let program = parse_program(src).unwrap();
+        let (_, f) = unfold_query(&program, &PredRef::del("r1")).unwrap();
+        let printed = f.to_string();
+        assert!(printed.contains("r1(X0)") && printed.contains("¬(v(X0))"), "{printed}");
+    }
+
+    #[test]
+    fn recursive_program_rejected() {
+        let program = parse_program("p(X) :- q(X). q(X) :- p(X).").unwrap();
+        assert!(matches!(
+            unfold_query(&program, &PredRef::plain("p")),
+            Err(UnfoldError::Recursive(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_predicate_rejected() {
+        let program = parse_program("p(X) :- q(X).").unwrap();
+        assert!(matches!(
+            unfold_query(&program, &PredRef::plain("zzz")),
+            Err(UnfoldError::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn shared_idb_used_twice_gets_distinct_bound_vars() {
+        let src = "
+            m(X) :- r(X, _).
+            h(X, Y) :- m(X), m(Y).
+        ";
+        let program = parse_program(src).unwrap();
+        let (_, f) = unfold_query(&program, &PredRef::plain("h")).unwrap();
+        // Both m-expansions introduce a bound variable; they must differ.
+        assert_eq!(f.free_vars().len(), 2);
+    }
+}

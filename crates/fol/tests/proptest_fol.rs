@@ -1,0 +1,268 @@
+//! Property-based semantic tests for the FO substrate: Datalog → FO
+//! unfolding and FO → Datalog translation must preserve meaning on random
+//! databases.
+//!
+//! The oracle chain: evaluate a Datalog program bottom-up with
+//! `birds-eval`; independently evaluate the unfolded FO formula with a
+//! direct recursive interpreter over the same database (quantifiers range
+//! over the active domain plus probe values); both must produce the same
+//! relation. Then translate the formula *back* to Datalog (Appendix B)
+//! and evaluate again — still the same relation.
+
+use birds_datalog::{parse_program, CmpOp, PredRef, Program, Term};
+use birds_eval::{evaluate_query, EvalContext};
+use birds_fol::{formula_to_datalog, unfold_query, Formula};
+use birds_store::{tuple, Database, Relation, Tuple, Value};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashSet};
+
+/// Direct FO evaluation over a database, quantifiers ranging over
+/// `domain`.
+fn eval_formula(
+    f: &Formula,
+    db: &Database,
+    domain: &[Value],
+    env: &mut Vec<(String, Value)>,
+) -> bool {
+    fn lookup(env: &[(String, Value)], v: &str) -> Value {
+        env.iter()
+            .rev()
+            .find(|(n, _)| n == v)
+            .map(|(_, val)| val.clone())
+            .unwrap_or_else(|| panic!("unbound {v}"))
+    }
+    fn term(env: &[(String, Value)], t: &Term) -> Value {
+        match t {
+            Term::Var(v) => lookup(env, v),
+            Term::Const(c) => c.clone(),
+        }
+    }
+    match f {
+        Formula::Rel(p, terms) => {
+            let vals: Vec<Value> = terms.iter().map(|t| term(env, t)).collect();
+            db.relation(&p.flat_name())
+                .map(|r| r.contains(&Tuple::new(vals)))
+                .unwrap_or(false)
+        }
+        Formula::Cmp(op, a, b) => op
+            .eval(&term(env, a), &term(env, b))
+            .unwrap_or(false),
+        Formula::Not(g) => !eval_formula(g, db, domain, env),
+        Formula::And(fs) => fs.iter().all(|g| eval_formula(g, db, domain, env)),
+        Formula::Or(fs) => fs.iter().any(|g| eval_formula(g, db, domain, env)),
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Exists(vars, g) => assign_all(vars, domain, env, &mut |env| {
+            eval_formula(g, db, domain, env)
+        })
+        .into_iter()
+        .any(|b| b),
+        Formula::Forall(vars, g) => assign_all(vars, domain, env, &mut |env| {
+            eval_formula(g, db, domain, env)
+        })
+        .into_iter()
+        .all(|b| b),
+    }
+}
+
+/// Evaluate `body` under every assignment of `vars` over `domain`.
+fn assign_all(
+    vars: &[String],
+    domain: &[Value],
+    env: &mut Vec<(String, Value)>,
+    body: &mut dyn FnMut(&mut Vec<(String, Value)>) -> bool,
+) -> Vec<bool> {
+    if vars.is_empty() {
+        return vec![body(env)];
+    }
+    let mut out = Vec::new();
+    let (first, rest) = vars.split_first().unwrap();
+    for d in domain {
+        env.push((first.clone(), d.clone()));
+        out.extend(assign_all(rest, domain, env, body));
+        env.pop();
+    }
+    out
+}
+
+/// Build a database with unary r1, r2 and binary s.
+fn build_db(r1: &[i64], r2: &[i64], s: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.add_relation(Relation::with_tuples("r1", 1, r1.iter().map(|&x| tuple![x])).unwrap())
+        .unwrap();
+    db.add_relation(Relation::with_tuples("r2", 1, r2.iter().map(|&x| tuple![x])).unwrap())
+        .unwrap();
+    db.add_relation(
+        Relation::with_tuples("s", 2, s.iter().map(|&(a, b)| tuple![a, b])).unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+/// The active domain of the test databases: all values 0..6 (superset of
+/// what the generators produce, so quantifiers see every probe value).
+fn domain() -> Vec<Value> {
+    (0..6).map(Value::int).collect()
+}
+
+/// The Datalog programs under test: a fixed family covering projection,
+/// join, union, difference, comparisons and nested intermediates.
+fn test_programs() -> Vec<(&'static str, usize)> {
+    vec![
+        ("v(X) :- r1(X). v(X) :- r2(X).", 1),
+        ("v(X) :- r1(X), not r2(X).", 1),
+        ("v(X) :- s(X, _).", 1),
+        ("v(X, Y) :- s(X, Y), X > 1.", 2),
+        ("v(X, Y) :- s(X, Y), not r1(Y).", 2),
+        ("m(X) :- r1(X), r2(X). v(X) :- m(X), not s(X, X).", 1),
+        ("v(X) :- r1(X), X = 3.", 1),
+        (
+            "big(X, Y) :- s(X, Y), Y > 2. v(X) :- big(X, _), not r2(X).",
+            1,
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// unfold_query agrees with bottom-up evaluation.
+    #[test]
+    fn unfolding_preserves_semantics(
+        r1 in proptest::collection::vec(0i64..6, 0..5),
+        r2 in proptest::collection::vec(0i64..6, 0..5),
+        s in proptest::collection::vec((0i64..6, 0i64..6), 0..6),
+    ) {
+        let mut db = build_db(&r1, &r2, &s);
+        let dom = domain();
+        for (src, arity) in test_programs() {
+            let program = parse_program(src).unwrap();
+            let vpred = PredRef::plain("v");
+            // Bottom-up evaluation.
+            let bottom_up: HashSet<Tuple> = {
+                let mut ctx = EvalContext::new(&mut db);
+                evaluate_query(&program, &vpred, &mut ctx)
+                    .unwrap()
+                    .tuples()
+                    .iter()
+                    .cloned()
+                    .collect()
+            };
+            // FO evaluation of the unfolded formula at every domain point.
+            let (vars, phi) = unfold_query(&program, &vpred).unwrap();
+            prop_assert_eq!(vars.len(), arity, "{}", src);
+            let mut fo: HashSet<Tuple> = HashSet::new();
+            let points = tuples_over(&dom, arity);
+            for point in points {
+                let mut env: Vec<(String, Value)> = vars
+                    .iter()
+                    .cloned()
+                    .zip(point.iter().cloned())
+                    .collect();
+                if eval_formula(&phi, &db, &dom, &mut env) {
+                    fo.insert(Tuple::new(point.clone()));
+                }
+            }
+            prop_assert_eq!(&bottom_up, &fo, "unfold drift on {}", src);
+        }
+    }
+
+    /// FO → Datalog (Appendix B) composed with unfolding is the
+    /// semantic identity.
+    #[test]
+    fn fo_to_datalog_roundtrip(
+        r1 in proptest::collection::vec(0i64..6, 0..5),
+        r2 in proptest::collection::vec(0i64..6, 0..5),
+        s in proptest::collection::vec((0i64..6, 0i64..6), 0..6),
+    ) {
+        let mut db = build_db(&r1, &r2, &s);
+        for (src, _arity) in test_programs() {
+            let program = parse_program(src).unwrap();
+            let vpred = PredRef::plain("v");
+            let before: HashSet<Tuple> = {
+                let mut ctx = EvalContext::new(&mut db);
+                evaluate_query(&program, &vpred, &mut ctx)
+                    .unwrap()
+                    .tuples()
+                    .iter()
+                    .cloned()
+                    .collect()
+            };
+            let (vars, phi) = unfold_query(&program, &vpred).unwrap();
+            let translated = match formula_to_datalog(&phi, &vars, "v") {
+                Ok(p) => p,
+                Err(e) => {
+                    // Trivially-empty queries have no Datalog form.
+                    prop_assert!(before.is_empty(), "{src}: {e}");
+                    continue;
+                }
+            };
+            let after: HashSet<Tuple> = {
+                let mut ctx = EvalContext::new(&mut db);
+                evaluate_query(&translated, &vpred, &mut ctx)
+                    .unwrap()
+                    .tuples()
+                    .iter()
+                    .cloned()
+                    .collect()
+            };
+            prop_assert_eq!(&before, &after,
+                "roundtrip drift on {}; translated:\n{}", src, translated);
+        }
+    }
+}
+
+/// All arity-k tuples over a domain.
+fn tuples_over(domain: &[Value], arity: usize) -> Vec<Vec<Value>> {
+    let mut out: Vec<Vec<Value>> = vec![vec![]];
+    for _ in 0..arity {
+        out = out
+            .into_iter()
+            .flat_map(|prefix| {
+                domain.iter().map(move |d| {
+                    let mut p = prefix.clone();
+                    p.push(d.clone());
+                    p
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+/// Comparisons inside negation and nested quantifier alternation also
+/// survive the roundtrip (fixed regression cases).
+#[test]
+fn fixed_regression_programs() {
+    let mut db = build_db(&[1, 3], &[3, 5], &[(1, 4), (3, 3), (2, 0)]);
+    let cases = [
+        "v(X) :- r1(X), not X > 2.",
+        "v(X, Y) :- s(X, Y), not Y = 0, not r2(X).",
+        "w(Y) :- s(_, Y). v(X) :- r1(X), not w(X).",
+    ];
+    for src in cases {
+        let program = parse_program(src).unwrap();
+        let vpred = PredRef::plain("v");
+        let before: BTreeSet<Tuple> = {
+            let mut ctx = EvalContext::new(&mut db);
+            evaluate_query(&program, &vpred, &mut ctx)
+                .unwrap()
+                .tuples()
+                .iter()
+                .cloned()
+                .collect()
+        };
+        let (vars, phi) = unfold_query(&program, &vpred).unwrap();
+        let translated = formula_to_datalog(&phi, &vars, "v").unwrap();
+        let after: BTreeSet<Tuple> = {
+            let mut ctx = EvalContext::new(&mut db);
+            evaluate_query(&translated, &vpred, &mut ctx)
+                .unwrap()
+                .tuples()
+                .iter()
+                .cloned()
+                .collect()
+        };
+        assert_eq!(before, after, "{src}");
+    }
+}

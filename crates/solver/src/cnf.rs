@@ -1,0 +1,275 @@
+//! Hash-consed propositional formulas and Tseitin CNF conversion.
+
+use crate::sat::Cnf;
+use std::collections::HashMap;
+
+/// Node of a hash-consed propositional formula DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PNode {
+    /// Ground atom (index into the grounder's atom table).
+    Var(u32),
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Negation of a node.
+    Not(u32),
+    /// Conjunction of nodes.
+    And(Vec<u32>),
+    /// Disjunction of nodes.
+    Or(Vec<u32>),
+}
+
+/// Arena of hash-consed propositional nodes.
+#[derive(Debug, Default)]
+pub struct PropArena {
+    nodes: Vec<PNode>,
+    intern: HashMap<PNode, u32>,
+}
+
+impl PropArena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no nodes have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Intern a node, reusing an existing id when identical.
+    pub fn intern(&mut self, node: PNode) -> u32 {
+        if let Some(&id) = self.intern.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node.clone());
+        self.intern.insert(node, id);
+        id
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: u32) -> &PNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Constant true.
+    pub fn mk_true(&mut self) -> u32 {
+        self.intern(PNode::True)
+    }
+
+    /// Constant false.
+    pub fn mk_false(&mut self) -> u32 {
+        self.intern(PNode::False)
+    }
+
+    /// Ground atom variable.
+    pub fn mk_var(&mut self, atom: u32) -> u32 {
+        self.intern(PNode::Var(atom))
+    }
+
+    /// Simplifying negation.
+    pub fn mk_not(&mut self, id: u32) -> u32 {
+        match self.node(id) {
+            PNode::True => self.mk_false(),
+            PNode::False => self.mk_true(),
+            PNode::Not(inner) => *inner,
+            _ => self.intern(PNode::Not(id)),
+        }
+    }
+
+    /// Simplifying conjunction (flattens, drops ⊤, collapses ⊥, dedupes).
+    pub fn mk_and(&mut self, ids: Vec<u32>) -> u32 {
+        let mut flat = Vec::new();
+        for id in ids {
+            match self.node(id) {
+                PNode::True => {}
+                PNode::False => return self.mk_false(),
+                PNode::And(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(id),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        match flat.len() {
+            0 => self.mk_true(),
+            1 => flat[0],
+            _ => self.intern(PNode::And(flat)),
+        }
+    }
+
+    /// Simplifying disjunction.
+    pub fn mk_or(&mut self, ids: Vec<u32>) -> u32 {
+        let mut flat = Vec::new();
+        for id in ids {
+            match self.node(id) {
+                PNode::False => {}
+                PNode::True => return self.mk_true(),
+                PNode::Or(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(id),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        match flat.len() {
+            0 => self.mk_false(),
+            1 => flat[0],
+            _ => self.intern(PNode::Or(flat)),
+        }
+    }
+
+    /// Tseitin-encode the DAG rooted at `root` into a [`Cnf`], asserting
+    /// the root. Returns the CNF and the mapping from ground-atom index to
+    /// SAT variable index.
+    pub fn tseitin(&self, root: u32, num_atoms: u32) -> (Cnf, Vec<usize>) {
+        let mut cnf = Cnf::default();
+        // one SAT variable per ground atom (even unused, for simplicity)
+        let atom_vars: Vec<usize> = (0..num_atoms).map(|_| cnf.fresh_var()).collect();
+        let mut node_lit: HashMap<u32, i32> = HashMap::new();
+
+        // Iterative post-order over the DAG.
+        let mut stack = vec![(root, false)];
+        while let Some((id, processed)) = stack.pop() {
+            if node_lit.contains_key(&id) {
+                continue;
+            }
+            if !processed {
+                stack.push((id, true));
+                match self.node(id) {
+                    PNode::Not(inner) => stack.push((*inner, false)),
+                    PNode::And(ids) | PNode::Or(ids) => {
+                        for &i in ids {
+                            stack.push((i, false));
+                        }
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            let lit: i32 = match self.node(id) {
+                PNode::Var(a) => (atom_vars[*a as usize] as i32) + 1,
+                PNode::True => {
+                    let v = cnf.fresh_var() as i32 + 1;
+                    cnf.add_clause(vec![v]);
+                    v
+                }
+                PNode::False => {
+                    let v = cnf.fresh_var() as i32 + 1;
+                    cnf.add_clause(vec![-v]);
+                    v
+                }
+                PNode::Not(inner) => -node_lit[inner],
+                PNode::And(ids) => {
+                    let v = cnf.fresh_var() as i32 + 1;
+                    let lits: Vec<i32> = ids.iter().map(|i| node_lit[i]).collect();
+                    // v -> each lit ; (all lits) -> v
+                    for &l in &lits {
+                        cnf.add_clause(vec![-v, l]);
+                    }
+                    let mut back: Vec<i32> = lits.iter().map(|&l| -l).collect();
+                    back.push(v);
+                    cnf.add_clause(back);
+                    v
+                }
+                PNode::Or(ids) => {
+                    let v = cnf.fresh_var() as i32 + 1;
+                    let lits: Vec<i32> = ids.iter().map(|i| node_lit[i]).collect();
+                    // v -> (some lit) ; each lit -> v
+                    let mut fwd = vec![-v];
+                    fwd.extend(&lits);
+                    cnf.add_clause(fwd);
+                    for &l in &lits {
+                        cnf.add_clause(vec![-l, v]);
+                    }
+                    v
+                }
+            };
+            node_lit.insert(id, lit);
+        }
+        cnf.add_clause(vec![node_lit[&root]]);
+        (cnf, atom_vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::solve;
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut arena = PropArena::new();
+        let a = arena.mk_var(0);
+        let b = arena.mk_var(0);
+        assert_eq!(a, b);
+        let n1 = arena.mk_not(a);
+        let n2 = arena.mk_not(b);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let mut arena = PropArena::new();
+        let a = arena.mk_var(0);
+        let na = arena.mk_not(a);
+        assert_eq!(arena.mk_not(na), a);
+    }
+
+    #[test]
+    fn and_simplification() {
+        let mut arena = PropArena::new();
+        let a = arena.mk_var(0);
+        let t = arena.mk_true();
+        let f = arena.mk_false();
+        assert_eq!(arena.mk_and(vec![a, t]), a);
+        let af = arena.mk_and(vec![a, f]);
+        assert_eq!(arena.node(af), &PNode::False);
+        assert_eq!(arena.mk_and(vec![]), arena.mk_true());
+    }
+
+    #[test]
+    fn tseitin_sat_simple() {
+        // (a ∨ b) ∧ ¬a : model must have b
+        let mut arena = PropArena::new();
+        let a = arena.mk_var(0);
+        let b = arena.mk_var(1);
+        let or = arena.mk_or(vec![a, b]);
+        let na = arena.mk_not(a);
+        let root = arena.mk_and(vec![or, na]);
+        let (cnf, atom_vars) = arena.tseitin(root, 2);
+        let model = solve(&cnf).unwrap();
+        assert!(!model[atom_vars[0]]);
+        assert!(model[atom_vars[1]]);
+    }
+
+    #[test]
+    fn tseitin_unsat() {
+        // a ∧ ¬a
+        let mut arena = PropArena::new();
+        let a = arena.mk_var(0);
+        let na = arena.mk_not(a);
+        let root = arena.mk_and(vec![a, na]);
+        let (cnf, _) = arena.tseitin(root, 1);
+        assert!(solve(&cnf).is_none());
+    }
+
+    #[test]
+    fn tseitin_nested_structure() {
+        // ¬(a ∧ b) ∧ a  ⇒  ¬b
+        let mut arena = PropArena::new();
+        let a = arena.mk_var(0);
+        let b = arena.mk_var(1);
+        let ab = arena.mk_and(vec![a, b]);
+        let nab = arena.mk_not(ab);
+        let root = arena.mk_and(vec![nab, a]);
+        let (cnf, atom_vars) = arena.tseitin(root, 2);
+        let model = solve(&cnf).unwrap();
+        assert!(model[atom_vars[0]] && !model[atom_vars[1]]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Finite domain construction for bounded model finding.
+//!
+//! Mirrors the paper's Appendix A.2 axiomatization of comparison builtins:
+//! a totally ordered domain with constants `c1 < … < cn` splits into the
+//! regions `< c1`, `= c1`, `(c1, c2)`, …, `> cn`; a region only needs a
+//! witness if the underlying domain actually has a value there. Integers
+//! are discrete (no witness strictly between `2` and `3`); strings and
+//! floats are treated as dense and unbounded above (strings have a least
+//! element `""` and nothing below it).
+
+use birds_fol::Formula;
+use birds_store::Value;
+use std::collections::BTreeSet;
+
+/// Configuration of domain construction.
+#[derive(Debug, Clone)]
+pub struct DomainConfig {
+    /// Maximum number of fresh uninterpreted elements to try (the solver
+    /// iterates `1..=max_fresh`).
+    pub max_fresh: usize,
+    /// Hard cap on total domain size (defensive).
+    pub max_total: usize,
+}
+
+impl Default for DomainConfig {
+    fn default() -> Self {
+        DomainConfig {
+            max_fresh: 3,
+            max_total: 24,
+        }
+    }
+}
+
+/// Build the domain for a sentence with `n_fresh` fresh elements:
+/// constants ∪ gap witnesses ∪ fresh elements.
+pub fn build_domain(sentence: &Formula, n_fresh: usize) -> Vec<Value> {
+    let consts = sentence.constants();
+    let mut domain: BTreeSet<Value> = consts.clone();
+
+    // Integer witnesses: below min, above max, in gaps of width ≥ 2.
+    let ints: Vec<i64> = consts
+        .iter()
+        .filter_map(|v| match v {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        })
+        .collect();
+    if !ints.is_empty() {
+        let lo = *ints.first().unwrap();
+        let hi = *ints.last().unwrap();
+        domain.insert(Value::Int(lo.saturating_sub(1)));
+        domain.insert(Value::Int(hi.saturating_add(1)));
+        for w in ints.windows(2) {
+            if w[1] - w[0] >= 2 {
+                domain.insert(Value::Int(w[0] + 1));
+            }
+        }
+    }
+
+    // String witnesses: between adjacent constants and above the max.
+    // (Strings have a least element "", so no below-min witness exists
+    // unless "" itself is below the minimum constant.)
+    let strs: Vec<&String> = consts
+        .iter()
+        .filter_map(|v| match v {
+            Value::Str(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    if !strs.is_empty() {
+        let lo = strs.first().unwrap().as_str();
+        if !lo.is_empty() {
+            domain.insert(Value::Str(String::new()));
+        }
+        let hi = (*strs.last().unwrap()).clone();
+        domain.insert(Value::Str(format!("{hi}~")));
+        for w in strs.windows(2) {
+            // `s + "\u{1}"` sits strictly between s and t for almost all
+            // lexicographic neighbours (see DESIGN.md); it is a witness
+            // heuristic, checked below before insertion.
+            let candidate = format!("{}\u{1}", w[0]);
+            if candidate.as_str() > w[0].as_str() && candidate.as_str() < w[1].as_str() {
+                domain.insert(Value::Str(candidate));
+            }
+        }
+    }
+
+    // Float witnesses: midpoints and outer values.
+    let floats: Vec<f64> = consts
+        .iter()
+        .filter_map(|v| match v {
+            Value::Float(x) => Some(x.get()),
+            _ => None,
+        })
+        .collect();
+    if !floats.is_empty() {
+        let lo = floats.first().unwrap();
+        let hi = floats.last().unwrap();
+        domain.insert(Value::float(lo - 1.0));
+        domain.insert(Value::float(hi + 1.0));
+        for w in floats.windows(2) {
+            let mid = (w[0] + w[1]) / 2.0;
+            if mid > w[0] && mid < w[1] {
+                domain.insert(Value::float(mid));
+            }
+        }
+    }
+
+    // Bool witnesses: complete the domain if any bool appears.
+    if consts.iter().any(|v| matches!(v, Value::Bool(_))) {
+        domain.insert(Value::Bool(true));
+        domain.insert(Value::Bool(false));
+    }
+
+    // Fresh uninterpreted elements: strings above every string constant
+    // and incomparable to nothing (all values are totally ordered, but
+    // these sit in the top region, which always has room).
+    for i in 0..n_fresh {
+        domain.insert(Value::Str(format!("\u{2021}fresh{i}")));
+    }
+
+    domain.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_datalog::{CmpOp, PredRef, Term};
+
+    fn cmp(op: CmpOp, var: &str, c: Value) -> Formula {
+        Formula::Cmp(op, Term::var(var), Term::Const(c))
+    }
+
+    #[test]
+    fn integer_gaps_respect_discreteness() {
+        // constants 2 and 3: no witness strictly between them
+        let f = Formula::and(vec![
+            cmp(CmpOp::Gt, "X", Value::Int(2)),
+            cmp(CmpOp::Lt, "X", Value::Int(3)),
+        ]);
+        let d = build_domain(&f, 0);
+        let ints: Vec<i64> = d
+            .iter()
+            .filter_map(|v| match v {
+                Value::Int(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert!(ints.contains(&1) && ints.contains(&4));
+        assert!(!ints.iter().any(|&i| i > 2 && i < 3));
+    }
+
+    #[test]
+    fn integer_wide_gap_has_witness() {
+        let f = Formula::and(vec![
+            cmp(CmpOp::Gt, "X", Value::Int(10)),
+            cmp(CmpOp::Lt, "X", Value::Int(20)),
+        ]);
+        let d = build_domain(&f, 0);
+        assert!(d
+            .iter()
+            .any(|v| matches!(v, Value::Int(i) if *i > 10 && *i < 20)));
+    }
+
+    #[test]
+    fn string_witnesses_bracket_constants() {
+        let f = Formula::and(vec![
+            cmp(CmpOp::Gt, "X", Value::str("1962-01-01")),
+            cmp(CmpOp::Lt, "X", Value::str("1962-12-31")),
+        ]);
+        let d = build_domain(&f, 0);
+        let strs: Vec<&str> = d
+            .iter()
+            .filter_map(|v| match v {
+                Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(strs.iter().any(|s| *s > "1962-01-01" && *s < "1962-12-31"));
+        assert!(strs.iter().any(|s| *s > "1962-12-31"));
+        assert!(strs.iter().any(|s| *s < "1962-01-01"));
+    }
+
+    #[test]
+    fn fresh_elements_are_distinct_from_constants() {
+        let f = Formula::Rel(
+            PredRef::plain("r"),
+            vec![Term::Const(Value::str("a"))],
+        );
+        let d2 = build_domain(&f, 2);
+        let d3 = build_domain(&f, 3);
+        assert_eq!(d3.len(), d2.len() + 1);
+    }
+
+    #[test]
+    fn pure_relational_formula_gets_fresh_only_domain() {
+        let f = Formula::Rel(PredRef::plain("r"), vec![Term::var("X")]);
+        let d = build_domain(&f, 2);
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,624 @@
+//! Grounding: expand a first-order sentence over a finite domain into a
+//! propositional DAG.
+//!
+//! Quantifiers expand to conjunctions/disjunctions over the domain;
+//! comparisons and equalities between ground values evaluate concretely
+//! (cross-sort comparisons are false, matching the typed-database
+//! reading). The formula is first compiled into an *indexed* form —
+//! variables become frame slots, domain values become `u8` indices, and
+//! comparisons against the domain are precomputed — so the inner loop
+//! never touches strings or heap values. Subformula results are memoized
+//! on `(node, values of its free slots)`, so shared structure and
+//! repeated quantifier bodies stay shared in the output DAG.
+
+use crate::cnf::PropArena;
+use birds_datalog::{CmpOp, PredRef, Term};
+use birds_fol::Formula;
+use birds_store::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Grounding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroundError {
+    /// The node budget was exhausted (formula × domain too large).
+    BudgetExceeded,
+    /// A free variable was not bound (callers must close sentences).
+    UnboundVariable(String),
+}
+
+impl fmt::Display for GroundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundError::BudgetExceeded => write!(f, "grounding budget exceeded"),
+            GroundError::UnboundVariable(v) => write!(f, "unbound variable '{v}'"),
+        }
+    }
+}
+
+impl std::error::Error for GroundError {}
+
+/// Result of grounding: the propositional arena, root node, and the ground
+/// atom table.
+pub struct Grounded {
+    /// Hash-consed propositional DAG.
+    pub arena: PropArena,
+    /// Root node asserting the sentence.
+    pub root: u32,
+    /// Ground atoms in id order.
+    pub atoms: Vec<(PredRef, Vec<Value>)>,
+}
+
+/// A term in the indexed formula: a variable slot or a domain index.
+#[derive(Clone, Copy)]
+enum ITerm {
+    Slot(u16),
+    Dom(u8),
+}
+
+/// Indexed formula node. Children index into `INode` arena.
+enum INode {
+    Rel(usize, Vec<ITerm>),
+    /// Precomputed truth table over the domain for a 1-variable
+    /// comparison, or constant result.
+    CmpSlot {
+        slot: u16,
+        table: Vec<bool>,
+    },
+    /// slot-slot equality / comparison: precomputed d×d table.
+    CmpSlots {
+        a: u16,
+        b: u16,
+        table: Vec<bool>, // row-major d*d
+    },
+    Const(bool),
+    Not(u32),
+    And(Vec<u32>),
+    Or(Vec<u32>),
+    Exists(Vec<u16>, u32),
+    Forall(Vec<u16>, u32),
+}
+
+struct Compiled {
+    nodes: Vec<INode>,
+    /// Free slots of each node, sorted.
+    free: Vec<Vec<u16>>,
+    preds: Vec<PredRef>,
+    root: u32,
+    num_slots: usize,
+}
+
+/// Compile a closed formula over a concrete domain into indexed form.
+fn compile(sentence: &Formula, domain: &[Value]) -> Result<Compiled, GroundError> {
+    struct Ctx<'a> {
+        domain: &'a [Value],
+        dom_index: HashMap<&'a Value, u8>,
+        slots: HashMap<String, u16>,
+        preds: Vec<PredRef>,
+        pred_index: HashMap<PredRef, usize>,
+        nodes: Vec<INode>,
+        free: Vec<Vec<u16>>,
+    }
+
+    impl<'a> Ctx<'a> {
+        fn slot(&mut self, v: &str) -> u16 {
+            if let Some(&s) = self.slots.get(v) {
+                return s;
+            }
+            let s = self.slots.len() as u16;
+            self.slots.insert(v.to_owned(), s);
+            s
+        }
+
+        fn pred(&mut self, p: &PredRef) -> usize {
+            if let Some(&i) = self.pred_index.get(p) {
+                return i;
+            }
+            let i = self.preds.len();
+            self.preds.push(p.clone());
+            self.pred_index.insert(p.clone(), i);
+            i
+        }
+
+        fn push(&mut self, node: INode, free: Vec<u16>) -> u32 {
+            self.nodes.push(node);
+            self.free.push(free);
+            (self.nodes.len() - 1) as u32
+        }
+
+        fn term(&mut self, t: &Term) -> Result<ITerm, GroundError> {
+            match t {
+                Term::Var(v) => Ok(ITerm::Slot(self.slot(v))),
+                Term::Const(c) => match self.dom_index.get(c) {
+                    Some(&d) => Ok(ITerm::Dom(d)),
+                    // A constant outside the domain can never equal any
+                    // domain element; represent with a sentinel the
+                    // evaluator treats as unequal-to-everything.
+                    None => Ok(ITerm::Dom(u8::MAX)),
+                },
+            }
+        }
+
+        fn cmp_value(&self, op: CmpOp, a: &Value, b: &Value) -> bool {
+            op.eval(a, b).unwrap_or(false)
+        }
+
+        fn go(&mut self, f: &Formula) -> Result<u32, GroundError> {
+            let d = self.domain.len();
+            Ok(match f {
+                Formula::Rel(p, terms) => {
+                    let pid = self.pred(p);
+                    let its: Result<Vec<ITerm>, _> =
+                        terms.iter().map(|t| self.term(t)).collect();
+                    let its = its?;
+                    let mut free: Vec<u16> = its
+                        .iter()
+                        .filter_map(|t| match t {
+                            ITerm::Slot(s) => Some(*s),
+                            _ => None,
+                        })
+                        .collect();
+                    free.sort_unstable();
+                    free.dedup();
+                    self.push(INode::Rel(pid, its), free)
+                }
+                Formula::Cmp(op, a, b) => self.compile_cmp(*op, a, b)?,
+                Formula::True => self.push(INode::Const(true), vec![]),
+                Formula::False => self.push(INode::Const(false), vec![]),
+                Formula::Not(inner) => {
+                    let i = self.go(inner)?;
+                    let free = self.free[i as usize].clone();
+                    self.push(INode::Not(i), free)
+                }
+                Formula::And(fs) | Formula::Or(fs) => {
+                    let ids: Result<Vec<u32>, _> = fs.iter().map(|g| self.go(g)).collect();
+                    let ids = ids?;
+                    let mut free: Vec<u16> = ids
+                        .iter()
+                        .flat_map(|&i| self.free[i as usize].iter().copied())
+                        .collect();
+                    free.sort_unstable();
+                    free.dedup();
+                    let node = if matches!(f, Formula::And(_)) {
+                        INode::And(ids)
+                    } else {
+                        INode::Or(ids)
+                    };
+                    self.push(node, free)
+                }
+                Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
+                    let slots: Vec<u16> = vars.iter().map(|v| self.slot(v)).collect();
+                    let i = self.go(inner)?;
+                    let free: Vec<u16> = self.free[i as usize]
+                        .iter()
+                        .copied()
+                        .filter(|s| !slots.contains(s))
+                        .collect();
+                    let node = if matches!(f, Formula::Exists(..)) {
+                        INode::Exists(slots, i)
+                    } else {
+                        INode::Forall(slots, i)
+                    };
+                    self.push(node, free)
+                }
+            })
+            .map(|id| {
+                let _ = d;
+                id
+            })
+        }
+
+        fn compile_cmp(&mut self, op: CmpOp, a: &Term, b: &Term) -> Result<u32, GroundError> {
+            let d = self.domain.len();
+            match (a, b) {
+                (Term::Const(ca), Term::Const(cb)) => {
+                    let v = self.cmp_value(op, ca, cb);
+                    Ok(self.push(INode::Const(v), vec![]))
+                }
+                (Term::Var(va), Term::Const(cb)) => {
+                    let slot = self.slot(va);
+                    let table: Vec<bool> = (0..d)
+                        .map(|i| self.cmp_value(op, &self.domain[i], cb))
+                        .collect();
+                    Ok(self.push(INode::CmpSlot { slot, table }, vec![slot]))
+                }
+                (Term::Const(ca), Term::Var(vb)) => {
+                    let slot = self.slot(vb);
+                    let table: Vec<bool> = (0..d)
+                        .map(|i| self.cmp_value(op, ca, &self.domain[i]))
+                        .collect();
+                    Ok(self.push(INode::CmpSlot { slot, table }, vec![slot]))
+                }
+                (Term::Var(va), Term::Var(vb)) => {
+                    let sa = self.slot(va);
+                    let sb = self.slot(vb);
+                    let mut table = Vec::with_capacity(d * d);
+                    for i in 0..d {
+                        for j in 0..d {
+                            table.push(self.cmp_value(op, &self.domain[i], &self.domain[j]));
+                        }
+                    }
+                    let mut free = vec![sa, sb];
+                    free.sort_unstable();
+                    free.dedup();
+                    Ok(self.push(INode::CmpSlots { a: sa, b: sb, table }, free))
+                }
+            }
+        }
+    }
+
+    let mut ctx = Ctx {
+        domain,
+        dom_index: domain
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v, i as u8))
+            .collect(),
+        slots: HashMap::new(),
+        preds: Vec::new(),
+        pred_index: HashMap::new(),
+        nodes: Vec::new(),
+        free: Vec::new(),
+    };
+    let root = ctx.go(sentence)?;
+    if let Some(s) = ctx.free[root as usize].first() {
+        let name = ctx
+            .slots
+            .iter()
+            .find(|(_, &v)| v == *s)
+            .map(|(k, _)| k.clone())
+            .unwrap_or_default();
+        return Err(GroundError::UnboundVariable(name));
+    }
+    Ok(Compiled {
+        num_slots: ctx.slots.len(),
+        nodes: ctx.nodes,
+        free: ctx.free,
+        preds: ctx.preds,
+        root,
+    })
+}
+
+/// Ground `sentence` (closed formula) over `domain`.
+pub fn ground(
+    sentence: &Formula,
+    domain: &[Value],
+    budget: usize,
+) -> Result<Grounded, GroundError> {
+    debug_assert!(domain.len() < u8::MAX as usize, "domain fits u8 indices");
+    let compiled = compile(sentence, domain)?;
+    let mut g = Grounder {
+        compiled: &compiled,
+        domain,
+        arena: PropArena::new(),
+        atom_ids: HashMap::new(),
+        atoms: Vec::new(),
+        memo: HashMap::new(),
+        env: vec![u8::MAX; compiled.num_slots.max(1)],
+        budget,
+    };
+    let root = g.go(compiled.root)?;
+    Ok(Grounded {
+        arena: g.arena,
+        root,
+        atoms: g.atoms,
+    })
+}
+
+struct Grounder<'a> {
+    compiled: &'a Compiled,
+    domain: &'a [Value],
+    arena: PropArena,
+    atom_ids: HashMap<(usize, Vec<u8>), u32>,
+    atoms: Vec<(PredRef, Vec<Value>)>,
+    /// Memo keyed by node id + values of its free slots.
+    memo: HashMap<(u32, Vec<u8>), u32>,
+    /// Current variable frame (domain indices; MAX = unbound).
+    env: Vec<u8>,
+    budget: usize,
+}
+
+impl Grounder<'_> {
+    fn atom_var(&mut self, pred_id: usize, vals: Vec<u8>) -> u32 {
+        if let Some(&id) = self.atom_ids.get(&(pred_id, vals.clone())) {
+            return self.arena.mk_var(id);
+        }
+        let id = self.atoms.len() as u32;
+        self.atoms.push((
+            self.compiled.preds[pred_id].clone(),
+            vals.iter().map(|&i| self.domain[i as usize].clone()).collect(),
+        ));
+        self.atom_ids.insert((pred_id, vals), id);
+        self.arena.mk_var(id)
+    }
+
+    fn go(&mut self, node: u32) -> Result<u32, GroundError> {
+        if self.budget == 0 {
+            return Err(GroundError::BudgetExceeded);
+        }
+        self.budget -= 1;
+
+        let free = &self.compiled.free[node as usize];
+        let env_key: Vec<u8> = free.iter().map(|&s| self.env[s as usize]).collect();
+        if let Some(&id) = self.memo.get(&(node, env_key.clone())) {
+            return Ok(id);
+        }
+
+        let result = match &self.compiled.nodes[node as usize] {
+            INode::Rel(pid, terms) => {
+                let mut vals = Vec::with_capacity(terms.len());
+                let mut out_of_domain = false;
+                for t in terms {
+                    match t {
+                        ITerm::Slot(s) => vals.push(self.env[*s as usize]),
+                        ITerm::Dom(d) => {
+                            if *d == u8::MAX {
+                                out_of_domain = true;
+                                break;
+                            }
+                            vals.push(*d);
+                        }
+                    }
+                }
+                if out_of_domain {
+                    // An atom mentioning a constant outside the domain can
+                    // never hold in a model over this domain.
+                    self.arena.mk_false()
+                } else {
+                    self.atom_var(*pid, vals)
+                }
+            }
+            INode::CmpSlot { slot, table } => {
+                let v = self.env[*slot as usize] as usize;
+                if v < table.len() && table[v] {
+                    self.arena.mk_true()
+                } else {
+                    self.arena.mk_false()
+                }
+            }
+            INode::CmpSlots { a, b, table } => {
+                let d = self.domain.len();
+                let i = self.env[*a as usize] as usize;
+                let j = self.env[*b as usize] as usize;
+                if i < d && j < d && table[i * d + j] {
+                    self.arena.mk_true()
+                } else {
+                    self.arena.mk_false()
+                }
+            }
+            INode::Const(true) => self.arena.mk_true(),
+            INode::Const(false) => self.arena.mk_false(),
+            INode::Not(inner) => {
+                let i = self.go(*inner)?;
+                self.arena.mk_not(i)
+            }
+            INode::And(children) => {
+                let children = children.clone();
+                let mut ids = Vec::with_capacity(children.len());
+                for c in children {
+                    let id = self.go(c)?;
+                    // short-circuit on ⊥
+                    if self.arena.node(id) == &crate::cnf::PNode::False {
+                        ids.clear();
+                        ids.push(id);
+                        break;
+                    }
+                    ids.push(id);
+                }
+                self.arena.mk_and(ids)
+            }
+            INode::Or(children) => {
+                let children = children.clone();
+                let mut ids = Vec::with_capacity(children.len());
+                for c in children {
+                    let id = self.go(c)?;
+                    if self.arena.node(id) == &crate::cnf::PNode::True {
+                        ids.clear();
+                        ids.push(id);
+                        break;
+                    }
+                    ids.push(id);
+                }
+                self.arena.mk_or(ids)
+            }
+            INode::Exists(slots, inner) => {
+                let ids = self.expand(slots.clone(), *inner, false)?;
+                self.arena.mk_or(ids)
+            }
+            INode::Forall(slots, inner) => {
+                let ids = self.expand(slots.clone(), *inner, true)?;
+                self.arena.mk_and(ids)
+            }
+        };
+        self.memo.insert((node, env_key), result);
+        Ok(result)
+    }
+
+    /// All groundings of `inner` with `slots` ranging over the domain.
+    /// Short-circuits: ∃ stops at the first ⊤ disjunct, ∀ at the first ⊥.
+    fn expand(
+        &mut self,
+        slots: Vec<u16>,
+        inner: u32,
+        is_forall: bool,
+    ) -> Result<Vec<u32>, GroundError> {
+        let n = slots.len();
+        let d = self.domain.len() as u8;
+        if d == 0 {
+            return Ok(vec![]);
+        }
+        let saved: Vec<u8> = slots.iter().map(|&s| self.env[s as usize]).collect();
+        let mut ids = Vec::new();
+        let mut idx = vec![0u8; n];
+        'outer: loop {
+            for (k, &s) in slots.iter().enumerate() {
+                self.env[s as usize] = idx[k];
+            }
+            let id = self.go(inner)?;
+            let node = self.arena.node(id);
+            let stop = if is_forall {
+                node == &crate::cnf::PNode::False
+            } else {
+                node == &crate::cnf::PNode::True
+            };
+            if stop {
+                ids.clear();
+                ids.push(id);
+                break 'outer;
+            }
+            ids.push(id);
+            // advance odometer
+            let mut carry = true;
+            for slot in idx.iter_mut() {
+                *slot += 1;
+                if *slot < d {
+                    carry = false;
+                    break;
+                }
+                *slot = 0;
+            }
+            if carry {
+                break;
+            }
+        }
+        for (k, &s) in slots.iter().enumerate() {
+            self.env[s as usize] = saved[k];
+        }
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::PNode;
+    use birds_datalog::CmpOp;
+
+    fn rel(name: &str, vars: &[&str]) -> Formula {
+        Formula::Rel(
+            PredRef::plain(name),
+            vars.iter().map(|v| Term::var(*v)).collect(),
+        )
+    }
+
+    #[test]
+    fn ground_exists_over_domain() {
+        let f = Formula::exists(vec!["X".into()], rel("r", &["X"]));
+        let domain = vec![Value::int(1), Value::int(2)];
+        let g = ground(&f, &domain, 10_000).unwrap();
+        // root = r(1) ∨ r(2): an Or of two atom vars
+        match g.arena.node(g.root) {
+            PNode::Or(ids) => assert_eq!(ids.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+        assert_eq!(g.atoms.len(), 2);
+    }
+
+    #[test]
+    fn comparisons_evaluate_concretely() {
+        // ∃X (X > 2 ∧ X < 3) over ints {2,3}: no witness -> False
+        let f = Formula::exists(
+            vec!["X".into()],
+            Formula::and(vec![
+                Formula::Cmp(CmpOp::Gt, Term::var("X"), Term::constant(2)),
+                Formula::Cmp(CmpOp::Lt, Term::var("X"), Term::constant(3)),
+            ]),
+        );
+        let domain = vec![Value::int(1), Value::int(2), Value::int(3), Value::int(4)];
+        let g = ground(&f, &domain, 10_000).unwrap();
+        assert_eq!(g.arena.node(g.root), &PNode::False);
+    }
+
+    #[test]
+    fn variable_variable_comparison_grounds() {
+        // ∃X,Y r(X) ∧ r(Y) ∧ X < Y over {1,2}: satisfiable shape (an Or
+        // with a surviving branch).
+        let f = Formula::exists(
+            vec!["X".into(), "Y".into()],
+            Formula::and(vec![
+                rel("r", &["X"]),
+                rel("r", &["Y"]),
+                Formula::Cmp(CmpOp::Lt, Term::var("X"), Term::var("Y")),
+            ]),
+        );
+        let domain = vec![Value::int(1), Value::int(2)];
+        let g = ground(&f, &domain, 10_000).unwrap();
+        assert_ne!(g.arena.node(g.root), &PNode::False);
+    }
+
+    #[test]
+    fn cross_sort_equality_is_false() {
+        let f = Formula::eq(Term::constant(1), Term::constant("1"));
+        let g = ground(&f, &[Value::int(1)], 100).unwrap();
+        assert_eq!(g.arena.node(g.root), &PNode::False);
+    }
+
+    #[test]
+    fn out_of_domain_constant_atom_is_false() {
+        // r('zzz') where 'zzz' is not in the domain.
+        let f = Formula::Rel(PredRef::plain("r"), vec![Term::Const("zzz".into())]);
+        let g = ground(&f, &[Value::int(1)], 100).unwrap();
+        assert_eq!(g.arena.node(g.root), &PNode::False);
+    }
+
+    #[test]
+    fn empty_domain_quantifiers() {
+        let ex = Formula::exists(vec!["X".into()], rel("r", &["X"]));
+        let g = ground(&ex, &[], 100).unwrap();
+        assert_eq!(g.arena.node(g.root), &PNode::False);
+        let fa = Formula::Forall(vec!["X".into()], Box::new(rel("r", &["X"])));
+        let g = ground(&fa, &[], 100).unwrap();
+        assert_eq!(g.arena.node(g.root), &PNode::True);
+    }
+
+    #[test]
+    fn memoization_shares_repeated_subformulas() {
+        // ∃X (r(X) ∧ r(X)): both conjuncts are the same grounding
+        let shared = rel("r", &["X"]);
+        let f = Formula::Exists(
+            vec!["X".into()],
+            Box::new(Formula::And(vec![shared.clone(), shared])),
+        );
+        let domain = vec![Value::int(1)];
+        let g = ground(&f, &domain, 100).unwrap();
+        // And([a,a]) dedupes to a: root is the single atom var
+        assert!(matches!(g.arena.node(g.root), PNode::Var(_)));
+    }
+
+    #[test]
+    fn unbound_variable_detected() {
+        let f = rel("r", &["X"]); // not closed
+        assert!(matches!(
+            ground(&f, &[Value::int(1)], 100),
+            Err(GroundError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let f = Formula::exists(
+            vec!["X".into(), "Y".into(), "Z".into()],
+            Formula::and(vec![rel("r", &["X", "Y"]), rel("r", &["Y", "Z"])]),
+        );
+        let domain: Vec<Value> = (0..10).map(Value::int).collect();
+        assert!(matches!(
+            ground(&f, &domain, 10),
+            Err(GroundError::BudgetExceeded)
+        ));
+    }
+
+    #[test]
+    fn forall_short_circuits_on_false() {
+        // ∀X ⊥-equivalent body: grounding must not expand the whole
+        // domain product (budget would blow otherwise).
+        let f = Formula::Forall(
+            vec!["X".into(), "Y".into(), "Z".into(), "W".into()],
+            Box::new(Formula::False),
+        );
+        let domain: Vec<Value> = (0..20).map(Value::int).collect();
+        // 20^4 = 160k combos; budget 1000 suffices thanks to the
+        // short-circuit.
+        let g = ground(&f, &domain, 1000).unwrap();
+        assert_eq!(g.arena.node(g.root), &PNode::False);
+    }
+}

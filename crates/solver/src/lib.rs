@@ -1,0 +1,36 @@
+//! # birds-solver
+//!
+//! Bounded first-order model finder — the reproduction's substitute for the
+//! Z3 automated theorem prover used by the paper's implementation (§6.1).
+//!
+//! The validation algorithm (§4) reduces every check to the
+//! (un)satisfiability of a first-order sentence over the database schema.
+//! For LVGN-Datalog these sentences are guarded-negation FO, which has the
+//! finite-model property, and the paper's own Appendix A.2 axiomatization
+//! reduces order comparisons to finitely many constant-delimited regions.
+//! We exploit exactly that structure:
+//!
+//! 1. build a finite **domain**: the sentence's constants plus *gap
+//!    witnesses* around and between them (respecting the discreteness of
+//!    integers — there is no witness between `2` and `3`) plus a few fresh
+//!    uninterpreted elements;
+//! 2. **ground** the sentence over the domain (quantifiers expand to
+//!    conjunctions/disjunctions; comparisons evaluate concretely), with
+//!    hash-consing and memoization to keep the propositional structure
+//!    shared;
+//! 3. convert to CNF (**Tseitin**) and decide with a built-in **DPLL** SAT
+//!    solver, iterating the number of fresh elements up to a bound.
+//!
+//! `Sat` answers come with an explicit finite **model** (a counterexample
+//! database, invaluable in validation error messages). `Unsat` answers are
+//! complete *up to the domain bound* — the same practical caveat the paper
+//! accepts by shipping checks to Z3 with a timeout.
+
+pub mod cnf;
+pub mod domain;
+pub mod ground;
+pub mod sat;
+pub mod solver;
+
+pub use domain::DomainConfig;
+pub use solver::{BoundedSolver, Model, SatOutcome, SolverError};

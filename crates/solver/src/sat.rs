@@ -1,0 +1,699 @@
+//! A small CDCL SAT solver: two-watched-literal propagation, first-UIP
+//! clause learning, VSIDS-style activity decisions, phase saving, and Luby
+//! restarts.
+//!
+//! The grounder produces instances with many structurally irrelevant
+//! variables (ground atoms that only occur in concretely-evaluated
+//! subformulas). Chronological-backtracking DPLL is exponential in those,
+//! so conflict-driven learning with non-chronological backjumping is not a
+//! luxury here — it is what keeps validation inside the milliseconds the
+//! paper reports for Z3.
+//!
+//! Clauses are vectors of non-zero integers (DIMACS convention: positive
+//! literal `v+1`, negative `-(v+1)` for variable index `v`).
+
+/// A CNF instance.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    /// Number of variables (indices `0..num_vars`).
+    pub num_vars: usize,
+    /// Clauses of DIMACS-style literals.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// Add a clause; an empty clause makes the instance trivially UNSAT.
+    pub fn add_clause(&mut self, lits: Vec<i32>) {
+        debug_assert!(lits.iter().all(|&l| l != 0));
+        self.clauses.push(lits);
+    }
+
+    /// Allocate a fresh variable, returning its index.
+    pub fn fresh_var(&mut self) -> usize {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+}
+
+/// Internal literal encoding: `var << 1 | sign` (sign 1 = negated).
+type Lit = u32;
+
+#[inline]
+fn lit_from_dimacs(l: i32) -> Lit {
+    let v = (l.unsigned_abs() - 1) << 1;
+    if l < 0 {
+        v | 1
+    } else {
+        v
+    }
+}
+
+#[inline]
+fn lit_var(l: Lit) -> usize {
+    (l >> 1) as usize
+}
+
+#[inline]
+fn lit_neg(l: Lit) -> Lit {
+    l ^ 1
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Val {
+    Unset,
+    True,
+    False,
+}
+
+#[inline]
+fn lit_value(assign: &[Val], l: Lit) -> Val {
+    match (assign[lit_var(l)], l & 1) {
+        (Val::Unset, _) => Val::Unset,
+        (v, 0) => v,
+        (Val::True, _) => Val::False,
+        (Val::False, _) => Val::True,
+    }
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+/// Max-heap entry for the VSIDS order: activity at push time + variable.
+/// Stale entries (re-bumped or re-assigned variables) are skipped lazily
+/// at pop time, MiniSat-style.
+#[derive(PartialEq)]
+struct OrderEntry(f64, usize);
+
+impl Eq for OrderEntry {}
+
+impl PartialOrd for OrderEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.1.cmp(&other.1))
+    }
+}
+
+struct Solver {
+    clauses: Vec<Vec<Lit>>,
+    /// For each literal, the clause indices watching it.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<Val>,
+    /// Decision level of each assigned variable.
+    level: Vec<u32>,
+    /// Clause index that implied each variable (NO_REASON for decisions).
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    /// Trail indices where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Propagation queue head into the trail.
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Saved phases for decision polarity.
+    phase: Vec<bool>,
+    /// Seen marker reused by conflict analysis.
+    seen: Vec<bool>,
+    /// VSIDS decision order (lazy max-heap over activities).
+    order: std::collections::BinaryHeap<OrderEntry>,
+    conflicts: u64,
+}
+
+impl Solver {
+    fn new(num_vars: usize) -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            assign: vec![Val::Unset; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![NO_REASON; num_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars],
+            var_inc: 1.0,
+            phase: vec![false; num_vars],
+            seen: vec![false; num_vars],
+            order: (0..num_vars).map(|v| OrderEntry(0.0, v)).collect(),
+            conflicts: 0,
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a clause during setup. Returns `false` on immediate conflict.
+    fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology (l and ¬l both present)?
+        if lits.windows(2).any(|w| w[0] == lit_neg(w[1]) || w[1] == lit_neg(w[0])) {
+            return true;
+        }
+        match lits.len() {
+            0 => false,
+            1 => match lit_value(&self.assign, lits[0]) {
+                Val::False => false,
+                Val::True => true,
+                Val::Unset => self.enqueue(lits[0], NO_REASON),
+            },
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[lits[0] as usize].push(ci);
+                self.watches[lits[1] as usize].push(ci);
+                self.clauses.push(lits);
+                true
+            }
+        }
+    }
+
+    /// Assign literal true. Returns false if it contradicts the current
+    /// assignment.
+    fn enqueue(&mut self, l: Lit, reason: u32) -> bool {
+        match lit_value(&self.assign, l) {
+            Val::True => true,
+            Val::False => false,
+            Val::Unset => {
+                let v = lit_var(l);
+                self.assign[v] = if l & 1 == 0 { Val::True } else { Val::False };
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Two-watched-literal unit propagation. Returns a conflicting clause
+    /// index, or `None`.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = lit_neg(p);
+            let mut ws = std::mem::take(&mut self.watches[false_lit as usize]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                let clause = &mut self.clauses[ci as usize];
+                // Normalize: watched literals are clause[0], clause[1].
+                if clause[0] == false_lit {
+                    clause.swap(0, 1);
+                }
+                debug_assert_eq!(clause[1], false_lit);
+                let first = clause[0];
+                if lit_value(&self.assign, first) == Val::True {
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                for k in 2..clause.len() {
+                    if lit_value(&self.assign, clause[k]) != Val::False {
+                        clause.swap(1, k);
+                        let new_watch = clause[1];
+                        self.watches[new_watch as usize].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflict.
+                if !self.enqueue(first, ci) {
+                    // `ws` still holds every clause not re-watched
+                    // elsewhere (including `ci`): restore and bail.
+                    self.watches[false_lit as usize] = ws;
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            self.watches[false_lit as usize] = ws;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+            // Heap keys went stale wholesale; rebuild.
+            self.order = self
+                .activity
+                .iter()
+                .enumerate()
+                .map(|(v, &a)| OrderEntry(a, v))
+                .collect();
+            return;
+        }
+        self.order.push(OrderEntry(self.activity[v], v));
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![0]; // slot 0 for the asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let current = self.decision_level();
+
+        loop {
+            let clause = std::mem::take(&mut self.clauses[confl as usize]);
+            let start = if p.is_none() { 0 } else { 1 };
+            for &q in &clause[start..] {
+                let v = lit_var(q);
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            self.clauses[confl as usize] = clause;
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[lit_var(l)] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = lit_var(p.unwrap());
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = lit_neg(p.unwrap());
+                break;
+            }
+            confl = self.reason[pv];
+            debug_assert_ne!(confl, NO_REASON);
+        }
+        // Basic clause minimization: drop a literal whose reason's
+        // antecedents are all already in the clause (or level-0 facts).
+        let original: Vec<Lit> = learned[1..].to_vec();
+        let minimized: Vec<Lit> = original
+            .iter()
+            .copied()
+            .filter(|&l| {
+                let v = lit_var(l);
+                let r = self.reason[v];
+                if r == NO_REASON {
+                    return true; // decision: keep
+                }
+                let redundant = self.clauses[r as usize].iter().skip(1).all(|&q| {
+                    let qv = lit_var(q);
+                    self.seen[qv] || self.level[qv] == 0
+                });
+                !redundant
+            })
+            .collect();
+        learned.truncate(1);
+        learned.extend(minimized);
+        for &l in &original {
+            self.seen[lit_var(l)] = false;
+        }
+        // Backjump level: highest level among learned[1..].
+        let bj = learned[1..]
+            .iter()
+            .map(|&l| self.level[lit_var(l)])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backjump level into watch position 1.
+        if learned.len() > 1 {
+            let pos = learned[1..]
+                .iter()
+                .position(|&l| self.level[lit_var(l)] == bj)
+                .unwrap()
+                + 1;
+            learned.swap(1, pos);
+        }
+        (learned, bj)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = lit_var(l);
+                self.phase[v] = self.assign[v] == Val::True;
+                self.assign[v] = Val::Unset;
+                self.reason[v] = NO_REASON;
+                self.order.push(OrderEntry(self.activity[v], v));
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        // Highest-activity unset variable from the lazy heap; stale
+        // entries (assigned, or superseded by a later bump) are skipped.
+        while let Some(OrderEntry(a, v)) = self.order.pop() {
+            if self.assign[v] != Val::Unset || a < self.activity[v] {
+                continue;
+            }
+            let lit = (v as u32) << 1;
+            return Some(if self.phase[v] { lit } else { lit | 1 });
+        }
+        // Heap exhausted: any remaining unset variable (never bumped and
+        // popped earlier while assigned).
+        (0..self.assign.len())
+            .find(|&v| self.assign[v] == Val::Unset)
+            .map(|v| {
+                let lit = (v as u32) << 1;
+                if self.phase[v] {
+                    lit
+                } else {
+                    lit | 1
+                }
+            })
+    }
+
+    /// Luby restart sequence 1 1 2 1 1 2 4 … (0-indexed; the classic
+    /// MiniSat formulation).
+    fn luby(mut x: u64) -> u64 {
+        let (mut size, mut seq) = (1u64, 0u32);
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    fn solve(&mut self) -> Option<Vec<bool>> {
+        if self.propagate().is_some() {
+            return None;
+        }
+        let mut restart_count = 0u64;
+        let mut conflict_budget = 100 * Self::luby(restart_count);
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                if self.decision_level() == 0 {
+                    return None;
+                }
+                let (learned, bj) = self.analyze(confl);
+                self.cancel_until(bj);
+                self.var_inc *= 1.0 / 0.95;
+                if learned.len() == 1 {
+                    let ok = self.enqueue(learned[0], NO_REASON);
+                    debug_assert!(ok);
+                } else {
+                    let ci = self.clauses.len() as u32;
+                    self.watches[learned[0] as usize].push(ci);
+                    self.watches[learned[1] as usize].push(ci);
+                    let assert_lit = learned[0];
+                    self.clauses.push(learned);
+                    let ok = self.enqueue(assert_lit, ci);
+                    debug_assert!(ok);
+                }
+                if self.conflicts >= conflict_budget {
+                    // Restart.
+                    restart_count += 1;
+                    conflict_budget = self.conflicts + 100 * Self::luby(restart_count);
+                    self.cancel_until(0);
+                }
+            } else {
+                match self.pick_branch() {
+                    None => {
+                        return Some(
+                            self.assign.iter().map(|&a| a == Val::True).collect(),
+                        );
+                    }
+                    Some(lit) => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(lit, NO_REASON);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Solve; `Some(model)` with one bool per variable, or `None` if UNSAT.
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    if cnf.clauses.iter().any(|c| c.is_empty()) {
+        return None;
+    }
+    let mut s = Solver::new(cnf.num_vars);
+    for clause in &cnf.clauses {
+        let lits: Vec<Lit> = clause.iter().map(|&l| lit_from_dimacs(l)).collect();
+        if !s.add_clause(lits) {
+            return None;
+        }
+    }
+    s.solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_model(cnf: &Cnf, model: &[bool]) {
+        for clause in &cnf.clauses {
+            assert!(
+                clause.iter().any(|&l| {
+                    let v = (l.unsigned_abs() as usize) - 1;
+                    (l > 0) == model[v]
+                }),
+                "clause {clause:?} unsatisfied by {model:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut cnf = Cnf::default();
+        let _a = cnf.fresh_var();
+        cnf.add_clause(vec![1]);
+        let m = solve(&cnf).unwrap();
+        assert!(m[0]);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut cnf = Cnf::default();
+        let _a = cnf.fresh_var();
+        cnf.add_clause(vec![1]);
+        cnf.add_clause(vec![-1]);
+        assert!(solve(&cnf).is_none());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::default();
+        cnf.add_clause(vec![]);
+        assert!(solve(&cnf).is_none());
+    }
+
+    #[test]
+    fn no_clauses_is_sat() {
+        let mut cnf = Cnf::default();
+        cnf.num_vars = 3;
+        assert!(solve(&cnf).is_some());
+    }
+
+    #[test]
+    fn tautological_clause_ignored() {
+        let mut cnf = Cnf::default();
+        cnf.num_vars = 2;
+        cnf.add_clause(vec![1, -1]);
+        cnf.add_clause(vec![2]);
+        let m = solve(&cnf).unwrap();
+        assert!(m[1]);
+    }
+
+    #[test]
+    fn chain_implication_propagates() {
+        // a, a->b, b->c, c->d : all true
+        let mut cnf = Cnf::default();
+        for _ in 0..4 {
+            cnf.fresh_var();
+        }
+        cnf.add_clause(vec![1]);
+        cnf.add_clause(vec![-1, 2]);
+        cnf.add_clause(vec![-2, 3]);
+        cnf.add_clause(vec![-3, 4]);
+        let m = solve(&cnf).unwrap();
+        assert_eq!(m, vec![true; 4]);
+        check_model(&cnf, &m);
+    }
+
+    #[test]
+    fn requires_backtracking() {
+        // ¬a∨c and ¬a∨¬c force ¬a; then a∨b and a∨¬b are contradictory.
+        let mut cnf = Cnf::default();
+        for _ in 0..3 {
+            cnf.fresh_var();
+        }
+        cnf.add_clause(vec![1, 2]);
+        cnf.add_clause(vec![1, -2]);
+        cnf.add_clause(vec![-1, 3]);
+        cnf.add_clause(vec![-1, -3]);
+        assert!(solve(&cnf).is_none());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // pigeons p in {1,2,3}, holes h in {1,2}; var v(p,h) = 2*(p-1)+h
+        let mut cnf = Cnf::default();
+        for _ in 0..6 {
+            cnf.fresh_var();
+        }
+        let v = |p: i32, h: i32| 2 * (p - 1) + h;
+        for p in 1..=3 {
+            cnf.add_clause(vec![v(p, 1), v(p, 2)]);
+        }
+        for h in 1..=2 {
+            for p1 in 1..=3 {
+                for p2 in (p1 + 1)..=3 {
+                    cnf.add_clause(vec![-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        assert!(solve(&cnf).is_none());
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        // Larger UNSAT refutation: exercises clause learning + restarts.
+        let np = 5i32;
+        let nh = 4i32;
+        let mut cnf = Cnf::default();
+        for _ in 0..(np * nh) {
+            cnf.fresh_var();
+        }
+        let v = |p: i32, h: i32| nh * (p - 1) + h;
+        for p in 1..=np {
+            cnf.add_clause((1..=nh).map(|h| v(p, h)).collect());
+        }
+        for h in 1..=nh {
+            for p1 in 1..=np {
+                for p2 in (p1 + 1)..=np {
+                    cnf.add_clause(vec![-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        assert!(solve(&cnf).is_none());
+    }
+
+    #[test]
+    fn irrelevant_variables_do_not_blow_up() {
+        // A small UNSAT core buried under many unconstrained variables:
+        // this is the grounder's instance shape. Must finish instantly.
+        let mut cnf = Cnf::default();
+        for _ in 0..200 {
+            cnf.fresh_var();
+        }
+        // UNSAT core on vars 199, 200 (DIMACS 199/200 = indices 198/199).
+        cnf.add_clause(vec![199, 200]);
+        cnf.add_clause(vec![199, -200]);
+        cnf.add_clause(vec![-199, 200]);
+        cnf.add_clause(vec![-199, -200]);
+        assert!(solve(&cnf).is_none());
+    }
+
+    #[test]
+    fn satisfiable_3sat_instance() {
+        let mut cnf = Cnf::default();
+        for _ in 0..5 {
+            cnf.fresh_var();
+        }
+        let clauses: Vec<Vec<i32>> = vec![
+            vec![1, -2, 3],
+            vec![-1, 2, 4],
+            vec![-3, -4, 5],
+            vec![2, -5, -1],
+            vec![-2, 3, -5],
+        ];
+        for c in clauses {
+            cnf.add_clause(c);
+        }
+        let m = solve(&cnf).unwrap();
+        check_model(&cnf, &m);
+    }
+
+    #[test]
+    fn duplicate_literals_in_clause() {
+        let mut cnf = Cnf::default();
+        cnf.num_vars = 2;
+        cnf.add_clause(vec![1, 1, 2]);
+        cnf.add_clause(vec![-1, -1]);
+        let m = solve(&cnf).unwrap();
+        assert!(!m[0]);
+        check_model(&cnf, &m);
+    }
+
+    #[test]
+    fn randomized_instances_agree_with_brute_force() {
+        // deterministic pseudo-random generator (LCG) — keeps the test
+        // reproducible without external dependencies
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _case in 0..500 {
+            let nvars = 1 + (next() % 8) as usize;
+            let nclauses = 1 + (next() % 16) as usize;
+            let mut cnf = Cnf::default();
+            cnf.num_vars = nvars;
+            for _ in 0..nclauses {
+                let len = 1 + (next() % 3) as usize;
+                let mut clause = Vec::new();
+                for _ in 0..len {
+                    let v = (next() % nvars as u32) as i32 + 1;
+                    let sign = if next() % 2 == 0 { 1 } else { -1 };
+                    clause.push(sign * v);
+                }
+                cnf.add_clause(clause);
+            }
+            let mut brute_sat = false;
+            for bits in 0..(1u32 << nvars) {
+                let model: Vec<bool> = (0..nvars).map(|i| bits & (1 << i) != 0).collect();
+                if cnf.clauses.iter().all(|c| {
+                    c.iter().any(|&l| {
+                        let v = (l.unsigned_abs() as usize) - 1;
+                        (l > 0) == model[v]
+                    })
+                }) {
+                    brute_sat = true;
+                    break;
+                }
+            }
+            let got = solve(&cnf);
+            assert_eq!(got.is_some(), brute_sat, "mismatch on {:?}", cnf.clauses);
+            if let Some(m) = got {
+                check_model(&cnf, &m);
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based oracle tests for the bounded model finder: on randomly
+//! generated small sentences, the solver's answer must agree with a
+//! brute-force enumeration of all databases over a fixed tiny domain.
+
+use birds_datalog::{CmpOp, PredRef, Term};
+use birds_fol::Formula;
+use birds_solver::{BoundedSolver, SatOutcome};
+use birds_store::Value;
+use proptest::prelude::*;
+
+/// Vocabulary: two unary predicates p, q and one binary r over the fixed
+/// domain {0, 1}. Small enough that 2^(2+2+4) = 256 databases enumerate
+/// instantly, rich enough to exercise quantifiers, negation and equality.
+const DOM: [i64; 2] = [0, 1];
+
+#[derive(Debug, Clone)]
+enum TinyFormula {
+    P(usize),          // p(x_i)
+    Q(usize),          // q(x_i)
+    R(usize, usize),   // r(x_i, x_j)
+    Eq(usize, usize),  // x_i = x_j
+    Lt(usize),         // x_i < 1
+    Not(Box<TinyFormula>),
+    And(Box<TinyFormula>, Box<TinyFormula>),
+    Or(Box<TinyFormula>, Box<TinyFormula>),
+    Exists(usize, Box<TinyFormula>),
+    Forall(usize, Box<TinyFormula>),
+}
+
+/// Three variable slots x0, x1, x2.
+const NVARS: usize = 3;
+
+fn arb_tiny(depth: u32) -> impl Strategy<Value = TinyFormula> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(TinyFormula::P),
+        (0..NVARS).prop_map(TinyFormula::Q),
+        (0..NVARS, 0..NVARS).prop_map(|(a, b)| TinyFormula::R(a, b)),
+        (0..NVARS, 0..NVARS).prop_map(|(a, b)| TinyFormula::Eq(a, b)),
+        (0..NVARS).prop_map(TinyFormula::Lt),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| TinyFormula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| TinyFormula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| TinyFormula::Or(Box::new(a), Box::new(b))),
+            (0..NVARS, inner.clone())
+                .prop_map(|(v, f)| TinyFormula::Exists(v, Box::new(f))),
+            (0..NVARS, inner)
+                .prop_map(|(v, f)| TinyFormula::Forall(v, Box::new(f))),
+        ]
+    })
+}
+
+fn var_name(i: usize) -> String {
+    format!("X{i}")
+}
+
+fn to_formula(f: &TinyFormula) -> Formula {
+    match f {
+        TinyFormula::P(i) => Formula::Rel(PredRef::plain("p"), vec![Term::var(var_name(*i))]),
+        TinyFormula::Q(i) => Formula::Rel(PredRef::plain("q"), vec![Term::var(var_name(*i))]),
+        TinyFormula::R(i, j) => Formula::Rel(
+            PredRef::plain("r"),
+            vec![Term::var(var_name(*i)), Term::var(var_name(*j))],
+        ),
+        TinyFormula::Eq(i, j) => Formula::eq(
+            Term::var(var_name(*i)),
+            Term::var(var_name(*j)),
+        ),
+        TinyFormula::Lt(i) => {
+            Formula::Cmp(CmpOp::Lt, Term::var(var_name(*i)), Term::constant(1))
+        }
+        TinyFormula::Not(g) => Formula::not(to_formula(g)),
+        TinyFormula::And(a, b) => Formula::and(vec![to_formula(a), to_formula(b)]),
+        TinyFormula::Or(a, b) => Formula::or(vec![to_formula(a), to_formula(b)]),
+        TinyFormula::Exists(v, g) => Formula::exists(vec![var_name(*v)], to_formula(g)),
+        TinyFormula::Forall(v, g) => {
+            Formula::Forall(vec![var_name(*v)], Box::new(to_formula(g)))
+        }
+    }
+}
+
+/// A database over DOM: bitmask membership for p, q (2 bits each) and r
+/// (4 bits).
+#[derive(Clone, Copy)]
+struct TinyDb {
+    p: u8,
+    q: u8,
+    r: u8,
+}
+
+impl TinyDb {
+    fn eval(&self, f: &TinyFormula, env: &mut [i64; NVARS]) -> bool {
+        match f {
+            TinyFormula::P(i) => self.p & (1 << env[*i]) != 0,
+            TinyFormula::Q(i) => self.q & (1 << env[*i]) != 0,
+            TinyFormula::R(i, j) => self.r & (1 << (2 * env[*i] + env[*j])) != 0,
+            TinyFormula::Eq(i, j) => env[*i] == env[*j],
+            TinyFormula::Lt(i) => env[*i] < 1,
+            TinyFormula::Not(g) => !self.eval(g, env),
+            TinyFormula::And(a, b) => self.eval(a, env) && self.eval(b, env),
+            TinyFormula::Or(a, b) => self.eval(a, env) || self.eval(b, env),
+            TinyFormula::Exists(v, g) => DOM.iter().any(|&d| {
+                let saved = env[*v];
+                env[*v] = d;
+                let out = self.eval(g, env);
+                env[*v] = saved;
+                out
+            }),
+            TinyFormula::Forall(v, g) => DOM.iter().all(|&d| {
+                let saved = env[*v];
+                env[*v] = d;
+                let out = self.eval(g, env);
+                env[*v] = saved;
+                out
+            }),
+        }
+    }
+}
+
+/// Brute force: does any database over DOM satisfy ∃(free vars) f?
+fn brute_force_sat(f: &TinyFormula) -> bool {
+    for p in 0..4u8 {
+        for q in 0..4u8 {
+            for r in 0..16u8 {
+                let db = TinyDb { p, q, r };
+                // Close free variables existentially over DOM.
+                let mut found = false;
+                'outer: for x0 in DOM {
+                    for x1 in DOM {
+                        for x2 in DOM {
+                            let mut env = [x0, x1, x2];
+                            if db.eval(f, &mut env) {
+                                found = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                if found {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+// Comparison semantics: the solver searches over *its own* domains
+// (constants + witnesses + fresh elements), which may be richer than DOM,
+// so solver-SAT with brute-UNSAT is legitimate. The sharp direction is
+// the other one: solver-UNSAT with max_fresh ≥ 2 covers every database
+// over a 2-element domain, so brute force must agree.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(tiny in arb_tiny(3)) {
+        // Anchor the comparison-against-constant so '1' is in every
+        // domain the solver builds, matching DOM's shape.
+        let f = to_formula(&tiny);
+        let brute = brute_force_sat(&tiny);
+        let solver = BoundedSolver::with_max_fresh(3);
+        let out = solver.check(&f).expect("solver runs");
+        match out {
+            SatOutcome::Sat(ref model) => {
+                // Solver SAT must be a genuine model: verify the witness
+                // by replaying the formula over the model's relations.
+                // (Indirect check: brute force over DOM agrees whenever
+                // the solver's domain is no richer than DOM; since the
+                // solver can use bigger domains, SAT here only requires
+                // that *some* database satisfies the sentence — which
+                // brute force over DOM may miss. So we assert the weaker
+                // direction plus model well-formedness.)
+                for (pred, tuples) in &model.relations {
+                    let arity = match pred.name.as_str() {
+                        "p" | "q" => 1,
+                        "r" => 2,
+                        other => panic!("unexpected predicate {other}"),
+                    };
+                    for t in tuples {
+                        prop_assert_eq!(t.arity(), arity);
+                        for v in t.iter() {
+                            prop_assert!(model.domain.contains(v));
+                        }
+                    }
+                }
+                // If brute force found it too, consistent; if not, the
+                // solver used a richer domain — acceptable (not a bug).
+            }
+            SatOutcome::Unsat { .. } => {
+                // Bounded-UNSAT with max_fresh=3 covers every database
+                // over a 2-element domain: brute force must agree.
+                prop_assert!(!brute,
+                    "solver said UNSAT but a DOM-database satisfies: {f}");
+            }
+        }
+    }
+
+    /// The solver is deterministic: same sentence, same outcome.
+    #[test]
+    fn solver_is_deterministic(tiny in arb_tiny(3)) {
+        let f = to_formula(&tiny);
+        let solver = BoundedSolver::with_max_fresh(2);
+        let a = solver.check(&f).unwrap().is_sat();
+        let b = solver.check(&f).unwrap().is_sat();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Negation flips SAT for *closed* sentences only when the sentence
+    /// is valid/unsat — at minimum, f ∧ ¬f is always UNSAT.
+    #[test]
+    fn conjunction_with_negation_unsat(tiny in arb_tiny(2)) {
+        let f = to_formula(&tiny);
+        // Close free variables universally on one side, existentially on
+        // the other, so f ∧ ¬f is genuinely contradictory only when
+        // closed consistently: use the solver's own existential closure
+        // by conjoining before closing.
+        let free: Vec<String> = f.free_vars().into_iter().collect();
+        let closed = if free.is_empty() {
+            f.clone()
+        } else {
+            Formula::exists(free, f.clone())
+        };
+        let contradiction = Formula::and(vec![closed.clone(), Formula::not(closed)]);
+        let solver = BoundedSolver::with_max_fresh(2);
+        prop_assert!(!solver.check(&contradiction).unwrap().is_sat());
+    }
+}

@@ -1,0 +1,285 @@
+//! Non-recursive Datalog → SQL `SELECT` translation.
+//!
+//! Follows the standard translation the paper cites ([10], also used by
+//! [29]): each rule becomes a `SELECT DISTINCT` with one `FROM` entry per
+//! positive atom, equality predicates for shared variables and constants,
+//! `NOT EXISTS` subqueries for negated atoms, and comparison predicates
+//! for builtins. A predicate with several rules becomes a `UNION`.
+//! Intermediate IDB predicates become CTEs (`WITH` clauses) in dependency
+//! order.
+
+use birds_datalog::{stratify, Atom, DeltaKind, Literal, PredRef, Program, Rule, Term};
+use birds_store::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// SQL-safe identifier for a predicate: delta predicates become
+/// `delta_ins_r` / `delta_del_r`, post-state predicates `new_r`.
+pub fn sql_ident(p: &PredRef) -> String {
+    match p.kind {
+        DeltaKind::None => p.name.clone(),
+        DeltaKind::Insert => format!("delta_ins_{}", p.name),
+        DeltaKind::Delete => format!("delta_del_{}", p.name),
+        DeltaKind::New => format!("new_{}", p.name),
+    }
+}
+
+/// Render a constant as a SQL literal.
+fn sql_value(v: &Value) -> String {
+    v.to_string() // Value's Display already quotes strings SQL-style
+}
+
+/// Column name for position `i` when no schema is available.
+fn col(i: usize) -> String {
+    format!("c{i}")
+}
+
+/// Translate one rule into a `SELECT` statement (no trailing semicolon).
+///
+/// The head's terms decide the projection; every positive atom becomes an
+/// aliased relation in `FROM`.
+pub fn rule_to_select(rule: &Rule) -> String {
+    let head = rule
+        .head
+        .atom()
+        .expect("constraints are rendered via constraint_to_select");
+    select_for_body(&head.terms, &rule.body)
+}
+
+/// Translate a constraint body (`⊥ :- body`) into an existence query:
+/// `SELECT 1 ... LIMIT 1` — nonempty result means the constraint is
+/// violated.
+pub fn constraint_to_select(rule: &Rule) -> String {
+    let mut sql = select_for_body(&[], &rule.body);
+    // SELECT with empty projection: replace the head list with a bare 1.
+    if let Some(rest) = sql.strip_prefix("SELECT DISTINCT  FROM") {
+        sql = format!("SELECT 1 FROM{rest} LIMIT 1");
+    }
+    sql
+}
+
+/// Shared body translation: projection terms + body literals.
+fn select_for_body(head_terms: &[Term], body: &[Literal]) -> String {
+    // Assign aliases to positive atoms.
+    let positives: Vec<&Atom> = body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Atom {
+                atom,
+                negated: false,
+            } => Some(atom),
+            _ => None,
+        })
+        .collect();
+    // First binding site of each variable: (alias index, column).
+    let mut var_site: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    let mut conditions: Vec<String> = Vec::new();
+    for (ai, atom) in positives.iter().enumerate() {
+        for (ci, t) in atom.terms.iter().enumerate() {
+            match t {
+                Term::Var(v) if !t.is_anonymous() => {
+                    if let Some((a0, c0)) = var_site.get(v.as_str()) {
+                        conditions.push(format!("t{ai}.{} = t{a0}.{}", col(ci), col(*c0)));
+                    } else {
+                        var_site.insert(v, (ai, ci));
+                    }
+                }
+                Term::Const(c) => {
+                    conditions.push(format!("t{ai}.{} = {}", col(ci), sql_value(c)));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let term_sql = |t: &Term| -> String {
+        match t {
+            Term::Const(c) => sql_value(c),
+            Term::Var(v) => match var_site.get(v.as_str()) {
+                Some((a, c)) => format!("t{a}.{}", col(*c)),
+                None => "NULL /* unbound */".to_string(),
+            },
+        }
+    };
+
+    // Negated atoms and builtins.
+    for lit in body {
+        match lit {
+            Literal::Atom {
+                atom,
+                negated: true,
+            } => {
+                let mut sub = format!("NOT EXISTS (SELECT 1 FROM {} s WHERE ", sql_ident(&atom.pred));
+                let mut parts = Vec::new();
+                for (ci, t) in atom.terms.iter().enumerate() {
+                    match t {
+                        Term::Var(v) if !t.is_anonymous() => {
+                            if let Some((a, c)) = var_site.get(v.as_str()) {
+                                parts.push(format!("s.{} = t{a}.{}", col(ci), col(*c)));
+                            }
+                        }
+                        Term::Const(c) => {
+                            parts.push(format!("s.{} = {}", col(ci), sql_value(c)));
+                        }
+                        _ => {}
+                    }
+                }
+                if parts.is_empty() {
+                    parts.push("TRUE".into());
+                }
+                let _ = write!(sub, "{})", parts.join(" AND "));
+                conditions.push(sub);
+            }
+            Literal::Builtin {
+                op,
+                left,
+                right,
+                negated,
+            } => {
+                let expr = format!("{} {} {}", term_sql(left), op.symbol(), term_sql(right));
+                conditions.push(if *negated {
+                    format!("NOT ({expr})")
+                } else {
+                    expr
+                });
+            }
+            _ => {}
+        }
+    }
+
+    let projection: Vec<String> = head_terms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{} AS {}", term_sql(t), col(i)))
+        .collect();
+    let from: Vec<String> = positives
+        .iter()
+        .enumerate()
+        .map(|(ai, a)| format!("{} t{ai}", sql_ident(&a.pred)))
+        .collect();
+    let mut sql = format!("SELECT DISTINCT {} FROM {}", projection.join(", "), from.join(", "));
+    if from.is_empty() {
+        // Rules without positive atoms (grounded by equalities) select
+        // from a one-row relation.
+        sql = format!("SELECT DISTINCT {} FROM (VALUES (1)) one(x)", projection.join(", "));
+    }
+    if !conditions.is_empty() {
+        let _ = write!(sql, " WHERE {}", conditions.join(" AND "));
+    }
+    sql
+}
+
+/// Translate a whole program into a SQL query for `goal`: CTEs for the
+/// intermediate IDB predicates in dependency order, then the goal query.
+pub fn program_to_sql(program: &Program, goal: &PredRef) -> String {
+    let order = stratify(program).unwrap_or_default();
+    let mut ctes: Vec<String> = Vec::new();
+    for pred in order.iter().filter(|p| *p != goal) {
+        let selects: Vec<String> = program.rules_for(pred).map(rule_to_select).collect();
+        if selects.is_empty() {
+            continue;
+        }
+        ctes.push(format!(
+            "{} AS ({})",
+            sql_ident(pred),
+            selects.join(" UNION ")
+        ));
+    }
+    let goal_selects: Vec<String> = program.rules_for(goal).map(rule_to_select).collect();
+    let body = if goal_selects.is_empty() {
+        "SELECT NULL WHERE FALSE".to_string()
+    } else {
+        goal_selects.join(" UNION ")
+    };
+    if ctes.is_empty() {
+        body
+    } else {
+        format!("WITH {} {}", ctes.join(", "), body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_datalog::{parse_program, parse_rule};
+
+    #[test]
+    fn sql_idents_for_deltas() {
+        assert_eq!(sql_ident(&PredRef::ins("r")), "delta_ins_r");
+        assert_eq!(sql_ident(&PredRef::del("r")), "delta_del_r");
+        assert_eq!(sql_ident(&PredRef::new_rel("r")), "new_r");
+        assert_eq!(sql_ident(&PredRef::plain("r")), "r");
+    }
+
+    #[test]
+    fn simple_selection_rule() {
+        let r = parse_rule("v(X, Y) :- r(X, Y), Y > 2.").unwrap();
+        let sql = rule_to_select(&r);
+        assert_eq!(
+            sql,
+            "SELECT DISTINCT t0.c0 AS c0, t0.c1 AS c1 FROM r t0 WHERE t0.c1 > 2"
+        );
+    }
+
+    #[test]
+    fn join_with_shared_variable() {
+        let r = parse_rule("v(X, Z) :- r(X, Y), s(Y, Z).").unwrap();
+        let sql = rule_to_select(&r);
+        assert!(sql.contains("FROM r t0, s t1"), "{sql}");
+        assert!(sql.contains("t1.c0 = t0.c1"), "{sql}");
+    }
+
+    #[test]
+    fn negation_becomes_not_exists() {
+        let r = parse_rule("-r1(X) :- r1(X), not v(X).").unwrap();
+        let sql = rule_to_select(&r);
+        assert!(
+            sql.contains("NOT EXISTS (SELECT 1 FROM v s WHERE s.c0 = t0.c0)"),
+            "{sql}"
+        );
+    }
+
+    #[test]
+    fn anonymous_variables_unconstrained() {
+        let r = parse_rule("retired(E) :- residents(E, _, _), not ced(E, _).").unwrap();
+        let sql = rule_to_select(&r);
+        assert!(sql.contains("NOT EXISTS (SELECT 1 FROM ced s WHERE s.c0 = t0.c0)"), "{sql}");
+    }
+
+    #[test]
+    fn constants_in_atoms_and_heads() {
+        let r = parse_rule("res(E, B, 'F') :- female(E, B).").unwrap();
+        let sql = rule_to_select(&r);
+        assert!(sql.contains("'F' AS c2"), "{sql}");
+    }
+
+    #[test]
+    fn union_program_with_cte() {
+        let p = parse_program(
+            "
+            m(X) :- r(X), X > 1.
+            v(X) :- m(X).
+            v(X) :- s(X).
+            ",
+        )
+        .unwrap();
+        let sql = program_to_sql(&p, &PredRef::plain("v"));
+        assert!(sql.starts_with("WITH m AS ("), "{sql}");
+        assert!(sql.contains("UNION"), "{sql}");
+    }
+
+    #[test]
+    fn constraint_existence_query() {
+        let r = parse_rule("false :- v(X, Y, Z), Z > 2.").unwrap();
+        let sql = constraint_to_select(&r);
+        assert!(sql.starts_with("SELECT 1 FROM"), "{sql}");
+        assert!(sql.ends_with("LIMIT 1"), "{sql}");
+    }
+
+    #[test]
+    fn negated_equality() {
+        let r = parse_rule("o(G) :- g(G), not G = 'M'.").unwrap();
+        let sql = rule_to_select(&r);
+        assert!(sql.contains("NOT (t0.c0 = 'M')"), "{sql}");
+    }
+}

@@ -1,0 +1,540 @@
+//! Minimal SQL DML parser for view update requests.
+//!
+//! The runtime accepts the statement forms the paper lists in Appendix D:
+//!
+//! ```sql
+//! INSERT INTO v VALUES (1, 'a'), (2, 'b');
+//! DELETE FROM v WHERE price > 100 AND name = 'x';
+//! UPDATE v SET price = 5 WHERE id = 3;
+//! ```
+//!
+//! `WHERE` clauses are conjunctions of `column op literal`; `SET` clauses
+//! assign literals. That covers every update shape used in the paper's
+//! experiments (single statements and multi-statement transactions).
+
+use birds_datalog::CmpOp;
+use birds_store::Value;
+use std::fmt;
+
+/// A parsed condition `column op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Column name.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// `true` for `<>` / `!=`.
+    pub negated: bool,
+    /// Literal value.
+    pub value: Value,
+}
+
+impl Condition {
+    /// Evaluate on a value of the column.
+    pub fn matches(&self, v: &Value) -> bool {
+        self.op.eval(v, &self.value).unwrap_or(false) != self.negated
+    }
+}
+
+/// A parsed DML statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DmlStatement {
+    /// `INSERT INTO table VALUES (…), (…)`
+    Insert {
+        /// Target relation (view) name.
+        table: String,
+        /// Rows to insert.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `DELETE FROM table WHERE …`
+    Delete {
+        /// Target relation (view) name.
+        table: String,
+        /// Conjunctive predicate (empty = all rows).
+        predicate: Vec<Condition>,
+    },
+    /// `UPDATE table SET col = lit, … WHERE …`
+    Update {
+        /// Target relation (view) name.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Value)>,
+        /// Conjunctive predicate (empty = all rows).
+        predicate: Vec<Condition>,
+    },
+}
+
+impl DmlStatement {
+    /// The target table of the statement.
+    pub fn table(&self) -> &str {
+        match self {
+            DmlStatement::Insert { table, .. }
+            | DmlStatement::Delete { table, .. }
+            | DmlStatement::Update { table, .. } => table,
+        }
+    }
+}
+
+/// Parse error with message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmlParseError(pub String);
+
+impl fmt::Display for DmlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DML parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DmlParseError {}
+
+// ---- tokenizer -----------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String), // keywords and identifiers, uppercased for keywords
+    Str(String),
+    Num(Value),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Op(CmpOp, bool), // (op, negated)
+    Equals,
+    Star,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, DmlParseError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Tok::Semi);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Equals);
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Op(CmpOp::Le, false));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Tok::Op(CmpOp::Eq, true));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Lt, false));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Op(CmpOp::Ge, false));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Gt, false));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Op(CmpOp::Eq, true));
+                    i += 2;
+                } else {
+                    return Err(DmlParseError("unexpected '!'".into()));
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => return Err(DmlParseError("unterminated string".into())),
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !chars.get(i).is_some_and(|c| c.is_ascii_digit()) {
+                        return Err(DmlParseError("expected digits after '-'".into()));
+                    }
+                }
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let v = if is_float {
+                    Value::float(
+                        text.parse::<f64>()
+                            .map_err(|_| DmlParseError(format!("bad float '{text}'")))?,
+                    )
+                } else {
+                    Value::Int(
+                        text.parse::<i64>()
+                            .map_err(|_| DmlParseError(format!("bad integer '{text}'")))?,
+                    )
+                };
+                out.push(Tok::Num(v));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Word(chars[start..i].iter().collect()));
+            }
+            other => return Err(DmlParseError(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+// ---- parser --------------------------------------------------------
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), DmlParseError> {
+        match self.bump() {
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(DmlParseError(format!("expected '{kw}', found {other:?}"))),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, DmlParseError> {
+        match self.bump() {
+            Some(Tok::Word(w)) => Ok(w),
+            other => Err(DmlParseError(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, DmlParseError> {
+        match self.bump() {
+            Some(Tok::Str(s)) => Ok(Value::Str(s)),
+            Some(Tok::Num(v)) => Ok(v),
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            other => Err(DmlParseError(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn where_clause(&mut self) -> Result<Vec<Condition>, DmlParseError> {
+        if !self.is_keyword("WHERE") {
+            return Ok(vec![]);
+        }
+        self.bump();
+        let mut conds = vec![self.condition()?];
+        while self.is_keyword("AND") {
+            self.bump();
+            conds.push(self.condition()?);
+        }
+        Ok(conds)
+    }
+
+    fn condition(&mut self) -> Result<Condition, DmlParseError> {
+        let column = self.ident()?;
+        let (op, negated) = match self.bump() {
+            Some(Tok::Equals) => (CmpOp::Eq, false),
+            Some(Tok::Op(op, neg)) => (op, neg),
+            other => {
+                return Err(DmlParseError(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let value = self.literal()?;
+        Ok(Condition {
+            column,
+            op,
+            negated,
+            value,
+        })
+    }
+
+    fn statement(&mut self) -> Result<DmlStatement, DmlParseError> {
+        match self.peek() {
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case("INSERT") => {
+                self.bump();
+                self.keyword("INTO")?;
+                let table = self.ident()?;
+                self.keyword("VALUES")?;
+                let mut rows = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Tok::LParen) => {}
+                        other => {
+                            return Err(DmlParseError(format!(
+                                "expected '(', found {other:?}"
+                            )))
+                        }
+                    }
+                    let mut row = vec![self.literal()?];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                        row.push(self.literal()?);
+                    }
+                    match self.bump() {
+                        Some(Tok::RParen) => {}
+                        other => {
+                            return Err(DmlParseError(format!(
+                                "expected ')', found {other:?}"
+                            )))
+                        }
+                    }
+                    rows.push(row);
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                Ok(DmlStatement::Insert { table, rows })
+            }
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case("DELETE") => {
+                self.bump();
+                self.keyword("FROM")?;
+                let table = self.ident()?;
+                let predicate = self.where_clause()?;
+                Ok(DmlStatement::Delete { table, predicate })
+            }
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case("UPDATE") => {
+                self.bump();
+                let table = self.ident()?;
+                self.keyword("SET")?;
+                let mut sets = Vec::new();
+                loop {
+                    let col = self.ident()?;
+                    match self.bump() {
+                        Some(Tok::Equals) => {}
+                        other => {
+                            return Err(DmlParseError(format!(
+                                "expected '=', found {other:?}"
+                            )))
+                        }
+                    }
+                    sets.push((col, self.literal()?));
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                let predicate = self.where_clause()?;
+                Ok(DmlStatement::Update {
+                    table,
+                    sets,
+                    predicate,
+                })
+            }
+            other => Err(DmlParseError(format!(
+                "expected INSERT/DELETE/UPDATE, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Parse one DML statement (an optional trailing `;` is consumed).
+pub fn parse_dml(src: &str) -> Result<DmlStatement, DmlParseError> {
+    let mut p = P {
+        toks: tokenize(src)?,
+        pos: 0,
+    };
+    let stmt = p.statement()?;
+    if p.peek() == Some(&Tok::Semi) {
+        p.bump();
+    }
+    if p.peek().is_some() {
+        return Err(DmlParseError("trailing input after statement".into()));
+    }
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script — a transaction in the sense of
+/// Algorithm 2 (optionally wrapped in `BEGIN … END`).
+pub fn parse_script(src: &str) -> Result<Vec<DmlStatement>, DmlParseError> {
+    let mut p = P {
+        toks: tokenize(src)?,
+        pos: 0,
+    };
+    if p.is_keyword("BEGIN") {
+        p.bump();
+        if p.peek() == Some(&Tok::Semi) {
+            p.bump();
+        }
+    }
+    let mut stmts = Vec::new();
+    while p.peek().is_some() {
+        if p.is_keyword("END") {
+            p.bump();
+            if p.peek() == Some(&Tok::Semi) {
+                p.bump();
+            }
+            break;
+        }
+        stmts.push(p.statement()?);
+        if p.peek() == Some(&Tok::Semi) {
+            p.bump();
+        }
+    }
+    Ok(stmts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_insert_multiple_rows() {
+        let s = parse_dml("INSERT INTO v VALUES (1, 'a'), (2, 'b');").unwrap();
+        match s {
+            DmlStatement::Insert { table, rows } => {
+                assert_eq!(table, "v");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0], vec![Value::Int(1), Value::str("a")]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_delete_with_conditions() {
+        let s = parse_dml("DELETE FROM items WHERE price > 100 AND name <> 'x'").unwrap();
+        match s {
+            DmlStatement::Delete { table, predicate } => {
+                assert_eq!(table, "items");
+                assert_eq!(predicate.len(), 2);
+                assert!(predicate[0].matches(&Value::Int(101)));
+                assert!(!predicate[0].matches(&Value::Int(100)));
+                assert!(predicate[1].matches(&Value::str("y")));
+                assert!(!predicate[1].matches(&Value::str("x")));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_update() {
+        let s = parse_dml("UPDATE v SET price = 5, name = 'n' WHERE id = 3;").unwrap();
+        match s {
+            DmlStatement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                assert_eq!(table, "v");
+                assert_eq!(sets.len(), 2);
+                assert_eq!(sets[0], ("price".to_string(), Value::Int(5)));
+                assert_eq!(predicate.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_transaction_script() {
+        let stmts = parse_script(
+            "BEGIN; INSERT INTO v VALUES (1); DELETE FROM v WHERE a = 1; END;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_dml("insert into v values (1)").is_ok());
+        assert!(parse_dml("delete from v where a >= -2").is_ok());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_dml("DROP TABLE v").is_err());
+        assert!(parse_dml("INSERT INTO v VALUES 1").is_err());
+        assert!(parse_dml("DELETE FROM v WHERE a ==").is_err());
+        assert!(parse_dml("INSERT INTO v VALUES (1) garbage").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = parse_dml("INSERT INTO v VALUES ('o''clock')").unwrap();
+        match s {
+            DmlStatement::Insert { rows, .. } => {
+                assert_eq!(rows[0][0], Value::str("o'clock"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn float_and_negative_literals() {
+        let s = parse_dml("INSERT INTO v VALUES (-3, 2.5)").unwrap();
+        match s {
+            DmlStatement::Insert { rows, .. } => {
+                assert_eq!(rows[0][0], Value::Int(-3));
+                assert_eq!(rows[0][1], Value::float(2.5));
+            }
+            _ => panic!(),
+        }
+    }
+}

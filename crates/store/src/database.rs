@@ -1,0 +1,144 @@
+//! A database instance: a collection of named relations.
+
+use crate::error::{StoreError, StoreResult};
+use crate::relation::Relation;
+use crate::schema::DatabaseSchema;
+use std::collections::BTreeMap;
+
+/// A database instance `D` assigning a finite relation to each predicate
+/// (paper §2.1). Relation names are unique; iteration order is name order
+/// for determinism.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create empty relations for every schema entry.
+    pub fn from_schema(schema: &DatabaseSchema) -> Self {
+        let mut db = Database::new();
+        for s in &schema.relations {
+            db.relations
+                .insert(s.name.clone(), Relation::new(s.name.clone(), s.arity()));
+        }
+        db
+    }
+
+    /// Add a relation; fails if the name is already taken.
+    pub fn add_relation(&mut self, rel: Relation) -> StoreResult<()> {
+        if self.relations.contains_key(rel.name()) {
+            return Err(StoreError::DuplicateRelation(rel.name().to_owned()));
+        }
+        self.relations.insert(rel.name().to_owned(), rel);
+        Ok(())
+    }
+
+    /// Add or overwrite a relation.
+    pub fn set_relation(&mut self, rel: Relation) {
+        self.relations.insert(rel.name().to_owned(), rel);
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn remove_relation(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Shared access to a relation.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Mutable access to a relation.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// `true` if the named relation exists.
+    pub fn contains_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterate relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Relation names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Structural equality of contents (names, arities and tuple sets),
+    /// ignoring index registration. Used heavily by round-trip tests:
+    /// GetPut says `put(S, get(S)) = S`.
+    pub fn same_contents(&self, other: &Database) -> bool {
+        if self.relations.len() != other.relations.len() {
+            return false;
+        }
+        self.relations.iter().all(|(name, rel)| {
+            other.relations.get(name).is_some_and(|o| {
+                o.arity() == rel.arity() && o.tuples() == rel.tuples()
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DatabaseSchema, Schema, SortKind};
+    use crate::tuple;
+
+    #[test]
+    fn from_schema_creates_empty_relations() {
+        let schema = DatabaseSchema::new()
+            .with(Schema::new("a", vec![("x", SortKind::Int)]))
+            .with(Schema::new("b", vec![("x", SortKind::Int), ("y", SortKind::Str)]));
+        let db = Database::from_schema(&schema);
+        assert_eq!(db.relation("a").unwrap().arity(), 1);
+        assert_eq!(db.relation("b").unwrap().arity(), 2);
+        assert!(db.relation("a").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut db = Database::new();
+        db.add_relation(Relation::new("r", 1)).unwrap();
+        assert!(matches!(
+            db.add_relation(Relation::new("r", 2)),
+            Err(StoreError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn same_contents_ignores_indexes() {
+        let mut a = Database::new();
+        a.add_relation(Relation::with_tuples("r", 1, vec![tuple![1]]).unwrap())
+            .unwrap();
+        let mut b = a.clone();
+        b.relation_mut("r").unwrap().ensure_index(&[0]).unwrap();
+        assert!(a.same_contents(&b));
+        b.relation_mut("r").unwrap().insert(tuple![2]).unwrap();
+        assert!(!a.same_contents(&b));
+    }
+
+    #[test]
+    fn total_tuples_counts_everything() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r", 1, vec![tuple![1], tuple![2]]).unwrap())
+            .unwrap();
+        db.add_relation(Relation::with_tuples("s", 1, vec![tuple![3]]).unwrap())
+            .unwrap();
+        assert_eq!(db.total_tuples(), 3);
+    }
+}

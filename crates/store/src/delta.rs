@@ -1,0 +1,261 @@
+//! Delta relations and their application (paper §3.1).
+//!
+//! A delta `ΔR` over relation `R` is a pair of tuple sets: insertions `Δ⁺`
+//! and deletions `Δ⁻`. Application is `R ⊕ ΔR = (R \ Δ⁻) ∪ Δ⁺` (set
+//! semantics). A delta *set* `ΔS` carries one delta per source relation;
+//! it is **non-contradictory** when no tuple is simultaneously inserted and
+//! deleted on the same relation (Definition 3.1) — contradictory delta sets
+//! are rejected at application time.
+
+use crate::database::Database;
+use crate::error::{StoreError, StoreResult};
+use crate::tuple::Tuple;
+use std::collections::{BTreeMap, HashSet};
+
+/// Insertions and deletions for a single relation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta {
+    /// `Δ⁺`: tuples to insert.
+    pub insertions: HashSet<Tuple>,
+    /// `Δ⁻`: tuples to delete.
+    pub deletions: HashSet<Tuple>,
+}
+
+impl Delta {
+    /// Empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from explicit insertion / deletion sets.
+    pub fn from_sets(insertions: HashSet<Tuple>, deletions: HashSet<Tuple>) -> Self {
+        Delta {
+            insertions,
+            deletions,
+        }
+    }
+
+    /// `true` when both sets are empty.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+
+    /// Tuples present in both `Δ⁺` and `Δ⁻` (witnesses of contradiction).
+    pub fn contradictions(&self) -> impl Iterator<Item = &Tuple> {
+        self.insertions
+            .iter()
+            .filter(|t| self.deletions.contains(t))
+    }
+
+    /// `true` when `Δ⁺ ∩ Δ⁻ = ∅`.
+    pub fn is_non_contradictory(&self) -> bool {
+        self.contradictions().next().is_none()
+    }
+
+    /// Number of tuples touched.
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    /// Is the delta a no-op *relative to R*: all insertions already in `R`
+    /// and all deletions absent from `R`? (This is the per-relation
+    /// steady-state condition `Δ⁻∩R = ∅ ∧ Δ⁺\R = ∅` of §4.3.)
+    pub fn is_noop_on(&self, rel: &crate::relation::Relation) -> bool {
+        self.insertions.iter().all(|t| rel.contains(t))
+            && self.deletions.iter().all(|t| !rel.contains(t))
+    }
+}
+
+/// A delta for each of several relations, keyed by relation name.
+///
+/// Uses a `BTreeMap` so iteration (and hence application and display) is
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSet {
+    deltas: BTreeMap<String, Delta>,
+}
+
+impl DeltaSet {
+    /// Empty delta set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access (creating if needed) the delta of the named relation.
+    pub fn entry(&mut self, relation: impl Into<String>) -> &mut Delta {
+        self.deltas.entry(relation.into()).or_default()
+    }
+
+    /// The delta of the named relation, if any was recorded.
+    pub fn get(&self, relation: &str) -> Option<&Delta> {
+        self.deltas.get(relation)
+    }
+
+    /// Record an insertion.
+    pub fn insert(&mut self, relation: impl Into<String>, t: Tuple) {
+        self.entry(relation).insertions.insert(t);
+    }
+
+    /// Record a deletion.
+    pub fn delete(&mut self, relation: impl Into<String>, t: Tuple) {
+        self.entry(relation).deletions.insert(t);
+    }
+
+    /// Iterate `(relation, delta)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Delta)> {
+        self.deltas.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total number of touched tuples across all relations.
+    pub fn len(&self) -> usize {
+        self.deltas.values().map(Delta::len).sum()
+    }
+
+    /// `true` when no relation has any change recorded.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.values().all(Delta::is_empty)
+    }
+
+    /// Definition 3.1: no relation has a tuple both inserted and deleted.
+    pub fn is_non_contradictory(&self) -> bool {
+        self.deltas.values().all(Delta::is_non_contradictory)
+    }
+
+    /// Apply this delta set to a database: `S ⊕ ΔS`.
+    ///
+    /// Fails if the delta set is contradictory, references an unknown
+    /// relation, or contains a tuple of the wrong arity. Deletions are
+    /// applied before insertions per the paper's `(R \ Δ⁻) ∪ Δ⁺`.
+    pub fn apply_to(&self, db: &mut Database) -> StoreResult<()> {
+        // Validate everything before mutating so failed application does
+        // not leave the database half-updated.
+        for (name, delta) in &self.deltas {
+            if let Some(t) = delta.contradictions().next() {
+                return Err(StoreError::ContradictoryDelta {
+                    relation: name.clone(),
+                    tuple: t.to_string(),
+                });
+            }
+            let rel = db
+                .relation(name)
+                .ok_or_else(|| StoreError::UnknownRelation(name.clone()))?;
+            for t in delta.insertions.iter().chain(delta.deletions.iter()) {
+                if t.arity() != rel.arity() {
+                    return Err(StoreError::ArityMismatch {
+                        relation: name.clone(),
+                        expected: rel.arity(),
+                        found: t.arity(),
+                    });
+                }
+            }
+        }
+        for (name, delta) in &self.deltas {
+            let rel = db.relation_mut(name).expect("validated above");
+            for t in &delta.deletions {
+                rel.remove(t);
+            }
+            for t in &delta.insertions {
+                rel.insert(t.clone())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("r1", 1, vec![tuple![1], tuple![2]]).unwrap(),
+        )
+        .unwrap();
+        db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![3]]).unwrap())
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn paper_example_delta_application() {
+        // Example from §3.1: R = {⟨1,2⟩, ⟨1,3⟩}, ΔR = {-r(1,2), +r(1,1)}
+        // gives R' = {⟨1,1⟩, ⟨1,3⟩}.
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples("r", 2, vec![tuple![1, 2], tuple![1, 3]]).unwrap(),
+        )
+        .unwrap();
+        let mut ds = DeltaSet::new();
+        ds.delete("r", tuple![1, 2]);
+        ds.insert("r", tuple![1, 1]);
+        ds.apply_to(&mut db).unwrap();
+        let r = db.relation("r").unwrap();
+        assert!(r.contains(&tuple![1, 1]));
+        assert!(r.contains(&tuple![1, 3]));
+        assert!(!r.contains(&tuple![1, 2]));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn contradictory_delta_rejected_without_mutation() {
+        let mut database = db();
+        let mut ds = DeltaSet::new();
+        ds.insert("r1", tuple![5]);
+        ds.delete("r1", tuple![5]);
+        assert!(!ds.is_non_contradictory());
+        let err = ds.apply_to(&mut database).unwrap_err();
+        assert!(matches!(err, StoreError::ContradictoryDelta { .. }));
+        assert_eq!(database.relation("r1").unwrap().len(), 2, "unchanged");
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let mut database = db();
+        let mut ds = DeltaSet::new();
+        ds.insert("nope", tuple![1]);
+        assert!(matches!(
+            ds.apply_to(&mut database),
+            Err(StoreError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn noop_detection() {
+        let database = db();
+        let mut d = Delta::new();
+        d.insertions.insert(tuple![1]); // already present
+        d.deletions.insert(tuple![9]); // already absent
+        assert!(d.is_noop_on(database.relation("r1").unwrap()));
+        d.deletions.insert(tuple![2]); // actually present -> not a noop
+        assert!(!d.is_noop_on(database.relation("r1").unwrap()));
+    }
+
+    #[test]
+    fn delete_then_insert_same_relation_different_tuples() {
+        let mut database = db();
+        let mut ds = DeltaSet::new();
+        ds.delete("r2", tuple![3]);
+        ds.insert("r2", tuple![4]);
+        ds.apply_to(&mut database).unwrap();
+        let r2 = database.relation("r2").unwrap();
+        assert!(r2.contains(&tuple![4]) && !r2.contains(&tuple![3]));
+    }
+
+    #[test]
+    fn empty_delta_set_is_noop() {
+        let mut database = db();
+        let before: Vec<usize> = ["r1", "r2"]
+            .iter()
+            .map(|n| database.relation(n).unwrap().len())
+            .collect();
+        DeltaSet::new().apply_to(&mut database).unwrap();
+        let after: Vec<usize> = ["r1", "r2"]
+            .iter()
+            .map(|n| database.relation(n).unwrap().len())
+            .collect();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for storage operations.
+
+use std::fmt;
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A tuple's arity does not match the relation's arity.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        found: usize,
+    },
+    /// The named relation does not exist in the database.
+    UnknownRelation(String),
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// A delta set simultaneously inserts and deletes the same tuple of the
+    /// same relation — i.e. it is *contradictory* in the sense of paper
+    /// Definition 3.1.
+    ContradictoryDelta { relation: String, tuple: String },
+    /// An index was requested over columns outside the relation arity.
+    BadIndexColumns { relation: String, arity: usize },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch on relation '{relation}': expected {expected}, found {found}"
+            ),
+            StoreError::UnknownRelation(name) => write!(f, "unknown relation '{name}'"),
+            StoreError::DuplicateRelation(name) => {
+                write!(f, "relation '{name}' already exists")
+            }
+            StoreError::ContradictoryDelta { relation, tuple } => write!(
+                f,
+                "contradictory delta: tuple {tuple} is both inserted into and deleted from '{relation}'"
+            ),
+            StoreError::BadIndexColumns { relation, arity } => write!(
+                f,
+                "index columns out of range for relation '{relation}' of arity {arity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,30 @@
+//! # birds-store
+//!
+//! In-memory relational storage substrate for the BIRDS reproduction.
+//!
+//! The paper ("Programmable View Update Strategies on Relations", VLDB 2020)
+//! runs its compiled view-update strategies inside PostgreSQL. This crate is
+//! the storage half of our PostgreSQL substitute: typed [`Value`]s,
+//! [`Tuple`]s, per-relation [`Schema`]s, [`Relation`]s backed by a hash set
+//! with incrementally-maintained secondary indexes, whole [`Database`]
+//! instances, and delta application `R ⊕ ΔR = (R \ Δ⁻) ∪ Δ⁺` (paper §3.1).
+//!
+//! Everything here is deliberately engine-agnostic: the Datalog evaluator
+//! (`birds-eval`) and the updatable-view runtime (`birds-engine`) both build
+//! on these types.
+
+pub mod database;
+pub mod delta;
+pub mod error;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use database::Database;
+pub use delta::{Delta, DeltaSet};
+pub use error::{StoreError, StoreResult};
+pub use relation::Relation;
+pub use schema::{Attribute, DatabaseSchema, Schema, SortKind};
+pub use tuple::Tuple;
+pub use value::{Value, ValueSort};

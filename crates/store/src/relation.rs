@@ -1,0 +1,339 @@
+//! Relations: finite sets of tuples with maintained secondary indexes.
+//!
+//! The paper's compiled strategies run inside PostgreSQL, whose planner uses
+//! B-tree indexes to make the *incrementalized* trigger programs touch only
+//! `O(|ΔV|)` tuples. Our substitute keeps hash indexes on arbitrary column
+//! subsets; once registered, an index is maintained incrementally under
+//! inserts and deletes, so repeated index probes after warm-up are `O(1)`
+//! just as in the paper's setting.
+
+use crate::error::{StoreError, StoreResult};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// A relation instance: a named finite set of same-arity tuples.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    tuples: HashSet<Tuple>,
+    /// Secondary hash indexes keyed by column subset. Maintained under all
+    /// mutations. `Vec<usize>` keys are sorted, deduplicated column lists.
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, HashSet<Tuple>>>,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Relation {
+            name: name.into(),
+            arity,
+            tuples: HashSet::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Create a relation pre-populated with tuples.
+    ///
+    /// Fails with [`StoreError::ArityMismatch`] if any tuple has the wrong
+    /// arity.
+    pub fn with_tuples(
+        name: impl Into<String>,
+        arity: usize,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> StoreResult<Self> {
+        let mut rel = Relation::new(name, arity);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// Relation (predicate) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Arity of every tuple in the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Set membership test (full-tuple lookup, `O(1)`).
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterate over all tuples (arbitrary order — set semantics).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Insert a tuple; `Ok(true)` if it was newly added.
+    pub fn insert(&mut self, t: Tuple) -> StoreResult<bool> {
+        if t.arity() != self.arity {
+            return Err(StoreError::ArityMismatch {
+                relation: self.name.clone(),
+                expected: self.arity,
+                found: t.arity(),
+            });
+        }
+        if self.tuples.contains(&t) {
+            return Ok(false);
+        }
+        for (cols, index) in self.indexes.iter_mut() {
+            index
+                .entry(t.project(cols))
+                .or_default()
+                .insert(t.clone());
+        }
+        self.tuples.insert(t);
+        Ok(true)
+    }
+
+    /// Remove a tuple; `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if !self.tuples.remove(t) {
+            return false;
+        }
+        for (cols, index) in self.indexes.iter_mut() {
+            let key = t.project(cols);
+            if let Some(bucket) = index.get_mut(&key) {
+                bucket.remove(t);
+                if bucket.is_empty() {
+                    index.remove(&key);
+                }
+            }
+        }
+        true
+    }
+
+    /// Register (and build, if absent) an index on the given columns.
+    ///
+    /// Columns are normalized to sorted-unique order; an empty or full-arity
+    /// column list is accepted but pointless (full-tuple lookups already use
+    /// the primary hash set).
+    pub fn ensure_index(&mut self, cols: &[usize]) -> StoreResult<()> {
+        let key = normalize_cols(cols);
+        if key.iter().any(|&c| c >= self.arity) {
+            return Err(StoreError::BadIndexColumns {
+                relation: self.name.clone(),
+                arity: self.arity,
+            });
+        }
+        if self.indexes.contains_key(&key) {
+            return Ok(());
+        }
+        let mut index: HashMap<Vec<Value>, HashSet<Tuple>> = HashMap::new();
+        for t in &self.tuples {
+            index.entry(t.project(&key)).or_default().insert(t.clone());
+        }
+        self.indexes.insert(key, index);
+        Ok(())
+    }
+
+    /// `true` if an index over exactly these columns is registered.
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        self.indexes.contains_key(&normalize_cols(cols))
+    }
+
+    /// Probe an index: all tuples whose projection on `cols` equals `key`.
+    ///
+    /// `cols` and `key` must be parallel (same length, pre-normalization);
+    /// the caller is expected to have called [`Relation::ensure_index`]
+    /// first — probing a missing index falls back to a scan so results are
+    /// always correct, just slower.
+    pub fn probe<'a>(
+        &'a self,
+        cols: &[usize],
+        key: &[&Value],
+    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+        debug_assert_eq!(cols.len(), key.len());
+        let (norm_cols, norm_key) = normalize_probe(cols, key);
+        if let Some(index) = self.indexes.get(&norm_cols) {
+            match index.get(&norm_key) {
+                Some(bucket) => Box::new(bucket.iter()),
+                None => Box::new(std::iter::empty()),
+            }
+        } else {
+            // Correct-but-slow fallback: linear scan.
+            let cols: Vec<usize> = cols.to_vec();
+            let key: Vec<Value> = key.iter().map(|v| (*v).clone()).collect();
+            Box::new(self.tuples.iter().filter(move |t| {
+                cols.iter().zip(&key).all(|(&c, v)| &t[c] == v)
+            }))
+        }
+    }
+
+    /// Remove all tuples (indexes stay registered but become empty).
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        for index in self.indexes.values_mut() {
+            index.clear();
+        }
+    }
+
+    /// Snapshot of the tuple set.
+    pub fn tuples(&self) -> &HashSet<Tuple> {
+        &self.tuples
+    }
+
+    /// Replace the entire contents of the relation (indexes are rebuilt).
+    pub fn replace_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> StoreResult<()> {
+        let cols: Vec<Vec<usize>> = self.indexes.keys().cloned().collect();
+        self.tuples.clear();
+        self.indexes.clear();
+        for t in tuples {
+            if t.arity() != self.arity {
+                return Err(StoreError::ArityMismatch {
+                    relation: self.name.clone(),
+                    expected: self.arity,
+                    found: t.arity(),
+                });
+            }
+            self.tuples.insert(t);
+        }
+        for c in cols {
+            self.ensure_index(&c)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Relation {
+    /// `name{t1, t2, …}` with tuples in sorted order (deterministic).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut sorted: Vec<&Tuple> = self.tuples.iter().collect();
+        sorted.sort();
+        write!(f, "{}{{", self.name)?;
+        for (i, t) in sorted.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Sort + dedupe an index column list.
+fn normalize_cols(cols: &[usize]) -> Vec<usize> {
+    let mut v = cols.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Normalize a probe's (cols, key) pair in tandem so it matches the
+/// normalized index key layout. Duplicated columns keep the first value.
+fn normalize_probe(cols: &[usize], key: &[&Value]) -> (Vec<usize>, Vec<Value>) {
+    let mut pairs: Vec<(usize, &Value)> = cols.iter().copied().zip(key.iter().copied()).collect();
+    pairs.sort_by_key(|(c, _)| *c);
+    pairs.dedup_by_key(|(c, _)| *c);
+    (
+        pairs.iter().map(|(c, _)| *c).collect(),
+        pairs.iter().map(|(_, v)| (*v).clone()).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn rel() -> Relation {
+        Relation::with_tuples(
+            "r",
+            2,
+            vec![tuple![1, "a"], tuple![1, "b"], tuple![2, "a"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = rel();
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&tuple![1, "a"]));
+        assert!(!r.insert(tuple![1, "a"]).unwrap(), "duplicate insert");
+        assert!(r.remove(&tuple![1, "a"]));
+        assert!(!r.remove(&tuple![1, "a"]));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut r = rel();
+        let err = r.insert(tuple![1]).unwrap_err();
+        assert!(matches!(err, StoreError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn index_probe_matches_scan() {
+        let mut r = rel();
+        r.ensure_index(&[0]).unwrap();
+        let one = Value::int(1);
+        let mut via_index: Vec<&Tuple> = r.probe(&[0], &[&one]).collect();
+        via_index.sort();
+        assert_eq!(via_index.len(), 2);
+        // Fallback scan path (no index on column 1):
+        let a = Value::str("a");
+        let via_scan: Vec<&Tuple> = r.probe(&[1], &[&a]).collect();
+        assert_eq!(via_scan.len(), 2);
+    }
+
+    #[test]
+    fn index_is_maintained_under_mutation() {
+        let mut r = rel();
+        r.ensure_index(&[0]).unwrap();
+        r.insert(tuple![1, "c"]).unwrap();
+        r.remove(&tuple![1, "a"]);
+        let one = Value::int(1);
+        let hits: Vec<&Tuple> = r.probe(&[0], &[&one]).collect();
+        assert_eq!(hits.len(), 2); // (1,b) and (1,c)
+        assert!(hits.iter().all(|t| t[0] == Value::int(1)));
+    }
+
+    #[test]
+    fn probe_with_unsorted_duplicate_columns() {
+        let mut r = rel();
+        r.ensure_index(&[0, 1]).unwrap();
+        let one = Value::int(1);
+        let a = Value::str("a");
+        // cols out of order and duplicated must still hit the [0,1] index.
+        let hits: Vec<&Tuple> = r.probe(&[1, 0, 0], &[&a, &one, &one]).collect();
+        assert_eq!(hits, vec![&tuple![1, "a"]]);
+    }
+
+    #[test]
+    fn bad_index_columns_rejected() {
+        let mut r = rel();
+        assert!(matches!(
+            r.ensure_index(&[5]),
+            Err(StoreError::BadIndexColumns { .. })
+        ));
+    }
+
+    #[test]
+    fn replace_all_rebuilds_indexes() {
+        let mut r = rel();
+        r.ensure_index(&[0]).unwrap();
+        r.replace_all(vec![tuple![7, "z"]]).unwrap();
+        assert_eq!(r.len(), 1);
+        let seven = Value::int(7);
+        assert_eq!(r.probe(&[0], &[&seven]).count(), 1);
+        let one = Value::int(1);
+        assert_eq!(r.probe(&[0], &[&one]).count(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Tuples: fixed-arity sequences of [`Value`]s.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A database tuple `⟨t1, …, tk⟩`.
+///
+/// Tuples are immutable once constructed; all mutation in the store happens
+/// at the relation level (insert/delete whole tuples), mirroring the
+/// set-semantics delta model of the paper (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// Create a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Field access; `None` when out of range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// All fields.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consume into the underlying values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// Project onto the given column positions (used by index probes).
+    /// Panics if a position is out of range — callers validate columns
+    /// against the relation arity.
+    pub fn project(&self, cols: &[usize]) -> Vec<Value> {
+        cols.iter().map(|&c| self.0[c].clone()).collect()
+    }
+
+    /// Iterate over the fields.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Convenience macro for building tuples in tests and examples:
+/// `tuple![1, "ann", true]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple![1, "ann"];
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t[0], Value::int(1));
+        assert_eq!(t.get(1), Some(&Value::str("ann")));
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn projection() {
+        let t = tuple![1, "b", 3];
+        assert_eq!(t.project(&[2, 0]), vec![Value::int(3), Value::int(1)]);
+        assert_eq!(t.project(&[]), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(tuple![1, "x"], tuple![1, "x"]);
+        assert_ne!(tuple![1, "x"], tuple!["x", 1]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(tuple![1, "a"].to_string(), "(1, 'a')");
+    }
+}

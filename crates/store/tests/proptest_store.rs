@@ -1,0 +1,164 @@
+//! Property-based tests for the relational substrate: delta application
+//! laws (the `R ⊕ ΔR` algebra of §3.1) and index/scan agreement.
+
+use birds_store::{tuple, Delta, DeltaSet, Database, Relation, Tuple, Value};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_tuples() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..6, 0i64..6), 0..12)
+}
+
+fn rel_of(name: &str, rows: &[(i64, i64)]) -> Relation {
+    Relation::with_tuples(name, 2, rows.iter().map(|&(a, b)| tuple![a, b])).unwrap()
+}
+
+fn set_of(rows: &[(i64, i64)]) -> HashSet<Tuple> {
+    rows.iter().map(|&(a, b)| tuple![a, b]).collect()
+}
+
+proptest! {
+    /// R ⊕ Δ = (R \ Δ⁻) ∪ Δ⁺ — the §3.1 definition, computed two ways.
+    #[test]
+    fn delta_application_matches_set_semantics(
+        base in arb_tuples(),
+        ins in arb_tuples(),
+        del in arb_tuples(),
+    ) {
+        // Keep the delta non-contradictory: drop inserts that also appear
+        // as deletes.
+        let del_set = set_of(&del);
+        let ins_set: HashSet<Tuple> = set_of(&ins)
+            .difference(&del_set)
+            .cloned()
+            .collect();
+
+        let mut delta = Delta::new();
+        delta.insertions.extend(ins_set.iter().cloned());
+        delta.deletions.extend(del_set.iter().cloned());
+        prop_assert!(delta.is_non_contradictory());
+
+        let mut db = Database::new();
+        db.add_relation(rel_of("r", &base)).unwrap();
+        let mut ds = DeltaSet::new();
+        *ds.entry("r") = delta;
+        ds.apply_to(&mut db).unwrap();
+
+        let expected: HashSet<Tuple> = set_of(&base)
+            .difference(&del_set)
+            .cloned()
+            .collect::<HashSet<_>>()
+            .union(&ins_set)
+            .cloned()
+            .collect();
+        let got: HashSet<Tuple> =
+            db.relation("r").unwrap().iter().cloned().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Applying a delta built from the difference of two relations turns
+    /// one into the other (delta extraction is exact).
+    #[test]
+    fn difference_delta_roundtrip(
+        from in arb_tuples(),
+        to in arb_tuples(),
+    ) {
+        let from_set = set_of(&from);
+        let to_set = set_of(&to);
+        let mut delta = Delta::new();
+        delta.insertions = to_set.difference(&from_set).cloned().collect();
+        delta.deletions = from_set.difference(&to_set).cloned().collect();
+
+        let mut db = Database::new();
+        db.add_relation(rel_of("r", &from)).unwrap();
+        let mut ds = DeltaSet::new();
+        *ds.entry("r") = delta;
+        ds.apply_to(&mut db).unwrap();
+        let got: HashSet<Tuple> =
+            db.relation("r").unwrap().iter().cloned().collect();
+        prop_assert_eq!(got, to_set);
+    }
+
+    /// An index probe returns exactly what a full scan returns, for any
+    /// column subset and any probe key, under arbitrary mutation.
+    #[test]
+    fn probe_equals_scan(
+        rows in arb_tuples(),
+        extra in arb_tuples(),
+        removed in arb_tuples(),
+        col in 0usize..2,
+        key in 0i64..6,
+    ) {
+        let mut r = rel_of("r", &rows);
+        r.ensure_index(&[col]).unwrap();
+        for &(a, b) in &extra {
+            r.insert(tuple![a, b]).unwrap();
+        }
+        for &(a, b) in &removed {
+            r.remove(&tuple![a, b]);
+        }
+        let key_val = Value::int(key);
+        let mut via_probe: Vec<Tuple> =
+            r.probe(&[col], &[&key_val]).cloned().collect();
+        via_probe.sort();
+        let mut via_scan: Vec<Tuple> = r
+            .iter()
+            .filter(|t| t[col] == key_val)
+            .cloned()
+            .collect();
+        via_scan.sort();
+        prop_assert_eq!(via_probe, via_scan);
+    }
+
+    /// Insert-then-remove of the same tuple never changes a relation.
+    #[test]
+    fn insert_remove_identity(
+        rows in arb_tuples(),
+        a in 0i64..6,
+        b in 0i64..6,
+    ) {
+        let mut r = rel_of("r", &rows);
+        r.ensure_index(&[1]).unwrap();
+        let before: HashSet<Tuple> = r.iter().cloned().collect();
+        let was_present = r.contains(&tuple![a, b]);
+        r.insert(tuple![a, b]).unwrap();
+        if !was_present {
+            r.remove(&tuple![a, b]);
+        }
+        let after: HashSet<Tuple> = r.iter().cloned().collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// `replace_all` is equivalent to rebuilding from scratch, with
+    /// indexes still answering correctly.
+    #[test]
+    fn replace_all_equals_fresh_relation(
+        rows in arb_tuples(),
+        next in arb_tuples(),
+        key in 0i64..6,
+    ) {
+        let mut r = rel_of("r", &rows);
+        r.ensure_index(&[0]).unwrap();
+        r.replace_all(next.iter().map(|&(a, b)| tuple![a, b])).unwrap();
+        let fresh = rel_of("r", &next);
+        prop_assert_eq!(r.len(), fresh.len());
+        let key_val = Value::int(key);
+        let mut got: Vec<Tuple> = r.probe(&[0], &[&key_val]).cloned().collect();
+        got.sort();
+        let mut want: Vec<Tuple> =
+            fresh.iter().filter(|t| t[0] == key_val).cloned().collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Value ordering is a total order on each sort: exactly one of
+    /// <, =, > holds for same-sort pairs.
+    #[test]
+    fn value_order_is_total_per_sort(a in 0i64..100, b in 0i64..100) {
+        let (va, vb) = (Value::int(a), Value::int(b));
+        let lt = va < vb;
+        let eq = va == vb;
+        let gt = va > vb;
+        prop_assert_eq!(1, [lt, eq, gt].iter().filter(|&&x| x).count());
+    }
+}

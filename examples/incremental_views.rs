@@ -1,0 +1,84 @@
+//! Incrementalization (§5) in action — a small-scale Figure 6.
+//!
+//! The same update strategy is executed two ways over growing base
+//! tables:
+//!
+//! * **Original**: every view update re-evaluates the whole putback
+//!   program over `(S, V′)` — cost grows with `|S|`.
+//! * **Incremental**: the derived `∂put` program reads only the view
+//!   deltas `+v` / `-v` — cost stays (near-)constant.
+//!
+//! Run with: `cargo run --release --example incremental_views`
+
+use birds::prelude::*;
+use std::time::Instant;
+
+/// The Figure 6(a) view: luxuryitems = σ_{price > 1000}(items).
+fn luxury_strategy() -> UpdateStrategy {
+    UpdateStrategy::parse(
+        DatabaseSchema::new().with(Schema::new(
+            "items",
+            vec![("id", SortKind::Int), ("price", SortKind::Int)],
+        )),
+        Schema::new(
+            "luxuryitems",
+            vec![("id", SortKind::Int), ("price", SortKind::Int)],
+        ),
+        "
+        false :- luxuryitems(I, P), not P > 1000.
+        +items(I, P) :- luxuryitems(I, P), not items(I, P).
+        expensive(I, P) :- items(I, P), P > 1000.
+        -items(I, P) :- expensive(I, P), not luxuryitems(I, P).
+        ",
+        Some("luxuryitems(I, P) :- items(I, P), P > 1000."),
+    )
+    .expect("strategy parses")
+}
+
+/// Populate `items` with `n` rows; ids are dense, prices alternate cheap
+/// and expensive so the view stays at ~half the base size.
+fn items_database(n: usize) -> Database {
+    let tuples = (0..n as i64).map(|i| tuple![i, 500 + (i % 2) * 1000]);
+    let mut db = Database::new();
+    db.add_relation(Relation::with_tuples("items", 2, tuples).unwrap())
+        .unwrap();
+    db
+}
+
+fn time_one_update(n: usize, mode: StrategyMode, get: &Program) -> f64 {
+    let mut engine = Engine::new(items_database(n));
+    engine
+        .register_view_unchecked(luxury_strategy(), get.clone(), mode)
+        .unwrap();
+    let id = n as i64 + 7;
+    let sql = format!(
+        "BEGIN; INSERT INTO luxuryitems VALUES ({id}, 5000); \
+         DELETE FROM luxuryitems WHERE id = 1; END;"
+    );
+    let t = Instant::now();
+    engine.execute(&sql).expect("update succeeds");
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let strategy = luxury_strategy();
+
+    // Validate once; both execution modes reuse the confirmed get.
+    let report = validate(&strategy).expect("validation runs");
+    assert!(report.valid, "{:?}", report.reason);
+    let get = report.derived_get.clone().unwrap();
+    println!("strategy valid; get = {get}");
+
+    // ∂put is derived by the LVGN shortcut (Lemma 5.2): v ↦ +v, ¬v ↦ -v.
+    let dput = incrementalize(&strategy).expect("incrementalizable");
+    println!("incrementalized program (∂put):\n{dput}");
+
+    println!("{:>10} {:>14} {:>14}", "base size", "original (ms)", "incremental (ms)");
+    for n in [1_000, 10_000, 100_000, 300_000] {
+        let orig = time_one_update(n, StrategyMode::Original, &get);
+        let inc = time_one_update(n, StrategyMode::Incremental, &get);
+        println!("{n:>10} {orig:>14.2} {inc:>14.2}");
+    }
+    println!("\nThe original column grows ~linearly; the incremental column is flat —");
+    println!("the shape of every panel of the paper's Figure 6.");
+}

@@ -1,0 +1,219 @@
+//! Cross-crate integration tests for the updatable-view engine: DML
+//! parsing (Algorithm 2), trigger execution, constraint enforcement,
+//! rollback, and view-over-view cascades — on corpus views.
+
+use birds::benchmarks::figure6::Figure6View;
+use birds::benchmarks::{corpus, datagen};
+use birds::prelude::*;
+
+fn engine_for(view: Figure6View, n: usize, mode: StrategyMode) -> Engine {
+    view.engine(n, mode)
+}
+
+#[test]
+fn luxuryitems_constraint_rejects_cheap_insert() {
+    let mut engine = engine_for(Figure6View::Luxuryitems, 100, StrategyMode::Incremental);
+    let err = engine
+        .execute("INSERT INTO luxuryitems VALUES (999, 50);")
+        .unwrap_err();
+    assert!(matches!(err, EngineError::ConstraintViolation { .. }));
+    // Nothing changed.
+    assert_eq!(engine.relation("items").unwrap().len(), 100);
+}
+
+#[test]
+fn luxuryitems_rollback_restores_view_on_constraint_failure() {
+    let mut engine = engine_for(Figure6View::Luxuryitems, 50, StrategyMode::Original);
+    let before: usize = engine.relation("luxuryitems").unwrap().len();
+    let _ = engine
+        .execute("BEGIN; INSERT INTO luxuryitems VALUES (500, 2000); INSERT INTO luxuryitems VALUES (501, 3); END;")
+        .unwrap_err();
+    assert_eq!(engine.relation("luxuryitems").unwrap().len(), before);
+    assert_eq!(engine.relation("items").unwrap().len(), 50);
+}
+
+#[test]
+fn update_statement_translates_to_delete_plus_insert() {
+    let mut engine = engine_for(Figure6View::Luxuryitems, 0, StrategyMode::Incremental);
+    engine
+        .execute("INSERT INTO luxuryitems VALUES (1, 2000);")
+        .unwrap();
+    engine
+        .execute("UPDATE luxuryitems SET price = 3000 WHERE id = 1;")
+        .unwrap();
+    let items = engine.relation("items").unwrap();
+    assert!(items.contains(&tuple![1, 3000]));
+    assert!(!items.contains(&tuple![1, 2000]));
+}
+
+#[test]
+fn transaction_later_statements_override_earlier() {
+    // Algorithm 2: insert then delete of the same tuple = no-op.
+    let mut engine = engine_for(Figure6View::Luxuryitems, 10, StrategyMode::Original);
+    let stats = engine
+        .execute(
+            "BEGIN; INSERT INTO luxuryitems VALUES (77, 7000); \
+             DELETE FROM luxuryitems WHERE id = 77; END;",
+        )
+        .unwrap();
+    assert_eq!(stats.view_delta_size, 0);
+    assert!(!engine.relation("items").unwrap().contains(&tuple![77, 7000]));
+}
+
+#[test]
+fn officeinfo_projection_gets_default_floor() {
+    let mut engine = engine_for(Figure6View::Officeinfo, 20, StrategyMode::Incremental);
+    engine
+        .execute("INSERT INTO officeinfo VALUES (900, 'lab', '+81-555');")
+        .unwrap();
+    let office = engine.relation("office").unwrap();
+    assert!(
+        office.contains(&tuple![900, "lab", 0, "+81-555"]),
+        "projection insert must fill the dropped column with its default"
+    );
+}
+
+#[test]
+fn vw_brands_union_routes_inserts_to_brands_b() {
+    let mut engine = engine_for(Figure6View::VwBrands, 40, StrategyMode::Incremental);
+    engine
+        .execute("INSERT INTO vw_brands VALUES (4711, 'acme');")
+        .unwrap();
+    assert!(engine.relation("brands_b").unwrap().contains(&tuple![4711, "acme"]));
+    assert!(!engine
+        .relation("brands_a")
+        .unwrap()
+        .iter()
+        .any(|t| t[0] == Value::int(4711)));
+}
+
+#[test]
+fn vw_brands_delete_removes_from_either_source() {
+    let mut engine = engine_for(Figure6View::VwBrands, 60, StrategyMode::Original);
+    // Delete every brand with bid <= 60 one at a time via equality
+    // predicates on a handful of ids.
+    for bid in 1..=5i64 {
+        engine
+            .execute(&format!("DELETE FROM vw_brands WHERE bid = {bid};"))
+            .unwrap();
+        assert!(!engine
+            .relation("brands_a")
+            .unwrap()
+            .iter()
+            .any(|t| t[0] == Value::int(bid)));
+        assert!(!engine
+            .relation("brands_b")
+            .unwrap()
+            .iter()
+            .any(|t| t[0] == Value::int(bid)));
+    }
+}
+
+#[test]
+fn outstanding_task_inclusion_dependency_enforced() {
+    let mut engine = engine_for(Figure6View::OutstandingTask, 50, StrategyMode::Original);
+    // tid 10_000 has no assignment row: the ID constraint rejects it.
+    let err = engine
+        .execute(
+            "INSERT INTO outstanding_task VALUES (10000, 'ghost', '2020-08-01', 'nobody');",
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::ConstraintViolation { .. }));
+}
+
+#[test]
+fn all_corpus_lvgn_views_register_and_accept_an_update() {
+    // Every LVGN corpus view with unary-key-style updates can be
+    // registered without revalidation and accepts its Figure-6 style
+    // script (only the four Figure 6 views have generators; others are
+    // registered on empty bases and exercised via a no-op refresh).
+    for e in corpus::entries() {
+        let Some(strategy) = e.strategy() else { continue };
+        if !e.lvgn_expected {
+            continue;
+        }
+        let get = parse_program(e.expected_get).unwrap();
+        let mut db = Database::new();
+        for spec in e.sources {
+            db.add_relation(Relation::new(spec.name, spec.cols.len()))
+                .unwrap();
+        }
+        let mut engine = Engine::new(db);
+        engine
+            .register_view_unchecked(strategy, get, StrategyMode::Incremental)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        assert!(engine.is_view(e.name));
+        assert_eq!(engine.relation(e.name).unwrap().len(), 0);
+    }
+}
+
+#[test]
+fn figure6_database_generators_feed_engine_views() {
+    // Register each Figure 6 view on generated data and check the
+    // materialized view matches a by-hand evaluation of its get.
+    let db = datagen::items_database(500);
+    let luxury_by_hand = db
+        .relation("items")
+        .unwrap()
+        .iter()
+        .filter(|t| t[1] > Value::int(1000))
+        .count();
+    let engine = Figure6View::Luxuryitems.engine(500, StrategyMode::Original);
+    assert_eq!(engine.relation("luxuryitems").unwrap().len(), luxury_by_hand);
+}
+
+#[test]
+fn execution_stats_report_delta_sizes() {
+    let mut engine = engine_for(Figure6View::Luxuryitems, 30, StrategyMode::Incremental);
+    let stats = engine
+        .execute("INSERT INTO luxuryitems VALUES (3001, 5000);")
+        .unwrap();
+    assert_eq!(stats.view_delta_size, 1);
+    assert_eq!(stats.source_delta_size, 1);
+    assert_eq!(stats.cascades, 0);
+}
+
+#[test]
+fn view_over_view_cascade_through_union() {
+    // premium = σ_{price > 3000}(luxuryitems): a view over the corpus
+    // luxuryitems view; updates cascade through to items.
+    let mut engine = engine_for(Figure6View::Luxuryitems, 100, StrategyMode::Original);
+    let premium = UpdateStrategy::parse(
+        DatabaseSchema::new().with(Schema::new(
+            "luxuryitems",
+            vec![("id", SortKind::Int), ("price", SortKind::Int)],
+        )),
+        Schema::new(
+            "premium",
+            vec![("id", SortKind::Int), ("price", SortKind::Int)],
+        ),
+        "
+        false :- premium(I, P), not P > 3000.
+        +luxuryitems(I, P) :- premium(I, P), not luxuryitems(I, P).
+        pricey(I, P) :- luxuryitems(I, P), P > 3000.
+        -luxuryitems(I, P) :- pricey(I, P), not premium(I, P).
+        ",
+        None,
+    )
+    .unwrap();
+    engine.register_view(premium, StrategyMode::Original).unwrap();
+    let stats = engine
+        .execute("INSERT INTO premium VALUES (7777, 9000);")
+        .unwrap();
+    assert!(stats.cascades >= 1);
+    assert!(engine.relation("luxuryitems").unwrap().contains(&tuple![7777, 9000]));
+    assert!(engine.relation("items").unwrap().contains(&tuple![7777, 9000]));
+}
+
+#[test]
+fn dml_on_unregistered_relation_is_rejected() {
+    let mut engine = engine_for(Figure6View::Luxuryitems, 10, StrategyMode::Original);
+    assert!(matches!(
+        engine.execute("INSERT INTO items VALUES (1, 1);"),
+        Err(EngineError::NotAView(_))
+    ));
+    assert!(matches!(
+        engine.execute("INSERT INTO nope VALUES (1);"),
+        Err(EngineError::NotAView(_))
+    ));
+}

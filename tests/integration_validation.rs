@@ -1,0 +1,324 @@
+//! Cross-crate integration tests for the validation pipeline (Algorithm 1):
+//! datalog → fol → solver → core, on strategies from the paper.
+
+use birds::prelude::*;
+
+fn schema1(names: &[&str]) -> DatabaseSchema {
+    let mut db = DatabaseSchema::new();
+    for n in names {
+        db = db.with(Schema::new(*n, vec![("a", SortKind::Int)]));
+    }
+    db
+}
+
+/// Example 3.1: the union strategy validates and derives the union get.
+#[test]
+fn union_derives_expected_get() {
+    let s = UpdateStrategy::parse(
+        schema1(&["r1", "r2"]),
+        Schema::new("v", vec![("a", SortKind::Int)]),
+        "
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+        ",
+        None,
+    )
+    .unwrap();
+    let report = validate(&s).unwrap();
+    assert!(report.valid, "{:?}", report.reason);
+    let got = report.derived_get.unwrap();
+    let want = parse_program("v(X) :- r1(X). v(X) :- r2(X).").unwrap();
+    assert!(got.alpha_eq(&want), "derived {got}");
+}
+
+/// The same strategy with the insertion routed to r2 instead derives the
+/// same (unique) view definition — Theorem 2.1 in action.
+#[test]
+fn insertion_target_does_not_change_get() {
+    let s = UpdateStrategy::parse(
+        schema1(&["r1", "r2"]),
+        Schema::new("v", vec![("a", SortKind::Int)]),
+        "
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r2(X) :- v(X), not r1(X), not r2(X).
+        ",
+        None,
+    )
+    .unwrap();
+    let report = validate(&s).unwrap();
+    assert!(report.valid, "{:?}", report.reason);
+    let want = parse_program("v(X) :- r1(X). v(X) :- r2(X).").unwrap();
+    assert!(report.derived_get.unwrap().alpha_eq(&want));
+}
+
+/// Inserting into *both* r1 and r2 is also a valid strategy for the same
+/// view.
+#[test]
+fn insert_into_both_sources_is_valid() {
+    let s = UpdateStrategy::parse(
+        schema1(&["r1", "r2"]),
+        Schema::new("v", vec![("a", SortKind::Int)]),
+        "
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+        +r2(X) :- v(X), not r1(X), not r2(X).
+        ",
+        None,
+    )
+    .unwrap();
+    let report = validate(&s).unwrap();
+    // +r1 and +r2 fire on the same tuples; the delta stays
+    // non-contradictory (insertions only), GetPut and PutGet hold.
+    assert!(report.valid, "{:?}", report.reason);
+}
+
+/// Pass-1 failure: a strategy that can insert and delete the same tuple.
+#[test]
+fn contradictory_delta_fails_well_definedness() {
+    let s = UpdateStrategy::parse(
+        schema1(&["r1", "r2"]),
+        Schema::new("v", vec![("a", SortKind::Int)]),
+        "
+        +r1(X) :- v(X).
+        -r1(X) :- v(X), r1(X).
+        ",
+        None,
+    )
+    .unwrap();
+    let report = validate(&s).unwrap();
+    assert!(!report.valid);
+    assert_eq!(report.failed_pass, Some(FailedPass::WellDefinedness));
+    let model = report.counterexample.unwrap();
+    // The counterexample must witness a tuple in both v and r1.
+    assert!(!model.relations.is_empty());
+}
+
+/// Pass-2 failure: a delta that always fires leaves no steady state.
+#[test]
+fn unconditional_delete_fails_getput() {
+    let s = UpdateStrategy::parse(
+        schema1(&["r1", "r2"]),
+        Schema::new("v", vec![("a", SortKind::Int)]),
+        "-r1(X) :- r1(X).",
+        None,
+    )
+    .unwrap();
+    let report = validate(&s).unwrap();
+    assert!(!report.valid);
+    assert_eq!(report.failed_pass, Some(FailedPass::GetPut));
+}
+
+/// Pass-3 failure: without the selection-domain constraint, PutGet breaks
+/// (§5 Example 5.2 needs its constraint).
+#[test]
+fn selection_needs_its_constraint() {
+    let make = |with_constraint: bool| {
+        let c = if with_constraint {
+            "false :- v(X, Y), not Y > 2."
+        } else {
+            ""
+        };
+        UpdateStrategy::parse(
+            DatabaseSchema::new().with(Schema::new(
+                "r",
+                vec![("x", SortKind::Int), ("y", SortKind::Int)],
+            )),
+            Schema::new("v", vec![("x", SortKind::Int), ("y", SortKind::Int)]),
+            &format!(
+                "
+                {c}
+                +r(X, Y) :- v(X, Y), not r(X, Y).
+                m(X, Y) :- r(X, Y), Y > 2.
+                -r(X, Y) :- m(X, Y), not v(X, Y).
+                "
+            ),
+            Some("v(X, Y) :- r(X, Y), Y > 2."),
+        )
+        .unwrap()
+    };
+    let with = validate(&make(true)).unwrap();
+    assert!(with.valid, "{:?}", with.reason);
+    assert!(with.used_expected_get);
+
+    let without = validate(&make(false)).unwrap();
+    assert!(!without.valid);
+    assert_eq!(without.failed_pass, Some(FailedPass::PutGet));
+}
+
+/// A wrong expected get is detected, and the correct one is derived
+/// instead.
+#[test]
+fn wrong_expected_get_is_corrected() {
+    let s = UpdateStrategy::parse(
+        schema1(&["r1", "r2"]),
+        Schema::new("v", vec![("a", SortKind::Int)]),
+        "
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+        ",
+        // intersection, not union:
+        Some("v(X) :- r1(X), r2(X)."),
+    )
+    .unwrap();
+    let report = validate(&s).unwrap();
+    assert!(report.valid);
+    assert!(!report.used_expected_get);
+    let want = parse_program("v(X) :- r1(X). v(X) :- r2(X).").unwrap();
+    assert!(report.derived_get.unwrap().alpha_eq(&want));
+}
+
+/// The §3.3 date-range view: constraints + string comparisons end to end.
+#[test]
+fn residents1962_validates_with_date_constraints() {
+    let s = UpdateStrategy::parse(
+        DatabaseSchema::new().with(Schema::new(
+            "residents",
+            vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+        )),
+        Schema::new(
+            "residents1962",
+            vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+        ),
+        "
+        false :- residents1962(E, B, G), B > '1962-12-31'.
+        false :- residents1962(E, B, G), B < '1962-01-01'.
+        +residents(E, B, G) :- residents1962(E, B, G), not residents(E, B, G).
+        -residents(E, B, G) :- residents(E, B, G), not B < '1962-01-01',
+                               not B > '1962-12-31', not residents1962(E, B, G).
+        ",
+        Some(
+            "residents1962(E, B, G) :- residents(E, B, G),
+                 not B < '1962-01-01', not B > '1962-12-31'.",
+        ),
+    )
+    .unwrap();
+    assert!(s.is_lvgn());
+    let report = validate(&s).unwrap();
+    assert!(report.valid, "{:?}", report.reason);
+    assert!(report.used_expected_get);
+}
+
+/// Dropping the date constraints breaks PutGet for residents1962: an
+/// out-of-range view tuple is inserted into the source and then filtered
+/// out by the selection.
+#[test]
+fn residents1962_without_constraints_is_invalid() {
+    let s = UpdateStrategy::parse(
+        DatabaseSchema::new().with(Schema::new(
+            "residents",
+            vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+        )),
+        Schema::new(
+            "residents1962",
+            vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+        ),
+        "
+        +residents(E, B, G) :- residents1962(E, B, G), not residents(E, B, G).
+        -residents(E, B, G) :- residents(E, B, G), not B < '1962-01-01',
+                               not B > '1962-12-31', not residents1962(E, B, G).
+        ",
+        Some(
+            "residents1962(E, B, G) :- residents(E, B, G),
+                 not B < '1962-01-01', not B > '1962-12-31'.",
+        ),
+    )
+    .unwrap();
+    let report = validate(&s).unwrap();
+    assert!(!report.valid);
+    assert_eq!(report.failed_pass, Some(FailedPass::PutGet));
+}
+
+/// A non-LVGN strategy (inner join) still validates against an expected
+/// get through the bounded solver — the paper's "feed it to Z3" path.
+#[test]
+fn inner_join_validates_outside_lvgn() {
+    let s = UpdateStrategy::parse(
+        DatabaseSchema::new()
+            .with(Schema::new(
+                "t",
+                vec![("a", SortKind::Int), ("b", SortKind::Int)],
+            ))
+            .with(Schema::new(
+                "u",
+                vec![("b", SortKind::Int), ("c", SortKind::Int)],
+            )),
+        Schema::new(
+            "v",
+            vec![("a", SortKind::Int), ("b", SortKind::Int), ("c", SortKind::Int)],
+        ),
+        "
+        false :- u(B, C1), u(B, C2), not C1 = C2.
+        false :- t(A, B), not inu(B).
+        inu(B) :- u(B, _).
+        false :- v(A, B, C1), v(A2, B, C2), not C1 = C2.
+        false :- v(A, B, C), u(B, C2), not C = C2.
+        +t(A, B) :- v(A, B, C), not t(A, B).
+        +u(B, C) :- v(A, B, C), not u(B, C).
+        -t(A, B) :- t(A, B), u(B, C), not v(A, B, C).
+        ",
+        Some("v(A, B, C) :- t(A, B), u(B, C)."),
+    )
+    .unwrap();
+    assert!(!s.is_lvgn(), "inner join must leave the fragment");
+    let report = validate(&s).unwrap();
+    assert!(report.valid, "{:?}", report.reason);
+    assert!(report.used_expected_get);
+    assert!(!report.lvgn);
+}
+
+/// A non-LVGN strategy *without* an expected get cannot have its view
+/// definition derived — the error is explicit.
+#[test]
+fn non_lvgn_without_expected_get_errors() {
+    let s = UpdateStrategy::parse(
+        DatabaseSchema::new()
+            .with(Schema::new(
+                "t",
+                vec![("a", SortKind::Int), ("b", SortKind::Int)],
+            ))
+            .with(Schema::new(
+                "u",
+                vec![("b", SortKind::Int), ("c", SortKind::Int)],
+            )),
+        Schema::new(
+            "v",
+            vec![("a", SortKind::Int), ("b", SortKind::Int), ("c", SortKind::Int)],
+        ),
+        // The negated view atom spans t and u: no guard, so the program
+        // is outside LVGN-Datalog and the view definition cannot be
+        // derived.
+        "
+        +t(A, B) :- v(A, B, C), not t(A, B).
+        -t(A, B) :- t(A, B), u(B, C), not v(A, B, C).
+        ",
+        None,
+    )
+    .unwrap();
+    assert!(!s.is_lvgn());
+    assert!(validate(&s).is_err());
+}
+
+/// Validation timings are populated per pass (used by the ablation bench).
+#[test]
+fn pass_timings_are_populated() {
+    let s = UpdateStrategy::parse(
+        schema1(&["r1", "r2"]),
+        Schema::new("v", vec![("a", SortKind::Int)]),
+        "
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+        ",
+        None,
+    )
+    .unwrap();
+    let report = validate(&s).unwrap();
+    let t = &report.timings;
+    assert!(t.total() >= t.well_definedness);
+    assert!(t.total() >= t.getput);
+    assert!(t.total() >= t.putget);
+}
