@@ -69,7 +69,11 @@ fn bench(c: &mut Criterion) {
             let r = validate(&s).unwrap();
             assert!(r.valid);
             // The per-pass breakdown the table prints:
-            (r.timings.well_definedness, r.timings.getput, r.timings.putget)
+            (
+                r.timings.well_definedness,
+                r.timings.getput,
+                r.timings.putget,
+            )
         })
     });
     group.finish();

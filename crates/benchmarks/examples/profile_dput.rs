@@ -5,8 +5,13 @@ use birds_eval::{evaluate_program, EvalContext};
 use birds_store::Relation;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "officeinfo".into());
-    let n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(300_000);
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "officeinfo".into());
+    let n: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
     let view = Figure6View::from_name(&name).expect("panel");
     let strategy = view.strategy();
     let dput = birds_core::incrementalize(&strategy).unwrap();
@@ -17,17 +22,34 @@ fn main() {
     {
         let mut ctx = EvalContext::new(&mut db);
         let rel = birds_eval::evaluate_query(&get, &PredRef::plain(view.name()), &mut ctx).unwrap();
-        let rel = Relation::with_tuples(view.name().to_string(), rel.arity(), rel.tuples().iter().cloned()).unwrap();
+        let rel = Relation::with_tuples(
+            view.name().to_string(),
+            rel.arity(),
+            rel.tuples().iter().cloned(),
+        )
+        .unwrap();
         drop(ctx);
         db.add_relation(rel).unwrap();
     }
     for round in 0..2 {
         let t = std::time::Instant::now();
         let mut ctx = EvalContext::new(&mut db);
-        ctx.insert_overlay(Relation::new(PredRef::ins(view.name()).flat_name(), strategy.view.arity()));
-        ctx.insert_overlay(Relation::new(PredRef::del(view.name()).flat_name(), strategy.view.arity()));
+        ctx.insert_overlay(Relation::new(
+            PredRef::ins(view.name()).flat_name(),
+            strategy.view.arity(),
+        ));
+        ctx.insert_overlay(Relation::new(
+            PredRef::del(view.name()).flat_name(),
+            strategy.view.arity(),
+        ));
         let out = evaluate_program(&dput, &mut ctx).unwrap();
-        eprintln!("round {round}: eval in {:?}; outputs: {:?}", t.elapsed(),
-            out.relations.iter().map(|(p, r)| (p.to_string(), r.len())).collect::<Vec<_>>());
+        eprintln!(
+            "round {round}: eval in {:?}; outputs: {:?}",
+            t.elapsed(),
+            out.relations
+                .iter()
+                .map(|(p, r)| (p.to_string(), r.len()))
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -3,7 +3,9 @@ use birds_benchmarks::figure6::Figure6View;
 use birds_engine::StrategyMode;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "officeinfo".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "officeinfo".into());
     let n: usize = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())

@@ -1,6 +1,8 @@
 //! Per-pass timing probe for slow corpus validations.
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "officeinfo".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "officeinfo".into());
     let e = birds_benchmarks::corpus::entry(&name).expect("known view");
     let s = e.strategy().expect("expressible");
     let t = std::time::Instant::now();

@@ -1,5 +1,7 @@
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "officeinfo".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "officeinfo".into());
     let e = birds_benchmarks::corpus::entry(&name).expect("known view");
     let s = e.strategy().expect("expressible");
     let dput = birds_core::incrementalize(&s).unwrap();

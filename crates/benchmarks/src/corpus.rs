@@ -109,7 +109,9 @@ impl CorpusEntry {
                 self.putdelta,
                 Some(self.expected_get),
             )
-            .unwrap_or_else(|e| panic!("corpus entry #{} ({}) must parse: {e}", self.id, self.name)),
+            .unwrap_or_else(|e| {
+                panic!("corpus entry #{} ({}) must parse: {e}", self.id, self.name)
+            }),
         )
     }
 }

@@ -284,7 +284,12 @@ pub fn entries() -> Vec<CorpusEntry> {
             lvgn_expected: true,
             sources: &[RelSpec {
                 name: "movies",
-                cols: &[("title", Str), ("year", Int), ("length", Int), ("studio", Str)],
+                cols: &[
+                    ("title", Str),
+                    ("year", Int),
+                    ("length", Int),
+                    ("studio", Str),
+                ],
             }],
             view: RelSpec {
                 name: "paramountmovies",
@@ -372,7 +377,12 @@ pub fn entries() -> Vec<CorpusEntry> {
             lvgn_expected: true,
             sources: &[RelSpec {
                 name: "tracks",
-                cols: &[("track", Str), ("date", Str), ("rating", Int), ("album", Str)],
+                cols: &[
+                    ("track", Str),
+                    ("date", Str),
+                    ("rating", Int),
+                    ("album", Str),
+                ],
             }],
             view: RelSpec {
                 name: "tracks2",
@@ -443,11 +453,21 @@ pub fn entries() -> Vec<CorpusEntry> {
             lvgn_expected: true,
             sources: &[RelSpec {
                 name: "tracks",
-                cols: &[("track", Str), ("date", Str), ("rating", Int), ("album", Str)],
+                cols: &[
+                    ("track", Str),
+                    ("date", Str),
+                    ("rating", Int),
+                    ("album", Str),
+                ],
             }],
             view: RelSpec {
                 name: "tracks3",
-                cols: &[("track", Str), ("date", Str), ("rating", Int), ("album", Str)],
+                cols: &[
+                    ("track", Str),
+                    ("date", Str),
+                    ("rating", Int),
+                    ("album", Str),
+                ],
             },
             putdelta: "
                 false :- tracks3(T, D, R, A), not R > 3.
@@ -482,7 +502,12 @@ pub fn entries() -> Vec<CorpusEntry> {
             ],
             view: RelSpec {
                 name: "tracks1",
-                cols: &[("track", Str), ("rating", Int), ("album", Str), ("quantity", Int)],
+                cols: &[
+                    ("track", Str),
+                    ("rating", Int),
+                    ("album", Str),
+                    ("quantity", Int),
+                ],
             },
             putdelta: "
                 false :- albums(A, Q1), albums(A, Q2), not Q1 = Q2.

@@ -137,7 +137,12 @@ pub fn entries() -> Vec<CorpusEntry> {
             ],
             view: RelSpec {
                 name: "poi_view",
-                cols: &[("pid", Int), ("pname", Str), ("cat_id", Int), ("cat_name", Str)],
+                cols: &[
+                    ("pid", Int),
+                    ("pname", Str),
+                    ("cat_id", Int),
+                    ("cat_name", Str),
+                ],
             },
             putdelta: "
                 false :- categories(C, N1), categories(C, N2), not N1 = N2.
@@ -294,7 +299,12 @@ pub fn entries() -> Vec<CorpusEntry> {
             sources: &[
                 RelSpec {
                     name: "purchases",
-                    cols: &[("pur_id", Int), ("item_id", Int), ("qty", Int), ("note", Str)],
+                    cols: &[
+                        ("pur_id", Int),
+                        ("item_id", Int),
+                        ("qty", Int),
+                        ("note", Str),
+                    ],
                 },
                 RelSpec {
                     name: "item",
@@ -303,7 +313,12 @@ pub fn entries() -> Vec<CorpusEntry> {
             ],
             view: RelSpec {
                 name: "purchaseview",
-                cols: &[("pur_id", Int), ("item_id", Int), ("qty", Int), ("iname", Str)],
+                cols: &[
+                    ("pur_id", Int),
+                    ("item_id", Int),
+                    ("qty", Int),
+                    ("iname", Str),
+                ],
             },
             putdelta: "
                 false :- item(I, N1), item(I, N2), not N1 = N2.

@@ -16,7 +16,7 @@ pub const SEED: u64 = 0xB1AD5;
 pub fn items_database(n: usize) -> Database {
     let mut rng = StdRng::seed_from_u64(SEED);
     let tuples = (0..n as i64).map(|i| {
-        let price = if rng.gen_bool(0.5) {
+        let price: i64 = if rng.gen_bool(0.5) {
             rng.gen_range(1001..5000)
         } else {
             rng.gen_range(1..=1000)

@@ -84,8 +84,17 @@ pub fn format_table(rows: &[Table1Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:>3} {:<11} {:<17} {:<9} {:>4} {:<12} {:>5} {:>10} {:>6} {:>9} {:>9}\n",
-        "ID", "Group", "View", "Operator", "LOC", "Constraint", "LVGN", "NR-Datalog",
-        "Valid", "Time(s)", "SQL(B)"
+        "ID",
+        "Group",
+        "View",
+        "Operator",
+        "LOC",
+        "Constraint",
+        "LVGN",
+        "NR-Datalog",
+        "Valid",
+        "Time(s)",
+        "SQL(B)"
     ));
     for r in rows {
         let yesno = |b: Option<bool>| match b {
@@ -99,15 +108,23 @@ pub fn format_table(rows: &[Table1Row]) -> String {
             r.group,
             r.name,
             r.operators,
-            r.program_size.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
-            if r.constraints.is_empty() { "-" } else { r.constraints },
+            r.program_size
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
+            if r.constraints.is_empty() {
+                "-"
+            } else {
+                r.constraints
+            },
             yesno(r.lvgn),
             if r.expressible { "Y" } else { "n" },
             yesno(r.valid),
             r.validation_time
                 .map(|d| format!("{:.3}", d.as_secs_f64()))
                 .unwrap_or_else(|| "-".into()),
-            r.sql_bytes.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+            r.sql_bytes
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into()),
         ));
     }
     out

@@ -99,15 +99,12 @@ pub use birds_store::{Database, DatabaseSchema, Relation, Schema, SortKind, Tupl
 /// Everything needed for typical use, importable with one `use`.
 pub mod prelude {
     pub use birds_core::validate::FailedPass;
-    pub use birds_core::{
-        incrementalize, validate, UpdateStrategy, ValidationReport, Validator,
-    };
+    pub use birds_core::{incrementalize, validate, UpdateStrategy, ValidationReport, Validator};
     pub use birds_datalog::{parse_program, parse_rule, DeltaKind, PredRef, Program, Rule};
     pub use birds_engine::{Engine, EngineError, ExecutionStats, StrategyMode};
     pub use birds_solver::{BoundedSolver, SatOutcome};
     pub use birds_sql::{compile_strategy, CompiledSql};
     pub use birds_store::{
-        tuple, Database, DatabaseSchema, Delta, DeltaSet, Relation, Schema, SortKind, Tuple,
-        Value,
+        tuple, Database, DatabaseSchema, Delta, DeltaSet, Relation, Schema, SortKind, Tuple, Value,
     };
 }

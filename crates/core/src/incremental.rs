@@ -229,7 +229,11 @@ fn inline_negated_intermediates(program: &mut Program) {
         let rules_snapshot = program.rules.clone();
         for rule in &mut program.rules {
             for lit in &mut rule.body {
-                let Literal::Atom { atom, negated: true } = lit else {
+                let Literal::Atom {
+                    atom,
+                    negated: true,
+                } = lit
+                else {
                     continue;
                 };
                 if !intermediates.contains(&atom.pred) {
@@ -237,9 +241,7 @@ fn inline_negated_intermediates(program: &mut Program) {
                 }
                 let defs: Vec<&Rule> = rules_snapshot
                     .iter()
-                    .filter(|r| {
-                        r.head.atom().is_some_and(|h| h.pred == atom.pred)
-                    })
+                    .filter(|r| r.head.atom().is_some_and(|h| h.pred == atom.pred))
                     .collect();
                 let [def] = defs.as_slice() else { continue };
                 let Some(dh) = def.head.atom() else { continue };
@@ -252,31 +254,27 @@ fn inline_negated_intermediates(program: &mut Program) {
                     continue;
                 };
                 // Distinct-variable head.
-                let head_vars: Vec<&str> =
-                    dh.terms.iter().filter_map(Term::as_var).collect();
+                let head_vars: Vec<&str> = dh.terms.iter().filter_map(Term::as_var).collect();
                 if head_vars.len() != dh.terms.len()
                     || head_vars.iter().collect::<BTreeSet<_>>().len() != head_vars.len()
                 {
                     continue;
                 }
-                let map: BTreeMap<&str, &Term> = head_vars
-                    .iter()
-                    .copied()
-                    .zip(atom.terms.iter())
-                    .collect();
+                let map: BTreeMap<&str, &Term> =
+                    head_vars.iter().copied().zip(atom.terms.iter()).collect();
                 let mut anon = 0usize;
                 let new_terms: Vec<Term> = def_atom
                     .terms
                     .iter()
                     .map(|t| match t {
-                        Term::Var(v) => map.get(v.as_str()).map(|&t| t.clone()).unwrap_or_else(
-                            || {
+                        Term::Var(v) => {
+                            map.get(v.as_str()).map(|&t| t.clone()).unwrap_or_else(|| {
                                 // Existential in the definition: anonymous
                                 // in the negated literal.
                                 anon += 1;
                                 Term::Var(format!("_#neg{anon}"))
-                            },
-                        ),
+                            })
+                        }
                         Term::Const(_) => t.clone(),
                     })
                     .collect();
@@ -497,8 +495,14 @@ fn emit_stage_templates(
 ) -> Result<(), CoreError> {
     let rule = &stage.rule;
     let h = rule.head.atom().unwrap().clone();
-    let h_ins = Head::Atom(Atom::new(delta_pred(&h.pred, DeltaKind::Insert), h.terms.clone()));
-    let h_del = Head::Atom(Atom::new(delta_pred(&h.pred, DeltaKind::Delete), h.terms.clone()));
+    let h_ins = Head::Atom(Atom::new(
+        delta_pred(&h.pred, DeltaKind::Insert),
+        h.terms.clone(),
+    ));
+    let h_del = Head::Atom(Atom::new(
+        delta_pred(&h.pred, DeltaKind::Delete),
+        h.terms.clone(),
+    ));
     let h_nu = Head::Atom(Atom::new(
         PredRef::new_rel(h.pred.flat_name()),
         h.terms.clone(),
@@ -725,9 +729,7 @@ fn binarize(rules: &[Rule]) -> Result<Vec<Stage>, CoreError> {
         let head = rule
             .head
             .atom()
-            .ok_or_else(|| {
-                CoreError::BadStrategy("constraints cannot be incrementalized".into())
-            })?
+            .ok_or_else(|| CoreError::BadStrategy("constraints cannot be incrementalized".into()))?
             .clone();
         let pos: Vec<&Atom> = rule.positive_atoms().collect();
         let neg: Vec<&Atom> = rule.negated_atoms().collect();
@@ -893,7 +895,10 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("-v(X, Y)"), "{text}");
-        assert!(!text.contains("m("), "intermediate m must be inlined: {text}");
+        assert!(
+            !text.contains("m("),
+            "intermediate m must be inlined: {text}"
+        );
         // No constraints in the incremental program.
         assert!(inc.constraints().next().is_none());
     }
@@ -927,11 +932,9 @@ mod tests {
 
     #[test]
     fn general_binarization_shapes() {
-        let rules = parse_program(
-            "+r(X, Z) :- a(X, Y), b(Y, Z), Z > 1, not c(X), not v(X, Y, Z).",
-        )
-        .unwrap()
-        .rules;
+        let rules = parse_program("+r(X, Z) :- a(X, Y), b(Y, Z), Z > 1, not c(X), not v(X, Y, Z).")
+            .unwrap()
+            .rules;
         let stages = binarize(&rules).unwrap();
         let kinds: Vec<StageKind> = stages.iter().map(|s| s.kind).collect();
         assert_eq!(

@@ -175,7 +175,7 @@ fn split(f: &Formula, view: &str) -> Result<Vec<Piece>, CoreError> {
             let mut out = split(inner, view)?;
             for (evars, _) in &mut out {
                 let mut v = vars.clone();
-                v.extend(evars.drain(..));
+                v.append(evars);
                 *evars = v;
             }
             Ok(out)
@@ -210,9 +210,7 @@ fn classify(
                     Some((ViewPolarity::Positive, terms.clone()))
                 }
                 Formula::Not(inner) => match &**inner {
-                    Formula::Rel(p, terms)
-                        if p.kind == DeltaKind::None && p.name == view =>
-                    {
+                    Formula::Rel(p, terms) if p.kind == DeltaKind::None && p.name == view => {
                         Some((ViewPolarity::Negative, terms.clone()))
                     }
                     other if mentions_view(other, view) => {
@@ -253,8 +251,7 @@ fn classify(
                 free.push(Formula::exists(evars, Formula::and(psi)));
             }
             Some((polarity, args)) => {
-                let piece =
-                    canonicalize_piece(&args, evars, Formula::and(psi), view_vars, fresh);
+                let piece = canonicalize_piece(&args, evars, Formula::and(psi), view_vars, fresh);
                 match polarity {
                     ViewPolarity::Positive => pos.push(piece),
                     ViewPolarity::Negative => neg.push(piece),
@@ -292,10 +289,7 @@ fn canonicalize_piece(
         }
     }
     let psi = psi.substitute(&map, fresh);
-    let remaining: Vec<String> = evars
-        .into_iter()
-        .filter(|v| !map.contains_key(v))
-        .collect();
+    let remaining: Vec<String> = evars.into_iter().filter(|v| !map.contains_key(v)).collect();
     Formula::exists(remaining, Formula::and([eqs, vec![psi]].concat()))
 }
 
@@ -371,7 +365,11 @@ mod tests {
             )),
             Schema::new(
                 "residents",
-                vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+                vec![
+                    ("e", SortKind::Str),
+                    ("b", SortKind::Str),
+                    ("g", SortKind::Str),
+                ],
             ),
             "
             -male(E, B) :- male(E, B), not residents(E, B, 'M').

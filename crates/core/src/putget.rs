@@ -213,8 +213,7 @@ mod tests {
     #[test]
     fn get_intermediates_are_renamed() {
         let strategy = union_strategy();
-        let get =
-            parse_program("m(X) :- r1(X). v(X) :- m(X). v(X) :- r2(X).").unwrap();
+        let get = parse_program("m(X) :- r1(X). v(X) :- m(X). v(X) :- r2(X).").unwrap();
         let (putget, _) = build_putget_program(&strategy, &get);
         let text = putget.to_string();
         assert!(text.contains("m__g(X) :- r1__new(X)."), "{text}");

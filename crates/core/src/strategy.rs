@@ -136,8 +136,8 @@ impl UpdateStrategy {
         putdelta_src: &str,
         expected_get_src: Option<&str>,
     ) -> Result<Self, CoreError> {
-        let putdelta = parse_program(putdelta_src)
-            .map_err(|e| CoreError::BadStrategy(e.to_string()))?;
+        let putdelta =
+            parse_program(putdelta_src).map_err(|e| CoreError::BadStrategy(e.to_string()))?;
         let expected_get = expected_get_src
             .map(parse_program)
             .transpose()
@@ -233,7 +233,8 @@ mod tests {
     #[test]
     fn build_union_strategy() {
         let (src, view) = union_schema();
-        let s = UpdateStrategy::parse(src, view, UNION_PUT, Some("v(X) :- r1(X). v(X) :- r2(X).")).unwrap();
+        let s = UpdateStrategy::parse(src, view, UNION_PUT, Some("v(X) :- r1(X). v(X) :- r2(X)."))
+            .unwrap();
         assert!(s.is_lvgn());
         assert_eq!(s.program_size(), 3);
         assert_eq!(s.delta_rules().len(), 3);

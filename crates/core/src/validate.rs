@@ -140,9 +140,7 @@ impl Validator {
                 timings.well_definedness = t0.elapsed();
                 return Ok(ValidationReport::invalid(
                     FailedPass::WellDefinedness,
-                    format!(
-                        "the program can both insert and delete the same tuple of '{name}'"
-                    ),
+                    format!("the program can both insert and delete the same tuple of '{name}'"),
                     Some(model),
                     lvgn,
                     timings,
@@ -215,8 +213,7 @@ impl Validator {
                 ));
             }
             // Derive get from φ2 (the lower bound).
-            let derived = match formula_to_datalog(&lv.phi2, &lv.view_vars, &strategy.view.name)
-            {
+            let derived = match formula_to_datalog(&lv.phi2, &lv.view_vars, &strategy.view.name) {
                 Ok(p) => p,
                 Err(ToDatalogError::Trivial) if lv.phi2 == Formula::False => {
                     // The steady-state lower bound is empty: the derived
@@ -368,13 +365,8 @@ mod tests {
     #[test]
     fn union_strategy_accepts_matching_expected_get() {
         let (src, view) = union_schemas();
-        let s = UpdateStrategy::parse(
-            src,
-            view,
-            UNION_PUT,
-            Some("v(X) :- r1(X). v(X) :- r2(X)."),
-        )
-        .unwrap();
+        let s = UpdateStrategy::parse(src, view, UNION_PUT, Some("v(X) :- r1(X). v(X) :- r2(X)."))
+            .unwrap();
         let report = validate(&s).unwrap();
         assert!(report.valid);
         assert!(report.used_expected_get);
@@ -384,13 +376,7 @@ mod tests {
     fn wrong_expected_get_falls_back_to_derivation() {
         let (src, view) = union_schemas();
         // expected get = intersection: GetPut fails, derivation succeeds.
-        let s = UpdateStrategy::parse(
-            src,
-            view,
-            UNION_PUT,
-            Some("v(X) :- r1(X), r2(X)."),
-        )
-        .unwrap();
+        let s = UpdateStrategy::parse(src, view, UNION_PUT, Some("v(X) :- r1(X), r2(X).")).unwrap();
         let report = validate(&s).unwrap();
         assert!(report.valid);
         assert!(!report.used_expected_get);
@@ -482,13 +468,7 @@ mod tests {
             m(X, Y) :- r(X, Y), Y > 2.
             -r(X, Y) :- m(X, Y), not v(X, Y).
         ";
-        let s = UpdateStrategy::parse(
-            src,
-            view,
-            put,
-            Some("v(X, Y) :- r(X, Y), Y > 2."),
-        )
-        .unwrap();
+        let s = UpdateStrategy::parse(src, view, put, Some("v(X, Y) :- r(X, Y), Y > 2.")).unwrap();
         let report = validate(&s).unwrap();
         assert!(report.valid, "{:?}", report.reason);
         assert!(report.used_expected_get);
@@ -510,13 +490,7 @@ mod tests {
             m(X, Y) :- r(X, Y), Y > 2.
             -r(X, Y) :- m(X, Y), not v(X, Y).
         ";
-        let s = UpdateStrategy::parse(
-            src,
-            view,
-            put,
-            Some("v(X, Y) :- r(X, Y), Y > 2."),
-        )
-        .unwrap();
+        let s = UpdateStrategy::parse(src, view, put, Some("v(X, Y) :- r(X, Y), Y > 2.")).unwrap();
         let report = validate(&s).unwrap();
         assert!(!report.valid);
         assert_eq!(report.failed_pass, Some(FailedPass::PutGet));

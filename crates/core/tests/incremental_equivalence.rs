@@ -5,7 +5,7 @@
 //! pipeline (Appendix C / Figure 7) must agree about the new source.
 
 use birds_core::{incrementalize_general, incrementalize_lvgn, UpdateStrategy};
-use birds_datalog::{DeltaKind, PredRef, Program};
+use birds_datalog::{PredRef, Program};
 use birds_eval::{evaluate_program, EvalContext};
 use birds_store::{tuple, Database, Relation, Tuple};
 use proptest::prelude::*;
@@ -13,11 +13,7 @@ use std::collections::HashSet;
 
 /// Compute the new source when the view changes from `v_old` to `v_new`,
 /// using the original putback program over `(S, V′)`.
-fn new_source_via_original(
-    strategy: &UpdateStrategy,
-    db: &Database,
-    v_new: &[Tuple],
-) -> Database {
+fn new_source_via_original(strategy: &UpdateStrategy, db: &Database, v_new: &[Tuple]) -> Database {
     let mut scratch = db.clone();
     scratch
         .add_relation(
@@ -233,14 +229,10 @@ proptest! {
 fn example_5_1_interchangeability() {
     let strategy = union_strategy();
     let mut db = Database::new();
-    db.add_relation(
-        Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap(),
-    )
-    .unwrap();
-    db.add_relation(
-        Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap(),
-    )
-    .unwrap();
+    db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap())
+        .unwrap();
+    db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap())
+        .unwrap();
     let v_old = union_view(&db);
     // ΔV = {+3, -2} — the paper's running update.
     let mut v_new = v_old.clone();

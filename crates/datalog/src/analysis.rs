@@ -17,10 +17,7 @@ use std::fmt;
 pub enum AnalysisError {
     /// A head / negated / builtin variable is not bound by any positive
     /// atom or grounding equality chain.
-    UnsafeVariable {
-        rule: String,
-        variable: String,
-    },
+    UnsafeVariable { rule: String, variable: String },
     /// A predicate is used with two different arities.
     InconsistentArity {
         predicate: String,
@@ -161,7 +158,10 @@ pub fn check_safety(program: &Program) -> Result<(), Vec<AnalysisError>> {
         }
         for lit in &rule.body {
             match lit {
-                Literal::Atom { atom, negated: true } => {
+                Literal::Atom {
+                    atom,
+                    negated: true,
+                } => {
                     // Anonymous variables inside a negated atom are
                     // existentially quantified *inside* the negation
                     // (`not ced(E, _)` reads `¬∃X ced(E, X)`), so they are
@@ -235,8 +235,7 @@ pub fn check_nonrecursive(program: &Program) -> Result<(), AnalysisError> {
         Grey,
         Black,
     }
-    let mut marks: BTreeMap<&PredRef, Mark> =
-        graph.keys().map(|k| (k, Mark::White)).collect();
+    let mut marks: BTreeMap<&PredRef, Mark> = graph.keys().map(|k| (k, Mark::White)).collect();
 
     fn visit<'a>(
         node: &'a PredRef,
@@ -411,12 +410,7 @@ mod tests {
         )
         .unwrap();
         let order = stratify(&p).unwrap();
-        let pos = |n: &str| {
-            order
-                .iter()
-                .position(|p| p.name == n)
-                .unwrap_or(usize::MAX)
-        };
+        let pos = |n: &str| order.iter().position(|p| p.name == n).unwrap_or(usize::MAX);
         assert!(pos("b") < pos("a"));
         assert!(pos("c") < pos("a"));
         assert!(pos("b") < pos("c"));

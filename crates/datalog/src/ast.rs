@@ -272,10 +272,9 @@ impl Literal {
     pub fn variables(&self) -> BTreeSet<&str> {
         match self {
             Literal::Atom { atom, .. } => atom.variables(),
-            Literal::Builtin { left, right, .. } => [left, right]
-                .into_iter()
-                .filter_map(Term::as_var)
-                .collect(),
+            Literal::Builtin { left, right, .. } => {
+                [left, right].into_iter().filter_map(Term::as_var).collect()
+            }
         }
     }
 }
@@ -374,18 +373,24 @@ impl Rule {
     /// A copy with variables renamed to the canonical `V0, V1, …` in order
     /// of first occurrence (head first, then body, left to right).
     pub fn canonical_vars(&self) -> Rule {
-        let mut map: std::collections::HashMap<String, String> =
-            std::collections::HashMap::new();
-        let mut rename = |t: &Term, map: &mut std::collections::HashMap<String, String>| match t
-        {
+        let mut map: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+        let mut rename = |t: &Term, map: &mut std::collections::HashMap<String, String>| match t {
             Term::Var(v) => {
                 let n = map.len();
-                Term::Var(map.entry(v.clone()).or_insert_with(|| format!("V{n}")).clone())
+                Term::Var(
+                    map.entry(v.clone())
+                        .or_insert_with(|| format!("V{n}"))
+                        .clone(),
+                )
             }
             c => c.clone(),
         };
-        let map_atom = |a: &Atom, map: &mut std::collections::HashMap<String, String>,
-                        rename: &mut dyn FnMut(&Term, &mut std::collections::HashMap<String, String>) -> Term| {
+        let map_atom = |a: &Atom,
+                        map: &mut std::collections::HashMap<String, String>,
+                        rename: &mut dyn FnMut(
+            &Term,
+            &mut std::collections::HashMap<String, String>,
+        ) -> Term| {
             Atom::new(
                 a.pred.clone(),
                 a.terms.iter().map(|t| rename(t, map)).collect(),
@@ -574,10 +579,7 @@ mod tests {
     #[test]
     fn cmp_eval() {
         use birds_store::Value;
-        assert_eq!(
-            CmpOp::Lt.eval(&Value::int(1), &Value::int(2)),
-            Some(true)
-        );
+        assert_eq!(CmpOp::Lt.eval(&Value::int(1), &Value::int(2)), Some(true));
         assert_eq!(
             CmpOp::Ge.eval(&Value::str("b"), &Value::str("a")),
             Some(true)
@@ -612,10 +614,7 @@ mod tests {
             ],
         );
         let vars = rule.variables();
-        assert_eq!(
-            vars.into_iter().collect::<Vec<_>>(),
-            vec!["X", "Y", "Z"]
-        );
+        assert_eq!(vars.into_iter().collect::<Vec<_>>(), vec!["X", "Y", "Z"]);
     }
 
     #[test]

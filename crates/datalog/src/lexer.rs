@@ -444,10 +444,7 @@ mod tests {
 
     #[test]
     fn lex_numbers() {
-        assert_eq!(
-            toks("42 3.25"),
-            vec![Token::Int(42), Token::Float(3.25)]
-        );
+        assert_eq!(toks("42 3.25"), vec![Token::Int(42), Token::Float(3.25)]);
     }
 
     #[test]

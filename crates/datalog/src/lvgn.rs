@@ -55,7 +55,10 @@ impl fmt::Display for LvgnViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LvgnViolation::NotGuarded { rule, literal } => {
-                write!(f, "literal '{literal}' is not negation-guarded in rule: {rule}")
+                write!(
+                    f,
+                    "literal '{literal}' is not negation-guarded in rule: {rule}"
+                )
             }
             LvgnViolation::BadComparison { rule, literal } => write!(
                 f,
@@ -122,15 +125,16 @@ pub fn check_guarded_negation(program: &Program) -> Vec<LvgnViolation> {
     let mut violations = Vec::new();
     for rule in &program.rules {
         let cbound = const_bound_vars(rule);
-        let check_lit = |vars: BTreeSet<&str>, display: String, violations: &mut Vec<LvgnViolation>| {
-            let need: BTreeSet<&str> = vars.difference(&cbound).copied().collect();
-            if !has_guard(rule, &need) {
-                violations.push(LvgnViolation::NotGuarded {
-                    rule: rule.to_string(),
-                    literal: display,
-                });
-            }
-        };
+        let check_lit =
+            |vars: BTreeSet<&str>, display: String, violations: &mut Vec<LvgnViolation>| {
+                let need: BTreeSet<&str> = vars.difference(&cbound).copied().collect();
+                if !has_guard(rule, &need) {
+                    violations.push(LvgnViolation::NotGuarded {
+                        rule: rule.to_string(),
+                        literal: display,
+                    });
+                }
+            };
         if let Head::Atom(a) = &rule.head {
             check_lit(a.variables(), a.to_string(), &mut violations);
         }
@@ -194,10 +198,7 @@ pub fn check_linear_view(program: &Program, view: &str) -> Vec<LvgnViolation> {
                 continue;
             }
         }
-        let is_delta_rule = rule
-            .head
-            .atom()
-            .is_some_and(|a| a.pred.is_delta());
+        let is_delta_rule = rule.head.atom().is_some_and(|a| a.pred.is_delta());
         let is_constraint = rule.is_constraint();
         let view_atoms: Vec<_> = rule
             .body
@@ -300,7 +301,11 @@ mod tests {
     fn constant_equalities_help_guarding() {
         let p = parse_program("h(Z, X1) :- p(Z, W, X2), not r(W, X3), X1 = 1, X2 = 3, X3 = 4.")
             .unwrap();
-        assert!(check_guarded_negation(&p).is_empty(), "{:?}", check_guarded_negation(&p));
+        assert!(
+            check_guarded_negation(&p).is_empty(),
+            "{:?}",
+            check_guarded_negation(&p)
+        );
     }
 
     #[test]

@@ -147,11 +147,11 @@ impl Parser {
             negated = !negated;
         }
         // Delta atom: '+'/'-' followed by a lowercase identifier.
-        let starts_atom = match (self.peek(), self.peek2()) {
-            (Some(Token::Plus | Token::Minus), Some(Token::LowerIdent(_))) => true,
-            (Some(Token::LowerIdent(_)), Some(Token::LParen)) => true,
-            _ => false,
-        };
+        let starts_atom = matches!(
+            (self.peek(), self.peek2()),
+            (Some(Token::Plus | Token::Minus), Some(Token::LowerIdent(_)))
+                | (Some(Token::LowerIdent(_)), Some(Token::LParen))
+        );
         if starts_atom {
             let atom = self.parse_atom()?;
             return Ok(Literal::Atom { atom, negated });
@@ -168,7 +168,9 @@ impl Parser {
             other => {
                 return self.err(format!(
                     "expected comparison operator, found {}",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ))
             }
         };
@@ -198,7 +200,9 @@ impl Parser {
             other => {
                 return self.err(format!(
                     "expected predicate name, found {}",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ))
             }
         };
@@ -225,12 +229,16 @@ impl Parser {
                 Some(Token::Float(x)) => Ok(Term::Const(Value::float(-x))),
                 other => self.err(format!(
                     "expected number after '-', found {}",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 )),
             },
             other => self.err(format!(
                 "expected term, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )),
         }
     }
@@ -275,14 +283,8 @@ mod tests {
         ";
         let p = parse_program(src).unwrap();
         assert_eq!(p.len(), 3);
-        assert_eq!(
-            p.rules[0].head.atom().unwrap().pred,
-            PredRef::del("r1")
-        );
-        assert_eq!(
-            p.rules[2].head.atom().unwrap().pred,
-            PredRef::ins("r1")
-        );
+        assert_eq!(p.rules[0].head.atom().unwrap().pred, PredRef::del("r1"));
+        assert_eq!(p.rules[2].head.atom().unwrap().pred, PredRef::ins("r1"));
         assert!(p.rules[0].body[1].is_negated());
     }
 
@@ -295,10 +297,7 @@ mod tests {
         assert_eq!(r.body.len(), 3);
         match &r.body[1] {
             Literal::Builtin {
-                op,
-                negated,
-                right,
-                ..
+                op, negated, right, ..
             } => {
                 assert_eq!(*op, CmpOp::Lt);
                 assert!(*negated);

@@ -74,10 +74,7 @@ fn arb_literal() -> impl Strategy<Value = Literal> {
 /// parser, rejects them).
 fn arb_rule() -> impl Strategy<Value = Rule> {
     (
-        prop_oneof![
-            arb_atom().prop_map(Head::Atom),
-            Just(Head::Bottom),
-        ],
+        prop_oneof![arb_atom().prop_map(Head::Atom), Just(Head::Bottom),],
         proptest::collection::vec(arb_literal(), 1..5),
     )
         .prop_map(|(head, body)| Rule { head, body })

@@ -78,16 +78,14 @@ fn statement_effect(
             Ok((d_plus, vec![]))
         }
         DmlStatement::Delete { predicate, .. } => {
-            let matching =
-                matching_tuples(view, schema, pending_ins, pending_del, predicate)?;
+            let matching = matching_tuples(view, schema, pending_ins, pending_del, predicate)?;
             Ok((vec![], matching))
         }
         DmlStatement::Update {
             sets, predicate, ..
         } => {
             // UPDATE = DELETE matching + INSERT updated copies (App. D).
-            let matching =
-                matching_tuples(view, schema, pending_ins, pending_del, predicate)?;
+            let matching = matching_tuples(view, schema, pending_ins, pending_del, predicate)?;
             let mut assignments: Vec<(usize, Value)> = Vec::with_capacity(sets.len());
             for (col, value) in sets {
                 let idx = schema.attribute_index(col).ok_or_else(|| {
@@ -144,10 +142,7 @@ fn matching_tuples(
     let mut out: Vec<Tuple> = Vec::new();
     let full_index = !eq_cols.is_empty() && view.has_index(&eq_cols);
     // Fall back to any single indexed equality column, filtering the rest.
-    let partial_index = eq_cols
-        .iter()
-        .find(|&&c| view.has_index(&[c]))
-        .copied();
+    let partial_index = eq_cols.iter().find(|&&c| view.has_index(&[c])).copied();
     if full_index {
         let key: Vec<&Value> = resolved
             .iter()
@@ -190,12 +185,9 @@ mod tests {
     use birds_store::{tuple, SortKind};
 
     fn view() -> (Relation, Schema) {
-        let rel = Relation::with_tuples(
-            "v",
-            2,
-            vec![tuple![1, "a"], tuple![2, "b"], tuple![3, "c"]],
-        )
-        .unwrap();
+        let rel =
+            Relation::with_tuples("v", 2, vec![tuple![1, "a"], tuple![2, "b"], tuple![3, "c"]])
+                .unwrap();
         let schema = Schema::new("v", vec![("id", SortKind::Int), ("name", SortKind::Str)]);
         (rel, schema)
     }

@@ -4,7 +4,7 @@ use crate::algorithm2::derive_view_delta;
 use crate::error::{EngineError, EngineResult};
 use birds_core::{incrementalize, validate, UpdateStrategy};
 use birds_datalog::{DeltaKind, Literal, PredRef, Program, Rule};
-use birds_eval::{evaluate_program, evaluate_query, eval_rule_into, EvalContext};
+use birds_eval::{eval_rule_into, evaluate_program, evaluate_query, EvalContext};
 use birds_sql::parse_script;
 use birds_store::{Database, Delta, DeltaSet, Relation, Tuple};
 use std::collections::{BTreeMap, HashSet};
@@ -76,8 +76,7 @@ impl Engine {
         strategy: UpdateStrategy,
         mode: StrategyMode,
     ) -> EngineResult<()> {
-        let report = validate(&strategy)
-            .map_err(|e| EngineError::Registration(e.to_string()))?;
+        let report = validate(&strategy).map_err(|e| EngineError::Registration(e.to_string()))?;
         if !report.valid {
             return Err(EngineError::Registration(format!(
                 "strategy for '{}' is invalid: {}",
@@ -131,10 +130,7 @@ impl Engine {
         }
         self.db.set_relation(rel);
         let incremental = if mode == StrategyMode::Incremental {
-            Some(
-                incrementalize(&strategy)
-                    .map_err(|e| EngineError::Registration(e.to_string()))?,
-            )
+            Some(incrementalize(&strategy).map_err(|e| EngineError::Registration(e.to_string()))?)
         } else {
             None
         };
@@ -287,7 +283,10 @@ impl Engine {
         };
 
         if debug {
-            eprintln!("[engine] delta computation ({mode:?}): {:?}", t_eval.elapsed());
+            eprintln!(
+                "[engine] delta computation ({mode:?}): {:?}",
+                t_eval.elapsed()
+            );
         }
 
         // For the incremental path, the constraints are checked against
@@ -356,12 +355,7 @@ impl Engine {
 
     /// Apply (or roll back) an effective view delta on the materialized
     /// view relation.
-    fn mutate_view(
-        &mut self,
-        view_name: &str,
-        delta: &Delta,
-        rollback: bool,
-    ) -> EngineResult<()> {
+    fn mutate_view(&mut self, view_name: &str, delta: &Delta, rollback: bool) -> EngineResult<()> {
         let rel = self
             .db
             .relation_mut(view_name)
@@ -388,11 +382,7 @@ impl Engine {
     /// view tuples passed the same check earlier — so it is evaluated with
     /// the view atom restricted to `Δ⁺V`. Other constraints are checked in
     /// full.
-    fn check_constraints(
-        &mut self,
-        strategy: &UpdateStrategy,
-        delta: &Delta,
-    ) -> EngineResult<()> {
+    fn check_constraints(&mut self, strategy: &UpdateStrategy, delta: &Delta) -> EngineResult<()> {
         let view = &strategy.view.name;
         for rule in strategy.constraints() {
             let view_lits: Vec<(&Literal, bool)> = rule
@@ -411,7 +401,11 @@ impl Engine {
             let check_rule: Rule = if fast {
                 let mut r = rule.clone();
                 for lit in &mut r.body {
-                    if let Literal::Atom { atom, negated: false } = lit {
+                    if let Literal::Atom {
+                        atom,
+                        negated: false,
+                    } = lit
+                    {
                         if atom.pred.kind == DeltaKind::None && atom.pred.name == *view {
                             atom.pred = PredRef::ins(view);
                         }
@@ -473,11 +467,7 @@ impl Engine {
             let support = Program::new(
                 intermediates
                     .iter()
-                    .filter(|r| {
-                        r.head
-                            .atom()
-                            .is_some_and(|a| needed.contains(&a.pred.name))
-                    })
+                    .filter(|r| r.head.atom().is_some_and(|a| needed.contains(&a.pred.name)))
                     .map(|r| (*r).clone())
                     .collect(),
             );
@@ -512,7 +502,9 @@ fn inline_simple_defs(rule: &Rule, program: &Program) -> Rule {
     for _ in 0..4 {
         let mut changed = false;
         for lit in &mut out.body {
-            let Literal::Atom { atom, .. } = lit else { continue };
+            let Literal::Atom { atom, .. } = lit else {
+                continue;
+            };
             if atom.pred.kind != DeltaKind::None {
                 continue;
             }
@@ -529,18 +521,14 @@ fn inline_simple_defs(rule: &Rule, program: &Program) -> Rule {
             else {
                 continue;
             };
-            let head_vars: Vec<&str> =
-                dh.terms.iter().filter_map(Term::as_var).collect();
+            let head_vars: Vec<&str> = dh.terms.iter().filter_map(Term::as_var).collect();
             if head_vars.len() != dh.terms.len()
                 || head_vars.iter().collect::<HashSet<_>>().len() != head_vars.len()
             {
                 continue;
             }
-            let map: std::collections::HashMap<&str, &Term> = head_vars
-                .iter()
-                .copied()
-                .zip(atom.terms.iter())
-                .collect();
+            let map: std::collections::HashMap<&str, &Term> =
+                head_vars.iter().copied().zip(atom.terms.iter()).collect();
             let new_terms: Vec<Term> = def_atom
                 .terms
                 .iter()
@@ -596,10 +584,8 @@ mod tests {
         let mut db = Database::new();
         db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap())
             .unwrap();
-        db.add_relation(
-            Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap(),
-        )
-        .unwrap();
+        db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap())
+            .unwrap();
         let strategy = UpdateStrategy::parse(
             DatabaseSchema::new()
                 .with(Schema::new("r1", vec![("a", SortKind::Int)]))
@@ -682,14 +668,12 @@ mod tests {
         engine.execute("INSERT INTO v VALUES (7);").unwrap();
         engine.execute("DELETE FROM v WHERE a = 1;").unwrap();
         let v_before: Vec<Tuple> = {
-            let mut v: Vec<Tuple> =
-                engine.relation("v").unwrap().iter().cloned().collect();
+            let mut v: Vec<Tuple> = engine.relation("v").unwrap().iter().cloned().collect();
             v.sort();
             v
         };
         engine.refresh_view("v").unwrap();
-        let mut v_after: Vec<Tuple> =
-            engine.relation("v").unwrap().iter().cloned().collect();
+        let mut v_after: Vec<Tuple> = engine.relation("v").unwrap().iter().cloned().collect();
         v_after.sort();
         assert_eq!(v_before, v_after);
     }
@@ -705,10 +689,8 @@ mod tests {
 
     fn constrained_engine(mode: StrategyMode) -> Engine {
         let mut db = Database::new();
-        db.add_relation(
-            Relation::with_tuples("r", 2, vec![tuple![1, 5], tuple![2, 9]]).unwrap(),
-        )
-        .unwrap();
+        db.add_relation(Relation::with_tuples("r", 2, vec![tuple![1, 5], tuple![2, 9]]).unwrap())
+            .unwrap();
         let strategy = UpdateStrategy::parse(
             DatabaseSchema::new().with(Schema::new(
                 "r",
@@ -759,10 +741,8 @@ mod tests {
     fn view_over_view_cascade() {
         // residents1962-style: a view whose "source" is another view.
         let mut db = Database::new();
-        db.add_relation(
-            Relation::with_tuples("r1", 1, vec![tuple![1], tuple![3]]).unwrap(),
-        )
-        .unwrap();
+        db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1], tuple![3]]).unwrap())
+            .unwrap();
         db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![8]]).unwrap())
             .unwrap();
         let mut engine = Engine::new(db);

@@ -13,10 +13,7 @@ pub enum EngineError {
     /// A view update violates one of the strategy's integrity
     /// constraints; the transaction is rejected (paper §6.1: "RAISE
     /// 'Invalid view updates'").
-    ConstraintViolation {
-        view: String,
-        constraint: String,
-    },
+    ConstraintViolation { view: String, constraint: String },
     /// The computed source delta is contradictory (the strategy is not
     /// well defined on this input).
     ContradictoryDelta(String),
@@ -37,7 +34,10 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::NotAView(n) => write!(f, "'{n}' is not a registered updatable view"),
             EngineError::ConstraintViolation { view, constraint } => {
-                write!(f, "invalid view update on '{view}': constraint violated: {constraint}")
+                write!(
+                    f,
+                    "invalid view update on '{view}': constraint violated: {constraint}"
+                )
             }
             EngineError::ContradictoryDelta(m) => {
                 write!(f, "contradictory source delta: {m}")

@@ -46,7 +46,10 @@ impl fmt::Display for EvalError {
             }
             EvalError::BadProgram(m) => write!(f, "program not evaluable: {m}"),
             EvalError::UnsafeRule { rule, variable } => {
-                write!(f, "unsafe variable '{variable}' reached at runtime in rule: {rule}")
+                write!(
+                    f,
+                    "unsafe variable '{variable}' reached at runtime in rule: {rule}"
+                )
             }
             EvalError::Store(m) => write!(f, "store error: {m}"),
         }

@@ -95,8 +95,7 @@ pub fn eval_rule_into(
     if rule.body.is_empty() {
         match &rule.head {
             Head::Atom(a) => {
-                let t: Option<Vec<Value>> =
-                    a.terms.iter().map(|t| t.as_const().cloned()).collect();
+                let t: Option<Vec<Value>> = a.terms.iter().map(|t| t.as_const().cloned()).collect();
                 let t = t.ok_or_else(|| EvalError::UnsafeRule {
                     rule: rule.to_string(),
                     variable: "head of fact".into(),
@@ -146,11 +145,7 @@ fn resolve<'a>(t: &'a Term, bindings: &'a HashMap<&str, Value>) -> Option<&'a Va
 }
 
 /// Instantiate the head atom once all its variables are bound.
-fn emit(
-    rule: &Rule,
-    bindings: &HashMap<&str, Value>,
-    out: &mut HashSet<Tuple>,
-) -> EvalResult<()> {
+fn emit(rule: &Rule, bindings: &HashMap<&str, Value>, out: &mut HashSet<Tuple>) -> EvalResult<()> {
     match &rule.head {
         Head::Atom(a) => {
             let mut vals = Vec::with_capacity(a.terms.len());
@@ -367,10 +362,8 @@ mod tests {
         let mut db = Database::new();
         db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap())
             .unwrap();
-        db.add_relation(
-            Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap(),
-        )
-        .unwrap();
+        db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap())
+            .unwrap();
         db.add_relation(
             Relation::with_tuples("v", 1, vec![tuple![1], tuple![3], tuple![4]]).unwrap(),
         )
@@ -436,10 +429,9 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        let program = parse_program(
-            "b62(E, B) :- p(E, B), not B < '1962-01-01', not B > '1962-12-31'.",
-        )
-        .unwrap();
+        let program =
+            parse_program("b62(E, B) :- p(E, B), not B < '1962-01-01', not B > '1962-12-31'.")
+                .unwrap();
         let mut ctx = EvalContext::new(&mut db);
         let out = evaluate_program(&program, &mut ctx).unwrap();
         let r = out.relation(&PredRef::plain("b62")).unwrap();
@@ -452,10 +444,8 @@ mod tests {
         // retired(E) :- p(E,_), not q(E,_) — anonymous positions are
         // inner existentials on both polarities.
         let mut db = Database::new();
-        db.add_relation(
-            Relation::with_tuples("p", 2, vec![tuple![1, 10], tuple![2, 20]]).unwrap(),
-        )
-        .unwrap();
+        db.add_relation(Relation::with_tuples("p", 2, vec![tuple![1, 10], tuple![2, 20]]).unwrap())
+            .unwrap();
         db.add_relation(Relation::with_tuples("q", 2, vec![tuple![1, 99]]).unwrap())
             .unwrap();
         let program = parse_program("retired(E) :- p(E, _), not q(E, _).").unwrap();
@@ -469,10 +459,8 @@ mod tests {
     #[test]
     fn repeated_variables_in_atoms() {
         let mut db = Database::new();
-        db.add_relation(
-            Relation::with_tuples("e", 2, vec![tuple![1, 1], tuple![1, 2]]).unwrap(),
-        )
-        .unwrap();
+        db.add_relation(Relation::with_tuples("e", 2, vec![tuple![1, 1], tuple![1, 2]]).unwrap())
+            .unwrap();
         let program = parse_program("diag(X) :- e(X, X).").unwrap();
         let mut ctx = EvalContext::new(&mut db);
         let out = evaluate_program(&program, &mut ctx).unwrap();

@@ -18,4 +18,6 @@ pub mod plan;
 
 pub use context::EvalContext;
 pub use error::{EvalError, EvalResult};
-pub use evaluator::{eval_rule_into, evaluate_program, evaluate_query, violated_constraints, EvalOutput};
+pub use evaluator::{
+    eval_rule_into, evaluate_program, evaluate_query, violated_constraints, EvalOutput,
+};

@@ -87,23 +87,22 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
     let mut steps = Vec::new();
     let mut index_requests = Vec::new();
 
-    let push_atom_step =
-        |literal: usize,
-         kind: StepKind,
-         flat: String,
-         arity: usize,
-         probe_cols: Vec<usize>,
-         steps: &mut Vec<Step>,
-         index_requests: &mut Vec<(String, Vec<usize>)>| {
-            if !probe_cols.is_empty() && probe_cols.len() < arity {
-                index_requests.push((flat, probe_cols.clone()));
-            }
-            steps.push(Step {
-                literal,
-                kind,
-                probe_cols,
-            });
-        };
+    let push_atom_step = |literal: usize,
+                          kind: StepKind,
+                          flat: String,
+                          arity: usize,
+                          probe_cols: Vec<usize>,
+                          steps: &mut Vec<Step>,
+                          index_requests: &mut Vec<(String, Vec<usize>)>| {
+        if !probe_cols.is_empty() && probe_cols.len() < arity {
+            index_requests.push((flat, probe_cols.clone()));
+        }
+        steps.push(Step {
+            literal,
+            kind,
+            probe_cols,
+        });
+    };
 
     while !remaining.is_empty() {
         // Phase 1: place every literal currently usable as a filter/binder.
@@ -271,7 +270,9 @@ mod tests {
         for &(name, arity, n) in sizes {
             let tuples = (0..n as i64).map(|i| {
                 birds_store::Tuple::new(
-                    (0..arity).map(|c| birds_store::Value::Int(i + c as i64)).collect(),
+                    (0..arity)
+                        .map(|c| birds_store::Value::Int(i + c as i64))
+                        .collect(),
                 )
             });
             db.add_relation(Relation::with_tuples(name, arity, tuples).unwrap())
@@ -283,10 +284,10 @@ mod tests {
     #[test]
     fn small_relation_drives_the_join() {
         let mut db = db_sizes(&[("big", 2, 1000), ("+v", 2, 2)]);
-        let mut ctx = ctx_with(&mut db);
+        let ctx = ctx_with(&mut db);
         // +r(X,Y) :- +v(X,Y), big(X,Y) — plan must start at +v.
         let rule = parse_rule("+r(X, Y) :- big(X, Y), +v(X, Y).").unwrap();
-        let plan = plan_rule(&rule, &mut ctx).unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
         assert_eq!(plan.steps[0].literal, 1, "join starts at +v");
         // big(X,Y) then fully bound -> exists check, no partial index.
         assert_eq!(plan.steps[1].kind, StepKind::ExistsCheck);
@@ -295,11 +296,14 @@ mod tests {
     #[test]
     fn negated_atoms_run_once_bound() {
         let mut db = db_sizes(&[("r", 1, 10), ("s", 1, 10)]);
-        let mut ctx = ctx_with(&mut db);
+        let ctx = ctx_with(&mut db);
         let rule = parse_rule("h(X) :- r(X), not s(X).").unwrap();
-        let plan = plan_rule(&rule, &mut ctx).unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
         assert_eq!(
-            plan.steps.iter().map(|s| s.kind.clone()).collect::<Vec<_>>(),
+            plan.steps
+                .iter()
+                .map(|s| s.kind.clone())
+                .collect::<Vec<_>>(),
             vec![StepKind::Join, StepKind::NegCheck]
         );
     }
@@ -307,9 +311,9 @@ mod tests {
     #[test]
     fn grounding_equality_binds_before_probe() {
         let mut db = db_sizes(&[("r", 2, 100)]);
-        let mut ctx = ctx_with(&mut db);
+        let ctx = ctx_with(&mut db);
         let rule = parse_rule("h(X) :- r(X, Y), Y = 5.").unwrap();
-        let plan = plan_rule(&rule, &mut ctx).unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
         // Y = 5 binds first, then r(X,Y) probes with column 1 bound.
         assert_eq!(plan.steps[0].kind, StepKind::Bind);
         assert_eq!(plan.steps[1].kind, StepKind::Join);
@@ -320,10 +324,10 @@ mod tests {
     #[test]
     fn unknown_relation_reported() {
         let mut db = db_sizes(&[]);
-        let mut ctx = ctx_with(&mut db);
+        let ctx = ctx_with(&mut db);
         let rule = parse_rule("h(X) :- ghost(X).").unwrap();
         assert!(matches!(
-            plan_rule(&rule, &mut ctx),
+            plan_rule(&rule, &ctx),
             Err(EvalError::UnknownRelation(_))
         ));
     }
@@ -336,8 +340,8 @@ mod tests {
         // s is unknown AND Y unbound; make s known to isolate unsafety.
         db_sizes(&[]);
         let mut db2 = db_sizes(&[("r", 1, 1), ("s", 2, 1)]);
-        let mut ctx2 = ctx_with(&mut db2);
-        let err = plan_rule(&rule, &mut ctx2).unwrap_err();
+        let ctx2 = ctx_with(&mut db2);
+        let err = plan_rule(&rule, &ctx2).unwrap_err();
         assert!(matches!(err, EvalError::UnsafeRule { .. }));
         let _ = ctx; // silence unused in the first setup
     }
@@ -345,9 +349,9 @@ mod tests {
     #[test]
     fn constants_count_as_bound_positions() {
         let mut db = db_sizes(&[("r", 2, 50)]);
-        let mut ctx = ctx_with(&mut db);
+        let ctx = ctx_with(&mut db);
         let rule = parse_rule("h(X) :- r(X, 7).").unwrap();
-        let plan = plan_rule(&rule, &mut ctx).unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
         assert_eq!(plan.steps[0].probe_cols, vec![1]);
     }
 }

@@ -30,6 +30,9 @@ pub enum Formula {
 
 impl Formula {
     /// Convenience: `¬f` with double-negation collapse.
+    // Not `std::ops::Not`: this is a static constructor taking the operand
+    // by value, not a method on `self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::Not(inner) => *inner,
@@ -84,7 +87,7 @@ impl Formula {
         match f {
             Formula::Exists(mut inner_vars, inner) => {
                 let mut all = vars;
-                all.extend(inner_vars.drain(..));
+                all.append(&mut inner_vars);
                 Formula::Exists(all, inner)
             }
             other => Formula::Exists(vars, Box::new(other)),
@@ -201,22 +204,13 @@ impl Formula {
                 p.clone(),
                 terms.iter().map(|t| subst_term(t, map)).collect(),
             ),
-            Formula::Cmp(op, a, b) => {
-                Formula::Cmp(*op, subst_term(a, map), subst_term(b, map))
-            }
+            Formula::Cmp(op, a, b) => Formula::Cmp(*op, subst_term(a, map), subst_term(b, map)),
             Formula::Not(inner) => Formula::Not(Box::new(inner.substitute(map, fresh))),
-            Formula::And(fs) => {
-                Formula::And(fs.iter().map(|f| f.substitute(map, fresh)).collect())
-            }
-            Formula::Or(fs) => {
-                Formula::Or(fs.iter().map(|f| f.substitute(map, fresh)).collect())
-            }
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.substitute(map, fresh)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.substitute(map, fresh)).collect()),
             Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
                 // Variables being substituted *into* the formula:
-                let incoming: BTreeSet<&str> = map
-                    .values()
-                    .filter_map(Term::as_var)
-                    .collect();
+                let incoming: BTreeSet<&str> = map.values().filter_map(Term::as_var).collect();
                 let mut new_vars = Vec::with_capacity(vars.len());
                 let mut inner_map = map.clone();
                 for v in vars {
@@ -250,13 +244,9 @@ impl Formula {
                     p.clone(),
                     terms.iter().map(|t| subst_term(t, map)).collect(),
                 ),
-                Formula::Cmp(op, a, b) => {
-                    Formula::Cmp(*op, subst_term(a, map), subst_term(b, map))
-                }
+                Formula::Cmp(op, a, b) => Formula::Cmp(*op, subst_term(a, map), subst_term(b, map)),
                 Formula::Not(inner) => Formula::Not(Box::new(go(inner, map, fresh))),
-                Formula::And(fs) => {
-                    Formula::And(fs.iter().map(|f| go(f, map, fresh)).collect())
-                }
+                Formula::And(fs) => Formula::And(fs.iter().map(|f| go(f, map, fresh)).collect()),
                 Formula::Or(fs) => Formula::Or(fs.iter().map(|f| go(f, map, fresh)).collect()),
                 Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
                     let mut inner_map = map.clone();
@@ -385,7 +375,10 @@ mod tests {
             Formula::and(vec![Formula::False, rel("r", &["X"])]),
             Formula::False
         );
-        assert_eq!(Formula::not(Formula::not(rel("r", &["X"]))), rel("r", &["X"]));
+        assert_eq!(
+            Formula::not(Formula::not(rel("r", &["X"]))),
+            rel("r", &["X"])
+        );
         // nested exists merge
         let f = Formula::exists(
             vec!["X".into()],
@@ -430,10 +423,7 @@ mod tests {
         let f = Formula::and(vec![
             rel("r", &["X"]),
             Formula::eq(Term::var("X"), Term::constant("M")),
-            Formula::not(Formula::Rel(
-                PredRef::ins("s"),
-                vec![Term::constant(3)],
-            )),
+            Formula::not(Formula::Rel(PredRef::ins("s"), vec![Term::constant(3)])),
         ]);
         let preds = f.predicates();
         assert_eq!(preds.len(), 2);

@@ -38,11 +38,7 @@ fn scope_exists(vars: &[String], inner: &Formula) -> Formula {
     }
     match inner {
         // ∃x (A ∨ B) ≡ ∃x A ∨ ∃x B
-        Formula::Or(ds) => Formula::or(
-            ds.iter()
-                .map(|d| scope_exists(&vars, d))
-                .collect(),
-        ),
+        Formula::Or(ds) => Formula::or(ds.iter().map(|d| scope_exists(&vars, d)).collect()),
         Formula::And(parts) => {
             // Split into components connected through the quantified vars.
             let groups = connected_components(parts, &vars);
@@ -53,12 +49,12 @@ fn scope_exists(vars: &[String], inner: &Formula) -> Formula {
                     out.push(conj);
                 } else if group_parts_len_one_or(&conj) {
                     // Try pushing further into a single part (e.g. an Or).
-                    out.push(scope_exists(&group_vars.into_iter().collect::<Vec<_>>(), &conj));
-                } else {
-                    out.push(Formula::exists(
-                        group_vars.into_iter().collect(),
-                        conj,
+                    out.push(scope_exists(
+                        &group_vars.into_iter().collect::<Vec<_>>(),
+                        &conj,
                     ));
+                } else {
+                    out.push(Formula::exists(group_vars.into_iter().collect(), conj));
                 }
             }
             Formula::and(out)
@@ -86,11 +82,7 @@ fn scope_forall(vars: &[String], inner: &Formula) -> Formula {
     }
     match inner {
         // ∀x (A ∧ B) ≡ ∀x A ∧ ∀x B
-        Formula::And(cs) => Formula::and(
-            cs.iter()
-                .map(|c| scope_forall(&vars, c))
-                .collect(),
-        ),
+        Formula::And(cs) => Formula::and(cs.iter().map(|c| scope_forall(&vars, c)).collect()),
         Formula::Or(parts) => {
             // ∀x (A(x) ∨ B) ≡ (∀x A(x)) ∨ B when x ∉ B: group disjuncts
             // by connectivity through the quantified variables.
@@ -202,7 +194,9 @@ mod tests {
         match &g {
             Formula::And(cs) => {
                 assert_eq!(cs.len(), 2);
-                assert!(cs.iter().all(|c| matches!(c, Formula::Exists(vs, _) if vs.len() == 1)));
+                assert!(cs
+                    .iter()
+                    .all(|c| matches!(c, Formula::Exists(vs, _) if vs.len() == 1)));
             }
             other => panic!("expected And, got {other}"),
         }

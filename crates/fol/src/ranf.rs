@@ -98,9 +98,7 @@ fn ranf(f: &Formula, budget: &mut usize) -> Result<Formula, RanfError> {
                 .map(|g| ranf(g, budget))
                 .collect::<Result<Vec<_>, _>>()?,
         )),
-        Formula::Exists(vars, inner) => {
-            Ok(Formula::exists(vars.clone(), ranf(inner, budget)?))
-        }
+        Formula::Exists(vars, inner) => Ok(Formula::exists(vars.clone(), ranf(inner, budget)?)),
         Formula::Forall(..) => unreachable!("SRNF input has no universal quantifiers"),
         Formula::And(fs) => ranf_conjunction(fs, budget),
     }
@@ -115,9 +113,7 @@ fn conjunct_ok(g: &Formula) -> bool {
                 && range_restricted(inner).is_some_and(|rr| rr == inner.free_vars())
         }
         Formula::Not(inner) => match &**inner {
-            Formula::Exists(_, gg) => {
-                range_restricted(gg).is_some_and(|rr| rr == gg.free_vars())
-            }
+            Formula::Exists(_, gg) => range_restricted(gg).is_some_and(|rr| rr == gg.free_vars()),
             _ => true,
         },
         _ => true,
@@ -158,32 +154,26 @@ fn ranf_conjunction(fs: &[Formula], budget: &mut usize) -> Result<Formula, RanfE
         // Push-into-quantifier: ψ1 ∧ … ∧ ∃x ξ → ∃x (ψ1 ∧ … ∧ ξ)
         // (bound variables were renamed apart up front).
         Formula::Exists(vars, inner) => {
-            let pushed = Formula::exists(
-                vars,
-                Formula::and([others, vec![*inner]].concat()),
-            );
+            let pushed = Formula::exists(vars, Formula::and([others, vec![*inner]].concat()));
             ranf(&pushed, budget)
         }
         // Push-into-negated-quantifier:
         // ψ1 ∧ … ∧ ¬∃x ξ → ψ1 ∧ … ∧ ¬∃x (ψ1 ∧ … ∧ ξ)
         Formula::Not(inner) => {
             if let Formula::Exists(vars, g) = *inner {
-                let pushed_inner = Formula::exists(
-                    vars,
-                    Formula::and([others.clone(), vec![*g]].concat()),
-                );
-                let new_conj =
-                    Formula::and([others, vec![Formula::not(pushed_inner)]].concat());
+                let pushed_inner =
+                    Formula::exists(vars, Formula::and([others.clone(), vec![*g]].concat()));
+                let new_conj = Formula::and([others, vec![Formula::not(pushed_inner)]].concat());
                 ranf(&new_conj, budget)
             } else {
                 // ¬atom etc. — already fine; shouldn't be flagged.
-                ranf(&Formula::and([others, vec![Formula::Not(inner)]].concat()), budget)
+                ranf(
+                    &Formula::and([others, vec![Formula::Not(inner)]].concat()),
+                    budget,
+                )
             }
         }
-        other => ranf(
-            &Formula::and([others, vec![other]].concat()),
-            budget,
-        ),
+        other => ranf(&Formula::and([others, vec![other]].concat()), budget),
     }
 }
 

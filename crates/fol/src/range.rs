@@ -67,12 +67,7 @@ pub fn range_restricted(f: &Formula) -> Option<BTreeSet<String>> {
         Formula::Exists(vars, inner) => {
             let inner_rr = range_restricted(inner)?;
             if vars.iter().all(|v| inner_rr.contains(v)) {
-                Some(
-                    inner_rr
-                        .into_iter()
-                        .filter(|v| !vars.contains(v))
-                        .collect(),
-                )
+                Some(inner_rr.into_iter().filter(|v| !vars.contains(v)).collect())
             } else {
                 None // ⊥: a quantified variable is not restricted
             }

@@ -27,18 +27,19 @@ pub fn to_srnf(f: &Formula) -> Formula {
         }
         Formula::Not(inner) => match &**inner {
             Formula::Not(g) => to_srnf(g),
-            Formula::And(fs) => {
-                Formula::or(fs.iter().map(|g| to_srnf(&Formula::not(g.clone()))).collect())
-            }
-            Formula::Or(fs) => {
-                Formula::and(fs.iter().map(|g| to_srnf(&Formula::not(g.clone()))).collect())
-            }
+            Formula::And(fs) => Formula::or(
+                fs.iter()
+                    .map(|g| to_srnf(&Formula::not(g.clone())))
+                    .collect(),
+            ),
+            Formula::Or(fs) => Formula::and(
+                fs.iter()
+                    .map(|g| to_srnf(&Formula::not(g.clone())))
+                    .collect(),
+            ),
             Formula::Forall(vars, g) => {
                 // ¬∀x ψ ≡ ∃x ¬ψ
-                to_srnf(&Formula::exists(
-                    vars.clone(),
-                    Formula::not((**g).clone()),
-                ))
+                to_srnf(&Formula::exists(vars.clone(), Formula::not((**g).clone())))
             }
             Formula::True => Formula::False,
             Formula::False => Formula::True,

@@ -163,10 +163,7 @@ impl Translator {
                     });
                 }
                 Literal::Atom {
-                    atom: Atom::new(
-                        aux,
-                        free.iter().map(|v| Term::var(v.clone())).collect(),
-                    ),
+                    atom: Atom::new(aux, free.iter().map(|v| Term::var(v.clone())).collect()),
                     negated: true,
                 }
             }
@@ -192,10 +189,8 @@ pub fn simplify_program(mut program: Program, goal: &PredRef) -> Program {
                 if inline_everywhere(&mut program, p, def) {
                     changed = true;
                 }
-            } else if defs.len() > 1 {
-                if flatten_union(&mut program, p, &defs, goal) {
-                    changed = true;
-                }
+            } else if defs.len() > 1 && flatten_union(&mut program, p, &defs, goal) {
+                changed = true;
             }
         }
         program = drop_unreachable(program, goal);
@@ -261,8 +256,7 @@ fn inline_everywhere(program: &mut Program, p: &PredRef, def: &Rule) -> bool {
             match lit {
                 Literal::Atom { atom, negated } if atom.pred == *p => {
                     if !*negated || single_literal_body {
-                        let outer_vars: BTreeSet<&str> =
-                            rule.variables().into_iter().collect();
+                        let outer_vars: BTreeSet<&str> = rule.variables().into_iter().collect();
                         let inlined = instantiate_body(
                             def,
                             &head_vars,
@@ -276,8 +270,7 @@ fn inline_everywhere(program: &mut Program, p: &PredRef, def: &Rule) -> bool {
                                 rule_changed = true;
                             }
                             Some(mut lits)
-                                if lits.len() == 1
-                                    && negated_inline_ok(&lits[0], &atom.terms) =>
+                                if lits.len() == 1 && negated_inline_ok(&lits[0], &atom.terms) =>
                             {
                                 // Negated single-literal inline: body-only
                                 // variables become anonymous so they stay
@@ -293,15 +286,11 @@ fn inline_everywhere(program: &mut Program, p: &PredRef, def: &Rule) -> bool {
                                             .terms
                                             .into_iter()
                                             .map(|t| match &t {
-                                                Term::Var(v)
-                                                    if !arg_vars.contains(v.as_str()) =>
-                                                {
+                                                Term::Var(v) if !arg_vars.contains(v.as_str()) => {
                                                     anon.entry(v.clone())
                                                         .or_insert_with(|| {
                                                             counter += 1;
-                                                            Term::Var(format!(
-                                                                "_#inl{counter}"
-                                                            ))
+                                                            Term::Var(format!("_#inl{counter}"))
                                                         })
                                                         .clone()
                                                 }
@@ -450,7 +439,7 @@ fn flatten_union(program: &mut Program, p: &PredRef, defs: &[Rule], goal: &PredR
     let mut new_rules = Vec::with_capacity(program.rules.len());
     let mut counter = 0usize;
     for rule in &program.rules {
-        let is_target = !rule.head.atom().is_some_and(|a| &a.pred == p)
+        let is_target = rule.head.atom().is_none_or(|a| &a.pred != p)
             && rule.body.len() == 1
             && matches!(&rule.body[0], Literal::Atom { atom, negated: false } if atom.pred == *p);
         // Only flatten into the goal or other small wrappers; always safe.
@@ -469,8 +458,7 @@ fn flatten_union(program: &mut Program, p: &PredRef, defs: &[Rule], goal: &PredR
                 ok = false;
                 break;
             };
-            let head_vars: Vec<&str> =
-                def_head.terms.iter().filter_map(Term::as_var).collect();
+            let head_vars: Vec<&str> = def_head.terms.iter().filter_map(Term::as_var).collect();
             if head_vars.len() != def_head.terms.len()
                 || head_vars.iter().collect::<BTreeSet<_>>().len() != head_vars.len()
             {
@@ -596,10 +584,8 @@ mod tests {
         // OR use an anonymous-style variable. Verify semantics by
         // evaluation instead of shape:
         let mut db = Database::new();
-        db.add_relation(
-            Relation::with_tuples("r", 1, vec![tuple![1], tuple![2]]).unwrap(),
-        )
-        .unwrap();
+        db.add_relation(Relation::with_tuples("r", 1, vec![tuple![1], tuple![2]]).unwrap())
+            .unwrap();
         db.add_relation(Relation::with_tuples("s", 2, vec![tuple![1, 9]]).unwrap())
             .unwrap();
         let mut ctx = EvalContext::new(&mut db);
@@ -669,8 +655,7 @@ mod tests {
             goal(X) :- m(X), not s(X).
         ";
         let program = parse_program(src).unwrap();
-        let (vars, f) =
-            crate::unfold::unfold_query(&program, &PredRef::plain("goal")).unwrap();
+        let (vars, f) = crate::unfold::unfold_query(&program, &PredRef::plain("goal")).unwrap();
         let back = formula_to_datalog(&f, &vars, "goal2").unwrap();
 
         let mut db = Database::new();

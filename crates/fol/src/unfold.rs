@@ -55,7 +55,13 @@ pub fn unfold_query(
         cache: BTreeMap::new(),
     };
     let vars: Vec<String> = (0..arity).map(|i| format!("X{i}")).collect();
-    let f = ctx.pred_formula(pred, &vars.iter().map(|v| Term::var(v.clone())).collect::<Vec<_>>());
+    let f = ctx.pred_formula(
+        pred,
+        &vars
+            .iter()
+            .map(|v| Term::var(v.clone()))
+            .collect::<Vec<_>>(),
+    );
     Ok((vars, f))
 }
 
@@ -107,10 +113,7 @@ impl Unfolder<'_> {
             return f.clone();
         }
         let rules: Vec<&Rule> = self.program.rules_for(pred).collect();
-        let disjuncts: Vec<Formula> = rules
-            .iter()
-            .map(|r| self.rule_formula(r))
-            .collect();
+        let disjuncts: Vec<Formula> = rules.iter().map(|r| self.rule_formula(r)).collect();
         let f = Formula::or(disjuncts);
         self.cache.insert(pred.clone(), f.clone());
         f
@@ -306,7 +309,7 @@ mod tests {
         // The ¬ced must contain an ∃ inside the negation.
         let printed = f.to_string();
         assert!(
-            printed.contains("¬(∃") ,
+            printed.contains("¬(∃"),
             "negated atom with anonymous variable must quantify inside: {printed}"
         );
         assert_eq!(f.free_vars().len(), 1);
@@ -324,8 +327,14 @@ mod tests {
         let preds = f.predicates();
         assert!(preds.contains_key(&PredRef::plain("r")));
         assert!(preds.contains_key(&PredRef::plain("s")));
-        assert!(!preds.contains_key(&PredRef::plain("b")), "b must be inlined");
-        assert!(!preds.contains_key(&PredRef::plain("c")), "c must be inlined");
+        assert!(
+            !preds.contains_key(&PredRef::plain("b")),
+            "b must be inlined"
+        );
+        assert!(
+            !preds.contains_key(&PredRef::plain("c")),
+            "c must be inlined"
+        );
     }
 
     #[test]
@@ -337,7 +346,10 @@ mod tests {
         let program = parse_program(src).unwrap();
         let (_, f) = unfold_query(&program, &PredRef::del("r1")).unwrap();
         let printed = f.to_string();
-        assert!(printed.contains("r1(X0)") && printed.contains("¬(v(X0))"), "{printed}");
+        assert!(
+            printed.contains("r1(X0)") && printed.contains("¬(v(X0))"),
+            "{printed}"
+        );
     }
 
     #[test]

@@ -9,21 +9,19 @@
 //! relation. Then translate the formula *back* to Datalog (Appendix B)
 //! and evaluate again — still the same relation.
 
-use birds_datalog::{parse_program, CmpOp, PredRef, Program, Term};
+use birds_datalog::{parse_program, PredRef, Term};
 use birds_eval::{evaluate_query, EvalContext};
 use birds_fol::{formula_to_datalog, unfold_query, Formula};
 use birds_store::{tuple, Database, Relation, Tuple, Value};
 use proptest::prelude::*;
 use std::collections::{BTreeSet, HashSet};
 
+/// A variable binding environment (a stack of name → value pairs).
+type Env = Vec<(String, Value)>;
+
 /// Direct FO evaluation over a database, quantifiers ranging over
 /// `domain`.
-fn eval_formula(
-    f: &Formula,
-    db: &Database,
-    domain: &[Value],
-    env: &mut Vec<(String, Value)>,
-) -> bool {
+fn eval_formula(f: &Formula, db: &Database, domain: &[Value], env: &mut Env) -> bool {
     fn lookup(env: &[(String, Value)], v: &str) -> Value {
         env.iter()
             .rev()
@@ -44,9 +42,7 @@ fn eval_formula(
                 .map(|r| r.contains(&Tuple::new(vals)))
                 .unwrap_or(false)
         }
-        Formula::Cmp(op, a, b) => op
-            .eval(&term(env, a), &term(env, b))
-            .unwrap_or(false),
+        Formula::Cmp(op, a, b) => op.eval(&term(env, a), &term(env, b)).unwrap_or(false),
         Formula::Not(g) => !eval_formula(g, db, domain, env),
         Formula::And(fs) => fs.iter().all(|g| eval_formula(g, db, domain, env)),
         Formula::Or(fs) => fs.iter().any(|g| eval_formula(g, db, domain, env)),
@@ -69,8 +65,8 @@ fn eval_formula(
 fn assign_all(
     vars: &[String],
     domain: &[Value],
-    env: &mut Vec<(String, Value)>,
-    body: &mut dyn FnMut(&mut Vec<(String, Value)>) -> bool,
+    env: &mut Env,
+    body: &mut dyn FnMut(&mut Env) -> bool,
 ) -> Vec<bool> {
     if vars.is_empty() {
         return vec![body(env)];
@@ -92,10 +88,8 @@ fn build_db(r1: &[i64], r2: &[i64], s: &[(i64, i64)]) -> Database {
         .unwrap();
     db.add_relation(Relation::with_tuples("r2", 1, r2.iter().map(|&x| tuple![x])).unwrap())
         .unwrap();
-    db.add_relation(
-        Relation::with_tuples("s", 2, s.iter().map(|&(a, b)| tuple![a, b])).unwrap(),
-    )
-    .unwrap();
+    db.add_relation(Relation::with_tuples("s", 2, s.iter().map(|&(a, b)| tuple![a, b])).unwrap())
+        .unwrap();
     db
 }
 

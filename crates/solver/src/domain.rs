@@ -183,10 +183,7 @@ mod tests {
 
     #[test]
     fn fresh_elements_are_distinct_from_constants() {
-        let f = Formula::Rel(
-            PredRef::plain("r"),
-            vec![Term::Const(Value::str("a"))],
-        );
+        let f = Formula::Rel(PredRef::plain("r"), vec![Term::Const(Value::str("a"))]);
         let d2 = build_domain(&f, 2);
         let d3 = build_domain(&f, 3);
         assert_eq!(d3.len(), d2.len() + 1);

@@ -148,8 +148,7 @@ fn compile(sentence: &Formula, domain: &[Value]) -> Result<Compiled, GroundError
             Ok(match f {
                 Formula::Rel(p, terms) => {
                     let pid = self.pred(p);
-                    let its: Result<Vec<ITerm>, _> =
-                        terms.iter().map(|t| self.term(t)).collect();
+                    let its: Result<Vec<ITerm>, _> = terms.iter().map(|t| self.term(t)).collect();
                     let its = its?;
                     let mut free: Vec<u16> = its
                         .iter()
@@ -202,9 +201,8 @@ fn compile(sentence: &Formula, domain: &[Value]) -> Result<Compiled, GroundError
                     self.push(node, free)
                 }
             })
-            .map(|id| {
+            .inspect(|_id| {
                 let _ = d;
-                id
             })
         }
 
@@ -241,7 +239,14 @@ fn compile(sentence: &Formula, domain: &[Value]) -> Result<Compiled, GroundError
                     let mut free = vec![sa, sb];
                     free.sort_unstable();
                     free.dedup();
-                    Ok(self.push(INode::CmpSlots { a: sa, b: sb, table }, free))
+                    Ok(self.push(
+                        INode::CmpSlots {
+                            a: sa,
+                            b: sb,
+                            table,
+                        },
+                        free,
+                    ))
                 }
             }
         }
@@ -326,7 +331,9 @@ impl Grounder<'_> {
         let id = self.atoms.len() as u32;
         self.atoms.push((
             self.compiled.preds[pred_id].clone(),
-            vals.iter().map(|&i| self.domain[i as usize].clone()).collect(),
+            vals.iter()
+                .map(|&i| self.domain[i as usize].clone())
+                .collect(),
         ));
         self.atom_ids.insert((pred_id, vals), id);
         self.arena.mk_var(id)

@@ -156,7 +156,10 @@ impl Solver {
         lits.sort_unstable();
         lits.dedup();
         // Tautology (l and ¬l both present)?
-        if lits.windows(2).any(|w| w[0] == lit_neg(w[1]) || w[1] == lit_neg(w[0])) {
+        if lits
+            .windows(2)
+            .any(|w| w[0] == lit_neg(w[1]) || w[1] == lit_neg(w[0]))
+        {
             return true;
         }
         match lits.len() {
@@ -441,9 +444,7 @@ impl Solver {
             } else {
                 match self.pick_branch() {
                     None => {
-                        return Some(
-                            self.assign.iter().map(|&a| a == Val::True).collect(),
-                        );
+                        return Some(self.assign.iter().map(|&a| a == Val::True).collect());
                     }
                     Some(lit) => {
                         self.trail_lim.push(self.trail.len());
@@ -514,15 +515,19 @@ mod tests {
 
     #[test]
     fn no_clauses_is_sat() {
-        let mut cnf = Cnf::default();
-        cnf.num_vars = 3;
+        let cnf = Cnf {
+            num_vars: 3,
+            ..Default::default()
+        };
         assert!(solve(&cnf).is_some());
     }
 
     #[test]
     fn tautological_clause_ignored() {
-        let mut cnf = Cnf::default();
-        cnf.num_vars = 2;
+        let mut cnf = Cnf {
+            num_vars: 2,
+            ..Default::default()
+        };
         cnf.add_clause(vec![1, -1]);
         cnf.add_clause(vec![2]);
         let m = solve(&cnf).unwrap();
@@ -641,8 +646,10 @@ mod tests {
 
     #[test]
     fn duplicate_literals_in_clause() {
-        let mut cnf = Cnf::default();
-        cnf.num_vars = 2;
+        let mut cnf = Cnf {
+            num_vars: 2,
+            ..Default::default()
+        };
         cnf.add_clause(vec![1, 1, 2]);
         cnf.add_clause(vec![-1, -1]);
         let m = solve(&cnf).unwrap();
@@ -664,8 +671,10 @@ mod tests {
         for _case in 0..500 {
             let nvars = 1 + (next() % 8) as usize;
             let nclauses = 1 + (next() % 16) as usize;
-            let mut cnf = Cnf::default();
-            cnf.num_vars = nvars;
+            let mut cnf = Cnf {
+                num_vars: nvars,
+                ..Default::default()
+            };
             for _ in 0..nclauses {
                 let len = 1 + (next() % 3) as usize;
                 let mut clause = Vec::new();

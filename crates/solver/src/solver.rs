@@ -22,7 +22,14 @@ pub struct Model {
 
 impl fmt::Display for Model {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "domain: {:?}", self.domain.iter().map(|v| v.to_string()).collect::<Vec<_>>())?;
+        writeln!(
+            f,
+            "domain: {:?}",
+            self.domain
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+        )?;
         for (p, tuples) in &self.relations {
             write!(f, "  {p} = {{")?;
             for (i, t) in tuples.iter().enumerate() {
@@ -71,7 +78,10 @@ impl fmt::Display for SolverError {
         match self {
             SolverError::BudgetExceeded => write!(f, "solver grounding budget exceeded"),
             SolverError::DomainTooLarge { size, max } => {
-                write!(f, "domain of size {size} exceeds the configured maximum {max}")
+                write!(
+                    f,
+                    "domain of size {size} exceeds the configured maximum {max}"
+                )
             }
         }
     }
@@ -382,9 +392,7 @@ mod tests {
     #[test]
     fn three_distinct_elements_need_bound_three() {
         // pairwise-distinct triple: needs 3 fresh elements
-        let distinct = |a: &str, b: &str| {
-            Formula::not(Formula::eq(Term::var(a), Term::var(b)))
-        };
+        let distinct = |a: &str, b: &str| Formula::not(Formula::eq(Term::var(a), Term::var(b)));
         let f = Formula::exists(
             vec!["X".into(), "Y".into(), "Z".into()],
             Formula::and(vec![

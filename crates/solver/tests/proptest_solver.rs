@@ -5,7 +5,6 @@
 use birds_datalog::{CmpOp, PredRef, Term};
 use birds_fol::Formula;
 use birds_solver::{BoundedSolver, SatOutcome};
-use birds_store::Value;
 use proptest::prelude::*;
 
 /// Vocabulary: two unary predicates p, q and one binary r over the fixed
@@ -15,11 +14,11 @@ const DOM: [i64; 2] = [0, 1];
 
 #[derive(Debug, Clone)]
 enum TinyFormula {
-    P(usize),          // p(x_i)
-    Q(usize),          // q(x_i)
-    R(usize, usize),   // r(x_i, x_j)
-    Eq(usize, usize),  // x_i = x_j
-    Lt(usize),         // x_i < 1
+    P(usize),         // p(x_i)
+    Q(usize),         // q(x_i)
+    R(usize, usize),  // r(x_i, x_j)
+    Eq(usize, usize), // x_i = x_j
+    Lt(usize),        // x_i < 1
     Not(Box<TinyFormula>),
     And(Box<TinyFormula>, Box<TinyFormula>),
     Or(Box<TinyFormula>, Box<TinyFormula>),
@@ -45,10 +44,8 @@ fn arb_tiny(depth: u32) -> impl Strategy<Value = TinyFormula> {
                 .prop_map(|(a, b)| TinyFormula::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| TinyFormula::Or(Box::new(a), Box::new(b))),
-            (0..NVARS, inner.clone())
-                .prop_map(|(v, f)| TinyFormula::Exists(v, Box::new(f))),
-            (0..NVARS, inner)
-                .prop_map(|(v, f)| TinyFormula::Forall(v, Box::new(f))),
+            (0..NVARS, inner.clone()).prop_map(|(v, f)| TinyFormula::Exists(v, Box::new(f))),
+            (0..NVARS, inner).prop_map(|(v, f)| TinyFormula::Forall(v, Box::new(f))),
         ]
     })
 }
@@ -65,20 +62,13 @@ fn to_formula(f: &TinyFormula) -> Formula {
             PredRef::plain("r"),
             vec![Term::var(var_name(*i)), Term::var(var_name(*j))],
         ),
-        TinyFormula::Eq(i, j) => Formula::eq(
-            Term::var(var_name(*i)),
-            Term::var(var_name(*j)),
-        ),
-        TinyFormula::Lt(i) => {
-            Formula::Cmp(CmpOp::Lt, Term::var(var_name(*i)), Term::constant(1))
-        }
+        TinyFormula::Eq(i, j) => Formula::eq(Term::var(var_name(*i)), Term::var(var_name(*j))),
+        TinyFormula::Lt(i) => Formula::Cmp(CmpOp::Lt, Term::var(var_name(*i)), Term::constant(1)),
         TinyFormula::Not(g) => Formula::not(to_formula(g)),
         TinyFormula::And(a, b) => Formula::and(vec![to_formula(a), to_formula(b)]),
         TinyFormula::Or(a, b) => Formula::or(vec![to_formula(a), to_formula(b)]),
         TinyFormula::Exists(v, g) => Formula::exists(vec![var_name(*v)], to_formula(g)),
-        TinyFormula::Forall(v, g) => {
-            Formula::Forall(vec![var_name(*v)], Box::new(to_formula(g)))
-        }
+        TinyFormula::Forall(v, g) => Formula::Forall(vec![var_name(*v)], Box::new(to_formula(g))),
     }
 }
 

@@ -109,7 +109,10 @@ fn select_for_body(head_terms: &[Term], body: &[Literal]) -> String {
                 atom,
                 negated: true,
             } => {
-                let mut sub = format!("NOT EXISTS (SELECT 1 FROM {} s WHERE ", sql_ident(&atom.pred));
+                let mut sub = format!(
+                    "NOT EXISTS (SELECT 1 FROM {} s WHERE ",
+                    sql_ident(&atom.pred)
+                );
                 let mut parts = Vec::new();
                 for (ci, t) in atom.terms.iter().enumerate() {
                     match t {
@@ -157,11 +160,18 @@ fn select_for_body(head_terms: &[Term], body: &[Literal]) -> String {
         .enumerate()
         .map(|(ai, a)| format!("{} t{ai}", sql_ident(&a.pred)))
         .collect();
-    let mut sql = format!("SELECT DISTINCT {} FROM {}", projection.join(", "), from.join(", "));
+    let mut sql = format!(
+        "SELECT DISTINCT {} FROM {}",
+        projection.join(", "),
+        from.join(", ")
+    );
     if from.is_empty() {
         // Rules without positive atoms (grounded by equalities) select
         // from a one-row relation.
-        sql = format!("SELECT DISTINCT {} FROM (VALUES (1)) one(x)", projection.join(", "));
+        sql = format!(
+            "SELECT DISTINCT {} FROM (VALUES (1)) one(x)",
+            projection.join(", ")
+        );
     }
     if !conditions.is_empty() {
         let _ = write!(sql, " WHERE {}", conditions.join(" AND "));
@@ -243,7 +253,10 @@ mod tests {
     fn anonymous_variables_unconstrained() {
         let r = parse_rule("retired(E) :- residents(E, _, _), not ced(E, _).").unwrap();
         let sql = rule_to_select(&r);
-        assert!(sql.contains("NOT EXISTS (SELECT 1 FROM ced s WHERE s.c0 = t0.c0)"), "{sql}");
+        assert!(
+            sql.contains("NOT EXISTS (SELECT 1 FROM ced s WHERE s.c0 = t0.c0)"),
+            "{sql}"
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ pub fn compile_strategy(strategy: &UpdateStrategy, get: &Program) -> CompiledSql
 
 /// Generate the trigger function per the paper's §6.1 skeleton:
 /// derive view deltas → check constraints → compute and apply deltas.
-fn trigger_program(strategy: &UpdateStrategy, delta_program: &Program, incremental: bool) -> String {
+fn trigger_program(
+    strategy: &UpdateStrategy,
+    delta_program: &Program,
+    incremental: bool,
+) -> String {
     let view = &strategy.view.name;
     let suffix = if incremental { "_incremental" } else { "" };
     let mut sql = String::new();

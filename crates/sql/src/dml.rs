@@ -266,7 +266,9 @@ impl P {
     fn ident(&mut self) -> Result<String, DmlParseError> {
         match self.bump() {
             Some(Tok::Word(w)) => Ok(w),
-            other => Err(DmlParseError(format!("expected identifier, found {other:?}"))),
+            other => Err(DmlParseError(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -325,9 +327,7 @@ impl P {
                     match self.bump() {
                         Some(Tok::LParen) => {}
                         other => {
-                            return Err(DmlParseError(format!(
-                                "expected '(', found {other:?}"
-                            )))
+                            return Err(DmlParseError(format!("expected '(', found {other:?}")))
                         }
                     }
                     let mut row = vec![self.literal()?];
@@ -338,9 +338,7 @@ impl P {
                     match self.bump() {
                         Some(Tok::RParen) => {}
                         other => {
-                            return Err(DmlParseError(format!(
-                                "expected ')', found {other:?}"
-                            )))
+                            return Err(DmlParseError(format!("expected ')', found {other:?}")))
                         }
                     }
                     rows.push(row);
@@ -369,9 +367,7 @@ impl P {
                     match self.bump() {
                         Some(Tok::Equals) => {}
                         other => {
-                            return Err(DmlParseError(format!(
-                                "expected '=', found {other:?}"
-                            )))
+                            return Err(DmlParseError(format!("expected '=', found {other:?}")))
                         }
                     }
                     sets.push((col, self.literal()?));
@@ -494,10 +490,9 @@ mod tests {
 
     #[test]
     fn parse_transaction_script() {
-        let stmts = parse_script(
-            "BEGIN; INSERT INTO v VALUES (1); DELETE FROM v WHERE a = 1; END;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("BEGIN; INSERT INTO v VALUES (1); DELETE FROM v WHERE a = 1; END;")
+                .unwrap();
         assert_eq!(stmts.len(), 2);
     }
 

@@ -86,9 +86,10 @@ impl Database {
             return false;
         }
         self.relations.iter().all(|(name, rel)| {
-            other.relations.get(name).is_some_and(|o| {
-                o.arity() == rel.arity() && o.tuples() == rel.tuples()
-            })
+            other
+                .relations
+                .get(name)
+                .is_some_and(|o| o.arity() == rel.arity() && o.tuples() == rel.tuples())
         })
     }
 }
@@ -103,7 +104,10 @@ mod tests {
     fn from_schema_creates_empty_relations() {
         let schema = DatabaseSchema::new()
             .with(Schema::new("a", vec![("x", SortKind::Int)]))
-            .with(Schema::new("b", vec![("x", SortKind::Int), ("y", SortKind::Str)]));
+            .with(Schema::new(
+                "b",
+                vec![("x", SortKind::Int), ("y", SortKind::Str)],
+            ));
         let db = Database::from_schema(&schema);
         assert_eq!(db.relation("a").unwrap().arity(), 1);
         assert_eq!(db.relation("b").unwrap().arity(), 2);

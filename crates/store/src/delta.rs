@@ -170,10 +170,8 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.add_relation(
-            Relation::with_tuples("r1", 1, vec![tuple![1], tuple![2]]).unwrap(),
-        )
-        .unwrap();
+        db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1], tuple![2]]).unwrap())
+            .unwrap();
         db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![3]]).unwrap())
             .unwrap();
         db
@@ -184,10 +182,8 @@ mod tests {
         // Example from §3.1: R = {⟨1,2⟩, ⟨1,3⟩}, ΔR = {-r(1,2), +r(1,1)}
         // gives R' = {⟨1,1⟩, ⟨1,3⟩}.
         let mut db = Database::new();
-        db.add_relation(
-            Relation::with_tuples("r", 2, vec![tuple![1, 2], tuple![1, 3]]).unwrap(),
-        )
-        .unwrap();
+        db.add_relation(Relation::with_tuples("r", 2, vec![tuple![1, 2], tuple![1, 3]]).unwrap())
+            .unwrap();
         let mut ds = DeltaSet::new();
         ds.delete("r", tuple![1, 2]);
         ds.insert("r", tuple![1, 1]);

@@ -93,10 +93,7 @@ impl Relation {
             return Ok(false);
         }
         for (cols, index) in self.indexes.iter_mut() {
-            index
-                .entry(t.project(cols))
-                .or_default()
-                .insert(t.clone());
+            index.entry(t.project(cols)).or_default().insert(t.clone());
         }
         self.tuples.insert(t);
         Ok(true)
@@ -170,9 +167,11 @@ impl Relation {
             // Correct-but-slow fallback: linear scan.
             let cols: Vec<usize> = cols.to_vec();
             let key: Vec<Value> = key.iter().map(|v| (*v).clone()).collect();
-            Box::new(self.tuples.iter().filter(move |t| {
-                cols.iter().zip(&key).all(|(&c, v)| &t[c] == v)
-            }))
+            Box::new(
+                self.tuples
+                    .iter()
+                    .filter(move |t| cols.iter().zip(&key).all(|(&c, v)| &t[c] == v)),
+            )
         }
     }
 
@@ -253,12 +252,7 @@ mod tests {
     use crate::tuple;
 
     fn rel() -> Relation {
-        Relation::with_tuples(
-            "r",
-            2,
-            vec![tuple![1, "a"], tuple![1, "b"], tuple![2, "a"]],
-        )
-        .unwrap()
+        Relation::with_tuples("r", 2, vec![tuple![1, "a"], tuple![1, "b"], tuple![2, "a"]]).unwrap()
     }
 
     #[test]

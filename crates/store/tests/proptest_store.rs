@@ -1,7 +1,7 @@
 //! Property-based tests for the relational substrate: delta application
 //! laws (the `R ⊕ ΔR` algebra of §3.1) and index/scan agreement.
 
-use birds_store::{tuple, Delta, DeltaSet, Database, Relation, Tuple, Value};
+use birds_store::{tuple, Database, Delta, DeltaSet, Relation, Tuple, Value};
 use proptest::prelude::*;
 use std::collections::HashSet;
 

@@ -58,10 +58,8 @@ fn base_database() -> Database {
         .unwrap(),
     )
     .unwrap();
-    db.add_relation(
-        Relation::with_tuples("eed", 2, vec![tuple!["dan", "sales"]]).unwrap(),
-    )
-    .unwrap();
+    db.add_relation(Relation::with_tuples("eed", 2, vec![tuple!["dan", "sales"]]).unwrap())
+        .unwrap();
     db
 }
 
@@ -77,8 +75,14 @@ fn main() {
     // ---- ced = ed \ eed (difference view over base tables) -----------
     let ced = UpdateStrategy::parse(
         DatabaseSchema::new()
-            .with(Schema::new("ed", vec![("e", SortKind::Str), ("d", SortKind::Str)]))
-            .with(Schema::new("eed", vec![("e", SortKind::Str), ("d", SortKind::Str)])),
+            .with(Schema::new(
+                "ed",
+                vec![("e", SortKind::Str), ("d", SortKind::Str)],
+            ))
+            .with(Schema::new(
+                "eed",
+                vec![("e", SortKind::Str), ("d", SortKind::Str)],
+            )),
         Schema::new("ced", vec![("e", SortKind::Str), ("d", SortKind::Str)]),
         "
         +ed(E, D)  :- ced(E, D), not ed(E, D).
@@ -101,15 +105,29 @@ fn main() {
     // ---- residents = male ∪ female ∪ others (gender-directed put) ----
     let residents = UpdateStrategy::parse(
         DatabaseSchema::new()
-            .with(Schema::new("male", vec![("e", SortKind::Str), ("b", SortKind::Str)]))
-            .with(Schema::new("female", vec![("e", SortKind::Str), ("b", SortKind::Str)]))
+            .with(Schema::new(
+                "male",
+                vec![("e", SortKind::Str), ("b", SortKind::Str)],
+            ))
+            .with(Schema::new(
+                "female",
+                vec![("e", SortKind::Str), ("b", SortKind::Str)],
+            ))
             .with(Schema::new(
                 "others",
-                vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+                vec![
+                    ("e", SortKind::Str),
+                    ("b", SortKind::Str),
+                    ("g", SortKind::Str),
+                ],
             )),
         Schema::new(
             "residents",
-            vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+            vec![
+                ("e", SortKind::Str),
+                ("b", SortKind::Str),
+                ("g", SortKind::Str),
+            ],
         ),
         "
         +male(E, B)   :- residents(E, B, 'M'), not male(E, B), not others(E, B, 'M').
@@ -137,11 +155,19 @@ fn main() {
     let residents1962 = UpdateStrategy::parse(
         DatabaseSchema::new().with(Schema::new(
             "residents",
-            vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+            vec![
+                ("e", SortKind::Str),
+                ("b", SortKind::Str),
+                ("g", SortKind::Str),
+            ],
         )),
         Schema::new(
             "residents1962",
-            vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+            vec![
+                ("e", SortKind::Str),
+                ("b", SortKind::Str),
+                ("g", SortKind::Str),
+            ],
         ),
         "
         false :- residents1962(E, B, G), B > '1962-12-31'.
@@ -166,9 +192,16 @@ fn main() {
         DatabaseSchema::new()
             .with(Schema::new(
                 "residents",
-                vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+                vec![
+                    ("e", SortKind::Str),
+                    ("b", SortKind::Str),
+                    ("g", SortKind::Str),
+                ],
             ))
-            .with(Schema::new("ced", vec![("e", SortKind::Str), ("d", SortKind::Str)])),
+            .with(Schema::new(
+                "ced",
+                vec![("e", SortKind::Str), ("d", SortKind::Str)],
+            )),
         Schema::new("retired", vec![("e", SortKind::Str)]),
         "
         -ced(E, D) :- ced(E, D), retired(E).
@@ -187,13 +220,25 @@ fn main() {
     println!("\ninitial state:");
     show(
         &engine,
-        &["male", "female", "others", "ed", "eed", "ced", "residents", "residents1962", "retired"],
+        &[
+            "male",
+            "female",
+            "others",
+            "ed",
+            "eed",
+            "ced",
+            "residents",
+            "residents1962",
+            "retired",
+        ],
     );
 
     // ---- Updates cascade down the view tower --------------------------
     // 1. kim moves from hr to rnd: update the *ced* view.
     engine
-        .execute("BEGIN; DELETE FROM ced WHERE e = 'kim'; INSERT INTO ced VALUES ('kim', 'rnd'); END;")
+        .execute(
+            "BEGIN; DELETE FROM ced WHERE e = 'kim'; INSERT INTO ced VALUES ('kim', 'rnd'); END;",
+        )
         .unwrap();
     println!("\nafter moving kim to rnd via the ced view:");
     show(&engine, &["ed", "eed", "ced"]);
@@ -205,7 +250,10 @@ fn main() {
         .unwrap();
     println!("\nafter inserting sam through residents1962:");
     show(&engine, &["male", "residents", "residents1962"]);
-    assert!(engine.relation("male").unwrap().contains(&tuple!["sam", "1962-09-09"]));
+    assert!(engine
+        .relation("male")
+        .unwrap()
+        .contains(&tuple!["sam", "1962-09-09"]));
 
     // 3. Dates outside 1962 are rejected by the view constraints.
     let err = engine
@@ -216,7 +264,9 @@ fn main() {
     // 4. ann retires: inserting into `retired` removes her current
     //    department (cascading into eed bookkeeping via ced's strategy).
     engine.refresh_view("retired").unwrap();
-    engine.execute("INSERT INTO retired VALUES ('ann');").unwrap();
+    engine
+        .execute("INSERT INTO retired VALUES ('ann');")
+        .unwrap();
     println!("\nafter ann retires:");
     show(&engine, &["ed", "eed", "ced", "retired"]);
     assert!(!engine

@@ -73,7 +73,10 @@ fn main() {
     let dput = incrementalize(&strategy).expect("incrementalizable");
     println!("incrementalized program (∂put):\n{dput}");
 
-    println!("{:>10} {:>14} {:>14}", "base size", "original (ms)", "incremental (ms)");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "base size", "original (ms)", "incremental (ms)"
+    );
     for n in [1_000, 10_000, 100_000, 300_000] {
         let orig = time_one_update(n, StrategyMode::Original, &get);
         let inc = time_one_update(n, StrategyMode::Incremental, &get);

@@ -18,11 +18,15 @@ fn corpus_is_complete_and_ordered() {
     assert_eq!(all.iter().filter(|e| !e.expressible).count(), 1);
     // Table 1 group sizes: 23 literature + 9 Q&A.
     assert_eq!(
-        all.iter().filter(|e| e.source == corpus::SourceKind::Literature).count(),
+        all.iter()
+            .filter(|e| e.source == corpus::SourceKind::Literature)
+            .count(),
         23
     );
     assert_eq!(
-        all.iter().filter(|e| e.source == corpus::SourceKind::QaSite).count(),
+        all.iter()
+            .filter(|e| e.source == corpus::SourceKind::QaSite)
+            .count(),
         9
     );
 }
@@ -36,7 +40,10 @@ fn lvgn_split_matches_paper() {
         .filter(|e| !e.lvgn_expected)
         .map(|e| e.id)
         .collect();
-    assert_eq!(outside, vec![16, 17, 18, 20, 21, 22, 23, 27, 29, 30, 31, 32]);
+    assert_eq!(
+        outside,
+        vec![16, 17, 18, 20, 21, 22, 23, 27, 29, 30, 31, 32]
+    );
 }
 
 #[test]
@@ -95,8 +102,7 @@ fn expected_gets_define_views() {
         if !e.expressible {
             continue;
         }
-        let get = parse_program(e.expected_get)
-            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        let get = parse_program(e.expected_get).unwrap_or_else(|err| panic!("{}: {err}", e.name));
         let pred = birds::datalog::PredRef::plain(e.name);
         assert!(
             get.rules_for(&pred).next().is_some(),

@@ -57,7 +57,10 @@ fn transaction_later_statements_override_earlier() {
         )
         .unwrap();
     assert_eq!(stats.view_delta_size, 0);
-    assert!(!engine.relation("items").unwrap().contains(&tuple![77, 7000]));
+    assert!(!engine
+        .relation("items")
+        .unwrap()
+        .contains(&tuple![77, 7000]));
 }
 
 #[test]
@@ -79,7 +82,10 @@ fn vw_brands_union_routes_inserts_to_brands_b() {
     engine
         .execute("INSERT INTO vw_brands VALUES (4711, 'acme');")
         .unwrap();
-    assert!(engine.relation("brands_b").unwrap().contains(&tuple![4711, "acme"]));
+    assert!(engine
+        .relation("brands_b")
+        .unwrap()
+        .contains(&tuple![4711, "acme"]));
     assert!(!engine
         .relation("brands_a")
         .unwrap()
@@ -114,9 +120,7 @@ fn outstanding_task_inclusion_dependency_enforced() {
     let mut engine = engine_for(Figure6View::OutstandingTask, 50, StrategyMode::Original);
     // tid 10_000 has no assignment row: the ID constraint rejects it.
     let err = engine
-        .execute(
-            "INSERT INTO outstanding_task VALUES (10000, 'ghost', '2020-08-01', 'nobody');",
-        )
+        .execute("INSERT INTO outstanding_task VALUES (10000, 'ghost', '2020-08-01', 'nobody');")
         .unwrap_err();
     assert!(matches!(err, EngineError::ConstraintViolation { .. }));
 }
@@ -128,7 +132,9 @@ fn all_corpus_lvgn_views_register_and_accept_an_update() {
     // script (only the four Figure 6 views have generators; others are
     // registered on empty bases and exercised via a no-op refresh).
     for e in corpus::entries() {
-        let Some(strategy) = e.strategy() else { continue };
+        let Some(strategy) = e.strategy() else {
+            continue;
+        };
         if !e.lvgn_expected {
             continue;
         }
@@ -159,7 +165,10 @@ fn figure6_database_generators_feed_engine_views() {
         .filter(|t| t[1] > Value::int(1000))
         .count();
     let engine = Figure6View::Luxuryitems.engine(500, StrategyMode::Original);
-    assert_eq!(engine.relation("luxuryitems").unwrap().len(), luxury_by_hand);
+    assert_eq!(
+        engine.relation("luxuryitems").unwrap().len(),
+        luxury_by_hand
+    );
 }
 
 #[test]
@@ -196,13 +205,21 @@ fn view_over_view_cascade_through_union() {
         None,
     )
     .unwrap();
-    engine.register_view(premium, StrategyMode::Original).unwrap();
+    engine
+        .register_view(premium, StrategyMode::Original)
+        .unwrap();
     let stats = engine
         .execute("INSERT INTO premium VALUES (7777, 9000);")
         .unwrap();
     assert!(stats.cascades >= 1);
-    assert!(engine.relation("luxuryitems").unwrap().contains(&tuple![7777, 9000]));
-    assert!(engine.relation("items").unwrap().contains(&tuple![7777, 9000]));
+    assert!(engine
+        .relation("luxuryitems")
+        .unwrap()
+        .contains(&tuple![7777, 9000]));
+    assert!(engine
+        .relation("items")
+        .unwrap()
+        .contains(&tuple![7777, 9000]));
 }
 
 #[test]

@@ -16,14 +16,10 @@ use proptest::prelude::*;
 /// The union view of Example 3.1 over random unary sources.
 fn union_engine(r1: &[i64], r2: &[i64], mode: StrategyMode) -> Engine {
     let mut db = Database::new();
-    db.add_relation(
-        Relation::with_tuples("r1", 1, r1.iter().map(|&x| tuple![x])).unwrap(),
-    )
-    .unwrap();
-    db.add_relation(
-        Relation::with_tuples("r2", 1, r2.iter().map(|&x| tuple![x])).unwrap(),
-    )
-    .unwrap();
+    db.add_relation(Relation::with_tuples("r1", 1, r1.iter().map(|&x| tuple![x])).unwrap())
+        .unwrap();
+    db.add_relation(Relation::with_tuples("r2", 1, r2.iter().map(|&x| tuple![x])).unwrap())
+        .unwrap();
     let strategy = UpdateStrategy::parse(
         DatabaseSchema::new()
             .with(Schema::new("r1", vec![("a", SortKind::Int)]))

@@ -177,11 +177,19 @@ fn residents1962_validates_with_date_constraints() {
     let s = UpdateStrategy::parse(
         DatabaseSchema::new().with(Schema::new(
             "residents",
-            vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+            vec![
+                ("e", SortKind::Str),
+                ("b", SortKind::Str),
+                ("g", SortKind::Str),
+            ],
         )),
         Schema::new(
             "residents1962",
-            vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+            vec![
+                ("e", SortKind::Str),
+                ("b", SortKind::Str),
+                ("g", SortKind::Str),
+            ],
         ),
         "
         false :- residents1962(E, B, G), B > '1962-12-31'.
@@ -210,11 +218,19 @@ fn residents1962_without_constraints_is_invalid() {
     let s = UpdateStrategy::parse(
         DatabaseSchema::new().with(Schema::new(
             "residents",
-            vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+            vec![
+                ("e", SortKind::Str),
+                ("b", SortKind::Str),
+                ("g", SortKind::Str),
+            ],
         )),
         Schema::new(
             "residents1962",
-            vec![("e", SortKind::Str), ("b", SortKind::Str), ("g", SortKind::Str)],
+            vec![
+                ("e", SortKind::Str),
+                ("b", SortKind::Str),
+                ("g", SortKind::Str),
+            ],
         ),
         "
         +residents(E, B, G) :- residents1962(E, B, G), not residents(E, B, G).
@@ -248,7 +264,11 @@ fn inner_join_validates_outside_lvgn() {
             )),
         Schema::new(
             "v",
-            vec![("a", SortKind::Int), ("b", SortKind::Int), ("c", SortKind::Int)],
+            vec![
+                ("a", SortKind::Int),
+                ("b", SortKind::Int),
+                ("c", SortKind::Int),
+            ],
         ),
         "
         false :- u(B, C1), u(B, C2), not C1 = C2.
@@ -286,7 +306,11 @@ fn non_lvgn_without_expected_get_errors() {
             )),
         Schema::new(
             "v",
-            vec![("a", SortKind::Int), ("b", SortKind::Int), ("c", SortKind::Int)],
+            vec![
+                ("a", SortKind::Int),
+                ("b", SortKind::Int),
+                ("c", SortKind::Int),
+            ],
         ),
         // The negated view atom spans t and u: no guard, so the program
         // is outside LVGN-Datalog and the view definition cannot be

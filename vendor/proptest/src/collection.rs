@@ -1,0 +1,74 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A size bound for generated collections.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            min: range.start,
+            max: range.end,
+        }
+    }
+}
+
+/// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.max - self.size.min;
+        let len = self.size.min + rng.below(span.max(1));
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = TestRng::deterministic("vec_len");
+        let strat = vec(0i64..5, 2..7);
+        for _ in 0..200 {
+            let v = strat.gen_value(&mut rng);
+            assert!((2..7).contains(&v.len()), "len={}", v.len());
+            assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! a small, dependency-free property-testing engine that covers exactly
+//! the strategy surface the test suites use:
+//!
+//! * `proptest!` with `#![proptest_config(ProptestConfig::with_cases(n))]`
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//! * integer range strategies (`0i64..6`), tuples of strategies,
+//!   `Just`, `any::<T>()`, `prop_oneof!`, `proptest::collection::vec`
+//! * string strategies from a regex-like character-class pattern
+//!   (`"[a-z][a-z0-9_]{0,6}"`)
+//! * `Strategy::{prop_map, prop_filter, prop_recursive, boxed}`
+//!
+//! Semantics versus the real crate: generation is **deterministic** (the
+//! RNG is seeded from the test-function name, so failures reproduce), and
+//! there is **no shrinking** — a failing case panics with the full input
+//! values instead of a minimized one. Swap the `proptest` entry in the
+//! root `[workspace.dependencies]` to the registry crate for real
+//! shrinking; the test sources need no changes.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the test suites import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body across generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng =
+                $crate::test_runner::TestRng::deterministic(::core::stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::gen_value(&($strat), &mut rng);)*
+                let inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&::std::format!(
+                        "\n  {} = {:?}", ::core::stringify!($arg), &$arg));)*
+                    s
+                };
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} of `{}` failed: {}\ninputs:{}",
+                        case + 1, config.cases, ::core::stringify!($name), err, inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Fail the enclosing property (early-returns a `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::core::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` specialized to equality, printing both operands.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left, right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), left, right,
+        );
+    }};
+}
+
+/// `prop_assert!` specialized to inequality, printing both operands.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "{}\n  both: {:?}",
+            ::std::format!($($fmt)+), left,
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

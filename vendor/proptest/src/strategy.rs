@@ -1,0 +1,325 @@
+//! The `Strategy` trait and the combinators the test suites use.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike the real crate there is no value tree: generation is direct and
+/// shrinking is absent, so a strategy is just a deterministic function of
+/// the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (regenerating otherwise).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Build recursive structures: `self` generates leaves, and `recurse`
+    /// wraps an inner strategy into one more nesting level, applied up to
+    /// `depth` times. The size-tuning parameters of the real crate are
+    /// accepted but ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(strat).boxed();
+            let leaf = leaf.clone();
+            // Mix leaves back in so generated values span all depths
+            // rather than always nesting `depth` levels.
+            strat = BoxedStrategy::from_fn(move |rng| {
+                if rng.below(4) == 0 {
+                    leaf.gen_value(rng)
+                } else {
+                    branch.gen_value(rng)
+                }
+            });
+        }
+        strat
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.gen_value(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a plain generation function.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy {
+            generate: Rc::new(f),
+        }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generate: Rc::clone(&self.generate),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let value = self.inner.gen_value(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter rejected 10000 consecutive values: {}",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between strategies; what `prop_oneof!` builds.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len());
+        self.arms[arm].gen_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                assert!(lo < hi, "strategy range is empty");
+                let span = (hi - lo) as u128;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi - lo) as u128 + 1;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($field:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($field: Strategy),+> Strategy for ($($field,)+) {
+            type Value = ($($field::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($field,)+) = self;
+                ($($field.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategies from a regex-like pattern (see [`crate::string`]).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strat = (0i64..6, 1usize..=3).prop_map(|(a, b)| a as usize + b);
+        for _ in 0..200 {
+            let v = strat.gen_value(&mut rng);
+            assert!((1..=8).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let mut rng = TestRng::deterministic("union");
+        let strat = Union::new(vec![Just(1).boxed(), Just(2).boxed(), Just(3).boxed()]);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.gen_value(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn filter_respects_predicate() {
+        let mut rng = TestRng::deterministic("filter");
+        let strat = (0i64..100).prop_filter("even only", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(strat.gen_value(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary_depth() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::deterministic("recursive");
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            let t = strat.gen_value(&mut rng);
+            let d = depth(&t);
+            assert!(d <= 4, "depth={d}");
+            max_depth = max_depth.max(d);
+        }
+        assert!(max_depth >= 2, "never recursed (max_depth={max_depth})");
+    }
+}

@@ -1,0 +1,169 @@
+//! String generation from the regex subset the test suites use.
+//!
+//! Supported syntax: literal characters, `\` escapes, character classes
+//! `[a-z0-9_]` (ranges and literals; `-` first or last is literal), and
+//! the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (unbounded repetition is
+//! capped at 8). Anything fancier panics loudly rather than silently
+//! generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+/// One pattern element: a set of candidate chars plus a repetition range.
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generate a string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = atom.min + rng.below(atom.max - atom.min + 1);
+        for _ in 0..n {
+            out.push(atom.choices[rng.below(atom.choices.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let class = &chars[i + 1..i + close];
+                i += close + 1;
+                parse_class(class, pattern)
+            }
+            '\\' => {
+                i += 2;
+                vec![*chars
+                    .get(i - 1)
+                    .unwrap_or_else(|| panic!("trailing '\\' in pattern {pattern:?}"))]
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!(
+                    "unsupported regex syntax {:?} in pattern {pattern:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn parse_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        !class.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    assert!(
+        class[0] != '^',
+        "negated character class in pattern {pattern:?} is unsupported"
+    );
+    let mut choices = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` range — the `-` must be flanked (not first or last).
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+            for c in lo..=hi {
+                choices.push(c);
+            }
+            i += 3;
+        } else {
+            choices.push(class[i]);
+            i += 1;
+        }
+    }
+    choices
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    const UNBOUNDED_CAP: usize = 8;
+    match chars.get(*i) {
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..*i + close].iter().collect();
+            *i += close + 1;
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier lower bound"),
+                    hi.trim().parse().expect("bad quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn identifier_pattern_generates_identifiers() {
+        let mut rng = TestRng::deterministic("ident");
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!((1..=7).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::deterministic("dash");
+        for _ in 0..100 {
+            let s = generate("[a-z0-9 -]{0,8}", &mut rng);
+            assert!(s.len() <= 8, "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' ' || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+}

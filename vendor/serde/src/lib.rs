@@ -1,0 +1,16 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! the minimal surface it uses: the two trait names and their derive
+//! macros (which expand to nothing — see `vendor/serde_derive`). Replace
+//! the `serde` entry in the root `[workspace.dependencies]` with the
+//! registry crate to restore real serialization.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the minimal surface it needs. The repo only *derives*
+//! `Serialize`/`Deserialize` (nothing serializes at runtime yet), so the
+//! derive macros expand to nothing. Swap the `serde` entry in the root
+//! `[workspace.dependencies]` to the registry crate to restore real
+//! serialization.
+
+use proc_macro::TokenStream;
+
+/// Derive macro for `serde::Serialize`; expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro for `serde::Deserialize`; expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
