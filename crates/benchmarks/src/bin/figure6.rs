@@ -5,13 +5,36 @@
 //! cargo run --release -p birds-benchmarks --bin figure6                  # all panels
 //! cargo run --release -p birds-benchmarks --bin figure6 -- luxuryitems   # one panel
 //! cargo run --release -p birds-benchmarks --bin figure6 -- luxuryitems 1000 10000
+//! cargo run --release -p birds-benchmarks --bin figure6 -- luxuryitems --emit-json
 //! ```
+//!
+//! `--emit-json` additionally writes the measurements to
+//! `BENCH_figure6.json` (see the committed baseline of that name for the
+//! perf trajectory across PRs). `--label <text>` tags the emitted run;
+//! `--out <path>` overrides the output path.
 
-use birds_benchmarks::figure6::{sweep, Figure6View};
+use birds_benchmarks::figure6::{append_run, sweep, to_json, Figure6View};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (views, sizes): (Vec<Figure6View>, Vec<usize>) = match args.split_first() {
+    let mut emit_json = false;
+    let mut label: Option<String> = None;
+    let mut out_path = String::from("BENCH_figure6.json");
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--emit-json" => emit_json = true,
+            "--label" => label = Some(require_value(args.next(), "--label")),
+            "--out" => out_path = require_value(args.next(), "--out"),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}'");
+                std::process::exit(2);
+            }
+            _ => positional.push(arg),
+        }
+    }
+
+    let (views, sizes): (Vec<Figure6View>, Vec<usize>) = match positional.split_first() {
         None => (Figure6View::all().to_vec(), default_sizes()),
         Some((name, rest)) => {
             let view = Figure6View::from_name(name).unwrap_or_else(|| {
@@ -32,13 +55,15 @@ fn main() {
         }
     };
 
+    let mut results: Vec<(Figure6View, Vec<birds_benchmarks::figure6::Figure6Point>)> = Vec::new();
     for view in views {
         println!("== {} ==", view.name());
         println!(
             "{:>10} {:>16} {:>16} {:>8}",
             "base size", "original (ms)", "incremental (ms)", "speedup"
         );
-        for p in sweep(view, &sizes) {
+        let points = sweep(view, &sizes);
+        for p in &points {
             let orig = p.original.as_secs_f64() * 1e3;
             let inc = p.incremental.as_secs_f64() * 1e3;
             println!(
@@ -50,9 +75,47 @@ fn main() {
             );
         }
         println!();
+        results.push((view, points));
+    }
+
+    if emit_json {
+        let label = label.unwrap_or_else(|| "current".to_owned());
+        // Append to an existing trajectory file (the committed baseline
+        // holds runs that cannot be regenerated); start a fresh document
+        // otherwise. An existing file this writer doesn't recognize is
+        // left untouched.
+        let json = match std::fs::read_to_string(&out_path) {
+            Ok(existing) => match append_run(&existing, &label, &results) {
+                Some(merged) => merged,
+                None => {
+                    eprintln!(
+                        "refusing to overwrite {out_path}: not a figure6 \
+                         trajectory document (use --out for a fresh file)"
+                    );
+                    std::process::exit(1);
+                }
+            },
+            // Only a genuinely absent file starts a fresh document; any
+            // other read failure (permissions, non-UTF-8 corruption) must
+            // not clobber what's there.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => to_json(&label, &results),
+            Err(e) => {
+                eprintln!("cannot read {out_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        std::fs::write(&out_path, json).expect("write benchmark JSON");
+        println!("wrote {out_path}");
     }
 }
 
 fn default_sizes() -> Vec<usize> {
     vec![1_000, 10_000, 100_000, 300_000, 1_000_000]
+}
+
+fn require_value(v: Option<String>, flag: &str) -> String {
+    v.unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
 }

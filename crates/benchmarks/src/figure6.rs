@@ -154,6 +154,95 @@ pub fn sweep(view: Figure6View, sizes: &[usize]) -> Vec<Figure6Point> {
         .collect()
 }
 
+/// Render one measured run as a JSON object (indented as an element of
+/// the document's `"runs"` array).
+pub fn run_json(label: &str, results: &[(Figure6View, Vec<Figure6Point>)]) -> String {
+    let mut out = String::from("    {\n");
+    out.push_str(&format!("      \"label\": \"{}\",\n", escape(label)));
+    out.push_str("      \"views\": [\n");
+    for (vi, (view, points)) in results.iter().enumerate() {
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"view\": \"{}\",\n", view.name()));
+        out.push_str("          \"points\": [\n");
+        for (pi, p) in points.iter().enumerate() {
+            let orig = p.original.as_secs_f64() * 1e3;
+            let inc = p.incremental.as_secs_f64() * 1e3;
+            out.push_str(&format!(
+                "            {{\"base_size\": {}, \"original_ms\": {:.3}, \
+                 \"incremental_ms\": {:.3}, \"speedup\": {:.1}}}{}\n",
+                p.base_size,
+                orig,
+                inc,
+                orig / inc.max(1e-9),
+                if pi + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("          ]\n");
+        out.push_str(&format!(
+            "        }}{}\n",
+            if vi + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }");
+    out
+}
+
+/// Render measured panels as a complete single-run JSON document for the
+/// `BENCH_figure6.json` perf trajectory. Hand-rolled writer: the offline
+/// `serde` stub has no serializer, and the schema is four fields deep.
+pub fn to_json(label: &str, results: &[(Figure6View, Vec<Figure6Point>)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"figure6\",\n");
+    out.push_str("  \"unit\": \"ms\",\n");
+    out.push_str("  \"runs\": [\n");
+    out.push_str(&run_json(label, results));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Append a run to an existing `BENCH_figure6.json` document, preserving
+/// every earlier run (the committed file carries the hand-transcribed
+/// pre-PR baseline, which is not regenerable). Tolerates reformatting:
+/// any document that identifies itself as a figure6 benchmark and ends
+/// with `] }` (modulo whitespace) is accepted. Returns `None` otherwise —
+/// the caller should then refuse to clobber the file.
+pub fn append_run(
+    existing: &str,
+    label: &str,
+    results: &[(Figure6View, Vec<Figure6Point>)],
+) -> Option<String> {
+    if !existing.contains("\"benchmark\"") || !existing.contains("figure6") {
+        return None;
+    }
+    // Peel the closing `}` of the document and the `]` of the runs array,
+    // whatever whitespace/line endings surround them.
+    let prefix = existing.trim_end().strip_suffix('}')?;
+    let prefix = prefix.trim_end().strip_suffix(']')?;
+    let body = prefix.trim_end();
+    // Empty runs array (`"runs": [`) needs no separating comma.
+    let sep = if body.ends_with('[') { "" } else { "," };
+    Some(format!(
+        "{body}{sep}\n{}\n  ]\n}}\n",
+        run_json(label, results)
+    ))
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +306,34 @@ mod tests {
             assert_eq!(Figure6View::from_name(v.name()), Some(v));
         }
         assert_eq!(Figure6View::from_name("nope"), None);
+    }
+
+    #[test]
+    fn json_emission_is_well_formed() {
+        let points = sweep(Figure6View::Luxuryitems, &[50]);
+        let json = to_json("test \"run\"", &[(Figure6View::Luxuryitems, points)]);
+        assert!(json.contains("\"benchmark\": \"figure6\""));
+        assert!(json.contains("\"view\": \"luxuryitems\""));
+        assert!(json.contains("\"base_size\": 50"));
+        assert!(json.contains("test \\\"run\\\""), "labels are escaped");
+        // Balanced braces/brackets (cheap well-formedness check).
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn append_preserves_existing_runs() {
+        let points = sweep(Figure6View::Luxuryitems, &[50]);
+        let doc = to_json("first", &[(Figure6View::Luxuryitems, points.clone())]);
+        let merged = append_run(&doc, "second", &[(Figure6View::Luxuryitems, points)])
+            .expect("writer output is recognized");
+        assert!(merged.contains("\"label\": \"first\""));
+        assert!(merged.contains("\"label\": \"second\""));
+        let opens = merged.matches(['{', '[']).count();
+        let closes = merged.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+        // Unrecognized content is refused, not clobbered.
+        assert!(append_run("not json", "x", &[]).is_none());
     }
 }

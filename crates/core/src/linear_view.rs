@@ -285,7 +285,7 @@ fn canonicalize_piece(
                     map.insert(x.clone(), yj);
                 }
             }
-            Term::Const(c) => eqs.push(Formula::eq(yj, Term::Const(c.clone()))),
+            Term::Const(c) => eqs.push(Formula::eq(yj, Term::Const(*c))),
         }
     }
     let psi = psi.substitute(&map, fresh);

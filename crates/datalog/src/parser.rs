@@ -222,7 +222,7 @@ impl Parser {
             Some(Token::Underscore) => Ok(self.fresh_anon()),
             Some(Token::Int(i)) => Ok(Term::Const(Value::Int(i))),
             Some(Token::Float(x)) => Ok(Term::Const(Value::float(x))),
-            Some(Token::Str(s)) => Ok(Term::Const(Value::Str(s))),
+            Some(Token::Str(s)) => Ok(Term::Const(Value::str(s))),
             Some(Token::True) => Ok(Term::Const(Value::Bool(true))),
             Some(Token::Minus) => match self.bump() {
                 Some(Token::Int(i)) => Ok(Term::Const(Value::Int(-i))),

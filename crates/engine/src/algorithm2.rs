@@ -94,14 +94,14 @@ fn statement_effect(
                         schema.name
                     ))
                 })?;
-                assignments.push((idx, value.clone()));
+                assignments.push((idx, *value));
             }
             let updated: Vec<Tuple> = matching
                 .iter()
                 .map(|t| {
                     let mut vals = t.values().to_vec();
                     for (idx, v) in &assignments {
-                        vals[*idx] = v.clone();
+                        vals[*idx] = *v;
                     }
                     Tuple::new(vals)
                 })
@@ -144,10 +144,10 @@ fn matching_tuples(
     // Fall back to any single indexed equality column, filtering the rest.
     let partial_index = eq_cols.iter().find(|&&c| view.has_index(&[c])).copied();
     if full_index {
-        let key: Vec<&Value> = resolved
+        let key: Vec<Value> = resolved
             .iter()
             .filter(|(_, c)| c.op == birds_datalog::CmpOp::Eq && !c.negated)
-            .map(|(_, c)| &c.value)
+            .map(|(_, c)| c.value)
             .collect();
         out.extend(
             view.probe(&eq_cols, &key)
@@ -158,7 +158,7 @@ fn matching_tuples(
         let key = resolved
             .iter()
             .find(|(i, c)| *i == col && c.op == birds_datalog::CmpOp::Eq && !c.negated)
-            .map(|(_, c)| &c.value)
+            .map(|(_, c)| c.value)
             .expect("col came from eq_cols");
         out.extend(
             view.probe(&[col], &[key])

@@ -1,5 +1,5 @@
 //! Evaluation context: a base database plus an overlay of temporary
-//! relations.
+//! relations, plus a plan cache.
 //!
 //! The putback transformation evaluates over the *pair* `(S, V)` of source
 //! database and (updated) view (paper §3.1); the engine additionally feeds
@@ -9,22 +9,71 @@
 //! view, view deltas, intermediate IDB results) on top of a borrowed base
 //! database. Lookups hit the overlay first; the base is only mutated to
 //! build indexes.
+//!
+//! Rule plans are served through the context as well ([`EvalContext::plan_for`]).
+//! A context created with [`EvalContext::new`] owns a private [`PlanCache`]
+//! (plans are reused within that context's lifetime); the engine instead
+//! lends its session-wide cache via [`EvalContext::with_plan_cache`], so
+//! repeated updates never replan a rule.
 
+use crate::error::EvalResult;
+use crate::plan::{plan_rule, PlanCache, RulePlan};
+use birds_datalog::Rule;
 use birds_store::{Database, Relation, StoreResult};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// A base database with temporary overlay relations.
+/// Owned-or-borrowed plan cache backing a context.
+enum Plans<'a> {
+    Owned(PlanCache),
+    Shared(&'a mut PlanCache),
+}
+
+/// A base database with temporary overlay relations and a plan cache.
 pub struct EvalContext<'a> {
     base: &'a mut Database,
     overlay: BTreeMap<String, Relation>,
+    plans: Plans<'a>,
 }
 
 impl<'a> EvalContext<'a> {
-    /// Wrap a base database with an empty overlay.
+    /// Wrap a base database with an empty overlay and a fresh private
+    /// plan cache.
     pub fn new(base: &'a mut Database) -> Self {
         EvalContext {
             base,
             overlay: BTreeMap::new(),
+            plans: Plans::Owned(PlanCache::new()),
+        }
+    }
+
+    /// Wrap a base database, sharing a caller-owned plan cache. Plans
+    /// compiled through this context persist in `cache` after the context
+    /// is dropped — this is how the engine amortizes planning across view
+    /// updates.
+    pub fn with_plan_cache(base: &'a mut Database, cache: &'a mut PlanCache) -> Self {
+        EvalContext {
+            base,
+            overlay: BTreeMap::new(),
+            plans: Plans::Shared(cache),
+        }
+    }
+
+    /// The compiled plan for `rule`: cached if available, planned (and
+    /// cached) otherwise.
+    pub fn plan_for(&mut self, rule: &Rule) -> EvalResult<Arc<RulePlan>> {
+        if let Some(plan) = self.plans_mut().get(rule) {
+            return Ok(plan);
+        }
+        let plan = Arc::new(plan_rule(rule, self)?);
+        self.plans_mut().insert(rule, plan.clone());
+        Ok(plan)
+    }
+
+    fn plans_mut(&mut self) -> &mut PlanCache {
+        match &mut self.plans {
+            Plans::Owned(c) => c,
+            Plans::Shared(c) => c,
         }
     }
 
@@ -103,5 +152,17 @@ mod tests {
         ctx.ensure_index("t", &[1]).unwrap();
         assert!(ctx.relation("r").unwrap().has_index(&[0]));
         assert!(ctx.relation("t").unwrap().has_index(&[1]));
+    }
+
+    #[test]
+    fn owned_cache_reuses_plans_within_context() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r", 1, vec![tuple![1]]).unwrap())
+            .unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let rule = birds_datalog::parse_rule("h(X) :- r(X).").unwrap();
+        let p1 = ctx.plan_for(&rule).unwrap();
+        let p2 = ctx.plan_for(&rule).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
     }
 }

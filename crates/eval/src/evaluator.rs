@@ -1,11 +1,17 @@
-//! Stratified bottom-up execution of planned rules.
+//! Stratified bottom-up execution of compiled (slot-based) rule plans.
+//!
+//! Rules are compiled by [`crate::plan`] into steps whose operands are
+//! numeric register slots; execution runs over a flat `Vec<Option<Value>>`
+//! frame. There is no string-keyed binding map, no per-candidate tuple
+//! cloning (probe results are borrowed straight out of the store), and no
+//! per-call replanning — plans come from the context's [`crate::PlanCache`].
 
 use crate::context::EvalContext;
 use crate::error::{EvalError, EvalResult};
-use crate::plan::{plan_rule, RulePlan, StepKind};
-use birds_datalog::{check_nonrecursive, stratify, Head, Literal, PredRef, Program, Rule, Term};
-use birds_store::{Relation, Tuple, Value};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use crate::plan::{AtomStep, HeadTerm, RulePlan, SlotTerm, StepOp};
+use birds_datalog::{check_nonrecursive, stratify, Head, PredRef, Program, Rule};
+use birds_store::{FxHashSet, Relation, Tuple, Value};
+use std::collections::{BTreeMap, HashSet};
 
 /// The IDB relations produced by a program run.
 #[derive(Debug, Default)]
@@ -32,11 +38,11 @@ pub fn evaluate_program(program: &Program, ctx: &mut EvalContext) -> EvalResult<
         let arity = program
             .arity_of(pred)
             .ok_or_else(|| EvalError::BadProgram(format!("no arity for {pred}")))?;
-        let mut result: HashSet<Tuple> = HashSet::new();
+        let mut result: FxHashSet<Tuple> = FxHashSet::default();
         for rule in program.rules_for(pred) {
-            eval_rule_into(rule, ctx, &mut result, false)?;
+            eval_rule_into(rule, ctx, &mut result)?;
         }
-        let rel = Relation::with_tuples(pred.flat_name(), arity, result)?;
+        let rel = Relation::from_set(pred.flat_name(), arity, result)?;
         ctx.insert_overlay(rel);
     }
 
@@ -65,6 +71,8 @@ pub fn evaluate_query(
 /// Evaluate the program's integrity constraints: returns every `⊥` rule
 /// whose body is satisfiable in the current context. IDB relations the
 /// constraints depend on are computed first (and left in the overlay).
+/// Each constraint check stops at its *first* witness — nothing is
+/// materialized just to test non-emptiness.
 pub fn violated_constraints(program: &Program, ctx: &mut EvalContext) -> EvalResult<Vec<Rule>> {
     // Materialize IDB support (e.g. a constraint over an intermediate
     // predicate).
@@ -74,38 +82,60 @@ pub fn violated_constraints(program: &Program, ctx: &mut EvalContext) -> EvalRes
     }
     let mut violated = Vec::new();
     for rule in program.constraints() {
-        let mut found: HashSet<Tuple> = HashSet::new();
-        eval_rule_into(rule, ctx, &mut found, true)?;
-        if !found.is_empty() {
+        if rule_has_witness(rule, ctx)? {
             violated.push(rule.clone());
         }
     }
     Ok(violated)
 }
 
-/// Evaluate one rule, inserting derived head tuples into `out`.
-/// With `stop_at_first`, stops after one derivation (constraint checking).
-pub fn eval_rule_into(
+/// Does `rule`'s body have at least one satisfying assignment? Execution
+/// unwinds at the first derivation; no result set is built. This is the
+/// primitive behind constraint checking.
+pub fn rule_has_witness(rule: &Rule, ctx: &mut EvalContext) -> EvalResult<bool> {
+    let mut found = false;
+    eval_rule(rule, ctx, &mut |_t| {
+        found = true;
+        false // stop
+    })?;
+    Ok(found)
+}
+
+/// Evaluate one rule, inserting derived head tuples into `out`. (To test
+/// satisfiability without materializing results, use [`rule_has_witness`].)
+pub fn eval_rule_into<S: std::hash::BuildHasher>(
     rule: &Rule,
     ctx: &mut EvalContext,
-    out: &mut HashSet<Tuple>,
-    stop_at_first: bool,
+    out: &mut HashSet<Tuple, S>,
+) -> EvalResult<()> {
+    eval_rule(rule, ctx, &mut |t| {
+        out.insert(t);
+        true
+    })
+}
+
+/// Core rule execution: feed every derived head tuple to `sink` until the
+/// sink returns `false` (stop) or derivations are exhausted.
+fn eval_rule(
+    rule: &Rule,
+    ctx: &mut EvalContext,
+    sink: &mut dyn FnMut(Tuple) -> bool,
 ) -> EvalResult<()> {
     // Facts: ground head, empty body.
     if rule.body.is_empty() {
         match &rule.head {
             Head::Atom(a) => {
-                let t: Option<Vec<Value>> = a.terms.iter().map(|t| t.as_const().cloned()).collect();
+                let t: Option<Vec<Value>> = a.terms.iter().map(|t| t.as_const().copied()).collect();
                 let t = t.ok_or_else(|| EvalError::UnsafeRule {
                     rule: rule.to_string(),
                     variable: "head of fact".into(),
                 })?;
-                out.insert(Tuple::new(t));
+                sink(Tuple::new(t));
             }
             Head::Bottom => {
                 // `⊥.` — an always-violated constraint; represent by a
                 // nullary witness.
-                out.insert(Tuple::new(vec![]));
+                sink(Tuple::new(vec![]));
             }
         }
         return Ok(());
@@ -128,228 +158,163 @@ pub fn eval_rule_into(
         }
     }
 
-    let plan = plan_rule(rule, ctx)?;
+    let plan = ctx.plan_for(rule)?;
     for (name, cols) in &plan.index_requests {
         ctx.ensure_index(name, cols)?;
     }
-    let mut bindings: HashMap<&str, Value> = HashMap::new();
-    step(rule, &plan, 0, ctx, &mut bindings, out, stop_at_first)
-}
-
-/// Resolve a term under the current bindings.
-fn resolve<'a>(t: &'a Term, bindings: &'a HashMap<&str, Value>) -> Option<&'a Value> {
-    match t {
-        Term::Const(v) => Some(v),
-        Term::Var(name) => bindings.get(name.as_str()),
-    }
-}
-
-/// Instantiate the head atom once all its variables are bound.
-fn emit(rule: &Rule, bindings: &HashMap<&str, Value>, out: &mut HashSet<Tuple>) -> EvalResult<()> {
-    match &rule.head {
-        Head::Atom(a) => {
-            let mut vals = Vec::with_capacity(a.terms.len());
-            for t in &a.terms {
-                let v = resolve(t, bindings).ok_or_else(|| EvalError::UnsafeRule {
-                    rule: rule.to_string(),
-                    variable: t.to_string(),
-                })?;
-                vals.push(v.clone());
-            }
-            out.insert(Tuple::new(vals));
-        }
-        Head::Bottom => {
-            out.insert(Tuple::new(vec![]));
-        }
-    }
+    let mut frame: Vec<Option<Value>> = vec![None; plan.nslots];
+    // One probe-key scratch buffer for the whole rule execution: filled,
+    // consumed by the store call, and cleared at every atom step instead
+    // of allocating a key vector per candidate tuple.
+    let mut scratch: Vec<Value> = Vec::new();
+    step(rule, &plan, 0, ctx, &mut frame, &mut scratch, sink)?;
     Ok(())
 }
 
-/// Recursive execution of plan steps. Returns `Ok(())`; `out` accumulates
-/// results. With `stop_at_first`, unwinds as soon as `out` is nonempty.
+/// Resolve a compiled operand against the frame. Slots referenced by a
+/// plan are bound before they are read — the planner places every step
+/// after the steps that bind its operands.
+#[inline]
+fn resolve(t: &SlotTerm, frame: &[Option<Value>]) -> Value {
+    match t {
+        SlotTerm::Const(v) => *v,
+        SlotTerm::Slot(s) => frame[*s].expect("slot bound by an earlier step"),
+    }
+}
+
+/// Instantiate the compiled head template from the frame.
+fn emit(
+    rule: &Rule,
+    plan: &RulePlan,
+    frame: &[Option<Value>],
+    sink: &mut dyn FnMut(Tuple) -> bool,
+) -> EvalResult<bool> {
+    let tuple = match &plan.head {
+        None => Tuple::new(vec![]),
+        Some(terms) => {
+            let mut vals = Vec::with_capacity(terms.len());
+            for t in terms {
+                match t {
+                    HeadTerm::Const(v) => vals.push(*v),
+                    HeadTerm::Slot(s) => {
+                        vals.push(frame[*s].expect("head slots bound by the body"))
+                    }
+                    HeadTerm::Unbound(name) => {
+                        return Err(EvalError::UnsafeRule {
+                            rule: rule.to_string(),
+                            variable: name.clone(),
+                        })
+                    }
+                }
+            }
+            Tuple::new(vals)
+        }
+    };
+    Ok(sink(tuple))
+}
+
+/// Fill `scratch` with the probe key for an atom step. Leaves it empty
+/// when the step scans (no bound columns).
+#[inline]
+fn fill_probe_key(a: &AtomStep, frame: &[Option<Value>], scratch: &mut Vec<Value>) {
+    scratch.clear();
+    scratch.extend(a.probe_key.iter().map(|t| resolve(t, frame)));
+}
+
+/// Existence test for a (possibly partially anonymous) atom with all
+/// named variables bound.
+fn atom_exists(
+    a: &AtomStep,
+    rel: &Relation,
+    frame: &[Option<Value>],
+    scratch: &mut Vec<Value>,
+) -> bool {
+    if a.probe_cols.is_empty() {
+        return !rel.is_empty();
+    }
+    fill_probe_key(a, frame, scratch);
+    if a.full_probe {
+        // Every position bound -> plain set membership, straight off the
+        // scratch slice (no Tuple allocation).
+        return rel.contains_row(scratch);
+    }
+    rel.probe(&a.probe_cols, scratch).next().is_some()
+}
+
+/// Recursive execution of plan steps. Returns `Ok(true)` to continue
+/// enumerating derivations, `Ok(false)` once the sink asks to stop.
 #[allow(clippy::too_many_arguments)]
-fn step<'r>(
-    rule: &'r Rule,
+fn step(
+    rule: &Rule,
     plan: &RulePlan,
     idx: usize,
     ctx: &EvalContext,
-    bindings: &mut HashMap<&'r str, Value>,
-    out: &mut HashSet<Tuple>,
-    stop_at_first: bool,
-) -> EvalResult<()> {
-    if stop_at_first && !out.is_empty() {
-        return Ok(());
-    }
+    frame: &mut Vec<Option<Value>>,
+    scratch: &mut Vec<Value>,
+    sink: &mut dyn FnMut(Tuple) -> bool,
+) -> EvalResult<bool> {
     let Some(s) = plan.steps.get(idx) else {
-        return emit(rule, bindings, out);
+        return emit(rule, plan, frame, sink);
     };
-    let lit = &rule.body[s.literal];
-    match (&s.kind, lit) {
-        (StepKind::Join, Literal::Atom { atom, .. }) => {
-            let flat = atom.pred.flat_name();
+    match &s.op {
+        StepOp::Scan(a) => {
             let rel = ctx
-                .relation(&flat)
-                .ok_or_else(|| EvalError::UnknownRelation(flat.clone()))?;
-            let matches = probe_atom(rel, &atom.terms, &s.probe_cols, bindings);
-            // Collect matches to avoid holding a borrow of ctx across the
-            // recursive call (bindings mutation is local anyway).
-            let matches: Vec<Tuple> = matches.cloned().collect();
+                .relation(&a.rel)
+                .ok_or_else(|| EvalError::UnknownRelation(a.rel.clone()))?;
+            let matches: Box<dyn Iterator<Item = &Tuple>> = if a.probe_cols.is_empty() {
+                Box::new(rel.iter())
+            } else {
+                fill_probe_key(a, frame, scratch);
+                rel.probe(&a.probe_cols, scratch)
+            };
+            // Fresh binds are overwritten on every candidate and only read
+            // by deeper steps, so no unbinding happens on backtrack.
             'tuples: for tuple in matches {
-                let mut newly_bound: Vec<&'r str> = Vec::new();
-                for (i, term) in atom.terms.iter().enumerate() {
-                    match term {
-                        Term::Const(c) => {
-                            if &tuple[i] != c {
-                                unbind(bindings, &newly_bound);
-                                continue 'tuples;
-                            }
-                        }
-                        Term::Var(v) => {
-                            if term.is_anonymous() {
-                                continue;
-                            }
-                            match bindings.get(v.as_str()) {
-                                Some(bv) => {
-                                    if bv != &tuple[i] {
-                                        unbind(bindings, &newly_bound);
-                                        continue 'tuples;
-                                    }
-                                }
-                                None => {
-                                    bindings.insert(v.as_str(), tuple[i].clone());
-                                    newly_bound.push(v.as_str());
-                                }
-                            }
-                        }
+                for &(col, slot) in &a.bind {
+                    frame[slot] = Some(tuple[col]);
+                }
+                for &(col, slot) in &a.check {
+                    if frame[slot] != Some(tuple[col]) {
+                        continue 'tuples;
                     }
                 }
-                step(rule, plan, idx + 1, ctx, bindings, out, stop_at_first)?;
-                unbind(bindings, &newly_bound);
-                if stop_at_first && !out.is_empty() {
-                    return Ok(());
+                if !step(rule, plan, idx + 1, ctx, frame, scratch, sink)? {
+                    return Ok(false);
                 }
             }
-            Ok(())
+            Ok(true)
         }
-        (StepKind::ExistsCheck | StepKind::NegCheck, Literal::Atom { atom, .. }) => {
-            let flat = atom.pred.flat_name();
+        StepOp::Check { atom: a, negated } => {
             let rel = ctx
-                .relation(&flat)
-                .ok_or_else(|| EvalError::UnknownRelation(flat.clone()))?;
-            let exists = atom_exists(rel, &atom.terms, &s.probe_cols, bindings)?;
-            let pass = if s.kind == StepKind::NegCheck {
-                !exists
-            } else {
-                exists
-            };
-            if pass {
-                step(rule, plan, idx + 1, ctx, bindings, out, stop_at_first)?;
+                .relation(&a.rel)
+                .ok_or_else(|| EvalError::UnknownRelation(a.rel.clone()))?;
+            if atom_exists(a, rel, frame, scratch) != *negated {
+                return step(rule, plan, idx + 1, ctx, frame, scratch, sink);
             }
-            Ok(())
+            Ok(true)
         }
-        (
-            StepKind::Filter,
-            Literal::Builtin {
-                op,
-                left,
-                right,
-                negated,
-            },
-        ) => {
-            let lv = resolve(left, bindings).ok_or_else(|| EvalError::UnsafeRule {
-                rule: rule.to_string(),
-                variable: left.to_string(),
-            })?;
-            let rv = resolve(right, bindings).ok_or_else(|| EvalError::UnsafeRule {
-                rule: rule.to_string(),
-                variable: right.to_string(),
-            })?;
-            let res = op.eval(lv, rv).ok_or_else(|| EvalError::SortMismatch {
+        StepOp::Compare {
+            op,
+            left,
+            right,
+            negated,
+        } => {
+            let lv = resolve(left, frame);
+            let rv = resolve(right, frame);
+            let res = op.eval(&lv, &rv).ok_or_else(|| EvalError::SortMismatch {
                 rule: rule.to_string(),
                 detail: format!("{lv} {} {rv}", op.symbol()),
             })?;
             if res != *negated {
-                step(rule, plan, idx + 1, ctx, bindings, out, stop_at_first)?;
+                return step(rule, plan, idx + 1, ctx, frame, scratch, sink);
             }
-            Ok(())
+            Ok(true)
         }
-        (StepKind::Bind, Literal::Builtin { left, right, .. }) => {
-            let (var, value) = match (resolve(left, bindings), resolve(right, bindings)) {
-                (Some(v), None) => match right {
-                    Term::Var(name) => (name.as_str(), v.clone()),
-                    _ => unreachable!("planner guarantees unbound side is a variable"),
-                },
-                (None, Some(v)) => match left {
-                    Term::Var(name) => (name.as_str(), v.clone()),
-                    _ => unreachable!("planner guarantees unbound side is a variable"),
-                },
-                (Some(lv), Some(rv)) => {
-                    // Both became bound by the time we run: act as filter.
-                    if lv == rv {
-                        return step(rule, plan, idx + 1, ctx, bindings, out, stop_at_first);
-                    }
-                    return Ok(());
-                }
-                (None, None) => {
-                    return Err(EvalError::UnsafeRule {
-                        rule: rule.to_string(),
-                        variable: left.to_string(),
-                    })
-                }
-            };
-            bindings.insert(var, value);
-            step(rule, plan, idx + 1, ctx, bindings, out, stop_at_first)?;
-            bindings.remove(var);
-            Ok(())
+        StepOp::Assign { slot, value } => {
+            frame[*slot] = Some(resolve(value, frame));
+            step(rule, plan, idx + 1, ctx, frame, scratch, sink)
         }
-        (kind, lit) => Err(EvalError::BadProgram(format!(
-            "plan step {kind:?} does not match literal {lit}"
-        ))),
     }
-}
-
-fn unbind<'r>(bindings: &mut HashMap<&'r str, Value>, names: &[&'r str]) {
-    for n in names {
-        bindings.remove(n);
-    }
-}
-
-/// Probe the relation for tuples matching the atom's bound positions.
-fn probe_atom<'a>(
-    rel: &'a Relation,
-    terms: &[Term],
-    probe_cols: &[usize],
-    bindings: &HashMap<&str, Value>,
-) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
-    if probe_cols.is_empty() {
-        return Box::new(rel.iter());
-    }
-    let key: Vec<&Value> = probe_cols
-        .iter()
-        .map(|&c| resolve(&terms[c], bindings).expect("probe columns are bound"))
-        .collect();
-    rel.probe(probe_cols, &key)
-}
-
-/// Existence test for a (possibly partially anonymous) atom with all named
-/// variables bound.
-fn atom_exists(
-    rel: &Relation,
-    terms: &[Term],
-    probe_cols: &[usize],
-    bindings: &HashMap<&str, Value>,
-) -> EvalResult<bool> {
-    // Fast path: every position bound -> plain set membership.
-    if probe_cols.len() == terms.len() {
-        let vals: Vec<Value> = terms
-            .iter()
-            .map(|t| resolve(t, bindings).expect("all positions bound").clone())
-            .collect();
-        return Ok(rel.contains(&Tuple::new(vals)));
-    }
-    Ok(probe_atom(rel, terms, probe_cols, bindings)
-        .next()
-        .is_some())
 }
 
 #[cfg(test)]
@@ -531,6 +496,21 @@ mod tests {
         .unwrap();
         let mut ctx = EvalContext::new(&mut db);
         assert_eq!(violated_constraints(&program, &mut ctx).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rule_witness_early_exit() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("big", 1, (0..1000_i64).map(|i| tuple![i])).unwrap())
+            .unwrap();
+        let program = parse_program("false :- big(X).").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let rule = program.constraints().next().unwrap();
+        assert!(rule_has_witness(rule, &mut ctx).unwrap());
+        // A body that can never match reports no witness.
+        let none = parse_program("false :- big(X), X > 100000.").unwrap();
+        let rule = none.constraints().next().unwrap();
+        assert!(!rule_has_witness(rule, &mut ctx).unwrap());
     }
 
     #[test]

@@ -19,5 +19,7 @@ pub mod plan;
 pub use context::EvalContext;
 pub use error::{EvalError, EvalResult};
 pub use evaluator::{
-    eval_rule_into, evaluate_program, evaluate_query, violated_constraints, EvalOutput,
+    eval_rule_into, evaluate_program, evaluate_query, rule_has_witness, violated_constraints,
+    EvalOutput,
 };
+pub use plan::{plan_rule, PlanCache, RulePlan};

@@ -1,4 +1,4 @@
-//! Greedy join planning for a single rule.
+//! Greedy join planning for a single rule, compiled down to register slots.
 //!
 //! The planner orders body literals so that:
 //!
@@ -11,16 +11,28 @@
 //!    delta relation starts its join there, giving the `O(|Δ|)` behaviour
 //!    the incrementalized strategies rely on (paper §5 / Figure 6).
 //!
+//! Beyond ordering, planning **resolves every variable to a numeric
+//! register slot**. Because steps execute in plan order, whether a
+//! variable is bound at a given step is decided entirely at plan time, so
+//! the compiled [`Step`]s carry slot numbers instead of variable names:
+//! the evaluator runs over a flat `Vec<Option<Value>>` frame with no
+//! string hashing and no per-binding map operations. Plans are immutable
+//! and cacheable (see [`PlanCache`]) — a rule is planned once per engine
+//! session and re-executed from its compiled form on every subsequent
+//! update.
+//!
 //! Planning also records which `(relation, columns)` hash indexes the
 //! execution will probe so the evaluator can build them up front.
 
 use crate::context::EvalContext;
 use crate::error::{EvalError, EvalResult};
-use birds_datalog::{CmpOp, Literal, Rule, Term};
-use std::collections::BTreeSet;
+use birds_datalog::{Atom, CmpOp, Head, Literal, Rule, Term};
+use std::collections::HashMap;
+use std::sync::Arc;
 
-/// How a planned literal will be executed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// How a planned literal will be executed (derived from [`StepOp`] — see
+/// [`Step::kind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepKind {
     /// Positive atom that binds at least one new variable: iterate probe
     /// results.
@@ -32,8 +44,94 @@ pub enum StepKind {
     NegCheck,
     /// Builtin filter (comparison, or equality with both sides bound).
     Filter,
-    /// Positive equality that assigns a value to an unbound variable.
+    /// Positive equality that assigns a value to an unbound register slot.
     Bind,
+}
+
+/// A compile-time-resolved operand: a constant, or a register slot that is
+/// guaranteed (by plan construction) to be bound when the operand is read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotTerm {
+    /// A literal constant.
+    Const(birds_store::Value),
+    /// A register slot, bound by an earlier step.
+    Slot(usize),
+}
+
+/// One term position of a compiled head atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeadTerm {
+    /// A literal constant.
+    Const(birds_store::Value),
+    /// A register slot bound by the body.
+    Slot(usize),
+    /// A head variable the body never binds. Kept (rather than rejected at
+    /// plan time) so emission reports the same `UnsafeRule` error the
+    /// string-keyed evaluator produced — and only when a derivation
+    /// actually reaches the head.
+    Unbound(String),
+}
+
+/// Compiled form of an atom literal (`Join`, `ExistsCheck`, `NegCheck`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomStep {
+    /// Flat name of the relation to read.
+    pub rel: String,
+    /// Argument positions that are bound (constant or bound slot) at this
+    /// point — the index probe columns.
+    pub probe_cols: Vec<usize>,
+    /// Probe key sources, parallel to `probe_cols`.
+    pub probe_key: Vec<SlotTerm>,
+    /// `(column, slot)` pairs for fresh variable bindings (`Join` only):
+    /// the column's value is written into the slot for each candidate
+    /// tuple.
+    pub bind: Vec<(usize, usize)>,
+    /// `(column, slot)` equality checks for variables repeated *within*
+    /// this atom (the slot is freshly bound by an earlier entry of
+    /// `bind`).
+    pub check: Vec<(usize, usize)>,
+    /// `true` when `probe_cols` covers every argument position, enabling
+    /// the full-tuple `contains` fast path for existence checks.
+    pub full_probe: bool,
+    /// Arity of the atom (number of argument positions).
+    pub arity: usize,
+}
+
+/// The operation a step performs, with all operands slot-resolved. The
+/// execution mode is part of the variant, so a plan cannot pair an atom
+/// payload with a builtin mode (or vice versa) — there is no defensive
+/// mismatch arm in the evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOp {
+    /// Positive atom that binds at least one new variable: iterate probe
+    /// results (`Join`).
+    Scan(AtomStep),
+    /// Atom with every named variable bound: (non-)existence probe
+    /// (`ExistsCheck` / `NegCheck`).
+    Check {
+        /// The compiled atom.
+        atom: AtomStep,
+        /// `true` for `not p(~t)` — pass on *absence*.
+        negated: bool,
+    },
+    /// Builtin comparison over two resolved operands (`Filter`).
+    Compare {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        left: SlotTerm,
+        /// Right operand.
+        right: SlotTerm,
+        /// `true` for the negated form.
+        negated: bool,
+    },
+    /// Grounding equality: write `value` into `slot` (`Bind`).
+    Assign {
+        /// Destination register.
+        slot: usize,
+        /// Source operand (constant or earlier-bound slot).
+        value: SlotTerm,
+    },
 }
 
 /// One step of a rule plan: which body literal to run and how.
@@ -41,67 +139,223 @@ pub enum StepKind {
 pub struct Step {
     /// Index into `rule.body`.
     pub literal: usize,
-    /// Execution mode.
-    pub kind: StepKind,
-    /// For atom steps: argument positions that are bound (constant or
-    /// bound variable) at this point — the index probe columns.
-    pub probe_cols: Vec<usize>,
+    /// The compiled operation.
+    pub op: StepOp,
 }
 
-/// A complete plan for one rule.
+impl Step {
+    /// The execution mode of this step (derived from the operation).
+    pub fn kind(&self) -> StepKind {
+        match &self.op {
+            StepOp::Scan(_) => StepKind::Join,
+            StepOp::Check { negated: false, .. } => StepKind::ExistsCheck,
+            StepOp::Check { negated: true, .. } => StepKind::NegCheck,
+            StepOp::Compare { .. } => StepKind::Filter,
+            StepOp::Assign { .. } => StepKind::Bind,
+        }
+    }
+
+    /// For atom steps: the bound argument positions used as probe
+    /// columns. Empty for builtin steps.
+    pub fn probe_cols(&self) -> &[usize] {
+        match &self.op {
+            StepOp::Scan(a) | StepOp::Check { atom: a, .. } => &a.probe_cols,
+            _ => &[],
+        }
+    }
+}
+
+/// A complete compiled plan for one rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RulePlan {
     /// Ordered steps covering every body literal exactly once.
     pub steps: Vec<Step>,
+    /// Compiled head template; `None` for `⊥` heads (constraints emit a
+    /// nullary witness).
+    pub head: Option<Vec<HeadTerm>>,
+    /// Number of register slots the frame needs.
+    pub nslots: usize,
     /// `(relation flat name, columns)` indexes the plan will probe.
     pub index_requests: Vec<(String, Vec<usize>)>,
 }
 
-/// Positions of an atom's terms that are bound given `bound` variables.
-/// Anonymous variables are never bound.
-fn bound_positions(terms: &[Term], bound: &BTreeSet<String>) -> Vec<usize> {
+/// A cache of compiled [`RulePlan`]s keyed by rule identity (structural
+/// equality of the [`Rule`] AST).
+///
+/// The engine owns one cache per session and threads it through every
+/// [`EvalContext`] it creates, so `put` over repeated deltas — the Figure 6
+/// loop — plans each rule exactly once: the registration-time warm-up pays
+/// the planning cost, and every subsequent update replays compiled plans.
+/// Hit/miss counters are exposed for tests and diagnostics.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<Rule, Arc<RulePlan>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct rules with a compiled plan.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` when no plan has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that had to plan.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop every compiled plan (counters are kept). Join orders are
+    /// pinned against the relation sizes seen at planning time; after a
+    /// bulk load that changes base-table sizes by orders of magnitude,
+    /// clearing the cache lets the greedy planner re-derive orders on the
+    /// next evaluation.
+    pub fn clear(&mut self) {
+        self.plans.clear();
+    }
+
+    pub(crate) fn get(&mut self, rule: &Rule) -> Option<Arc<RulePlan>> {
+        match self.plans.get(rule) {
+            Some(p) => {
+                self.hits += 1;
+                Some(p.clone())
+            }
+            None => None,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, rule: &Rule, plan: Arc<RulePlan>) {
+        self.misses += 1;
+        self.plans.insert(rule.clone(), plan);
+    }
+}
+
+/// Variable-to-slot assignment built up during planning. Slots are handed
+/// out in binding order; anonymous variables can receive slots (a
+/// grounding equality may bind one) but never count as probe columns,
+/// matching the string-keyed evaluator's semantics.
+#[derive(Default)]
+struct SlotMap {
+    slots: HashMap<String, usize>,
+}
+
+impl SlotMap {
+    fn get(&self, var: &str) -> Option<usize> {
+        self.slots.get(var).copied()
+    }
+
+    fn bind(&mut self, var: &str) -> usize {
+        let next = self.slots.len();
+        *self.slots.entry(var.to_owned()).or_insert(next)
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Positions of an atom's terms that are bound (constant or bound
+/// variable) given the current slot assignment. Anonymous variables are
+/// never bound.
+fn bound_positions(terms: &[Term], slots: &SlotMap) -> Vec<usize> {
     terms
         .iter()
         .enumerate()
         .filter(|(_, t)| match t {
             Term::Const(_) => true,
-            Term::Var(v) => !t.is_anonymous() && bound.contains(v),
+            Term::Var(v) => !t.is_anonymous() && slots.get(v).is_some(),
         })
         .map(|(i, _)| i)
         .collect()
 }
 
-/// Is `t` resolvable (a constant or a bound variable)?
-fn resolvable(t: &Term, bound: &BTreeSet<String>) -> bool {
+/// Resolve a term to a compiled operand, if possible.
+fn slot_term(t: &Term, slots: &SlotMap) -> Option<SlotTerm> {
     match t {
-        Term::Const(_) => true,
-        Term::Var(v) => bound.contains(v),
+        Term::Const(v) => Some(SlotTerm::Const(*v)),
+        Term::Var(v) => slots.get(v).map(SlotTerm::Slot),
+    }
+}
+
+/// Compile an atom into an [`AtomStep`]. `probe_cols` are the bound
+/// positions; for `Join` steps the remaining named positions become fresh
+/// binds (first occurrence) or intra-atom equality checks (repeats).
+fn compile_atom(atom: &Atom, probe_cols: Vec<usize>, slots: &mut SlotMap, join: bool) -> AtomStep {
+    let probe_key: Vec<SlotTerm> = probe_cols
+        .iter()
+        .map(|&c| slot_term(&atom.terms[c], slots).expect("probe columns are bound"))
+        .collect();
+    let mut bind = Vec::new();
+    let mut check = Vec::new();
+    if join {
+        let mut fresh: HashMap<&str, usize> = HashMap::new();
+        for (i, term) in atom.terms.iter().enumerate() {
+            if probe_cols.contains(&i) {
+                continue;
+            }
+            match term {
+                Term::Const(_) => unreachable!("constants are always probe columns"),
+                Term::Var(v) => {
+                    if term.is_anonymous() {
+                        continue;
+                    }
+                    match fresh.get(v.as_str()) {
+                        Some(&slot) => check.push((i, slot)),
+                        None => {
+                            let slot = slots.bind(v);
+                            fresh.insert(v.as_str(), slot);
+                            bind.push((i, slot));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    AtomStep {
+        rel: atom.pred.flat_name(),
+        full_probe: probe_cols.len() == atom.terms.len(),
+        arity: atom.terms.len(),
+        probe_cols,
+        probe_key,
+        bind,
+        check,
     }
 }
 
 /// Plan a rule against the current context (relation sizes drive the
 /// greedy choice; all body relations must already exist).
 pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
-    let mut bound: BTreeSet<String> = BTreeSet::new();
+    let mut slots = SlotMap::default();
     let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
-    let mut steps = Vec::new();
+    let mut steps: Vec<Step> = Vec::with_capacity(rule.body.len());
     let mut index_requests = Vec::new();
 
     let push_atom_step = |literal: usize,
-                          kind: StepKind,
-                          flat: String,
-                          arity: usize,
-                          probe_cols: Vec<usize>,
+                          op: StepOp,
                           steps: &mut Vec<Step>,
                           index_requests: &mut Vec<(String, Vec<usize>)>| {
-        if !probe_cols.is_empty() && probe_cols.len() < arity {
-            index_requests.push((flat, probe_cols.clone()));
+        let (StepOp::Scan(a) | StepOp::Check { atom: a, .. }) = &op else {
+            unreachable!("push_atom_step only takes atom operations");
+        };
+        if !a.probe_cols.is_empty() && a.probe_cols.len() < a.arity {
+            index_requests.push((a.rel.clone(), a.probe_cols.clone()));
         }
-        steps.push(Step {
-            literal,
-            kind,
-            probe_cols,
-        });
+        steps.push(Step { literal, op });
     };
 
     while !remaining.is_empty() {
@@ -116,21 +370,17 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
                     Literal::Atom { atom, negated } => {
                         let named_vars_bound = atom.terms.iter().all(|t| match t {
                             Term::Const(_) => true,
-                            Term::Var(v) => t.is_anonymous() || bound.contains(v),
+                            Term::Var(v) => t.is_anonymous() || slots.get(v).is_some(),
                         });
                         if named_vars_bound {
-                            let cols = bound_positions(&atom.terms, &bound);
-                            let kind = if *negated {
-                                StepKind::NegCheck
-                            } else {
-                                StepKind::ExistsCheck
-                            };
+                            let cols = bound_positions(&atom.terms, &slots);
+                            let compiled = compile_atom(atom, cols, &mut slots, false);
                             push_atom_step(
                                 li,
-                                kind,
-                                atom.pred.flat_name(),
-                                atom.arity(),
-                                cols,
+                                StepOp::Check {
+                                    atom: compiled,
+                                    negated: *negated,
+                                },
                                 &mut steps,
                                 &mut index_requests,
                             );
@@ -146,27 +396,34 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
                         right,
                         negated,
                     } => {
-                        let l_ok = resolvable(left, &bound);
-                        let r_ok = resolvable(right, &bound);
-                        if l_ok && r_ok {
+                        let l = slot_term(left, &slots);
+                        let r = slot_term(right, &slots);
+                        if let (Some(l), Some(r)) = (l, r) {
                             steps.push(Step {
                                 literal: li,
-                                kind: StepKind::Filter,
-                                probe_cols: vec![],
+                                op: StepOp::Compare {
+                                    op: *op,
+                                    left: l,
+                                    right: r,
+                                    negated: *negated,
+                                },
                             });
                             remaining.remove(i);
                             placed_any = true;
                             continue;
                         }
                         // Grounding equality: bind the unbound side.
-                        if *op == CmpOp::Eq && !*negated && (l_ok || r_ok) {
-                            let newly = if l_ok { right } else { left };
+                        if *op == CmpOp::Eq && !*negated && (l.is_some() || r.is_some()) {
+                            let (value, newly) = if let Some(l) = l {
+                                (l, right)
+                            } else {
+                                (r.expect("one side is resolvable"), left)
+                            };
                             if let Term::Var(v) = newly {
-                                bound.insert(v.clone());
+                                let slot = slots.bind(v);
                                 steps.push(Step {
                                     literal: li,
-                                    kind: StepKind::Bind,
-                                    probe_cols: vec![],
+                                    op: StepOp::Assign { slot, value },
                                 });
                                 remaining.remove(i);
                                 placed_any = true;
@@ -183,7 +440,7 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
         }
 
         // Phase 2: choose the next positive atom to join.
-        let mut best: Option<(usize, usize, usize, usize)> = None; // (pos in remaining, li, -bound count inverted, size)
+        let mut best: Option<(usize, usize, usize, usize)> = None; // (pos in remaining, li, bound count, size)
         for (pos, &li) in remaining.iter().enumerate() {
             if let Literal::Atom {
                 atom,
@@ -194,7 +451,7 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
                 let size = ctx
                     .relation_len(&flat)
                     .ok_or_else(|| EvalError::UnknownRelation(flat.clone()))?;
-                let nbound = bound_positions(&atom.terms, &bound).len();
+                let nbound = bound_positions(&atom.terms, &slots).len();
                 let better = match best {
                     None => true,
                     Some((_, _, best_bound, best_size)) => {
@@ -217,7 +474,7 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
             let var = lit
                 .variables()
                 .into_iter()
-                .find(|v| !bound.contains(*v))
+                .find(|v| slots.get(v).is_none())
                 .unwrap_or("?")
                 .to_owned();
             return Err(EvalError::UnsafeRule {
@@ -228,28 +485,33 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
         let Literal::Atom { atom, .. } = &rule.body[li] else {
             unreachable!()
         };
-        let cols = bound_positions(&atom.terms, &bound);
-        for t in &atom.terms {
-            if let Term::Var(v) = t {
-                if !t.is_anonymous() {
-                    bound.insert(v.clone());
-                }
-            }
-        }
-        push_atom_step(
-            li,
-            StepKind::Join,
-            atom.pred.flat_name(),
-            atom.arity(),
-            cols,
-            &mut steps,
-            &mut index_requests,
-        );
+        let cols = bound_positions(&atom.terms, &slots);
+        let compiled = compile_atom(atom, cols, &mut slots, true);
+        push_atom_step(li, StepOp::Scan(compiled), &mut steps, &mut index_requests);
         remaining.remove(pos);
     }
 
+    // Compile the head template against the final slot assignment.
+    let head = match &rule.head {
+        Head::Bottom => None,
+        Head::Atom(a) => Some(
+            a.terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => HeadTerm::Const(*v),
+                    Term::Var(v) => match slots.get(v) {
+                        Some(slot) => HeadTerm::Slot(slot),
+                        None => HeadTerm::Unbound(t.to_string()),
+                    },
+                })
+                .collect(),
+        ),
+    };
+
     Ok(RulePlan {
         steps,
+        head,
+        nslots: slots.len(),
         index_requests,
     })
 }
@@ -290,7 +552,11 @@ mod tests {
         let plan = plan_rule(&rule, &ctx).unwrap();
         assert_eq!(plan.steps[0].literal, 1, "join starts at +v");
         // big(X,Y) then fully bound -> exists check, no partial index.
-        assert_eq!(plan.steps[1].kind, StepKind::ExistsCheck);
+        assert_eq!(plan.steps[1].kind(), StepKind::ExistsCheck);
+        let StepOp::Check { atom: a, .. } = &plan.steps[1].op else {
+            panic!("check step expected");
+        };
+        assert!(a.full_probe, "all positions bound by the first join");
     }
 
     #[test]
@@ -300,10 +566,7 @@ mod tests {
         let rule = parse_rule("h(X) :- r(X), not s(X).").unwrap();
         let plan = plan_rule(&rule, &ctx).unwrap();
         assert_eq!(
-            plan.steps
-                .iter()
-                .map(|s| s.kind.clone())
-                .collect::<Vec<_>>(),
+            plan.steps.iter().map(Step::kind).collect::<Vec<_>>(),
             vec![StepKind::Join, StepKind::NegCheck]
         );
     }
@@ -315,10 +578,37 @@ mod tests {
         let rule = parse_rule("h(X) :- r(X, Y), Y = 5.").unwrap();
         let plan = plan_rule(&rule, &ctx).unwrap();
         // Y = 5 binds first, then r(X,Y) probes with column 1 bound.
-        assert_eq!(plan.steps[0].kind, StepKind::Bind);
-        assert_eq!(plan.steps[1].kind, StepKind::Join);
-        assert_eq!(plan.steps[1].probe_cols, vec![1]);
+        assert_eq!(plan.steps[0].kind(), StepKind::Bind);
+        assert_eq!(plan.steps[1].kind(), StepKind::Join);
+        assert_eq!(plan.steps[1].probe_cols(), &[1]);
         assert_eq!(plan.index_requests, vec![("r".to_string(), vec![1])]);
+    }
+
+    #[test]
+    fn slots_are_dense_and_head_compiles() {
+        let mut db = db_sizes(&[("r", 3, 10)]);
+        let ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(Z, X, 'tag') :- r(X, Y, Z).").unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
+        assert_eq!(plan.nslots, 3, "X, Y, Z each get one slot");
+        let head = plan.head.as_ref().unwrap();
+        assert_eq!(head.len(), 3);
+        assert!(matches!(head[0], HeadTerm::Slot(_)));
+        assert!(matches!(head[2], HeadTerm::Const(_)));
+    }
+
+    #[test]
+    fn repeated_variable_within_atom_compiles_to_check() {
+        let mut db = db_sizes(&[("e", 2, 10)]);
+        let ctx = ctx_with(&mut db);
+        let rule = parse_rule("diag(X) :- e(X, X).").unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
+        let StepOp::Scan(a) = &plan.steps[0].op else {
+            panic!("scan step expected");
+        };
+        assert_eq!(a.bind.len(), 1, "first occurrence binds");
+        assert_eq!(a.check.len(), 1, "second occurrence checks");
+        assert_eq!(a.bind[0].1, a.check[0].1, "against the same slot");
     }
 
     #[test]
@@ -334,16 +624,11 @@ mod tests {
 
     #[test]
     fn unsafe_rule_detected_at_planning() {
-        let mut db = db_sizes(&[("r", 1, 1)]);
-        let ctx = ctx_with(&mut db);
         let rule = parse_rule("h(X) :- r(X), not s(X, Y).").unwrap();
-        // s is unknown AND Y unbound; make s known to isolate unsafety.
-        db_sizes(&[]);
-        let mut db2 = db_sizes(&[("r", 1, 1), ("s", 2, 1)]);
-        let ctx2 = ctx_with(&mut db2);
-        let err = plan_rule(&rule, &ctx2).unwrap_err();
+        let mut db = db_sizes(&[("r", 1, 1), ("s", 2, 1)]);
+        let ctx = ctx_with(&mut db);
+        let err = plan_rule(&rule, &ctx).unwrap_err();
         assert!(matches!(err, EvalError::UnsafeRule { .. }));
-        let _ = ctx; // silence unused in the first setup
     }
 
     #[test]
@@ -352,6 +637,29 @@ mod tests {
         let ctx = ctx_with(&mut db);
         let rule = parse_rule("h(X) :- r(X, 7).").unwrap();
         let plan = plan_rule(&rule, &ctx).unwrap();
-        assert_eq!(plan.steps[0].probe_cols, vec![1]);
+        assert_eq!(plan.steps[0].probe_cols(), &[1]);
+    }
+
+    #[test]
+    fn plan_cache_hits_after_first_lookup() {
+        let mut db = db_sizes(&[("r", 2, 50)]);
+        let mut cache = PlanCache::new();
+        let rule = parse_rule("h(X) :- r(X, 7).").unwrap();
+        {
+            let mut ctx = EvalContext::with_plan_cache(&mut db, &mut cache);
+            let p1 = ctx.plan_for(&rule).unwrap();
+            let p2 = ctx.plan_for(&rule).unwrap();
+            assert!(Arc::ptr_eq(&p1, &p2), "second lookup reuses the plan");
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        // A fresh context over the same cache still hits.
+        {
+            let mut ctx = EvalContext::with_plan_cache(&mut db, &mut cache);
+            ctx.plan_for(&rule).unwrap();
+        }
+        assert_eq!(cache.misses(), 1, "no replanning across contexts");
+        assert_eq!(cache.hits(), 2);
     }
 }

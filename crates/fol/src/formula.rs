@@ -173,7 +173,7 @@ impl Formula {
     pub fn constants(&self) -> BTreeSet<birds_store::Value> {
         fn term(t: &Term, out: &mut BTreeSet<birds_store::Value>) {
             if let Term::Const(v) = t {
-                out.insert(v.clone());
+                out.insert(*v);
             }
         }
         fn go(f: &Formula, out: &mut BTreeSet<birds_store::Value>) {

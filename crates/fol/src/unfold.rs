@@ -155,7 +155,7 @@ impl Unfolder<'_> {
                     }
                 }
                 Term::Const(c) => {
-                    eqs.push(Formula::eq(ci, Term::Const(c.clone())));
+                    eqs.push(Formula::eq(ci, Term::Const(*c)));
                 }
             }
         }

@@ -26,13 +26,13 @@ fn eval_formula(f: &Formula, db: &Database, domain: &[Value], env: &mut Env) -> 
         env.iter()
             .rev()
             .find(|(n, _)| n == v)
-            .map(|(_, val)| val.clone())
+            .map(|(_, val)| *val)
             .unwrap_or_else(|| panic!("unbound {v}"))
     }
     fn term(env: &[(String, Value)], t: &Term) -> Value {
         match t {
             Term::Var(v) => lookup(env, v),
-            Term::Const(c) => c.clone(),
+            Term::Const(c) => *c,
         }
     }
     match f {
@@ -74,7 +74,7 @@ fn assign_all(
     let mut out = Vec::new();
     let (first, rest) = vars.split_first().unwrap();
     for d in domain {
-        env.push((first.clone(), d.clone()));
+        env.push((first.clone(), *d));
         out.extend(assign_all(rest, domain, env, body));
         env.pop();
     }
@@ -215,7 +215,7 @@ fn tuples_over(domain: &[Value], arity: usize) -> Vec<Vec<Value>> {
             .flat_map(|prefix| {
                 domain.iter().map(move |d| {
                     let mut p = prefix.clone();
-                    p.push(d.clone());
+                    p.push(*d);
                     p
                 })
             })

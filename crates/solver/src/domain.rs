@@ -60,27 +60,21 @@ pub fn build_domain(sentence: &Formula, n_fresh: usize) -> Vec<Value> {
     // String witnesses: between adjacent constants and above the max.
     // (Strings have a least element "", so no below-min witness exists
     // unless "" itself is below the minimum constant.)
-    let strs: Vec<&String> = consts
-        .iter()
-        .filter_map(|v| match v {
-            Value::Str(s) => Some(s),
-            _ => None,
-        })
-        .collect();
+    let strs: Vec<&str> = consts.iter().filter_map(Value::as_str).collect();
     if !strs.is_empty() {
-        let lo = strs.first().unwrap().as_str();
+        let lo = *strs.first().unwrap();
         if !lo.is_empty() {
-            domain.insert(Value::Str(String::new()));
+            domain.insert(Value::str(""));
         }
-        let hi = (*strs.last().unwrap()).clone();
-        domain.insert(Value::Str(format!("{hi}~")));
+        let hi = *strs.last().unwrap();
+        domain.insert(Value::str(format!("{hi}~")));
         for w in strs.windows(2) {
             // `s + "\u{1}"` sits strictly between s and t for almost all
             // lexicographic neighbours (see DESIGN.md); it is a witness
             // heuristic, checked below before insertion.
             let candidate = format!("{}\u{1}", w[0]);
-            if candidate.as_str() > w[0].as_str() && candidate.as_str() < w[1].as_str() {
-                domain.insert(Value::Str(candidate));
+            if candidate.as_str() > w[0] && candidate.as_str() < w[1] {
+                domain.insert(Value::str(candidate));
             }
         }
     }
@@ -116,7 +110,7 @@ pub fn build_domain(sentence: &Formula, n_fresh: usize) -> Vec<Value> {
     // and incomparable to nothing (all values are totally ordered, but
     // these sit in the top region, which always has room).
     for i in 0..n_fresh {
-        domain.insert(Value::Str(format!("\u{2021}fresh{i}")));
+        domain.insert(Value::str(format!("\u{2021}fresh{i}")));
     }
 
     domain.into_iter().collect()

@@ -331,9 +331,7 @@ impl Grounder<'_> {
         let id = self.atoms.len() as u32;
         self.atoms.push((
             self.compiled.preds[pred_id].clone(),
-            vals.iter()
-                .map(|&i| self.domain[i as usize].clone())
-                .collect(),
+            vals.iter().map(|&i| self.domain[i as usize]).collect(),
         ));
         self.atom_ids.insert((pred_id, vals), id);
         self.arena.mk_var(id)

@@ -274,7 +274,7 @@ impl P {
 
     fn literal(&mut self) -> Result<Value, DmlParseError> {
         match self.bump() {
-            Some(Tok::Str(s)) => Ok(Value::Str(s)),
+            Some(Tok::Str(s)) => Ok(Value::str(s)),
             Some(Tok::Num(v)) => Ok(v),
             Some(Tok::Word(w)) if w.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
             Some(Tok::Word(w)) if w.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),

@@ -44,7 +44,7 @@ impl Delta {
     pub fn contradictions(&self) -> impl Iterator<Item = &Tuple> {
         self.insertions
             .iter()
-            .filter(|t| self.deletions.contains(t))
+            .filter(|t| self.deletions.contains(*t))
     }
 
     /// `true` when `Δ⁺ ∩ Δ⁻ = ∅`.

@@ -1,0 +1,118 @@
+//! A fast, deterministic hasher for the store's hot hash collections.
+//!
+//! The relation primary sets and secondary indexes hash millions of small
+//! keys (tuples of `Copy` [`crate::Value`]s, whose string payloads already
+//! carry a precomputed content hash — see [`crate::intern`]). The standard
+//! library's SipHash is DoS-resistant but pays for it per call; this is the
+//! well-known Fx multiply-xor hash (as used by rustc), which is several
+//! times faster on word-sized input and — having no random seed — makes
+//! relation behaviour reproducible across runs. Acceptable here because
+//! relation keys are program data, not untrusted network input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fx multiply-xor hasher state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// The Fx multiplication constant (golden-ratio derived).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+}
+
+/// Deterministic `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn fx_hash_of<T: Hash + ?Sized>(t: &T) -> u64 {
+        FxBuildHasher::default().hash_one(t)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(fx_hash_of(&42u64), fx_hash_of(&42u64));
+        assert_eq!(fx_hash_of(&"abc"), fx_hash_of(&"abc"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(fx_hash_of(&1u64), fx_hash_of(&2u64));
+        assert_ne!(fx_hash_of(&"ab"), fx_hash_of(&"ba"));
+        // Trailing-byte lengths are folded in, so prefixes differ.
+        assert_ne!(fx_hash_of(&[1u8, 2, 3][..]), fx_hash_of(&[1u8, 2][..]));
+    }
+
+    #[test]
+    fn tuple_and_slice_agree() {
+        // The Borrow<[Value]>-based probes depend on this.
+        use crate::{tuple, Value};
+        let t = tuple![1, "x", 2.5];
+        let row: Vec<Value> = t.values().to_vec();
+        assert_eq!(fx_hash_of(&t), fx_hash_of(&row[..]));
+    }
+}

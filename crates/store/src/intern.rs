@@ -1,0 +1,196 @@
+//! Process-wide string interning.
+//!
+//! The evaluation pipeline clones and compares string values constantly:
+//! every index key, every join check, every emitted head tuple. Interning
+//! turns `Value::Str` into a `Copy` symbol ([`IStr`]) whose
+//!
+//! * **clone** is a pointer copy,
+//! * **equality** is a pointer comparison (`O(1)` regardless of length),
+//! * **hash** is a single precomputed `u64` write, and
+//! * **order** still consults the underlying bytes, so the lexicographic
+//!   order the paper's date-as-ISO-string encoding relies on (`residents1962`,
+//!   §3.2.1) is exactly preserved.
+//!
+//! Interned strings live for the lifetime of the process (they are leaked
+//! into the pool), which matches how the store uses them: relation contents
+//! are long-lived, and re-interning an already-known string is a hash-map
+//! hit, not a new allocation. The pool is append-only — strings from
+//! deleted tuples, rolled-back updates or unmatched query literals are
+//! never evicted — so memory grows with the number of *distinct* strings
+//! ever seen, not with the live database size. That is the right trade for
+//! this engine's workloads (bounded vocabularies, repeated deltas); a
+//! workload streaming unbounded fresh strings would need an epoch- or
+//! refcount-based pool instead.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// One pool entry: the string plus its content hash, computed once at
+/// intern time with a fixed-key hasher so `Hash` is `O(1)` *and*
+/// deterministic across runs.
+struct Entry {
+    hash: u64,
+    text: Box<str>,
+}
+
+/// The global intern pool, keyed by string content.
+static POOL: Mutex<Option<HashMap<&'static str, &'static Entry>>> = Mutex::new(None);
+
+fn content_hash(s: &str) -> u64 {
+    // DefaultHasher::new() uses fixed keys, so this is stable per build.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// An interned, immutable, process-lifetime string symbol.
+///
+/// `IStr` is a thin pointer to a pool [`Entry`]; two `IStr`s are equal iff
+/// they point at the same entry, which the pool guarantees iff their
+/// contents are equal. Ordering goes through the bytes, so `IStr` sorts
+/// exactly like the `String` it replaced.
+#[derive(Clone, Copy)]
+pub struct IStr(&'static Entry);
+
+impl IStr {
+    /// Intern `s`, returning its canonical symbol.
+    pub fn new(s: &str) -> IStr {
+        let mut guard = POOL.lock().expect("intern pool poisoned");
+        let pool = guard.get_or_insert_with(HashMap::new);
+        if let Some(e) = pool.get(s) {
+            return IStr(e);
+        }
+        let entry: &'static Entry = Box::leak(Box::new(Entry {
+            hash: content_hash(s),
+            text: s.into(),
+        }));
+        pool.insert(&entry.text, entry);
+        IStr(entry)
+    }
+
+    /// The underlying string (valid for the life of the process).
+    pub fn as_str(&self) -> &'static str {
+        &self.0.text
+    }
+}
+
+impl PartialEq for IStr {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer identity: the pool maps equal contents to one entry.
+        std::ptr::eq(self.0, other.0)
+    }
+}
+impl Eq for IStr {}
+
+impl Hash for IStr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl PartialOrd for IStr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for IStr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if std::ptr::eq(self.0, other.0) {
+            return std::cmp::Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::ops::Deref for IStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for IStr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Debug for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for IStr {
+    fn from(s: &str) -> Self {
+        IStr::new(s)
+    }
+}
+
+impl From<String> for IStr {
+    fn from(s: String) -> Self {
+        IStr::new(&s)
+    }
+}
+
+impl PartialEq<str> for IStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for IStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        let a = IStr::new("hello");
+        let b = IStr::new(&("hel".to_string() + "lo"));
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn distinct_strings_differ() {
+        assert_ne!(IStr::new("a"), IStr::new("b"));
+    }
+
+    #[test]
+    fn order_is_lexicographic() {
+        assert!(IStr::new("1961-12-31") < IStr::new("1962-01-01"));
+        assert!(IStr::new("abc") < IStr::new("abd"));
+        assert_eq!(
+            IStr::new("same").cmp(&IStr::new("same")),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn empty_string_interns() {
+        assert_eq!(IStr::new("").as_str(), "");
+        assert!(IStr::new("") < IStr::new("\u{1}"));
+    }
+}

@@ -16,6 +16,8 @@
 pub mod database;
 pub mod delta;
 pub mod error;
+pub mod fxhash;
+pub mod intern;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
@@ -24,6 +26,8 @@ pub mod value;
 pub use database::Database;
 pub use delta::{Delta, DeltaSet};
 pub use error::{StoreError, StoreResult};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use intern::IStr;
 pub use relation::Relation;
 pub use schema::{Attribute, DatabaseSchema, Schema, SortKind};
 pub use tuple::Tuple;

@@ -8,19 +8,19 @@
 //! just as in the paper's setting.
 
 use crate::error::{StoreError, StoreResult};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::{HashMap, HashSet};
 
 /// A relation instance: a named finite set of same-arity tuples.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
     name: String,
     arity: usize,
-    tuples: HashSet<Tuple>,
+    tuples: FxHashSet<Tuple>,
     /// Secondary hash indexes keyed by column subset. Maintained under all
     /// mutations. `Vec<usize>` keys are sorted, deduplicated column lists.
-    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, HashSet<Tuple>>>,
+    indexes: FxHashMap<Vec<usize>, FxHashMap<Vec<Value>, FxHashSet<Tuple>>>,
 }
 
 impl Relation {
@@ -29,8 +29,8 @@ impl Relation {
         Relation {
             name: name.into(),
             arity,
-            tuples: HashSet::new(),
-            indexes: HashMap::new(),
+            tuples: FxHashSet::default(),
+            indexes: FxHashMap::default(),
         }
     }
 
@@ -44,10 +44,48 @@ impl Relation {
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> StoreResult<Self> {
         let mut rel = Relation::new(name, arity);
+        let tuples = tuples.into_iter();
+        // Pre-size the primary set from the iterator's lower bound so bulk
+        // loads (view materialization, benchmark datagen) don't rehash
+        // log(n) times on the way up.
+        rel.tuples.reserve(tuples.size_hint().0);
         for t in tuples {
             rel.insert(t)?;
         }
         Ok(rel)
+    }
+
+    /// Build a relation directly from an owned tuple set.
+    ///
+    /// The set is adopted as-is — no per-tuple re-hashing — after a linear
+    /// arity check. This is the fast path for turning an evaluator result
+    /// set into a relation.
+    pub fn from_set(
+        name: impl Into<String>,
+        arity: usize,
+        tuples: FxHashSet<Tuple>,
+    ) -> StoreResult<Self> {
+        let name = name.into();
+        if let Some(t) = tuples.iter().find(|t| t.arity() != arity) {
+            return Err(StoreError::ArityMismatch {
+                relation: name,
+                expected: arity,
+                found: t.arity(),
+            });
+        }
+        Ok(Relation {
+            name,
+            arity,
+            tuples,
+            indexes: FxHashMap::default(),
+        })
+    }
+
+    /// Consume the relation, giving it a new name (tuples and indexes are
+    /// kept as-is).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
     }
 
     /// Relation (predicate) name.
@@ -75,6 +113,12 @@ impl Relation {
         self.tuples.contains(t)
     }
 
+    /// Membership test by field slice — the evaluator's fully-bound
+    /// existence checks use this to avoid allocating a `Tuple` per probe.
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        self.tuples.contains(row)
+    }
+
     /// Iterate over all tuples (arbitrary order — set semantics).
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
         self.tuples.iter()
@@ -88,6 +132,12 @@ impl Relation {
                 expected: self.arity,
                 found: t.arity(),
             });
+        }
+        // Fast path: with no registered indexes (bulk loads, overlay delta
+        // relations) a single hash-set insert both tests membership and
+        // stores the tuple — no re-projection, no second lookup.
+        if self.indexes.is_empty() {
+            return Ok(self.tuples.insert(t));
         }
         if self.tuples.contains(&t) {
             return Ok(false);
@@ -132,7 +182,7 @@ impl Relation {
         if self.indexes.contains_key(&key) {
             return Ok(());
         }
-        let mut index: HashMap<Vec<Value>, HashSet<Tuple>> = HashMap::new();
+        let mut index: FxHashMap<Vec<Value>, FxHashSet<Tuple>> = FxHashMap::default();
         for t in &self.tuples {
             index.entry(t.project(&key)).or_default().insert(t.clone());
         }
@@ -154,7 +204,7 @@ impl Relation {
     pub fn probe<'a>(
         &'a self,
         cols: &[usize],
-        key: &[&Value],
+        key: &[Value],
     ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
         debug_assert_eq!(cols.len(), key.len());
         let (norm_cols, norm_key) = normalize_probe(cols, key);
@@ -166,7 +216,7 @@ impl Relation {
         } else {
             // Correct-but-slow fallback: linear scan.
             let cols: Vec<usize> = cols.to_vec();
-            let key: Vec<Value> = key.iter().map(|v| (*v).clone()).collect();
+            let key: Vec<Value> = key.to_vec();
             Box::new(
                 self.tuples
                     .iter()
@@ -184,7 +234,7 @@ impl Relation {
     }
 
     /// Snapshot of the tuple set.
-    pub fn tuples(&self) -> &HashSet<Tuple> {
+    pub fn tuples(&self) -> &FxHashSet<Tuple> {
         &self.tuples
     }
 
@@ -236,13 +286,13 @@ fn normalize_cols(cols: &[usize]) -> Vec<usize> {
 
 /// Normalize a probe's (cols, key) pair in tandem so it matches the
 /// normalized index key layout. Duplicated columns keep the first value.
-fn normalize_probe(cols: &[usize], key: &[&Value]) -> (Vec<usize>, Vec<Value>) {
-    let mut pairs: Vec<(usize, &Value)> = cols.iter().copied().zip(key.iter().copied()).collect();
+fn normalize_probe(cols: &[usize], key: &[Value]) -> (Vec<usize>, Vec<Value>) {
+    let mut pairs: Vec<(usize, Value)> = cols.iter().copied().zip(key.iter().copied()).collect();
     pairs.sort_by_key(|(c, _)| *c);
     pairs.dedup_by_key(|(c, _)| *c);
     (
         pairs.iter().map(|(c, _)| *c).collect(),
-        pairs.iter().map(|(_, v)| (*v).clone()).collect(),
+        pairs.iter().map(|(_, v)| *v).collect(),
     )
 }
 
@@ -278,12 +328,12 @@ mod tests {
         let mut r = rel();
         r.ensure_index(&[0]).unwrap();
         let one = Value::int(1);
-        let mut via_index: Vec<&Tuple> = r.probe(&[0], &[&one]).collect();
+        let mut via_index: Vec<&Tuple> = r.probe(&[0], &[one]).collect();
         via_index.sort();
         assert_eq!(via_index.len(), 2);
         // Fallback scan path (no index on column 1):
         let a = Value::str("a");
-        let via_scan: Vec<&Tuple> = r.probe(&[1], &[&a]).collect();
+        let via_scan: Vec<&Tuple> = r.probe(&[1], &[a]).collect();
         assert_eq!(via_scan.len(), 2);
     }
 
@@ -294,7 +344,7 @@ mod tests {
         r.insert(tuple![1, "c"]).unwrap();
         r.remove(&tuple![1, "a"]);
         let one = Value::int(1);
-        let hits: Vec<&Tuple> = r.probe(&[0], &[&one]).collect();
+        let hits: Vec<&Tuple> = r.probe(&[0], &[one]).collect();
         assert_eq!(hits.len(), 2); // (1,b) and (1,c)
         assert!(hits.iter().all(|t| t[0] == Value::int(1)));
     }
@@ -306,7 +356,7 @@ mod tests {
         let one = Value::int(1);
         let a = Value::str("a");
         // cols out of order and duplicated must still hit the [0,1] index.
-        let hits: Vec<&Tuple> = r.probe(&[1, 0, 0], &[&a, &one, &one]).collect();
+        let hits: Vec<&Tuple> = r.probe(&[1, 0, 0], &[a, one, one]).collect();
         assert_eq!(hits, vec![&tuple![1, "a"]]);
     }
 
@@ -326,8 +376,8 @@ mod tests {
         r.replace_all(vec![tuple![7, "z"]]).unwrap();
         assert_eq!(r.len(), 1);
         let seven = Value::int(7);
-        assert_eq!(r.probe(&[0], &[&seven]).count(), 1);
+        assert_eq!(r.probe(&[0], &[seven]).count(), 1);
         let one = Value::int(1);
-        assert_eq!(r.probe(&[0], &[&one]).count(), 0);
+        assert_eq!(r.probe(&[0], &[one]).count(), 0);
     }
 }

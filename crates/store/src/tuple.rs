@@ -4,19 +4,24 @@ use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Index;
+use std::sync::Arc;
 
 /// A database tuple `⟨t1, …, tk⟩`.
 ///
 /// Tuples are immutable once constructed; all mutation in the store happens
 /// at the relation level (insert/delete whole tuples), mirroring the
-/// set-semantics delta model of the paper (§3.1).
+/// set-semantics delta model of the paper (§3.1). The fields are stored in
+/// a shared `Arc<[Value]>`, so the same tuple referenced from the primary
+/// set and any number of secondary index buckets (or probe result sets)
+/// shares one allocation: `Tuple::clone` is a reference-count bump, never
+/// a deep copy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct Tuple(Vec<Value>);
+pub struct Tuple(Arc<[Value]>);
 
 impl Tuple {
     /// Create a tuple from values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple(values)
+        Tuple(values.into())
     }
 
     /// Number of fields.
@@ -34,16 +39,17 @@ impl Tuple {
         &self.0
     }
 
-    /// Consume into the underlying values.
+    /// Copy out the underlying values.
     pub fn into_values(self) -> Vec<Value> {
-        self.0
+        self.0.to_vec()
     }
 
     /// Project onto the given column positions (used by index probes).
     /// Panics if a position is out of range — callers validate columns
-    /// against the relation arity.
+    /// against the relation arity. `Value` is `Copy`, so this is a flat
+    /// copy of `cols.len()` words into one fresh allocation.
     pub fn project(&self, cols: &[usize]) -> Vec<Value> {
-        cols.iter().map(|&c| self.0[c].clone()).collect()
+        cols.iter().map(|&c| self.0[c]).collect()
     }
 
     /// Iterate over the fields.
@@ -56,6 +62,16 @@ impl Index<usize> for Tuple {
     type Output = Value;
     fn index(&self, i: usize) -> &Value {
         &self.0[i]
+    }
+}
+
+/// Tuples borrow as their field slice, so hash sets keyed by `Tuple` can
+/// be probed with a `&[Value]` — no throwaway `Tuple` allocation for a
+/// membership test. Sound because the derived `Hash`/`Eq` of `Tuple`
+/// forward through `Arc` to the slice.
+impl std::borrow::Borrow<[Value]> for Tuple {
+    fn borrow(&self) -> &[Value] {
+        &self.0
     }
 }
 
@@ -74,7 +90,7 @@ impl fmt::Display for Tuple {
 
 impl From<Vec<Value>> for Tuple {
     fn from(v: Vec<Value>) -> Self {
-        Tuple(v)
+        Tuple(v.into())
     }
 }
 
@@ -125,6 +141,13 @@ mod tests {
     fn equality_is_structural() {
         assert_eq!(tuple![1, "x"], tuple![1, "x"]);
         assert_ne!(tuple![1, "x"], tuple!["x", 1]);
+    }
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let t = tuple![1, "shared"];
+        let u = t.clone();
+        assert!(std::ptr::eq(t.values(), u.values()));
     }
 
     #[test]

@@ -6,7 +6,13 @@
 //! strings and booleans. Dates are represented as ISO-8601 strings, whose
 //! lexicographic order coincides with temporal order — the paper's own
 //! `residents1962` example relies on exactly this encoding.
+//!
+//! Strings are interned ([`IStr`]), which makes every `Value` a 16-byte
+//! `Copy` type: cloning a value is a register move, string equality is a
+//! pointer comparison, and hashing a string is a single precomputed word.
+//! The evaluator's slot frames and the store's index keys lean on this.
 
+use crate::intern::IStr;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
@@ -18,7 +24,7 @@ use std::fmt;
 /// Bool). Cross-sort ordering only exists so that `Value` can be used in
 /// ordered collections; the Datalog builtin comparison predicates reject
 /// cross-sort comparisons (see [`Value::same_sort_cmp`]).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Value {
     /// 64-bit signed integer (a *discrete* ordered domain: there is no
     /// value strictly between `n` and `n+1`, which matters for the bounded
@@ -28,8 +34,9 @@ pub enum Value {
     /// are well defined. NaN is rejected at construction; `-0.0` is
     /// normalized to `0.0`. Floats form a *dense* ordered domain.
     Float(F64),
-    /// UTF-8 string (dense ordered domain under lexicographic order).
-    Str(String),
+    /// Interned UTF-8 string (dense ordered domain under lexicographic
+    /// order).
+    Str(IStr),
     /// Boolean.
     Bool(bool),
 }
@@ -44,9 +51,9 @@ pub enum ValueSort {
 }
 
 impl Value {
-    /// Build a string value.
-    pub fn str(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+    /// Build a string value (interning the string).
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(IStr::new(s.as_ref()))
     }
 
     /// Build an integer value.
@@ -66,6 +73,14 @@ impl Value {
             Value::Float(_) => ValueSort::Float,
             Value::Str(_) => ValueSort::Str,
             Value::Bool(_) => ValueSort::Bool,
+        }
+    }
+
+    /// The string content, if this is a string value.
+    pub fn as_str(&self) -> Option<&'static str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
         }
     }
 
@@ -104,7 +119,7 @@ impl fmt::Display for Value {
         match self {
             Value::Int(i) => write!(f, "{i}"),
             Value::Float(x) => write!(f, "{}", x.get()),
-            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Str(s) => write!(f, "'{}'", s.as_str().replace('\'', "''")),
             Value::Bool(b) => write!(f, "{b}"),
         }
     }
@@ -118,12 +133,18 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_owned())
+        Value::str(s)
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<IStr> for Value {
+    fn from(s: IStr) -> Self {
         Value::Str(s)
     }
 }
@@ -224,6 +245,18 @@ mod tests {
         let end = Value::str("1962-12-31");
         assert!(before < start);
         assert!(start < end);
+    }
+
+    #[test]
+    fn interned_strings_share_storage() {
+        let a = Value::str("shared-contents");
+        let b = Value::str(String::from("shared-contents"));
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        let (Value::Str(x), Value::Str(y)) = (a, b) else {
+            unreachable!()
+        };
+        assert!(std::ptr::eq(x.as_str(), y.as_str()), "one pool entry");
     }
 
     #[test]

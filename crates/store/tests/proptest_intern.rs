@@ -1,0 +1,85 @@
+//! Property-based tests for string interning: `Value`'s total order must
+//! be exactly what it was when `Value::Str` held an owned `String`, and
+//! cross-sort builtin comparisons must still be rejected.
+
+use birds_store::{IStr, Value};
+use proptest::prelude::*;
+
+fn arb_str() -> impl Strategy<Value = String> {
+    // Mix of short identifiers and ISO-date-shaped strings, the two
+    // string populations the paper's programs use.
+    "[a-z0-9~\u{1}-]{0,12}"
+}
+
+fn arb_date() -> impl Strategy<Value = String> {
+    "19[0-9]{2}-[01][0-9]-[0-3][0-9]"
+}
+
+proptest! {
+    /// Interned strings compare exactly like the raw strings: the
+    /// lexicographic total order (and hence the paper's date-as-ISO-string
+    /// trick) survives interning.
+    #[test]
+    fn istr_order_matches_str_order(a in arb_str(), b in arb_str()) {
+        let (ia, ib) = (IStr::new(&a), IStr::new(&b));
+        prop_assert_eq!(ia.cmp(&ib), a.as_str().cmp(b.as_str()));
+        prop_assert_eq!(ia == ib, a == b);
+    }
+
+    /// Same property lifted to `Value`: both through `same_sort_cmp` (the
+    /// builtin `<`/`>` path) and the blanket `Ord`.
+    #[test]
+    fn value_str_order_is_preserved(a in arb_str(), b in arb_str()) {
+        let (va, vb) = (Value::str(&a), Value::str(&b));
+        prop_assert_eq!(va.same_sort_cmp(&vb), Some(a.cmp(&b)));
+        prop_assert_eq!(va.cmp(&vb), a.cmp(&b));
+    }
+
+    /// ISO dates keep ordering temporally under interning.
+    #[test]
+    fn dates_order_temporally(a in arb_date(), b in arb_date()) {
+        prop_assert_eq!(Value::str(&a) < Value::str(&b), a < b);
+    }
+
+    /// Sorting a mixed batch of interned string values agrees with
+    /// sorting the raw strings.
+    #[test]
+    fn sorting_values_matches_sorting_strings(
+        raw in proptest::collection::vec(arb_str(), 0..16)
+    ) {
+        let mut raw = raw;
+        let mut vals: Vec<Value> = raw.iter().map(Value::str).collect();
+        vals.sort();
+        raw.sort();
+        let resorted: Vec<&str> = vals.iter().map(|v| v.as_str().unwrap()).collect();
+        prop_assert_eq!(resorted, raw.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    /// Cross-sort comparisons are still rejected — interning must not make
+    /// a string comparable to an int/float/bool.
+    #[test]
+    fn cross_sort_comparisons_rejected(s in arb_str(), i in any::<i64>(), b in any::<bool>()) {
+        let vs = Value::str(&s);
+        prop_assert_eq!(vs.same_sort_cmp(&Value::Int(i)), None);
+        prop_assert_eq!(Value::Int(i).same_sort_cmp(&vs), None);
+        prop_assert_eq!(vs.same_sort_cmp(&Value::Bool(b)), None);
+        prop_assert_eq!(vs.same_sort_cmp(&Value::float(i as f64)), None);
+    }
+
+    /// Re-interning the same contents yields an identical symbol (equal,
+    /// same hash, same backing pointer).
+    #[test]
+    fn interning_is_idempotent(s in arb_str()) {
+        let a = IStr::new(&s);
+        let b = IStr::new(&s.clone());
+        prop_assert_eq!(a, b);
+        prop_assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+
+    /// `Value` equality across sorts: `Eq` never panics and int/str are
+    /// never equal however the string is constructed.
+    #[test]
+    fn int_str_never_equal(i in any::<i64>()) {
+        prop_assert_ne!(Value::Int(i), Value::str(i.to_string()));
+    }
+}

@@ -99,7 +99,7 @@ proptest! {
         }
         let key_val = Value::int(key);
         let mut via_probe: Vec<Tuple> =
-            r.probe(&[col], &[&key_val]).cloned().collect();
+            r.probe(&[col], &[key_val]).cloned().collect();
         via_probe.sort();
         let mut via_scan: Vec<Tuple> = r
             .iter()
@@ -143,7 +143,7 @@ proptest! {
         let fresh = rel_of("r", &next);
         prop_assert_eq!(r.len(), fresh.len());
         let key_val = Value::int(key);
-        let mut got: Vec<Tuple> = r.probe(&[0], &[&key_val]).cloned().collect();
+        let mut got: Vec<Tuple> = r.probe(&[0], &[key_val]).cloned().collect();
         got.sort();
         let mut want: Vec<Tuple> =
             fresh.iter().filter(|t| t[0] == key_val).cloned().collect();
