@@ -1,0 +1,182 @@
+//! CI perf-regression gate over the Figure 6 trajectory.
+//!
+//! Runs a fresh (small) figure6 measurement and compares it against the
+//! **last** run recorded in the committed `BENCH_figure6.json` baseline.
+//! The gate is deliberately generous — CI machines are slow, shared and
+//! noisy — and fails only when fresh latency exceeds the baseline by
+//! more than `--factor` (default 3×) at some measured point. Exit code 1
+//! on regression, 2 on usage/baseline errors.
+//!
+//! ```text
+//! cargo run --release -p birds-benchmarks --bin bench_gate -- \
+//!     --baseline BENCH_figure6.json --view luxuryitems --sizes 1000,10000 \
+//!     --factor 3 --out bench-fresh.json
+//! ```
+//!
+//! `--out` writes the fresh measurement (atomically) so CI can upload it
+//! as a workflow artifact — the trajectory of every CI run, not just the
+//! committed snapshots.
+
+use birds_benchmarks::emit::write_atomic;
+use birds_benchmarks::figure6::{sweep, to_json, Figure6View};
+use birds_service::Json;
+
+fn main() {
+    let mut baseline_path = String::from("BENCH_figure6.json");
+    let mut view_name = String::from("luxuryitems");
+    let mut sizes: Vec<usize> = vec![1_000, 10_000];
+    let mut factor = 3.0f64;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = require_value(args.next(), "--baseline"),
+            "--view" => view_name = require_value(args.next(), "--view"),
+            "--sizes" => {
+                sizes = require_value(args.next(), "--sizes")
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("--sizes needs comma-separated integers");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect()
+            }
+            "--factor" => {
+                factor = require_value(args.next(), "--factor")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--factor needs a number");
+                        std::process::exit(2);
+                    })
+            }
+            "--out" => out_path = Some(require_value(args.next(), "--out")),
+            flag => {
+                eprintln!("unknown flag '{flag}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let view = Figure6View::from_name(&view_name).unwrap_or_else(|| {
+        eprintln!("unknown view '{view_name}'");
+        std::process::exit(2);
+    });
+
+    // Baseline: the last committed run that has points for this view.
+    let baseline_text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = Json::parse(&baseline_text).unwrap_or_else(|e| {
+        eprintln!("baseline {baseline_path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let (base_label, base_points) = baseline_points(&baseline, &view_name).unwrap_or_else(|| {
+        eprintln!("baseline {baseline_path} has no run with points for '{view_name}'");
+        std::process::exit(2);
+    });
+
+    println!("gate: fresh '{view_name}' at sizes {sizes:?} vs baseline run \"{base_label}\"");
+    println!("      threshold: {factor}x (generous — CI machines are noisy)\n");
+
+    let fresh = sweep(view, &sizes);
+    if let Some(path) = &out_path {
+        let json = to_json("ci-bench-gate", &[(view, fresh.clone())]);
+        write_atomic(path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote fresh measurement to {path}\n");
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:>10} {:>10} {:>14} {:>14} {:>8}",
+        "base size", "metric", "baseline (ms)", "fresh (ms)", "ratio"
+    );
+    for p in &fresh {
+        let Some((base_orig, base_inc)) = base_points.get(&p.base_size).copied() else {
+            println!("{:>10}  (no baseline point; skipped)", p.base_size);
+            continue;
+        };
+        for (metric, base_ms, fresh_ms) in [
+            ("original", base_orig, p.original.as_secs_f64() * 1e3),
+            ("incremental", base_inc, p.incremental.as_secs_f64() * 1e3),
+        ] {
+            compared += 1;
+            let ratio = fresh_ms / base_ms.max(1e-9);
+            let verdict = if ratio > factor {
+                regressions += 1;
+                "  << REGRESSION"
+            } else {
+                ""
+            };
+            println!(
+                "{:>10} {:>10} {:>14.3} {:>14.3} {:>7.2}x{verdict}",
+                p.base_size, metric, base_ms, fresh_ms, ratio
+            );
+        }
+    }
+
+    if compared == 0 {
+        eprintln!("\nno comparable points between fresh run and baseline");
+        std::process::exit(2);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "\nFAIL: {regressions} of {compared} measurements regressed beyond {factor}x \
+             the committed baseline"
+        );
+        std::process::exit(1);
+    }
+    println!("\nOK: all {compared} measurements within {factor}x of the committed baseline");
+}
+
+/// `base_size → (original_ms, incremental_ms)`.
+type BaselineMap = std::collections::BTreeMap<usize, (f64, f64)>;
+
+/// `(label, points)` of the last run in the baseline document that
+/// carries points for `view_name`.
+fn baseline_points(doc: &Json, view_name: &str) -> Option<(String, BaselineMap)> {
+    let runs = doc.get("runs")?.as_arr()?;
+    for run in runs.iter().rev() {
+        let Some(views) = run.get("views").and_then(Json::as_arr) else {
+            continue;
+        };
+        for view in views {
+            if view.get("view").and_then(Json::as_str) != Some(view_name) {
+                continue;
+            }
+            let mut map = BaselineMap::new();
+            for point in view.get("points").and_then(Json::as_arr).unwrap_or(&[]) {
+                let (Some(size), Some(orig), Some(inc)) = (
+                    point.get("base_size").and_then(Json::as_i64),
+                    point.get("original_ms").and_then(Json::as_f64),
+                    point.get("incremental_ms").and_then(Json::as_f64),
+                ) else {
+                    continue;
+                };
+                map.insert(size as usize, (orig, inc));
+            }
+            if !map.is_empty() {
+                let label = run
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .unwrap_or("<unlabeled>")
+                    .to_owned();
+                return Some((label, map));
+            }
+        }
+    }
+    None
+}
+
+fn require_value(v: Option<String>, flag: &str) -> String {
+    v.unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}

@@ -10,10 +10,14 @@
 //!
 //! `--emit-json` additionally writes the measurements to
 //! `BENCH_figure6.json` (see the committed baseline of that name for the
-//! perf trajectory across PRs). `--label <text>` tags the emitted run;
-//! `--out <path>` overrides the output path.
+//! perf trajectory across PRs). `--label <text>` tags the emitted run —
+//! re-running with an existing label **replaces** that run; `--out
+//! <path>` overrides the output path. The file is written atomically
+//! (temp file + rename), so a crash or concurrent reader never sees a
+//! torn document.
 
-use birds_benchmarks::figure6::{append_run, sweep, to_json, Figure6View};
+use birds_benchmarks::emit::write_atomic;
+use birds_benchmarks::figure6::{sweep, to_json, upsert_run, Figure6View};
 
 fn main() {
     let mut emit_json = false;
@@ -80,12 +84,12 @@ fn main() {
 
     if emit_json {
         let label = label.unwrap_or_else(|| "current".to_owned());
-        // Append to an existing trajectory file (the committed baseline
-        // holds runs that cannot be regenerated); start a fresh document
-        // otherwise. An existing file this writer doesn't recognize is
-        // left untouched.
+        // Merge into an existing trajectory file (the committed baseline
+        // holds runs that cannot be regenerated; a run with the same
+        // label is replaced); start a fresh document otherwise. An
+        // existing file this writer doesn't recognize is left untouched.
         let json = match std::fs::read_to_string(&out_path) {
-            Ok(existing) => match append_run(&existing, &label, &results) {
+            Ok(existing) => match upsert_run(&existing, &label, &results) {
                 Some(merged) => merged,
                 None => {
                     eprintln!(
@@ -104,7 +108,7 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        std::fs::write(&out_path, json).expect("write benchmark JSON");
+        write_atomic(&out_path, &json).expect("write benchmark JSON");
         println!("wrote {out_path}");
     }
 }

@@ -1,0 +1,96 @@
+//! Measure service-layer write throughput: batched versus per-statement
+//! application, and concurrent-client scaling.
+//!
+//! ```text
+//! cargo run --release -p birds-benchmarks --bin throughput
+//! cargo run --release -p birds-benchmarks --bin throughput -- --quick
+//! cargo run --release -p birds-benchmarks --bin throughput -- --emit-json --label "PR 3"
+//! ```
+//!
+//! `--emit-json` writes `BENCH_throughput.json` atomically (temp file +
+//! rename); `--out <path>` overrides the target, `--label <text>` tags
+//! the run. `--quick` shrinks the sweep for smoke runs.
+
+use birds_benchmarks::emit::write_atomic;
+use birds_benchmarks::throughput::{batch_sweep, thread_scaling, to_json};
+
+fn main() {
+    let mut emit_json = false;
+    let mut quick = false;
+    let mut label: Option<String> = None;
+    let mut out_path = String::from("BENCH_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--emit-json" => emit_json = true,
+            "--quick" => quick = true,
+            "--label" => label = Some(require_value(args.next(), "--label")),
+            "--out" => out_path = require_value(args.next(), "--out"),
+            flag => {
+                eprintln!("unknown flag '{flag}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (base_size, batch_sizes, threads, batches_per_thread, batch): (
+        usize,
+        Vec<usize>,
+        Vec<usize>,
+        usize,
+        usize,
+    ) = if quick {
+        (1_000, vec![100, 1_000], vec![1, 2], 2, 200)
+    } else {
+        (20_000, vec![100, 1_000, 10_000], vec![1, 2, 4, 8], 4, 1_000)
+    };
+
+    println!("== batched vs per-statement (luxuryitems @ {base_size}, incremental) ==");
+    println!(
+        "{:>12} {:>20} {:>14} {:>8}",
+        "statements", "per-statement (ms)", "batched (ms)", "speedup"
+    );
+    let batch_points = batch_sweep(base_size, &batch_sizes);
+    for p in &batch_points {
+        println!(
+            "{:>12} {:>20.2} {:>14.2} {:>7.1}x",
+            p.statements,
+            p.per_statement.as_secs_f64() * 1e3,
+            p.batched.as_secs_f64() * 1e3,
+            p.speedup()
+        );
+    }
+
+    println!();
+    println!(
+        "== concurrent clients ({batch}-statement batches, {batches_per_thread} per client) =="
+    );
+    println!(
+        "{:>8} {:>12} {:>14} {:>16}",
+        "threads", "statements", "elapsed (ms)", "stmts/sec"
+    );
+    let scale_points = thread_scaling(base_size, &threads, batches_per_thread, batch);
+    for p in &scale_points {
+        println!(
+            "{:>8} {:>12} {:>14.2} {:>16.0}",
+            p.threads,
+            p.total_statements,
+            p.elapsed.as_secs_f64() * 1e3,
+            p.statements_per_sec()
+        );
+    }
+
+    if emit_json {
+        let label = label.unwrap_or_else(|| "current".to_owned());
+        let doc = to_json(&label, base_size, &batch_points, &scale_points);
+        write_atomic(&out_path, &doc.to_pretty()).expect("write benchmark JSON");
+        println!("\nwrote {out_path}");
+    }
+}
+
+fn require_value(v: Option<String>, flag: &str) -> String {
+    v.unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,59 @@
+//! Shared emission helpers for the benchmark binaries.
+
+use std::path::Path;
+
+/// Write `contents` to `path` atomically: write a temp file in the same
+/// directory, then rename over the target. A crash (or a concurrent
+/// reader — CI tails these files while benches run) never observes a
+/// half-written document; rename within one directory is atomic on every
+/// platform CI uses.
+pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let target = Path::new(path);
+    let dir = target.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = target
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("'{path}' has no file name")))?;
+    let tmp_name = format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, target) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Don't leave temp droppings behind on failure.
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("birds-emit-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let path_str = path.to_str().unwrap();
+        write_atomic(path_str, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(path_str, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        // No temp droppings.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -14,6 +14,7 @@ use crate::datagen;
 use birds_core::UpdateStrategy;
 use birds_datalog::{parse_program, Program};
 use birds_engine::{Engine, StrategyMode};
+use birds_service::Json;
 use birds_store::Database;
 use std::time::{Duration, Instant};
 
@@ -154,93 +155,75 @@ pub fn sweep(view: Figure6View, sizes: &[usize]) -> Vec<Figure6Point> {
         .collect()
 }
 
-/// Render one measured run as a JSON object (indented as an element of
-/// the document's `"runs"` array).
-pub fn run_json(label: &str, results: &[(Figure6View, Vec<Figure6Point>)]) -> String {
-    let mut out = String::from("    {\n");
-    out.push_str(&format!("      \"label\": \"{}\",\n", escape(label)));
-    out.push_str("      \"views\": [\n");
-    for (vi, (view, points)) in results.iter().enumerate() {
-        out.push_str("        {\n");
-        out.push_str(&format!("          \"view\": \"{}\",\n", view.name()));
-        out.push_str("          \"points\": [\n");
-        for (pi, p) in points.iter().enumerate() {
-            let orig = p.original.as_secs_f64() * 1e3;
-            let inc = p.incremental.as_secs_f64() * 1e3;
-            out.push_str(&format!(
-                "            {{\"base_size\": {}, \"original_ms\": {:.3}, \
-                 \"incremental_ms\": {:.3}, \"speedup\": {:.1}}}{}\n",
-                p.base_size,
-                orig,
-                inc,
-                orig / inc.max(1e-9),
-                if pi + 1 < points.len() { "," } else { "" }
-            ));
-        }
-        out.push_str("          ]\n");
-        out.push_str(&format!(
-            "        }}{}\n",
-            if vi + 1 < results.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("      ]\n    }");
-    out
+/// Render one measured run as a JSON object (an element of the
+/// document's `"runs"` array). Latencies are rounded to microseconds.
+pub fn run_value(label: &str, results: &[(Figure6View, Vec<Figure6Point>)]) -> Json {
+    let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
+    let views: Vec<Json> = results
+        .iter()
+        .map(|(view, points)| {
+            let points: Vec<Json> = points
+                .iter()
+                .map(|p| {
+                    let orig = p.original.as_secs_f64() * 1e3;
+                    let inc = p.incremental.as_secs_f64() * 1e3;
+                    Json::Obj(vec![
+                        ("base_size".to_owned(), Json::Int(p.base_size as i64)),
+                        ("original_ms".to_owned(), Json::Float(round3(orig))),
+                        ("incremental_ms".to_owned(), Json::Float(round3(inc))),
+                        (
+                            "speedup".to_owned(),
+                            Json::Float((orig / inc.max(1e-9) * 10.0).round() / 10.0),
+                        ),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("view".to_owned(), Json::str(view.name())),
+                ("points".to_owned(), Json::Arr(points)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("label".to_owned(), Json::str(label)),
+        ("views".to_owned(), Json::Arr(views)),
+    ])
 }
 
 /// Render measured panels as a complete single-run JSON document for the
-/// `BENCH_figure6.json` perf trajectory. Hand-rolled writer: the offline
-/// `serde` stub has no serializer, and the schema is four fields deep.
+/// `BENCH_figure6.json` perf trajectory.
 pub fn to_json(label: &str, results: &[(Figure6View, Vec<Figure6Point>)]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"benchmark\": \"figure6\",\n");
-    out.push_str("  \"unit\": \"ms\",\n");
-    out.push_str("  \"runs\": [\n");
-    out.push_str(&run_json(label, results));
-    out.push_str("\n  ]\n}\n");
-    out
+    Json::Obj(vec![
+        ("benchmark".to_owned(), Json::str("figure6")),
+        ("unit".to_owned(), Json::str("ms")),
+        (
+            "runs".to_owned(),
+            Json::Arr(vec![run_value(label, results)]),
+        ),
+    ])
+    .to_pretty()
 }
 
-/// Append a run to an existing `BENCH_figure6.json` document, preserving
-/// every earlier run (the committed file carries the hand-transcribed
-/// pre-PR baseline, which is not regenerable). Tolerates reformatting:
-/// any document that identifies itself as a figure6 benchmark and ends
-/// with `] }` (modulo whitespace) is accepted. Returns `None` otherwise —
-/// the caller should then refuse to clobber the file.
-pub fn append_run(
+/// Merge a run into an existing `BENCH_figure6.json` document: an
+/// existing run with the **same label is replaced** (re-running a sweep
+/// updates its entry instead of duplicating it); runs with other labels
+/// — including the hand-transcribed pre-PR baseline, which is not
+/// regenerable — are preserved, as are unknown document fields like
+/// `"note"`. Returns `None` when the document does not identify itself
+/// as a figure6 trajectory (the caller then refuses to clobber it).
+pub fn upsert_run(
     existing: &str,
     label: &str,
     results: &[(Figure6View, Vec<Figure6Point>)],
 ) -> Option<String> {
-    if !existing.contains("\"benchmark\"") || !existing.contains("figure6") {
+    let mut doc = Json::parse(existing).ok()?;
+    if doc.get("benchmark").and_then(Json::as_str) != Some("figure6") {
         return None;
     }
-    // Peel the closing `}` of the document and the `]` of the runs array,
-    // whatever whitespace/line endings surround them.
-    let prefix = existing.trim_end().strip_suffix('}')?;
-    let prefix = prefix.trim_end().strip_suffix(']')?;
-    let body = prefix.trim_end();
-    // Empty runs array (`"runs": [`) needs no separating comma.
-    let sep = if body.ends_with('[') { "" } else { "," };
-    Some(format!(
-        "{body}{sep}\n{}\n  ]\n}}\n",
-        run_json(label, results)
-    ))
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '"' => out.push_str("\\\""),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    let runs = doc.get_mut("runs")?.as_arr_mut()?;
+    runs.retain(|run| run.get("label").and_then(Json::as_str) != Some(label));
+    runs.push(run_value(label, results));
+    Some(doc.to_pretty())
 }
 
 #[cfg(test)]
@@ -312,28 +295,75 @@ mod tests {
     fn json_emission_is_well_formed() {
         let points = sweep(Figure6View::Luxuryitems, &[50]);
         let json = to_json("test \"run\"", &[(Figure6View::Luxuryitems, points)]);
-        assert!(json.contains("\"benchmark\": \"figure6\""));
-        assert!(json.contains("\"view\": \"luxuryitems\""));
-        assert!(json.contains("\"base_size\": 50"));
-        assert!(json.contains("test \\\"run\\\""), "labels are escaped");
-        // Balanced braces/brackets (cheap well-formedness check).
-        let opens = json.matches(['{', '[']).count();
-        let closes = json.matches(['}', ']']).count();
-        assert_eq!(opens, closes);
+        let doc = Json::parse(&json).expect("emitted document parses");
+        assert_eq!(doc.get("benchmark").and_then(Json::as_str), Some("figure6"));
+        let run = &doc.get("runs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            run.get("label").and_then(Json::as_str),
+            Some("test \"run\""),
+            "labels survive escaping"
+        );
+        let view = &run.get("views").unwrap().as_arr().unwrap()[0];
+        assert_eq!(view.get("view").and_then(Json::as_str), Some("luxuryitems"));
+        let point = &view.get("points").unwrap().as_arr().unwrap()[0];
+        assert_eq!(point.get("base_size").and_then(Json::as_i64), Some(50));
+        assert!(point.get("original_ms").and_then(Json::as_f64).is_some());
     }
 
     #[test]
-    fn append_preserves_existing_runs() {
+    fn upsert_preserves_other_runs_and_fields() {
         let points = sweep(Figure6View::Luxuryitems, &[50]);
-        let doc = to_json("first", &[(Figure6View::Luxuryitems, points.clone())]);
-        let merged = append_run(&doc, "second", &[(Figure6View::Luxuryitems, points)])
-            .expect("writer output is recognized");
-        assert!(merged.contains("\"label\": \"first\""));
-        assert!(merged.contains("\"label\": \"second\""));
-        let opens = merged.matches(['{', '[']).count();
-        let closes = merged.matches(['}', ']']).count();
-        assert_eq!(opens, closes);
-        // Unrecognized content is refused, not clobbered.
-        assert!(append_run("not json", "x", &[]).is_none());
+        // An existing document with a foreign field and a baseline run.
+        let existing = r#"{
+          "benchmark": "figure6",
+          "unit": "ms",
+          "note": "hand-transcribed baseline",
+          "runs": [{"label": "baseline", "views": []}]
+        }"#;
+        let merged = upsert_run(existing, "second", &[(Figure6View::Luxuryitems, points)])
+            .expect("figure6 documents are recognized");
+        let doc = Json::parse(&merged).unwrap();
+        assert_eq!(
+            doc.get("note").and_then(Json::as_str),
+            Some("hand-transcribed baseline"),
+            "unknown fields survive"
+        );
+        let labels: Vec<&str> = doc
+            .get("runs")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|r| r.get("label").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(labels, vec!["baseline", "second"]);
+    }
+
+    #[test]
+    fn upsert_replaces_run_with_same_label() {
+        let points = sweep(Figure6View::Luxuryitems, &[50]);
+        let results = [(Figure6View::Luxuryitems, points)];
+        let doc = to_json("run-a", &results);
+        let doc = upsert_run(&doc, "run-b", &results).unwrap();
+        // Re-running with an existing label must replace, not duplicate.
+        let doc = upsert_run(&doc, "run-a", &results).unwrap();
+        let parsed = Json::parse(&doc).unwrap();
+        let labels: Vec<&str> = parsed
+            .get("runs")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|r| r.get("label").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(labels, vec!["run-b", "run-a"], "replaced and re-appended");
+        assert_eq!(doc.matches("run-a").count(), 1, "no duplicate entry");
+    }
+
+    #[test]
+    fn upsert_refuses_foreign_documents() {
+        assert!(upsert_run("not json", "x", &[]).is_none());
+        assert!(upsert_run("{\"benchmark\": \"other\"}", "x", &[]).is_none());
+        assert!(upsert_run("{\"benchmark\": \"figure6\"}", "x", &[]).is_none());
     }
 }

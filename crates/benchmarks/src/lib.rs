@@ -12,18 +12,27 @@
 //! * [`figure6`] — the Figure 6 experiment: view-update latency versus
 //!   base-table size, original strategy versus incrementalized strategy,
 //!   for the four selected views.
+//! * [`throughput`] — the service-layer experiment: batched versus
+//!   per-statement update application and concurrent-client scaling
+//!   (not in the paper; backs the `BENCH_throughput.json` trajectory).
+//! * [`emit`] — atomic JSON-file emission shared by the binaries.
 //!
-//! Binaries `table1` and `figure6` print the regenerated table/figures:
+//! Binaries `table1`, `figure6`, `throughput` print the regenerated
+//! table/figures; `bench_gate` is the CI perf-regression gate:
 //!
 //! ```text
 //! cargo run --release -p birds-benchmarks --bin table1
 //! cargo run --release -p birds-benchmarks --bin figure6 -- luxuryitems
+//! cargo run --release -p birds-benchmarks --bin throughput
+//! cargo run --release -p birds-benchmarks --bin bench_gate -- --baseline BENCH_figure6.json
 //! ```
 
 pub mod corpus;
 pub mod datagen;
+pub mod emit;
 pub mod figure6;
 pub mod table1;
+pub mod throughput;
 
 pub use corpus::{entries, entry, CorpusEntry, RelSpec, SourceKind};
 pub use figure6::{Figure6Point, Figure6View};

@@ -1,0 +1,333 @@
+//! The service-layer throughput experiment: batched versus per-statement
+//! update application, and write throughput under concurrent clients.
+//!
+//! The paper's Figure 6 measures the latency of *one* view-update
+//! transaction. A service facing heavy write traffic cares about a
+//! different number: statements per second when updates arrive in bulk.
+//! Per-statement application pays one strategy evaluation (plus one
+//! exclusive-lock acquisition) per statement; a session batch coalesces
+//! the statements into one net view delta and pays the evaluation once.
+//! The gap between those two is what this module measures, on the
+//! `luxuryitems` corpus strategy (selection, with a domain constraint)
+//! in incremental mode.
+//!
+//! Scenarios:
+//!
+//! * **batch-vs-statement sweep** — one client, k statements (fresh-id
+//!   inserts and deletes of earlier inserts, 4:1): wall time to apply
+//!   them one autocommit transaction at a time versus as one batch.
+//!   The CI-facing claim (`BENCH_throughput.json`, acceptance ≥3× at
+//!   10k) comes from this sweep.
+//! * **thread scaling** — n clients each committing fixed-size batches
+//!   concurrently: aggregate statements/second as n grows. With one
+//!   engine-wide write lock this measures lock-handoff overhead, the
+//!   baseline the ROADMAP's sharded-locks item wants to beat.
+
+use crate::figure6::Figure6View;
+use birds_engine::StrategyMode;
+use birds_service::{ExecOutcome, Service};
+use std::time::{Duration, Instant};
+
+/// The corpus view the throughput experiment runs on.
+pub const VIEW: Figure6View = Figure6View::Luxuryitems;
+
+/// One client's statement stream: `count` statements targeting ids in a
+/// window private to `client`. Four fresh-id inserts (price 4999 — in
+/// the view) then one delete of the id inserted four statements earlier,
+/// repeating; every statement survives coalescing *except* the deletes,
+/// which cancel a pending insert — so the batch path also exercises
+/// net-delta cancellation, not just bulk insertion.
+pub fn statement_stream(base_size: usize, client: usize, count: usize) -> Vec<String> {
+    let window = base_size as i64 + 10 + (client as i64) * (count as i64 + 10);
+    let mut scripts = Vec::with_capacity(count);
+    let mut next_id = window;
+    for i in 0..count {
+        if i % 5 == 4 {
+            // Delete the id inserted 4 statements ago (still pending in
+            // a batch; already applied in autocommit).
+            scripts.push(format!(
+                "DELETE FROM luxuryitems WHERE id = {};",
+                next_id - 4
+            ));
+        } else {
+            scripts.push(format!("INSERT INTO luxuryitems VALUES ({next_id}, 4999);"));
+            next_id += 1;
+        }
+    }
+    scripts
+}
+
+/// One point of the batch-vs-statement sweep.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// Statements in the batch.
+    pub statements: usize,
+    /// Wall time applying them one autocommit transaction each.
+    pub per_statement: Duration,
+    /// Wall time applying them as one session batch (buffer + commit).
+    pub batched: Duration,
+}
+
+impl BatchPoint {
+    /// How many times faster the batched path is.
+    pub fn speedup(&self) -> f64 {
+        self.per_statement.as_secs_f64() / self.batched.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Measure the batch-vs-statement sweep at `base_size` for each batch
+/// size. Every measurement runs on a fresh service so earlier batches
+/// don't shift the base-table sizes.
+pub fn batch_sweep(base_size: usize, batch_sizes: &[usize]) -> Vec<BatchPoint> {
+    batch_sizes
+        .iter()
+        .map(|&count| {
+            let scripts = statement_stream(base_size, 0, count);
+
+            let service = Service::new(VIEW.engine(base_size, StrategyMode::Incremental));
+            let mut session = service.session();
+            let t = Instant::now();
+            for script in &scripts {
+                let outcome = session.execute(script).expect("autocommit applies");
+                debug_assert!(matches!(outcome, ExecOutcome::Applied(_)));
+            }
+            let per_statement = t.elapsed();
+
+            let service = Service::new(VIEW.engine(base_size, StrategyMode::Incremental));
+            let mut session = service.session();
+            let t = Instant::now();
+            session.begin().expect("fresh session");
+            for script in &scripts {
+                session.execute(script).expect("buffering cannot fail");
+            }
+            session.commit().expect("batch applies");
+            let batched = t.elapsed();
+
+            BatchPoint {
+                statements: count,
+                per_statement,
+                batched,
+            }
+        })
+        .collect()
+}
+
+/// One point of the thread-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Total statements applied across all threads.
+    pub total_statements: usize,
+    /// Wall time from first statement to last commit.
+    pub elapsed: Duration,
+}
+
+impl ScalePoint {
+    /// Aggregate applied statements per second.
+    pub fn statements_per_sec(&self) -> f64 {
+        self.total_statements as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Measure aggregate throughput with `threads` concurrent clients, each
+/// committing `batches_per_thread` batches of `batch` statements.
+pub fn thread_scaling(
+    base_size: usize,
+    threads_list: &[usize],
+    batches_per_thread: usize,
+    batch: usize,
+) -> Vec<ScalePoint> {
+    threads_list
+        .iter()
+        .map(|&threads| {
+            let service = Service::new(VIEW.engine(base_size, StrategyMode::Incremental));
+            let t = Instant::now();
+            let handles: Vec<_> = (0..threads)
+                .map(|client| {
+                    let service = service.clone();
+                    std::thread::spawn(move || {
+                        let mut session = service.session();
+                        for b in 0..batches_per_thread {
+                            // A window per (client, batch) pair keeps ids
+                            // disjoint across everything.
+                            let stream_client = client * batches_per_thread + b;
+                            let scripts = statement_stream(base_size, stream_client, batch);
+                            session.begin().expect("no open batch");
+                            for script in &scripts {
+                                session.execute(script).expect("buffering cannot fail");
+                            }
+                            session.commit().expect("batch applies");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("client thread");
+            }
+            ScalePoint {
+                threads,
+                total_statements: threads * batches_per_thread * batch,
+                elapsed: t.elapsed(),
+            }
+        })
+        .collect()
+}
+
+/// Render the measurements as the `BENCH_throughput.json` document.
+pub fn to_json(
+    label: &str,
+    base_size: usize,
+    batch_points: &[BatchPoint],
+    scale_points: &[ScalePoint],
+) -> birds_service::Json {
+    use birds_service::Json;
+    let round = |ms: f64| (ms * 1000.0).round() / 1000.0;
+    let batch_json: Vec<Json> = batch_points
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("statements".to_owned(), Json::Int(p.statements as i64)),
+                (
+                    "per_statement_ms".to_owned(),
+                    Json::Float(round(p.per_statement.as_secs_f64() * 1e3)),
+                ),
+                (
+                    "batched_ms".to_owned(),
+                    Json::Float(round(p.batched.as_secs_f64() * 1e3)),
+                ),
+                (
+                    "speedup".to_owned(),
+                    Json::Float((p.speedup() * 10.0).round() / 10.0),
+                ),
+            ])
+        })
+        .collect();
+    let scale_json: Vec<Json> = scale_points
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("threads".to_owned(), Json::Int(p.threads as i64)),
+                (
+                    "total_statements".to_owned(),
+                    Json::Int(p.total_statements as i64),
+                ),
+                (
+                    "elapsed_ms".to_owned(),
+                    Json::Float(round(p.elapsed.as_secs_f64() * 1e3)),
+                ),
+                (
+                    "statements_per_sec".to_owned(),
+                    Json::Float(p.statements_per_sec().round()),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("benchmark".to_owned(), Json::str("throughput")),
+        ("view".to_owned(), Json::str(VIEW.name())),
+        ("mode".to_owned(), Json::str("incremental")),
+        ("base_size".to_owned(), Json::Int(base_size as i64)),
+        ("label".to_owned(), Json::str(label)),
+        (
+            "note".to_owned(),
+            Json::str(
+                "Service-layer write throughput on the luxuryitems corpus strategy. \
+                 batch_vs_statement: wall time for k statements applied as k autocommit \
+                 transactions vs one coalesced session batch (one incremental pass). \
+                 thread_scaling: aggregate statements/sec with n concurrent clients \
+                 committing 1000-statement batches against one engine-wide RwLock.",
+            ),
+        ),
+        ("batch_vs_statement".to_owned(), Json::Arr(batch_json)),
+        ("thread_scaling".to_owned(), Json::Arr(scale_json)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_streams_are_disjoint_across_clients() {
+        let a = statement_stream(100, 0, 50);
+        let b = statement_stream(100, 1, 50);
+        let ids = |scripts: &[String]| -> Vec<String> {
+            scripts
+                .iter()
+                .filter_map(|s| {
+                    s.strip_prefix("INSERT INTO luxuryitems VALUES (")
+                        .map(|rest| rest.split(',').next().unwrap().to_owned())
+                })
+                .collect()
+        };
+        let (ia, ib) = (ids(&a), ids(&b));
+        assert!(ia.iter().all(|i| !ib.contains(i)));
+    }
+
+    #[test]
+    fn batched_and_per_statement_agree_on_final_state() {
+        let scripts = statement_stream(200, 0, 60);
+
+        let per = Service::new(VIEW.engine(200, StrategyMode::Incremental));
+        let mut session = per.session();
+        for s in &scripts {
+            session.execute(s).unwrap();
+        }
+        drop(session);
+
+        let bat = Service::new(VIEW.engine(200, StrategyMode::Incremental));
+        let mut session = bat.session();
+        session.begin().unwrap();
+        for s in &scripts {
+            session.execute(s).unwrap();
+        }
+        let outcome = session.commit().unwrap();
+        assert!(outcome.stats.view_delta_size > 0);
+        drop(session);
+
+        let per = per.into_engine().ok().unwrap();
+        let bat = bat.into_engine().ok().unwrap();
+        assert!(
+            per.database().same_contents(bat.database()),
+            "batched application must equal per-statement application"
+        );
+    }
+
+    #[test]
+    fn sweep_smoke() {
+        let points = batch_sweep(300, &[40]);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].per_statement > Duration::ZERO);
+        assert!(points[0].batched > Duration::ZERO);
+    }
+
+    #[test]
+    fn scaling_smoke() {
+        let points = thread_scaling(300, &[2], 2, 20);
+        assert_eq!(points[0].total_statements, 80);
+        assert!(points[0].statements_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let batch = batch_sweep(300, &[30]);
+        let scale = thread_scaling(300, &[1], 1, 20);
+        let doc = to_json("test", 300, &batch, &scale);
+        let rendered = doc.to_pretty();
+        let parsed = birds_service::Json::parse(&rendered).unwrap();
+        assert_eq!(
+            parsed
+                .get("benchmark")
+                .and_then(birds_service::Json::as_str),
+            Some("throughput")
+        );
+        assert_eq!(
+            parsed
+                .get("batch_vs_statement")
+                .and_then(birds_service::Json::as_arr)
+                .map(<[birds_service::Json]>::len),
+            Some(1)
+        );
+    }
+}

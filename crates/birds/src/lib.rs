@@ -73,6 +73,7 @@
 //! | [`core`] | `birds-core` | §4 validation, §5 incrementalization |
 //! | [`sql`] | `birds-sql` | §6.1 SQL/trigger compilation |
 //! | [`engine`] | `birds-engine` | §6.1 runtime (triggers, Algorithm 2) |
+//! | [`service`] | `birds-service` | concurrent batched-update service layer |
 //! | [`benchmarks`] | `birds-benchmarks` | §6.2 (Table 1 corpus, Figure 6) |
 
 pub use birds_core as core;
@@ -80,6 +81,7 @@ pub use birds_datalog as datalog;
 pub use birds_engine as engine;
 pub use birds_eval as eval;
 pub use birds_fol as fol;
+pub use birds_service as service;
 pub use birds_solver as solver;
 pub use birds_sql as sql;
 pub use birds_store as store;
@@ -102,6 +104,7 @@ pub mod prelude {
     pub use birds_core::{incrementalize, validate, UpdateStrategy, ValidationReport, Validator};
     pub use birds_datalog::{parse_program, parse_rule, DeltaKind, PredRef, Program, Rule};
     pub use birds_engine::{Engine, EngineError, ExecutionStats, StrategyMode};
+    pub use birds_service::{LocalClient, Server, Service, ServiceError, Session};
     pub use birds_solver::{BoundedSolver, SatOutcome};
     pub use birds_sql::{compile_strategy, CompiledSql};
     pub use birds_store::{

@@ -7,7 +7,7 @@
 //!   source schema, a view, a Datalog putback program (`putdelta`, possibly
 //!   with integrity constraints) and optionally the expected view
 //!   definition.
-//! * [`validate`] — the three-pass validation of Algorithm 1:
+//! * [`validate()`] — the three-pass validation of Algorithm 1:
 //!   well-definedness (Definition 3.1 via the rules (2) of §4.2), existence
 //!   of a view definition satisfying **GetPut** (the steady-state
 //!   construction of Lemma 4.2, with automatic derivation of `get` from the

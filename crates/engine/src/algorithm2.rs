@@ -14,7 +14,11 @@
 //! a statement sees the effects of earlier statements in the same
 //! transaction. Equality conditions probe the view's hash indexes, which
 //! keeps single-key deletes `O(1)` — the paper's PostgreSQL benefits from
-//! B-tree indexes the same way.
+//! B-tree indexes the same way. The pending insertions are held in an
+//! indexed [`Relation`] mirroring the view's per-column indexes, so a
+//! keyed statement late in a large batch probes the pending set too
+//! instead of scanning it — without this, deriving a k-statement batch
+//! degrades to `O(k²)` and erases the service layer's batching win.
 
 use crate::error::{EngineError, EngineResult};
 use birds_sql::{Condition, DmlStatement};
@@ -31,7 +35,14 @@ pub fn derive_view_delta(
     schema: &Schema,
     statements: &[DmlStatement],
 ) -> EngineResult<Delta> {
-    let mut ins: HashSet<Tuple> = HashSet::new();
+    // Pending insertions carry the same single-column indexes the view
+    // relation gets at registration, so both sides of the transaction-
+    // local state answer keyed predicates by probe.
+    let mut ins = Relation::new("Δ⁺", schema.arity());
+    for col in 0..schema.arity() {
+        ins.ensure_index(&[col])
+            .map_err(|e| EngineError::Store(e.to_string()))?;
+    }
     let mut del: HashSet<Tuple> = HashSet::new();
 
     for stmt in statements {
@@ -43,12 +54,20 @@ pub fn derive_view_delta(
         for t in &d_plus {
             del.remove(t);
         }
-        ins.extend(d_plus);
+        for t in d_plus {
+            ins.insert(t)
+                .map_err(|e| EngineError::Store(e.to_string()))?;
+        }
         del.extend(d_minus);
     }
 
     // Normalize to effective sets w.r.t. the stored view.
-    ins.retain(|t| !view.contains(t));
+    let ins: HashSet<Tuple> = ins
+        .tuples()
+        .iter()
+        .filter(|t| !view.contains(t))
+        .cloned()
+        .collect();
     del.retain(|t| view.contains(t));
     Ok(Delta::from_sets(ins, del))
 }
@@ -57,7 +76,7 @@ pub fn derive_view_delta(
 fn statement_effect(
     view: &Relation,
     schema: &Schema,
-    pending_ins: &HashSet<Tuple>,
+    pending_ins: &Relation,
     pending_del: &HashSet<Tuple>,
     stmt: &DmlStatement,
 ) -> EngineResult<(Vec<Tuple>, Vec<Tuple>)> {
@@ -112,11 +131,12 @@ fn statement_effect(
 }
 
 /// Tuples of the transaction-local view state matching a conjunctive
-/// predicate. Equality conditions drive an index probe when possible.
+/// predicate: `(view \ pending_del) ∪ pending_ins`, both sides answered
+/// by index probe on positive equality conditions when possible.
 fn matching_tuples(
     view: &Relation,
     schema: &Schema,
-    pending_ins: &HashSet<Tuple>,
+    pending_ins: &Relation,
     pending_del: &HashSet<Tuple>,
     predicate: &[Condition],
 ) -> EngineResult<Vec<Tuple>> {
@@ -131,51 +151,53 @@ fn matching_tuples(
         })?;
         resolved.push((idx, c));
     }
-    let matches = |t: &Tuple| resolved.iter().all(|(i, c)| c.matches(&t[*i]));
 
-    // Index probe on positive equality columns.
+    let mut out: Vec<Tuple> = Vec::new();
+    collect_matching(view, &resolved, Some(pending_del), &mut out);
+    collect_matching(pending_ins, &resolved, None, &mut out);
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// Append `rel`'s tuples matching the resolved conditions (minus
+/// `exclude`) to `out`. Positive equality conditions drive an index
+/// probe when `rel` has a matching index; otherwise a filtered scan.
+fn collect_matching(
+    rel: &Relation,
+    resolved: &[(usize, &Condition)],
+    exclude: Option<&HashSet<Tuple>>,
+    out: &mut Vec<Tuple>,
+) {
+    let matches = |t: &Tuple| {
+        resolved.iter().all(|(i, c)| c.matches(&t[*i])) && exclude.is_none_or(|ex| !ex.contains(t))
+    };
+
     let eq_cols: Vec<usize> = resolved
         .iter()
         .filter(|(_, c)| c.op == birds_datalog::CmpOp::Eq && !c.negated)
         .map(|(i, _)| *i)
         .collect();
-    let mut out: Vec<Tuple> = Vec::new();
-    let full_index = !eq_cols.is_empty() && view.has_index(&eq_cols);
+    let full_index = !eq_cols.is_empty() && rel.has_index(&eq_cols);
     // Fall back to any single indexed equality column, filtering the rest.
-    let partial_index = eq_cols.iter().find(|&&c| view.has_index(&[c])).copied();
+    let partial_index = eq_cols.iter().find(|&&c| rel.has_index(&[c])).copied();
     if full_index {
         let key: Vec<Value> = resolved
             .iter()
             .filter(|(_, c)| c.op == birds_datalog::CmpOp::Eq && !c.negated)
             .map(|(_, c)| c.value)
             .collect();
-        out.extend(
-            view.probe(&eq_cols, &key)
-                .filter(|t| matches(t) && !pending_del.contains(*t))
-                .cloned(),
-        );
+        out.extend(rel.probe(&eq_cols, &key).filter(|t| matches(t)).cloned());
     } else if let Some(col) = partial_index {
         let key = resolved
             .iter()
             .find(|(i, c)| *i == col && c.op == birds_datalog::CmpOp::Eq && !c.negated)
             .map(|(_, c)| c.value)
             .expect("col came from eq_cols");
-        out.extend(
-            view.probe(&[col], &[key])
-                .filter(|t| matches(t) && !pending_del.contains(*t))
-                .cloned(),
-        );
+        out.extend(rel.probe(&[col], &[key]).filter(|t| matches(t)).cloned());
     } else {
-        out.extend(
-            view.iter()
-                .filter(|t| matches(t) && !pending_del.contains(*t))
-                .cloned(),
-        );
+        out.extend(rel.iter().filter(|t| matches(t)).cloned());
     }
-    out.extend(pending_ins.iter().filter(|t| matches(t)).cloned());
-    out.sort();
-    out.dedup();
-    Ok(out)
 }
 
 #[cfg(test)]

@@ -5,8 +5,8 @@ use crate::error::{EngineError, EngineResult};
 use birds_core::{incrementalize, validate, UpdateStrategy};
 use birds_datalog::{DeltaKind, Literal, PredRef, Program, Rule};
 use birds_eval::{evaluate_program, evaluate_query, rule_has_witness, EvalContext, PlanCache};
-use birds_sql::parse_script;
-use birds_store::{Database, Delta, DeltaSet, Relation, Tuple};
+use birds_sql::{parse_script, DmlStatement};
+use birds_store::{Database, Delta, DeltaSet, Relation, Schema, Tuple};
 use std::collections::{BTreeMap, HashSet};
 
 /// How a registered view's strategy is executed on each update.
@@ -21,7 +21,7 @@ pub enum StrategyMode {
 }
 
 /// Statistics from one executed view-update transaction.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecutionStats {
     /// Tuples in the derived view delta.
     pub view_delta_size: usize,
@@ -48,6 +48,16 @@ pub struct Engine {
     /// subsequent `put` replays the compiled plan.
     plan_cache: PlanCache,
 }
+
+// The service layer (`birds-service`) shares one `Engine` across client
+// threads behind an `RwLock`; every type the engine owns (interned values,
+// `Arc<[Value]>` tuples, compiled plans) must stay thread-safe. Checked at
+// compile time so a future `Rc`/`RefCell` in any layer fails here, not in
+// a downstream crate.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+};
 
 impl Engine {
     /// Engine over an initial database of base tables.
@@ -86,6 +96,16 @@ impl Engine {
     /// Is `name` a registered updatable view?
     pub fn is_view(&self, name: &str) -> bool {
         self.views.contains_key(name)
+    }
+
+    /// Names of all registered updatable views, in name order.
+    pub fn view_names(&self) -> impl Iterator<Item = &str> {
+        self.views.keys().map(String::as_str)
+    }
+
+    /// The schema of a registered view (the strategy's view relation).
+    pub fn view_schema(&self, name: &str) -> Option<&Schema> {
+        self.views.get(name).map(|rv| &rv.strategy.view)
     }
 
     /// Register an updatable view after validating its strategy
@@ -218,6 +238,16 @@ impl Engine {
     /// `BEGIN … END` script) targeting a single registered view.
     pub fn execute(&mut self, sql: &str) -> EngineResult<ExecutionStats> {
         let statements = parse_script(sql)?;
+        self.execute_statements(&statements)
+    }
+
+    /// Execute a view-update transaction from pre-parsed statements (the
+    /// service layer parses once per request and batches statements, so it
+    /// must not pay a re-serialize/re-parse round trip per transaction).
+    pub fn execute_statements(
+        &mut self,
+        statements: &[DmlStatement],
+    ) -> EngineResult<ExecutionStats> {
         if statements.is_empty() {
             return Ok(ExecutionStats::default());
         }
@@ -236,11 +266,88 @@ impl Engine {
             .relation(&table)
             .ok_or_else(|| EngineError::NotAView(table.clone()))?;
         let t0 = std::time::Instant::now();
-        let delta = derive_view_delta(view_rel, &rv.strategy.view, &statements)?;
+        let delta = derive_view_delta(view_rel, &rv.strategy.view, statements)?;
         if std::env::var_os("BIRDS_ENGINE_DEBUG").is_some() {
             eprintln!("[engine] derive_view_delta: {:?}", t0.elapsed());
         }
         self.apply_view_delta(&table, delta, 0)
+    }
+
+    /// Derive the net (normalized, effective) view delta of a statement
+    /// sequence against the *current* view state, without applying it.
+    /// This is the coalescing half of batched execution: a service batch
+    /// runs Algorithm 2 once over all buffered statements, then applies
+    /// the net delta in one incremental pass via [`Engine::apply_delta`].
+    pub fn derive_delta(
+        &self,
+        view_name: &str,
+        statements: &[DmlStatement],
+    ) -> EngineResult<Delta> {
+        let rv = self
+            .views
+            .get(view_name)
+            .ok_or_else(|| EngineError::NotAView(view_name.to_owned()))?;
+        let view_rel = self
+            .db
+            .relation(view_name)
+            .ok_or_else(|| EngineError::NotAView(view_name.to_owned()))?;
+        derive_view_delta(view_rel, &rv.strategy.view, statements)
+    }
+
+    /// Apply a batched view delta in **one** strategy evaluation — the
+    /// batched-update entry point. The delta is normalized against the
+    /// current view state first (insertions already present and deletions
+    /// already absent are dropped), so a delta derived earlier in a
+    /// session stays safe to apply after unrelated updates. The
+    /// transaction is atomic: constraint violations and contradictory
+    /// source deltas roll the view back.
+    pub fn apply_delta(
+        &mut self,
+        view_name: &str,
+        mut delta: Delta,
+    ) -> EngineResult<ExecutionStats> {
+        let rv = self
+            .views
+            .get(view_name)
+            .ok_or_else(|| EngineError::NotAView(view_name.to_owned()))?;
+        let arity = rv.strategy.view.arity();
+        if let Some(t) = delta
+            .insertions
+            .iter()
+            .chain(delta.deletions.iter())
+            .find(|t| t.arity() != arity)
+        {
+            return Err(EngineError::BadStatement(format!(
+                "delta tuple {t} has arity {} but view '{view_name}' has arity {arity}",
+                t.arity()
+            )));
+        }
+        let view_rel = self
+            .db
+            .relation(view_name)
+            .ok_or_else(|| EngineError::NotAView(view_name.to_owned()))?;
+        delta.normalize_against(view_rel);
+        self.apply_view_delta(view_name, delta, 0)
+    }
+
+    /// Apply one batched delta per view, each in a single strategy
+    /// evaluation, in iteration order. Atomicity is **per view**: if the
+    /// k-th delta is rejected (constraint violation, contradictory source
+    /// delta), the first k−1 stay applied and the error is returned with
+    /// the offending view's name — callers that need all-or-nothing
+    /// semantics should batch per view. Stats are summed over all views.
+    pub fn apply_deltas(
+        &mut self,
+        deltas: impl IntoIterator<Item = (String, Delta)>,
+    ) -> EngineResult<ExecutionStats> {
+        let mut total = ExecutionStats::default();
+        for (view_name, delta) in deltas {
+            let stats = self.apply_delta(&view_name, delta)?;
+            total.view_delta_size += stats.view_delta_size;
+            total.source_delta_size += stats.source_delta_size;
+            total.cascades += stats.cascades;
+        }
+        Ok(total)
     }
 
     /// Apply an (effective, normalized) view delta to a registered view:
@@ -869,6 +976,81 @@ mod tests {
                 "{mode:?}: updates actually hit the cache"
             );
         }
+    }
+
+    #[test]
+    fn batched_delta_equals_per_statement_replay() {
+        // Coalescing many statements into one net delta and applying it
+        // in one pass must land on the same database as executing the
+        // statements one at a time.
+        let scripts = [
+            "INSERT INTO v VALUES (10);",
+            "INSERT INTO v VALUES (11);",
+            "DELETE FROM v WHERE a = 10;",
+            "INSERT INTO v VALUES (12);",
+            "DELETE FROM v WHERE a = 1;",
+        ];
+        for mode in [StrategyMode::Original, StrategyMode::Incremental] {
+            let mut serial = union_engine(mode);
+            for s in scripts {
+                serial.execute(s).unwrap();
+            }
+            let mut batched = union_engine(mode);
+            let statements: Vec<_> = scripts
+                .iter()
+                .flat_map(|s| parse_script(s).unwrap())
+                .collect();
+            let delta = batched.derive_delta("v", &statements).unwrap();
+            // Net effect: insert 11 and 12, delete 1; the 10-insert is
+            // cancelled by its own deletion before ever being applied.
+            assert_eq!(delta.insertions.len(), 2);
+            assert_eq!(delta.deletions.len(), 1);
+            let stats = batched.apply_delta("v", delta).unwrap();
+            assert_eq!(stats.view_delta_size, 3);
+            assert!(
+                serial.database().same_contents(batched.database()),
+                "{mode:?}: batched application diverges from serial replay"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_normalizes_stale_deltas() {
+        let mut engine = union_engine(StrategyMode::Incremental);
+        let mut delta = Delta::new();
+        delta.push_insert(tuple![1]); // already in the view
+        delta.push_delete(tuple![99]); // not in the view
+        delta.push_insert(tuple![50]); // genuinely new
+        let stats = engine.apply_delta("v", delta).unwrap();
+        assert_eq!(stats.view_delta_size, 1, "only the new tuple survives");
+        assert!(engine.relation("v").unwrap().contains(&tuple![50]));
+        assert!(engine.relation("r1").unwrap().contains(&tuple![50]));
+    }
+
+    #[test]
+    fn apply_deltas_sums_stats_across_views() {
+        let mut engine = union_engine(StrategyMode::Incremental);
+        let mut d = Delta::new();
+        d.push_insert(tuple![70]);
+        d.push_insert(tuple![71]);
+        let stats = engine.apply_deltas(vec![("v".to_owned(), d)]).unwrap();
+        assert_eq!(stats.view_delta_size, 2);
+        assert!(engine.relation("r1").unwrap().contains(&tuple![70]));
+    }
+
+    #[test]
+    fn apply_delta_rejects_wrong_arity_and_unknown_view() {
+        let mut engine = union_engine(StrategyMode::Original);
+        let mut d = Delta::new();
+        d.push_insert(tuple![1, 2]);
+        assert!(matches!(
+            engine.apply_delta("v", d),
+            Err(EngineError::BadStatement(_))
+        ));
+        assert!(matches!(
+            engine.apply_delta("nope", Delta::new()),
+            Err(EngineError::NotAView(_))
+        ));
     }
 
     #[test]

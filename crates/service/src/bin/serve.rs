@@ -1,0 +1,146 @@
+//! `birds-serve` — the updatable-view database as an always-on process.
+//!
+//! Server mode (default) binds a TCP listener and speaks the
+//! line-delimited JSON protocol of `birds_service::protocol`:
+//!
+//! ```text
+//! birds-serve --listen 127.0.0.1:7878            # Example 3.1 demo views
+//! birds-serve --listen 127.0.0.1:0 --max-conns 1 # exit after one session
+//! ```
+//!
+//! Client mode connects to a running server, forwards each line of
+//! stdin as a request, and prints each response line to stdout —
+//! enough to script a session from CI or a shell:
+//!
+//! ```text
+//! echo '{"op":"query","relation":"v"}' | birds-serve --connect 127.0.0.1:7878
+//! ```
+//!
+//! The demo database is the paper's Example 3.1: `v = r1 ∪ r2` with the
+//! programmed strategy (deletions remove from whichever table held the
+//! tuple; insertions go to `r1`), registered in incremental mode.
+
+use birds_core::UpdateStrategy;
+use birds_engine::{Engine, StrategyMode};
+use birds_service::{Server, Service};
+use birds_store::{tuple, Database, DatabaseSchema, Relation, Schema, SortKind};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn main() {
+    let mut listen = String::from("127.0.0.1:7878");
+    let mut connect: Option<String> = None;
+    let mut max_conns: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = require_value(args.next(), "--listen"),
+            "--connect" => connect = Some(require_value(args.next(), "--connect")),
+            "--max-conns" => {
+                max_conns = Some(
+                    require_value(args.next(), "--max-conns")
+                        .parse()
+                        .unwrap_or_else(|_| {
+                            eprintln!("--max-conns needs an integer");
+                            std::process::exit(2);
+                        }),
+                )
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: birds-serve [--listen ADDR] [--max-conns N]\n\
+                     \x20      birds-serve --connect ADDR   (client mode, script on stdin)"
+                );
+                return;
+            }
+            flag => {
+                eprintln!("unknown flag '{flag}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(addr) = connect {
+        run_client(&addr);
+    } else {
+        run_server(&listen, max_conns);
+    }
+}
+
+fn run_server(listen: &str, max_conns: Option<usize>) {
+    let service = Service::new(demo_engine());
+    let server = Server::spawn(listen, service, max_conns).unwrap_or_else(|e| {
+        eprintln!("cannot listen on {listen}: {e}");
+        std::process::exit(1);
+    });
+    // Parseable by scripts that need the resolved port (`--listen :0`).
+    println!("listening on {}", server.addr());
+    if let Err(e) = server.join() {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run_client(addr: &str) {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut responses = BufReader::new(stream);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.expect("read stdin");
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer.write_all(line.as_bytes()).expect("send request");
+        writer.write_all(b"\n").expect("send request");
+        writer.flush().expect("send request");
+        let mut response = String::new();
+        if responses.read_line(&mut response).expect("read response") == 0 {
+            eprintln!("server closed the connection");
+            std::process::exit(1);
+        }
+        print!("{response}");
+    }
+    // Close the session so `--max-conns` servers can wind down.
+    let _ = writer.write_all(b"{\"op\":\"quit\"}\n");
+    let _ = writer.flush();
+    let mut bye = String::new();
+    let _ = responses.read_line(&mut bye);
+}
+
+/// Example 3.1: `v = r1 ∪ r2`, seeded with r1 = {1}, r2 = {2, 4}.
+fn demo_engine() -> Engine {
+    let mut db = Database::new();
+    db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).expect("seed r1"))
+        .expect("add r1");
+    db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).expect("seed r2"))
+        .expect("add r2");
+    let strategy = UpdateStrategy::parse(
+        DatabaseSchema::new()
+            .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+            .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+        Schema::new("v", vec![("a", SortKind::Int)]),
+        "
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+        ",
+        None,
+    )
+    .expect("demo strategy parses");
+    let mut engine = Engine::new(db);
+    engine
+        .register_view(strategy, StrategyMode::Incremental)
+        .expect("demo view registers");
+    engine
+}
+
+fn require_value(v: Option<String>, flag: &str) -> String {
+    v.unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}

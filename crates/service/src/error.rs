@@ -1,0 +1,46 @@
+//! Service-layer errors.
+
+use birds_engine::EngineError;
+use std::fmt;
+
+/// Result alias for service operations.
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+/// Errors raised by the service layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// SQL parsing failed.
+    Parse(String),
+    /// The engine rejected the transaction (constraint violation,
+    /// unknown view, contradictory delta, …).
+    Engine(EngineError),
+    /// `begin` while a batch is already open.
+    BatchAlreadyOpen,
+    /// `commit` / `rollback` without an open batch.
+    NoBatchOpen,
+    /// A malformed protocol request (bad JSON, unknown op, missing
+    /// field).
+    Protocol(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Parse(m) => write!(f, "parse error: {m}"),
+            ServiceError::Engine(e) => write!(f, "{e}"),
+            ServiceError::BatchAlreadyOpen => {
+                write!(f, "a batch is already open in this session")
+            }
+            ServiceError::NoBatchOpen => write!(f, "no batch is open in this session"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}

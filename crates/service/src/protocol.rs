@@ -1,0 +1,304 @@
+//! The line-delimited JSON protocol spoken by `birds-serve`.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Requests carry an `"op"` discriminator:
+//!
+//! | request                                   | reply (on success)                                            |
+//! |-------------------------------------------|---------------------------------------------------------------|
+//! | `{"op":"ping"}`                           | `{"ok":true,"pong":true}`                                     |
+//! | `{"op":"execute","sql":"…"}`              | `{"ok":true,"applied":…}` or `{"ok":true,"buffered":n}`       |
+//! | `{"op":"begin"}`                          | `{"ok":true,"batch":true}`                                    |
+//! | `{"op":"commit"}`                         | `{"ok":true,"commit_seq":n,"statements":n,…}`                 |
+//! | `{"op":"rollback"}`                       | `{"ok":true,"discarded":n}`                                   |
+//! | `{"op":"query","relation":"v"}`           | `{"ok":true,"relation":"v","tuples":[[…],…]}`                 |
+//! | `{"op":"stats"}`                          | `{"ok":true,"commits":n,"views":[…],"relations":[…]}`         |
+//! | `{"op":"quit"}`                           | `{"ok":true,"bye":true}` and the connection closes            |
+//!
+//! Errors never close the connection (except transport failures):
+//! `{"ok":false,"error":"…"}`.
+//!
+//! Tuple values map to JSON as: `Int` → number, `Float` → number,
+//! `Str` → string, `Bool` → boolean.
+
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::service::{CommitOutcome, ExecOutcome, Session};
+use birds_engine::ExecutionStats;
+use birds_store::{Tuple, Value};
+
+/// A decoded protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Execute (or buffer, in batch mode) a DML script.
+    Execute {
+        /// The SQL script.
+        sql: String,
+    },
+    /// Open a batch.
+    Begin,
+    /// Coalesce and apply the open batch.
+    Commit,
+    /// Discard the open batch.
+    Rollback,
+    /// Snapshot a relation.
+    Query {
+        /// Relation (base table or view) name.
+        relation: String,
+    },
+    /// Service-wide statistics.
+    Stats,
+    /// Close the session.
+    Quit,
+}
+
+impl Request {
+    /// Decode one request line.
+    pub fn parse(line: &str) -> Result<Request, ServiceError> {
+        let doc =
+            Json::parse(line).map_err(|e| ServiceError::Protocol(format!("bad JSON: {e}")))?;
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::Protocol("missing string field 'op'".into()))?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "execute" => {
+                let sql = doc
+                    .get("sql")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        ServiceError::Protocol("'execute' needs a string field 'sql'".into())
+                    })?
+                    .to_owned();
+                Ok(Request::Execute { sql })
+            }
+            "begin" => Ok(Request::Begin),
+            "commit" => Ok(Request::Commit),
+            "rollback" => Ok(Request::Rollback),
+            "query" => {
+                let relation = doc
+                    .get("relation")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        ServiceError::Protocol("'query' needs a string field 'relation'".into())
+                    })?
+                    .to_owned();
+                Ok(Request::Query { relation })
+            }
+            "stats" => Ok(Request::Stats),
+            "quit" => Ok(Request::Quit),
+            other => Err(ServiceError::Protocol(format!("unknown op '{other}'"))),
+        }
+    }
+
+    /// Encode this request as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut fields = vec![(
+            "op".to_owned(),
+            Json::str(match self {
+                Request::Ping => "ping",
+                Request::Execute { .. } => "execute",
+                Request::Begin => "begin",
+                Request::Commit => "commit",
+                Request::Rollback => "rollback",
+                Request::Query { .. } => "query",
+                Request::Stats => "stats",
+                Request::Quit => "quit",
+            }),
+        )];
+        match self {
+            Request::Execute { sql } => fields.push(("sql".to_owned(), Json::str(sql.clone()))),
+            Request::Query { relation } => {
+                fields.push(("relation".to_owned(), Json::str(relation.clone())))
+            }
+            _ => {}
+        }
+        Json::Obj(fields).to_compact()
+    }
+}
+
+fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Int(i) => Json::Int(*i),
+        Value::Float(f) => Json::Float(f.get()),
+        Value::Str(s) => Json::str(s.as_str()),
+        Value::Bool(b) => Json::Bool(*b),
+    }
+}
+
+fn tuple_json(t: &Tuple) -> Json {
+    Json::Arr(t.values().iter().map(value_json).collect())
+}
+
+fn stats_fields(stats: &ExecutionStats) -> Vec<(String, Json)> {
+    vec![
+        (
+            "view_delta".to_owned(),
+            Json::Int(stats.view_delta_size as i64),
+        ),
+        (
+            "source_delta".to_owned(),
+            Json::Int(stats.source_delta_size as i64),
+        ),
+        ("cascades".to_owned(), Json::Int(stats.cascades as i64)),
+    ]
+}
+
+fn ok(mut fields: Vec<(String, Json)>) -> Json {
+    let mut all = vec![("ok".to_owned(), Json::Bool(true))];
+    all.append(&mut fields);
+    Json::Obj(all)
+}
+
+/// Encode an error as a response object.
+pub fn error_response(e: &ServiceError) -> Json {
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(false)),
+        ("error".to_owned(), Json::str(e.to_string())),
+    ])
+}
+
+/// Encode a successful commit.
+pub fn commit_response(outcome: &CommitOutcome) -> Json {
+    let mut fields = vec![
+        (
+            "commit_seq".to_owned(),
+            Json::Int(outcome.commit_seq as i64),
+        ),
+        (
+            "statements".to_owned(),
+            Json::Int(outcome.statements as i64),
+        ),
+        ("views".to_owned(), Json::Int(outcome.views as i64)),
+    ];
+    fields.extend(stats_fields(&outcome.stats));
+    ok(fields)
+}
+
+/// Dispatch one decoded request against a session, producing the reply
+/// object. `Quit` replies with `bye` — the transport decides to close.
+/// Shared by the TCP server and the in-process [`crate::LocalClient`],
+/// so both speak exactly the same protocol.
+pub fn dispatch(session: &mut Session, request: &Request) -> Json {
+    let result: Result<Json, ServiceError> = match request {
+        Request::Ping => Ok(ok(vec![("pong".to_owned(), Json::Bool(true))])),
+        Request::Execute { sql } => session.execute(sql).map(|outcome| match outcome {
+            ExecOutcome::Applied(stats) => {
+                let mut fields = vec![("applied".to_owned(), Json::Bool(true))];
+                fields.extend(stats_fields(&stats));
+                ok(fields)
+            }
+            ExecOutcome::Buffered(pending) => {
+                ok(vec![("buffered".to_owned(), Json::Int(pending as i64))])
+            }
+        }),
+        Request::Begin => session
+            .begin()
+            .map(|()| ok(vec![("batch".to_owned(), Json::Bool(true))])),
+        Request::Commit => session.commit().map(|o| commit_response(&o)),
+        Request::Rollback => session
+            .rollback()
+            .map(|n| ok(vec![("discarded".to_owned(), Json::Int(n as i64))])),
+        Request::Query { relation } => match session.service().query(relation) {
+            Some(tuples) => Ok(ok(vec![
+                ("relation".to_owned(), Json::str(relation.clone())),
+                ("count".to_owned(), Json::Int(tuples.len() as i64)),
+                (
+                    "tuples".to_owned(),
+                    Json::Arr(tuples.iter().map(tuple_json).collect()),
+                ),
+            ])),
+            None => Err(ServiceError::Protocol(format!(
+                "unknown relation '{relation}'"
+            ))),
+        },
+        Request::Stats => {
+            let service = session.service();
+            let (views, relations) = service.read(|engine| {
+                let views: Vec<Json> = engine.view_names().map(Json::str).collect();
+                let mut relations: Vec<Json> = engine
+                    .database()
+                    .relations()
+                    .map(|rel| {
+                        Json::Obj(vec![
+                            ("name".to_owned(), Json::str(rel.name())),
+                            ("tuples".to_owned(), Json::Int(rel.len() as i64)),
+                        ])
+                    })
+                    .collect();
+                relations.sort_by(|a, b| {
+                    a.get("name")
+                        .and_then(Json::as_str)
+                        .cmp(&b.get("name").and_then(Json::as_str))
+                });
+                (views, relations)
+            });
+            Ok(ok(vec![
+                ("commits".to_owned(), Json::Int(service.commits() as i64)),
+                ("pending".to_owned(), Json::Int(session.pending() as i64)),
+                ("views".to_owned(), Json::Arr(views)),
+                ("relations".to_owned(), Json::Arr(relations)),
+            ]))
+        }
+        Request::Quit => Ok(ok(vec![("bye".to_owned(), Json::Bool(true))])),
+    };
+    result.unwrap_or_else(|e| error_response(&e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_encode_parse() {
+        let requests = [
+            Request::Ping,
+            Request::Execute {
+                sql: "INSERT INTO v VALUES (1, 'a\"b');".to_owned(),
+            },
+            Request::Begin,
+            Request::Commit,
+            Request::Rollback,
+            Request::Query {
+                relation: "v".to_owned(),
+            },
+            Request::Stats,
+            Request::Quit,
+        ];
+        for r in requests {
+            let line = r.encode();
+            assert!(!line.contains('\n'), "one line per request: {line}");
+            assert_eq!(Request::parse(&line).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for line in [
+            "not json",
+            "{}",
+            r#"{"op": 7}"#,
+            r#"{"op":"nope"}"#,
+            r#"{"op":"execute"}"#,
+            r#"{"op":"query"}"#,
+        ] {
+            assert!(
+                matches!(Request::parse(line), Err(ServiceError::Protocol(_))),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_responses_carry_the_message() {
+        let resp = error_response(&ServiceError::NoBatchOpen);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(resp
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("no batch"));
+    }
+}

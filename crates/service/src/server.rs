@@ -1,0 +1,243 @@
+//! The TCP transport: one thread and one [`Session`] per connection,
+//! line-delimited JSON framing (see [`crate::protocol`]).
+
+use crate::protocol::{dispatch, error_response, Request};
+use crate::service::{Service, Session};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+/// A running server: the bound address plus the accept-loop thread.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    accept_thread: JoinHandle<std::io::Result<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an OS-assigned port) and serve
+    /// `service` on a background accept loop. When `max_connections` is
+    /// `Some(n)`, the loop exits after the n-th connection *closes* —
+    /// the mode CI smoke tests use so the process terminates on its own.
+    pub fn spawn(
+        addr: &str,
+        service: Service,
+        max_connections: Option<usize>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let accept_thread = std::thread::spawn(move || serve(listener, service, max_connections));
+        Ok(Server {
+            addr: local,
+            accept_thread,
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the accept loop to finish (only returns when
+    /// `max_connections` was set, or on listener failure).
+    pub fn join(self) -> std::io::Result<()> {
+        match self.accept_thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("accept loop panicked")),
+        }
+    }
+}
+
+/// Accept loop. Each connection gets its own session and thread; a
+/// connection handler's IO errors terminate only that connection, and a
+/// transient `accept` failure (client reset mid-handshake, fd pressure)
+/// is skipped rather than killing the always-on server.
+fn serve(
+    listener: TcpListener,
+    service: Service,
+    max_connections: Option<usize>,
+) -> std::io::Result<()> {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut accepted = 0usize;
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("[birds-serve] accept failed (connection skipped): {e}");
+                continue;
+            }
+        };
+        // Reap finished handlers so a long-running server doesn't grow
+        // its join list with every connection it has ever served.
+        handlers.retain(|h| !h.is_finished());
+        let session = service.session();
+        handlers.push(std::thread::spawn(move || {
+            // Transport errors (client vanished) are not server errors.
+            let _ = handle_connection(stream, session);
+        }));
+        accepted += 1;
+        if max_connections.is_some_and(|max| accepted >= max) {
+            break;
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// Serve one connection: read request lines, write response lines, until
+/// `quit`, EOF, or a transport error.
+pub fn handle_connection(stream: TcpStream, mut session: Session) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, quit) = match Request::parse(&line) {
+            Ok(request) => {
+                let quit = request == Request::Quit;
+                (dispatch(&mut session, &request), quit)
+            }
+            Err(e) => (error_response(&e), false),
+        };
+        writer.write_all(response.to_compact().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// An in-process client speaking the same protocol without a socket —
+/// what the unit tests, benches, and examples drive. One `LocalClient`
+/// is one session.
+pub struct LocalClient {
+    session: Session,
+}
+
+impl LocalClient {
+    /// Open an in-process session on `service`.
+    pub fn connect(service: &Service) -> LocalClient {
+        LocalClient {
+            session: service.session(),
+        }
+    }
+
+    /// Send one raw protocol line; returns the raw response line.
+    pub fn request_line(&mut self, line: &str) -> String {
+        match Request::parse(line) {
+            Ok(request) => dispatch(&mut self.session, &request),
+            Err(e) => error_response(&e),
+        }
+        .to_compact()
+    }
+
+    /// Send a decoded request; returns the response document.
+    pub fn request(&mut self, request: &Request) -> crate::json::Json {
+        dispatch(&mut self.session, request)
+    }
+
+    /// The underlying session (for direct API access in tests).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use birds_core::UpdateStrategy;
+    use birds_engine::{Engine, StrategyMode};
+    use birds_store::{tuple, Database, DatabaseSchema, Relation, Schema, SortKind};
+    use std::io::{BufRead, BufReader, Write};
+
+    fn union_service() -> Service {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap())
+            .unwrap();
+        db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap())
+            .unwrap();
+        let strategy = UpdateStrategy::parse(
+            DatabaseSchema::new()
+                .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+                .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+            Schema::new("v", vec![("a", SortKind::Int)]),
+            "
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+            ",
+            None,
+        )
+        .unwrap();
+        let mut engine = Engine::new(db);
+        engine
+            .register_view(strategy, StrategyMode::Incremental)
+            .unwrap();
+        Service::new(engine)
+    }
+
+    #[test]
+    fn local_client_full_session() {
+        let service = union_service();
+        let mut client = LocalClient::connect(&service);
+        let pong = client.request_line(r#"{"op":"ping"}"#);
+        assert!(pong.contains("\"pong\": true"), "{pong}");
+
+        client.request_line(r#"{"op":"begin"}"#);
+        client.request_line(r#"{"op":"execute","sql":"INSERT INTO v VALUES (9);"}"#);
+        let buffered =
+            client.request_line(r#"{"op":"execute","sql":"DELETE FROM v WHERE a = 2;"}"#);
+        assert!(buffered.contains("\"buffered\": 2"), "{buffered}");
+        let commit = client.request_line(r#"{"op":"commit"}"#);
+        assert!(commit.contains("\"ok\": true"), "{commit}");
+        assert!(commit.contains("\"statements\": 2"), "{commit}");
+
+        let query = client.request_line(r#"{"op":"query","relation":"v"}"#);
+        let doc = Json::parse(&query).unwrap();
+        let tuples = doc.get("tuples").unwrap().as_arr().unwrap();
+        let flat: Vec<i64> = tuples
+            .iter()
+            .map(|t| t.as_arr().unwrap()[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(flat, vec![1, 4, 9]);
+
+        let err = client.request_line(r#"{"op":"execute","sql":"INSERT INTO nope VALUES (1);"}"#);
+        assert!(err.contains("\"ok\": false"), "{err}");
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let service = union_service();
+        let server = Server::spawn("127.0.0.1:0", service.clone(), Some(1)).unwrap();
+        let addr = server.addr();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut send = |line: &str| {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            response
+        };
+
+        assert!(send(r#"{"op":"ping"}"#).contains("\"pong\": true"));
+        let applied = send(r#"{"op":"execute","sql":"INSERT INTO v VALUES (33);"}"#);
+        assert!(applied.contains("\"applied\": true"), "{applied}");
+        let stats = send(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"commits\": 1"), "{stats}");
+        assert!(send("garbage").contains("\"ok\": false"));
+        assert!(send(r#"{"op":"quit"}"#).contains("\"bye\": true"));
+
+        server.join().unwrap();
+        assert!(service.query("r1").unwrap().contains(&tuple![33]));
+    }
+}

@@ -1,0 +1,400 @@
+//! The thread-safe, multi-session service over [`birds_engine::Engine`].
+//!
+//! A [`Service`] owns the engine behind one `RwLock`: reads (queries,
+//! stats) take the shared lock and run concurrently; view updates take
+//! the exclusive lock. Each client holds a [`Session`], which runs in one
+//! of two modes:
+//!
+//! * **autocommit** (the default): every `execute` call is its own
+//!   transaction — one strategy evaluation per statement script;
+//! * **batch** (after `begin`): statements buffer locally in the session
+//!   — no lock taken — until `commit` coalesces them into one *net* view
+//!   delta per view (Algorithm 2 over the whole buffer) and applies each
+//!   in a **single** incremental pass. Batching is what lets the service
+//!   sustain write-heavy traffic: the per-update cost is paid once per
+//!   batch, not once per statement (see the `throughput` benchmark).
+//!
+//! Commits are serialized by the write lock and numbered by a global
+//! commit sequence; the stress tests replay batches in commit order to
+//! check that concurrent execution is equivalent to a serial history.
+
+use crate::error::{ServiceError, ServiceResult};
+use birds_engine::{Engine, ExecutionStats};
+use birds_sql::{parse_script, DmlStatement};
+use birds_store::Tuple;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Outcome of a [`Session::execute`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// Autocommit mode: the statements were applied immediately.
+    Applied(ExecutionStats),
+    /// Batch mode: the statements were buffered; the payload is the total
+    /// number of statements now pending in the session.
+    Buffered(usize),
+}
+
+/// Outcome of a successful [`Session::commit`].
+#[derive(Debug, Clone)]
+pub struct CommitOutcome {
+    /// Position of this commit in the service-wide serial order
+    /// (1-based; assigned under the write lock).
+    pub commit_seq: u64,
+    /// Number of statements that were coalesced.
+    pub statements: usize,
+    /// Number of distinct views the batch touched.
+    pub views: usize,
+    /// Summed execution stats over all per-view applications.
+    pub stats: ExecutionStats,
+}
+
+/// Shared handle to one engine; cheap to clone, safe to send across
+/// threads. All handles see the same database.
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<ServiceInner>,
+}
+
+struct ServiceInner {
+    engine: RwLock<Engine>,
+    commit_seq: AtomicU64,
+}
+
+/// Recover from lock poisoning: a panicking writer aborts only its own
+/// request; the engine's mutation paths roll back on error, so the data
+/// it guards is still structurally sound for other sessions.
+fn read_lock(lock: &RwLock<Engine>) -> RwLockReadGuard<'_, Engine> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock(lock: &RwLock<Engine>) -> RwLockWriteGuard<'_, Engine> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Service {
+    /// Wrap an engine (typically with views already registered).
+    pub fn new(engine: Engine) -> Self {
+        Service {
+            inner: Arc::new(ServiceInner {
+                engine: RwLock::new(engine),
+                commit_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Open a new session in autocommit mode.
+    pub fn session(&self) -> Session {
+        Session {
+            service: self.clone(),
+            batch: None,
+        }
+    }
+
+    /// Run a closure under the shared (read) lock.
+    pub fn read<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
+        f(&read_lock(&self.inner.engine))
+    }
+
+    /// Run a closure under the exclusive (write) lock.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
+        f(&mut write_lock(&self.inner.engine))
+    }
+
+    /// Sorted snapshot of a relation's tuples (`None` for unknown names).
+    pub fn query(&self, relation: &str) -> Option<Vec<Tuple>> {
+        self.read(|engine| {
+            engine.relation(relation).map(|rel| {
+                let mut tuples: Vec<Tuple> = rel.iter().cloned().collect();
+                tuples.sort();
+                tuples
+            })
+        })
+    }
+
+    /// Number of committed transactions (autocommit scripts and batch
+    /// commits both count) since the service started.
+    pub fn commits(&self) -> u64 {
+        self.inner.commit_seq.load(Ordering::SeqCst)
+    }
+
+    /// Tear the service down and recover the engine. Fails (returning
+    /// `self`) while other handles — sessions included — are still alive.
+    pub fn into_engine(self) -> Result<Engine, Service> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner.engine.into_inner().unwrap_or_else(|e| e.into_inner())),
+            Err(inner) => Err(Service { inner }),
+        }
+    }
+
+    fn next_commit_seq(&self) -> u64 {
+        // Called only while holding the write lock, so the sequence is
+        // consistent with the serialization order of the commits.
+        self.inner.commit_seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
+
+/// One client's connection-scoped state: its mode and pending batch.
+pub struct Session {
+    service: Service,
+    /// `Some` while a batch is open (between `begin` and
+    /// `commit`/`rollback`); statements buffer here, in arrival order.
+    batch: Option<Vec<DmlStatement>>,
+}
+
+impl Session {
+    /// The service this session runs against.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Is a batch currently open?
+    pub fn in_batch(&self) -> bool {
+        self.batch.is_some()
+    }
+
+    /// Statements pending in the open batch (0 outside a batch).
+    pub fn pending(&self) -> usize {
+        self.batch.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Execute a DML script. In autocommit mode the statements apply
+    /// immediately as one transaction; in batch mode they buffer until
+    /// [`Session::commit`].
+    pub fn execute(&mut self, sql: &str) -> ServiceResult<ExecOutcome> {
+        let statements = parse_script(sql).map_err(|e| ServiceError::Parse(e.to_string()))?;
+        self.execute_statements(statements)
+    }
+
+    /// Pre-parsed variant of [`Session::execute`].
+    pub fn execute_statements(
+        &mut self,
+        statements: Vec<DmlStatement>,
+    ) -> ServiceResult<ExecOutcome> {
+        match &mut self.batch {
+            Some(buffer) => {
+                buffer.extend(statements);
+                Ok(ExecOutcome::Buffered(buffer.len()))
+            }
+            None => {
+                let stats = self.service.write(|engine| {
+                    let stats = engine.execute_statements(&statements)?;
+                    self.service.next_commit_seq();
+                    Ok::<_, ServiceError>(stats)
+                })?;
+                Ok(ExecOutcome::Applied(stats))
+            }
+        }
+    }
+
+    /// Open a batch. Fails if one is already open.
+    pub fn begin(&mut self) -> ServiceResult<()> {
+        if self.batch.is_some() {
+            return Err(ServiceError::BatchAlreadyOpen);
+        }
+        self.batch = Some(Vec::new());
+        Ok(())
+    }
+
+    /// Coalesce and apply the open batch: statements are grouped by
+    /// target view (preserving per-view arrival order), each group is
+    /// folded by Algorithm 2 into one net delta, and each net delta is
+    /// applied in a single strategy evaluation — all under one exclusive
+    /// lock acquisition.
+    ///
+    /// On error the batch is discarded; atomicity is per view (a
+    /// multi-view batch that fails on its k-th view keeps the first k−1
+    /// applied — single-view batches, the common case, are atomic).
+    pub fn commit(&mut self) -> ServiceResult<CommitOutcome> {
+        let statements = self.batch.take().ok_or(ServiceError::NoBatchOpen)?;
+        let statement_count = statements.len();
+        if statement_count == 0 {
+            // An empty commit is still a (trivial) transaction.
+            let commit_seq = self.service.write(|_| self.service.next_commit_seq());
+            return Ok(CommitOutcome {
+                commit_seq,
+                statements: 0,
+                views: 0,
+                stats: ExecutionStats::default(),
+            });
+        }
+        // Group by view, keeping first-appearance order of views and
+        // arrival order of statements within each view.
+        let mut groups: Vec<(String, Vec<DmlStatement>)> = Vec::new();
+        for stmt in statements {
+            match groups.iter_mut().find(|(view, _)| view == stmt.table()) {
+                Some((_, group)) => group.push(stmt),
+                None => groups.push((stmt.table().to_owned(), vec![stmt])),
+            }
+        }
+        let views = groups.len();
+        self.service.write(|engine| {
+            let mut total = ExecutionStats::default();
+            for (view, group) in groups {
+                // Derive against the in-lock state so earlier groups'
+                // cascades are visible, then apply in one pass.
+                let delta = engine.derive_delta(&view, &group)?;
+                let stats = engine.apply_delta(&view, delta)?;
+                total.view_delta_size += stats.view_delta_size;
+                total.source_delta_size += stats.source_delta_size;
+                total.cascades += stats.cascades;
+            }
+            let commit_seq = self.service.next_commit_seq();
+            Ok(CommitOutcome {
+                commit_seq,
+                statements: statement_count,
+                views,
+                stats: total,
+            })
+        })
+    }
+
+    /// Discard the open batch, returning how many statements were
+    /// dropped.
+    pub fn rollback(&mut self) -> ServiceResult<usize> {
+        let buffer = self.batch.take().ok_or(ServiceError::NoBatchOpen)?;
+        Ok(buffer.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_core::UpdateStrategy;
+    use birds_engine::StrategyMode;
+    use birds_store::{tuple, Database, DatabaseSchema, Relation, Schema, SortKind};
+
+    fn union_service() -> Service {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap())
+            .unwrap();
+        db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap())
+            .unwrap();
+        let strategy = UpdateStrategy::parse(
+            DatabaseSchema::new()
+                .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+                .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+            Schema::new("v", vec![("a", SortKind::Int)]),
+            "
+            -r1(X) :- r1(X), not v(X).
+            -r2(X) :- r2(X), not v(X).
+            +r1(X) :- v(X), not r1(X), not r2(X).
+            ",
+            None,
+        )
+        .unwrap();
+        let mut engine = Engine::new(db);
+        engine
+            .register_view(strategy, StrategyMode::Incremental)
+            .unwrap();
+        Service::new(engine)
+    }
+
+    #[test]
+    fn autocommit_applies_immediately() {
+        let service = union_service();
+        let mut session = service.session();
+        let outcome = session.execute("INSERT INTO v VALUES (9);").unwrap();
+        assert!(matches!(outcome, ExecOutcome::Applied(_)));
+        assert!(service.query("r1").unwrap().contains(&tuple![9]));
+        assert_eq!(service.commits(), 1);
+    }
+
+    #[test]
+    fn batch_buffers_then_commits_net_delta() {
+        let service = union_service();
+        let mut session = service.session();
+        session.begin().unwrap();
+        session.execute("INSERT INTO v VALUES (10);").unwrap();
+        session.execute("INSERT INTO v VALUES (11);").unwrap();
+        let outcome = session.execute("DELETE FROM v WHERE a = 10;").unwrap();
+        assert_eq!(outcome, ExecOutcome::Buffered(3));
+        // Nothing applied yet.
+        assert!(!service.query("r1").unwrap().contains(&tuple![11]));
+        assert_eq!(service.commits(), 0);
+
+        let commit = session.commit().unwrap();
+        assert_eq!(commit.statements, 3);
+        assert_eq!(commit.views, 1);
+        assert_eq!(commit.commit_seq, 1);
+        // Net effect: only 11 inserted (10 cancelled in the batch).
+        assert_eq!(commit.stats.view_delta_size, 1);
+        let r1 = service.query("r1").unwrap();
+        assert!(r1.contains(&tuple![11]) && !r1.contains(&tuple![10]));
+        assert!(!session.in_batch());
+    }
+
+    #[test]
+    fn rollback_discards_buffer() {
+        let service = union_service();
+        let mut session = service.session();
+        session.begin().unwrap();
+        session.execute("INSERT INTO v VALUES (77);").unwrap();
+        assert_eq!(session.rollback().unwrap(), 1);
+        assert!(!service.query("v").unwrap().contains(&tuple![77]));
+        assert!(matches!(session.rollback(), Err(ServiceError::NoBatchOpen)));
+    }
+
+    #[test]
+    fn begin_twice_rejected_commit_without_begin_rejected() {
+        let service = union_service();
+        let mut session = service.session();
+        session.begin().unwrap();
+        assert!(matches!(
+            session.begin(),
+            Err(ServiceError::BatchAlreadyOpen)
+        ));
+        session.rollback().unwrap();
+        assert!(matches!(session.commit(), Err(ServiceError::NoBatchOpen)));
+    }
+
+    #[test]
+    fn empty_commit_is_a_trivial_transaction() {
+        let service = union_service();
+        let mut session = service.session();
+        session.begin().unwrap();
+        let commit = session.commit().unwrap();
+        assert_eq!(commit.statements, 0);
+        assert_eq!(commit.commit_seq, 1);
+    }
+
+    #[test]
+    fn failed_commit_discards_batch_and_preserves_state() {
+        let service = union_service();
+        let mut session = service.session();
+        session.begin().unwrap();
+        // Target a non-view: the commit must fail cleanly.
+        session.execute("INSERT INTO r1 VALUES (5);").unwrap();
+        assert!(session.commit().is_err());
+        assert!(!session.in_batch(), "failed commit closes the batch");
+        assert_eq!(service.query("r1").unwrap().len(), 1);
+        assert_eq!(service.commits(), 0);
+    }
+
+    #[test]
+    fn sessions_share_one_database() {
+        let service = union_service();
+        let mut a = service.session();
+        let mut b = service.session();
+        a.execute("INSERT INTO v VALUES (100);").unwrap();
+        b.execute("DELETE FROM v WHERE a = 100;").unwrap();
+        assert!(!service.query("v").unwrap().contains(&tuple![100]));
+        assert_eq!(service.commits(), 2);
+    }
+
+    #[test]
+    fn into_engine_requires_sole_ownership() {
+        let service = union_service();
+        let session = service.session();
+        let service = match service.into_engine() {
+            Err(still_shared) => still_shared,
+            Ok(_) => panic!("session still alive: must refuse"),
+        };
+        drop(session);
+        let engine = match service.into_engine() {
+            Ok(engine) => engine,
+            Err(_) => panic!("sole owner now: must succeed"),
+        };
+        assert!(engine.is_view("v"));
+    }
+}

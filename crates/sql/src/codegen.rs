@@ -1,7 +1,7 @@
 //! Non-recursive Datalog → SQL `SELECT` translation.
 //!
-//! Follows the standard translation the paper cites ([10], also used by
-//! [29]): each rule becomes a `SELECT DISTINCT` with one `FROM` entry per
+//! Follows the standard translation the paper cites (its reference \[10\],
+//! also \[29\]): each rule becomes a `SELECT DISTINCT` with one `FROM` entry per
 //! positive atom, equality predicates for shared variables and constants,
 //! `NOT EXISTS` subqueries for negated atoms, and comparison predicates
 //! for builtins. A predicate with several rules becomes a `UNION`.

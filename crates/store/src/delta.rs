@@ -64,6 +64,44 @@ impl Delta {
         self.insertions.iter().all(|t| rel.contains(t))
             && self.deletions.iter().all(|t| !rel.contains(t))
     }
+
+    /// Record a *net-effect* insertion: a pending deletion of the same
+    /// tuple is cancelled (the later statement overrides the earlier one,
+    /// Algorithm 2's `Δ⁻ ← Δ⁻ \ δ⁺`).
+    pub fn push_insert(&mut self, t: Tuple) {
+        self.deletions.remove(&t);
+        self.insertions.insert(t);
+    }
+
+    /// Record a *net-effect* deletion: a pending insertion of the same
+    /// tuple is cancelled (`Δ⁺ ← Δ⁺ \ δ⁻`).
+    pub fn push_delete(&mut self, t: Tuple) {
+        self.insertions.remove(&t);
+        self.deletions.insert(t);
+    }
+
+    /// Merge a later delta into this one under Algorithm 2's override
+    /// semantics: `Δ⁺ ← (Δ⁺ \ δ⁻) ∪ δ⁺` and `Δ⁻ ← (Δ⁻ \ δ⁺) ∪ δ⁻`.
+    /// The result is the net effect of applying `self` then `later`.
+    pub fn merge(&mut self, later: Delta) {
+        for t in &later.deletions {
+            self.insertions.remove(t);
+        }
+        for t in &later.insertions {
+            self.deletions.remove(t);
+        }
+        self.insertions.extend(later.insertions);
+        self.deletions.extend(later.deletions);
+    }
+
+    /// Drop the parts of the delta that would be no-ops on `rel`:
+    /// insertions already present and deletions already absent. The
+    /// *effective* normalization the engine's incremental programs and
+    /// rollback logic rely on.
+    pub fn normalize_against(&mut self, rel: &crate::relation::Relation) {
+        self.insertions.retain(|t| !rel.contains(t));
+        self.deletions.retain(|t| rel.contains(t));
+    }
 }
 
 /// A delta for each of several relations, keyed by relation name.
@@ -119,6 +157,14 @@ impl DeltaSet {
     /// Definition 3.1: no relation has a tuple both inserted and deleted.
     pub fn is_non_contradictory(&self) -> bool {
         self.deltas.values().all(Delta::is_non_contradictory)
+    }
+
+    /// Merge a later delta set into this one, relation by relation, under
+    /// Algorithm 2's override semantics (see [`Delta::merge`]).
+    pub fn merge(&mut self, later: DeltaSet) {
+        for (name, d) in later.deltas {
+            self.entry(name).merge(d);
+        }
     }
 
     /// Apply this delta set to a database: `S ⊕ ΔS`.
@@ -238,6 +284,91 @@ mod tests {
         ds.apply_to(&mut database).unwrap();
         let r2 = database.relation("r2").unwrap();
         assert!(r2.contains(&tuple![4]) && !r2.contains(&tuple![3]));
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let mut d = Delta::new();
+        d.push_insert(tuple![7]);
+        d.push_delete(tuple![7]);
+        assert!(d.insertions.is_empty());
+        assert_eq!(d.deletions.len(), 1, "net effect is a plain deletion");
+        assert!(d.is_non_contradictory());
+    }
+
+    #[test]
+    fn delete_then_insert_cancels() {
+        let mut d = Delta::new();
+        d.push_delete(tuple![7]);
+        d.push_insert(tuple![7]);
+        assert!(d.deletions.is_empty());
+        assert_eq!(d.insertions.len(), 1, "net effect is a plain insertion");
+    }
+
+    #[test]
+    fn merge_applies_override_semantics() {
+        // first: +{1}, -{2};  later: -{1}, +{2}, +{3}
+        let mut first = Delta::new();
+        first.push_insert(tuple![1]);
+        first.push_delete(tuple![2]);
+        let mut later = Delta::new();
+        later.push_delete(tuple![1]);
+        later.push_insert(tuple![2]);
+        later.push_insert(tuple![3]);
+        first.merge(later);
+        assert!(!first.insertions.contains(&tuple![1]), "overridden");
+        assert!(first.deletions.contains(&tuple![1]));
+        assert!(first.insertions.contains(&tuple![2]), "overridden back");
+        assert!(!first.deletions.contains(&tuple![2]));
+        assert!(first.insertions.contains(&tuple![3]));
+        assert!(first.is_non_contradictory());
+    }
+
+    #[test]
+    fn merge_of_net_deltas_stays_non_contradictory() {
+        // Any sequence of push_insert/push_delete/merge keeps Δ⁺ ∩ Δ⁻ = ∅.
+        let mut acc = Delta::new();
+        for i in 0..50i64 {
+            let mut step = Delta::new();
+            if i % 2 == 0 {
+                step.push_insert(tuple![i % 7]);
+            } else {
+                step.push_delete(tuple![i % 7]);
+            }
+            step.push_delete(tuple![(i + 1) % 5]);
+            acc.merge(step);
+            assert!(acc.is_non_contradictory(), "after step {i}");
+        }
+    }
+
+    #[test]
+    fn normalize_against_drops_noops() {
+        let database = db();
+        let mut d = Delta::new();
+        d.push_insert(tuple![1]); // already in r1
+        d.push_insert(tuple![9]); // genuinely new
+        d.push_delete(tuple![2]); // actually present
+        d.push_delete(tuple![42]); // already absent
+        d.normalize_against(database.relation("r1").unwrap());
+        assert_eq!(d.insertions.len(), 1);
+        assert!(d.insertions.contains(&tuple![9]));
+        assert_eq!(d.deletions.len(), 1);
+        assert!(d.deletions.contains(&tuple![2]));
+    }
+
+    #[test]
+    fn delta_set_merge_is_per_relation() {
+        let mut a = DeltaSet::new();
+        a.insert("r1", tuple![1]);
+        a.delete("r2", tuple![3]);
+        let mut b = DeltaSet::new();
+        b.delete("r1", tuple![1]); // overrides a's insertion
+        b.insert("r2", tuple![4]);
+        a.merge(b);
+        assert!(a.get("r1").unwrap().deletions.contains(&tuple![1]));
+        assert!(a.get("r1").unwrap().insertions.is_empty());
+        assert!(a.get("r2").unwrap().deletions.contains(&tuple![3]));
+        assert!(a.get("r2").unwrap().insertions.contains(&tuple![4]));
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn content_hash(s: &str) -> u64 {
 
 /// An interned, immutable, process-lifetime string symbol.
 ///
-/// `IStr` is a thin pointer to a pool [`Entry`]; two `IStr`s are equal iff
+/// `IStr` is a thin pointer to a pool `Entry`; two `IStr`s are equal iff
 /// they point at the same entry, which the pool guarantees iff their
 /// contents are equal. Ordering goes through the bytes, so `IStr` sorts
 /// exactly like the `String` it replaced.
