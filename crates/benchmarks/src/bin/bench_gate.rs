@@ -1,25 +1,41 @@
-//! CI perf-regression gate over the Figure 6 trajectory.
+//! CI perf-regression gate over the committed benchmark trajectory.
 //!
-//! Runs a fresh (small) figure6 measurement and compares it against the
-//! **last** run recorded in the committed `BENCH_figure6.json` baseline.
-//! The gate is deliberately generous — CI machines are slow, shared and
-//! noisy — and fails only when fresh latency exceeds the baseline by
-//! more than `--factor` (default 3×) at some measured point. Exit code 1
-//! on regression, 2 on usage/baseline errors.
+//! Two checks, each against the committed baselines, each deliberately
+//! generous (`--factor`, default 3×) because CI machines are slow,
+//! shared and noisy — only a genuine regression trips them, not machine
+//! variance. Exit code 1 on regression, 2 on usage/baseline errors.
+//!
+//! 1. **Figure 6 latency** (always): a fresh small figure6 measurement
+//!    versus the last run in `BENCH_figure6.json`.
+//! 2. **Thread scaling** (with `--throughput-baseline`): a fresh
+//!    disjoint-views scaling run — n autocommit clients × n disjoint
+//!    views through the sharded service's group committers, replaying
+//!    the committed run's base size and epoch window — versus the
+//!    `disjoint_thread_scaling` section of `BENCH_throughput.json`.
+//!    Fails when fresh aggregate stmts/sec falls more than `--factor`
+//!    below the baseline at any compared client count. For the gate to
+//!    be able to see a *serialization* regression (not just a slowdown),
+//!    `--clients` must include a count whose committed scaling exceeds
+//!    `--factor` — at the default 3× that means 4 clients or more
+//!    (committed scaling is ~1.9× at 2, ~4.3× at 4, ~7.9× at 8), which
+//!    is why CI gates on `--clients 1,2,4`.
 //!
 //! ```text
 //! cargo run --release -p birds-benchmarks --bin bench_gate -- \
 //!     --baseline BENCH_figure6.json --view luxuryitems --sizes 1000,10000 \
+//!     --throughput-baseline BENCH_throughput.json --clients 1,2,4 \
 //!     --factor 3 --out bench-fresh.json
 //! ```
 //!
-//! `--out` writes the fresh measurement (atomically) so CI can upload it
-//! as a workflow artifact — the trajectory of every CI run, not just the
-//! committed snapshots.
+//! `--out` writes the fresh figure6 measurement (atomically) so CI can
+//! upload it as a workflow artifact — the trajectory of every CI run,
+//! not just the committed snapshots.
 
 use birds_benchmarks::emit::write_atomic;
 use birds_benchmarks::figure6::{sweep, to_json, Figure6View};
+use birds_benchmarks::throughput::disjoint_scaling;
 use birds_service::Json;
+use std::time::Duration;
 
 fn main() {
     let mut baseline_path = String::from("BENCH_figure6.json");
@@ -27,21 +43,15 @@ fn main() {
     let mut sizes: Vec<usize> = vec![1_000, 10_000];
     let mut factor = 3.0f64;
     let mut out_path: Option<String> = None;
+    let mut throughput_baseline: Option<String> = None;
+    let mut clients: Vec<usize> = vec![1, 2, 4];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => baseline_path = require_value(args.next(), "--baseline"),
             "--view" => view_name = require_value(args.next(), "--view"),
             "--sizes" => {
-                sizes = require_value(args.next(), "--sizes")
-                    .split(',')
-                    .map(|s| {
-                        s.trim().parse().unwrap_or_else(|_| {
-                            eprintln!("--sizes needs comma-separated integers");
-                            std::process::exit(2);
-                        })
-                    })
-                    .collect()
+                sizes = parse_usize_list(&require_value(args.next(), "--sizes"), "--sizes")
             }
             "--factor" => {
                 factor = require_value(args.next(), "--factor")
@@ -52,6 +62,12 @@ fn main() {
                     })
             }
             "--out" => out_path = Some(require_value(args.next(), "--out")),
+            "--throughput-baseline" => {
+                throughput_baseline = Some(require_value(args.next(), "--throughput-baseline"))
+            }
+            "--clients" => {
+                clients = parse_usize_list(&require_value(args.next(), "--clients"), "--clients")
+            }
             flag => {
                 eprintln!("unknown flag '{flag}'");
                 std::process::exit(2);
@@ -125,6 +141,13 @@ fn main() {
         eprintln!("\nno comparable points between fresh run and baseline");
         std::process::exit(2);
     }
+
+    if let Some(path) = throughput_baseline {
+        let (tr, tc) = throughput_gate(&path, &clients, factor);
+        regressions += tr;
+        compared += tc;
+    }
+
     if regressions > 0 {
         eprintln!(
             "\nFAIL: {regressions} of {compared} measurements regressed beyond {factor}x \
@@ -133,6 +156,95 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nOK: all {compared} measurements within {factor}x of the committed baseline");
+}
+
+/// Thread-scaling gate: replay the committed disjoint-views scaling run
+/// (same base size and epoch window) at the requested client counts and
+/// compare aggregate stmts/sec point by point. Returns
+/// `(regressions, compared)`.
+fn throughput_gate(baseline_path: &str, clients: &[usize], factor: f64) -> (usize, usize) {
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read throughput baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("throughput baseline {baseline_path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let base_size = doc
+        .get("base_size")
+        .and_then(Json::as_i64)
+        .unwrap_or(20_000) as usize;
+    let window = Duration::from_micros(
+        doc.get("epoch_window_us")
+            .and_then(Json::as_i64)
+            .unwrap_or(200) as u64,
+    );
+    // clients → (stmts/sec, statements measured) from the committed run.
+    let mut baseline: std::collections::BTreeMap<usize, (f64, usize)> =
+        std::collections::BTreeMap::new();
+    for point in doc
+        .get("disjoint_thread_scaling")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+    {
+        let (Some(threads), Some(rate), Some(stmts)) = (
+            point.get("threads").and_then(Json::as_i64),
+            point.get("statements_per_sec").and_then(Json::as_f64),
+            point.get("total_statements").and_then(Json::as_i64),
+        ) else {
+            continue;
+        };
+        baseline.insert(threads as usize, (rate, stmts as usize));
+    }
+    if baseline.is_empty() {
+        eprintln!("{baseline_path} has no disjoint_thread_scaling section to gate against");
+        std::process::exit(2);
+    }
+
+    println!(
+        "\ngate: fresh disjoint-views scaling at clients {clients:?} \
+         (base {base_size}, {}us epoch window) vs committed {baseline_path}",
+        window.as_micros()
+    );
+    let per_client = clients
+        .iter()
+        .filter_map(|n| baseline.get(n).map(|(_, stmts)| stmts / n.max(&1)))
+        .next()
+        .unwrap_or(400);
+    let fresh = disjoint_scaling(base_size, clients, per_client, window);
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:>10} {:>18} {:>16} {:>8}",
+        "clients", "baseline (st/s)", "fresh (st/s)", "ratio"
+    );
+    for point in &fresh {
+        let Some((base_rate, _)) = baseline.get(&point.threads).copied() else {
+            println!("{:>10}  (no baseline point; skipped)", point.threads);
+            continue;
+        };
+        compared += 1;
+        let fresh_rate = point.statements_per_sec();
+        // Regression = fresh throughput collapsed below baseline/factor.
+        let ratio = base_rate / fresh_rate.max(1e-9);
+        let verdict = if ratio > factor {
+            regressions += 1;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{:>10} {:>18.0} {:>16.0} {:>7.2}x{verdict}",
+            point.threads, base_rate, fresh_rate, ratio
+        );
+    }
+    if compared == 0 {
+        eprintln!("no comparable thread-scaling points between fresh run and baseline");
+        std::process::exit(2);
+    }
+    (regressions, compared)
 }
 
 /// `base_size → (original_ms, incremental_ms)`.
@@ -179,4 +291,15 @@ fn require_value(v: Option<String>, flag: &str) -> String {
         eprintln!("{flag} needs a value");
         std::process::exit(2);
     })
+}
+
+fn parse_usize_list(raw: &str, flag: &str) -> Vec<usize> {
+    raw.split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("{flag} needs comma-separated integers");
+                std::process::exit(2);
+            })
+        })
+        .collect()
 }

@@ -12,7 +12,10 @@
 //! the run. `--quick` shrinks the sweep for smoke runs.
 
 use birds_benchmarks::emit::write_atomic;
-use birds_benchmarks::throughput::{batch_sweep, thread_scaling, to_json};
+use birds_benchmarks::throughput::{
+    batch_sweep, disjoint_scaling, group_commit_scaling, thread_scaling, to_json, ScalePoint,
+};
+use std::time::Duration;
 
 fn main() {
     let mut emit_json = false;
@@ -33,17 +36,29 @@ fn main() {
         }
     }
 
-    let (base_size, batch_sizes, threads, batches_per_thread, batch): (
+    let (base_size, batch_sizes, threads, batches_per_thread, batch, per_client): (
         usize,
         Vec<usize>,
         Vec<usize>,
+        usize,
         usize,
         usize,
     ) = if quick {
-        (1_000, vec![100, 1_000], vec![1, 2], 2, 200)
+        (1_000, vec![100, 1_000], vec![1, 2], 2, 200, 50)
     } else {
-        (20_000, vec![100, 1_000, 10_000], vec![1, 2, 4, 8], 4, 1_000)
+        (
+            20_000,
+            vec![100, 1_000, 10_000],
+            vec![1, 2, 4, 8],
+            4,
+            1_000,
+            400,
+        )
     };
+    // Group-commit epoch window for the autocommit scaling sweeps: long
+    // enough that concurrent submitters reliably join the same epoch,
+    // short enough to stay realistic as a commit latency floor.
+    let epoch_window = Duration::from_micros(200);
 
     println!("== batched vs per-statement (luxuryitems @ {base_size}, incremental) ==");
     println!(
@@ -63,28 +78,64 @@ fn main() {
 
     println!();
     println!(
-        "== concurrent clients ({batch}-statement batches, {batches_per_thread} per client) =="
-    );
-    println!(
-        "{:>8} {:>12} {:>14} {:>16}",
-        "threads", "statements", "elapsed (ms)", "stmts/sec"
+        "== concurrent clients, ONE shared view ({batch}-statement batches, \
+         {batches_per_thread} per client; contended baseline) =="
     );
     let scale_points = thread_scaling(base_size, &threads, batches_per_thread, batch);
-    for p in &scale_points {
-        println!(
-            "{:>8} {:>12} {:>14.2} {:>16.0}",
-            p.threads,
-            p.total_statements,
-            p.elapsed.as_secs_f64() * 1e3,
-            p.statements_per_sec()
-        );
-    }
+    print_scale_points(&scale_points);
+
+    println!();
+    println!(
+        "== disjoint views: n autocommit clients x n footprint shards \
+         ({per_client} stmts/client, {}us epoch window) ==",
+        epoch_window.as_micros()
+    );
+    let disjoint_points = disjoint_scaling(base_size, &threads, per_client, epoch_window);
+    print_scale_points(&disjoint_points);
+
+    println!();
+    println!(
+        "== group commit: n autocommit clients, ONE shared view \
+         ({per_client} stmts/client, {}us epoch window) ==",
+        epoch_window.as_micros()
+    );
+    let coalescing_points = group_commit_scaling(base_size, &threads, per_client, epoch_window);
+    print_scale_points(&coalescing_points);
 
     if emit_json {
         let label = label.unwrap_or_else(|| "current".to_owned());
-        let doc = to_json(&label, base_size, &batch_points, &scale_points);
+        let doc = to_json(
+            &label,
+            base_size,
+            &batch_points,
+            &scale_points,
+            &disjoint_points,
+            &coalescing_points,
+            epoch_window,
+        );
         write_atomic(&out_path, &doc.to_pretty()).expect("write benchmark JSON");
         println!("\nwrote {out_path}");
+    }
+}
+
+fn print_scale_points(points: &[ScalePoint]) {
+    println!(
+        "{:>8} {:>12} {:>14} {:>16} {:>10}",
+        "clients", "statements", "elapsed (ms)", "stmts/sec", "scaling"
+    );
+    let base = points
+        .first()
+        .map(ScalePoint::statements_per_sec)
+        .unwrap_or(0.0);
+    for p in points {
+        println!(
+            "{:>8} {:>12} {:>14.2} {:>16.0} {:>9.2}x",
+            p.threads,
+            p.total_statements,
+            p.elapsed.as_secs_f64() * 1e3,
+            p.statements_per_sec(),
+            p.statements_per_sec() / base.max(1e-9)
+        );
     }
 }
 

@@ -19,13 +19,30 @@
 //!   The CI-facing claim (`BENCH_throughput.json`, acceptance ≥3× at
 //!   10k) comes from this sweep.
 //! * **thread scaling** — n clients each committing fixed-size batches
-//!   concurrently: aggregate statements/second as n grows. With one
-//!   engine-wide write lock this measures lock-handoff overhead, the
-//!   baseline the ROADMAP's sharded-locks item wants to beat.
+//!   concurrently *on one shared view*: aggregate statements/second as n
+//!   grows. All clients hit the same footprint shard, so their commits
+//!   serialize — the flat curve this sweep records is the contended
+//!   baseline the disjoint sweep is measured against.
+//! * **disjoint thread scaling** — n autocommit clients × n disjoint
+//!   views (one luxuryitems-style selection per client, each over its
+//!   own base table). Every client owns a footprint shard, so commits
+//!   never contend; with a fixed group-commit epoch window, the epoch
+//!   waits of concurrent clients overlap while only the evaluations
+//!   serialize on the CPU — aggregate throughput scales with offered
+//!   concurrency (and with cores, on multicore hardware). This is the
+//!   sweep the CI `bench_gate` thread-scaling check replays.
+//! * **group-commit coalescing** — n autocommit clients on *one* shared
+//!   view: the shard's epoch leader coalesces every transaction queued
+//!   in the window into one net delta per view, so per-statement
+//!   evaluation cost is amortized across clients — batch-level
+//!   throughput for clients that never call `begin`/`commit`.
 
 use crate::figure6::Figure6View;
-use birds_engine::StrategyMode;
-use birds_service::{ExecOutcome, Service};
+use birds_core::UpdateStrategy;
+use birds_datalog::parse_program;
+use birds_engine::{Engine, StrategyMode};
+use birds_service::{ExecOutcome, Service, ServiceConfig};
+use birds_store::{Database, DatabaseSchema, Schema, SortKind};
 use std::time::{Duration, Instant};
 
 /// The corpus view the throughput experiment runs on.
@@ -38,6 +55,16 @@ pub const VIEW: Figure6View = Figure6View::Luxuryitems;
 /// which cancel a pending insert — so the batch path also exercises
 /// net-delta cancellation, not just bulk insertion.
 pub fn statement_stream(base_size: usize, client: usize, count: usize) -> Vec<String> {
+    statement_stream_for("luxuryitems", base_size, client, count)
+}
+
+/// [`statement_stream`] against an arbitrary luxuryitems-shaped view.
+pub fn statement_stream_for(
+    view: &str,
+    base_size: usize,
+    client: usize,
+    count: usize,
+) -> Vec<String> {
     let window = base_size as i64 + 10 + (client as i64) * (count as i64 + 10);
     let mut scripts = Vec::with_capacity(count);
     let mut next_id = window;
@@ -45,16 +72,59 @@ pub fn statement_stream(base_size: usize, client: usize, count: usize) -> Vec<St
         if i % 5 == 4 {
             // Delete the id inserted 4 statements ago (still pending in
             // a batch; already applied in autocommit).
-            scripts.push(format!(
-                "DELETE FROM luxuryitems WHERE id = {};",
-                next_id - 4
-            ));
+            scripts.push(format!("DELETE FROM {view} WHERE id = {};", next_id - 4));
         } else {
-            scripts.push(format!("INSERT INTO luxuryitems VALUES ({next_id}, 4999);"));
+            scripts.push(format!("INSERT INTO {view} VALUES ({next_id}, 4999);"));
             next_id += 1;
         }
     }
     scripts
+}
+
+/// Build an engine with `views` *disjoint* luxuryitems-style selections:
+/// view `lux{i}` (price > 1000, with the domain constraint) over its own
+/// base table `items{i}`. Footprints are pairwise disjoint, so the
+/// service shards them into `views` independent components (plus the
+/// usual per-component singletons — here there are none).
+pub fn disjoint_engine(base_size: usize, views: usize) -> Engine {
+    let mut db = Database::new();
+    for i in 0..views {
+        let items = crate::datagen::items_database(base_size)
+            .into_relations()
+            .next()
+            .expect("items_database has one relation")
+            .renamed(format!("items{i}"));
+        db.add_relation(items).expect("fresh database");
+    }
+    let mut engine = Engine::new(db);
+    for i in 0..views {
+        let strategy = UpdateStrategy::parse(
+            DatabaseSchema::new().with(Schema::new(
+                format!("items{i}"),
+                vec![("id", SortKind::Int), ("price", SortKind::Int)],
+            )),
+            Schema::new(
+                format!("lux{i}"),
+                vec![("id", SortKind::Int), ("price", SortKind::Int)],
+            ),
+            &format!(
+                "
+                false :- lux{i}(I, P), not P > 1000.
+                +items{i}(I, P) :- lux{i}(I, P), not items{i}(I, P).
+                expensive{i}(I, P) :- items{i}(I, P), P > 1000.
+                -items{i}(I, P) :- expensive{i}(I, P), not lux{i}(I, P).
+                "
+            ),
+            None,
+        )
+        .expect("disjoint strategy parses");
+        let get = parse_program(&format!("lux{i}(I, P) :- items{i}(I, P), P > 1000."))
+            .expect("disjoint get parses");
+        engine
+            .register_view_unchecked(strategy, get, StrategyMode::Incremental)
+            .expect("disjoint view registers");
+    }
+    engine
 }
 
 /// One point of the batch-vs-statement sweep.
@@ -174,12 +244,110 @@ pub fn thread_scaling(
         .collect()
 }
 
+/// Measure aggregate autocommit throughput with `n` clients on `n`
+/// *disjoint* views (client `i` owns view `lux{i}` and its footprint
+/// shard), for each `n` in `clients_list`. Each client issues
+/// `per_client` single-statement autocommit transactions through the
+/// group committer with the given epoch `window`. Commits never contend
+/// (disjoint footprints); the epoch waits of concurrent clients overlap,
+/// so aggregate statements/sec scales with the client count — and with
+/// cores, where the evaluations themselves parallelize.
+pub fn disjoint_scaling(
+    base_size: usize,
+    clients_list: &[usize],
+    per_client: usize,
+    window: Duration,
+) -> Vec<ScalePoint> {
+    clients_list
+        .iter()
+        .map(|&clients| {
+            let service = Service::with_config(
+                disjoint_engine(base_size, clients),
+                ServiceConfig {
+                    epoch_window: window,
+                },
+            );
+            assert_eq!(
+                service.shard_count(),
+                clients,
+                "disjoint views must shard 1:1"
+            );
+            run_autocommit_clients(&service, clients, |client| {
+                statement_stream_for(&format!("lux{client}"), base_size, 0, per_client)
+            })
+        })
+        .collect()
+}
+
+/// Measure aggregate autocommit throughput with `n` clients all hitting
+/// *one* shared view, for each `n` in `clients_list`: every transaction
+/// funnels through the same shard's group committer, whose epoch leader
+/// coalesces whatever queued during the `window` into one net delta —
+/// per-statement evaluation cost amortized across clients.
+pub fn group_commit_scaling(
+    base_size: usize,
+    clients_list: &[usize],
+    per_client: usize,
+    window: Duration,
+) -> Vec<ScalePoint> {
+    clients_list
+        .iter()
+        .map(|&clients| {
+            let service = Service::with_config(
+                VIEW.engine(base_size, StrategyMode::Incremental),
+                ServiceConfig {
+                    epoch_window: window,
+                },
+            );
+            run_autocommit_clients(&service, clients, |client| {
+                statement_stream(base_size, client, per_client)
+            })
+        })
+        .collect()
+}
+
+/// Drive `clients` concurrent autocommit sessions, each over its own
+/// statement stream, and time first statement to last commit.
+fn run_autocommit_clients(
+    service: &Service,
+    clients: usize,
+    stream_for: impl Fn(usize) -> Vec<String>,
+) -> ScalePoint {
+    let streams: Vec<Vec<String>> = (0..clients).map(&stream_for).collect();
+    let total_statements: usize = streams.iter().map(Vec::len).sum();
+    let t = Instant::now();
+    let handles: Vec<_> = streams
+        .into_iter()
+        .map(|scripts| {
+            let service = service.clone();
+            std::thread::spawn(move || {
+                let mut session = service.session();
+                for script in &scripts {
+                    let outcome = session.execute(script).expect("autocommit applies");
+                    debug_assert!(matches!(outcome, ExecOutcome::Applied(_)));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    ScalePoint {
+        threads: clients,
+        total_statements,
+        elapsed: t.elapsed(),
+    }
+}
+
 /// Render the measurements as the `BENCH_throughput.json` document.
 pub fn to_json(
     label: &str,
     base_size: usize,
     batch_points: &[BatchPoint],
     scale_points: &[ScalePoint],
+    disjoint_points: &[ScalePoint],
+    coalescing_points: &[ScalePoint],
+    epoch_window: Duration,
 ) -> birds_service::Json {
     use birds_service::Json;
     let round = |ms: f64| (ms * 1000.0).round() / 1000.0;
@@ -203,31 +371,48 @@ pub fn to_json(
             ])
         })
         .collect();
-    let scale_json: Vec<Json> = scale_points
-        .iter()
-        .map(|p| {
-            Json::Obj(vec![
-                ("threads".to_owned(), Json::Int(p.threads as i64)),
-                (
-                    "total_statements".to_owned(),
-                    Json::Int(p.total_statements as i64),
-                ),
-                (
-                    "elapsed_ms".to_owned(),
-                    Json::Float(round(p.elapsed.as_secs_f64() * 1e3)),
-                ),
-                (
-                    "statements_per_sec".to_owned(),
-                    Json::Float(p.statements_per_sec().round()),
-                ),
-            ])
-        })
-        .collect();
+    let scale_json = |points: &[ScalePoint]| -> Vec<Json> {
+        let base_rate = points
+            .first()
+            .map(ScalePoint::statements_per_sec)
+            .unwrap_or(0.0);
+        points
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("threads".to_owned(), Json::Int(p.threads as i64)),
+                    (
+                        "total_statements".to_owned(),
+                        Json::Int(p.total_statements as i64),
+                    ),
+                    (
+                        "elapsed_ms".to_owned(),
+                        Json::Float(round(p.elapsed.as_secs_f64() * 1e3)),
+                    ),
+                    (
+                        "statements_per_sec".to_owned(),
+                        Json::Float(p.statements_per_sec().round()),
+                    ),
+                    (
+                        "scaling_vs_1_client".to_owned(),
+                        Json::Float(
+                            ((p.statements_per_sec() / base_rate.max(1e-9)) * 100.0).round()
+                                / 100.0,
+                        ),
+                    ),
+                ])
+            })
+            .collect()
+    };
     Json::Obj(vec![
         ("benchmark".to_owned(), Json::str("throughput")),
         ("view".to_owned(), Json::str(VIEW.name())),
         ("mode".to_owned(), Json::str("incremental")),
         ("base_size".to_owned(), Json::Int(base_size as i64)),
+        (
+            "epoch_window_us".to_owned(),
+            Json::Int(epoch_window.as_micros() as i64),
+        ),
         ("label".to_owned(), Json::str(label)),
         (
             "note".to_owned(),
@@ -235,12 +420,31 @@ pub fn to_json(
                 "Service-layer write throughput on the luxuryitems corpus strategy. \
                  batch_vs_statement: wall time for k statements applied as k autocommit \
                  transactions vs one coalesced session batch (one incremental pass). \
-                 thread_scaling: aggregate statements/sec with n concurrent clients \
-                 committing 1000-statement batches against one engine-wide RwLock.",
+                 thread_scaling: n clients committing 1000-statement batches on ONE \
+                 shared view — all in one footprint shard, so commits serialize (the \
+                 contended baseline; flat by design). disjoint_thread_scaling: n \
+                 autocommit clients x n disjoint views, one footprint shard per \
+                 client, group-commit epoch window as configured — epoch waits \
+                 overlap across shards and evaluations parallelize across cores, so \
+                 aggregate stmts/sec scales with client count (scaling_vs_1_client is \
+                 the gated ratio). group_commit_scaling: n autocommit clients on ONE \
+                 shared view — the epoch leader coalesces concurrent transactions \
+                 into one net delta, amortizing evaluation across clients.",
             ),
         ),
         ("batch_vs_statement".to_owned(), Json::Arr(batch_json)),
-        ("thread_scaling".to_owned(), Json::Arr(scale_json)),
+        (
+            "thread_scaling".to_owned(),
+            Json::Arr(scale_json(scale_points)),
+        ),
+        (
+            "disjoint_thread_scaling".to_owned(),
+            Json::Arr(scale_json(disjoint_points)),
+        ),
+        (
+            "group_commit_scaling".to_owned(),
+            Json::Arr(scale_json(coalescing_points)),
+        ),
     ])
 }
 
@@ -313,7 +517,17 @@ mod tests {
     fn json_document_shape() {
         let batch = batch_sweep(300, &[30]);
         let scale = thread_scaling(300, &[1], 1, 20);
-        let doc = to_json("test", 300, &batch, &scale);
+        let disjoint = disjoint_scaling(100, &[1, 2], 10, Duration::from_micros(50));
+        let coalescing = group_commit_scaling(100, &[2], 10, Duration::from_micros(50));
+        let doc = to_json(
+            "test",
+            300,
+            &batch,
+            &scale,
+            &disjoint,
+            &coalescing,
+            Duration::from_micros(50),
+        );
         let rendered = doc.to_pretty();
         let parsed = birds_service::Json::parse(&rendered).unwrap();
         assert_eq!(
@@ -328,6 +542,95 @@ mod tests {
                 .and_then(birds_service::Json::as_arr)
                 .map(<[birds_service::Json]>::len),
             Some(1)
+        );
+        assert_eq!(
+            parsed
+                .get("disjoint_thread_scaling")
+                .and_then(birds_service::Json::as_arr)
+                .map(<[birds_service::Json]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            parsed
+                .get("epoch_window_us")
+                .and_then(birds_service::Json::as_i64),
+            Some(50)
+        );
+        let point = &parsed
+            .get("disjoint_thread_scaling")
+            .and_then(birds_service::Json::as_arr)
+            .unwrap()[0];
+        assert_eq!(
+            point
+                .get("scaling_vs_1_client")
+                .and_then(birds_service::Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn disjoint_engine_shards_one_component_per_view() {
+        let service = Service::new(disjoint_engine(50, 3));
+        assert_eq!(service.shard_count(), 3);
+        for i in 0..3 {
+            let view = format!("lux{i}");
+            assert!(service.query(&view).is_some(), "{view} registered");
+        }
+    }
+
+    #[test]
+    fn disjoint_clients_apply_all_statements() {
+        let points = disjoint_scaling(80, &[2], 25, Duration::ZERO);
+        assert_eq!(points[0].total_statements, 50);
+        assert!(points[0].statements_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn coalesced_autocommit_matches_serial_state() {
+        // The same stream applied with and without group-commit
+        // coalescing must land on the same database.
+        let scripts: Vec<Vec<String>> = (0..3)
+            .map(|client| statement_stream(120, client, 20))
+            .collect();
+
+        let coalesced = Service::with_config(
+            VIEW.engine(120, StrategyMode::Incremental),
+            ServiceConfig {
+                epoch_window: Duration::from_micros(200),
+            },
+        );
+        let handles: Vec<_> = scripts
+            .iter()
+            .cloned()
+            .map(|stream| {
+                let service = coalesced.clone();
+                std::thread::spawn(move || {
+                    let mut session = service.session();
+                    for script in &stream {
+                        session.execute(script).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(coalesced.commits(), 3 * 20, "every tx got its own seq");
+
+        let serial = Service::new(VIEW.engine(120, StrategyMode::Incremental));
+        let mut session = serial.session();
+        for stream in &scripts {
+            for script in stream {
+                session.execute(script).unwrap();
+            }
+        }
+        drop(session);
+
+        let coalesced = coalesced.into_engine().ok().unwrap();
+        let serial = serial.into_engine().ok().unwrap();
+        assert!(
+            coalesced.database().same_contents(serial.database()),
+            "group-commit coalescing diverged from serial application"
         );
     }
 }

@@ -192,6 +192,39 @@ impl UpdateStrategy {
         names
     }
 
+    /// Source relations the putback program (or the expected get) *reads*:
+    /// every source-schema relation that occurs in a rule body, either
+    /// plainly or as a delta predicate. This is the read half of the
+    /// strategy's dependency footprint — the relations a concurrency
+    /// layer must hold (at least) shared while an update evaluates.
+    pub fn read_relations(&self) -> std::collections::BTreeSet<String> {
+        let mut reads = std::collections::BTreeSet::new();
+        let mut visit = |program: &Program| {
+            for pred in program.all_body_predicates() {
+                if self.source_schema.get(&pred.name).is_some() {
+                    reads.insert(pred.name.clone());
+                }
+            }
+        };
+        visit(&self.putdelta);
+        if let Some(get) = &self.expected_get {
+            visit(get);
+        }
+        reads
+    }
+
+    /// Source relations the putback program *writes*: the targets of its
+    /// delta rules (`+r` / `-r` heads). The write half of the strategy's
+    /// dependency footprint — the relations a commit mutates (and, when a
+    /// target is itself a view, where a cascade starts).
+    pub fn write_relations(&self) -> std::collections::BTreeSet<String> {
+        self.delta_rules()
+            .into_iter()
+            .filter_map(|r| r.head.atom())
+            .map(|a| a.pred.name.clone())
+            .collect()
+    }
+
     /// LVGN-Datalog membership violations (empty = in the fragment;
     /// paper §3.2).
     pub fn lvgn_violations(&self) -> Vec<LvgnViolation> {
@@ -308,6 +341,27 @@ mod tests {
         let s = UpdateStrategy::parse(src, view, put, None).unwrap();
         assert_eq!(s.constraints().len(), 1);
         assert_eq!(s.delta_rules().len(), 1);
+    }
+
+    #[test]
+    fn read_and_write_sets_cover_the_strategy_footprint() {
+        let (src, view) = union_schema();
+        let s = UpdateStrategy::parse(src, view, UNION_PUT, Some("v(X) :- r1(X). v(X) :- r2(X)."))
+            .unwrap();
+        let reads: Vec<String> = s.read_relations().into_iter().collect();
+        assert_eq!(reads, vec!["r1".to_owned(), "r2".to_owned()]);
+        let writes: Vec<String> = s.write_relations().into_iter().collect();
+        assert_eq!(writes, vec!["r1".to_owned(), "r2".to_owned()]);
+
+        // A one-directional strategy writes less than it reads.
+        let (src, view) = union_schema();
+        let s =
+            UpdateStrategy::parse(src, view, "-r1(X) :- r1(X), r2(X), not v(X).", None).unwrap();
+        assert_eq!(s.read_relations().len(), 2);
+        assert_eq!(
+            s.write_relations().into_iter().collect::<Vec<_>>(),
+            vec!["r1".to_owned()]
+        );
     }
 
     #[test]

@@ -7,7 +7,8 @@ use birds_datalog::{DeltaKind, Literal, PredRef, Program, Rule};
 use birds_eval::{evaluate_program, evaluate_query, rule_has_witness, EvalContext, PlanCache};
 use birds_sql::{parse_script, DmlStatement};
 use birds_store::{Database, Delta, DeltaSet, Relation, Schema, Tuple};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// How a registered view's strategy is executed on each update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,11 +32,32 @@ pub struct ExecutionStats {
     pub cascades: usize,
 }
 
+/// The dependency footprint of a registered view: which stored relations
+/// a commit on that view may touch. Computed once at registration from
+/// the strategy, the derived get and the incrementalized program, then
+/// closed over cascades (a delta target that is itself a view pulls in
+/// that view's footprint). Footprints are what lets a concurrency layer
+/// run commits on disjoint views in parallel: two commits conflict iff
+/// their closures intersect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewFootprint {
+    /// Stored relations (base tables and sub-views) the view's programs
+    /// read, including the view's own materialized relation.
+    pub reads: BTreeSet<String>,
+    /// Source relations the putback program writes (delta-rule targets).
+    pub writes: BTreeSet<String>,
+    /// Every relation a commit on this view may read or mutate: the
+    /// view itself, `reads ∪ writes`, closed over cascades into
+    /// sub-views. This is the commit's lock set.
+    pub closure: BTreeSet<String>,
+}
+
 struct RegisteredView {
     strategy: UpdateStrategy,
     get: Program,
     incremental: Option<Program>,
     mode: StrategyMode,
+    footprint: ViewFootprint,
 }
 
 /// In-process updatable-view database.
@@ -47,6 +69,10 @@ pub struct Engine {
     /// shares it, so a rule is planned once per engine session and every
     /// subsequent `put` replays the compiled plan.
     plan_cache: PlanCache,
+    /// When enabled, every relation name resolved during evaluation is
+    /// recorded here — the observed read set the declared footprints are
+    /// checked against (see the footprint conformance tests).
+    read_trace: Option<Arc<Mutex<BTreeSet<String>>>>,
 }
 
 // The service layer (`birds-service`) shares one `Engine` across client
@@ -66,6 +92,7 @@ impl Engine {
             db,
             views: BTreeMap::new(),
             plan_cache: PlanCache::new(),
+            read_trace: None,
         }
     }
 
@@ -81,6 +108,96 @@ impl Engine {
     /// update path) so the next evaluation replans against current sizes.
     pub fn clear_plan_cache(&mut self) {
         self.plan_cache.clear();
+    }
+
+    /// The dependency footprint of a registered view (see
+    /// [`ViewFootprint`]); `None` for unknown names.
+    pub fn view_footprint(&self, name: &str) -> Option<&ViewFootprint> {
+        self.views.get(name).map(|rv| &rv.footprint)
+    }
+
+    /// Start (or reset) recording of every relation name resolved during
+    /// evaluation. Diagnostic-only: one branch per lookup while enabled.
+    pub fn set_read_trace(&mut self, enabled: bool) {
+        self.read_trace = enabled.then(|| Arc::new(Mutex::new(BTreeSet::new())));
+    }
+
+    /// Drain the recorded read trace (empty when tracing is off).
+    pub fn take_read_trace(&mut self) -> BTreeSet<String> {
+        match &self.read_trace {
+            Some(sink) => std::mem::take(&mut sink.lock().unwrap_or_else(|e| e.into_inner())),
+            None => BTreeSet::new(),
+        }
+    }
+
+    /// Split the engine into its footprint-connected components: views
+    /// whose closures intersect land in the same component (with every
+    /// relation either of them can touch); relations no view depends on
+    /// become singleton components. Each component is a self-contained
+    /// [`Engine`] — commits on views in different components touch
+    /// disjoint data, so a service can run them under independent locks
+    /// with full `&mut` access. Components are returned in deterministic
+    /// order (sorted by their smallest relation name) and each starts
+    /// from a clone of the session plan cache, keeping every warm-up
+    /// plan. [`Engine::absorb`] reverses the split.
+    pub fn split_components(mut self) -> Vec<Engine> {
+        let mut groups: Vec<BTreeSet<String>> = Vec::new();
+        for rv in self.views.values() {
+            let mut set = rv.footprint.closure.clone();
+            let mut i = 0;
+            while i < groups.len() {
+                if !groups[i].is_disjoint(&set) {
+                    set.extend(groups.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            groups.push(set);
+        }
+        for name in self.db.names() {
+            if !groups.iter().any(|g| g.contains(name)) {
+                groups.push(BTreeSet::from([name.to_owned()]));
+            }
+        }
+        groups.sort_by(|a, b| a.first().cmp(&b.first()));
+        groups
+            .into_iter()
+            .map(|group| {
+                let mut db = Database::new();
+                let mut views = BTreeMap::new();
+                for name in &group {
+                    if let Some(rel) = self.db.remove_relation(name) {
+                        db.set_relation(rel);
+                    }
+                    if let Some(rv) = self.views.remove(name) {
+                        views.insert(name.clone(), rv);
+                    }
+                }
+                Engine {
+                    db,
+                    views,
+                    plan_cache: self.plan_cache.clone(),
+                    read_trace: self.read_trace.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Merge another engine (typically a footprint component produced by
+    /// [`Engine::split_components`]) back into this one. Fails without
+    /// modifying either side if any relation or view name collides.
+    pub fn absorb(&mut self, other: Engine) -> EngineResult<()> {
+        if let Some(name) = other.db.names().find(|n| self.db.contains_relation(n)) {
+            return Err(EngineError::Registration(format!(
+                "cannot absorb: relation '{name}' exists on both sides"
+            )));
+        }
+        for rel in other.db.into_relations() {
+            self.db.set_relation(rel);
+        }
+        self.views.extend(other.views);
+        self.plan_cache.absorb(other.plan_cache);
+        Ok(())
     }
 
     /// Read access to any relation (base table or materialized view).
@@ -157,6 +274,9 @@ impl Engine {
             Relation::new(name.clone(), strategy.view.arity())
         } else {
             let mut ctx = EvalContext::with_plan_cache(&mut self.db, &mut self.plan_cache);
+            if let Some(sink) = self.read_trace.as_deref() {
+                ctx.trace_reads_into(sink);
+            }
             evaluate_query(&get, &PredRef::plain(&name), &mut ctx)?.renamed(name.clone())
         };
         // Per-column hash indexes so DML predicates (Algorithm 2) probe
@@ -185,6 +305,9 @@ impl Engine {
             let t = std::time::Instant::now();
             let program = incremental.as_ref().unwrap_or(&strategy.putdelta);
             let mut ctx = EvalContext::with_plan_cache(&mut self.db, &mut self.plan_cache);
+            if let Some(sink) = self.read_trace.as_deref() {
+                ctx.trace_reads_into(sink);
+            }
             if mode == StrategyMode::Incremental {
                 ctx.insert_overlay(Relation::new(
                     PredRef::ins(&name).flat_name(),
@@ -200,6 +323,7 @@ impl Engine {
                 eprintln!("[engine] warm-up ({mode:?}): {:?}", t.elapsed());
             }
         }
+        let footprint = compute_footprint(&self.db, &self.views, &strategy, &get, &incremental);
         self.views.insert(
             name,
             RegisteredView {
@@ -207,6 +331,7 @@ impl Engine {
                 get,
                 incremental,
                 mode,
+                footprint,
             },
         );
         Ok(())
@@ -223,6 +348,9 @@ impl Engine {
             vec![]
         } else {
             let mut ctx = EvalContext::with_plan_cache(&mut self.db, &mut self.plan_cache);
+            if let Some(sink) = self.read_trace.as_deref() {
+                ctx.trace_reads_into(sink);
+            }
             let rel = evaluate_query(&rv.get, &PredRef::plain(name), &mut ctx)?;
             rel.tuples().iter().cloned().collect()
         };
@@ -388,6 +516,9 @@ impl Engine {
             StrategyMode::Incremental => {
                 let program = rv.incremental.as_ref().expect("incremental mode has ∂put");
                 let mut ctx = EvalContext::with_plan_cache(&mut self.db, &mut self.plan_cache);
+                if let Some(sink) = self.read_trace.as_deref() {
+                    ctx.trace_reads_into(sink);
+                }
                 ctx.insert_overlay(Relation::with_tuples(
                     PredRef::ins(view_name).flat_name(),
                     rv.strategy.view.arity(),
@@ -404,6 +535,9 @@ impl Engine {
             StrategyMode::Original => {
                 mutate_view_relation(&mut self.db, view_name, &delta, false)?;
                 let mut ctx = EvalContext::with_plan_cache(&mut self.db, &mut self.plan_cache);
+                if let Some(sink) = self.read_trace.as_deref() {
+                    ctx.trace_reads_into(sink);
+                }
                 let out = evaluate_program(&rv.strategy.putdelta, &mut ctx)?;
                 collect_delta_set(&rv.strategy, out.relations)
             }
@@ -425,8 +559,13 @@ impl Engine {
 
         // Constraint check over (S, V′).
         let t_check = std::time::Instant::now();
-        if let Err(e) = check_constraints(&mut self.db, &mut self.plan_cache, &rv.strategy, &delta)
-        {
+        if let Err(e) = check_constraints(
+            &mut self.db,
+            &mut self.plan_cache,
+            self.read_trace.as_deref(),
+            &rv.strategy,
+            &delta,
+        ) {
             mutate_view_relation(&mut self.db, view_name, &delta, true)?; // rollback
             return Err(e);
         }
@@ -519,6 +658,7 @@ fn mutate_view_relation(
 fn check_constraints(
     db: &mut Database,
     plans: &mut PlanCache,
+    read_trace: Option<&Mutex<BTreeSet<String>>>,
     strategy: &UpdateStrategy,
     delta: &Delta,
 ) -> EngineResult<()> {
@@ -556,6 +696,9 @@ fn check_constraints(
         };
         // Evaluate the constraint body; any witness = violation.
         let mut ctx = EvalContext::with_plan_cache(db, plans);
+        if let Some(sink) = read_trace {
+            ctx.trace_reads_into(sink);
+        }
         if fast {
             ctx.insert_overlay(Relation::with_tuples(
                 PredRef::ins(view).flat_name(),
@@ -684,6 +827,63 @@ fn inline_simple_defs(rule: &Rule, program: &Program) -> Rule {
         }
     }
     out
+}
+
+/// Compute a view's dependency footprint at registration time.
+///
+/// Reads: the strategy's declared source reads, plus every stored
+/// relation (base table or already-registered view — the view's own
+/// relation included) named in a body of the derived get or the
+/// incrementalized program. Intermediate and delta predicates live in
+/// evaluation overlays and carry no lock, so they are excluded. The
+/// closure additionally folds in the complete closure of every sub-view
+/// the strategy can cascade into; registration order guarantees those
+/// are final (a view registered later can never become a cascade target
+/// of an earlier one, because its name was free when the earlier
+/// strategy was checked).
+fn compute_footprint(
+    db: &Database,
+    views: &BTreeMap<String, RegisteredView>,
+    strategy: &UpdateStrategy,
+    get: &Program,
+    incremental: &Option<Program>,
+) -> ViewFootprint {
+    let mut reads = strategy.read_relations();
+    {
+        let mut visit = |program: &Program| {
+            for pred in program.all_body_predicates() {
+                if db.contains_relation(&pred.name) || views.contains_key(&pred.name) {
+                    reads.insert(pred.name.clone());
+                }
+            }
+        };
+        visit(get);
+        if let Some(program) = incremental {
+            visit(program);
+        }
+    }
+    let writes = strategy.write_relations();
+    let mut closure: BTreeSet<String> = reads.union(&writes).cloned().collect();
+    closure.insert(strategy.view.name.clone());
+    loop {
+        let sub_closures: Vec<&BTreeSet<String>> = closure
+            .iter()
+            .filter_map(|name| views.get(name))
+            .map(|rv| &rv.footprint.closure)
+            .collect();
+        let before = closure.len();
+        for sub in sub_closures {
+            closure.extend(sub.iter().cloned());
+        }
+        if closure.len() == before {
+            break;
+        }
+    }
+    ViewFootprint {
+        reads,
+        writes,
+        closure,
+    }
 }
 
 /// Collect the evaluator's delta-predicate outputs into a `DeltaSet`.
@@ -1051,6 +1251,154 @@ mod tests {
             engine.apply_delta("nope", Delta::new()),
             Err(EngineError::NotAView(_))
         ));
+    }
+
+    fn union_strategy(view: &str, r1: &str, r2: &str) -> UpdateStrategy {
+        UpdateStrategy::parse(
+            DatabaseSchema::new()
+                .with(Schema::new(r1, vec![("a", SortKind::Int)]))
+                .with(Schema::new(r2, vec![("a", SortKind::Int)])),
+            Schema::new(view, vec![("a", SortKind::Int)]),
+            &format!(
+                "
+                -{r1}(X) :- {r1}(X), not {view}(X).
+                -{r2}(X) :- {r2}(X), not {view}(X).
+                +{r1}(X) :- {view}(X), not {r1}(X), not {r2}(X).
+                "
+            ),
+            None,
+        )
+        .unwrap()
+    }
+
+    /// Two independent union views plus one free-standing base table.
+    fn two_component_engine() -> Engine {
+        let mut db = Database::new();
+        for name in ["a1", "b1", "a2", "b2", "z"] {
+            db.add_relation(Relation::with_tuples(name, 1, vec![tuple![1]]).unwrap())
+                .unwrap();
+        }
+        let mut engine = Engine::new(db);
+        engine
+            .register_view(union_strategy("v1", "a1", "b1"), StrategyMode::Incremental)
+            .unwrap();
+        engine
+            .register_view(union_strategy("v2", "a2", "b2"), StrategyMode::Incremental)
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn footprint_covers_reads_writes_and_self() {
+        let engine = union_engine(StrategyMode::Incremental);
+        let fp = engine.view_footprint("v").unwrap();
+        assert!(fp.reads.contains("r1") && fp.reads.contains("r2"));
+        assert_eq!(
+            fp.writes,
+            BTreeSet::from(["r1".to_owned(), "r2".to_owned()])
+        );
+        assert!(fp.closure.contains("v"));
+        assert!(fp.closure.is_superset(&fp.reads) && fp.closure.is_superset(&fp.writes));
+        assert!(engine.view_footprint("r1").is_none());
+    }
+
+    #[test]
+    fn footprint_closure_includes_cascade_targets() {
+        // w = σ_{a>2}(v) writes into v, so w's closure must contain v's
+        // entire closure (a commit on w can cascade into v and from
+        // there into r1/r2).
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1], tuple![3]]).unwrap())
+            .unwrap();
+        db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![8]]).unwrap())
+            .unwrap();
+        let mut engine = Engine::new(db);
+        engine
+            .register_view(union_strategy("v", "r1", "r2"), StrategyMode::Original)
+            .unwrap();
+        let w_strategy = UpdateStrategy::parse(
+            DatabaseSchema::new().with(Schema::new("v", vec![("a", SortKind::Int)])),
+            Schema::new("w", vec![("a", SortKind::Int)]),
+            "
+            false :- w(X), not X > 2.
+            +v(X) :- w(X), not v(X).
+            mv(X) :- v(X), X > 2.
+            -v(X) :- mv(X), not w(X).
+            ",
+            None,
+        )
+        .unwrap();
+        engine
+            .register_view(w_strategy, StrategyMode::Original)
+            .unwrap();
+        let v_closure = engine.view_footprint("v").unwrap().closure.clone();
+        let w = engine.view_footprint("w").unwrap();
+        assert!(w.writes.contains("v"));
+        assert!(w.closure.is_superset(&v_closure));
+        for name in ["w", "v", "r1", "r2"] {
+            assert!(w.closure.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn split_components_partitions_and_absorb_restores() {
+        let engine = two_component_engine();
+        let original = engine.db.clone();
+        let components = engine.split_components();
+        // {v1,a1,b1}, {v2,a2,b2}, {z}
+        assert_eq!(components.len(), 3);
+        let sizes: Vec<usize> = components.iter().map(|e| e.db.names().count()).collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+        for component in &components {
+            for view in component.views.keys() {
+                let fp = &component.views[view].footprint;
+                assert!(
+                    fp.closure.iter().all(|n| component.db.contains_relation(n)),
+                    "closure of '{view}' escapes its component"
+                );
+            }
+        }
+        // Components stay independently updatable.
+        let mut components = components;
+        let c1 = components
+            .iter_mut()
+            .find(|e| e.is_view("v1"))
+            .expect("v1 component");
+        c1.execute("INSERT INTO v1 VALUES (9);").unwrap();
+        assert!(c1.relation("a1").unwrap().contains(&tuple![9]));
+
+        let mut merged = Engine::new(Database::new());
+        for component in components {
+            merged.absorb(component).unwrap();
+        }
+        assert_eq!(merged.db.names().count(), original.names().count());
+        assert!(merged.is_view("v1") && merged.is_view("v2"));
+        assert!(merged.relation("a1").unwrap().contains(&tuple![9]));
+        // Absorbing a clashing engine is rejected.
+        let mut db = Database::new();
+        db.add_relation(Relation::new("z", 1)).unwrap();
+        assert!(merged.absorb(Engine::new(db)).is_err());
+    }
+
+    #[test]
+    fn read_trace_stays_within_declared_footprint() {
+        let mut engine = union_engine(StrategyMode::Incremental);
+        let closure = engine.view_footprint("v").unwrap().closure.clone();
+        engine.set_read_trace(true);
+        engine.execute("INSERT INTO v VALUES (41);").unwrap();
+        engine.execute("DELETE FROM v WHERE a = 41;").unwrap();
+        let traced = engine.take_read_trace();
+        assert!(!traced.is_empty(), "tracing records evaluation reads");
+        for name in &traced {
+            // Only stored relations are lock-relevant; overlay-resident
+            // delta/intermediate relations are exempt.
+            if engine.relation(name).is_some() {
+                assert!(closure.contains(name), "undeclared read of '{name}'");
+            }
+        }
+        engine.set_read_trace(false);
+        engine.execute("INSERT INTO v VALUES (42);").unwrap();
+        assert!(engine.take_read_trace().is_empty());
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod engine;
 pub mod error;
 
 pub use algorithm2::derive_view_delta;
-pub use engine::{Engine, ExecutionStats, StrategyMode};
+pub use engine::{Engine, ExecutionStats, StrategyMode, ViewFootprint};
 pub use error::{EngineError, EngineResult};

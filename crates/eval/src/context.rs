@@ -20,8 +20,8 @@ use crate::error::EvalResult;
 use crate::plan::{plan_rule, PlanCache, RulePlan};
 use birds_datalog::Rule;
 use birds_store::{Database, Relation, StoreResult};
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
 
 /// Owned-or-borrowed plan cache backing a context.
 enum Plans<'a> {
@@ -34,6 +34,10 @@ pub struct EvalContext<'a> {
     base: &'a mut Database,
     overlay: BTreeMap<String, Relation>,
     plans: Plans<'a>,
+    /// When set, every relation name resolved through this context is
+    /// recorded into the sink — the ground truth that the engine's
+    /// *declared* dependency footprints are tested against.
+    read_trace: Option<&'a Mutex<BTreeSet<String>>>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -44,6 +48,7 @@ impl<'a> EvalContext<'a> {
             base,
             overlay: BTreeMap::new(),
             plans: Plans::Owned(PlanCache::new()),
+            read_trace: None,
         }
     }
 
@@ -56,7 +61,15 @@ impl<'a> EvalContext<'a> {
             base,
             overlay: BTreeMap::new(),
             plans: Plans::Shared(cache),
+            read_trace: None,
         }
+    }
+
+    /// Record every relation name this context resolves into `sink`.
+    /// Diagnostic-only (used by the footprint conformance tests); the
+    /// `None` fast path costs one branch per lookup.
+    pub fn trace_reads_into(&mut self, sink: &'a Mutex<BTreeSet<String>>) {
+        self.read_trace = Some(sink);
     }
 
     /// The compiled plan for `rule`: cached if available, planned (and
@@ -85,6 +98,11 @@ impl<'a> EvalContext<'a> {
 
     /// Look up a relation: overlay first, then base.
     pub fn relation(&self, name: &str) -> Option<&Relation> {
+        if let Some(sink) = self.read_trace {
+            if let Ok(mut reads) = sink.lock() {
+                reads.insert(name.to_owned());
+            }
+        }
         self.overlay.get(name).or_else(|| self.base.relation(name))
     }
 

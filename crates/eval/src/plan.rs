@@ -187,7 +187,11 @@ pub struct RulePlan {
 /// loop — plans each rule exactly once: the registration-time warm-up pays
 /// the planning cost, and every subsequent update replays compiled plans.
 /// Hit/miss counters are exposed for tests and diagnostics.
-#[derive(Debug, Default)]
+///
+/// The cache is `Clone` (plans are `Arc`-shared, so cloning is shallow):
+/// when an engine is split into footprint shards, each shard starts from
+/// a clone of the session cache and keeps every warm-up plan.
+#[derive(Debug, Default, Clone)]
 pub struct PlanCache {
     plans: HashMap<Rule, Arc<RulePlan>>,
     hits: u64,
@@ -227,6 +231,16 @@ impl PlanCache {
     /// next evaluation.
     pub fn clear(&mut self) {
         self.plans.clear();
+    }
+
+    /// Merge another cache into this one (plans from `other` win on a key
+    /// collision — both sides compiled the same rule, the plans are
+    /// equivalent) and fold its counters in. Used when footprint-sharded
+    /// engines are merged back into one.
+    pub fn absorb(&mut self, other: PlanCache) {
+        self.plans.extend(other.plans);
+        self.hits += other.hits;
+        self.misses += other.misses;
     }
 
     pub(crate) fn get(&mut self, rule: &Rule) -> Option<Arc<RulePlan>> {

@@ -22,6 +22,7 @@
 
 use birds_core::UpdateStrategy;
 use birds_engine::{Engine, StrategyMode};
+use birds_service::server::DEFAULT_MAX_LINE_BYTES;
 use birds_service::{Server, Service};
 use birds_store::{tuple, Database, DatabaseSchema, Relation, Schema, SortKind};
 use std::io::{BufRead, BufReader, Write};
@@ -31,6 +32,7 @@ fn main() {
     let mut listen = String::from("127.0.0.1:7878");
     let mut connect: Option<String> = None;
     let mut max_conns: Option<usize> = None;
+    let mut max_line = DEFAULT_MAX_LINE_BYTES;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,9 +48,17 @@ fn main() {
                         }),
                 )
             }
+            "--max-line" => {
+                max_line = require_value(args.next(), "--max-line")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--max-line needs a byte count");
+                        std::process::exit(2);
+                    })
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: birds-serve [--listen ADDR] [--max-conns N]\n\
+                    "usage: birds-serve [--listen ADDR] [--max-conns N] [--max-line BYTES]\n\
                      \x20      birds-serve --connect ADDR   (client mode, script on stdin)"
                 );
                 return;
@@ -63,13 +73,13 @@ fn main() {
     if let Some(addr) = connect {
         run_client(&addr);
     } else {
-        run_server(&listen, max_conns);
+        run_server(&listen, max_conns, max_line);
     }
 }
 
-fn run_server(listen: &str, max_conns: Option<usize>) {
+fn run_server(listen: &str, max_conns: Option<usize>, max_line: usize) {
     let service = Service::new(demo_engine());
-    let server = Server::spawn(listen, service, max_conns).unwrap_or_else(|e| {
+    let server = Server::spawn_with(listen, service, max_conns, max_line).unwrap_or_else(|e| {
         eprintln!("cannot listen on {listen}: {e}");
         std::process::exit(1);
     });

@@ -21,6 +21,18 @@ pub enum ServiceError {
     /// A malformed protocol request (bad JSON, unknown op, missing
     /// field).
     Protocol(String),
+    /// A request line exceeded the server's size cap; the line was
+    /// discarded without being buffered in full.
+    RequestTooLarge {
+        /// The configured cap, in bytes.
+        limit: usize,
+    },
+    /// An internal synchronization primitive was poisoned by a panicking
+    /// request (e.g. a group-commit epoch leader). The failing request
+    /// gets this typed error instead of propagating the panic to its
+    /// connection thread; shard data itself is recovered (see
+    /// `locks.rs`).
+    Poisoned(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -33,6 +45,12 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::NoBatchOpen => write!(f, "no batch is open in this session"),
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::RequestTooLarge { limit } => {
+                write!(f, "request exceeds the {limit}-byte line limit")
+            }
+            ServiceError::Poisoned(what) => {
+                write!(f, "internal error: poisoned {what}")
+            }
         }
     }
 }

@@ -1,0 +1,76 @@
+//! Footprint sharding: partition an engine into independently lockable
+//! components and route relation names to their shard.
+//!
+//! At registration time the engine computes each view's **dependency
+//! footprint** — the base relations its strategy, derived get and
+//! incremental program read, the delta targets it writes, closed over
+//! cascades into sub-views ([`birds_engine::ViewFootprint`]). Two
+//! commits conflict exactly when their footprint closures intersect, so
+//! the service partitions the engine along footprint-connected
+//! components ([`birds_engine::Engine::split_components`]): views whose
+//! closures intersect share a shard (and a lock); views with disjoint
+//! footprints land in different shards and commit in parallel. A free
+//! base relation no view depends on becomes a singleton shard, so
+//! direct reads of it never contend with view traffic.
+//!
+//! The [`ShardMap`] is the routing half: an immutable relation-name →
+//! [`LockId`] table built once at service construction (the view
+//! catalogue is fixed for the service's lifetime), consulted without any
+//! lock.
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::locks::{LockId, LockManager};
+use birds_engine::{Engine, EngineError};
+use std::collections::HashMap;
+
+/// Immutable relation-name → shard routing table.
+pub struct ShardMap {
+    route: HashMap<String, LockId>,
+}
+
+impl ShardMap {
+    /// The shard that owns `relation` (a base table or view name).
+    pub fn shard_of(&self, relation: &str) -> Option<LockId> {
+        self.route.get(relation).copied()
+    }
+
+    /// The lock set of a commit touching `views`: the owning shard of
+    /// each name, deduplicated (sorted by [`LockManager::write_set`]).
+    /// Unknown names are a typed error — the engine would reject them as
+    /// `NotAView` anyway, so the commit fails before taking any lock.
+    pub fn lock_set<'a>(
+        &self,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> ServiceResult<Vec<LockId>> {
+        names
+            .into_iter()
+            .map(|name| {
+                self.shard_of(name)
+                    .ok_or_else(|| ServiceError::Engine(EngineError::NotAView(name.to_owned())))
+            })
+            .collect()
+    }
+
+    /// Number of routed relation names.
+    pub fn len(&self) -> usize {
+        self.route.len()
+    }
+
+    /// `true` when nothing is routed.
+    pub fn is_empty(&self) -> bool {
+        self.route.is_empty()
+    }
+}
+
+/// Split `engine` into its footprint components and build the shard
+/// routing table: component `i` becomes lock slot `i`.
+pub fn partition(engine: Engine) -> (LockManager<Engine>, ShardMap) {
+    let components = engine.split_components();
+    let mut route = HashMap::new();
+    for (index, component) in components.iter().enumerate() {
+        for name in component.database().names() {
+            route.insert(name.to_owned(), LockId::new(index));
+        }
+    }
+    (LockManager::new(components), ShardMap { route })
+}

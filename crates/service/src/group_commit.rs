@@ -1,0 +1,174 @@
+//! Group commit: coalesce concurrent autocommit transactions into one
+//! incremental pass per view.
+//!
+//! Clients that never call `begin`/`commit` pay one strategy evaluation
+//! per statement under the PR-3 design. This module gives them
+//! batch-level throughput anyway: each shard has a `GroupCommitter`
+//! queue; an autocommit transaction enqueues itself and the first
+//! submitter to win the shard's write lock becomes the **epoch leader**,
+//! draining everything queued at that moment and applying it as one
+//! *net* delta per view (Algorithm 2 over the concatenated statements —
+//! exactly the coalescing a session batch gets). Followers find their
+//! result filled in when the leader releases the lock. With the default
+//! zero epoch window the epoch is simply the leader's lock tenure:
+//! uncontended clients keep single-statement latency, contended shards
+//! batch automatically. A non-zero window additionally parks each
+//! submitter before its first leadership attempt, trading latency for
+//! deeper epochs (the fixed-epoch design of Obladi, arXiv:1809.10559).
+//!
+//! ## Semantics
+//!
+//! An epoch commits **atomically per view**: every member transaction
+//! gets its own commit sequence number (assigned in epoch order, so the
+//! global sequence stays dense and replayable), but the integrity
+//! constraints are checked once against the epoch's net effect — the
+//! same contract a multi-statement session batch has. When the net
+//! delta is rejected, the leader falls back to replaying the members
+//! individually, so per-transaction error attribution (and the
+//! one-bad-transaction-doesn't-abort-its-neighbours property) is
+//! preserved on the failure path. Member stats report the epoch's
+//! totals, not a per-statement split.
+//!
+//! Panic safety: the queue and result slots are `Mutex`es; if a leader
+//! panics mid-epoch, waiters see the poisoned mutex and surface
+//! [`ServiceError::Poisoned`] instead of panicking their own connection
+//! threads (satellite of the sharding work — see `locks.rs` for why the
+//! shard locks themselves recover instead).
+
+use crate::error::{ServiceError, ServiceResult};
+use birds_engine::{Engine, ExecutionStats};
+use birds_sql::DmlStatement;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a completed transaction hands back to its submitter.
+pub(crate) type TxResult = ServiceResult<(u64, ExecutionStats)>;
+
+/// One autocommit transaction waiting for an epoch leader.
+pub(crate) struct PendingTx {
+    /// The single view (or, erroneously, base relation — the engine
+    /// rejects it) every statement targets.
+    view: String,
+    statements: Vec<DmlStatement>,
+    result: Mutex<Option<TxResult>>,
+}
+
+impl PendingTx {
+    pub(crate) fn new(view: String, statements: Vec<DmlStatement>) -> Arc<PendingTx> {
+        Arc::new(PendingTx {
+            view,
+            statements,
+            result: Mutex::new(None),
+        })
+    }
+
+    /// Take the finished result, `Ok(None)` while still pending. A
+    /// poisoned slot means the epoch leader panicked mid-fill; surface
+    /// that as a typed error rather than propagating the panic.
+    pub(crate) fn take_result(&self) -> ServiceResult<Option<TxResult>> {
+        match self.result.lock() {
+            Ok(mut slot) => Ok(slot.take()),
+            Err(_) => Err(ServiceError::Poisoned(
+                "group-commit result slot (epoch leader panicked)".into(),
+            )),
+        }
+    }
+
+    fn fill(&self, result: TxResult) {
+        if let Ok(mut slot) = self.result.lock() {
+            *slot = Some(result);
+        }
+        // A poisoned slot belongs to a submitter that already panicked;
+        // nothing is waiting for the result.
+    }
+}
+
+/// Per-shard queue of pending autocommit transactions.
+#[derive(Default)]
+pub(crate) struct GroupCommitter {
+    queue: Mutex<VecDeque<Arc<PendingTx>>>,
+}
+
+impl GroupCommitter {
+    pub(crate) fn new() -> GroupCommitter {
+        GroupCommitter::default()
+    }
+
+    /// Queue a transaction for the next epoch.
+    pub(crate) fn enqueue(&self, tx: Arc<PendingTx>) -> ServiceResult<()> {
+        self.queue
+            .lock()
+            .map_err(|_| ServiceError::Poisoned("group-commit queue".into()))?
+            .push_back(tx);
+        Ok(())
+    }
+
+    /// Drain everything queued right now (the epoch of whichever leader
+    /// holds the shard lock). May be empty when an earlier leader
+    /// already processed this submitter's transaction.
+    pub(crate) fn drain(&self) -> ServiceResult<Vec<Arc<PendingTx>>> {
+        let mut queue = self
+            .queue
+            .lock()
+            .map_err(|_| ServiceError::Poisoned("group-commit queue".into()))?;
+        Ok(queue.drain(..).collect())
+    }
+}
+
+/// Apply one epoch under the shard's write lock: group members by view
+/// (first appearance order, preserving queue order within a view),
+/// coalesce each group into one net delta and apply it in a single
+/// incremental pass; on rejection, replay that group's members
+/// individually. Fills every member's result slot and assigns commit
+/// sequence numbers (successes only) in application order.
+pub(crate) fn process_epoch(
+    engine: &mut Engine,
+    commit_seq: &AtomicU64,
+    epoch: Vec<Arc<PendingTx>>,
+) {
+    let mut groups: Vec<(String, Vec<Arc<PendingTx>>)> = Vec::new();
+    for tx in epoch {
+        match groups.iter_mut().find(|(view, _)| *view == tx.view) {
+            Some((_, group)) => group.push(tx),
+            None => groups.push((tx.view.clone(), vec![tx])),
+        }
+    }
+    for (view, group) in groups {
+        let coalesced: Vec<DmlStatement> = group
+            .iter()
+            .flat_map(|tx| tx.statements.iter().cloned())
+            .collect();
+        let net = engine
+            .derive_delta(&view, &coalesced)
+            .and_then(|delta| engine.apply_delta(&view, delta));
+        match net {
+            Ok(stats) => {
+                for tx in group {
+                    let seq = commit_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                    tx.fill(Ok((seq, stats.clone())));
+                }
+            }
+            Err(_) if group.len() > 1 => {
+                // The coalesced epoch was rejected; preserve
+                // per-transaction semantics by replaying individually.
+                for tx in group {
+                    match engine.execute_statements(&tx.statements) {
+                        Ok(stats) => {
+                            let seq = commit_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                            tx.fill(Ok((seq, stats)));
+                        }
+                        Err(e) => tx.fill(Err(ServiceError::Engine(e))),
+                    }
+                }
+            }
+            Err(e) => {
+                // Single-member group: the net path *is* the individual
+                // path (derive + normalize + apply); report its error.
+                for tx in group {
+                    tx.fill(Err(ServiceError::Engine(e.clone())));
+                }
+            }
+        }
+    }
+}

@@ -8,39 +8,56 @@
 //! the database at a time. This crate adds the machinery a production
 //! deployment needs around that core:
 //!
-//! * [`Service`] — a cheap-to-clone, thread-safe handle sharing one
-//!   engine behind an `RwLock`; reads run concurrently, writes are
-//!   serialized and numbered by a global commit sequence.
+//! * [`footprint`] / [`locks`] — **footprint-sharded concurrency
+//!   control**. The engine is split along view dependency footprints
+//!   into independently locked components; a commit write-locks only the
+//!   shards its target views live in, always in global [`LockId`] order
+//!   (deadlock-free by construction), so commits on disjoint views run
+//!   in parallel. A global commit sequence still numbers every
+//!   transaction: the concurrent history remains equivalent to its
+//!   serial replay in commit order.
+//! * [`group_commit`] — autocommit transactions queue per shard and the
+//!   first submitter to win the shard lock applies the whole epoch as
+//!   one *net* delta per view, giving batch-level throughput to clients
+//!   that never call `begin`/`commit` (Obladi-style epochs; an optional
+//!   window trades latency for epoch depth).
+//! * [`Service`] — a cheap-to-clone, thread-safe handle over the shard
+//!   set; [`Service::read`] lends a consistent all-shard snapshot,
+//!   [`Service::query`] locks a single shard.
 //! * [`Session`] — per-client state with two modes. In **autocommit**
-//!   every executed script is its own transaction. After `begin`, a
-//!   **batch** buffers statements locally (without touching the lock)
-//!   until `commit` coalesces them — per view — into one *net* delta
-//!   (Algorithm 2 over the whole buffer: an insert later deleted never
-//!   reaches the engine) and applies each net delta in a **single**
-//!   incremental pass. At 10k-statement batches this beats per-statement
-//!   application by well over the 3× the `throughput` benchmark gates
-//!   on, because the per-update evaluation cost is paid once per batch.
-//! * [`protocol`] / [`Server`] — a line-delimited JSON protocol over
-//!   TCP (the `birds-serve` binary), plus an in-process [`LocalClient`]
-//!   speaking the identical protocol for tests, benches, and examples.
+//!   every executed script is its own transaction (routed through the
+//!   shard's group committer). After `begin`, a **batch** buffers
+//!   statements locally until `commit` coalesces them — per view — into
+//!   one *net* delta (Algorithm 2 over the whole buffer) and applies
+//!   each in a **single** incremental pass.
+//! * [`protocol`] / [`Server`] — a line-delimited JSON protocol over TCP
+//!   (the `birds-serve` binary) with per-request `id` echo for
+//!   pipelining and a hard request-size cap, plus an in-process
+//!   [`LocalClient`] speaking the identical protocol.
 //! * [`json`] — the minimal JSON tree the protocol and the committed
 //!   `BENCH_*.json` trajectory documents share (the offline `serde` stub
 //!   has no serializer).
 //!
-//! Design notes: the lock is a single engine-wide `RwLock` — sharding it
-//! by relation requires untangling cascaded view updates that cross
-//! shards and is left as an open item (see ROADMAP). Lock poisoning is
-//! recovered from (`into_inner`): the engine's mutation paths roll back
-//! on error, so a panicking request aborts only itself.
+//! Lock poisoning: shard locks are recovered (`into_inner`) because the
+//! engine's mutation paths roll back on error; queue/result mutexes that
+//! a panic *can* leave inconsistent surface [`ServiceError::Poisoned`]
+//! instead of panicking the connection thread.
+//!
+//! [`LockId`]: locks::LockId
 
 pub mod error;
+pub mod footprint;
+pub mod group_commit;
 pub mod json;
+pub mod locks;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
 pub use error::{ServiceError, ServiceResult};
+pub use footprint::ShardMap;
 pub use json::Json;
-pub use protocol::{dispatch, Request};
+pub use locks::{LockId, LockManager};
+pub use protocol::{dispatch, Envelope, Request};
 pub use server::{LocalClient, Server};
-pub use service::{CommitOutcome, ExecOutcome, Service, Session};
+pub use service::{CommitOutcome, EngineReadView, ExecOutcome, Service, ServiceConfig, Session};

@@ -1,0 +1,158 @@
+//! The lock manager: ordered reader-writer locking over a fixed set of
+//! slots.
+//!
+//! Every lockable resource (for the service: one footprint shard — a
+//! connected component of view dependency footprints, see
+//! [`crate::footprint`]) gets a [`LockId`] at construction. A commit
+//! acquires the write locks of every shard in its footprint through
+//! [`LockManager::write_set`], which sorts and deduplicates the ids and
+//! acquires strictly ascending; readers acquire shared locks the same
+//! way ([`LockManager::read_all`] for whole-service snapshots). Because
+//! **every** multi-lock acquisition in the process follows the same
+//! global id order and never requests a lock while holding a higher one,
+//! the wait-for graph cannot contain a cycle: the manager is
+//! deadlock-free by construction, whatever footprints overlap (see the
+//! `locks_stress` integration test).
+//!
+//! Poisoning: a panicking holder poisons its `RwLock`; the manager
+//! *recovers* the guard (`PoisonError::into_inner`) instead of
+//! propagating the panic to unrelated sessions. This is sound here
+//! because everything the service stores in a slot (an [`Engine`]
+//! component) rolls its mutations back on error, so the data a
+//! panicking request leaves behind is structurally intact. Sync
+//! primitives whose invariants a panic *can* break (the group-commit
+//! queue) surface [`crate::ServiceError::Poisoned`] instead — see
+//! [`crate::group_commit`].
+//!
+//! [`Engine`]: birds_engine::Engine
+
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Identifier of one lock slot. Ids are dense indices; their `Ord` is
+/// the global acquisition order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(usize);
+
+impl LockId {
+    /// Crate-internal constructor: only sharding code that builds the
+    /// manager and the route table from the same component list may mint
+    /// ids (see [`crate::footprint::partition`]).
+    pub(crate) fn new(index: usize) -> LockId {
+        LockId(index)
+    }
+
+    /// The slot index behind this id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A fixed set of reader-writer locks acquired in global id order.
+pub struct LockManager<T> {
+    slots: Vec<RwLock<T>>,
+}
+
+impl<T> LockManager<T> {
+    /// One lock per item; ids are handed out in `items` order.
+    pub fn new(items: Vec<T>) -> Self {
+        LockManager {
+            slots: items.into_iter().map(RwLock::new).collect(),
+        }
+    }
+
+    /// Number of lock slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the manager has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The id of slot `index`, if it exists.
+    pub fn id(&self, index: usize) -> Option<LockId> {
+        (index < self.slots.len()).then_some(LockId(index))
+    }
+
+    /// All ids in acquisition order.
+    pub fn ids(&self) -> impl Iterator<Item = LockId> {
+        (0..self.slots.len()).map(LockId)
+    }
+
+    /// Shared lock on one slot (poison-recovering, see module docs).
+    pub fn read(&self, id: LockId) -> RwLockReadGuard<'_, T> {
+        self.slots[id.0].read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive lock on one slot (poison-recovering).
+    pub fn write(&self, id: LockId) -> RwLockWriteGuard<'_, T> {
+        self.slots[id.0].write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive lock on a *set* of slots: `ids` is sorted and
+    /// deduplicated, then acquired strictly ascending — the global order
+    /// that makes overlapping footprints deadlock-free. Returns the
+    /// guards tagged with their ids (ascending).
+    pub fn write_set(&self, mut ids: Vec<LockId>) -> Vec<(LockId, RwLockWriteGuard<'_, T>)> {
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(|id| (id, self.write(id))).collect()
+    }
+
+    /// Shared lock on every slot, in id order — a consistent
+    /// whole-service snapshot.
+    pub fn read_all(&self) -> Vec<RwLockReadGuard<'_, T>> {
+        self.ids().map(|id| self.read(id)).collect()
+    }
+
+    /// Tear down the manager and recover the slot contents in id order.
+    pub fn into_inner(self) -> Vec<T> {
+        self.slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_set_sorts_and_dedups() {
+        let manager = LockManager::new(vec![0u32, 1, 2, 3]);
+        let ids = vec![
+            manager.id(3).unwrap(),
+            manager.id(1).unwrap(),
+            manager.id(3).unwrap(),
+        ];
+        let guards = manager.write_set(ids);
+        let order: Vec<usize> = guards.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(order, vec![1, 3]);
+    }
+
+    #[test]
+    fn poisoned_slots_are_recovered() {
+        let manager = std::sync::Arc::new(LockManager::new(vec![7u32]));
+        let id = manager.id(0).unwrap();
+        let clone = manager.clone();
+        // Poison the lock by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.write(clone.id(0).unwrap());
+            panic!("poison");
+        })
+        .join();
+        assert_eq!(*manager.read(id), 7, "read recovers a poisoned lock");
+        *manager.write(id) = 8;
+        assert_eq!(*manager.read(id), 8);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected() {
+        let manager = LockManager::new(vec![(); 2]);
+        assert!(manager.id(1).is_some());
+        assert!(manager.id(2).is_none());
+        assert_eq!(manager.ids().count(), 2);
+    }
+}

@@ -17,6 +17,18 @@
 //! Errors never close the connection (except transport failures):
 //! `{"ok":false,"error":"…"}`.
 //!
+//! **Pipelining:** a request may carry an `"id"` field (any JSON value);
+//! the server echoes it verbatim as `"id"` in the matching response —
+//! including error responses, whenever the id is salvageable from the
+//! malformed line — so a client may send many requests before reading
+//! any response and correlate the replies. Requests are processed in
+//! arrival order per connection. See [`Envelope`].
+//!
+//! Oversized request lines (beyond the server's `--max-line` cap,
+//! default 1 MiB) are rejected with `{"ok":false,"error":"request
+//! exceeds …"}` without ever being buffered in full; the connection
+//! stays open.
+//!
 //! Tuple values map to JSON as: `Int` → number, `Float` → number,
 //! `Str` → string, `Bool` → boolean.
 
@@ -58,6 +70,12 @@ impl Request {
     pub fn parse(line: &str) -> Result<Request, ServiceError> {
         let doc =
             Json::parse(line).map_err(|e| ServiceError::Protocol(format!("bad JSON: {e}")))?;
+        Request::from_json(&doc)
+    }
+
+    /// Decode a request from an already-parsed document (the transport
+    /// parses each line exactly once — see [`Envelope::parse`]).
+    pub fn from_json(doc: &Json) -> Result<Request, ServiceError> {
         let op = doc
             .get("op")
             .and_then(Json::as_str)
@@ -93,6 +111,17 @@ impl Request {
         }
     }
 
+    /// Encode this request as one protocol line carrying a correlation
+    /// `id` (see [`Envelope`]).
+    pub fn encode_with_id(&self, id: Json) -> String {
+        let encoded = self.encode();
+        let Ok(Json::Obj(mut fields)) = Json::parse(&encoded) else {
+            unreachable!("encode always yields an object");
+        };
+        fields.push(("id".to_owned(), id));
+        Json::Obj(fields).to_compact()
+    }
+
     /// Encode this request as one protocol line (no trailing newline).
     pub fn encode(&self) -> String {
         let mut fields = vec![(
@@ -116,6 +145,44 @@ impl Request {
             _ => {}
         }
         Json::Obj(fields).to_compact()
+    }
+}
+
+/// A decoded request plus its optional client-chosen correlation id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The request's `"id"` field, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// The request itself.
+    pub request: Request,
+}
+
+impl Envelope {
+    /// Decode one request line (parsing the JSON exactly once). On a
+    /// malformed request the id is still salvaged when the line parses
+    /// as a JSON object, so the error response can be correlated by a
+    /// pipelining client.
+    pub fn parse(line: &str) -> Result<Envelope, (Option<Json>, ServiceError)> {
+        let doc = match Json::parse(line) {
+            Ok(doc) => doc,
+            Err(e) => return Err((None, ServiceError::Protocol(format!("bad JSON: {e}")))),
+        };
+        let id = doc.get("id").cloned();
+        match Request::from_json(&doc) {
+            Ok(request) => Ok(Envelope { id, request }),
+            Err(e) => Err((id, e)),
+        }
+    }
+}
+
+/// Echo a correlation id (if any) into a response object.
+pub fn with_id(response: Json, id: Option<Json>) -> Json {
+    match (response, id) {
+        (Json::Obj(mut fields), Some(id)) => {
+            fields.push(("id".to_owned(), id));
+            Json::Obj(fields)
+        }
+        (response, _) => response,
     }
 }
 
@@ -216,10 +283,10 @@ pub fn dispatch(session: &mut Session, request: &Request) -> Json {
         },
         Request::Stats => {
             let service = session.service();
+            let shards = service.shard_count();
             let (views, relations) = service.read(|engine| {
-                let views: Vec<Json> = engine.view_names().map(Json::str).collect();
+                let views: Vec<Json> = engine.view_names().into_iter().map(Json::str).collect();
                 let mut relations: Vec<Json> = engine
-                    .database()
                     .relations()
                     .map(|rel| {
                         Json::Obj(vec![
@@ -238,6 +305,7 @@ pub fn dispatch(session: &mut Session, request: &Request) -> Json {
             Ok(ok(vec![
                 ("commits".to_owned(), Json::Int(service.commits() as i64)),
                 ("pending".to_owned(), Json::Int(session.pending() as i64)),
+                ("shards".to_owned(), Json::Int(shards as i64)),
                 ("views".to_owned(), Json::Arr(views)),
                 ("relations".to_owned(), Json::Arr(relations)),
             ]))
@@ -289,6 +357,44 @@ mod tests {
                 "{line}"
             );
         }
+    }
+
+    #[test]
+    fn envelope_extracts_and_salvages_ids() {
+        let env = Envelope::parse(r#"{"op":"ping","id":7}"#).unwrap();
+        assert_eq!(env.id, Some(Json::Int(7)));
+        assert_eq!(env.request, Request::Ping);
+
+        let env = Envelope::parse(r#"{"op":"ping"}"#).unwrap();
+        assert_eq!(env.id, None);
+
+        // Malformed op, but the id survives for the error response.
+        let (id, err) = Envelope::parse(r#"{"op":"nope","id":"abc"}"#).unwrap_err();
+        assert_eq!(id, Some(Json::str("abc")));
+        assert!(matches!(err, ServiceError::Protocol(_)));
+
+        // Not JSON at all: no id to salvage.
+        let (id, _) = Envelope::parse("garbage").unwrap_err();
+        assert_eq!(id, None);
+    }
+
+    #[test]
+    fn with_id_echoes_into_responses() {
+        let tagged = with_id(
+            ok(vec![("pong".to_owned(), Json::Bool(true))]),
+            Some(Json::Int(42)),
+        );
+        assert_eq!(tagged.get("id").and_then(Json::as_i64), Some(42));
+        let untagged = with_id(ok(vec![]), None);
+        assert!(untagged.get("id").is_none());
+    }
+
+    #[test]
+    fn encode_with_id_round_trips() {
+        let line = Request::Ping.encode_with_id(Json::str("req-1"));
+        let env = Envelope::parse(&line).unwrap();
+        assert_eq!(env.request, Request::Ping);
+        assert_eq!(env.id, Some(Json::str("req-1")));
     }
 
     #[test]

@@ -1,11 +1,23 @@
 //! The TCP transport: one thread and one [`Session`] per connection,
 //! line-delimited JSON framing (see [`crate::protocol`]).
+//!
+//! Protocol hardening: request lines are read through a bounded reader —
+//! a line longer than the configured cap (default
+//! [`DEFAULT_MAX_LINE_BYTES`]) is *discarded as it streams in*, never
+//! buffered in full, and answered with a JSON error; the connection
+//! stays usable. Every response echoes the request's `id` field when one
+//! was present (see [`crate::protocol::Envelope`]), so clients may
+//! pipeline requests and correlate replies.
 
-use crate::protocol::{dispatch, error_response, Request};
+use crate::error::ServiceError;
+use crate::protocol::{dispatch, error_response, with_id, Envelope, Request};
 use crate::service::{Service, Session};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::thread::JoinHandle;
+
+/// Default cap on one request line: 1 MiB.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
 
 /// A running server: the bound address plus the accept-loop thread.
 pub struct Server {
@@ -23,9 +35,20 @@ impl Server {
         service: Service,
         max_connections: Option<usize>,
     ) -> std::io::Result<Server> {
+        Server::spawn_with(addr, service, max_connections, DEFAULT_MAX_LINE_BYTES)
+    }
+
+    /// [`Server::spawn`] with an explicit request-line byte cap.
+    pub fn spawn_with(
+        addr: &str,
+        service: Service,
+        max_connections: Option<usize>,
+        max_line: usize,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let accept_thread = std::thread::spawn(move || serve(listener, service, max_connections));
+        let accept_thread =
+            std::thread::spawn(move || serve(listener, service, max_connections, max_line));
         Ok(Server {
             addr: local,
             accept_thread,
@@ -55,6 +78,7 @@ fn serve(
     listener: TcpListener,
     service: Service,
     max_connections: Option<usize>,
+    max_line: usize,
 ) -> std::io::Result<()> {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     let mut accepted = 0usize;
@@ -72,7 +96,7 @@ fn serve(
         let session = service.session();
         handlers.push(std::thread::spawn(move || {
             // Transport errors (client vanished) are not server errors.
-            let _ = handle_connection(stream, session);
+            let _ = handle_connection_with(stream, session, max_line);
         }));
         accepted += 1;
         if max_connections.is_some_and(|max| accepted >= max) {
@@ -85,22 +109,42 @@ fn serve(
     Ok(())
 }
 
-/// Serve one connection: read request lines, write response lines, until
-/// `quit`, EOF, or a transport error.
-pub fn handle_connection(stream: TcpStream, mut session: Session) -> std::io::Result<()> {
+/// Serve one connection with the default line cap.
+pub fn handle_connection(stream: TcpStream, session: Session) -> std::io::Result<()> {
+    handle_connection_with(stream, session, DEFAULT_MAX_LINE_BYTES)
+}
+
+/// Serve one connection: read request lines (bounded at `max_line`
+/// bytes), write response lines, until `quit`, EOF, or a transport
+/// error.
+pub fn handle_connection_with(
+    stream: TcpStream,
+    mut session: Session,
+    max_line: usize,
+) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_bounded_line(&mut reader, max_line)? {
+            BoundedLine::Eof => break,
+            BoundedLine::TooLong => {
+                let response = error_response(&ServiceError::RequestTooLarge { limit: max_line });
+                writer.write_all(response.to_compact().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                continue;
+            }
+            BoundedLine::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let (response, quit) = match Request::parse(&line) {
-            Ok(request) => {
+        let (response, quit) = match Envelope::parse(&line) {
+            Ok(Envelope { id, request }) => {
                 let quit = request == Request::Quit;
-                (dispatch(&mut session, &request), quit)
+                (with_id(dispatch(&mut session, &request), id), quit)
             }
-            Err(e) => (error_response(&e), false),
+            Err((id, e)) => (with_id(error_response(&e), id), false),
         };
         writer.write_all(response.to_compact().as_bytes())?;
         writer.write_all(b"\n")?;
@@ -110,6 +154,87 @@ pub fn handle_connection(stream: TcpStream, mut session: Session) -> std::io::Re
         }
     }
     Ok(())
+}
+
+/// One bounded line read.
+enum BoundedLine {
+    /// A complete line (terminator stripped) within the cap.
+    Line(String),
+    /// The line exceeded the cap; it was drained from the stream without
+    /// being buffered.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Read one `\n`-terminated line whose *payload* (terminator and an
+/// optional trailing `\r` excluded — CRLF clients get the same cap as
+/// `\n` clients) is at most `cap` bytes. An over-long line is *streamed
+/// to the trash* — consumed chunk by chunk up to its terminator while
+/// only ever holding one `BufRead` buffer in memory — so a malicious
+/// client cannot make the server buffer an unbounded request. At most
+/// `cap + 1` bytes are ever buffered (the one byte of slack is where a
+/// CRLF's `\r` sits until the terminator proves it part of the line
+/// ending).
+fn read_bounded_line(reader: &mut impl BufRead, cap: usize) -> std::io::Result<BoundedLine> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF. A dangling unterminated tail still counts as a line.
+            return Ok(if line.is_empty() {
+                BoundedLine::Eof
+            } else if line.len() > cap {
+                BoundedLine::TooLong
+            } else {
+                BoundedLine::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if line.len() + take > cap + 1 {
+            // Even a trailing-\r allowance can't save this line: drop
+            // what we had, then drain up to the terminator (bounded
+            // memory: one fill_buf chunk at a time).
+            line.clear();
+            let mut consumed_terminator = newline.is_some();
+            let mut consume = take + usize::from(consumed_terminator);
+            loop {
+                reader.consume(consume);
+                if consumed_terminator {
+                    return Ok(BoundedLine::TooLong);
+                }
+                let chunk = reader.fill_buf()?;
+                if chunk.is_empty() {
+                    return Ok(BoundedLine::TooLong); // EOF mid-line
+                }
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        consumed_terminator = true;
+                        consume = pos + 1;
+                    }
+                    None => consume = chunk.len(),
+                }
+            }
+        }
+        line.extend_from_slice(&chunk[..take]);
+        let consume = take + usize::from(newline.is_some());
+        let done = newline.is_some();
+        reader.consume(consume);
+        if done {
+            // Strip an optional \r for CRLF clients, then enforce the
+            // cap on the actual payload.
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if line.len() > cap {
+                return Ok(BoundedLine::TooLong);
+            }
+            return Ok(BoundedLine::Line(
+                String::from_utf8_lossy(&line).into_owned(),
+            ));
+        }
+    }
 }
 
 /// An in-process client speaking the same protocol without a socket —
@@ -127,11 +252,12 @@ impl LocalClient {
         }
     }
 
-    /// Send one raw protocol line; returns the raw response line.
+    /// Send one raw protocol line; returns the raw response line (with
+    /// the request's `id` echoed, exactly like the TCP server).
     pub fn request_line(&mut self, line: &str) -> String {
-        match Request::parse(line) {
-            Ok(request) => dispatch(&mut self.session, &request),
-            Err(e) => error_response(&e),
+        match Envelope::parse(line) {
+            Ok(Envelope { id, request }) => with_id(dispatch(&mut self.session, &request), id),
+            Err((id, e)) => with_id(error_response(&e), id),
         }
         .to_compact()
     }
@@ -239,5 +365,135 @@ mod tests {
 
         server.join().unwrap();
         assert!(service.query("r1").unwrap().contains(&tuple![33]));
+    }
+
+    #[test]
+    fn request_ids_are_echoed_for_pipelining() {
+        let service = union_service();
+        let mut client = LocalClient::connect(&service);
+        let pong = client.request_line(r#"{"op":"ping","id":1}"#);
+        assert!(pong.contains("\"id\": 1"), "{pong}");
+        // Error responses still echo a salvageable id.
+        let err = client.request_line(r#"{"op":"nope","id":"x9"}"#);
+        assert!(
+            err.contains("\"ok\": false") && err.contains("\"id\": \"x9\""),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn pipelined_requests_get_in_order_correlated_responses() {
+        let service = union_service();
+        let server = Server::spawn("127.0.0.1:0", service.clone(), Some(1)).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // Fire three requests before reading any response.
+        writer
+            .write_all(
+                b"{\"op\":\"execute\",\"sql\":\"INSERT INTO v VALUES (70);\",\"id\":\"a\"}\n\
+                  {\"op\":\"query\",\"relation\":\"v\",\"id\":\"b\"}\n\
+                  {\"op\":\"quit\",\"id\":\"c\"}\n",
+            )
+            .unwrap();
+        writer.flush().unwrap();
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line);
+        }
+        assert!(lines[0].contains("\"id\": \"a\"") && lines[0].contains("\"applied\": true"));
+        assert!(lines[1].contains("\"id\": \"b\"") && lines[1].contains("[70]"));
+        assert!(lines[2].contains("\"id\": \"c\"") && lines[2].contains("\"bye\": true"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_and_drained() {
+        let service = union_service();
+        let server = Server::spawn_with("127.0.0.1:0", service.clone(), Some(1), 256).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // One giant line (well over the 256-byte cap, and over the
+        // BufReader chunk size so draining crosses fill_buf chunks),
+        // then a normal request on the same connection.
+        let mut giant = String::from("{\"op\":\"execute\",\"sql\":\"");
+        giant.push_str(&"x".repeat(64 * 1024));
+        giant.push_str("\"}\n");
+        writer.write_all(giant.as_bytes()).unwrap();
+        writer
+            .write_all(b"{\"op\":\"ping\"}\n{\"op\":\"quit\"}\n")
+            .unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("\"ok\": false") && line.contains("256-byte line limit"),
+            "{line}"
+        );
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("\"pong\": true"),
+            "connection survives: {line}"
+        );
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"bye\": true"), "{line}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_reader_handles_edges() {
+        use std::io::Cursor;
+        // Exactly at the cap passes; one over fails.
+        let mut r = Cursor::new(b"abcd\nefghi\nok\n".to_vec());
+        assert!(matches!(
+            read_bounded_line(&mut r, 4).unwrap(),
+            BoundedLine::Line(l) if l == "abcd"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, 4).unwrap(),
+            BoundedLine::TooLong
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, 4).unwrap(),
+            BoundedLine::Line(l) if l == "ok"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, 4).unwrap(),
+            BoundedLine::Eof
+        ));
+        // Unterminated tail at EOF still yields the line; CR stripped.
+        let mut r = Cursor::new(b"tail".to_vec());
+        assert!(matches!(
+            read_bounded_line(&mut r, 64).unwrap(),
+            BoundedLine::Line(l) if l == "tail"
+        ));
+        let mut r = Cursor::new(b"crlf\r\n".to_vec());
+        assert!(matches!(
+            read_bounded_line(&mut r, 64).unwrap(),
+            BoundedLine::Line(l) if l == "crlf"
+        ));
+        // A CRLF terminator does not count against the cap: an
+        // exactly-at-cap payload passes with either line ending, and
+        // one payload byte over fails with either.
+        let mut r = Cursor::new(b"abcd\r\nefghi\r\n".to_vec());
+        assert!(matches!(
+            read_bounded_line(&mut r, 4).unwrap(),
+            BoundedLine::Line(l) if l == "abcd"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, 4).unwrap(),
+            BoundedLine::TooLong
+        ));
+        // Oversized line that ends at EOF without a terminator.
+        let mut r = Cursor::new(vec![b'z'; 100]);
+        assert!(matches!(
+            read_bounded_line(&mut r, 10).unwrap(),
+            BoundedLine::TooLong
+        ));
     }
 }

@@ -1,34 +1,66 @@
-//! The thread-safe, multi-session service over [`birds_engine::Engine`].
+//! The thread-safe, multi-session service over [`birds_engine::Engine`] —
+//! footprint-sharded since PR 4.
 //!
-//! A [`Service`] owns the engine behind one `RwLock`: reads (queries,
-//! stats) take the shared lock and run concurrently; view updates take
-//! the exclusive lock. Each client holds a [`Session`], which runs in one
-//! of two modes:
+//! At construction the engine is split along **view dependency
+//! footprints** into independently locked components
+//! ([`crate::footprint`]): each shard owns every relation the views
+//! inside it can touch (reads, writes, cascades), so a commit needs only
+//! its own shard's write lock and commits on disjoint views proceed in
+//! parallel. Lock sets are always acquired in global [`LockId`] order
+//! ([`crate::locks`]), which makes overlapping commits deadlock-free by
+//! construction. The engine-wide `RwLock` of PR 3 is gone; what remains
+//! global is the **commit sequence** — every transaction still gets a
+//! unique, dense serial number, assigned while its footprint is locked,
+//! so the concurrent history stays equivalent to the serial replay in
+//! commit order (the stress suite's linearizability check).
+//!
+//! Each client holds a [`Session`] in one of two modes:
 //!
 //! * **autocommit** (the default): every `execute` call is its own
-//!   transaction — one strategy evaluation per statement script;
-//! * **batch** (after `begin`): statements buffer locally in the session
-//!   — no lock taken — until `commit` coalesces them into one *net* view
-//!   delta per view (Algorithm 2 over the whole buffer) and applies each
-//!   in a **single** incremental pass. Batching is what lets the service
-//!   sustain write-heavy traffic: the per-update cost is paid once per
-//!   batch, not once per statement (see the `throughput` benchmark).
-//!
-//! Commits are serialized by the write lock and numbered by a global
-//! commit sequence; the stress tests replay batches in commit order to
-//! check that concurrent execution is equivalent to a serial history.
+//!   transaction, routed through the target shard's group committer —
+//!   concurrent autocommit transactions on the same shard coalesce into
+//!   one net delta per view ([`crate::group_commit`]);
+//! * **batch** (after `begin`): statements buffer locally — no lock
+//!   taken — until `commit` coalesces them into one *net* view delta per
+//!   view and applies each in a single incremental pass, locking exactly
+//!   the shards its views live in.
 
 use crate::error::{ServiceError, ServiceResult};
-use birds_engine::{Engine, ExecutionStats};
+use crate::footprint::{partition, ShardMap};
+use crate::group_commit::{GroupCommitter, PendingTx};
+use crate::locks::{LockId, LockManager};
+use birds_engine::{Engine, EngineError, ExecutionStats};
 use birds_sql::{parse_script, DmlStatement};
-use birds_store::Tuple;
+use birds_store::{Database, Relation, Tuple};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, RwLockReadGuard};
+use std::time::Duration;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Group-commit epoch window: how long an autocommit submitter parks
+    /// before its first leadership attempt, letting concurrent
+    /// transactions pile into the same epoch. `0` (the default) keeps
+    /// single-statement latency and still coalesces whatever queued
+    /// while the previous epoch held the shard lock.
+    pub epoch_window: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            epoch_window: Duration::ZERO,
+        }
+    }
+}
 
 /// Outcome of a [`Session::execute`] call.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecOutcome {
-    /// Autocommit mode: the statements were applied immediately.
+    /// Autocommit mode: the statements were applied immediately. For a
+    /// transaction that committed as part of a group-commit epoch, the
+    /// stats are the epoch's per-view totals.
     Applied(ExecutionStats),
     /// Batch mode: the statements were buffered; the payload is the total
     /// number of statements now pending in the session.
@@ -39,7 +71,7 @@ pub enum ExecOutcome {
 #[derive(Debug, Clone)]
 pub struct CommitOutcome {
     /// Position of this commit in the service-wide serial order
-    /// (1-based; assigned under the write lock).
+    /// (1-based; assigned while the commit's footprint is locked).
     pub commit_seq: u64,
     /// Number of statements that were coalesced.
     pub statements: usize,
@@ -49,36 +81,85 @@ pub struct CommitOutcome {
     pub stats: ExecutionStats,
 }
 
-/// Shared handle to one engine; cheap to clone, safe to send across
-/// threads. All handles see the same database.
+/// Shared handle to one sharded engine; cheap to clone, safe to send
+/// across threads. All handles see the same database.
 #[derive(Clone)]
 pub struct Service {
     inner: Arc<ServiceInner>,
 }
 
 struct ServiceInner {
-    engine: RwLock<Engine>,
+    /// One engine component (and one reader-writer lock) per footprint
+    /// shard; slot order is [`LockId`] order.
+    shards: LockManager<Engine>,
+    /// Relation name → owning shard.
+    route: ShardMap,
+    /// One group-commit queue per shard (same indexing as `shards`).
+    committers: Vec<GroupCommitter>,
     commit_seq: AtomicU64,
+    config: ServiceConfig,
 }
 
-/// Recover from lock poisoning: a panicking writer aborts only its own
-/// request; the engine's mutation paths roll back on error, so the data
-/// it guards is still structurally sound for other sessions.
-fn read_lock(lock: &RwLock<Engine>) -> RwLockReadGuard<'_, Engine> {
-    lock.read().unwrap_or_else(|e| e.into_inner())
+/// A consistent read view over every shard: all shard read locks, held
+/// together (acquired in id order). What [`Service::read`] lends its
+/// closure.
+pub struct EngineReadView<'a> {
+    guards: Vec<RwLockReadGuard<'a, Engine>>,
+    route: &'a ShardMap,
 }
 
-fn write_lock(lock: &RwLock<Engine>) -> RwLockWriteGuard<'_, Engine> {
-    lock.write().unwrap_or_else(|e| e.into_inner())
+impl EngineReadView<'_> {
+    /// Read access to any relation (base table or materialized view).
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        let shard = self.route.shard_of(name)?;
+        self.guards[shard.index()].relation(name)
+    }
+
+    /// Is `name` a registered updatable view?
+    pub fn is_view(&self, name: &str) -> bool {
+        self.route
+            .shard_of(name)
+            .is_some_and(|shard| self.guards[shard.index()].is_view(name))
+    }
+
+    /// Names of all registered views, in name order.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .guards
+            .iter()
+            .flat_map(|engine| engine.view_names().map(str::to_owned))
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Iterate every relation across all shards (shard-internal name
+    /// order; not globally sorted).
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.guards
+            .iter()
+            .flat_map(|engine| engine.database().relations())
+    }
 }
 
 impl Service {
-    /// Wrap an engine (typically with views already registered).
+    /// Wrap an engine (typically with views already registered),
+    /// splitting it into footprint shards with the default config.
     pub fn new(engine: Engine) -> Self {
+        Service::with_config(engine, ServiceConfig::default())
+    }
+
+    /// Wrap an engine with explicit tuning knobs.
+    pub fn with_config(engine: Engine, config: ServiceConfig) -> Self {
+        let (shards, route) = partition(engine);
+        let committers = (0..shards.len()).map(|_| GroupCommitter::new()).collect();
         Service {
             inner: Arc::new(ServiceInner {
-                engine: RwLock::new(engine),
+                shards,
+                route,
+                committers,
                 commit_seq: AtomicU64::new(0),
+                config,
             }),
         }
     }
@@ -91,24 +172,33 @@ impl Service {
         }
     }
 
-    /// Run a closure under the shared (read) lock.
-    pub fn read<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
-        f(&read_lock(&self.inner.engine))
+    /// Number of footprint shards (disjoint views land in different
+    /// shards and commit in parallel).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
     }
 
-    /// Run a closure under the exclusive (write) lock.
-    pub fn write<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
-        f(&mut write_lock(&self.inner.engine))
+    /// Run a closure under a consistent whole-service snapshot: every
+    /// shard's shared lock, acquired in id order. Writers on any shard
+    /// are excluded for the duration, so multi-relation invariants (the
+    /// stress suite's `v = r1 ∪ r2`) are never observed torn.
+    pub fn read<R>(&self, f: impl FnOnce(&EngineReadView<'_>) -> R) -> R {
+        let view = EngineReadView {
+            guards: self.inner.shards.read_all(),
+            route: &self.inner.route,
+        };
+        f(&view)
     }
 
-    /// Sorted snapshot of a relation's tuples (`None` for unknown names).
+    /// Sorted snapshot of a relation's tuples (`None` for unknown
+    /// names). Locks only the owning shard.
     pub fn query(&self, relation: &str) -> Option<Vec<Tuple>> {
-        self.read(|engine| {
-            engine.relation(relation).map(|rel| {
-                let mut tuples: Vec<Tuple> = rel.iter().cloned().collect();
-                tuples.sort();
-                tuples
-            })
+        let shard = self.inner.route.shard_of(relation)?;
+        let engine = self.inner.shards.read(shard);
+        engine.relation(relation).map(|rel| {
+            let mut tuples: Vec<Tuple> = rel.iter().cloned().collect();
+            tuples.sort();
+            tuples
         })
     }
 
@@ -118,19 +208,69 @@ impl Service {
         self.inner.commit_seq.load(Ordering::SeqCst)
     }
 
-    /// Tear the service down and recover the engine. Fails (returning
-    /// `self`) while other handles — sessions included — are still alive.
+    /// Tear the service down and recover the engine (shards merged back
+    /// into one). Fails (returning `self`) while other handles —
+    /// sessions included — are still alive.
     pub fn into_engine(self) -> Result<Engine, Service> {
         match Arc::try_unwrap(self.inner) {
-            Ok(inner) => Ok(inner.engine.into_inner().unwrap_or_else(|e| e.into_inner())),
+            Ok(inner) => {
+                let mut merged = Engine::new(Database::new());
+                for component in inner.shards.into_inner() {
+                    merged
+                        .absorb(component)
+                        .expect("footprint shards are disjoint by construction");
+                }
+                Ok(merged)
+            }
             Err(inner) => Err(Service { inner }),
         }
     }
 
     fn next_commit_seq(&self) -> u64 {
-        // Called only while holding the write lock, so the sequence is
-        // consistent with the serialization order of the commits.
+        // Assigned while the commit's footprint is write-locked (or, for
+        // empty commits, without any state change to order against), so
+        // per-shard sequence order matches application order and the
+        // global sequence stays dense.
         self.inner.commit_seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Autocommit one transaction through the target shard's group
+    /// committer: enqueue, optionally park for the epoch window, then
+    /// contend for epoch leadership until the result slot fills.
+    fn submit_autocommit(
+        &self,
+        shard: LockId,
+        view: String,
+        statements: Vec<DmlStatement>,
+    ) -> ServiceResult<(u64, ExecutionStats)> {
+        let committer = &self.inner.committers[shard.index()];
+        let tx = PendingTx::new(view, statements);
+        committer.enqueue(tx.clone())?;
+        let window = self.inner.config.epoch_window;
+        if !window.is_zero() {
+            // Epoch window: park so concurrent submitters can join this
+            // epoch; the sleeps of parked submitters overlap, so offered
+            // concurrency turns into epoch depth.
+            std::thread::sleep(window);
+            if let Some(result) = tx.take_result()? {
+                return result;
+            }
+        }
+        loop {
+            {
+                let mut engine = self.inner.shards.write(shard);
+                let epoch = committer.drain()?;
+                if !epoch.is_empty() {
+                    crate::group_commit::process_epoch(&mut engine, &self.inner.commit_seq, epoch);
+                }
+            }
+            if let Some(result) = tx.take_result()? {
+                return result;
+            }
+            // Not filled and the queue was empty: another leader drained
+            // our transaction and is mid-epoch; loop and re-check (the
+            // next lock acquisition blocks until that epoch finishes).
+        }
     }
 }
 
@@ -177,11 +317,22 @@ impl Session {
                 Ok(ExecOutcome::Buffered(buffer.len()))
             }
             None => {
-                let stats = self.service.write(|engine| {
-                    let stats = engine.execute_statements(&statements)?;
+                let Some(first) = statements.first() else {
+                    // An empty script is still a (trivial) transaction.
                     self.service.next_commit_seq();
-                    Ok::<_, ServiceError>(stats)
-                })?;
+                    return Ok(ExecOutcome::Applied(ExecutionStats::default()));
+                };
+                let table = first.table().to_owned();
+                if statements.iter().any(|s| s.table() != table) {
+                    return Err(ServiceError::Engine(EngineError::BadStatement(
+                        "a transaction must target a single view".into(),
+                    )));
+                }
+                let shard =
+                    self.service.inner.route.shard_of(&table).ok_or_else(|| {
+                        ServiceError::Engine(EngineError::NotAView(table.clone()))
+                    })?;
+                let (_seq, stats) = self.service.submit_autocommit(shard, table, statements)?;
                 Ok(ExecOutcome::Applied(stats))
             }
         }
@@ -199,8 +350,8 @@ impl Session {
     /// Coalesce and apply the open batch: statements are grouped by
     /// target view (preserving per-view arrival order), each group is
     /// folded by Algorithm 2 into one net delta, and each net delta is
-    /// applied in a single strategy evaluation — all under one exclusive
-    /// lock acquisition.
+    /// applied in a single strategy evaluation — locking exactly the
+    /// shards the batch's views live in, in global lock order.
     ///
     /// On error the batch is discarded; atomicity is per view (a
     /// multi-view batch that fails on its k-th view keeps the first k−1
@@ -210,9 +361,8 @@ impl Session {
         let statement_count = statements.len();
         if statement_count == 0 {
             // An empty commit is still a (trivial) transaction.
-            let commit_seq = self.service.write(|_| self.service.next_commit_seq());
             return Ok(CommitOutcome {
-                commit_seq,
+                commit_seq: self.service.next_commit_seq(),
                 statements: 0,
                 views: 0,
                 stats: ExecutionStats::default(),
@@ -228,24 +378,39 @@ impl Session {
             }
         }
         let views = groups.len();
-        self.service.write(|engine| {
-            let mut total = ExecutionStats::default();
-            for (view, group) in groups {
-                // Derive against the in-lock state so earlier groups'
-                // cascades are visible, then apply in one pass.
-                let delta = engine.derive_delta(&view, &group)?;
-                let stats = engine.apply_delta(&view, delta)?;
-                total.view_delta_size += stats.view_delta_size;
-                total.source_delta_size += stats.source_delta_size;
-                total.cascades += stats.cascades;
-            }
-            let commit_seq = self.service.next_commit_seq();
-            Ok(CommitOutcome {
-                commit_seq,
-                statements: statement_count,
-                views,
-                stats: total,
-            })
+        let inner = &self.service.inner;
+        // The commit's footprint: the owning shard of every target view,
+        // write-locked in global id order (deadlock-free; commits on
+        // disjoint shards don't contend at all).
+        let lock_set = inner
+            .route
+            .lock_set(groups.iter().map(|(view, _)| view.as_str()))?;
+        let mut guards = inner.shards.write_set(lock_set);
+        let mut total = ExecutionStats::default();
+        for (view, group) in groups {
+            let shard = inner
+                .route
+                .shard_of(&view)
+                .expect("lock_set resolved every view");
+            let engine = guards
+                .iter_mut()
+                .find(|(id, _)| *id == shard)
+                .map(|(_, guard)| &mut **guard)
+                .expect("footprint guards cover every target view");
+            // Derive against the in-lock state so earlier groups'
+            // cascades are visible, then apply in one pass.
+            let delta = engine.derive_delta(&view, &group)?;
+            let stats = engine.apply_delta(&view, delta)?;
+            total.view_delta_size += stats.view_delta_size;
+            total.source_delta_size += stats.source_delta_size;
+            total.cascades += stats.cascades;
+        }
+        let commit_seq = self.service.next_commit_seq();
+        Ok(CommitOutcome {
+            commit_seq,
+            statements: statement_count,
+            views,
+            stats: total,
         })
     }
 
@@ -396,5 +561,54 @@ mod tests {
             Err(_) => panic!("sole owner now: must succeed"),
         };
         assert!(engine.is_view("v"));
+    }
+
+    #[test]
+    fn unknown_table_is_rejected_without_locking() {
+        let service = union_service();
+        let mut session = service.session();
+        let err = session.execute("INSERT INTO nope VALUES (1);").unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Engine(EngineError::NotAView(_))
+        ));
+        assert_eq!(service.commits(), 0);
+    }
+
+    #[test]
+    fn mixed_table_autocommit_script_is_rejected() {
+        let service = union_service();
+        let mut session = service.session();
+        let err = session
+            .execute("BEGIN; INSERT INTO v VALUES (1); INSERT INTO r1 VALUES (2); END;")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Engine(EngineError::BadStatement(_))
+        ));
+    }
+
+    #[test]
+    fn empty_autocommit_script_is_a_trivial_transaction() {
+        let service = union_service();
+        let mut session = service.session();
+        let outcome = session.execute("").unwrap();
+        assert_eq!(outcome, ExecOutcome::Applied(ExecutionStats::default()));
+        assert_eq!(service.commits(), 1);
+    }
+
+    #[test]
+    fn union_view_shares_one_shard_with_its_sources() {
+        let service = union_service();
+        // {v, r1, r2} is one footprint component.
+        assert_eq!(service.shard_count(), 1);
+        service.read(|view| {
+            assert!(view.is_view("v"));
+            assert!(!view.is_view("r1"));
+            assert_eq!(view.view_names(), vec!["v".to_owned()]);
+            assert_eq!(view.relations().count(), 3);
+            assert_eq!(view.relation("r2").unwrap().len(), 2);
+            assert!(view.relation("nope").is_none());
+        });
     }
 }

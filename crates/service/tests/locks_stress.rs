@@ -1,0 +1,110 @@
+//! Deadlock-freedom stress for the lock manager: many threads acquiring
+//! randomized, overlapping footprints (plus whole-set readers, the
+//! `Service::read` pattern) must always make progress. The manager's
+//! guarantee is structural — every multi-lock acquisition happens in
+//! global id order — so the test's job is to hammer the orderings that
+//! would deadlock a naive implementation and fail loudly (bounded
+//! wall-clock, not a hung CI job) if progress ever stops.
+
+use birds_service::{LockId, LockManager};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// SplitMix64 — tiny deterministic per-thread RNG, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[test]
+fn randomized_overlapping_footprints_never_deadlock() {
+    const SLOTS: usize = 8;
+    const THREADS: usize = 12;
+    const ROUNDS: usize = 500;
+    // Generous bound: the whole test takes well under a second when the
+    // manager is healthy; a deadlock would hang forever without it.
+    const DEADLINE: Duration = Duration::from_secs(60);
+
+    let manager: Arc<LockManager<u64>> = Arc::new(LockManager::new(vec![0; SLOTS]));
+    let writes_issued = Arc::new(AtomicU64::new(0));
+    let (done_tx, done_rx) = mpsc::channel::<usize>();
+
+    let mut workers = Vec::new();
+    for t in 0..THREADS {
+        let manager = Arc::clone(&manager);
+        let writes_issued = Arc::clone(&writes_issued);
+        let done = done_tx.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut rng = Rng(t as u64 + 1);
+            for _ in 0..ROUNDS {
+                match rng.below(5) {
+                    // Whole-set reader (the `Service::read` snapshot).
+                    0 => {
+                        let guards = manager.read_all();
+                        assert_eq!(guards.len(), SLOTS);
+                    }
+                    // Single-slot reader (the `Service::query` path).
+                    1 => {
+                        let id = manager.id(rng.below(SLOTS)).unwrap();
+                        let _guard = manager.read(id);
+                    }
+                    // Multi-slot writer with a random (overlapping,
+                    // unsorted, possibly duplicated) footprint — the
+                    // commit path.
+                    _ => {
+                        let k = 1 + rng.below(4);
+                        let ids: Vec<LockId> = (0..k)
+                            .map(|_| manager.id(rng.below(SLOTS)).unwrap())
+                            .collect();
+                        let mut guards = manager.write_set(ids);
+                        for (_, slot) in &mut guards {
+                            **slot += 1;
+                            writes_issued.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            done.send(t).expect("main thread alive");
+        }));
+    }
+    drop(done_tx);
+
+    let mut finished = 0usize;
+    while finished < THREADS {
+        match done_rx.recv_timeout(DEADLINE) {
+            Ok(_) => finished += 1,
+            Err(_) => panic!(
+                "lock manager stalled: only {finished}/{THREADS} threads \
+                 finished within {DEADLINE:?} — deadlock or livelock"
+            ),
+        }
+    }
+    // Every worker has sent its done message, so these joins cannot
+    // block; they make sure each thread's stack (and its Arc clone of
+    // the manager) is actually gone before the unwrap below.
+    for worker in workers {
+        worker.join().expect("worker panicked");
+    }
+
+    // Every write that was issued under a guard landed: no lost updates
+    // through the manager.
+    let slots = Arc::try_unwrap(manager)
+        .ok()
+        .expect("all workers joined")
+        .into_inner();
+    let total: u64 = slots.iter().sum();
+    assert_eq!(total, writes_issued.load(Ordering::Relaxed));
+    assert!(total > 0, "writers actually ran");
+}

@@ -73,6 +73,12 @@ impl Database {
         self.relations.keys().map(String::as_str)
     }
 
+    /// Consume the database, yielding its relations in name order (used
+    /// to move relations between footprint shards without copying).
+    pub fn into_relations(self) -> impl Iterator<Item = Relation> {
+        self.relations.into_values()
+    }
+
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
         self.relations.values().map(Relation::len).sum()

@@ -1,0 +1,195 @@
+//! Footprint conformance: the engine's *declared* per-view dependency
+//! footprints (what the service's sharded lock manager locks) must cover
+//! every stored relation an update actually reads or writes. The engine
+//! records the observed read set via its read trace; these tests drive
+//! random update streams over corpus strategies and check observed ⊆
+//! declared — the safety direction sharded locking depends on (an
+//! undeclared read would be an unlocked read under concurrency).
+
+use birds::benchmarks::corpus;
+use birds::benchmarks::figure6::Figure6View;
+use birds::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Build an engine for a corpus entry over empty base tables (schemas
+/// from the corpus; contents don't matter for footprint coverage —
+/// constraint checks and deletions still evaluate their programs).
+fn corpus_engine(entry: &corpus::CorpusEntry) -> Option<(Engine, String)> {
+    let strategy = entry.strategy()?;
+    // Only Int/Str columns: the generated DML below writes those sorts.
+    let insertable = |schema: &Schema| {
+        schema
+            .attributes
+            .iter()
+            .all(|c| matches!(c.sort, SortKind::Int | SortKind::Str))
+    };
+    if !insertable(&strategy.view) {
+        return None;
+    }
+    let mut db = Database::new();
+    for spec in entry.sources {
+        db.add_relation(Relation::new(spec.name, spec.cols.len()))
+            .unwrap();
+    }
+    let get = parse_program(entry.expected_get).ok()?;
+    let view = strategy.view.name.clone();
+    let mut engine = Engine::new(db);
+    // Prefer the incremental pipeline (more programs, more reads to
+    // cover); fall back to original for strategies outside the
+    // incrementalizable fragment.
+    let original_db = engine.database().clone();
+    match engine.register_view_unchecked(strategy.clone(), get.clone(), StrategyMode::Incremental) {
+        Ok(()) => Some((engine, view)),
+        Err(_) => {
+            let mut engine = Engine::new(original_db);
+            engine
+                .register_view_unchecked(strategy, get, StrategyMode::Original)
+                .ok()?;
+            Some((engine, view))
+        }
+    }
+}
+
+/// One generated DML script against `view` (insert or delete keyed by
+/// `key`), with literals matching each column's sort.
+fn script_for(schema: &Schema, view: &str, insert: bool, key: i64) -> String {
+    if insert {
+        let values: Vec<String> = schema
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(i, col)| match col.sort {
+                SortKind::Str => format!("'s{}'", key + i as i64),
+                _ => format!("{}", key + i as i64),
+            })
+            .collect();
+        format!("INSERT INTO {view} VALUES ({});", values.join(", "))
+    } else {
+        let col = &schema.attributes[0];
+        let literal = match col.sort {
+            SortKind::Str => format!("'s{key}'"),
+            _ => format!("{key}"),
+        };
+        format!("DELETE FROM {view} WHERE {} = {literal};", col.name)
+    }
+}
+
+/// Run a stream of updates with tracing on; after each statement, every
+/// traced *stored* relation must be inside the declared closure.
+fn assert_trace_within_footprint(engine: &mut Engine, view: &str, scripts: &[String]) {
+    let closure = engine
+        .view_footprint(view)
+        .expect("view registered")
+        .closure
+        .clone();
+    engine.set_read_trace(true);
+    for script in scripts {
+        // Rejections (constraint violations on random data) are fine:
+        // the reads they performed still had to be covered.
+        let _ = engine.execute(script);
+        let traced = engine.take_read_trace();
+        let stored: BTreeSet<&String> = traced
+            .iter()
+            .filter(|name| engine.relation(name).is_some())
+            .collect();
+        for name in stored {
+            assert!(
+                closure.contains(name),
+                "update on '{view}' read stored relation '{name}' \
+                 outside its declared footprint {closure:?} (script: {script})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every expressible corpus strategy: random insert/delete streams
+    /// never read outside the declared footprint.
+    #[test]
+    fn corpus_updates_stay_within_declared_footprints(
+        entry_pick in 0usize..64,
+        ops in proptest::collection::vec((any::<bool>(), 0i64..40), 1..8),
+    ) {
+        let entries: Vec<corpus::CorpusEntry> = corpus::entries()
+            .into_iter()
+            .filter(|e| e.expressible)
+            .collect();
+        let entry = &entries[entry_pick % entries.len()];
+        let Some((mut engine, view)) = corpus_engine(entry) else {
+            // Non-insertable sorts or non-registrable strategy: skip.
+            return Ok(());
+        };
+        let schema = engine.view_schema(&view).unwrap().clone();
+        let scripts: Vec<String> = ops
+            .iter()
+            .map(|&(insert, key)| script_for(&schema, &view, insert, key))
+            .collect();
+        assert_trace_within_footprint(&mut engine, &view, &scripts);
+    }
+}
+
+#[test]
+fn luxuryitems_with_data_stays_within_footprint() {
+    let mut engine = Figure6View::Luxuryitems.engine(300, StrategyMode::Incremental);
+    let scripts: Vec<String> = (0..20)
+        .map(|k| {
+            if k % 3 == 2 {
+                format!("DELETE FROM luxuryitems WHERE id = {};", 400 + k - 2)
+            } else {
+                format!("INSERT INTO luxuryitems VALUES ({}, 4999);", 400 + k)
+            }
+        })
+        .collect();
+    assert_trace_within_footprint(&mut engine, "luxuryitems", &scripts);
+}
+
+#[test]
+fn cascading_updates_stay_within_the_outer_views_footprint() {
+    // w = σ_{a>2}(v) over the updatable union v = r1 ∪ r2: an update on
+    // w cascades into v and from there into r1/r2 — all of which w's
+    // closure must have declared (that's what makes one footprint shard
+    // out of the whole chain).
+    let mut db = Database::new();
+    db.add_relation(Relation::with_tuples("r1", 1, vec![birds::store::tuple![1]]).unwrap())
+        .unwrap();
+    db.add_relation(Relation::with_tuples("r2", 1, vec![birds::store::tuple![8]]).unwrap())
+        .unwrap();
+    let mut engine = Engine::new(db);
+    let v = UpdateStrategy::parse(
+        DatabaseSchema::new()
+            .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+            .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+        Schema::new("v", vec![("a", SortKind::Int)]),
+        "
+        -r1(X) :- r1(X), not v(X).
+        -r2(X) :- r2(X), not v(X).
+        +r1(X) :- v(X), not r1(X), not r2(X).
+        ",
+        None,
+    )
+    .unwrap();
+    engine.register_view(v, StrategyMode::Original).unwrap();
+    let w = UpdateStrategy::parse(
+        DatabaseSchema::new().with(Schema::new("v", vec![("a", SortKind::Int)])),
+        Schema::new("w", vec![("a", SortKind::Int)]),
+        "
+        false :- w(X), not X > 2.
+        +v(X) :- w(X), not v(X).
+        mv(X) :- v(X), X > 2.
+        -v(X) :- mv(X), not w(X).
+        ",
+        None,
+    )
+    .unwrap();
+    engine.register_view(w, StrategyMode::Original).unwrap();
+
+    let scripts = vec![
+        "INSERT INTO w VALUES (9);".to_owned(),
+        "DELETE FROM w WHERE a = 8;".to_owned(),
+        "INSERT INTO w VALUES (1);".to_owned(), // constraint rejection
+    ];
+    assert_trace_within_footprint(&mut engine, "w", &scripts);
+}
