@@ -33,7 +33,7 @@
 
 use birds_benchmarks::emit::write_atomic;
 use birds_benchmarks::figure6::{sweep, to_json, Figure6View};
-use birds_benchmarks::throughput::disjoint_scaling;
+use birds_benchmarks::throughput::{disjoint_scaling, durability_batched_sweep, DurabilityPoint};
 use birds_service::Json;
 use std::time::Duration;
 
@@ -45,10 +45,12 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut throughput_baseline: Option<String> = None;
     let mut clients: Vec<usize> = vec![1, 2, 4];
+    let mut durability_gate = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => baseline_path = require_value(args.next(), "--baseline"),
+            "--durability-gate" => durability_gate = true,
             "--view" => view_name = require_value(args.next(), "--view"),
             "--sizes" => {
                 sizes = parse_usize_list(&require_value(args.next(), "--sizes"), "--sizes")
@@ -148,6 +150,12 @@ fn main() {
         compared += tc;
     }
 
+    if durability_gate {
+        let (dr, dc) = wal_overhead_gate(factor);
+        regressions += dr;
+        compared += dc;
+    }
+
     if regressions > 0 {
         eprintln!(
             "\nFAIL: {regressions} of {compared} measurements regressed beyond {factor}x \
@@ -245,6 +253,46 @@ fn throughput_gate(baseline_path: &str, clients: &[usize], factor: f64) -> (usiz
         std::process::exit(2);
     }
     (regressions, compared)
+}
+
+/// Durability gate (`--durability-gate`): measure the batched-commit
+/// workload fresh under in-memory and WAL-on (`epoch` fsync — the
+/// default production policy) and fail when WAL-on throughput falls
+/// more than `factor` below in-memory. Fresh-vs-fresh on the same
+/// machine, so the ratio isolates the WAL code path from machine
+/// variance entirely. Returns `(regressions, compared)`.
+fn wal_overhead_gate(factor: f64) -> (usize, usize) {
+    const BASE_SIZE: usize = 20_000;
+    const COMMITS: usize = 5;
+    const BATCH: usize = 200;
+    println!(
+        "\ngate: WAL-on (epoch fsync) vs in-memory, batched commits \
+         ({COMMITS} x {BATCH} statements @ {BASE_SIZE})"
+    );
+    let points = durability_batched_sweep(BASE_SIZE, COMMITS, BATCH);
+    let rate = |mode: &str| {
+        points
+            .iter()
+            .find(|p| p.mode == mode)
+            .map(DurabilityPoint::statements_per_sec)
+            .unwrap_or_else(|| {
+                eprintln!("durability sweep missing mode '{mode}'");
+                std::process::exit(2);
+            })
+    };
+    let in_memory = rate("in-memory");
+    let wal_on = rate("wal-epoch");
+    let ratio = in_memory / wal_on.max(1e-9);
+    let regressed = ratio > factor;
+    println!(
+        "{:>10} {:>18.0} {:>16.0} {:>7.2}x{}",
+        "wal-epoch",
+        in_memory,
+        wal_on,
+        ratio,
+        if regressed { "  << REGRESSION" } else { "" }
+    );
+    (usize::from(regressed), 1)
 }
 
 /// `base_size → (original_ms, incremental_ms)`.

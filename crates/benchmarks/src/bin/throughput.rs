@@ -13,7 +13,8 @@
 
 use birds_benchmarks::emit::write_atomic;
 use birds_benchmarks::throughput::{
-    batch_sweep, disjoint_scaling, group_commit_scaling, thread_scaling, to_json, ScalePoint,
+    batch_sweep, disjoint_scaling, durability_autocommit_sweep, durability_batched_sweep,
+    group_commit_scaling, thread_scaling, to_json, DurabilityPoint, ScalePoint,
 };
 use std::time::Duration;
 
@@ -102,6 +103,17 @@ fn main() {
     let coalescing_points = group_commit_scaling(base_size, &threads, per_client, epoch_window);
     print_scale_points(&coalescing_points);
 
+    let (dur_commits, dur_batch, dur_auto) = if quick { (3, 100, 50) } else { (10, 500, 200) };
+    println!();
+    println!(
+        "== durability: WAL overhead vs in-memory ({dur_commits} batches x {dur_batch} \
+         statements; autocommit x {dur_auto}) =="
+    );
+    let durability_batched = durability_batched_sweep(base_size, dur_commits, dur_batch);
+    print_durability_points("batched", &durability_batched);
+    let durability_autocommit = durability_autocommit_sweep(base_size, dur_auto);
+    print_durability_points("autocommit", &durability_autocommit);
+
     if emit_json {
         let label = label.unwrap_or_else(|| "current".to_owned());
         let doc = to_json(
@@ -111,10 +123,28 @@ fn main() {
             &scale_points,
             &disjoint_points,
             &coalescing_points,
+            &durability_batched,
+            &durability_autocommit,
             epoch_window,
         );
         write_atomic(&out_path, &doc.to_pretty()).expect("write benchmark JSON");
         println!("\nwrote {out_path}");
+    }
+}
+
+fn print_durability_points(tag: &str, points: &[DurabilityPoint]) {
+    let baseline = points
+        .iter()
+        .find(|p| p.mode == "in-memory")
+        .map(DurabilityPoint::statements_per_sec)
+        .unwrap_or(0.0);
+    for p in points {
+        println!(
+            "{tag:>12} {:>11} {:>12.0} stmts/sec {:>6.2}x overhead",
+            p.mode,
+            p.statements_per_sec(),
+            baseline / p.statements_per_sec().max(1e-9)
+        );
     }
 }
 

@@ -41,8 +41,9 @@ use crate::figure6::Figure6View;
 use birds_core::UpdateStrategy;
 use birds_datalog::parse_program;
 use birds_engine::{Engine, StrategyMode};
-use birds_service::{ExecOutcome, Service, ServiceConfig};
+use birds_service::{DurabilityConfig, ExecOutcome, Service, ServiceConfig};
 use birds_store::{Database, DatabaseSchema, Schema, SortKind};
+use birds_wal::FsyncPolicy;
 use std::time::{Duration, Instant};
 
 /// The corpus view the throughput experiment runs on.
@@ -306,6 +307,128 @@ pub fn group_commit_scaling(
         .collect()
 }
 
+/// One point of the durability-overhead sweep: the same workload under
+/// one persistence mode.
+#[derive(Debug, Clone)]
+pub struct DurabilityPoint {
+    /// `"in-memory"`, `"wal-epoch"`, `"wal-always"` or `"wal-off"`.
+    pub mode: &'static str,
+    /// Statements applied.
+    pub total_statements: usize,
+    /// Wall time, first statement to last commit.
+    pub elapsed: Duration,
+}
+
+impl DurabilityPoint {
+    /// Applied statements per second.
+    pub fn statements_per_sec(&self) -> f64 {
+        self.total_statements as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The persistence modes the durability sweep compares.
+const DURABILITY_MODES: [(&str, Option<FsyncPolicy>); 4] = [
+    ("in-memory", None),
+    ("wal-epoch", Some(FsyncPolicy::Epoch)),
+    ("wal-always", Some(FsyncPolicy::Always)),
+    ("wal-off", Some(FsyncPolicy::Off)),
+];
+
+fn durability_service(base_size: usize, fsync: Option<FsyncPolicy>, tag: &str) -> Service {
+    let engine = VIEW.engine(base_size, StrategyMode::Incremental);
+    match fsync {
+        None => Service::new(engine),
+        Some(fsync) => {
+            // Keyed by pid AND thread so parallel tests in one process
+            // (cargo test) never share a live WAL directory.
+            let dir = std::env::temp_dir().join(format!(
+                "birds-throughput-dur-{tag}-{fsync}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut durability = DurabilityConfig::new(&dir);
+            durability.fsync = fsync;
+            durability.checkpoint_every = None; // measure pure WAL cost
+            Service::open(engine, ServiceConfig::default(), durability)
+                .expect("fresh data dir opens")
+        }
+    }
+}
+
+fn cleanup_durability_service(service: Service) {
+    if let Some(dir) = service.data_dir().map(std::path::Path::to_path_buf) {
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// WAL overhead on the **batched** write path (the production shape:
+/// one record append + one fsync per multi-statement commit, so the
+/// durability cost is amortized across the batch): `commits` session
+/// batches of `batch` statements each, one client, measured under every
+/// persistence mode. This is the sweep the CI `bench_gate` durability
+/// check replays — WAL-on must stay within the gate factor of the
+/// in-memory baseline.
+pub fn durability_batched_sweep(
+    base_size: usize,
+    commits: usize,
+    batch: usize,
+) -> Vec<DurabilityPoint> {
+    DURABILITY_MODES
+        .iter()
+        .map(|(mode, fsync)| {
+            let service = durability_service(base_size, *fsync, "batched");
+            let mut session = service.session();
+            let t = Instant::now();
+            for commit in 0..commits {
+                let scripts = statement_stream(base_size, commit, batch);
+                session.begin().expect("no open batch");
+                for script in &scripts {
+                    session.execute(script).expect("buffering cannot fail");
+                }
+                session.commit().expect("batch applies");
+            }
+            let elapsed = t.elapsed();
+            drop(session);
+            cleanup_durability_service(service);
+            DurabilityPoint {
+                mode,
+                total_statements: commits * batch,
+                elapsed,
+            }
+        })
+        .collect()
+}
+
+/// WAL overhead on the **single-statement autocommit** path — the worst
+/// case for durability (every statement is its own epoch, so `always`
+/// and `epoch` pay one fsync per statement). Reported in the JSON for
+/// honesty but not gated: the absolute ratio is hardware-bound (fsync
+/// latency vs an in-memory evaluation), not code-regression-bound.
+pub fn durability_autocommit_sweep(base_size: usize, count: usize) -> Vec<DurabilityPoint> {
+    DURABILITY_MODES
+        .iter()
+        .map(|(mode, fsync)| {
+            let service = durability_service(base_size, *fsync, "autocommit");
+            let mut session = service.session();
+            let scripts = statement_stream(base_size, 0, count);
+            let t = Instant::now();
+            for script in &scripts {
+                session.execute(script).expect("autocommit applies");
+            }
+            let elapsed = t.elapsed();
+            drop(session);
+            cleanup_durability_service(service);
+            DurabilityPoint {
+                mode,
+                total_statements: count,
+                elapsed,
+            }
+        })
+        .collect()
+}
+
 /// Drive `clients` concurrent autocommit sessions, each over its own
 /// statement stream, and time first statement to last commit.
 fn run_autocommit_clients(
@@ -340,6 +463,7 @@ fn run_autocommit_clients(
 }
 
 /// Render the measurements as the `BENCH_throughput.json` document.
+#[allow(clippy::too_many_arguments)]
 pub fn to_json(
     label: &str,
     base_size: usize,
@@ -347,6 +471,8 @@ pub fn to_json(
     scale_points: &[ScalePoint],
     disjoint_points: &[ScalePoint],
     coalescing_points: &[ScalePoint],
+    durability_batched: &[DurabilityPoint],
+    durability_autocommit: &[DurabilityPoint],
     epoch_window: Duration,
 ) -> birds_service::Json {
     use birds_service::Json;
@@ -445,7 +571,65 @@ pub fn to_json(
             "group_commit_scaling".to_owned(),
             Json::Arr(scale_json(coalescing_points)),
         ),
+        (
+            "durability".to_owned(),
+            Json::Obj(vec![
+                (
+                    "note".to_owned(),
+                    Json::str(
+                        "WAL overhead vs the in-memory baseline on the same single-client \
+                         workload. batched: session batches (one record append + one fsync \
+                         per commit — the amortized production path; overhead_vs_in_memory \
+                         on wal-epoch is the CI-gated ratio). autocommit: one statement \
+                         per transaction, the worst case (one fsync per statement under \
+                         always/epoch; reported, not gated).",
+                    ),
+                ),
+                (
+                    "batched".to_owned(),
+                    Json::Arr(durability_json(durability_batched)),
+                ),
+                (
+                    "autocommit".to_owned(),
+                    Json::Arr(durability_json(durability_autocommit)),
+                ),
+            ]),
+        ),
     ])
+}
+
+/// Render one durability sweep, tagging each WAL mode with its overhead
+/// relative to the sweep's in-memory point.
+fn durability_json(points: &[DurabilityPoint]) -> Vec<birds_service::Json> {
+    use birds_service::Json;
+    let round = |x: f64| (x * 100.0).round() / 100.0;
+    let baseline = points
+        .iter()
+        .find(|p| p.mode == "in-memory")
+        .map(DurabilityPoint::statements_per_sec)
+        .unwrap_or(0.0);
+    points
+        .iter()
+        .map(|p| {
+            let rate = p.statements_per_sec();
+            Json::Obj(vec![
+                ("mode".to_owned(), Json::str(p.mode)),
+                (
+                    "total_statements".to_owned(),
+                    Json::Int(p.total_statements as i64),
+                ),
+                (
+                    "elapsed_ms".to_owned(),
+                    Json::Float(round(p.elapsed.as_secs_f64() * 1e3)),
+                ),
+                ("statements_per_sec".to_owned(), Json::Float(rate.round())),
+                (
+                    "overhead_vs_in_memory".to_owned(),
+                    Json::Float(round(baseline / rate.max(1e-9))),
+                ),
+            ])
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -514,11 +698,28 @@ mod tests {
     }
 
     #[test]
+    fn durability_sweeps_cover_every_mode() {
+        let points = durability_batched_sweep(150, 2, 15);
+        let modes: Vec<&str> = points.iter().map(|p| p.mode).collect();
+        assert_eq!(
+            modes,
+            vec!["in-memory", "wal-epoch", "wal-always", "wal-off"]
+        );
+        assert!(points.iter().all(|p| p.total_statements == 30));
+        assert!(points.iter().all(|p| p.statements_per_sec() > 0.0));
+        let auto = durability_autocommit_sweep(150, 10);
+        assert_eq!(auto.len(), 4);
+        assert!(auto.iter().all(|p| p.total_statements == 10));
+    }
+
+    #[test]
     fn json_document_shape() {
         let batch = batch_sweep(300, &[30]);
         let scale = thread_scaling(300, &[1], 1, 20);
         let disjoint = disjoint_scaling(100, &[1, 2], 10, Duration::from_micros(50));
         let coalescing = group_commit_scaling(100, &[2], 10, Duration::from_micros(50));
+        let dur_batched = durability_batched_sweep(100, 2, 10);
+        let dur_auto = durability_autocommit_sweep(100, 8);
         let doc = to_json(
             "test",
             300,
@@ -526,6 +727,8 @@ mod tests {
             &scale,
             &disjoint,
             &coalescing,
+            &dur_batched,
+            &dur_auto,
             Duration::from_micros(50),
         );
         let rendered = doc.to_pretty();
@@ -565,6 +768,29 @@ mod tests {
                 .get("scaling_vs_1_client")
                 .and_then(birds_service::Json::as_f64),
             Some(1.0)
+        );
+        let durability = parsed.get("durability").unwrap();
+        let batched = durability
+            .get("batched")
+            .and_then(birds_service::Json::as_arr)
+            .unwrap();
+        assert_eq!(batched.len(), 4);
+        assert_eq!(
+            batched[0].get("mode").and_then(birds_service::Json::as_str),
+            Some("in-memory")
+        );
+        assert_eq!(
+            batched[0]
+                .get("overhead_vs_in_memory")
+                .and_then(birds_service::Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            durability
+                .get("autocommit")
+                .and_then(birds_service::Json::as_arr)
+                .map(<[birds_service::Json]>::len),
+            Some(4)
         );
     }
 

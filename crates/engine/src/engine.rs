@@ -210,6 +210,14 @@ impl Engine {
         &self.db
     }
 
+    /// Crate-internal mutable database access (snapshot restore). Not
+    /// public: arbitrary base-table mutation would silently invalidate
+    /// materialized views; external callers go through the view-update
+    /// path or [`Engine::restore`].
+    pub(crate) fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
     /// Is `name` a registered updatable view?
     pub fn is_view(&self, name: &str) -> bool {
         self.views.contains_key(name)

@@ -27,6 +27,9 @@ pub enum EngineError {
     Store(String),
     /// A name clash or missing relation during registration.
     Registration(String),
+    /// A snapshot stream could not be written, or does not match this
+    /// engine's relation set on restore.
+    Snapshot(String),
 }
 
 impl fmt::Display for EngineError {
@@ -47,6 +50,7 @@ impl fmt::Display for EngineError {
             EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
             EngineError::Store(m) => write!(f, "store error: {m}"),
             EngineError::Registration(m) => write!(f, "registration error: {m}"),
+            EngineError::Snapshot(m) => write!(f, "snapshot error: {m}"),
         }
     }
 }

@@ -24,7 +24,9 @@
 pub mod algorithm2;
 pub mod engine;
 pub mod error;
+pub mod snapshot;
 
 pub use algorithm2::derive_view_delta;
 pub use engine::{Engine, ExecutionStats, StrategyMode, ViewFootprint};
 pub use error::{EngineError, EngineResult};
+pub use snapshot::{read_snapshot, write_snapshot, SNAPSHOT_MAGIC};

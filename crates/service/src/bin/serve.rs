@@ -16,6 +16,15 @@
 //! echo '{"op":"query","relation":"v"}' | birds-serve --connect 127.0.0.1:7878
 //! ```
 //!
+//! Durability: `--data-dir DIR` makes the database survive restarts —
+//! every commit is written ahead to a per-shard WAL under `DIR/wal/`
+//! before it is acknowledged, `--fsync always|epoch|off` picks the
+//! flush policy (default `epoch`: one fdatasync per group-commit
+//! epoch), and `--checkpoint-every N` snapshots-then-truncates the log
+//! every N commits (default 1024; 0 disables automatic checkpoints).
+//! On startup the server recovers the latest snapshot and replays the
+//! WAL in global commit-seq order, discarding torn tails by CRC.
+//!
 //! The demo database is the paper's Example 3.1: `v = r1 ∪ r2` with the
 //! programmed strategy (deletions remove from whichever table held the
 //! tuple; insertions go to `r1`), registered in incremental mode.
@@ -23,8 +32,9 @@
 use birds_core::UpdateStrategy;
 use birds_engine::{Engine, StrategyMode};
 use birds_service::server::DEFAULT_MAX_LINE_BYTES;
-use birds_service::{Server, Service};
+use birds_service::{DurabilityConfig, Server, Service, ServiceConfig};
 use birds_store::{tuple, Database, DatabaseSchema, Relation, Schema, SortKind};
+use birds_wal::FsyncPolicy;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
@@ -33,6 +43,9 @@ fn main() {
     let mut connect: Option<String> = None;
     let mut max_conns: Option<usize> = None;
     let mut max_line = DEFAULT_MAX_LINE_BYTES;
+    let mut data_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::default();
+    let mut checkpoint_every: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -56,9 +69,30 @@ fn main() {
                         std::process::exit(2);
                     })
             }
+            "--data-dir" => data_dir = Some(require_value(args.next(), "--data-dir")),
+            "--fsync" => {
+                fsync = require_value(args.next(), "--fsync")
+                    .parse()
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    })
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = Some(
+                    require_value(args.next(), "--checkpoint-every")
+                        .parse()
+                        .unwrap_or_else(|_| {
+                            eprintln!("--checkpoint-every needs an integer");
+                            std::process::exit(2);
+                        }),
+                )
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: birds-serve [--listen ADDR] [--max-conns N] [--max-line BYTES]\n\
+                     \x20                 [--data-dir DIR] [--fsync always|epoch|off]\n\
+                     \x20                 [--checkpoint-every N]\n\
                      \x20      birds-serve --connect ADDR   (client mode, script on stdin)"
                 );
                 return;
@@ -73,12 +107,48 @@ fn main() {
     if let Some(addr) = connect {
         run_client(&addr);
     } else {
-        run_server(&listen, max_conns, max_line);
+        run_server(
+            &listen,
+            max_conns,
+            max_line,
+            data_dir,
+            fsync,
+            checkpoint_every,
+        );
     }
 }
 
-fn run_server(listen: &str, max_conns: Option<usize>, max_line: usize) {
-    let service = Service::new(demo_engine());
+fn run_server(
+    listen: &str,
+    max_conns: Option<usize>,
+    max_line: usize,
+    data_dir: Option<String>,
+    fsync: FsyncPolicy,
+    checkpoint_every: Option<u64>,
+) {
+    let service = match data_dir {
+        None => Service::new(demo_engine()),
+        Some(dir) => {
+            let mut durability = DurabilityConfig::new(&dir);
+            durability.fsync = fsync;
+            if let Some(every) = checkpoint_every {
+                durability.checkpoint_every = (every > 0).then_some(every);
+            }
+            match Service::open(demo_engine(), ServiceConfig::default(), durability) {
+                Ok(service) => {
+                    println!(
+                        "recovered {} committed transactions from {dir} (fsync {fsync})",
+                        service.commits()
+                    );
+                    service
+                }
+                Err(e) => {
+                    eprintln!("cannot recover data dir {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
     let server = Server::spawn_with(listen, service, max_conns, max_line).unwrap_or_else(|e| {
         eprintln!("cannot listen on {listen}: {e}");
         std::process::exit(1);

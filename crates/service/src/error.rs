@@ -33,6 +33,12 @@ pub enum ServiceError {
     /// connection thread; shard data itself is recovered (see
     /// `locks.rs`).
     Poisoned(String),
+    /// The durability subsystem failed: recovery could not read or
+    /// replay the data directory, or a WAL append/sync failed at commit
+    /// time. A commit that gets this error was **not acknowledged as
+    /// durable** — it may or may not have applied in memory, exactly
+    /// like a commit interrupted by a crash.
+    Durability(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -51,6 +57,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Poisoned(what) => {
                 write!(f, "internal error: poisoned {what}")
             }
+            ServiceError::Durability(m) => write!(f, "durability error: {m}"),
         }
     }
 }

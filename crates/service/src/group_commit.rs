@@ -29,6 +29,18 @@
 //! preserved on the failure path. Member stats report the epoch's
 //! totals, not a per-statement split.
 //!
+//! ## Durability
+//!
+//! With a WAL attached (`EpochWal`), every applied group is appended
+//! to the shard's segment — the epoch *is* the WAL batch — while the
+//! shard lock is still held, and **no member learns it committed until
+//! the epoch's records are on disk** (per the fsync policy): result
+//! slots are filled only after the epoch-end sync. A sync or append
+//! failure turns the affected members' results into
+//! [`ServiceError::Durability`] — the transaction may have applied in
+//! memory, but it was never acknowledged, so "commit returned OK ⇒
+//! survives a crash" still holds.
+//!
 //! Panic safety: the queue and result slots are `Mutex`es; if a leader
 //! panics mid-epoch, waiters see the poisoned mutex and surface
 //! [`ServiceError::Poisoned`] instead of panicking their own connection
@@ -38,12 +50,50 @@
 use crate::error::{ServiceError, ServiceResult};
 use birds_engine::{Engine, ExecutionStats};
 use birds_sql::DmlStatement;
+use birds_wal::{FsyncPolicy, SegmentWriter, WalRecord};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// What a completed transaction hands back to its submitter.
 pub(crate) type TxResult = ServiceResult<(u64, ExecutionStats)>;
+
+/// The durability hookup an epoch leader writes through: the owning
+/// shard's segment writer plus the service's fsync policy.
+pub(crate) struct EpochWal<'a> {
+    pub(crate) writer: &'a Mutex<SegmentWriter>,
+    pub(crate) fsync: FsyncPolicy,
+}
+
+impl EpochWal<'_> {
+    /// Append one record under the writer mutex. The segment writer
+    /// seals itself on a real IO failure, so a shard whose log may be
+    /// torn mid-file refuses every further append — no commit is ever
+    /// acknowledged with its record buried behind a torn region.
+    pub(crate) fn append(&self, record: &WalRecord) -> ServiceResult<()> {
+        let mut writer = self
+            .writer
+            .lock()
+            .map_err(|_| ServiceError::Poisoned("wal segment writer".into()))?;
+        writer
+            .append(record, self.fsync)
+            .map_err(|e| ServiceError::Durability(format!("wal append failed: {e}")))
+    }
+
+    /// The epoch-end sync, when the policy defers to epoch granularity.
+    pub(crate) fn sync_epoch(&self) -> ServiceResult<()> {
+        if self.fsync.sync_each_epoch() && !self.fsync.sync_each_record() {
+            let mut writer = self
+                .writer
+                .lock()
+                .map_err(|_| ServiceError::Poisoned("wal segment writer".into()))?;
+            writer
+                .sync()
+                .map_err(|e| ServiceError::Durability(format!("wal sync failed: {e}")))?;
+        }
+        Ok(())
+    }
+}
 
 /// One autocommit transaction waiting for an epoch leader.
 pub(crate) struct PendingTx {
@@ -120,12 +170,16 @@ impl GroupCommitter {
 /// (first appearance order, preserving queue order within a view),
 /// coalesce each group into one net delta and apply it in a single
 /// incremental pass; on rejection, replay that group's members
-/// individually. Fills every member's result slot and assigns commit
-/// sequence numbers (successes only) in application order.
+/// individually. Assigns commit sequence numbers (successes only) in
+/// application order and, with a WAL attached, appends one record per
+/// applied delta. Every member's result slot is filled at the end —
+/// after the epoch-end fsync, so a filled `Ok` means durable under the
+/// configured policy.
 pub(crate) fn process_epoch(
     engine: &mut Engine,
     commit_seq: &AtomicU64,
     epoch: Vec<Arc<PendingTx>>,
+    wal: Option<&EpochWal<'_>>,
 ) {
     let mut groups: Vec<(String, Vec<Arc<PendingTx>>)> = Vec::new();
     for tx in epoch {
@@ -134,31 +188,96 @@ pub(crate) fn process_epoch(
             None => groups.push((tx.view.clone(), vec![tx])),
         }
     }
+    // Results are gathered here and filled only after the epoch-end
+    // sync: an autocommit client must never observe `Ok` before its
+    // record is durable under the configured policy.
+    let mut fills: Vec<(Arc<PendingTx>, TxResult)> = Vec::new();
+    let mut appended_any = false;
     for (view, group) in groups {
         let coalesced: Vec<DmlStatement> = group
             .iter()
             .flat_map(|tx| tx.statements.iter().cloned())
             .collect();
-        let net = engine
-            .derive_delta(&view, &coalesced)
-            .and_then(|delta| engine.apply_delta(&view, delta));
+        // Derive the net delta, keep a copy for the WAL (durable
+        // services only — the in-memory hot path pays no clone), apply
+        // it. The derived delta is normalized against the in-lock view
+        // state, so it is byte-for-byte the delta that gets applied —
+        // the exact replay-log entry.
+        let net = engine.derive_delta(&view, &coalesced).and_then(|delta| {
+            let log_copy = wal
+                .is_some()
+                .then(|| delta.clone())
+                .filter(|d| !d.is_empty());
+            engine
+                .apply_delta(&view, delta)
+                .map(|stats| (log_copy, stats))
+        });
         match net {
-            Ok(stats) => {
-                for tx in group {
-                    let seq = commit_seq.fetch_add(1, Ordering::SeqCst) + 1;
-                    tx.fill(Ok((seq, stats.clone())));
+            Ok((log_copy, stats)) => {
+                let seqs: Vec<u64> = group
+                    .iter()
+                    .map(|_| commit_seq.fetch_add(1, Ordering::SeqCst) + 1)
+                    .collect();
+                let logged = match (wal, log_copy) {
+                    // An empty net delta (`log_copy` filtered to None)
+                    // has no durable effect and is not logged — matching
+                    // the batch-commit path; such a transaction's seq is
+                    // not persisted (see `Service::commits`).
+                    (Some(wal), Some(delta)) => wal
+                        .append(&WalRecord {
+                            seqs: seqs.clone(),
+                            deltas: vec![(view.clone(), delta)],
+                        })
+                        .map(|()| {
+                            appended_any = true;
+                        }),
+                    _ => Ok(()),
+                };
+                for (tx, seq) in group.into_iter().zip(seqs) {
+                    let result = match &logged {
+                        Ok(()) => Ok((seq, stats.clone())),
+                        Err(e) => Err(e.clone()),
+                    };
+                    fills.push((tx, result));
                 }
             }
             Err(_) if group.len() > 1 => {
                 // The coalesced epoch was rejected; preserve
-                // per-transaction semantics by replaying individually.
+                // per-transaction semantics by replaying individually
+                // (each successful member logged as its own record).
                 for tx in group {
-                    match engine.execute_statements(&tx.statements) {
-                        Ok(stats) => {
+                    let net = engine
+                        .derive_delta(&tx.view, &tx.statements)
+                        .and_then(|delta| {
+                            let log_copy = wal
+                                .is_some()
+                                .then(|| delta.clone())
+                                .filter(|d| !d.is_empty());
+                            engine
+                                .apply_delta(&tx.view, delta)
+                                .map(|stats| (log_copy, stats))
+                        });
+                    match net {
+                        Ok((log_copy, stats)) => {
                             let seq = commit_seq.fetch_add(1, Ordering::SeqCst) + 1;
-                            tx.fill(Ok((seq, stats)));
+                            let logged = match (wal, log_copy) {
+                                (Some(wal), Some(delta)) => wal
+                                    .append(&WalRecord {
+                                        seqs: vec![seq],
+                                        deltas: vec![(tx.view.clone(), delta)],
+                                    })
+                                    .map(|()| {
+                                        appended_any = true;
+                                    }),
+                                _ => Ok(()),
+                            };
+                            let result = match logged {
+                                Ok(()) => Ok((seq, stats)),
+                                Err(e) => Err(e),
+                            };
+                            fills.push((tx, result));
                         }
-                        Err(e) => tx.fill(Err(ServiceError::Engine(e))),
+                        Err(e) => fills.push((tx, Err(ServiceError::Engine(e)))),
                     }
                 }
             }
@@ -166,9 +285,26 @@ pub(crate) fn process_epoch(
                 // Single-member group: the net path *is* the individual
                 // path (derive + normalize + apply); report its error.
                 for tx in group {
-                    tx.fill(Err(ServiceError::Engine(e.clone())));
+                    fills.push((tx, Err(ServiceError::Engine(e.clone()))));
                 }
             }
         }
+    }
+    // Epoch-end sync: one fdatasync covers every record this epoch
+    // appended (the group-commit durability amortization). If it fails,
+    // no member is acknowledged.
+    if let Some(wal) = wal {
+        if appended_any {
+            if let Err(e) = wal.sync_epoch() {
+                for (_, result) in &mut fills {
+                    if result.is_ok() {
+                        *result = Err(e.clone());
+                    }
+                }
+            }
+        }
+    }
+    for (tx, result) in fills {
+        tx.fill(result);
     }
 }

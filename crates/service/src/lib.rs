@@ -30,10 +30,22 @@
 //!   statements locally until `commit` coalesces them — per view — into
 //!   one *net* delta (Algorithm 2 over the whole buffer) and applies
 //!   each in a **single** incremental pass.
+//! * [`Service::open`] — the **durable** construction: recover a data
+//!   directory (latest snapshot + WAL replay in global commit-seq
+//!   order, torn tails discarded by CRC), then write every committed
+//!   epoch's net per-view deltas ahead — appended to the owning shard's
+//!   `birds_wal` segment under the shard lock, synced per
+//!   [`DurabilityConfig`]'s fsync policy *before* the commit is
+//!   acknowledged — with size-based segment rotation and
+//!   snapshot-then-truncate checkpointing ([`Service::checkpoint`],
+//!   automatic every `checkpoint_every` commits). Group-commit epochs
+//!   double as WAL batch boundaries (Obladi, arXiv:1809.10559).
 //! * [`protocol`] / [`Server`] — a line-delimited JSON protocol over TCP
 //!   (the `birds-serve` binary) with per-request `id` echo for
-//!   pipelining and a hard request-size cap, plus an in-process
-//!   [`LocalClient`] speaking the identical protocol.
+//!   pipelining and a hard request-size cap (oversized lines are
+//!   drained, answered with a salvaged id when possible, and the
+//!   connection stays usable), plus an in-process [`LocalClient`]
+//!   speaking the identical protocol.
 //! * [`json`] — the minimal JSON tree the protocol and the committed
 //!   `BENCH_*.json` trajectory documents share (the offline `serde` stub
 //!   has no serializer).
@@ -60,4 +72,6 @@ pub use json::Json;
 pub use locks::{LockId, LockManager};
 pub use protocol::{dispatch, Envelope, Request};
 pub use server::{LocalClient, Server};
-pub use service::{CommitOutcome, EngineReadView, ExecOutcome, Service, ServiceConfig, Session};
+pub use service::{
+    CommitOutcome, DurabilityConfig, EngineReadView, ExecOutcome, Service, ServiceConfig, Session,
+};

@@ -12,6 +12,7 @@
 //! | `{"op":"rollback"}`                       | `{"ok":true,"discarded":n}`                                   |
 //! | `{"op":"query","relation":"v"}`           | `{"ok":true,"relation":"v","tuples":[[…],…]}`                 |
 //! | `{"op":"stats"}`                          | `{"ok":true,"commits":n,"views":[…],"relations":[…]}`         |
+//! | `{"op":"checkpoint"}`                     | `{"ok":true,"watermark":n}` (durable servers only)            |
 //! | `{"op":"quit"}`                           | `{"ok":true,"bye":true}` and the connection closes            |
 //!
 //! Errors never close the connection (except transport failures):
@@ -61,6 +62,10 @@ pub enum Request {
     },
     /// Service-wide statistics.
     Stats,
+    /// Snapshot-then-truncate checkpoint (durable services only) — the
+    /// operator's lever for bounding the WAL and for healing a sealed
+    /// writer without a restart.
+    Checkpoint,
     /// Close the session.
     Quit,
 }
@@ -106,6 +111,7 @@ impl Request {
                 Ok(Request::Query { relation })
             }
             "stats" => Ok(Request::Stats),
+            "checkpoint" => Ok(Request::Checkpoint),
             "quit" => Ok(Request::Quit),
             other => Err(ServiceError::Protocol(format!("unknown op '{other}'"))),
         }
@@ -134,6 +140,7 @@ impl Request {
                 Request::Rollback => "rollback",
                 Request::Query { .. } => "query",
                 Request::Stats => "stats",
+                Request::Checkpoint => "checkpoint",
                 Request::Quit => "quit",
             }),
         )];
@@ -172,6 +179,107 @@ impl Envelope {
             Ok(request) => Ok(Envelope { id, request }),
             Err(e) => Err((id, e)),
         }
+    }
+}
+
+/// Best-effort extraction of a top-level `"id"` field from a *prefix*
+/// of a request line — what the transport salvages when an oversized
+/// request is discarded as it streams in (see `--max-line`): the server
+/// never buffers the full line, but the id conventionally sits near the
+/// front, so the retained prefix usually contains it and the
+/// `RequestTooLarge` error response can still be correlated by a
+/// pipelining client.
+///
+/// Tracks JSON string/escape state and brace depth, finds an `"id"` key
+/// at the object's top level, and decodes its scalar value (string,
+/// number, or boolean — the shapes [`Envelope::parse`] would echo).
+/// Returns `None` when the prefix was cut before the id's value
+/// completed, or contains no top-level id at all.
+pub fn salvage_id(prefix: &str) -> Option<Json> {
+    let bytes = prefix.as_bytes();
+    let mut i = 0usize;
+    let mut depth = 0i64;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                let end = scan_json_string(bytes, i)?;
+                let is_id_key = depth == 1 && &bytes[i + 1..end] == b"id";
+                i = end + 1;
+                if !is_id_key {
+                    continue;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if bytes.get(i) != Some(&b':') {
+                    continue; // a *value* that happens to be "id"
+                }
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                return salvage_scalar(prefix, i);
+            }
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth -= 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Index of the closing quote of the JSON string opening at `start`
+/// (which must be a `"`), honoring escapes; `None` if the prefix ends
+/// first.
+fn scan_json_string(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Decode the scalar JSON value starting at byte `at` of `prefix`.
+fn salvage_scalar(prefix: &str, at: usize) -> Option<Json> {
+    let bytes = prefix.as_bytes();
+    match bytes.get(at)? {
+        b'"' => {
+            let end = scan_json_string(bytes, at)?;
+            Json::parse(&prefix[at..=end]).ok()
+        }
+        b't' | b'f' => {
+            let rest = &prefix[at..];
+            if rest.starts_with("true") {
+                Some(Json::Bool(true))
+            } else if rest.starts_with("false") {
+                Some(Json::Bool(false))
+            } else {
+                None
+            }
+        }
+        b'-' | b'0'..=b'9' => {
+            let end = bytes[at..]
+                .iter()
+                .position(|b| !matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+                .map_or(bytes.len(), |n| at + n);
+            // A number running into the cut end of the prefix may be
+            // truncated mid-digits — refuse rather than echo a wrong id.
+            if end == bytes.len() {
+                return None;
+            }
+            Json::parse(&prefix[at..end]).ok()
+        }
+        _ => None,
     }
 }
 
@@ -282,26 +390,24 @@ pub fn dispatch(session: &mut Session, request: &Request) -> Json {
             ))),
         },
         Request::Stats => {
+            // Shard-routed on purpose: view_names/relation_stats take
+            // one shard read lock at a time, so a hot shard's group
+            // commit never serializes a stats call behind *all* shards
+            // (the all-shard `Service::read` barrier is reserved for
+            // cross-shard-consistent reads).
             let service = session.service();
             let shards = service.shard_count();
-            let (views, relations) = service.read(|engine| {
-                let views: Vec<Json> = engine.view_names().into_iter().map(Json::str).collect();
-                let mut relations: Vec<Json> = engine
-                    .relations()
-                    .map(|rel| {
-                        Json::Obj(vec![
-                            ("name".to_owned(), Json::str(rel.name())),
-                            ("tuples".to_owned(), Json::Int(rel.len() as i64)),
-                        ])
-                    })
-                    .collect();
-                relations.sort_by(|a, b| {
-                    a.get("name")
-                        .and_then(Json::as_str)
-                        .cmp(&b.get("name").and_then(Json::as_str))
-                });
-                (views, relations)
-            });
+            let views: Vec<Json> = service.view_names().into_iter().map(Json::str).collect();
+            let relations: Vec<Json> = service
+                .relation_stats()
+                .into_iter()
+                .map(|(name, tuples)| {
+                    Json::Obj(vec![
+                        ("name".to_owned(), Json::str(name)),
+                        ("tuples".to_owned(), Json::Int(tuples as i64)),
+                    ])
+                })
+                .collect();
             Ok(ok(vec![
                 ("commits".to_owned(), Json::Int(service.commits() as i64)),
                 ("pending".to_owned(), Json::Int(session.pending() as i64)),
@@ -310,6 +416,10 @@ pub fn dispatch(session: &mut Session, request: &Request) -> Json {
                 ("relations".to_owned(), Json::Arr(relations)),
             ]))
         }
+        Request::Checkpoint => session
+            .service()
+            .checkpoint()
+            .map(|watermark| ok(vec![("watermark".to_owned(), Json::Int(watermark as i64))])),
         Request::Quit => Ok(ok(vec![("bye".to_owned(), Json::Bool(true))])),
     };
     result.unwrap_or_else(|e| error_response(&e))
@@ -333,6 +443,7 @@ mod tests {
                 relation: "v".to_owned(),
             },
             Request::Stats,
+            Request::Checkpoint,
             Request::Quit,
         ];
         for r in requests {
@@ -395,6 +506,41 @@ mod tests {
         let env = Envelope::parse(&line).unwrap();
         assert_eq!(env.request, Request::Ping);
         assert_eq!(env.id, Some(Json::str("req-1")));
+    }
+
+    #[test]
+    fn salvage_id_finds_top_level_ids_in_prefixes() {
+        // The common pipelining shapes: id early, value cut off later.
+        assert_eq!(
+            salvage_id(r#"{"op":"execute","id":42,"sql":"INSERT INTO v VAL"#),
+            Some(Json::Int(42))
+        );
+        assert_eq!(
+            salvage_id(r#"{"id":"req-7","op":"execute","sql":"xxxxxxx"#),
+            Some(Json::str("req-7"))
+        );
+        assert_eq!(salvage_id(r#"{"id":true,"sql":"#), Some(Json::Bool(true)));
+        assert_eq!(salvage_id(r#"{"id":-3.5,"op":"#), Some(Json::Float(-3.5)));
+    }
+
+    #[test]
+    fn salvage_id_refuses_ambiguous_or_nested_shapes() {
+        // No id at all.
+        assert_eq!(salvage_id(r#"{"op":"execute","sql":"xxxx"#), None);
+        // "id" as a *value*, not a key.
+        assert_eq!(salvage_id(r#"{"op":"id","sql":"xxxx"#), None);
+        // "id" inside a nested object or array is not the request id.
+        assert_eq!(salvage_id(r#"{"meta":{"id":9},"sql":"xxxx"#), None);
+        assert_eq!(salvage_id(r#"{"tags":["id",7],"sql":"xxxx"#), None);
+        // An id whose value the cut truncated must not be echoed wrong:
+        // the full number (1234...) may continue past the prefix.
+        assert_eq!(salvage_id(r#"{"sql":"x","id":12"#), None);
+        assert_eq!(salvage_id(r#"{"sql":"x","id":"unterminat"#), None);
+        // Escaped quotes inside earlier strings don't derail the scan.
+        assert_eq!(
+            salvage_id(r#"{"sql":"say \"hi\" {not json}","id":5,"x":"#),
+            Some(Json::Int(5))
+        );
     }
 
     #[test]

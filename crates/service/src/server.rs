@@ -10,7 +10,7 @@
 //! pipeline requests and correlate replies.
 
 use crate::error::ServiceError;
-use crate::protocol::{dispatch, error_response, with_id, Envelope, Request};
+use crate::protocol::{dispatch, error_response, salvage_id, with_id, Envelope, Request};
 use crate::service::{Service, Session};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -127,8 +127,15 @@ pub fn handle_connection_with(
     loop {
         let line = match read_bounded_line(&mut reader, max_line)? {
             BoundedLine::Eof => break,
-            BoundedLine::TooLong => {
-                let response = error_response(&ServiceError::RequestTooLarge { limit: max_line });
+            BoundedLine::TooLong { prefix } => {
+                // The tail was discarded unread, but the retained prefix
+                // usually carries the request's id — salvage it so a
+                // pipelining client can correlate the rejection.
+                let id = salvage_id(&prefix);
+                let response = with_id(
+                    error_response(&ServiceError::RequestTooLarge { limit: max_line }),
+                    id,
+                );
                 writer.write_all(response.to_compact().as_bytes())?;
                 writer.write_all(b"\n")?;
                 writer.flush()?;
@@ -161,8 +168,9 @@ enum BoundedLine {
     /// A complete line (terminator stripped) within the cap.
     Line(String),
     /// The line exceeded the cap; it was drained from the stream without
-    /// being buffered.
-    TooLong,
+    /// being buffered. `prefix` is the retained head (at most `cap + 1`
+    /// bytes, lossily decoded) — enough to salvage a correlation id.
+    TooLong { prefix: String },
     /// Clean end of stream.
     Eof,
 }
@@ -177,6 +185,9 @@ enum BoundedLine {
 /// CRLF's `\r` sits until the terminator proves it part of the line
 /// ending).
 fn read_bounded_line(reader: &mut impl BufRead, cap: usize) -> std::io::Result<BoundedLine> {
+    let too_long = |line: &[u8]| BoundedLine::TooLong {
+        prefix: String::from_utf8_lossy(line).into_owned(),
+    };
     let mut line: Vec<u8> = Vec::new();
     loop {
         let chunk = reader.fill_buf()?;
@@ -185,7 +196,7 @@ fn read_bounded_line(reader: &mut impl BufRead, cap: usize) -> std::io::Result<B
             return Ok(if line.is_empty() {
                 BoundedLine::Eof
             } else if line.len() > cap {
-                BoundedLine::TooLong
+                too_long(&line)
             } else {
                 BoundedLine::Line(String::from_utf8_lossy(&line).into_owned())
             });
@@ -193,20 +204,22 @@ fn read_bounded_line(reader: &mut impl BufRead, cap: usize) -> std::io::Result<B
         let newline = chunk.iter().position(|&b| b == b'\n');
         let take = newline.unwrap_or(chunk.len());
         if line.len() + take > cap + 1 {
-            // Even a trailing-\r allowance can't save this line: drop
-            // what we had, then drain up to the terminator (bounded
+            // Even a trailing-\r allowance can't save this line: keep
+            // only the salvage prefix (top up to the cap+1 bound from
+            // this chunk), then drain up to the terminator (bounded
             // memory: one fill_buf chunk at a time).
-            line.clear();
+            let top_up = (cap + 1).saturating_sub(line.len()).min(take);
+            line.extend_from_slice(&chunk[..top_up]);
             let mut consumed_terminator = newline.is_some();
             let mut consume = take + usize::from(consumed_terminator);
             loop {
                 reader.consume(consume);
                 if consumed_terminator {
-                    return Ok(BoundedLine::TooLong);
+                    return Ok(too_long(&line));
                 }
                 let chunk = reader.fill_buf()?;
                 if chunk.is_empty() {
-                    return Ok(BoundedLine::TooLong); // EOF mid-line
+                    return Ok(too_long(&line)); // EOF mid-line
                 }
                 match chunk.iter().position(|&b| b == b'\n') {
                     Some(pos) => {
@@ -228,7 +241,7 @@ fn read_bounded_line(reader: &mut impl BufRead, cap: usize) -> std::io::Result<B
                 line.pop();
             }
             if line.len() > cap {
-                return Ok(BoundedLine::TooLong);
+                return Ok(too_long(&line));
             }
             return Ok(BoundedLine::Line(
                 String::from_utf8_lossy(&line).into_owned(),
@@ -446,6 +459,83 @@ mod tests {
     }
 
     #[test]
+    fn oversized_line_echoes_salvaged_id_and_pipelining_continues() {
+        // The post-drain contract, end to end: an oversized request with
+        // an id near the front gets a RequestTooLarge error carrying
+        // that id, and pipelined follow-ups on the same connection are
+        // answered in order as if nothing happened.
+        let service = union_service();
+        let server = Server::spawn_with("127.0.0.1:0", service.clone(), Some(1), 512).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // All four requests in ONE write: the oversized one (id first,
+        // giant sql spanning many fill_buf chunks), then three normal
+        // ones the drain must leave intact.
+        let mut burst = String::from("{\"op\":\"execute\",\"id\":\"big-1\",\"sql\":\"");
+        burst.push_str(&"y".repeat(128 * 1024));
+        burst.push_str("\"}\n");
+        burst.push_str("{\"op\":\"execute\",\"sql\":\"INSERT INTO v VALUES (81);\",\"id\":2}\n");
+        burst.push_str("{\"op\":\"query\",\"relation\":\"v\",\"id\":3}\n");
+        burst.push_str("{\"op\":\"quit\",\"id\":4}\n");
+        writer.write_all(burst.as_bytes()).unwrap();
+        writer.flush().unwrap();
+
+        let mut lines = Vec::new();
+        for _ in 0..4 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line);
+        }
+        assert!(
+            lines[0].contains("\"ok\": false")
+                && lines[0].contains("512-byte line limit")
+                && lines[0].contains("\"id\": \"big-1\""),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"applied\": true") && lines[1].contains("\"id\": 2"),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[2].contains("[81]") && lines[2].contains("\"id\": 3"),
+            "{}",
+            lines[2]
+        );
+        assert!(
+            lines[3].contains("\"bye\": true") && lines[3].contains("\"id\": 4"),
+            "{}",
+            lines[3]
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_reader_retains_salvage_prefix() {
+        use std::io::Cursor;
+        // Oversized line: the retained prefix is the first cap+1 bytes,
+        // even when the overflow is detected mid-accumulation.
+        let payload = format!("{}{}", "a".repeat(6), "b".repeat(20));
+        let mut r = Cursor::new(format!("{payload}\nnext\n").into_bytes());
+        let BoundedLine::TooLong { prefix } = read_bounded_line(&mut r, 8).unwrap() else {
+            panic!("line over cap");
+        };
+        assert_eq!(prefix, payload[..9], "first cap+1 bytes retained");
+        assert!(matches!(
+            read_bounded_line(&mut r, 8).unwrap(),
+            BoundedLine::Line(l) if l == "next"
+        ));
+        // Unterminated oversized tail at EOF keeps its prefix too.
+        let mut r = Cursor::new(vec![b'z'; 40]);
+        let BoundedLine::TooLong { prefix } = read_bounded_line(&mut r, 8).unwrap() else {
+            panic!("tail over cap");
+        };
+        assert_eq!(prefix.len(), 9);
+    }
+
+    #[test]
     fn bounded_reader_handles_edges() {
         use std::io::Cursor;
         // Exactly at the cap passes; one over fails.
@@ -456,7 +546,7 @@ mod tests {
         ));
         assert!(matches!(
             read_bounded_line(&mut r, 4).unwrap(),
-            BoundedLine::TooLong
+            BoundedLine::TooLong { .. }
         ));
         assert!(matches!(
             read_bounded_line(&mut r, 4).unwrap(),
@@ -487,13 +577,13 @@ mod tests {
         ));
         assert!(matches!(
             read_bounded_line(&mut r, 4).unwrap(),
-            BoundedLine::TooLong
+            BoundedLine::TooLong { .. }
         ));
         // Oversized line that ends at EOF without a terminator.
         let mut r = Cursor::new(vec![b'z'; 100]);
         assert!(matches!(
             read_bounded_line(&mut r, 10).unwrap(),
-            BoundedLine::TooLong
+            BoundedLine::TooLong { .. }
         ));
     }
 }

@@ -27,13 +27,15 @@
 
 use crate::error::{ServiceError, ServiceResult};
 use crate::footprint::{partition, ShardMap};
-use crate::group_commit::{GroupCommitter, PendingTx};
+use crate::group_commit::{EpochWal, GroupCommitter, PendingTx};
 use crate::locks::{LockId, LockManager};
 use birds_engine::{Engine, EngineError, ExecutionStats};
 use birds_sql::{parse_script, DmlStatement};
-use birds_store::{Database, Relation, Tuple};
+use birds_store::{Database, Delta, Relation, Tuple};
+use birds_wal::{FsyncPolicy, SegmentWriter, WalRecord, DEFAULT_SEGMENT_BYTES};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLockReadGuard};
+use std::sync::{Arc, Mutex, RwLockReadGuard};
 use std::time::Duration;
 
 /// Service tuning knobs.
@@ -53,6 +55,51 @@ impl Default for ServiceConfig {
             epoch_window: Duration::ZERO,
         }
     }
+}
+
+/// Durability knobs for [`Service::open`]: where the data directory
+/// lives and how eagerly the WAL reaches stable storage.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the snapshot file and `wal/` segments. Created
+    /// if absent; recovered from if not.
+    pub data_dir: PathBuf,
+    /// When appends are flushed — see [`FsyncPolicy`].
+    pub fsync: FsyncPolicy,
+    /// Checkpoint (snapshot-then-truncate) after this many durable
+    /// commits; `None` disables automatic checkpoints (manual
+    /// [`Service::checkpoint`] still works).
+    pub checkpoint_every: Option<u64>,
+    /// WAL segment rotation threshold, in bytes.
+    pub segment_bytes: u64,
+}
+
+impl DurabilityConfig {
+    /// Sensible defaults: `epoch` fsync, checkpoint every 1024 commits,
+    /// 8 MiB segments.
+    pub fn new(data_dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            data_dir: data_dir.into(),
+            fsync: FsyncPolicy::default(),
+            checkpoint_every: Some(1024),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+        }
+    }
+}
+
+/// The durable half of a running service: one segment writer per shard
+/// (same indexing as the lock manager) plus checkpoint bookkeeping.
+struct WalState {
+    writers: Vec<Mutex<SegmentWriter>>,
+    fsync: FsyncPolicy,
+    data_dir: PathBuf,
+    checkpoint_every: Option<u64>,
+    commits_since_checkpoint: AtomicU64,
+    /// Serializes checkpointers (the shard locks alone would let two
+    /// checkpoints interleave their snapshot/truncate halves).
+    checkpoint_lock: Mutex<()>,
+    /// Consecutive failed emergency-heal checkpoints (log throttling).
+    heal_failures: AtomicU64,
 }
 
 /// Outcome of a [`Session::execute`] call.
@@ -98,6 +145,8 @@ struct ServiceInner {
     committers: Vec<GroupCommitter>,
     commit_seq: AtomicU64,
     config: ServiceConfig,
+    /// `Some` when the service is durable ([`Service::open`]).
+    wal: Option<WalState>,
 }
 
 /// A consistent read view over every shard: all shard read locks, held
@@ -151,17 +200,89 @@ impl Service {
 
     /// Wrap an engine with explicit tuning knobs.
     pub fn with_config(engine: Engine, config: ServiceConfig) -> Self {
+        Service::build(engine, config, None).expect("in-memory service construction cannot fail")
+    }
+
+    /// Open a **durable** service: recover the data directory (latest
+    /// snapshot, then the WAL in global commit-seq order), then serve
+    /// with write-ahead logging on every commit path.
+    ///
+    /// `engine` must be built by the same registration code that built
+    /// it originally — the same base tables and views in the same order.
+    /// Recovery restores relation *contents* from the snapshot (a
+    /// registration mismatch is a typed error, not silent corruption)
+    /// and replays each logged epoch's net per-view deltas through the
+    /// deterministic [`Engine::apply_delta`] path, merging the per-shard
+    /// logs by first member commit seq — which, because seqs are
+    /// assigned under the commit's shard locks, is exactly the global
+    /// commit order. Torn record tails (a crash mid-append) are
+    /// CRC-detected and truncated.
+    pub fn open(
+        engine: Engine,
+        config: ServiceConfig,
+        durability: DurabilityConfig,
+    ) -> ServiceResult<Service> {
+        Service::build(engine, config, Some(durability))
+    }
+
+    fn build(
+        mut engine: Engine,
+        config: ServiceConfig,
+        durability: Option<DurabilityConfig>,
+    ) -> ServiceResult<Service> {
+        let mut start_seq = 0u64;
+        let durability = match durability {
+            None => None,
+            Some(d) => {
+                let recovery = birds_wal::recover(&d.data_dir)
+                    .map_err(|e| ServiceError::Durability(e.to_string()))?;
+                if let Some(body) = &recovery.snapshot {
+                    engine.restore(&body[..])?;
+                }
+                for record in recovery.records {
+                    let seq = record.first_seq();
+                    for (view, delta) in record.deltas {
+                        engine.apply_delta(&view, delta).map_err(|e| {
+                            ServiceError::Durability(format!("replaying commit seq {seq}: {e}"))
+                        })?;
+                    }
+                }
+                start_seq = recovery.max_seq;
+                Some(d)
+            }
+        };
         let (shards, route) = partition(engine);
+        let wal = match durability {
+            None => None,
+            Some(d) => {
+                let writers = (0..shards.len())
+                    .map(|shard| {
+                        SegmentWriter::open(&d.data_dir, shard, d.segment_bytes).map(Mutex::new)
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| ServiceError::Durability(e.to_string()))?;
+                Some(WalState {
+                    writers,
+                    fsync: d.fsync,
+                    data_dir: d.data_dir,
+                    checkpoint_every: d.checkpoint_every,
+                    commits_since_checkpoint: AtomicU64::new(0),
+                    checkpoint_lock: Mutex::new(()),
+                    heal_failures: AtomicU64::new(0),
+                })
+            }
+        };
         let committers = (0..shards.len()).map(|_| GroupCommitter::new()).collect();
-        Service {
+        Ok(Service {
             inner: Arc::new(ServiceInner {
                 shards,
                 route,
                 committers,
-                commit_seq: AtomicU64::new(0),
+                commit_seq: AtomicU64::new(start_seq),
                 config,
+                wal,
             }),
-        }
+        })
     }
 
     /// Open a new session in autocommit mode.
@@ -202,8 +323,67 @@ impl Service {
         })
     }
 
+    /// Names of all registered views, in name order — one shard read
+    /// lock at a time, never the all-shard barrier: a hot shard's group
+    /// commit delays only its own slice of the answer, not the whole
+    /// call (and never blocks behind *every* shard like
+    /// [`Service::read`] would).
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .shards
+            .ids()
+            .flat_map(|id| {
+                let engine = self.inner.shards.read(id);
+                engine.view_names().map(str::to_owned).collect::<Vec<_>>()
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// `(name, tuple count)` of every relation, in name order — same
+    /// one-shard-at-a-time locking as [`Service::view_names`]. Counts
+    /// from different shards may straddle a concurrent commit; callers
+    /// needing a cross-shard-consistent snapshot use [`Service::read`].
+    pub fn relation_stats(&self) -> Vec<(String, usize)> {
+        let mut stats: Vec<(String, usize)> = self
+            .inner
+            .shards
+            .ids()
+            .flat_map(|id| {
+                let engine = self.inner.shards.read(id);
+                engine
+                    .database()
+                    .relations()
+                    .map(|rel| (rel.name().to_owned(), rel.len()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        stats.sort();
+        stats
+    }
+
+    /// Test hook: hold the write lock of the shard owning `relation`,
+    /// simulating a long-running commit there. Lets tests prove that
+    /// single-shard reads on *other* shards do not serialize behind it.
+    #[doc(hidden)]
+    pub fn debug_write_lock_shard(&self, relation: &str) -> Option<impl Drop + '_> {
+        let shard = self.inner.route.shard_of(relation)?;
+        Some(self.inner.shards.write(shard))
+    }
+
     /// Number of committed transactions (autocommit scripts and batch
-    /// commits both count) since the service started.
+    /// commits both count) since the service started — on a durable
+    /// service, since the data directory was created.
+    ///
+    /// Seq-stability caveat: a transaction with **no durable effect**
+    /// (an empty script, an empty batch, a net delta that cancels to
+    /// nothing) consumes a commit seq but writes no WAL record — some
+    /// of those paths hold no shard lock, so logging them could not
+    /// preserve per-shard append order. After a crash the sequence
+    /// resumes from the highest *logged* seq, so no-op transactions'
+    /// seqs may be reassigned; every effectful commit's seq is stable.
     pub fn commits(&self) -> u64 {
         self.inner.commit_seq.load(Ordering::SeqCst)
     }
@@ -247,30 +427,188 @@ impl Service {
         let tx = PendingTx::new(view, statements);
         committer.enqueue(tx.clone())?;
         let window = self.inner.config.epoch_window;
+        let mut result = None;
         if !window.is_zero() {
             // Epoch window: park so concurrent submitters can join this
             // epoch; the sleeps of parked submitters overlap, so offered
             // concurrency turns into epoch depth.
             std::thread::sleep(window);
-            if let Some(result) = tx.take_result()? {
-                return result;
-            }
+            result = tx.take_result()?;
         }
-        loop {
-            {
-                let mut engine = self.inner.shards.write(shard);
-                let epoch = committer.drain()?;
-                if !epoch.is_empty() {
-                    crate::group_commit::process_epoch(&mut engine, &self.inner.commit_seq, epoch);
+        let result = match result {
+            Some(result) => result,
+            None => loop {
+                {
+                    let mut engine = self.inner.shards.write(shard);
+                    let epoch = committer.drain()?;
+                    if !epoch.is_empty() {
+                        let epoch_wal = self.inner.wal.as_ref().map(|wal| EpochWal {
+                            writer: &wal.writers[shard.index()],
+                            fsync: wal.fsync,
+                        });
+                        crate::group_commit::process_epoch(
+                            &mut engine,
+                            &self.inner.commit_seq,
+                            epoch,
+                            epoch_wal.as_ref(),
+                        );
+                    }
+                }
+                if let Some(result) = tx.take_result()? {
+                    break result;
+                }
+                // Not filled and the queue was empty: another leader
+                // drained our transaction and is mid-epoch; loop and
+                // re-check (the next lock acquisition blocks until that
+                // epoch finishes).
+            },
+        };
+        // Every member counts toward the checkpoint threshold — leaders
+        // and window-parked followers alike (a follower returning early
+        // must not let the WAL outgrow `checkpoint_every`).
+        match &result {
+            Ok(_) => self.after_durable_commit(1),
+            Err(ServiceError::Durability(_)) => self.heal_after_durability_failure(),
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// Best-effort self-heal after a commit failed durably. A WAL
+    /// append/sync failure seals the shard's segment writer — every
+    /// further commit on that shard fails fast — and the only way to
+    /// unseal is a checkpoint (it rebuilds the segment series from a
+    /// fresh snapshot). Automatic checkpoints count *successful*
+    /// commits, so they would never fire on a shard that can no longer
+    /// commit; this hook attempts an emergency checkpoint whenever a
+    /// durability failure is observed and a writer is sealed. The
+    /// moment the underlying fault clears (disk space freed, volume
+    /// remounted), one failing commit triggers the heal and the service
+    /// resumes — no restart needed. While the fault persists the
+    /// attempts keep failing fast (throttled logging); a manual
+    /// [`Service::checkpoint`] (or the protocol's `{"op":"checkpoint"}`)
+    /// is the operator-driven alternative.
+    fn heal_after_durability_failure(&self) {
+        let Some(wal) = &self.inner.wal else {
+            return;
+        };
+        let any_sealed = wal.writers.iter().any(|writer| {
+            writer
+                .lock()
+                .map(|writer| writer.is_sealed())
+                .unwrap_or(false)
+        });
+        if !any_sealed {
+            return;
+        }
+        let Ok(guard) = wal.checkpoint_lock.try_lock() else {
+            return; // a checkpoint is already running; it will unseal
+        };
+        match self.checkpoint_locked(wal, &guard) {
+            Ok(watermark) => {
+                wal.heal_failures.store(0, Ordering::SeqCst);
+                eprintln!(
+                    "[birds-service] sealed WAL healed by emergency checkpoint \
+                     (watermark {watermark})"
+                );
+            }
+            Err(e) => {
+                let failures = wal.heal_failures.fetch_add(1, Ordering::SeqCst) + 1;
+                if failures.is_power_of_two() {
+                    eprintln!(
+                        "[birds-service] emergency checkpoint failed \
+                         (attempt {failures}, WAL stays sealed): {e}"
+                    );
                 }
             }
-            if let Some(result) = tx.take_result()? {
-                return result;
-            }
-            // Not filled and the queue was empty: another leader drained
-            // our transaction and is mid-epoch; loop and re-check (the
-            // next lock acquisition blocks until that epoch finishes).
         }
+    }
+
+    /// Bump the checkpoint counter after `n` durable commits and run an
+    /// automatic checkpoint when the threshold is crossed. Called with
+    /// no shard locks held (checkpointing takes them all).
+    fn after_durable_commit(&self, n: u64) {
+        let Some(wal) = &self.inner.wal else {
+            return;
+        };
+        let Some(every) = wal.checkpoint_every else {
+            return;
+        };
+        let count = wal.commits_since_checkpoint.fetch_add(n, Ordering::SeqCst) + n;
+        if count < every {
+            return;
+        }
+        // One volunteer checkpoints; contenders skip (their commits are
+        // covered by the volunteer's snapshot anyway).
+        let Ok(guard) = wal.checkpoint_lock.try_lock() else {
+            return;
+        };
+        if wal.commits_since_checkpoint.load(Ordering::SeqCst) < every {
+            return; // someone checkpointed while we raced for the lock
+        }
+        if let Err(e) = self.checkpoint_locked(wal, &guard) {
+            // A failed automatic checkpoint only means the WAL keeps
+            // growing; durability is unaffected. Surface it and retry at
+            // the next threshold crossing.
+            eprintln!("[birds-service] automatic checkpoint failed: {e}");
+        }
+    }
+
+    /// Snapshot-then-truncate checkpoint: write every relation (all
+    /// shards, consistent under all shard read locks) to the snapshot
+    /// file with the current commit seq as watermark, then truncate
+    /// every WAL segment series. Returns the watermark. Fails with
+    /// [`ServiceError::Durability`] on an in-memory service.
+    pub fn checkpoint(&self) -> ServiceResult<u64> {
+        let wal = self.inner.wal.as_ref().ok_or_else(|| {
+            ServiceError::Durability("service has no data directory (in-memory)".into())
+        })?;
+        let guard = wal
+            .checkpoint_lock
+            .lock()
+            .map_err(|_| ServiceError::Poisoned("checkpoint lock".into()))?;
+        self.checkpoint_locked(wal, &guard)
+    }
+
+    fn checkpoint_locked(
+        &self,
+        wal: &WalState,
+        _guard: &std::sync::MutexGuard<'_, ()>,
+    ) -> ServiceResult<u64> {
+        // All shard read locks: no commit is mid-flight, so the relation
+        // contents are a commit boundary and the commit-seq counter is a
+        // valid watermark for them. (Lock order: checkpoint lock, then
+        // shard locks ascending — commits take shard locks then the
+        // writer mutex and never wait on the checkpoint lock, so no
+        // cycle.)
+        let guards = self.inner.shards.read_all();
+        let watermark = self.inner.commit_seq.load(Ordering::SeqCst);
+        let relations: Vec<&Relation> = guards
+            .iter()
+            .flat_map(|engine| engine.database().relations())
+            .collect();
+        birds_wal::write_snapshot_file(&wal.data_dir, watermark, |mut w| {
+            birds_engine::write_snapshot(&mut w, &relations)
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        })
+        .map_err(|e| ServiceError::Durability(format!("checkpoint snapshot: {e}")))?;
+        // Snapshot is durable and renamed in: the log is now redundant.
+        // A crash from here on merely replays nothing (records at or
+        // below the watermark are filtered at recovery).
+        for writer in &wal.writers {
+            writer
+                .lock()
+                .map_err(|_| ServiceError::Poisoned("wal segment writer".into()))?
+                .reset()
+                .map_err(|e| ServiceError::Durability(format!("wal truncate: {e}")))?;
+        }
+        wal.commits_since_checkpoint.store(0, Ordering::SeqCst);
+        Ok(watermark)
+    }
+
+    /// The data directory of a durable service (`None` when in-memory).
+    pub fn data_dir(&self) -> Option<&std::path::Path> {
+        self.inner.wal.as_ref().map(|wal| wal.data_dir.as_path())
     }
 }
 
@@ -356,6 +694,15 @@ impl Session {
     /// On error the batch is discarded; atomicity is per view (a
     /// multi-view batch that fails on its k-th view keeps the first k−1
     /// applied — single-view batches, the common case, are atomic).
+    ///
+    /// On a durable service the commit's net per-view deltas are
+    /// appended to the WAL (one record, written to the lowest-id locked
+    /// shard's log while every locked shard is still held) and synced
+    /// per the fsync policy **before** this method returns `Ok` — a
+    /// crash after `Ok` never loses the commit. A multi-view batch that
+    /// fails on its k-th view logs the applied k−1 prefix (under a fresh
+    /// commit seq) so recovery converges to exactly the in-memory state,
+    /// then still returns the error.
     pub fn commit(&mut self) -> ServiceResult<CommitOutcome> {
         let statements = self.batch.take().ok_or(ServiceError::NoBatchOpen)?;
         let statement_count = statements.len();
@@ -387,6 +734,10 @@ impl Session {
             .lock_set(groups.iter().map(|(view, _)| view.as_str()))?;
         let mut guards = inner.shards.write_set(lock_set);
         let mut total = ExecutionStats::default();
+        // The applied per-view net deltas, in application order — the
+        // WAL record for this commit.
+        let mut applied: Vec<(String, Delta)> = Vec::new();
+        let mut failure: Option<ServiceError> = None;
         for (view, group) in groups {
             let shard = inner
                 .route
@@ -398,20 +749,86 @@ impl Session {
                 .map(|(_, guard)| &mut **guard)
                 .expect("footprint guards cover every target view");
             // Derive against the in-lock state so earlier groups'
-            // cascades are visible, then apply in one pass.
-            let delta = engine.derive_delta(&view, &group)?;
-            let stats = engine.apply_delta(&view, delta)?;
-            total.view_delta_size += stats.view_delta_size;
-            total.source_delta_size += stats.source_delta_size;
-            total.cascades += stats.cascades;
+            // cascades are visible, then apply in one pass. The derived
+            // delta is normalized against that same state, so it is
+            // exactly what gets applied — the replay-log entry (cloned
+            // only on durable services; the in-memory hot path applies
+            // by value).
+            let result = engine.derive_delta(&view, &group).and_then(|delta| {
+                let log_copy = inner
+                    .wal
+                    .is_some()
+                    .then(|| delta.clone())
+                    .filter(|d| !d.is_empty());
+                engine
+                    .apply_delta(&view, delta)
+                    .map(|stats| (log_copy, stats))
+            });
+            match result {
+                Ok((log_copy, stats)) => {
+                    total.view_delta_size += stats.view_delta_size;
+                    total.source_delta_size += stats.source_delta_size;
+                    total.cascades += stats.cascades;
+                    if let Some(delta) = log_copy {
+                        applied.push((view, delta));
+                    }
+                }
+                Err(e) => {
+                    failure = Some(ServiceError::Engine(e));
+                    break;
+                }
+            }
+        }
+        if let Some(e) = &failure {
+            if applied.is_empty() || inner.wal.is_none() {
+                // Nothing applied (or nothing to log): fail without a
+                // seq or a log record, exactly like the in-memory path
+                // always has.
+                return Err(e.clone());
+            }
         }
         let commit_seq = self.service.next_commit_seq();
-        Ok(CommitOutcome {
-            commit_seq,
-            statements: statement_count,
-            views,
-            stats: total,
-        })
+        if let Some(wal) = &inner.wal {
+            if !applied.is_empty() {
+                // Log to the lowest-id locked shard (guards are
+                // ascending): every appender to that segment holds that
+                // shard's write lock, so the log stays append-ordered.
+                // Same append + epoch-sync discipline as the group
+                // committer's `EpochWal` — this one-record commit is its
+                // own epoch.
+                let epoch_wal = EpochWal {
+                    writer: &wal.writers[guards[0].0.index()],
+                    fsync: wal.fsync,
+                };
+                let logged = epoch_wal
+                    .append(&WalRecord {
+                        seqs: vec![commit_seq],
+                        deltas: applied,
+                    })
+                    .and_then(|()| epoch_wal.sync_epoch());
+                if let Err(e) = logged {
+                    // Applied in memory but not durably acknowledged:
+                    // the engine-level failure (if any) still wins the
+                    // error report; otherwise surface the WAL failure.
+                    drop(guards);
+                    self.service.heal_after_durability_failure();
+                    return Err(failure.unwrap_or(e));
+                }
+            }
+        }
+        drop(guards);
+        match failure {
+            Some(e) => Err(e),
+            None => {
+                self.service.after_durable_commit(1);
+                Ok(CommitOutcome {
+                    commit_seq,
+                    statements: statement_count,
+                    views,
+                    stats: total,
+                })
+            }
+        }
     }
 
     /// Discard the open batch, returning how many statements were

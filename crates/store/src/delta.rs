@@ -96,9 +96,33 @@ impl Delta {
 
     /// Drop the parts of the delta that would be no-ops on `rel`:
     /// insertions already present and deletions already absent. The
-    /// *effective* normalization the engine's incremental programs and
-    /// rollback logic rely on.
+    /// *effective* normalization the engine's incremental programs,
+    /// rollback logic, **and the WAL** rely on: a delete of a tuple
+    /// absent from both the relation and the pending insertions is a
+    /// no-op and must not survive normalization — a stored no-effect
+    /// delete would replay non-idempotently through the WAL (it becomes
+    /// *effective* if replayed at a state where the tuple exists).
+    /// `push_insert`/`push_delete`/`merge` keep Algorithm 2's raw
+    /// override semantics (they cannot see `rel`), so every delta must
+    /// pass through this normalization before being applied or logged;
+    /// `Engine::derive_delta` and `Engine::apply_delta` both do.
+    ///
+    /// Contradictory input (a tuple in both sets — impossible via the
+    /// `push_*`/`merge` API, constructible via [`Delta::from_sets`]) is
+    /// resolved to the no-op, not to whichever side `rel` happens to
+    /// favor: fabricating an effective insert (or delete) out of a
+    /// contradictory pair would be exactly the non-idempotent replay
+    /// hazard this normalization exists to prevent.
     pub fn normalize_against(&mut self, rel: &crate::relation::Relation) {
+        let contradictory: Vec<Tuple> = self
+            .insertions
+            .intersection(&self.deletions)
+            .cloned()
+            .collect();
+        for t in &contradictory {
+            self.insertions.remove(t);
+            self.deletions.remove(t);
+        }
         self.insertions.retain(|t| !rel.contains(t));
         self.deletions.retain(|t| rel.contains(t));
     }
@@ -354,6 +378,85 @@ mod tests {
         assert!(d.insertions.contains(&tuple![9]));
         assert_eq!(d.deletions.len(), 1);
         assert!(d.deletions.contains(&tuple![2]));
+    }
+
+    #[test]
+    fn normalize_drops_delete_absent_from_relation_and_pending_inserts() {
+        // ISSUE 5 satellite: a delete of a tuple absent from both the
+        // relation and the delta's own pending insertions is a no-op —
+        // if it stayed stored, a WAL replay of this delta at a later
+        // state (where tuple 42 might exist) would delete it, breaking
+        // replay idempotency.
+        let database = db(); // r1 = {1, 2}
+        let mut d = Delta::new();
+        d.push_insert(tuple![9]); // genuine pending insert
+        d.push_delete(tuple![42]); // absent from r1, not a pending insert
+        d.normalize_against(database.relation("r1").unwrap());
+        assert!(
+            d.deletions.is_empty(),
+            "no-effect delete must not be stored: {d:?}"
+        );
+        assert_eq!(d.insertions.len(), 1);
+        assert!(d.insertions.contains(&tuple![9]));
+    }
+
+    #[test]
+    fn normalize_resolves_contradictory_pairs_to_noops() {
+        // A contradictory pair (constructible via from_sets, never via
+        // push_*) must normalize to nothing — not to whichever side the
+        // relation state happens to favor, which would fabricate an
+        // effective insert or delete out of an ill-defined input.
+        let database = db(); // r1 = {1, 2}
+        for t in [tuple![1], tuple![77]] {
+            // present / absent
+            let mut d = Delta::from_sets(
+                HashSet::from([t.clone(), tuple![9]]),
+                HashSet::from([t.clone()]),
+            );
+            assert!(!d.is_non_contradictory());
+            d.normalize_against(database.relation("r1").unwrap());
+            assert!(d.is_non_contradictory());
+            assert!(!d.insertions.contains(&t), "{t} fabricated an insert");
+            assert!(!d.deletions.contains(&t), "{t} fabricated a delete");
+            assert!(d.insertions.contains(&tuple![9]), "bystander survives");
+        }
+    }
+
+    #[test]
+    fn normalized_deltas_replay_idempotently() {
+        // The WAL contract end to end at the store level: applying a
+        // normalized delta, then re-normalizing + re-applying the same
+        // delta against the updated relation, changes nothing.
+        let mut database = db(); // r1 = {1, 2}
+        let mut d = Delta::new();
+        d.push_insert(tuple![9]);
+        d.push_delete(tuple![2]);
+        d.push_delete(tuple![42]); // no-effect delete
+        d.normalize_against(database.relation("r1").unwrap());
+        let mut ds = DeltaSet::new();
+        for t in &d.insertions {
+            ds.insert("r1", t.clone());
+        }
+        for t in &d.deletions {
+            ds.delete("r1", t.clone());
+        }
+        ds.apply_to(&mut database).unwrap();
+        let after_first: Vec<_> = {
+            let mut v: Vec<_> = database.relation("r1").unwrap().iter().cloned().collect();
+            v.sort();
+            v
+        };
+        // Replay: re-normalize against the new state (what the engine's
+        // apply path does) and apply again.
+        let mut replay = d.clone();
+        replay.normalize_against(database.relation("r1").unwrap());
+        assert!(replay.is_empty(), "replay of an applied delta is a no-op");
+        let after_second: Vec<_> = {
+            let mut v: Vec<_> = database.relation("r1").unwrap().iter().cloned().collect();
+            v.sort();
+            v
+        };
+        assert_eq!(after_first, after_second);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! (`birds-eval`) and the updatable-view runtime (`birds-engine`) both build
 //! on these types.
 
+pub mod codec;
 pub mod database;
 pub mod delta;
 pub mod error;

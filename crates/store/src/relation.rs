@@ -238,6 +238,13 @@ impl Relation {
         &self.tuples
     }
 
+    /// Consume the relation, yielding its tuples (indexes dropped). The
+    /// snapshot-restore path uses this to move decoded contents into a
+    /// live relation without re-cloning every tuple.
+    pub fn into_tuples(self) -> impl Iterator<Item = Tuple> {
+        self.tuples.into_iter()
+    }
+
     /// Replace the entire contents of the relation (indexes are rebuilt).
     pub fn replace_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> StoreResult<()> {
         let cols: Vec<Vec<usize>> = self.indexes.keys().cloned().collect();

@@ -1,0 +1,44 @@
+//! WAL errors.
+
+use birds_store::codec::CodecError;
+use std::fmt;
+
+/// Result alias for WAL operations.
+pub type WalResult<T> = Result<T, WalError>;
+
+/// Errors raised by the durability subsystem.
+#[derive(Debug)]
+pub enum WalError {
+    /// The filesystem failed underneath us.
+    Io(std::io::Error),
+    /// A stream failed to decode (bad magic, version, or payload).
+    Codec(CodecError),
+    /// The on-disk state is structurally inconsistent in a way recovery
+    /// refuses to paper over (e.g. a torn record *followed by* later
+    /// segments of the same shard — a crash can only tear the tail).
+    Corrupt(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Codec(e) => write!(f, "wal codec error: {e}"),
+            WalError::Corrupt(m) => write!(f, "wal corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<CodecError> for WalError {
+    fn from(e: CodecError) -> Self {
+        WalError::Codec(e)
+    }
+}

@@ -1,0 +1,135 @@
+//! WAL records: one committed epoch each.
+//!
+//! A record carries the epoch's member commit sequence numbers and the
+//! net per-view deltas the epoch applied, in application order. Replay
+//! re-derives everything else (source deltas, cascades, constraint
+//! effects) by re-running each delta through the engine's deterministic
+//! `apply_delta` path — the log stores *intent at the view boundary*,
+//! exactly the "commit sequence + net batch deltas" replay log the
+//! service's commit structure already produces.
+
+use crate::error::{WalError, WalResult};
+use birds_store::codec::{self, Cursor};
+use birds_store::Delta;
+
+/// One durable commit epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Member transactions' commit sequence numbers, ascending. A
+    /// session batch commit has exactly one; a group-commit epoch has
+    /// one per coalesced transaction.
+    pub seqs: Vec<u64>,
+    /// `(view, net delta)` in application order. Order matters: a later
+    /// view's delta was derived against the state *after* the earlier
+    /// ones (including their cascades), so replay must preserve it.
+    pub deltas: Vec<(String, Delta)>,
+}
+
+impl WalRecord {
+    /// The first (lowest) member seq — the global replay sort key.
+    /// Sound because seqs are assigned while the record's shard locks
+    /// are held: two records touching any common shard have disjoint,
+    /// ordered seq ranges, and records on disjoint shards commute.
+    pub fn first_seq(&self) -> u64 {
+        self.seqs.first().copied().unwrap_or(0)
+    }
+
+    /// The last (highest) member seq.
+    pub fn last_seq(&self) -> u64 {
+        self.seqs.last().copied().unwrap_or(0)
+    }
+
+    /// Encode to the framed-record payload format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        codec::put_u32(&mut buf, self.seqs.len() as u32);
+        for seq in &self.seqs {
+            codec::put_u64(&mut buf, *seq);
+        }
+        codec::put_u32(&mut buf, self.deltas.len() as u32);
+        for (view, delta) in &self.deltas {
+            codec::put_str(&mut buf, view);
+            codec::put_delta(&mut buf, delta);
+        }
+        buf
+    }
+
+    /// Decode from a framed-record payload.
+    pub fn decode(payload: &[u8]) -> WalResult<WalRecord> {
+        let mut cur = Cursor::new(payload);
+        let seq_count = cur.get_u32()? as usize;
+        let mut seqs = Vec::with_capacity(seq_count);
+        for _ in 0..seq_count {
+            seqs.push(cur.get_u64()?);
+        }
+        let delta_count = cur.get_u32()? as usize;
+        let mut deltas = Vec::with_capacity(delta_count);
+        for _ in 0..delta_count {
+            let view = cur.get_str()?.to_owned();
+            let delta = codec::get_delta(&mut cur)?;
+            deltas.push((view, delta));
+        }
+        if !cur.is_exhausted() {
+            return Err(WalError::Corrupt(format!(
+                "{} trailing bytes after record",
+                cur.remaining()
+            )));
+        }
+        Ok(WalRecord { seqs, deltas })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birds_store::tuple;
+
+    fn sample() -> WalRecord {
+        let mut d1 = Delta::new();
+        d1.push_insert(tuple![1, "a"]);
+        d1.push_delete(tuple![2, "b"]);
+        let mut d2 = Delta::new();
+        d2.push_insert(tuple![3]);
+        WalRecord {
+            seqs: vec![4, 5, 9],
+            deltas: vec![("v".to_owned(), d1), ("w".to_owned(), d2)],
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let record = sample();
+        let decoded = WalRecord::decode(&record.encode()).unwrap();
+        assert_eq!(decoded, record);
+        assert_eq!(decoded.first_seq(), 4);
+        assert_eq!(decoded.last_seq(), 9);
+    }
+
+    #[test]
+    fn empty_record_round_trips() {
+        let record = WalRecord {
+            seqs: vec![],
+            deltas: vec![],
+        };
+        assert_eq!(WalRecord::decode(&record.encode()).unwrap(), record);
+        assert_eq!(record.first_seq(), 0);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(matches!(
+            WalRecord::decode(&bytes),
+            Err(WalError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let bytes = sample().encode();
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(WalRecord::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The checkpoint snapshot file: `<data-dir>/snapshot.bin`.
+//!
+//! Layout: `"BSNF"` header (`birds_store::codec::StreamHeader`) · `u64`
+//! watermark (the commit seq the snapshot includes everything up to,
+//! inclusive) · an opaque body the caller writes (the engine snapshot
+//! stream, itself versioned and CRC-framed).
+//!
+//! The file is written to a temp name and renamed into place, so a
+//! crash mid-checkpoint leaves the previous snapshot intact — and
+//! because WAL truncation happens only *after* the rename, a crash
+//! between the two steps merely leaves records at or below the new
+//! watermark lying around, which recovery filters out by seq.
+
+use crate::error::{WalError, WalResult};
+use birds_store::codec::StreamHeader;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Snapshot file name under the data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// Magic tag of the snapshot *file* wrapper (the body carries its own
+/// engine-snapshot magic).
+pub const SNAPSHOT_FILE_MAGIC: [u8; 4] = *b"BSNF";
+
+/// Atomically (re)write the snapshot file: temp + fsync + rename +
+/// directory sync. `body` writes the engine snapshot stream.
+pub fn write_snapshot_file(
+    data_dir: &Path,
+    watermark: u64,
+    body: impl FnOnce(&mut dyn Write) -> std::io::Result<()>,
+) -> WalResult<()> {
+    std::fs::create_dir_all(data_dir)?;
+    let tmp = data_dir.join(format!(".{SNAPSHOT_FILE}.tmp.{}", std::process::id()));
+    let result = (|| -> WalResult<()> {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        StreamHeader {
+            magic: SNAPSHOT_FILE_MAGIC,
+        }
+        .write(&mut w)?;
+        w.write_all(&watermark.to_le_bytes())?;
+        body(&mut w)?;
+        let file = w
+            .into_inner()
+            .map_err(|e| WalError::Io(std::io::Error::other(e.to_string())))?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, data_dir.join(SNAPSHOT_FILE))?;
+        crate::segment::sync_dir(data_dir);
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Open the snapshot file, if one exists: `(watermark, body reader)`.
+/// The reader is positioned at the start of the engine snapshot stream.
+pub fn read_snapshot_file(data_dir: &Path) -> WalResult<Option<(u64, impl Read)>> {
+    let path = data_dir.join(SNAPSHOT_FILE);
+    let file = match File::open(&path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(WalError::Io(e)),
+    };
+    let mut reader = BufReader::new(file);
+    StreamHeader::read(&mut reader, SNAPSHOT_FILE_MAGIC)?;
+    let mut watermark = [0u8; 8];
+    reader.read_exact(&mut watermark)?;
+    Ok(Some((u64::from_le_bytes(watermark), reader)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "birds-wal-snap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_watermark_and_body() {
+        let dir = temp_dir("rt");
+        write_snapshot_file(&dir, 42, |w| w.write_all(b"engine bytes")).unwrap();
+        let (watermark, mut body) = read_snapshot_file(&dir).unwrap().unwrap();
+        assert_eq!(watermark, 42);
+        let mut bytes = Vec::new();
+        body.read_to_end(&mut bytes).unwrap();
+        assert_eq!(bytes, b"engine bytes");
+        // Rewriting replaces.
+        write_snapshot_file(&dir, 99, |w| w.write_all(b"newer")).unwrap();
+        let (watermark, _) = read_snapshot_file(&dir).unwrap().unwrap();
+        assert_eq!(watermark, 99);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        let dir = temp_dir("none");
+        assert!(read_snapshot_file(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_body_leaves_no_droppings_and_keeps_previous() {
+        let dir = temp_dir("fail");
+        write_snapshot_file(&dir, 7, |w| w.write_all(b"good")).unwrap();
+        let result = write_snapshot_file(&dir, 8, |_| {
+            Err(std::io::Error::other("engine snapshot failed"))
+        });
+        assert!(result.is_err());
+        let (watermark, _) = read_snapshot_file(&dir).unwrap().unwrap();
+        assert_eq!(watermark, 7, "previous snapshot intact");
+        let droppings: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(droppings.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
