@@ -14,7 +14,8 @@
 use birds_benchmarks::emit::write_atomic;
 use birds_benchmarks::throughput::{
     batch_sweep, disjoint_scaling, durability_autocommit_sweep, durability_batched_sweep,
-    group_commit_scaling, thread_scaling, to_json, DurabilityPoint, ScalePoint,
+    group_commit_scaling, read_interference_sweep, thread_scaling, to_json, DurabilityPoint,
+    InterferencePoint, ScalePoint,
 };
 use std::time::Duration;
 
@@ -114,6 +115,19 @@ fn main() {
     let durability_autocommit = durability_autocommit_sweep(base_size, dur_auto);
     print_durability_points("autocommit", &durability_autocommit);
 
+    let (reader_writers, reads) = if quick {
+        (vec![0, 2], 200)
+    } else {
+        (vec![0, 2, 8], 2_000)
+    };
+    println!();
+    println!(
+        "== reader/writer interference: query latency under concurrent \
+         writers ({reads} reads/point, MVCC vs locked baseline) =="
+    );
+    let read_interference = read_interference_sweep(base_size, &reader_writers, reads);
+    print_interference_points(&read_interference);
+
     if emit_json {
         let label = label.unwrap_or_else(|| "current".to_owned());
         let doc = to_json(
@@ -125,6 +139,7 @@ fn main() {
             &coalescing_points,
             &durability_batched,
             &durability_autocommit,
+            &read_interference,
             epoch_window,
         );
         write_atomic(&out_path, &doc.to_pretty()).expect("write benchmark JSON");
@@ -144,6 +159,23 @@ fn print_durability_points(tag: &str, points: &[DurabilityPoint]) {
             p.mode,
             p.statements_per_sec(),
             baseline / p.statements_per_sec().max(1e-9)
+        );
+    }
+}
+
+fn print_interference_points(points: &[InterferencePoint]) {
+    println!(
+        "{:>8} {:>14} {:>14} {:>16} {:>16}",
+        "writers", "mvcc p50 (us)", "mvcc p99 (us)", "locked p50 (us)", "locked p99 (us)"
+    );
+    for p in points {
+        println!(
+            "{:>8} {:>14.1} {:>14.1} {:>16.1} {:>16.1}",
+            p.writers,
+            p.mvcc_p50.as_secs_f64() * 1e6,
+            p.mvcc_p99.as_secs_f64() * 1e6,
+            p.locked_p50.as_secs_f64() * 1e6,
+            p.locked_p99.as_secs_f64() * 1e6,
         );
     }
 }

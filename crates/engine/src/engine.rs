@@ -6,7 +6,7 @@ use birds_core::{incrementalize, validate, UpdateStrategy};
 use birds_datalog::{DeltaKind, Literal, PredRef, Program, Rule};
 use birds_eval::{evaluate_program, evaluate_query, rule_has_witness, EvalContext, PlanCache};
 use birds_sql::{parse_script, DmlStatement};
-use birds_store::{Database, Delta, DeltaSet, Relation, Schema, Tuple};
+use birds_store::{Database, Delta, DeltaSet, Relation, RelationVersion, Schema, Tuple};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -216,6 +216,25 @@ impl Engine {
     /// path or [`Engine::restore`].
     pub(crate) fn database_mut(&mut self) -> &mut Database {
         &mut self.db
+    }
+
+    /// Publish immutable versions of every stored relation (base tables
+    /// and materialized views), in name order.
+    ///
+    /// Later mutations through the view-update path never disturb a
+    /// published version. This is the engine half of the service's MVCC
+    /// snapshot publication: after applying an epoch's deltas (still
+    /// under the shard's write lock), the service calls this and swaps
+    /// the result into the shard's snapshot cell. Cost per relation is
+    /// `O(delta since its previous publication)` — untouched relations
+    /// re-share their previous version in `O(1)`, and touched ones
+    /// replay only their effective mutations into an alternate shadow
+    /// buffer (left-right publication, see `birds_store::relation`) —
+    /// so the write path never pays a tuple-count-proportional clone
+    /// just because snapshots are being published. Needs `&mut`: the
+    /// per-relation publication state advances.
+    pub fn relation_versions(&mut self) -> Vec<RelationVersion> {
+        self.db.relations_mut().map(Relation::version).collect()
     }
 
     /// Is `name` a registered updatable view?

@@ -1,4 +1,43 @@
 //! Service-layer errors.
+//!
+//! ## Error taxonomy
+//!
+//! The service reports failures through exactly one enum,
+//! [`ServiceError`], whose variants split along *who must act*:
+//!
+//! * **Caller mistakes** — fix the request and resend:
+//!   [`ServiceError::Parse`] (bad SQL),
+//!   [`ServiceError::Protocol`] (malformed wire request),
+//!   [`ServiceError::RequestTooLarge`] (oversized line, dropped
+//!   unbuffered), [`ServiceError::UnknownRelation`] (a read against a
+//!   name no shard owns — carries the name),
+//!   [`ServiceError::BatchAlreadyOpen`] / [`ServiceError::NoBatchOpen`]
+//!   (session-mode misuse).
+//! * **Engine rejections** — the request was well-formed but the data
+//!   said no: [`ServiceError::Engine`] wraps the typed
+//!   [`EngineError`] (constraint violation, not-a-view, contradictory
+//!   delta, …). Writes that target an unknown *view* surface as
+//!   `Engine(NotAView)`, because updatability — not mere existence —
+//!   is what the write path checks; reads use the service-level
+//!   [`ServiceError::UnknownRelation`], since any relation (base table
+//!   or view) is readable.
+//! * **Service faults** — the operator (or the service's own healing)
+//!   must act: [`ServiceError::Poisoned`] (a request thread panicked
+//!   holding an internal primitive; the data itself recovers) and
+//!   [`ServiceError::Durability`] (recovery or a WAL append/sync
+//!   failed; a commit reporting it was **never acknowledged durable**).
+//!
+//! Everything is `Clone + PartialEq`, so epoch leaders can fan one
+//! failure out to every group-commit member and tests can assert on
+//! exact errors:
+//!
+//! ```
+//! use birds_service::ServiceError;
+//!
+//! let err = ServiceError::UnknownRelation("orders".into());
+//! assert_eq!(err.to_string(), "unknown relation 'orders'");
+//! assert_eq!(err, ServiceError::UnknownRelation("orders".into()));
+//! ```
 
 use birds_engine::EngineError;
 use std::fmt;
@@ -18,6 +57,11 @@ pub enum ServiceError {
     BatchAlreadyOpen,
     /// `commit` / `rollback` without an open batch.
     NoBatchOpen,
+    /// A read (`query`, `stats`) named a relation that exists in no
+    /// shard. Carries the unknown name. Writes to unknown targets
+    /// report [`EngineError::NotAView`] instead — see the module docs'
+    /// taxonomy.
+    UnknownRelation(String),
     /// A malformed protocol request (bad JSON, unknown op, missing
     /// field).
     Protocol(String),
@@ -50,6 +94,9 @@ impl fmt::Display for ServiceError {
                 write!(f, "a batch is already open in this session")
             }
             ServiceError::NoBatchOpen => write!(f, "no batch is open in this session"),
+            ServiceError::UnknownRelation(name) => {
+                write!(f, "unknown relation '{name}'")
+            }
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServiceError::RequestTooLarge { limit } => {
                 write!(f, "request exceeds the {limit}-byte line limit")

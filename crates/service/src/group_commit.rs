@@ -175,11 +175,19 @@ impl GroupCommitter {
 /// applied delta. Every member's result slot is filled at the end —
 /// after the epoch-end fsync, so a filled `Ok` means durable under the
 /// configured policy.
+///
+/// When at least one delta was applied, `publish` is invoked — still
+/// under the shard lock, after the epoch-end sync but **before any
+/// result slot fills** — with the engine and the epoch's highest
+/// applied commit seq. The caller uses it to publish the shard's MVCC
+/// snapshot: filling first would let a member observe `Ok` and then
+/// miss its own write on the lock-free read path.
 pub(crate) fn process_epoch(
     engine: &mut Engine,
     commit_seq: &AtomicU64,
     epoch: Vec<Arc<PendingTx>>,
     wal: Option<&EpochWal<'_>>,
+    publish: impl FnOnce(&mut Engine, u64),
 ) {
     let mut groups: Vec<(String, Vec<Arc<PendingTx>>)> = Vec::new();
     for tx in epoch {
@@ -193,6 +201,10 @@ pub(crate) fn process_epoch(
     // record is durable under the configured policy.
     let mut fills: Vec<(Arc<PendingTx>, TxResult)> = Vec::new();
     let mut appended_any = false;
+    // Highest seq whose delta actually reached the engine (regardless
+    // of later durability failures — memory changed either way): the
+    // snapshot publication tag.
+    let mut max_applied: Option<u64> = None;
     for (view, group) in groups {
         let coalesced: Vec<DmlStatement> = group
             .iter()
@@ -218,6 +230,7 @@ pub(crate) fn process_epoch(
                     .iter()
                     .map(|_| commit_seq.fetch_add(1, Ordering::SeqCst) + 1)
                     .collect();
+                max_applied = seqs.last().copied().or(max_applied);
                 let logged = match (wal, log_copy) {
                     // An empty net delta (`log_copy` filtered to None)
                     // has no durable effect and is not logged — matching
@@ -260,6 +273,7 @@ pub(crate) fn process_epoch(
                     match net {
                         Ok((log_copy, stats)) => {
                             let seq = commit_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                            max_applied = Some(seq);
                             let logged = match (wal, log_copy) {
                                 (Some(wal), Some(delta)) => wal
                                     .append(&WalRecord {
@@ -303,6 +317,11 @@ pub(crate) fn process_epoch(
                 }
             }
         }
+    }
+    // Publish before filling: a member must find its own write on the
+    // lock-free read path the moment it learns it committed.
+    if let Some(seq) = max_applied {
+        publish(engine, seq);
     }
     for (tx, result) in fills {
         tx.fill(result);

@@ -21,9 +21,19 @@
 //!   one *net* delta per view, giving batch-level throughput to clients
 //!   that never call `begin`/`commit` (Obladi-style epochs; an optional
 //!   window trades latency for epoch depth).
+//! * [`snapshot`] — **MVCC snapshot reads**. Every commit publishes an
+//!   immutable, `Arc`-shared image of each shard it touched (copy-on-
+//!   write at the tuple-set level, so only touched relations are
+//!   rebuilt), tagged with the shard's high-water commit seq. All reads
+//!   — [`Service::query`], [`Service::read`], [`Service::snapshot`],
+//!   stats — run lock-free against those images: readers never wait for
+//!   writers, writers never wait for readers, and a pinned
+//!   [`ServiceSnapshot`] stays commit-seq-consistent for as long as the
+//!   reader holds it. Checkpoints serialize the published snapshots
+//!   instead of stop-the-world locking every shard.
 //! * [`Service`] — a cheap-to-clone, thread-safe handle over the shard
-//!   set; [`Service::read`] lends a consistent all-shard snapshot,
-//!   [`Service::query`] locks a single shard.
+//!   set; [`Service::snapshot`] pins a consistent all-shard image,
+//!   [`Service::query`] reads one relation, both without locks.
 //! * [`Session`] — per-client state with two modes. In **autocommit**
 //!   every executed script is its own transaction (routed through the
 //!   shard's group committer). After `begin`, a **batch** buffers
@@ -65,6 +75,7 @@ pub mod locks;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod snapshot;
 
 pub use error::{ServiceError, ServiceResult};
 pub use footprint::ShardMap;
@@ -72,6 +83,5 @@ pub use json::Json;
 pub use locks::{LockId, LockManager};
 pub use protocol::{dispatch, Envelope, Request};
 pub use server::{LocalClient, Server};
-pub use service::{
-    CommitOutcome, DurabilityConfig, EngineReadView, ExecOutcome, Service, ServiceConfig, Session,
-};
+pub use service::{CommitOutcome, DurabilityConfig, ExecOutcome, Service, ServiceConfig, Session};
+pub use snapshot::{ServiceSnapshot, ShardSnapshot};

@@ -6,8 +6,10 @@
 //! [`crate::footprint`]) gets a [`LockId`] at construction. A commit
 //! acquires the write locks of every shard in its footprint through
 //! [`LockManager::write_set`], which sorts and deduplicates the ids and
-//! acquires strictly ascending; readers acquire shared locks the same
-//! way ([`LockManager::read_all`] for whole-service snapshots). Because
+//! acquires strictly ascending; shared acquisition follows the same
+//! order ([`LockManager::read_all`] — a primitive the service itself no
+//! longer needs on its read path, which goes through published MVCC
+//! snapshots instead, see [`crate::snapshot`]). Because
 //! **every** multi-lock acquisition in the process follows the same
 //! global id order and never requests a lock while holding a higher one,
 //! the wait-for graph cannot contain a cycle: the manager is

@@ -376,25 +376,22 @@ pub fn dispatch(session: &mut Session, request: &Request) -> Json {
         Request::Rollback => session
             .rollback()
             .map(|n| ok(vec![("discarded".to_owned(), Json::Int(n as i64))])),
-        Request::Query { relation } => match session.service().query(relation) {
-            Some(tuples) => Ok(ok(vec![
+        // A name no shard owns surfaces as the typed
+        // `ServiceError::UnknownRelation` straight from the service.
+        Request::Query { relation } => session.service().query(relation).map(|tuples| {
+            ok(vec![
                 ("relation".to_owned(), Json::str(relation.clone())),
                 ("count".to_owned(), Json::Int(tuples.len() as i64)),
                 (
                     "tuples".to_owned(),
                     Json::Arr(tuples.iter().map(tuple_json).collect()),
                 ),
-            ])),
-            None => Err(ServiceError::Protocol(format!(
-                "unknown relation '{relation}'"
-            ))),
-        },
+            ])
+        }),
         Request::Stats => {
-            // Shard-routed on purpose: view_names/relation_stats take
-            // one shard read lock at a time, so a hot shard's group
-            // commit never serializes a stats call behind *all* shards
-            // (the all-shard `Service::read` barrier is reserved for
-            // cross-shard-consistent reads).
+            // Lock-free on purpose: view_names/relation_stats read the
+            // shards' published MVCC snapshots, so a stats call never
+            // waits on any shard's group commit.
             let service = session.service();
             let shards = service.shard_count();
             let views: Vec<Json> = service.view_names().into_iter().map(Json::str).collect();

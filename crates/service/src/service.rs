@@ -1,5 +1,5 @@
 //! The thread-safe, multi-session service over [`birds_engine::Engine`] —
-//! footprint-sharded since PR 4.
+//! footprint-sharded since PR 4, with MVCC snapshot reads since PR 6.
 //!
 //! At construction the engine is split along **view dependency
 //! footprints** into independently locked components
@@ -13,6 +13,30 @@
 //! unique, dense serial number, assigned while its footprint is locked,
 //! so the concurrent history stays equivalent to the serial replay in
 //! commit order (the stress suite's linearizability check).
+//!
+//! ## Invariants
+//!
+//! * **Commit-seq assignment**: seqs come from one global counter,
+//!   bumped only while the commit's footprint is write-locked, so
+//!   per-shard seq order equals application order and the global order
+//!   is a valid serial history.
+//! * **Snapshot visibility**: every commit publishes each touched
+//!   shard's [`ShardSnapshot`] *before releasing its locks and before
+//!   acknowledging any client* — a client that saw `Ok` finds its write
+//!   on the lock-free read path, and a reader never sees a commit's
+//!   effects before that commit's WAL record was appended.
+//! * **Durability coupling**: on a durable service, no result slot is
+//!   filled until the epoch-end fsync ran (see [`crate::group_commit`]).
+//!
+//! ## Read path
+//!
+//! Reads never touch the shard engine locks: [`Service::query`],
+//! [`Service::relation_stats`], [`Service::view_names`] and
+//! [`Service::read`]/[`Service::snapshot`] all work against the shards'
+//! published MVCC snapshots ([`crate::snapshot`]). A long analytical
+//! read holds an `Arc` to an immutable image; writers keep committing
+//! (each publication refreshes a shadow buffer, never the pinned one)
+//! and readers keep reading — neither waits for the other.
 //!
 //! Each client holds a [`Session`] in one of two modes:
 //!
@@ -29,13 +53,14 @@ use crate::error::{ServiceError, ServiceResult};
 use crate::footprint::{partition, ShardMap};
 use crate::group_commit::{EpochWal, GroupCommitter, PendingTx};
 use crate::locks::{LockId, LockManager};
+use crate::snapshot::{ServiceSnapshot, ShardSnapshot, SnapshotCell};
 use birds_engine::{Engine, EngineError, ExecutionStats};
 use birds_sql::{parse_script, DmlStatement};
-use birds_store::{Database, Delta, Relation, Tuple};
+use birds_store::{Database, Delta, Relation, RelationVersion, Tuple};
 use birds_wal::{FsyncPolicy, SegmentWriter, WalRecord, DEFAULT_SEGMENT_BYTES};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLockReadGuard};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Service tuning knobs.
@@ -139,56 +164,25 @@ struct ServiceInner {
     /// One engine component (and one reader-writer lock) per footprint
     /// shard; slot order is [`LockId`] order.
     shards: LockManager<Engine>,
-    /// Relation name → owning shard.
-    route: ShardMap,
+    /// Relation name → owning shard (shared with every
+    /// [`ServiceSnapshot`] handed out).
+    route: Arc<ShardMap>,
     /// One group-commit queue per shard (same indexing as `shards`).
     committers: Vec<GroupCommitter>,
+    /// One published-snapshot cell per shard (same indexing as
+    /// `shards`); the entire lock-free read path hangs off these.
+    cells: Vec<SnapshotCell>,
     commit_seq: AtomicU64,
+    /// Seqlock over *multi-shard* snapshot publication: odd while a
+    /// multi-shard commit is swapping several cells, bumped to even
+    /// when done. Single-shard commits never touch it — they commute
+    /// with each other, so any mix of their publications is a
+    /// consistent cut; only a multi-shard commit can establish a
+    /// cross-shard invariant that a reader must not see half of.
+    publication_seq: AtomicU64,
     config: ServiceConfig,
     /// `Some` when the service is durable ([`Service::open`]).
     wal: Option<WalState>,
-}
-
-/// A consistent read view over every shard: all shard read locks, held
-/// together (acquired in id order). What [`Service::read`] lends its
-/// closure.
-pub struct EngineReadView<'a> {
-    guards: Vec<RwLockReadGuard<'a, Engine>>,
-    route: &'a ShardMap,
-}
-
-impl EngineReadView<'_> {
-    /// Read access to any relation (base table or materialized view).
-    pub fn relation(&self, name: &str) -> Option<&Relation> {
-        let shard = self.route.shard_of(name)?;
-        self.guards[shard.index()].relation(name)
-    }
-
-    /// Is `name` a registered updatable view?
-    pub fn is_view(&self, name: &str) -> bool {
-        self.route
-            .shard_of(name)
-            .is_some_and(|shard| self.guards[shard.index()].is_view(name))
-    }
-
-    /// Names of all registered views, in name order.
-    pub fn view_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .guards
-            .iter()
-            .flat_map(|engine| engine.view_names().map(str::to_owned))
-            .collect();
-        names.sort();
-        names
-    }
-
-    /// Iterate every relation across all shards (shard-internal name
-    /// order; not globally sorted).
-    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
-        self.guards
-            .iter()
-            .flat_map(|engine| engine.database().relations())
-    }
 }
 
 impl Service {
@@ -217,6 +211,54 @@ impl Service {
     /// assigned under the commit's shard locks, is exactly the global
     /// commit order. Torn record tails (a crash mid-append) are
     /// CRC-detected and truncated.
+    ///
+    /// ```
+    /// # use birds_core::UpdateStrategy;
+    /// # use birds_engine::{Engine, StrategyMode};
+    /// # use birds_service::{DurabilityConfig, Service, ServiceConfig};
+    /// # use birds_store::{tuple, Database, DatabaseSchema, Relation, Schema, SortKind, Value};
+    /// # fn build_engine() -> Engine {
+    /// #     let mut db = Database::new();
+    /// #     db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap()).unwrap();
+    /// #     db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2]]).unwrap()).unwrap();
+    /// #     let strategy = UpdateStrategy::parse(
+    /// #         DatabaseSchema::new()
+    /// #             .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+    /// #             .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+    /// #         Schema::new("v", vec![("a", SortKind::Int)]),
+    /// #         "-r1(X) :- r1(X), not v(X).
+    /// #          -r2(X) :- r2(X), not v(X).
+    /// #          +r1(X) :- v(X), not r1(X), not r2(X).",
+    /// #         None,
+    /// #     ).unwrap();
+    /// #     let mut engine = Engine::new(db);
+    /// #     engine.register_view(strategy, StrategyMode::Incremental).unwrap();
+    /// #     engine
+    /// # }
+    /// let dir = std::env::temp_dir().join(format!("birds-doc-open-{}", std::process::id()));
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// // `build_engine()` registers the union view `v = r1 ∪ r2` over
+    /// // base tables r1 = {1} and r2 = {2}.
+    /// let service = Service::open(
+    ///     build_engine(),
+    ///     ServiceConfig::default(),
+    ///     DurabilityConfig::new(&dir),
+    /// )?;
+    /// let mut session = service.session();
+    /// session.execute("INSERT INTO v VALUES (7);")?; // logged before Ok
+    /// drop((session, service));
+    ///
+    /// // Reopen from the same directory: recovery replays the WAL and
+    /// // the commit is visible again.
+    /// let service = Service::open(
+    ///     build_engine(),
+    ///     ServiceConfig::default(),
+    ///     DurabilityConfig::new(&dir),
+    /// )?;
+    /// assert_eq!(service.query("v")?, vec![tuple![1], tuple![2], tuple![7]]);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), birds_service::ServiceError>(())
+    /// ```
     pub fn open(
         engine: Engine,
         config: ServiceConfig,
@@ -273,12 +315,21 @@ impl Service {
             }
         };
         let committers = (0..shards.len()).map(|_| GroupCommitter::new()).collect();
+        // Initial snapshot publication: every shard's image as of the
+        // recovered (or zero) commit seq. Nothing is shared yet, so no
+        // locks are needed.
+        let cells = shards
+            .ids()
+            .map(|id| SnapshotCell::new(ShardSnapshot::capture(&mut shards.write(id), start_seq)))
+            .collect();
         Ok(Service {
             inner: Arc::new(ServiceInner {
                 shards,
-                route,
+                route: Arc::new(route),
                 committers,
+                cells,
                 commit_seq: AtomicU64::new(start_seq),
+                publication_seq: AtomicU64::new(0),
                 config,
                 wal,
             }),
@@ -299,66 +350,124 @@ impl Service {
         self.inner.shards.len()
     }
 
-    /// Run a closure under a consistent whole-service snapshot: every
-    /// shard's shared lock, acquired in id order. Writers on any shard
-    /// are excluded for the duration, so multi-relation invariants (the
-    /// stress suite's `v = r1 ∪ r2`) are never observed torn.
-    pub fn read<R>(&self, f: impl FnOnce(&EngineReadView<'_>) -> R) -> R {
-        let view = EngineReadView {
-            guards: self.inner.shards.read_all(),
-            route: &self.inner.route,
-        };
-        f(&view)
+    /// Assemble a consistent, **lock-free** snapshot over every shard —
+    /// the MVCC read entry point. The returned [`ServiceSnapshot`] is an
+    /// owned value: pin it as long as you like; it observes none of the
+    /// commits that land after assembly, and holding it never blocks a
+    /// writer (nor vice versa — no shard engine lock is taken).
+    ///
+    /// Cross-shard consistency: single-shard commits publish their cell
+    /// independently (they commute, so any mix of cells is a consistent
+    /// cut); only multi-shard commits bracket their publication with the
+    /// publication seqlock, and assembly retries the cheap pointer
+    /// collection while one is in flight.
+    ///
+    /// ```
+    /// # use birds_service::Service;
+    /// # use birds_engine::Engine;
+    /// # use birds_store::{tuple, Database, Relation};
+    /// let mut db = Database::new();
+    /// db.add_relation(Relation::with_tuples("r", 1, vec![tuple![1]]).unwrap())
+    ///     .unwrap();
+    /// let service = Service::new(Engine::new(db));
+    ///
+    /// let pinned = service.snapshot();
+    /// assert_eq!(pinned.relation("r").unwrap().len(), 1);
+    /// assert_eq!(pinned.commit_seq(), 0); // nothing committed yet
+    /// assert!(pinned.relation("nope").is_none());
+    /// ```
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let cells = &self.inner.cells;
+        if cells.len() <= 1 {
+            // A single cell load is trivially consistent.
+            let shards = cells.iter().map(SnapshotCell::load).collect();
+            return ServiceSnapshot::new(shards, Arc::clone(&self.inner.route));
+        }
+        loop {
+            let before = self.inner.publication_seq.load(Ordering::Acquire);
+            if before % 2 == 1 {
+                // A multi-shard publication is mid-swap; its cell stores
+                // are pointer writes, so spinning is brief.
+                std::hint::spin_loop();
+                continue;
+            }
+            let shards: Vec<_> = cells.iter().map(SnapshotCell::load).collect();
+            if self.inner.publication_seq.load(Ordering::Acquire) == before {
+                return ServiceSnapshot::new(shards, Arc::clone(&self.inner.route));
+            }
+        }
     }
 
-    /// Sorted snapshot of a relation's tuples (`None` for unknown
-    /// names). Locks only the owning shard.
-    pub fn query(&self, relation: &str) -> Option<Vec<Tuple>> {
-        let shard = self.inner.route.shard_of(relation)?;
-        let engine = self.inner.shards.read(shard);
-        engine.relation(relation).map(|rel| {
-            let mut tuples: Vec<Tuple> = rel.iter().cloned().collect();
-            tuples.sort();
-            tuples
-        })
+    /// Run a closure against a consistent whole-service snapshot — a
+    /// convenience over [`Service::snapshot`] for callers that don't
+    /// need to pin the image past the closure. Entirely lock-free:
+    /// in-flight commits proceed, and the closure sees none of them.
+    ///
+    /// ```
+    /// # use birds_engine::Engine;
+    /// # use birds_service::Service;
+    /// # use birds_store::{tuple, Database, Relation, Value};
+    /// # let mut db = Database::new();
+    /// # db.add_relation(Relation::with_tuples("r", 2, vec![tuple![1, 2]]).unwrap()).unwrap();
+    /// # let service = Service::new(Engine::new(db));
+    /// let arity = service.read(|snapshot| {
+    ///     assert_eq!(snapshot.relations().count(), 1);
+    ///     snapshot.relation("r").unwrap().arity()
+    /// });
+    /// assert_eq!(arity, 2);
+    /// ```
+    pub fn read<R>(&self, f: impl FnOnce(&ServiceSnapshot) -> R) -> R {
+        f(&self.snapshot())
     }
 
-    /// Names of all registered views, in name order — one shard read
-    /// lock at a time, never the all-shard barrier: a hot shard's group
-    /// commit delays only its own slice of the answer, not the whole
-    /// call (and never blocks behind *every* shard like
-    /// [`Service::read`] would).
+    /// Sorted snapshot of a relation's tuples, read lock-free from the
+    /// owning shard's published snapshot.
+    /// [`ServiceError::UnknownRelation`] for names no shard owns.
+    ///
+    /// ```
+    /// # use birds_engine::Engine;
+    /// # use birds_service::{Service, ServiceError};
+    /// # use birds_store::{tuple, Database, Relation, Value};
+    /// # let mut db = Database::new();
+    /// # db.add_relation(Relation::with_tuples("r", 1, vec![tuple![3], tuple![1]]).unwrap())
+    /// #     .unwrap();
+    /// # let service = Service::new(Engine::new(db));
+    /// assert_eq!(service.query("r")?, vec![tuple![1], tuple![3]]); // sorted
+    /// assert_eq!(
+    ///     service.query("typo"),
+    ///     Err(ServiceError::UnknownRelation("typo".into())),
+    /// );
+    /// # Ok::<(), birds_service::ServiceError>(())
+    /// ```
+    pub fn query(&self, relation: &str) -> ServiceResult<Vec<Tuple>> {
+        let shard = self
+            .inner
+            .route
+            .shard_of(relation)
+            .ok_or_else(|| ServiceError::UnknownRelation(relation.to_owned()))?;
+        let snapshot = self.inner.cells[shard.index()].load();
+        let rel = snapshot
+            .relation(relation)
+            .ok_or_else(|| ServiceError::UnknownRelation(relation.to_owned()))?;
+        let mut tuples: Vec<Tuple> = rel.iter().cloned().collect();
+        tuples.sort();
+        Ok(tuples)
+    }
+
+    /// Names of all registered views, in name order — from the
+    /// published snapshots, no shard lock taken.
     pub fn view_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .inner
-            .shards
-            .ids()
-            .flat_map(|id| {
-                let engine = self.inner.shards.read(id);
-                engine.view_names().map(str::to_owned).collect::<Vec<_>>()
-            })
-            .collect();
-        names.sort();
-        names
+        self.snapshot().view_names()
     }
 
-    /// `(name, tuple count)` of every relation, in name order — same
-    /// one-shard-at-a-time locking as [`Service::view_names`]. Counts
-    /// from different shards may straddle a concurrent commit; callers
-    /// needing a cross-shard-consistent snapshot use [`Service::read`].
+    /// `(name, tuple count)` of every relation, in name order — from
+    /// the published snapshots, no shard lock taken. The counts are a
+    /// consistent cut (see [`Service::snapshot`]).
     pub fn relation_stats(&self) -> Vec<(String, usize)> {
-        let mut stats: Vec<(String, usize)> = self
-            .inner
-            .shards
-            .ids()
-            .flat_map(|id| {
-                let engine = self.inner.shards.read(id);
-                engine
-                    .database()
-                    .relations()
-                    .map(|rel| (rel.name().to_owned(), rel.len()))
-                    .collect::<Vec<_>>()
-            })
+        let snapshot = self.snapshot();
+        let mut stats: Vec<(String, usize)> = snapshot
+            .relations()
+            .map(|rel| (rel.name().to_owned(), rel.len()))
             .collect();
         stats.sort();
         stats
@@ -366,11 +475,66 @@ impl Service {
 
     /// Test hook: hold the write lock of the shard owning `relation`,
     /// simulating a long-running commit there. Lets tests prove that
-    /// single-shard reads on *other* shards do not serialize behind it.
+    /// the lock-free read path does not serialize behind writers (and
+    /// that single-shard reads on *other* shards never did).
     #[doc(hidden)]
     pub fn debug_write_lock_shard(&self, relation: &str) -> Option<impl Drop + '_> {
         let shard = self.inner.route.shard_of(relation)?;
         Some(self.inner.shards.write(shard))
+    }
+
+    /// Bench hook: the pre-MVCC read path — acquire the owning shard's
+    /// read lock and copy the live relation. Kept (hidden) so the
+    /// reader/writer-interference benchmark can measure the locked
+    /// baseline against the lock-free [`Service::query`].
+    #[doc(hidden)]
+    pub fn debug_query_locked(&self, relation: &str) -> ServiceResult<Vec<Tuple>> {
+        let shard = self
+            .inner
+            .route
+            .shard_of(relation)
+            .ok_or_else(|| ServiceError::UnknownRelation(relation.to_owned()))?;
+        let engine = self.inner.shards.read(shard);
+        let rel = engine
+            .relation(relation)
+            .ok_or_else(|| ServiceError::UnknownRelation(relation.to_owned()))?;
+        let mut tuples: Vec<Tuple> = rel.iter().cloned().collect();
+        tuples.sort();
+        Ok(tuples)
+    }
+
+    /// Publish `shard`'s current image at high-water seq `commit_seq`.
+    /// Must be called while the shard's write lock is held (the `engine`
+    /// reference is the proof), so publications are ordered like
+    /// commits.
+    fn publish_shard(&self, shard: LockId, engine: &mut Engine, commit_seq: u64) {
+        self.inner.cells[shard.index()].publish(ShardSnapshot::capture(engine, commit_seq));
+    }
+
+    /// Publish every shard in a batch commit's footprint. With a new
+    /// seq (`Some`) the shards' high-water advances to it; with `None`
+    /// (the no-seq in-memory error path) each shard republishes its
+    /// mutated contents at its unchanged high-water. Multi-shard
+    /// publications bracket with the publication seqlock so a
+    /// concurrent [`Service::snapshot`] never assembles half of one.
+    fn publish_guarded(
+        &self,
+        guards: &mut [(LockId, std::sync::RwLockWriteGuard<'_, Engine>)],
+        seq: Option<u64>,
+    ) {
+        let multi = guards.len() > 1;
+        if multi {
+            // Odd: publication in flight.
+            self.inner.publication_seq.fetch_add(1, Ordering::AcqRel);
+        }
+        for (id, engine) in guards.iter_mut() {
+            let seq = seq.unwrap_or_else(|| self.inner.cells[id.index()].load().commit_seq());
+            self.publish_shard(*id, engine, seq);
+        }
+        if multi {
+            // Even: done.
+            self.inner.publication_seq.fetch_add(1, Ordering::AcqRel);
+        }
     }
 
     /// Number of committed transactions (autocommit scripts and batch
@@ -451,6 +615,9 @@ impl Service {
                             &self.inner.commit_seq,
                             epoch,
                             epoch_wal.as_ref(),
+                            // Single-shard publication: no seqlock
+                            // bracket needed (see `publication_seq`).
+                            |engine, seq| self.publish_shard(shard, engine, seq),
                         );
                     }
                 }
@@ -554,11 +721,19 @@ impl Service {
         }
     }
 
-    /// Snapshot-then-truncate checkpoint: write every relation (all
-    /// shards, consistent under all shard read locks) to the snapshot
-    /// file with the current commit seq as watermark, then truncate
-    /// every WAL segment series. Returns the watermark. Fails with
+    /// Snapshot-then-truncate checkpoint, built from the shards'
+    /// **published MVCC snapshots** — serialization runs with no shard
+    /// lock held, so commits keep flowing while the snapshot file is
+    /// written. Returns the watermark. Fails with
     /// [`ServiceError::Durability`] on an in-memory service.
+    ///
+    /// Each shard's write lock is taken *briefly*, one shard at a time
+    /// (never all together), only to pair the shard's current snapshot
+    /// pointer with a fresh WAL segment: records already in the log are
+    /// then provably covered by the captured image, and records
+    /// appended afterwards land in segments the checkpoint won't
+    /// delete. The heavyweight work — serializing every tuple — happens
+    /// afterwards, entirely lock-free, against the captured `Arc`s.
     pub fn checkpoint(&self) -> ServiceResult<u64> {
         let wal = self.inner.wal.as_ref().ok_or_else(|| {
             ServiceError::Durability("service has no data directory (in-memory)".into())
@@ -575,32 +750,76 @@ impl Service {
         wal: &WalState,
         _guard: &std::sync::MutexGuard<'_, ()>,
     ) -> ServiceResult<u64> {
-        // All shard read locks: no commit is mid-flight, so the relation
-        // contents are a commit boundary and the commit-seq counter is a
-        // valid watermark for them. (Lock order: checkpoint lock, then
-        // shard locks ascending — commits take shard locks then the
-        // writer mutex and never wait on the checkpoint lock, so no
-        // cycle.)
-        let guards = self.inner.shards.read_all();
+        // The watermark is read *before* any shard is visited: every
+        // commit that starts after this line gets a larger seq, and its
+        // record lands either in a segment we keep (replayed) or — if
+        // it beat us to a not-yet-rotated log — in a segment whose
+        // shard's snapshot we load only after that commit published
+        // (covered; replay of any overlap is idempotent, which the
+        // durability tests pin).
         let watermark = self.inner.commit_seq.load(Ordering::SeqCst);
-        let relations: Vec<&Relation> = guards
+        // Phase 1 — per shard, ascending, briefly under the shard's
+        // write lock: pair the published snapshot with a fresh WAL
+        // segment. The lock orders us against commits (apply → append →
+        // publish all happen inside one critical section), so every
+        // record already in the closed segments is covered by the
+        // snapshot we load here. A sealed writer (earlier IO failure —
+        // its tail may be torn) cannot be rotated; its whole series is
+        // instead deleted after the snapshot renames, which also
+        // unseals it. (Lock order: checkpoint lock, then shard lock,
+        // then writer mutex — the same order commits use, minus the
+        // checkpoint lock they never take.)
+        let mut images: Vec<Arc<ShardSnapshot>> = Vec::with_capacity(self.inner.cells.len());
+        let mut closed_segments: Vec<PathBuf> = Vec::new();
+        let mut sealed_shards: Vec<usize> = Vec::new();
+        for id in self.inner.shards.ids() {
+            let _engine = self.inner.shards.write(id);
+            let image = self.inner.cells[id.index()].load();
+            let mut writer = wal.writers[id.index()]
+                .lock()
+                .map_err(|_| ServiceError::Poisoned("wal segment writer".into()))?;
+            if writer.is_sealed() {
+                sealed_shards.push(id.index());
+            } else {
+                closed_segments.extend(
+                    writer
+                        .rotate_for_checkpoint()
+                        .map_err(|e| ServiceError::Durability(format!("wal rotate: {e}")))?,
+                );
+            }
+            images.push(image);
+        }
+        // Phase 2 — lock-free: serialize the captured images. Commits
+        // on every shard proceed concurrently; publications refresh the
+        // other version buffer, so the captured images stay stable.
+        let relations: Vec<Relation> = images
             .iter()
-            .flat_map(|engine| engine.database().relations())
+            .flat_map(|image| image.relations().map(RelationVersion::to_relation))
             .collect();
+        let relation_refs: Vec<&Relation> = relations.iter().collect();
         birds_wal::write_snapshot_file(&wal.data_dir, watermark, |mut w| {
-            birds_engine::write_snapshot(&mut w, &relations)
+            birds_engine::write_snapshot(&mut w, &relation_refs)
                 .map_err(|e| std::io::Error::other(e.to_string()))
         })
         .map_err(|e| ServiceError::Durability(format!("checkpoint snapshot: {e}")))?;
-        // Snapshot is durable and renamed in: the log is now redundant.
-        // A crash from here on merely replays nothing (records at or
-        // below the watermark are filtered at recovery).
-        for writer in &wal.writers {
-            writer
+        // Phase 3 — the snapshot is durable and renamed in: the closed
+        // segments are now redundant. A crash anywhere in this phase
+        // merely leaves covered records around, which recovery filters
+        // (seq ≤ watermark) or replays idempotently.
+        for path in closed_segments {
+            std::fs::remove_file(&path)
+                .map_err(|e| ServiceError::Durability(format!("wal truncate: {e}")))?;
+        }
+        for index in sealed_shards {
+            // Safe without the shard lock: a sealed writer admits no
+            // appends, and `reset` both clears the damaged series and
+            // unseals (subsequent commits start a clean log whose every
+            // record is > watermark).
+            wal.writers[index]
                 .lock()
                 .map_err(|_| ServiceError::Poisoned("wal segment writer".into()))?
                 .reset()
-                .map_err(|e| ServiceError::Durability(format!("wal truncate: {e}")))?;
+                .map_err(|e| ServiceError::Durability(format!("wal reset: {e}")))?;
         }
         wal.commits_since_checkpoint.store(0, Ordering::SeqCst);
         Ok(watermark)
@@ -703,6 +922,46 @@ impl Session {
     /// fails on its k-th view logs the applied k−1 prefix (under a fresh
     /// commit seq) so recovery converges to exactly the in-memory state,
     /// then still returns the error.
+    ///
+    /// ```
+    /// # use birds_core::UpdateStrategy;
+    /// # use birds_engine::{Engine, StrategyMode};
+    /// # use birds_service::Service;
+    /// # use birds_store::{tuple, Database, DatabaseSchema, Relation, Schema, SortKind, Value};
+    /// # let mut db = Database::new();
+    /// # db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap()).unwrap();
+    /// # db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2]]).unwrap()).unwrap();
+    /// # let strategy = UpdateStrategy::parse(
+    /// #     DatabaseSchema::new()
+    /// #         .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+    /// #         .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+    /// #     Schema::new("v", vec![("a", SortKind::Int)]),
+    /// #     "-r1(X) :- r1(X), not v(X).
+    /// #      -r2(X) :- r2(X), not v(X).
+    /// #      +r1(X) :- v(X), not r1(X), not r2(X).",
+    /// #     None,
+    /// # ).unwrap();
+    /// # let mut engine = Engine::new(db);
+    /// # engine.register_view(strategy, StrategyMode::Incremental).unwrap();
+    /// // The engine registers the union view `v = r1 ∪ r2`, with
+    /// // r1 = {1} and r2 = {2}.
+    /// let service = Service::new(engine);
+    /// let mut session = service.session();
+    ///
+    /// session.begin()?;
+    /// session.execute("INSERT INTO v VALUES (10);")?; // buffered
+    /// session.execute("INSERT INTO v VALUES (11);")?; // buffered
+    /// session.execute("DELETE FROM v WHERE a = 10;")?; // cancels the first
+    /// let outcome = session.commit()?; // ONE incremental pass, net delta {+11}
+    ///
+    /// assert_eq!(outcome.commit_seq, 1);
+    /// assert_eq!(outcome.statements, 3);
+    /// assert_eq!(outcome.views, 1);
+    /// // The commit's snapshot is published before `commit` returns:
+    /// // lock-free reads see your own writes.
+    /// assert_eq!(service.query("v")?, vec![tuple![1], tuple![2], tuple![11]]);
+    /// # Ok::<(), birds_service::ServiceError>(())
+    /// ```
     pub fn commit(&mut self) -> ServiceResult<CommitOutcome> {
         let statements = self.batch.take().ok_or(ServiceError::NoBatchOpen)?;
         let statement_count = statements.len();
@@ -737,6 +996,9 @@ impl Session {
         // The applied per-view net deltas, in application order — the
         // WAL record for this commit.
         let mut applied: Vec<(String, Delta)> = Vec::new();
+        // Whether any delta reached an engine (`applied` only tracks
+        // loggable copies, so it misses in-memory and empty-net cases).
+        let mut any_applied = false;
         let mut failure: Option<ServiceError> = None;
         for (view, group) in groups {
             let shard = inner
@@ -766,6 +1028,7 @@ impl Session {
             });
             match result {
                 Ok((log_copy, stats)) => {
+                    any_applied = true;
                     total.view_delta_size += stats.view_delta_size;
                     total.source_delta_size += stats.source_delta_size;
                     total.cascades += stats.cascades;
@@ -781,9 +1044,15 @@ impl Session {
         }
         if let Some(e) = &failure {
             if applied.is_empty() || inner.wal.is_none() {
-                // Nothing applied (or nothing to log): fail without a
-                // seq or a log record, exactly like the in-memory path
-                // always has.
+                // Nothing loggable: fail without a seq or a log record,
+                // exactly like the in-memory path always has. Earlier
+                // groups may still have applied (atomicity is per view),
+                // so republish the mutated state at each shard's
+                // *unchanged* high-water seq before the locks drop —
+                // the lock-free read path must keep matching memory.
+                if any_applied {
+                    self.service.publish_guarded(&mut guards, None);
+                }
                 return Err(e.clone());
             }
         }
@@ -810,11 +1079,19 @@ impl Session {
                     // Applied in memory but not durably acknowledged:
                     // the engine-level failure (if any) still wins the
                     // error report; otherwise surface the WAL failure.
+                    // Memory did change, so publish before unlocking.
+                    self.service.publish_guarded(&mut guards, Some(commit_seq));
                     drop(guards);
                     self.service.heal_after_durability_failure();
                     return Err(failure.unwrap_or(e));
                 }
             }
+        }
+        // Publish every locked shard at the new high-water seq — after
+        // the WAL append, before the locks drop and before the caller
+        // learns the outcome (read-your-writes on the lock-free path).
+        if any_applied {
+            self.service.publish_guarded(&mut guards, Some(commit_seq));
         }
         drop(guards);
         match failure {

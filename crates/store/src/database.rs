@@ -68,6 +68,13 @@ impl Database {
         self.relations.values()
     }
 
+    /// Iterate relations mutably, in name order (the MVCC publication
+    /// path uses this: `Relation::version` maintains per-relation
+    /// publication state).
+    pub fn relations_mut(&mut self) -> impl Iterator<Item = &mut Relation> {
+        self.relations.values_mut()
+    }
+
     /// Relation names in order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.relations.keys().map(String::as_str)

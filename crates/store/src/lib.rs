@@ -29,7 +29,7 @@ pub use delta::{Delta, DeltaSet};
 pub use error::{StoreError, StoreResult};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use intern::IStr;
-pub use relation::Relation;
+pub use relation::{Relation, RelationVersion};
 pub use schema::{Attribute, DatabaseSchema, Schema, SortKind};
 pub use tuple::Tuple;
 pub use value::{Value, ValueSort};

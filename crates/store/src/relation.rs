@@ -6,21 +6,207 @@
 //! subsets; once registered, an index is maintained incrementally under
 //! inserts and deletes, so repeated index probes after warm-up are `O(1)`
 //! just as in the paper's setting.
+//!
+//! ## Versioned tuple sets (left-right double buffering)
+//!
+//! The primary tuple set lives behind an [`Arc`]; a [`Relation`] can
+//! publish an immutable [`RelationVersion`] of its current contents via
+//! [`Relation::version`]. The naive copy-on-write scheme — share the
+//! live `Arc` with every version and let [`Arc::make_mut`] clone on the
+//! next mutation — makes *writers* pay `O(|relation|)` after **every**
+//! publication, because the newest published version always pins the
+//! live set. Under per-commit publication (the service's MVCC read
+//! path) that clone tax serializes the write path on relation size.
+//!
+//! Instead, the first `version()` call switches the relation into
+//! **left-right** mode: two shadow buffers alternate as the published
+//! image, kept in sync by replaying a log of the relation's effective
+//! mutations. Each publication refreshes the buffer *not* published
+//! last time — by then the snapshot cell has dropped its reference, so
+//! the replay mutates in place and costs `O(delta)`, not `O(n)`. Only a
+//! reader still *holding* that older version forces a one-off clone:
+//! writers pay proportional to what changed, and the full-copy cost
+//! lands exactly when (and only when) a snapshot is actually pinned
+//! across publications. Before the first `version()` call no log is
+//! kept and mutations run exactly as they always have.
+//!
+//! Published versions never observe in-progress mutations. Secondary
+//! indexes are *not* part of a version — they are an evaluator-side
+//! acceleration structure and stay owned by the live relation.
 
 use crate::error::{StoreError, StoreResult};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::sync::Arc;
 
 /// A relation instance: a named finite set of same-arity tuples.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
     name: String,
     arity: usize,
-    tuples: FxHashSet<Tuple>,
+    /// Primary tuple set. Before the first [`Relation::version`] call it
+    /// is unshared and [`Arc::make_mut`] mutates in place; afterwards the
+    /// left-right buffers in `versions` carry the published images, so
+    /// the live set stays unshared again after at most one divergence.
+    tuples: Arc<FxHashSet<Tuple>>,
     /// Secondary hash indexes keyed by column subset. Maintained under all
     /// mutations. `Vec<usize>` keys are sorted, deduplicated column lists.
     indexes: FxHashMap<Vec<usize>, FxHashMap<Vec<Value>, FxHashSet<Tuple>>>,
+    /// Left-right publication state: `None` until the first
+    /// [`Relation::version`] call (no logging cost for never-versioned
+    /// relations, e.g. evaluator delta overlays). Boxed — it is two
+    /// pointers of payload on the always-allocated path otherwise.
+    versions: Option<Box<VersionBuffers>>,
+}
+
+/// One effective mutation, replayed into a shadow buffer at publication
+/// time. Only *effective* ops are logged (an insert that was already
+/// present, or a remove that missed, changes nothing), so replaying a
+/// buffer from the same starting state reproduces the live set exactly.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Tuple),
+    Remove(Tuple),
+}
+
+/// The left-right publication state of a versioned relation: two shadow
+/// buffers that alternate as the published image, and the op log that
+/// brings the stale one up to date at each publication.
+///
+/// Invariant: `bufs[i]` holds exactly the live set's contents as of
+/// absolute op index `applied[i]`, and `log` holds every effective op
+/// from `base` onward (`base <= min(applied)`).
+#[derive(Debug, Clone)]
+struct VersionBuffers {
+    bufs: [Arc<FxHashSet<Tuple>>; 2],
+    /// Absolute op index each buffer is synced to.
+    applied: [u64; 2],
+    /// Absolute op index of `log[0]`.
+    base: u64,
+    /// Buffer the next publication refreshes (the one published the
+    /// time *before* last, whose snapshot-cell reference is gone).
+    next: usize,
+    log: Vec<Op>,
+}
+
+impl VersionBuffers {
+    fn new(live: &Arc<FxHashSet<Tuple>>) -> VersionBuffers {
+        // Both buffers start as O(1) shares of the live set; they
+        // diverge lazily on their first post-publication refresh.
+        VersionBuffers {
+            bufs: [Arc::clone(live), Arc::clone(live)],
+            applied: [0, 0],
+            base: 0,
+            next: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Record one effective mutation.
+    fn push(&mut self, op: Op) {
+        self.log.push(op);
+    }
+
+    /// Bring a shadow buffer up to date and return it as the new
+    /// published image. `O(delta)` since that buffer's last refresh —
+    /// `O(n)` only if a reader still holds the version published from
+    /// it two publications ago (then `Arc::make_mut` clones once).
+    fn sync(&mut self) -> Arc<FxHashSet<Tuple>> {
+        let end = self.base + self.log.len() as u64;
+        let prev = self.next ^ 1;
+        if self.applied[prev] == end {
+            // Nothing changed since the last publication: re-share it
+            // and leave the buffers as they are.
+            return Arc::clone(&self.bufs[prev]);
+        }
+        let i = self.next;
+        let set = Arc::make_mut(&mut self.bufs[i]);
+        for op in &self.log[(self.applied[i] - self.base) as usize..] {
+            match op {
+                Op::Insert(t) => {
+                    set.insert(t.clone());
+                }
+                Op::Remove(t) => {
+                    set.remove(t);
+                }
+            }
+        }
+        self.applied[i] = end;
+        self.next = prev;
+        // Drop the log prefix both buffers have replayed; in steady
+        // state the log holds at most two publications' worth of ops.
+        let done = (self.applied[0].min(self.applied[1]) - self.base) as usize;
+        if done > 0 {
+            self.log.drain(..done);
+            self.base += done as u64;
+        }
+        Arc::clone(&self.bufs[i])
+    }
+}
+
+/// An immutable, cheaply cloneable version of a relation's contents at a
+/// publication point.
+///
+/// Produced by [`Relation::version`] in `O(delta)` (left-right
+/// publication, see the module docs). Versions are what MVCC snapshot
+/// readers hold: they never change after creation, carry no secondary
+/// indexes, and stay valid for as long as the reader keeps them —
+/// independent of any later writes to the source relation.
+#[derive(Debug, Clone)]
+pub struct RelationVersion {
+    name: String,
+    arity: usize,
+    tuples: Arc<FxHashSet<Tuple>>,
+}
+
+impl RelationVersion {
+    /// Relation (predicate) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Arity of every tuple in the version.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the version holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Set membership test (full-tuple lookup, `O(1)`).
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterate over all tuples (arbitrary order — set semantics).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The shared tuple set.
+    pub fn tuples(&self) -> &FxHashSet<Tuple> {
+        &self.tuples
+    }
+
+    /// Rebuild a live [`Relation`] sharing this version's tuple set (no
+    /// indexes, no tuple copying — the checkpoint/restore path uses this).
+    pub fn to_relation(&self) -> Relation {
+        Relation {
+            name: self.name.clone(),
+            arity: self.arity,
+            tuples: Arc::clone(&self.tuples),
+            indexes: FxHashMap::default(),
+            versions: None,
+        }
+    }
 }
 
 impl Relation {
@@ -29,8 +215,9 @@ impl Relation {
         Relation {
             name: name.into(),
             arity,
-            tuples: FxHashSet::default(),
+            tuples: Arc::new(FxHashSet::default()),
             indexes: FxHashMap::default(),
+            versions: None,
         }
     }
 
@@ -48,7 +235,7 @@ impl Relation {
         // Pre-size the primary set from the iterator's lower bound so bulk
         // loads (view materialization, benchmark datagen) don't rehash
         // log(n) times on the way up.
-        rel.tuples.reserve(tuples.size_hint().0);
+        Arc::make_mut(&mut rel.tuples).reserve(tuples.size_hint().0);
         for t in tuples {
             rel.insert(t)?;
         }
@@ -76,8 +263,9 @@ impl Relation {
         Ok(Relation {
             name,
             arity,
-            tuples,
+            tuples: Arc::new(tuples),
             indexes: FxHashMap::default(),
+            versions: None,
         })
     }
 
@@ -137,7 +325,16 @@ impl Relation {
         // relations) a single hash-set insert both tests membership and
         // stores the tuple — no re-projection, no second lookup.
         if self.indexes.is_empty() {
-            return Ok(self.tuples.insert(t));
+            return Ok(match &mut self.versions {
+                None => Arc::make_mut(&mut self.tuples).insert(t),
+                Some(vb) => {
+                    let added = Arc::make_mut(&mut self.tuples).insert(t.clone());
+                    if added {
+                        vb.push(Op::Insert(t));
+                    }
+                    added
+                }
+            });
         }
         if self.tuples.contains(&t) {
             return Ok(false);
@@ -145,14 +342,22 @@ impl Relation {
         for (cols, index) in self.indexes.iter_mut() {
             index.entry(t.project(cols)).or_default().insert(t.clone());
         }
-        self.tuples.insert(t);
+        if let Some(vb) = &mut self.versions {
+            vb.push(Op::Insert(t.clone()));
+        }
+        Arc::make_mut(&mut self.tuples).insert(t);
         Ok(true)
     }
 
     /// Remove a tuple; `true` if it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        if !self.tuples.remove(t) {
+        // Membership test first so a miss never forces a COW clone.
+        if !self.tuples.contains(t) {
             return false;
+        }
+        Arc::make_mut(&mut self.tuples).remove(t);
+        if let Some(vb) = &mut self.versions {
+            vb.push(Op::Remove(t.clone()));
         }
         for (cols, index) in self.indexes.iter_mut() {
             let key = t.project(cols);
@@ -183,7 +388,7 @@ impl Relation {
             return Ok(());
         }
         let mut index: FxHashMap<Vec<Value>, FxHashSet<Tuple>> = FxHashMap::default();
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             index.entry(t.project(&key)).or_default().insert(t.clone());
         }
         self.indexes.insert(key, index);
@@ -227,7 +432,18 @@ impl Relation {
 
     /// Remove all tuples (indexes stay registered but become empty).
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        // Structural wipe: cheaper to restart the left-right protocol
+        // (outstanding versions keep their own sets; the next
+        // `version()` re-initializes from the emptied live set) than to
+        // replay a per-tuple log.
+        self.versions = None;
+        if Arc::strong_count(&self.tuples) == 1 {
+            Arc::make_mut(&mut self.tuples).clear();
+        } else {
+            // A published version still shares the set: detach instead of
+            // cloning tuples we are about to discard.
+            self.tuples = Arc::new(FxHashSet::default());
+        }
         for index in self.indexes.values_mut() {
             index.clear();
         }
@@ -238,17 +454,54 @@ impl Relation {
         &self.tuples
     }
 
+    /// Publish an immutable version of the current contents.
+    ///
+    /// The first call switches the relation into left-right mode (see
+    /// the module docs) and shares the live set in `O(1)`. Each later
+    /// call costs `O(delta)` — the effective mutations since the
+    /// *previous* publication are replayed into the alternate shadow
+    /// buffer — rising to one `O(n)` clone only when a reader still
+    /// holds the version published from that buffer. With no mutations
+    /// since the last call, the previous version is re-shared in
+    /// `O(1)`.
+    pub fn version(&mut self) -> RelationVersion {
+        let tuples = match &mut self.versions {
+            Some(vb) => vb.sync(),
+            None => {
+                self.versions = Some(Box::new(VersionBuffers::new(&self.tuples)));
+                Arc::clone(&self.tuples)
+            }
+        };
+        RelationVersion {
+            name: self.name.clone(),
+            arity: self.arity,
+            tuples,
+        }
+    }
+
     /// Consume the relation, yielding its tuples (indexes dropped). The
     /// snapshot-restore path uses this to move decoded contents into a
-    /// live relation without re-cloning every tuple.
-    pub fn into_tuples(self) -> impl Iterator<Item = Tuple> {
-        self.tuples.into_iter()
+    /// live relation without re-cloning every tuple (unless a published
+    /// version still shares the set, in which case it is cloned once).
+    pub fn into_tuples(mut self) -> impl Iterator<Item = Tuple> {
+        // Drop the shadow buffers first: right after a `version()` call
+        // they may still share the live `Arc`, which would force the
+        // unwrap below into a clone.
+        self.versions = None;
+        Arc::try_unwrap(self.tuples)
+            .unwrap_or_else(|shared| (*shared).clone())
+            .into_iter()
     }
 
     /// Replace the entire contents of the relation (indexes are rebuilt).
     pub fn replace_all(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> StoreResult<()> {
+        // Structural wipe — same reasoning as `clear`: restart the
+        // left-right protocol instead of logging every tuple.
+        self.versions = None;
         let cols: Vec<Vec<usize>> = self.indexes.keys().cloned().collect();
-        self.tuples.clear();
+        // Build the fresh set aside and swap it in, so a shared (published)
+        // old set is neither cloned nor disturbed.
+        let mut fresh = FxHashSet::default();
         self.indexes.clear();
         for t in tuples {
             if t.arity() != self.arity {
@@ -258,8 +511,9 @@ impl Relation {
                     found: t.arity(),
                 });
             }
-            self.tuples.insert(t);
+            fresh.insert(t);
         }
+        self.tuples = Arc::new(fresh);
         for c in cols {
             self.ensure_index(&c)?;
         }
@@ -374,6 +628,165 @@ mod tests {
             r.ensure_index(&[5]),
             Err(StoreError::BadIndexColumns { .. })
         ));
+    }
+
+    #[test]
+    fn version_is_immutable_under_later_mutation() {
+        let mut r = rel();
+        let v = r.version();
+        assert_eq!(v.len(), 3);
+        // Shared set: the first mutation after publication diverges.
+        r.insert(tuple![9, "z"]).unwrap();
+        r.remove(&tuple![1, "a"]);
+        assert_eq!(v.len(), 3, "published version unchanged");
+        assert!(v.contains(&tuple![1, "a"]));
+        assert!(!v.contains(&tuple![9, "z"]));
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&tuple![9, "z"]));
+        // A fresh version sees the new contents and shares the live set.
+        let v2 = r.version();
+        assert!(v2.contains(&tuple![9, "z"]));
+        assert!(!v2.contains(&tuple![1, "a"]));
+    }
+
+    #[test]
+    fn version_survives_clear_and_replace_all() {
+        let mut r = rel();
+        let v = r.version();
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(v.len(), 3, "clear detaches, does not clone-then-clear");
+        let v_after_clear = r.version();
+        r.replace_all(vec![tuple![7, "q"]]).unwrap();
+        assert!(v_after_clear.is_empty());
+        assert_eq!(r.len(), 1);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn to_relation_round_trips_contents() {
+        let mut r = rel();
+        let back = r.version().to_relation();
+        assert_eq!(back.name(), "r");
+        assert_eq!(back.arity(), 2);
+        assert_eq!(back.tuples(), r.tuples());
+    }
+
+    #[test]
+    fn steady_state_publication_is_in_place() {
+        // Left-right warm-up: after the first two publications have
+        // diverged the shadow buffers, an unpinned publication replays
+        // the delta in place — same buffer allocation, no O(n) clone —
+        // and the live set's allocation never changes again either.
+        let mut r = rel();
+        let v0 = r.version();
+        r.insert(tuple![10, "w"]).unwrap();
+        let v1 = r.version();
+        let live_ptr = Arc::as_ptr(&r.tuples);
+        r.insert(tuple![11, "w"]).unwrap();
+        let v2 = r.version();
+        drop(v0);
+        drop(v1);
+        // v1's buffer is now unpinned: the next publication refreshes it
+        // in place.
+        r.insert(tuple![12, "w"]).unwrap();
+        let v1_buf = std::ptr::from_ref(v2.tuples()); // v3 reuses the OTHER buffer
+        let v3 = r.version();
+        assert_ne!(std::ptr::from_ref(v3.tuples()), v1_buf, "buffers alternate");
+        drop(v2);
+        r.insert(tuple![13, "w"]).unwrap();
+        let reused = std::ptr::from_ref(v3.tuples()) != Arc::as_ptr(&r.tuples);
+        assert!(reused, "published buffers are not the live set");
+        let v4_expected_buf = v1_buf;
+        let v4 = r.version();
+        assert_eq!(
+            std::ptr::from_ref(v4.tuples()),
+            v4_expected_buf,
+            "unpinned buffer is refreshed in place, not cloned"
+        );
+        assert_eq!(Arc::as_ptr(&r.tuples), live_ptr, "live set never re-clones");
+        assert_eq!(v4.len(), 7);
+        assert!(v4.contains(&tuple![13, "w"]));
+        assert_eq!(v3.len(), 6, "older pinned version is frozen");
+        assert!(!v3.contains(&tuple![13, "w"]));
+    }
+
+    #[test]
+    fn pinned_version_forces_one_clone_and_stays_frozen() {
+        let mut r = rel();
+        let _warm0 = r.version();
+        r.insert(tuple![20, "x"]).unwrap();
+        let _warm1 = r.version();
+        r.remove(&tuple![1, "a"]);
+        // Hold this one across two publications: its buffer is due for
+        // refresh next, so the refresh must clone rather than mutate it.
+        let pinned = r.version();
+        let pinned_ptr = std::ptr::from_ref(pinned.tuples());
+        r.insert(tuple![21, "x"]).unwrap();
+        let _v = r.version();
+        r.insert(tuple![22, "x"]).unwrap();
+        let after = r.version();
+        assert_ne!(
+            std::ptr::from_ref(after.tuples()),
+            pinned_ptr,
+            "refresh of a pinned buffer clones"
+        );
+        assert_eq!(pinned.len(), 3);
+        assert!(!pinned.contains(&tuple![21, "x"]));
+        assert!(!pinned.contains(&tuple![22, "x"]));
+        assert_eq!(after.len(), 5);
+        assert!(after.contains(&tuple![21, "x"]));
+        assert!(after.contains(&tuple![22, "x"]));
+    }
+
+    #[test]
+    fn versions_reflect_indexed_mutations() {
+        // The op log sits on both insert paths (indexed and fast): a
+        // versioned relation with indexes still publishes exact images.
+        let mut r = rel();
+        r.ensure_index(&[0]).unwrap();
+        let v0 = r.version();
+        r.insert(tuple![3, "c"]).unwrap();
+        r.insert(tuple![3, "c"]).unwrap(); // no-op: must not be replayed
+        r.remove(&tuple![2, "a"]);
+        r.remove(&tuple![2, "a"]); // no-op
+        let v1 = r.version();
+        r.insert(tuple![4, "d"]).unwrap();
+        let v2 = r.version();
+        assert_eq!(v0.len(), 3);
+        assert_eq!(v1.len(), 3);
+        assert!(v1.contains(&tuple![3, "c"]));
+        assert!(!v1.contains(&tuple![2, "a"]));
+        assert_eq!(v2.len(), 4);
+        assert!(v2.contains(&tuple![4, "d"]));
+        // Index probes on the live relation still work after versioning.
+        let hits: Vec<_> = r.probe(&[0], &[Value::from(3)]).collect();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn quiescent_publication_reshares_previous_version() {
+        let mut r = rel();
+        let _w0 = r.version();
+        r.insert(tuple![30, "y"]).unwrap();
+        let v1 = r.version();
+        let v2 = r.version(); // no mutations in between
+        assert_eq!(
+            std::ptr::from_ref(v1.tuples()),
+            std::ptr::from_ref(v2.tuples()),
+            "quiescent publish is an O(1) re-share"
+        );
+    }
+
+    #[test]
+    fn unshared_mutation_does_not_clone() {
+        // With no published version the Arc is unshared and make_mut works
+        // in place — pointer identity is preserved across mutations.
+        let mut r = rel();
+        let before = Arc::as_ptr(&r.tuples);
+        r.insert(tuple![5, "e"]).unwrap();
+        r.remove(&tuple![5, "e"]);
+        assert_eq!(Arc::as_ptr(&r.tuples), before);
     }
 
     #[test]

@@ -271,12 +271,54 @@ impl SegmentWriter {
         Ok(())
     }
 
+    /// Close the current segment and start a fresh one, returning the
+    /// paths of every now-closed segment of this shard — the lock-side
+    /// half of a lock-free checkpoint: the caller pairs the rotation
+    /// with the shard's published snapshot (under the shard lock), then
+    /// deletes the returned files only after the new snapshot file has
+    /// durably renamed in. Appends racing the checkpoint land in the
+    /// fresh segment, which the checkpoint never deletes.
+    ///
+    /// A current segment with no records is not rotated (no churn), but
+    /// older closed segments are still returned. Fails on a sealed
+    /// writer — a sealed series may end in a torn record, and rotating
+    /// would bury that tear behind a newer segment, turning a legal
+    /// crash shape into reported corruption; the checkpoint path
+    /// handles sealed writers with [`SegmentWriter::reset`] instead.
+    pub fn rotate_for_checkpoint(&mut self) -> WalResult<Vec<PathBuf>> {
+        if self.sealed {
+            return Err(WalError::Corrupt(format!(
+                "shard {} wal writer is sealed; reset the series instead of rotating",
+                self.shard
+            )));
+        }
+        if self.bytes > StreamHeader::LEN {
+            if let Err(e) = self.rotate() {
+                // The tail state is unknown (the pre-rotation sync may
+                // have failed): seal, exactly like a failed append.
+                self.sealed = true;
+                return Err(e);
+            }
+        }
+        let data_dir = self
+            .dir
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| self.dir.clone());
+        Ok(scan_segments(&data_dir)?
+            .into_iter()
+            .filter(|info| info.shard == self.shard && info.seg < self.seg)
+            .map(|info| info.path)
+            .collect())
+    }
+
     /// Delete every segment of this shard and start a fresh series —
-    /// the truncation half of a snapshot-then-truncate checkpoint. The
-    /// caller must guarantee no concurrent appender (the service holds
-    /// every shard lock while checkpointing). Unseals a writer sealed by
-    /// an earlier failure: the damaged series is gone and the new
-    /// segment starts clean.
+    /// the truncation half of a snapshot-then-truncate checkpoint on a
+    /// **sealed** shard (no appender can race: a sealed writer rejects
+    /// every append until this call). Healthy shards rotate instead
+    /// ([`SegmentWriter::rotate_for_checkpoint`]), keeping their fresh
+    /// tail. Unseals a writer sealed by an earlier failure: the damaged
+    /// series is gone and the new segment starts clean.
     pub fn reset(&mut self) -> WalResult<()> {
         let data_dir = self
             .dir
@@ -439,6 +481,74 @@ mod tests {
         let contents = read_segment(&path).unwrap();
         assert!(!contents.torn);
         assert_eq!(contents.records.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rotation_closes_the_series_and_keeps_appending() {
+        let dir = temp_dir("ckpt-rotate");
+        let mut w = SegmentWriter::open(&dir, 1, DEFAULT_SEGMENT_BYTES).unwrap();
+        w.append(&record(1), FsyncPolicy::Always).unwrap();
+        w.append(&record(2), FsyncPolicy::Always).unwrap();
+        let closed = w.rotate_for_checkpoint().unwrap();
+        assert_eq!(closed.len(), 1, "one closed segment");
+        assert_eq!(w.current_segment(), 1);
+        // The closed segment holds the pre-rotation records, intact.
+        let contents = read_segment(&closed[0]).unwrap();
+        assert!(!contents.torn);
+        assert_eq!(contents.records.len(), 2);
+        // Appends continue in the fresh segment; deleting the closed
+        // one (the checkpoint's phase 3) leaves a clean series.
+        w.append(&record(3), FsyncPolicy::Always).unwrap();
+        std::fs::remove_file(&closed[0]).unwrap();
+        let segments = scan_segments(&dir).unwrap();
+        assert_eq!(segments.len(), 1);
+        let contents = read_segment(&segments[0].path).unwrap();
+        assert_eq!(contents.records.len(), 1);
+        assert_eq!(contents.records[0].first_seq(), 3);
+        // Record 3 makes the tail non-empty, so the next checkpoint
+        // rotation closes it too.
+        let closed = w.rotate_for_checkpoint().unwrap();
+        assert_eq!(w.current_segment(), 2);
+        assert_eq!(closed.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rotation_skips_empty_tail_but_returns_older_segments() {
+        let dir = temp_dir("ckpt-empty");
+        let mut w = SegmentWriter::open(&dir, 0, 64).unwrap(); // tiny threshold
+        for seq in 1..=6 {
+            w.append(&record(seq), FsyncPolicy::Off).unwrap();
+        }
+        let first = w.rotate_for_checkpoint().unwrap();
+        assert!(!first.is_empty());
+        let seg_after_first = w.current_segment();
+        // Until phase 3 deletes them, closed segments are handed back
+        // again — a checkpoint that crashed mid-delete retries cleanly.
+        let retry = w.rotate_for_checkpoint().unwrap();
+        assert_eq!(retry, first);
+        // After deletion, a rotation with an empty tail is a no-op: no
+        // new segment, nothing older to hand back.
+        for path in &first {
+            std::fs::remove_file(path).unwrap();
+        }
+        let second = w.rotate_for_checkpoint().unwrap();
+        assert_eq!(w.current_segment(), seg_after_first);
+        assert!(second.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sealed_writer_refuses_checkpoint_rotation() {
+        let dir = temp_dir("ckpt-sealed");
+        let mut w = SegmentWriter::open(&dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
+        w.append(&record(1), FsyncPolicy::Always).unwrap();
+        w.sealed = true;
+        assert!(matches!(
+            w.rotate_for_checkpoint(),
+            Err(WalError::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
