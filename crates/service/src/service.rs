@@ -180,6 +180,14 @@ struct ServiceInner {
     /// consistent cut; only a multi-shard commit can establish a
     /// cross-shard invariant that a reader must not see half of.
     publication_seq: AtomicU64,
+    /// Serializes multi-shard publications. Two batch commits with
+    /// *disjoint* multi-shard footprints hold disjoint shard locks, so
+    /// without this their seqlock brackets would interleave — two
+    /// opening increments make the counter even again (0→1→2) while
+    /// both are still mid-swap, and a reader could assemble a torn
+    /// cut. Held only around the pointer swaps (no engine work), so
+    /// the cost is negligible.
+    publication_lock: Mutex<()>,
     config: ServiceConfig,
     /// `Some` when the service is durable ([`Service::open`]).
     wal: Option<WalState>,
@@ -330,6 +338,7 @@ impl Service {
                 cells,
                 commit_seq: AtomicU64::new(start_seq),
                 publication_seq: AtomicU64::new(0),
+                publication_lock: Mutex::new(()),
                 config,
                 wal,
             }),
@@ -383,12 +392,22 @@ impl Service {
             let shards = cells.iter().map(SnapshotCell::load).collect();
             return ServiceSnapshot::new(shards, Arc::clone(&self.inner.route));
         }
+        let mut spins = 0u32;
         loop {
             let before = self.inner.publication_seq.load(Ordering::Acquire);
             if before % 2 == 1 {
                 // A multi-shard publication is mid-swap; its cell stores
-                // are pointer writes, so spinning is brief.
-                std::hint::spin_loop();
+                // are pointer writes, so it normally clears within a few
+                // spins. If the publisher was preempted inside the
+                // bracket, yield instead of burning CPU (on a single
+                // core a pure spin could starve the very thread we are
+                // waiting on).
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
                 continue;
             }
             let shards: Vec<_> = cells.iter().map(SnapshotCell::load).collect();
@@ -515,14 +534,26 @@ impl Service {
     /// seq (`Some`) the shards' high-water advances to it; with `None`
     /// (the no-seq in-memory error path) each shard republishes its
     /// mutated contents at its unchanged high-water. Multi-shard
-    /// publications bracket with the publication seqlock so a
-    /// concurrent [`Service::snapshot`] never assembles half of one.
+    /// publications serialize on `publication_lock` and bracket with
+    /// the publication seqlock so a concurrent [`Service::snapshot`]
+    /// never assembles half of one.
     fn publish_guarded(
         &self,
         guards: &mut [(LockId, std::sync::RwLockWriteGuard<'_, Engine>)],
         seq: Option<u64>,
     ) {
         let multi = guards.len() > 1;
+        // Disjoint multi-shard footprints don't contend on any shard
+        // lock, so the seqlock bracket alone can't keep them apart:
+        // serialize here, making "counter is odd" equivalent to
+        // "exactly one publication is mid-swap". The critical section
+        // is Arc pointer swaps only.
+        let _serialized = multi.then(|| {
+            self.inner
+                .publication_lock
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        });
         if multi {
             // Odd: publication in flight.
             self.inner.publication_seq.fetch_add(1, Ordering::AcqRel);

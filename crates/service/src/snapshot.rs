@@ -14,6 +14,15 @@
 //! commit's WAL record is appended, on durable services): a reader can
 //! never observe a commit's effects before that commit is logged.
 //!
+//! One deliberate exception, on **in-memory** services only: batch
+//! atomicity is per view, so a multi-view batch that fails on its k-th
+//! view keeps the first k−1 views applied. With no WAL to log that
+//! prefix under a fresh seq (the durable path does exactly that), the
+//! mutated shards republish at their *unchanged* high-water seq — the
+//! lock-free read path must keep matching engine memory, so the failed
+//! batch's applied prefix is visible seq-less. Its mutations carry no
+//! commit seq of their own and the batch reported an error.
+//!
 //! ## Why readers never block writers (and vice versa)
 //!
 //! Readers load the cell pointer — a nanosecond-scale `RwLock` critical

@@ -170,6 +170,82 @@ fn pinned_snapshot_survives_concurrent_writer_storm() {
     }
 }
 
+/// Two batch commits with **disjoint multi-shard footprints** publish
+/// concurrently — they hold disjoint shard locks, so nothing else
+/// orders them — and a reader must still never assemble half of
+/// either. The publication seqlock alone cannot express "two
+/// publications in flight" (two opening increments make the counter
+/// even again, 0→1→2, while both are mid-swap), so multi-shard
+/// publications serialize on a dedicated mutex; this test pins that.
+///
+/// Each writer's batch inserts the same value into both views of its
+/// pair, so in every consistent cut the pair's contents are equal; a
+/// torn cut shows up as one view holding a value its partner lacks.
+#[test]
+fn disjoint_multi_shard_commits_publish_atomically() {
+    const BATCHES: usize = 200;
+    const PAIRS: [(usize, usize); 2] = [(0, 1), (2, 3)];
+    let service = Service::new(disjoint_engine(4));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let checker = {
+        let service = service.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let fresh = service.snapshot();
+                for (x, y) in PAIRS {
+                    let contents = |i: usize| -> std::collections::BTreeSet<String> {
+                        fresh
+                            .relation(&format!("v{i}"))
+                            .unwrap()
+                            .iter()
+                            .map(|t| format!("{t:?}"))
+                            .collect()
+                    };
+                    assert_eq!(
+                        contents(x),
+                        contents(y),
+                        "torn cut: v{x} and v{y} were committed together \
+                         but a snapshot saw them diverge"
+                    );
+                }
+            }
+        })
+    };
+
+    let writers: Vec<_> = PAIRS
+        .map(|(x, y)| {
+            let service = service.clone();
+            std::thread::spawn(move || {
+                let mut session = service.session();
+                for b in 0..BATCHES {
+                    let value = 1000 + b;
+                    session.begin().unwrap();
+                    session
+                        .execute(&format!(
+                            "INSERT INTO v{x} VALUES ({value}); \
+                             INSERT INTO v{y} VALUES ({value});"
+                        ))
+                        .unwrap();
+                    session.commit().unwrap();
+                }
+            })
+        })
+        .into_iter()
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    checker.join().unwrap();
+
+    // Both pairs converged: base {1, 2} plus every batch's value.
+    for i in 0..4 {
+        assert_eq!(service.query(&format!("v{i}")).unwrap().len(), 2 + BATCHES);
+    }
+}
+
 /// A held shard *write* lock — a commit parked mid-critical-section —
 /// does not block the lock-free read path. Every read below runs on a
 /// separate thread with a timeout, so a regression to lock-taking reads
