@@ -27,6 +27,15 @@
 //!    idle, fresh-vs-fresh — the lock-free-reads claim as a number
 //!    (gated on p50; p99 reported, since tail latency on an
 //!    oversubscribed runner measures the scheduler, not the locks).
+//! 5. **Connection scaling** (with `--connection-gate`): fresh
+//!    active-subset query latency through a `birds-serve` child under
+//!    2 000 idle connections versus an empty server, fresh-vs-fresh.
+//!    Gated on the active p50 ratio, the child's thread count
+//!    (≤ workers + 2 — connections must not become threads) and an
+//!    absolute idle-p50 ceiling that catches a lost `TCP_NODELAY`
+//!    (lockstep round trips sit near the ~40ms delayed-ACK floor
+//!    without it). p99 is reported, not gated. Needs the birds-serve
+//!    binary built first (`cargo build --release -p birds-service`).
 //!
 //! ```text
 //! cargo run --release -p birds-benchmarks --bin bench_gate -- \
@@ -39,6 +48,7 @@
 //! upload it as a workflow artifact — the trajectory of every CI run,
 //! not just the committed snapshots.
 
+use birds_benchmarks::connection::connection_scaling;
 use birds_benchmarks::emit::write_atomic;
 use birds_benchmarks::figure6::{sweep, to_json, Figure6View};
 use birds_benchmarks::throughput::{
@@ -57,12 +67,14 @@ fn main() {
     let mut clients: Vec<usize> = vec![1, 2, 4];
     let mut durability_gate = false;
     let mut read_interference_gate = false;
+    let mut connection_gate = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => baseline_path = require_value(args.next(), "--baseline"),
             "--durability-gate" => durability_gate = true,
             "--read-interference-gate" => read_interference_gate = true,
+            "--connection-gate" => connection_gate = true,
             "--view" => view_name = require_value(args.next(), "--view"),
             "--sizes" => {
                 sizes = parse_usize_list(&require_value(args.next(), "--sizes"), "--sizes")
@@ -172,6 +184,12 @@ fn main() {
         let (rr, rc) = interference_gate(factor);
         regressions += rr;
         compared += rc;
+    }
+
+    if connection_gate {
+        let (cr, cc) = connection_scaling_gate(factor);
+        regressions += cr;
+        compared += cc;
     }
 
     if regressions > 0 {
@@ -384,6 +402,107 @@ fn interference_gate(factor: f64) -> (usize, usize) {
         us(loaded.locked_p50) / us(idle.locked_p50).max(1e-9)
     );
     (usize::from(regressed), 1)
+}
+
+/// Connection-scaling gate (`--connection-gate`): measure the active
+/// subset fresh on an empty `birds-serve` child and again under idle
+/// connection load, fresh-vs-fresh on the same machine. Three checks:
+///
+/// * **p50 ratio** — loaded active p50 within `factor` × the idle p50
+///   (with a small floor so near-zero idle medians don't turn noise
+///   into a ratio): idle connections must not tax active ones.
+/// * **thread ceiling** — the child's `Threads:` stays ≤ workers + 2
+///   (main + reactor + workers) at peak connection count: connections
+///   must not become threads.
+/// * **Nagle ceiling** — the *idle-server* p50 stays under 40 ms
+///   absolute: lockstep one-line round trips sit at the delayed-ACK
+///   floor when `TCP_NODELAY` is lost, a regression the relative gate
+///   cannot see (both points would inflate together).
+///
+/// p99 is printed for visibility, not gated — on a shared single-core
+/// runner the tail measures the CPU scheduler. Returns
+/// `(regressions, compared)`.
+fn connection_scaling_gate(factor: f64) -> (usize, usize) {
+    const WORKERS: usize = 2;
+    const IDLE: usize = 2_000;
+    const ACTIVE: usize = 8;
+    const PER_CONN: usize = 100;
+    const NAGLE_CEILING_MS: f64 = 40.0;
+    println!(
+        "\ngate: active-subset query p50 ({ACTIVE} conns x {PER_CONN} reqs) under {IDLE} \
+         idle connections vs an empty server ({WORKERS} workers; p99 reported, not gated)"
+    );
+    let points = connection_scaling(WORKERS, &[0, IDLE], ACTIVE, PER_CONN).unwrap_or_else(|e| {
+        eprintln!("connection gate cannot run: {e}");
+        std::process::exit(2);
+    });
+    let point = |idle: usize| {
+        points
+            .iter()
+            .find(|p| p.idle_conns == idle)
+            .unwrap_or_else(|| {
+                eprintln!("connection sweep missing the {idle}-idle point");
+                std::process::exit(2);
+            })
+    };
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let idle = point(0);
+    let loaded = point(IDLE);
+    let mut regressions = 0usize;
+
+    // Floor the denominator at 50µs: sub-floor medians are all "fast".
+    let ratio = us(loaded.p50) / us(idle.p50).max(50.0);
+    let p50_regressed = ratio > factor;
+    regressions += usize::from(p50_regressed);
+    println!(
+        "{:>14} {:>16} {:>16} {:>8}",
+        "metric", "empty (us)", "loaded (us)", "ratio"
+    );
+    println!(
+        "{:>14} {:>16.1} {:>16.1} {:>7.2}x{}",
+        "active p50",
+        us(idle.p50),
+        us(loaded.p50),
+        ratio,
+        if p50_regressed { "  << REGRESSION" } else { "" }
+    );
+    println!(
+        "{:>14} {:>16.1} {:>16.1} {:>7.2}x  (reported)",
+        "active p99",
+        us(idle.p99),
+        us(loaded.p99),
+        us(loaded.p99) / us(idle.p99).max(1e-9)
+    );
+
+    let ceiling = WORKERS + 2;
+    let threads_regressed = loaded.server_threads > ceiling;
+    regressions += usize::from(threads_regressed);
+    println!(
+        "{:>14} {:>16} {:>16}  (ceiling {ceiling}){}",
+        "threads",
+        idle.server_threads,
+        loaded.server_threads,
+        if threads_regressed {
+            "  << REGRESSION: connections became threads"
+        } else {
+            ""
+        }
+    );
+
+    let nagle_regressed = us(idle.p50) >= NAGLE_CEILING_MS * 1e3;
+    regressions += usize::from(nagle_regressed);
+    println!(
+        "{:>14} {:>16.1} {:>16}  (ceiling {NAGLE_CEILING_MS}ms){}",
+        "nodelay p50",
+        us(idle.p50),
+        "-",
+        if nagle_regressed {
+            "  << REGRESSION: lockstep latency at the delayed-ACK floor"
+        } else {
+            ""
+        }
+    );
+    (regressions, 3)
 }
 
 /// `base_size → (original_ms, incremental_ms)`.

@@ -11,6 +11,7 @@
 //! rename); `--out <path>` overrides the target, `--label <text>` tags
 //! the run. `--quick` shrinks the sweep for smoke runs.
 
+use birds_benchmarks::connection::{connection_scaling, ConnectionPoint};
 use birds_benchmarks::emit::write_atomic;
 use birds_benchmarks::throughput::{
     batch_sweep, disjoint_scaling, durability_autocommit_sweep, durability_batched_sweep,
@@ -128,6 +129,32 @@ fn main() {
     let read_interference = read_interference_sweep(base_size, &reader_writers, reads);
     print_interference_points(&read_interference);
 
+    // Connection scaling needs the birds-serve binary built alongside:
+    // it spawns the server as a child so connections, threads and RSS
+    // are measured from outside (/proc/<pid>/status).
+    let (conn_workers, conn_idle, conn_active, conn_per_conn): (usize, Vec<usize>, usize, usize) =
+        if quick {
+            (2, vec![0, 200, 1_000], 8, 50)
+        } else {
+            (2, vec![0, 1_000, 5_000, 10_000], 16, 200)
+        };
+    println!();
+    println!(
+        "== connection scaling: {conn_active} active x {conn_per_conn} lockstep queries \
+         under n idle connections (birds-serve child, {conn_workers} workers) =="
+    );
+    let connection_points: Vec<ConnectionPoint> =
+        match connection_scaling(conn_workers, &conn_idle, conn_active, conn_per_conn) {
+            Ok(points) => {
+                print_connection_points(&points);
+                points
+            }
+            Err(e) => {
+                eprintln!("connection scaling skipped: {e}");
+                Vec::new()
+            }
+        };
+
     if emit_json {
         let label = label.unwrap_or_else(|| "current".to_owned());
         let doc = to_json(
@@ -140,10 +167,29 @@ fn main() {
             &durability_batched,
             &durability_autocommit,
             &read_interference,
+            &connection_points,
             epoch_window,
         );
         write_atomic(&out_path, &doc.to_pretty()).expect("write benchmark JSON");
         println!("\nwrote {out_path}");
+    }
+}
+
+fn print_connection_points(points: &[ConnectionPoint]) {
+    println!(
+        "{:>10} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "idle", "p50 (us)", "p99 (us)", "threads", "rss (kB)", "peak (kB)"
+    );
+    for p in points {
+        println!(
+            "{:>10} {:>12.1} {:>12.1} {:>9} {:>12} {:>12}",
+            p.idle_conns,
+            p.p50.as_secs_f64() * 1e6,
+            p.p99.as_secs_f64() * 1e6,
+            p.server_threads,
+            p.vm_rss_kb,
+            p.vm_hwm_kb,
+        );
     }
 }
 

@@ -15,6 +15,11 @@
 //! * [`throughput`] — the service-layer experiment: batched versus
 //!   per-statement update application and concurrent-client scaling
 //!   (not in the paper; backs the `BENCH_throughput.json` trajectory).
+//! * [`connection`] — the connection-scaling experiment: serving
+//!   latency, thread count and RSS of a `birds-serve` child process as
+//!   mostly-idle connections accumulate (the epoll reactor's
+//!   connections-are-not-threads claim, measured from outside via
+//!   `/proc/<pid>/status`).
 //! * [`emit`] — atomic JSON-file emission shared by the binaries.
 //!
 //! Binaries `table1`, `figure6`, `throughput` print the regenerated
@@ -27,6 +32,7 @@
 //! cargo run --release -p birds-benchmarks --bin bench_gate -- --baseline BENCH_figure6.json
 //! ```
 
+pub mod connection;
 pub mod corpus;
 pub mod datagen;
 pub mod emit;

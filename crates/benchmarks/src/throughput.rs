@@ -607,6 +607,7 @@ pub fn to_json(
     durability_batched: &[DurabilityPoint],
     durability_autocommit: &[DurabilityPoint],
     read_interference: &[InterferencePoint],
+    connection_points: &[crate::connection::ConnectionPoint],
     epoch_window: Duration,
 ) -> birds_service::Json {
     use birds_service::Json;
@@ -753,6 +754,10 @@ pub fn to_json(
                 ),
             ]),
         ),
+        (
+            "connection_scaling".to_owned(),
+            crate::connection::connection_json(connection_points),
+        ),
     ])
 }
 
@@ -898,6 +903,17 @@ mod tests {
         let dur_batched = durability_batched_sweep(100, 2, 10);
         let dur_auto = durability_autocommit_sweep(100, 8);
         let interference = read_interference_sweep(100, &[0, 1], 20);
+        let connection = vec![crate::connection::ConnectionPoint {
+            idle_conns: 1000,
+            active_conns: 8,
+            requests_per_conn: 100,
+            p50: Duration::from_micros(150),
+            p99: Duration::from_micros(800),
+            workers: 2,
+            server_threads: 4,
+            vm_rss_kb: 15_000,
+            vm_hwm_kb: 16_000,
+        }];
         let doc = to_json(
             "test",
             300,
@@ -908,6 +924,7 @@ mod tests {
             &dur_batched,
             &dur_auto,
             &interference,
+            &connection,
             Duration::from_micros(50),
         );
         let rendered = doc.to_pretty();
@@ -987,6 +1004,18 @@ mod tests {
             .get("mvcc_p99_us")
             .and_then(birds_service::Json::as_f64)
             .is_some());
+        let connection_points = parsed
+            .get("connection_scaling")
+            .and_then(|s| s.get("points"))
+            .and_then(birds_service::Json::as_arr)
+            .unwrap();
+        assert_eq!(connection_points.len(), 1);
+        assert_eq!(
+            connection_points[0]
+                .get("server_threads")
+                .and_then(birds_service::Json::as_i64),
+            Some(4)
+        );
     }
 
     #[test]

@@ -1,12 +1,22 @@
 //! `birds-serve` — the updatable-view database as an always-on process.
 //!
 //! Server mode (default) binds a TCP listener and speaks the
-//! line-delimited JSON protocol of `birds_service::protocol`:
+//! line-delimited JSON protocol of `birds_service::protocol`, served by
+//! the epoll reactor (`--workers` threads regardless of connection
+//! count):
 //!
 //! ```text
-//! birds-serve --listen 127.0.0.1:7878            # Example 3.1 demo views
-//! birds-serve --listen 127.0.0.1:0 --max-conns 1 # exit after one session
+//! birds-serve --listen 127.0.0.1:7878             # Example 3.1 demo views
+//! birds-serve --listen 127.0.0.1:0 --exit-after 1 # exit after one session
+//! birds-serve --listen 0.0.0.0:7878 --workers 8 --max-conns 10000
 //! ```
+//!
+//! `--max-conns N` is a **live** connection cap: a connection accepted
+//! while N are open is answered with a typed
+//! `server at its N-connection limit` error and closed. (The old
+//! exit-after-N-sessions behavior this flag once had lives on as
+//! `--exit-after N`.) SIGTERM drains gracefully: accepted requests are
+//! answered and outboxes flushed before the process exits.
 //!
 //! Client mode connects to a running server, forwards each line of
 //! stdin as a request, and prints each response line to stdout —
@@ -31,8 +41,7 @@
 
 use birds_core::UpdateStrategy;
 use birds_engine::{Engine, StrategyMode};
-use birds_service::server::DEFAULT_MAX_LINE_BYTES;
-use birds_service::{DurabilityConfig, Server, Service, ServiceConfig};
+use birds_service::{DurabilityConfig, Server, ServerConfig, Service, ServiceConfig};
 use birds_store::{tuple, Database, DatabaseSchema, Relation, Schema, SortKind};
 use birds_wal::FsyncPolicy;
 use std::io::{BufRead, BufReader, Write};
@@ -41,8 +50,7 @@ use std::net::TcpStream;
 fn main() {
     let mut listen = String::from("127.0.0.1:7878");
     let mut connect: Option<String> = None;
-    let mut max_conns: Option<usize> = None;
-    let mut max_line = DEFAULT_MAX_LINE_BYTES;
+    let mut config = ServerConfig::default();
     let mut data_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::default();
     let mut checkpoint_every: Option<u64> = None;
@@ -52,23 +60,16 @@ fn main() {
             "--listen" => listen = require_value(args.next(), "--listen"),
             "--connect" => connect = Some(require_value(args.next(), "--connect")),
             "--max-conns" => {
-                max_conns = Some(
-                    require_value(args.next(), "--max-conns")
-                        .parse()
-                        .unwrap_or_else(|_| {
-                            eprintln!("--max-conns needs an integer");
-                            std::process::exit(2);
-                        }),
-                )
+                config.max_conns = Some(parse_flag(args.next(), "--max-conns", "an integer"))
             }
-            "--max-line" => {
-                max_line = require_value(args.next(), "--max-line")
-                    .parse()
-                    .unwrap_or_else(|_| {
-                        eprintln!("--max-line needs a byte count");
-                        std::process::exit(2);
-                    })
+            "--exit-after" => {
+                config.exit_after = Some(parse_flag(args.next(), "--exit-after", "an integer"))
             }
+            "--workers" => config.workers = parse_flag(args.next(), "--workers", "a thread count"),
+            "--backlog" => {
+                config.backlog = Some(parse_flag(args.next(), "--backlog", "an integer"))
+            }
+            "--max-line" => config.max_line = parse_flag(args.next(), "--max-line", "a byte count"),
             "--data-dir" => data_dir = Some(require_value(args.next(), "--data-dir")),
             "--fsync" => {
                 fsync = require_value(args.next(), "--fsync")
@@ -79,18 +80,12 @@ fn main() {
                     })
             }
             "--checkpoint-every" => {
-                checkpoint_every = Some(
-                    require_value(args.next(), "--checkpoint-every")
-                        .parse()
-                        .unwrap_or_else(|_| {
-                            eprintln!("--checkpoint-every needs an integer");
-                            std::process::exit(2);
-                        }),
-                )
+                checkpoint_every = Some(parse_flag(args.next(), "--checkpoint-every", "an integer"))
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: birds-serve [--listen ADDR] [--max-conns N] [--max-line BYTES]\n\
+                    "usage: birds-serve [--listen ADDR] [--workers N] [--max-conns N]\n\
+                     \x20                 [--exit-after N] [--backlog N] [--max-line BYTES]\n\
                      \x20                 [--data-dir DIR] [--fsync always|epoch|off]\n\
                      \x20                 [--checkpoint-every N]\n\
                      \x20      birds-serve --connect ADDR   (client mode, script on stdin)"
@@ -107,21 +102,13 @@ fn main() {
     if let Some(addr) = connect {
         run_client(&addr);
     } else {
-        run_server(
-            &listen,
-            max_conns,
-            max_line,
-            data_dir,
-            fsync,
-            checkpoint_every,
-        );
+        run_server(&listen, config, data_dir, fsync, checkpoint_every);
     }
 }
 
 fn run_server(
     listen: &str,
-    max_conns: Option<usize>,
-    max_line: usize,
+    config: ServerConfig,
     data_dir: Option<String>,
     fsync: FsyncPolicy,
     checkpoint_every: Option<u64>,
@@ -149,10 +136,13 @@ fn run_server(
             }
         }
     };
-    let server = Server::spawn_with(listen, service, max_conns, max_line).unwrap_or_else(|e| {
+    let server = Server::spawn_config(listen, service, config).unwrap_or_else(|e| {
         eprintln!("cannot listen on {listen}: {e}");
         std::process::exit(1);
     });
+    // SIGTERM drains in-flight requests and flushes outboxes before
+    // exit (crash-path coverage keeps using SIGKILL).
+    server.enable_signal_shutdown();
     // Parseable by scripts that need the resolved port (`--listen :0`).
     println!("listening on {}", server.addr());
     if let Err(e) = server.join() {
@@ -166,6 +156,9 @@ fn run_client(addr: &str) {
         eprintln!("cannot connect to {addr}: {e}");
         std::process::exit(1);
     });
+    // Lockstep request/response over small writes is the worst case for
+    // Nagle + delayed ACK; disable it like the server does.
+    let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone().expect("clone stream");
     let mut responses = BufReader::new(stream);
     let stdin = std::io::stdin();
@@ -184,7 +177,7 @@ fn run_client(addr: &str) {
         }
         print!("{response}");
     }
-    // Close the session so `--max-conns` servers can wind down.
+    // Close the session so `--exit-after` servers can wind down.
     let _ = writer.write_all(b"{\"op\":\"quit\"}\n");
     let _ = writer.flush();
     let mut bye = String::new();
@@ -221,6 +214,13 @@ fn demo_engine() -> Engine {
 fn require_value(v: Option<String>, flag: &str) -> String {
     v.unwrap_or_else(|| {
         eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse_flag<T: std::str::FromStr>(v: Option<String>, flag: &str, what: &str) -> T {
+    require_value(v, flag).parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs {what}");
         std::process::exit(2);
     })
 }

@@ -12,7 +12,9 @@
 //!   unbuffered), [`ServiceError::UnknownRelation`] (a read against a
 //!   name no shard owns — carries the name),
 //!   [`ServiceError::BatchAlreadyOpen`] / [`ServiceError::NoBatchOpen`]
-//!   (session-mode misuse).
+//!   (session-mode misuse), [`ServiceError::ConnectionLimit`] (the
+//!   server is at `--max-conns`; the connection is rejected at accept
+//!   time — retry once capacity frees up).
 //! * **Engine rejections** — the request was well-formed but the data
 //!   said no: [`ServiceError::Engine`] wraps the typed
 //!   [`EngineError`] (constraint violation, not-a-view, contradictory
@@ -71,10 +73,18 @@ pub enum ServiceError {
         /// The configured cap, in bytes.
         limit: usize,
     },
+    /// The server is at its `--max-conns` live-connection limit: the
+    /// new connection was answered with this error and closed at accept
+    /// time (no session was created). Retry once existing connections
+    /// close.
+    ConnectionLimit {
+        /// The configured live-connection cap.
+        limit: usize,
+    },
     /// An internal synchronization primitive was poisoned by a panicking
     /// request (e.g. a group-commit epoch leader). The failing request
-    /// gets this typed error instead of propagating the panic to its
-    /// connection thread; shard data itself is recovered (see
+    /// gets this typed error instead of propagating the panic to the
+    /// worker serving it; shard data itself is recovered (see
     /// `locks.rs`).
     Poisoned(String),
     /// The durability subsystem failed: recovery could not read or
@@ -100,6 +110,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServiceError::RequestTooLarge { limit } => {
                 write!(f, "request exceeds the {limit}-byte line limit")
+            }
+            ServiceError::ConnectionLimit { limit } => {
+                write!(f, "server at its {limit}-connection limit; retry later")
             }
             ServiceError::Poisoned(what) => {
                 write!(f, "internal error: poisoned {what}")

@@ -56,6 +56,16 @@
 //!   drained, answered with a salvaged id when possible, and the
 //!   connection stays usable), plus an in-process [`LocalClient`]
 //!   speaking the identical protocol.
+//! * `reactor` / `conn` / `sys` *(internal)* — the serving
+//!   engine behind [`Server`]: a single epoll event-loop thread owning
+//!   every nonblocking socket (raw `epoll`/`eventfd` via a minimal FFI
+//!   shim — no `libc` dependency) plus a fixed worker pool executing
+//!   decoded requests **out of order across shards within one
+//!   connection** (same-session ops stay FIFO; see the ordering
+//!   contract in [`protocol`]). Connection count is decoupled from
+//!   thread count, outboxes are flushed on write readiness with
+//!   bounded-queue backpressure, `--max-conns` is enforced live at
+//!   accept time, and SIGTERM/[`Server::shutdown`] drain gracefully.
 //! * [`json`] — the minimal JSON tree the protocol and the committed
 //!   `BENCH_*.json` trajectory documents share (the offline `serde` stub
 //!   has no serializer).
@@ -63,25 +73,28 @@
 //! Lock poisoning: shard locks are recovered (`into_inner`) because the
 //! engine's mutation paths roll back on error; queue/result mutexes that
 //! a panic *can* leave inconsistent surface [`ServiceError::Poisoned`]
-//! instead of panicking the connection thread.
+//! instead of panicking the worker thread serving the request.
 //!
 //! [`LockId`]: locks::LockId
 
+mod conn;
 pub mod error;
 pub mod footprint;
 pub mod group_commit;
 pub mod json;
 pub mod locks;
 pub mod protocol;
+mod reactor;
 pub mod server;
 pub mod service;
 pub mod snapshot;
+mod sys;
 
 pub use error::{ServiceError, ServiceResult};
 pub use footprint::ShardMap;
 pub use json::Json;
 pub use locks::{LockId, LockManager};
 pub use protocol::{dispatch, Envelope, Request};
-pub use server::{LocalClient, Server};
+pub use server::{LocalClient, Server, ServerConfig};
 pub use service::{CommitOutcome, DurabilityConfig, ExecOutcome, Service, ServiceConfig, Session};
 pub use snapshot::{ServiceSnapshot, ShardSnapshot};

@@ -18,12 +18,35 @@
 //! Errors never close the connection (except transport failures):
 //! `{"ok":false,"error":"…"}`.
 //!
-//! **Pipelining:** a request may carry an `"id"` field (any JSON value);
-//! the server echoes it verbatim as `"id"` in the matching response —
-//! including error responses, whenever the id is salvageable from the
-//! malformed line — so a client may send many requests before reading
-//! any response and correlate the replies. Requests are processed in
-//! arrival order per connection. See [`Envelope`].
+//! **Pipelining and the ordering contract:** a request may carry an
+//! `"id"` field (any JSON value); the server echoes it verbatim as
+//! `"id"` in the matching response — including error responses,
+//! whenever the id is salvageable from the malformed line — so a client
+//! may send many requests before reading any response and correlate the
+//! replies. Since the epoll reactor (PR 7), responses are **not**
+//! guaranteed to arrive in submission order; the contract is:
+//!
+//! * **Session-stateful requests stay FIFO.** `begin`, `commit`,
+//!   `rollback`, and `execute` inside an open batch run one at a time,
+//!   in submission order, against the connection's session (see
+//!   [`Request::is_session_op`]).
+//! * **Independent requests may complete in any order.** `ping`,
+//!   `query`, `stats`, `checkpoint`, and autocommit `execute` (each its
+//!   own transaction) execute concurrently on a worker pool — a slow
+//!   query on one shard does not delay a fast query on another, even on
+//!   the same connection. A pipelining client that needs
+//!   read-your-writes must await the write's response before issuing
+//!   the read (or wrap both in a `begin`…`commit` batch, which is
+//!   FIFO).
+//! * **`quit` is a barrier.** Every previously accepted request on the
+//!   connection answers first; the `bye` is always the connection's
+//!   last response. Requests pipelined *after* a `quit` are dropped.
+//!
+//! Each response is still written atomically as one line, and every id
+//! is answered exactly once. Clients that await each response before
+//! sending the next (lockstep, like `birds-serve --connect`) observe no
+//! behavioral change; the wire format itself is identical. See
+//! [`Envelope`].
 //!
 //! Oversized request lines (beyond the server's `--max-line` cap,
 //! default 1 MiB) are rejected with `{"ok":false,"error":"request
@@ -35,7 +58,7 @@
 
 use crate::error::ServiceError;
 use crate::json::Json;
-use crate::service::{CommitOutcome, ExecOutcome, Session};
+use crate::service::{CommitOutcome, ExecOutcome, Service, Session};
 use birds_engine::ExecutionStats;
 use birds_store::{Tuple, Value};
 
@@ -114,6 +137,26 @@ impl Request {
             "checkpoint" => Ok(Request::Checkpoint),
             "quit" => Ok(Request::Quit),
             other => Err(ServiceError::Protocol(format!("unknown op '{other}'"))),
+        }
+    }
+
+    /// Whether this request must run on the connection's **session
+    /// lane** (FIFO, one at a time, against the session's state) rather
+    /// than fan out to the worker pool — the classification behind the
+    /// module-level ordering contract.
+    ///
+    /// `begin`/`commit`/`rollback` always touch session state.
+    /// `execute` does only while a batch is open (`in_batch` — the
+    /// transport tracks this at parse time: `begin` opens,
+    /// `commit`/`rollback` close, exactly mirroring [`Session`] since
+    /// those ops consume the batch even on error); an autocommit
+    /// `execute` is its own transaction and runs on the concurrent
+    /// stateless lane. Everything else reads global service state.
+    pub fn is_session_op(&self, in_batch: bool) -> bool {
+        match self {
+            Request::Begin | Request::Commit | Request::Rollback => true,
+            Request::Execute { .. } => in_batch,
+            _ => false,
         }
     }
 
@@ -388,38 +431,70 @@ pub fn dispatch(session: &mut Session, request: &Request) -> Json {
                 ),
             ])
         }),
-        Request::Stats => {
-            // Lock-free on purpose: view_names/relation_stats read the
-            // shards' published MVCC snapshots, so a stats call never
-            // waits on any shard's group commit.
-            let service = session.service();
-            let shards = service.shard_count();
-            let views: Vec<Json> = service.view_names().into_iter().map(Json::str).collect();
-            let relations: Vec<Json> = service
-                .relation_stats()
-                .into_iter()
-                .map(|(name, tuples)| {
-                    Json::Obj(vec![
-                        ("name".to_owned(), Json::str(name)),
-                        ("tuples".to_owned(), Json::Int(tuples as i64)),
-                    ])
-                })
-                .collect();
-            Ok(ok(vec![
-                ("commits".to_owned(), Json::Int(service.commits() as i64)),
-                ("pending".to_owned(), Json::Int(session.pending() as i64)),
-                ("shards".to_owned(), Json::Int(shards as i64)),
-                ("views".to_owned(), Json::Arr(views)),
-                ("relations".to_owned(), Json::Arr(relations)),
-            ]))
-        }
+        Request::Stats => Ok(stats_response(session.service(), session.pending())),
         Request::Checkpoint => session
             .service()
             .checkpoint()
             .map(|watermark| ok(vec![("watermark".to_owned(), Json::Int(watermark as i64))])),
-        Request::Quit => Ok(ok(vec![("bye".to_owned(), Json::Bool(true))])),
+        Request::Quit => Ok(quit_response()),
     };
     result.unwrap_or_else(|e| error_response(&e))
+}
+
+/// The `quit` acknowledgement — the connection's last response (the
+/// transport closes after writing it).
+pub(crate) fn quit_response() -> Json {
+    ok(vec![("bye".to_owned(), Json::Bool(true))])
+}
+
+/// The `stats` reply. Lock-free on purpose: `view_names` /
+/// `relation_stats` read the shards' published MVCC snapshots, so a
+/// stats call never waits on any shard's group commit. `pending` is the
+/// session's buffered-statement count, passed in by the caller — the
+/// reactor's stateless lane supplies a mirror maintained by session-lane
+/// workers rather than locking the session behind a slow commit.
+fn stats_response(service: &Service, pending: usize) -> Json {
+    let shards = service.shard_count();
+    let views: Vec<Json> = service.view_names().into_iter().map(Json::str).collect();
+    let relations: Vec<Json> = service
+        .relation_stats()
+        .into_iter()
+        .map(|(name, tuples)| {
+            Json::Obj(vec![
+                ("name".to_owned(), Json::str(name)),
+                ("tuples".to_owned(), Json::Int(tuples as i64)),
+            ])
+        })
+        .collect();
+    ok(vec![
+        ("commits".to_owned(), Json::Int(service.commits() as i64)),
+        ("pending".to_owned(), Json::Int(pending as i64)),
+        ("shards".to_owned(), Json::Int(shards as i64)),
+        ("views".to_owned(), Json::Arr(views)),
+        ("relations".to_owned(), Json::Arr(relations)),
+    ])
+}
+
+/// Serve a **stateless-lane** request (see [`Request::is_session_op`])
+/// without touching any connection's session: autocommit `execute`,
+/// `query`, `ping`, and `checkpoint` run through a scratch session —
+/// each autocommit script is its own transaction, so a scratch session
+/// is behaviorally identical to the connection's — while `stats` takes
+/// the caller-supplied `pending` mirror. Must not be called with
+/// session ops (`begin`/`commit`/`rollback`/in-batch `execute`); those
+/// would misbehave against a scratch session, so they report a protocol
+/// error instead.
+pub(crate) fn stateless_response(service: &Service, request: &Request, pending: usize) -> Json {
+    match request {
+        Request::Stats => stats_response(service, pending),
+        Request::Begin | Request::Commit | Request::Rollback => error_response(
+            &ServiceError::Protocol("session op routed to the stateless lane".into()),
+        ),
+        _ => {
+            let mut scratch = service.session();
+            dispatch(&mut scratch, request)
+        }
+    }
 }
 
 #[cfg(test)]

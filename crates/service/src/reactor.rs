@@ -1,0 +1,812 @@
+//! The epoll reactor: one event-loop thread owning every socket, plus a
+//! fixed worker pool executing decoded requests — the serving layer that
+//! decouples connection count from thread count.
+//!
+//! ## Structure
+//!
+//! * **Event loop** (this module's [`Reactor`]): a single thread blocked
+//!   in `epoll_wait` over the nonblocking listener, a wakeup eventfd,
+//!   and every live connection. It owns all connection state — sockets,
+//!   framers, outboxes, request lanes — so none of it needs locks.
+//! * **Worker pool**: `workers` threads popping decoded requests from a
+//!   shared queue, dispatching them against the service, and pushing the
+//!   response back through a completion list + eventfd wakeup. Workers
+//!   never touch sockets.
+//!
+//! ## Two-lane scheduling (the ordering contract)
+//!
+//! Requests decoded from one connection are classified at parse time:
+//!
+//! * **Session lane** — stateful ops (`begin`/`commit`/`rollback`
+//!   always; `execute` while a batch is open, tracked exactly at parse
+//!   time since `begin` opens and `commit`/`rollback` always close,
+//!   even on error). These stay FIFO: queued per connection, at most
+//!   one in flight, each run against the connection's own session.
+//! * **Stateless lane** — `ping`/`query`/`stats`/`checkpoint` and
+//!   autocommit `execute` (each its own transaction through the group
+//!   committer, via a scratch session). These fan out to the worker
+//!   pool immediately and may complete **in any order**, across shards
+//!   and across each other — the out-of-order pipelining this PR is
+//!   about. Responses echo the request `id`, so clients correlate.
+//!
+//! `quit` (and EOF) is a barrier: no further reads, every accepted
+//! request answers first, then (for `quit`) the bye goes out last and
+//! the connection closes.
+//!
+//! ## Backpressure
+//!
+//! The reactor stops *reading* from a connection whose outbox exceeds
+//! [`OUTBOX_HIGH_WATER`] bytes or whose accepted-but-unanswered load
+//! reaches [`MAX_INFLIGHT_PER_CONN`] — level-triggered epoll re-arms
+//! reads once responses drain, and TCP flow control propagates the
+//! stall to the sender. Memory per connection is thereby bounded by
+//! the line cap + the high water + one response in flight per lane.
+//!
+//! ## Shutdown
+//!
+//! A shutdown request (SIGTERM via [`crate::sys::SIGTERM_FLAG`], the
+//! in-process [`crate::Server::shutdown`], or the `--exit-after` count
+//! reaching zero live connections) drains gracefully: stop accepting,
+//! stop reading, let in-flight and queued requests answer, flush every
+//! outbox, then close. A deadline bounds the drain so a wedged request
+//! cannot hang process exit.
+
+use crate::conn::{Conn, ConnPhase, Frame};
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::protocol::{
+    dispatch, error_response, quit_response, salvage_id, stateless_response, with_id, Envelope,
+    Request,
+};
+use crate::server::ServerConfig;
+use crate::service::{Service, Session};
+use crate::sys::{Epoll, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Stop reading from a connection whose outbox holds this many bytes.
+pub const OUTBOX_HIGH_WATER: usize = 256 * 1024;
+/// Stop reading from a connection with this many unanswered requests.
+pub const MAX_INFLIGHT_PER_CONN: usize = 128;
+/// How long a graceful drain may take before remaining connections are
+/// closed forcibly (a wedged request must not hang process exit).
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKEUP: u64 = u64::MAX - 1;
+
+/// Which lane a job ran on (determines completion bookkeeping).
+#[derive(Clone, Copy)]
+enum Lane {
+    Session,
+    Stateless,
+}
+
+/// One decoded request handed to the worker pool.
+struct Job {
+    conn: usize,
+    generation: u32,
+    lane: Lane,
+    request: Request,
+    id: Option<Json>,
+    session: Arc<Mutex<Session>>,
+    pending_hint: Arc<AtomicUsize>,
+}
+
+/// A finished job's response, routed back to the reactor.
+struct Completion {
+    conn: usize,
+    generation: u32,
+    lane: Lane,
+    response: Json,
+}
+
+struct JobQueue {
+    queue: VecDeque<Job>,
+    closed: bool,
+}
+
+/// State shared between the reactor thread, the worker pool, and the
+/// [`crate::Server`] handle.
+pub(crate) struct Shared {
+    jobs: Mutex<JobQueue>,
+    available: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    wakeup: EventFd,
+    shutdown: AtomicBool,
+    /// Whether SIGTERM (via [`crate::sys::SIGTERM_FLAG`]) should shut
+    /// this server down — set by [`crate::Server::enable_signal_shutdown`].
+    signal_enabled: AtomicBool,
+}
+
+fn relock<T>(result: Result<T, PoisonError<T>>) -> T {
+    // Queue contents are plain data; a worker that panicked mid-pop
+    // cannot leave them inconsistent, so recover rather than cascade.
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    pub fn new() -> std::io::Result<Shared> {
+        Ok(Shared {
+            jobs: Mutex::new(JobQueue {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            wakeup: EventFd::new()?,
+            shutdown: AtomicBool::new(false),
+            signal_enabled: AtomicBool::new(false),
+        })
+    }
+
+    pub fn wakeup_fd(&self) -> std::os::fd::RawFd {
+        self.wakeup.raw_fd()
+    }
+
+    pub fn enable_signal_shutdown(&self) {
+        self.signal_enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Ask the reactor to drain and exit (idempotent, thread-safe).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wakeup.notify();
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+            || (self.signal_enabled.load(Ordering::SeqCst)
+                && crate::sys::SIGTERM_FLAG.load(Ordering::SeqCst))
+    }
+
+    fn push_job(&self, job: Job) {
+        relock(self.jobs.lock()).queue.push_back(job);
+        self.available.notify_one();
+    }
+
+    fn pop_job(&self) -> Option<Job> {
+        let mut jobs = relock(self.jobs.lock());
+        loop {
+            if let Some(job) = jobs.queue.pop_front() {
+                return Some(job);
+            }
+            if jobs.closed {
+                return None;
+            }
+            jobs = relock(self.available.wait(jobs));
+        }
+    }
+
+    fn close_jobs(&self) {
+        relock(self.jobs.lock()).closed = true;
+        self.available.notify_all();
+    }
+
+    fn complete(&self, completion: Completion) {
+        relock(self.completions.lock()).push(completion);
+        self.wakeup.notify();
+    }
+
+    fn take_completions(&self, into: &mut Vec<Completion>) {
+        std::mem::swap(&mut *relock(self.completions.lock()), into);
+    }
+}
+
+/// Worker thread body: pop, dispatch, complete, until the queue closes.
+fn worker_loop(service: Service, shared: Arc<Shared>) {
+    while let Some(job) = shared.pop_job() {
+        let response = execute_job(&service, &job);
+        shared.complete(Completion {
+            conn: job.conn,
+            generation: job.generation,
+            lane: job.lane,
+            response,
+        });
+    }
+}
+
+fn execute_job(service: &Service, job: &Job) -> Json {
+    let body = match job.lane {
+        Lane::Session => match job.session.lock() {
+            Ok(mut session) => {
+                let response = dispatch(&mut session, &job.request);
+                job.pending_hint.store(session.pending(), Ordering::Relaxed);
+                response
+            }
+            Err(_) => error_response(&ServiceError::Poisoned("session".into())),
+        },
+        Lane::Stateless => stateless_response(
+            service,
+            &job.request,
+            job.pending_hint.load(Ordering::Relaxed),
+        ),
+    };
+    with_id(body, job.id.clone())
+}
+
+/// What one nonblocking read attempt yielded.
+enum ReadStep {
+    Data(usize),
+    Eof,
+    Block,
+    Failed,
+}
+
+/// The event loop. Owns the listener, the epoll instance, and every
+/// connection; single-threaded by construction.
+struct Reactor {
+    epoll: Epoll,
+    listener: TcpListener,
+    service: Service,
+    shared: Arc<Shared>,
+    max_line: usize,
+    max_conns: Option<usize>,
+    exit_after: Option<usize>,
+    /// Connection slab: slot index is the low half of the epoll token.
+    conns: Vec<Option<Conn>>,
+    /// Per-slot generation (high half of the token): bumped on close so
+    /// stale events and late completions for a recycled slot are
+    /// recognized and dropped.
+    generations: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+    closed: usize,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+/// Run the serve loop: spawn the worker pool, run the reactor until it
+/// drains, then close the job queue and join the workers.
+pub(crate) fn serve(
+    listener: TcpListener,
+    service: Service,
+    config: ServerConfig,
+    workers: usize,
+    shared: Arc<Shared>,
+) -> std::io::Result<()> {
+    let mut pool = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let service = service.clone();
+        let shared = Arc::clone(&shared);
+        pool.push(
+            std::thread::Builder::new()
+                .name(format!("birds-worker-{i}"))
+                .spawn(move || worker_loop(service, shared))?,
+        );
+    }
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+    epoll.add(shared.wakeup_fd(), EPOLLIN, TOKEN_WAKEUP)?;
+    let reactor = Reactor {
+        epoll,
+        listener,
+        service,
+        shared: Arc::clone(&shared),
+        max_line: config.max_line,
+        max_conns: config.max_conns,
+        exit_after: config.exit_after,
+        conns: Vec::new(),
+        generations: Vec::new(),
+        free: Vec::new(),
+        live: 0,
+        closed: 0,
+        draining: false,
+        drain_deadline: None,
+    };
+    let result = reactor.run();
+    shared.close_jobs();
+    for handle in pool {
+        let _ = handle.join();
+    }
+    result
+}
+
+impl Reactor {
+    fn token(&self, idx: usize) -> u64 {
+        (u64::from(self.generations[idx]) << 32) | idx as u64
+    }
+
+    fn run(mut self) -> std::io::Result<()> {
+        let mut events = vec![crate::sys::EpollEvent::zeroed(); 1024];
+        let mut scratch = vec![0u8; 64 * 1024];
+        let mut completions: Vec<Completion> = Vec::new();
+        loop {
+            // While draining, poll with a short timeout so the deadline
+            // and reap checks run even if no fd turns ready.
+            let timeout = if self.draining { 50 } else { -1 };
+            let ready = self.epoll.wait(&mut events, timeout)?;
+            for event in &events[..ready] {
+                let (bits, token) = (event.events, event.data);
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKEUP => self.shared.wakeup.drain(),
+                    token => self.conn_event(token, bits, &mut scratch),
+                }
+            }
+            self.drain_completions(&mut completions);
+            if !self.draining
+                && (self.shared.shutdown_requested()
+                    || self.exit_after.is_some_and(|n| self.closed >= n))
+            {
+                self.begin_drain();
+            }
+            if self.draining {
+                self.reap_drained();
+                if self.live == 0 {
+                    return Ok(());
+                }
+                if self.drain_deadline.is_some_and(|d| Instant::now() >= d) {
+                    // Deadline: force-close whatever is left.
+                    for idx in 0..self.conns.len() {
+                        self.close_conn(idx);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    // ---- accept path ----------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining {
+                        continue; // dropped: no longer accepting
+                    }
+                    match self.max_conns {
+                        Some(limit) if self.live >= limit => reject(stream, limit),
+                        _ => self.register(stream),
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // Transient (client reset mid-handshake, fd
+                    // pressure): skip the connection, keep serving.
+                    eprintln!("[birds-serve] accept failed (connection skipped): {e}");
+                    break;
+                }
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        if configure_stream(&stream).is_err() {
+            return; // peer already gone
+        }
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.generations.push(0);
+            self.conns.len() - 1
+        });
+        let mut conn = Conn::new(stream, self.service.session(), self.max_line);
+        let interest = EPOLLIN | EPOLLRDHUP;
+        if self
+            .epoll
+            .add(conn.stream.as_raw_fd(), interest, self.token(idx))
+            .is_err()
+        {
+            self.free.push(idx);
+            return;
+        }
+        conn.interest = interest;
+        self.conns[idx] = Some(conn);
+        self.live += 1;
+    }
+
+    // ---- connection events ----------------------------------------
+
+    fn conn_event(&mut self, token: u64, bits: u32, scratch: &mut [u8]) {
+        let idx = (token & u64::from(u32::MAX)) as usize;
+        let generation = (token >> 32) as u32;
+        if idx >= self.conns.len() || self.generations[idx] != generation {
+            return; // stale event for a recycled slot
+        }
+        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close_conn(idx);
+            return;
+        }
+        if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+            self.read_ready(idx, scratch);
+        }
+        if self.conns[idx].is_some() && bits & EPOLLOUT != 0 {
+            self.flush(idx);
+        }
+        if self.conns[idx].is_some() {
+            self.settle(idx);
+        }
+        if self.conns[idx].is_some() {
+            self.update_interest(idx);
+        }
+    }
+
+    fn read_ready(&mut self, idx: usize, scratch: &mut [u8]) {
+        loop {
+            let step = {
+                let Some(conn) = self.conns[idx].as_mut() else {
+                    return;
+                };
+                if !matches!(conn.phase, ConnPhase::Open)
+                    || conn.outbox.len() >= OUTBOX_HIGH_WATER
+                    || conn.load() >= MAX_INFLIGHT_PER_CONN
+                {
+                    // Backpressure (or a quit barrier): leave unread
+                    // bytes in the kernel buffer; level-triggered epoll
+                    // re-reports them once reads re-arm.
+                    ReadStep::Block
+                } else {
+                    loop {
+                        match conn.stream.read(scratch) {
+                            Ok(0) => break ReadStep::Eof,
+                            Ok(n) => break ReadStep::Data(n),
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => break ReadStep::Block,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                            Err(_) => break ReadStep::Failed,
+                        }
+                    }
+                }
+            };
+            match step {
+                ReadStep::Data(n) => {
+                    let mut frames = Vec::new();
+                    let conn = self.conns[idx].as_mut().expect("checked above");
+                    conn.framer.feed(&scratch[..n], &mut frames);
+                    self.process_frames(idx, frames);
+                    if self.conns[idx].is_none() {
+                        return;
+                    }
+                }
+                ReadStep::Eof => {
+                    let mut frames = Vec::new();
+                    let conn = self.conns[idx].as_mut().expect("checked above");
+                    // A dangling unterminated tail still counts as a line.
+                    if let Some(tail) = conn.framer.finish() {
+                        frames.push(tail);
+                    }
+                    self.process_frames(idx, frames);
+                    if let Some(conn) = self.conns[idx].as_mut() {
+                        if matches!(conn.phase, ConnPhase::Open) {
+                            conn.phase = ConnPhase::HalfClosed;
+                        }
+                    }
+                    return;
+                }
+                ReadStep::Block => return,
+                ReadStep::Failed => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn process_frames(&mut self, idx: usize, frames: Vec<Frame>) {
+        for frame in frames {
+            let Some(conn) = self.conns[idx].as_ref() else {
+                return;
+            };
+            if !matches!(conn.phase, ConnPhase::Open) {
+                // `quit` is a barrier: anything pipelined after it on
+                // this connection is dropped, like the blocking server
+                // closing mid-stream.
+                return;
+            }
+            match frame {
+                Frame::TooLong { prefix } => {
+                    // The tail was discarded unread, but the retained
+                    // prefix usually carries the request's id — salvage
+                    // it so a pipelining client can correlate.
+                    let id = salvage_id(&prefix);
+                    let response = with_id(
+                        error_response(&ServiceError::RequestTooLarge {
+                            limit: self.max_line,
+                        }),
+                        id,
+                    );
+                    self.send(idx, &response);
+                }
+                Frame::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match Envelope::parse(&line) {
+                        Ok(Envelope { id, request }) => self.submit(idx, request, id),
+                        Err((id, e)) => {
+                            let response = with_id(error_response(&e), id);
+                            self.send(idx, &response);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Route one decoded request onto its lane.
+    fn submit(&mut self, idx: usize, request: Request, id: Option<Json>) {
+        let generation = self.generations[idx];
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        if request == Request::Quit {
+            conn.phase = ConnPhase::Quitting {
+                id,
+                bye_queued: false,
+            };
+            return; // settle() queues the bye once in-flight work answers
+        }
+        if request.is_session_op(conn.in_batch_parsed) {
+            match request {
+                Request::Begin => conn.in_batch_parsed = true,
+                Request::Commit | Request::Rollback => conn.in_batch_parsed = false,
+                _ => {}
+            }
+            conn.session_queue.push_back((request, id));
+            self.pump_session(idx);
+        } else {
+            conn.stateless_in_flight += 1;
+            let job = Job {
+                conn: idx,
+                generation,
+                lane: Lane::Stateless,
+                request,
+                id,
+                session: Arc::clone(&conn.session),
+                pending_hint: Arc::clone(&conn.pending_hint),
+            };
+            self.shared.push_job(job);
+        }
+    }
+
+    /// Submit the next session-lane request if none is in flight —
+    /// same-session FIFO, one at a time.
+    fn pump_session(&mut self, idx: usize) {
+        let generation = self.generations[idx];
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        if conn.session_in_flight {
+            return;
+        }
+        let Some((request, id)) = conn.session_queue.pop_front() else {
+            return;
+        };
+        conn.session_in_flight = true;
+        let job = Job {
+            conn: idx,
+            generation,
+            lane: Lane::Session,
+            request,
+            id,
+            session: Arc::clone(&conn.session),
+            pending_hint: Arc::clone(&conn.pending_hint),
+        };
+        self.shared.push_job(job);
+    }
+
+    // ---- write path -----------------------------------------------
+
+    /// Queue one response line and flush what the socket accepts.
+    fn send(&mut self, idx: usize, response: &Json) {
+        {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            let line = response.to_compact();
+            conn.outbox.extend(line.as_bytes().iter().copied());
+            conn.outbox.push_back(b'\n');
+        }
+        self.flush(idx);
+    }
+
+    fn flush(&mut self, idx: usize) {
+        let mut failed = false;
+        {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            while !conn.outbox.is_empty() {
+                let n = match conn.stream.write(conn.outbox.as_slices().0) {
+                    Ok(0) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                };
+                conn.outbox.drain(..n);
+            }
+        }
+        if failed {
+            self.close_conn(idx);
+        }
+    }
+
+    // ---- completions ----------------------------------------------
+
+    fn drain_completions(&mut self, buffer: &mut Vec<Completion>) {
+        self.shared.take_completions(buffer);
+        for completion in buffer.drain(..) {
+            let idx = completion.conn;
+            if idx >= self.conns.len() || self.generations[idx] != completion.generation {
+                continue; // connection closed while the job ran
+            }
+            {
+                let Some(conn) = self.conns[idx].as_mut() else {
+                    continue;
+                };
+                match completion.lane {
+                    Lane::Session => conn.session_in_flight = false,
+                    Lane::Stateless => conn.stateless_in_flight -= 1,
+                }
+            }
+            self.send(idx, &completion.response);
+            if self.conns[idx].is_none() {
+                continue;
+            }
+            self.pump_session(idx);
+            self.settle(idx);
+            if self.conns[idx].is_some() {
+                self.update_interest(idx);
+            }
+        }
+    }
+
+    // ---- lifecycle ------------------------------------------------
+
+    /// Progress a connection's lifecycle: queue the bye once a quitting
+    /// connection has answered everything, close once drained.
+    fn settle(&mut self, idx: usize) {
+        let mut bye: Option<Option<Json>> = None;
+        {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            let load = conn.load();
+            if let ConnPhase::Quitting { id, bye_queued } = &mut conn.phase {
+                if !*bye_queued && load == 0 {
+                    *bye_queued = true;
+                    bye = Some(id.take());
+                }
+            }
+        }
+        if let Some(id) = bye {
+            let response = with_id(quit_response(), id);
+            self.send(idx, &response);
+        }
+        let close = match self.conns[idx].as_ref() {
+            None => return,
+            Some(conn) => {
+                let idle = conn.load() == 0 && conn.outbox.is_empty();
+                match &conn.phase {
+                    // An Open connection only closes early under a
+                    // server-wide drain; otherwise it is just idle.
+                    ConnPhase::Open => self.draining && idle,
+                    ConnPhase::Quitting { bye_queued, .. } => *bye_queued && idle,
+                    ConnPhase::HalfClosed => idle,
+                }
+            }
+        };
+        if close {
+            self.close_conn(idx);
+        }
+    }
+
+    fn update_interest(&mut self, idx: usize) {
+        let token = self.token(idx);
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        let reading = matches!(conn.phase, ConnPhase::Open)
+            && !self.draining
+            && conn.outbox.len() < OUTBOX_HIGH_WATER
+            && conn.load() < MAX_INFLIGHT_PER_CONN;
+        let mut want = 0;
+        if reading {
+            want |= EPOLLIN | EPOLLRDHUP;
+        }
+        if !conn.outbox.is_empty() {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest
+            && self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), want, token)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].take() else {
+            return;
+        };
+        let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        self.generations[idx] = self.generations[idx].wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+        self.closed += 1;
+        // Dropping `conn` closes the socket; any in-flight jobs finish
+        // on the workers and their completions fail the generation
+        // check.
+    }
+
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + DRAIN_DEADLINE);
+        let _ = self.epoll.delete(self.listener.as_raw_fd());
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].is_some() {
+                self.update_interest(idx); // disarm reads
+            }
+        }
+    }
+
+    /// One drain sweep: flush, settle, close whatever has finished.
+    fn reap_drained(&mut self) {
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].is_some() {
+                self.flush(idx);
+            }
+            if self.conns[idx].is_some() {
+                self.settle(idx);
+            }
+        }
+    }
+}
+
+/// Per-socket options for an accepted connection: nonblocking (the
+/// reactor must never stall on one peer) and `TCP_NODELAY` (line-
+/// delimited request/response over Nagle costs a delayed-ACK round
+/// trip — up to ~40 ms — per small pipelined write).
+pub(crate) fn configure_stream(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(true)?;
+    stream.set_nodelay(true)?;
+    Ok(())
+}
+
+/// Accept-time rejection when `--max-conns` live connections exist:
+/// answer with the typed error, then close. The socket is still
+/// blocking here (fresh from `accept`, empty send buffer), so the one
+/// small write cannot stall the reactor.
+fn reject(mut stream: TcpStream, limit: usize) {
+    let response = error_response(&ServiceError::ConnectionLimit { limit });
+    let _ = stream.set_nodelay(true);
+    let _ = stream.write_all(response.to_compact().as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configure_stream_sets_nodelay_and_nonblocking() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        assert!(
+            !accepted.nodelay().unwrap(),
+            "accept(2) default is Nagle on"
+        );
+        configure_stream(&accepted).unwrap();
+        assert!(accepted.nodelay().unwrap(), "reactor disables Nagle");
+        // Nonblocking: a read with no data must not hang.
+        let mut buf = [0u8; 8];
+        let err = (&accepted).read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WouldBlock);
+    }
+}
