@@ -27,7 +27,14 @@
 //!    idle, fresh-vs-fresh — the lock-free-reads claim as a number
 //!    (gated on p50; p99 reported, since tail latency on an
 //!    oversubscribed runner measures the scheduler, not the locks).
-//! 5. **Connection scaling** (with `--connection-gate`): fresh
+//! 5. **Range pushdown** (with `--range-gate`): two checks. A *static*
+//!    one — the committed `range_guard` section of the figure6 baseline
+//!    must record a ≥3× speedup at 1M rows for a ≤10%-selectivity
+//!    guard (the PR's headline number stays in the trajectory). And a
+//!    *fresh* one — the 1%-selectivity point re-measured at a CI-sized
+//!    table, ordered-index plans vs hash-only plans, fresh-vs-fresh on
+//!    the same machine; fails when the speedup falls below `--factor`.
+//! 6. **Connection scaling** (with `--connection-gate`): fresh
 //!    active-subset query latency through a `birds-serve` child under
 //!    2 000 idle connections versus an empty server, fresh-vs-fresh.
 //!    Gated on the active p50 ratio, the child's thread count
@@ -51,6 +58,7 @@
 use birds_benchmarks::connection::connection_scaling;
 use birds_benchmarks::emit::write_atomic;
 use birds_benchmarks::figure6::{sweep, to_json, Figure6View};
+use birds_benchmarks::range_guard;
 use birds_benchmarks::throughput::{
     disjoint_scaling, durability_batched_sweep, read_interference_sweep, DurabilityPoint,
 };
@@ -68,6 +76,7 @@ fn main() {
     let mut durability_gate = false;
     let mut read_interference_gate = false;
     let mut connection_gate = false;
+    let mut range_gate = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,6 +84,7 @@ fn main() {
             "--durability-gate" => durability_gate = true,
             "--read-interference-gate" => read_interference_gate = true,
             "--connection-gate" => connection_gate = true,
+            "--range-gate" => range_gate = true,
             "--view" => view_name = require_value(args.next(), "--view"),
             "--sizes" => {
                 sizes = parse_usize_list(&require_value(args.next(), "--sizes"), "--sizes")
@@ -182,6 +192,12 @@ fn main() {
 
     if read_interference_gate {
         let (rr, rc) = interference_gate(factor);
+        regressions += rr;
+        compared += rc;
+    }
+
+    if range_gate {
+        let (rr, rc) = range_pushdown_gate(&baseline, factor);
         regressions += rr;
         compared += rc;
     }
@@ -402,6 +418,88 @@ fn interference_gate(factor: f64) -> (usize, usize) {
         us(loaded.locked_p50) / us(idle.locked_p50).max(1e-9)
     );
     (usize::from(regressed), 1)
+}
+
+/// Range-pushdown gate (`--range-gate`). Static half: the committed
+/// figure6 baseline's `range_guard` section must carry a run at ≥1M
+/// rows with a ≤10%-selectivity point that recorded a ≥3× speedup —
+/// the ordered-index claim stays on the record. (Only the most
+/// selective point is expected to clear 3×: the putback pipeline's
+/// shared per-matching-tuple work dilutes the ratio as selectivity
+/// grows — that scaling story is exactly what the sweep documents.)
+/// Fresh half: the 1%-selectivity point re-measured at a CI-sized
+/// table, range-index plans versus hash-only plans. Fresh-vs-fresh on
+/// the same machine, so the ratio isolates the plan shape from machine
+/// variance; fails below `factor`. Returns `(regressions, compared)`.
+fn range_pushdown_gate(baseline: &Json, factor: f64) -> (usize, usize) {
+    const COMMITTED_MIN_ROWS: i64 = 1_000_000;
+    const COMMITTED_MIN_SPEEDUP: f64 = 3.0;
+    const FRESH_ROWS: usize = 200_000;
+    const FRESH_PCT: u32 = 1;
+    let mut regressions = 0usize;
+
+    // Static: the committed trajectory must keep the headline number.
+    println!(
+        "\ngate: committed range_guard run at >= {COMMITTED_MIN_ROWS} rows must show \
+         >= {COMMITTED_MIN_SPEEDUP}x for a guard keeping <= 10%"
+    );
+    let committed_ok = baseline
+        .get("range_guard")
+        .and_then(|s| s.get("runs"))
+        .and_then(Json::as_arr)
+        .is_some_and(|runs| {
+            runs.iter().rev().any(|run| {
+                let big_enough = run
+                    .get("base_size")
+                    .and_then(Json::as_i64)
+                    .is_some_and(|n| n >= COMMITTED_MIN_ROWS);
+                let points = run.get("points").and_then(Json::as_arr).unwrap_or(&[]);
+                let selective: Vec<&Json> = points
+                    .iter()
+                    .filter(|p| {
+                        p.get("selectivity_pct")
+                            .and_then(Json::as_i64)
+                            .is_some_and(|pct| pct <= 10)
+                    })
+                    .collect();
+                big_enough
+                    && selective.iter().any(|p| {
+                        p.get("speedup")
+                            .and_then(Json::as_f64)
+                            .is_some_and(|s| s >= COMMITTED_MIN_SPEEDUP)
+                    })
+            })
+        });
+    if committed_ok {
+        println!("      committed section OK");
+    } else {
+        regressions += 1;
+        println!("      << REGRESSION: no qualifying committed range_guard run");
+    }
+
+    // Fresh: the plan-shape ratio on this machine, CI-sized.
+    println!(
+        "gate: fresh range-index vs hash-only at {FRESH_ROWS} rows, \
+         {FRESH_PCT}% selectivity"
+    );
+    let hash_only = range_guard::measure(FRESH_ROWS, FRESH_PCT, false);
+    let range_index = range_guard::measure(FRESH_ROWS, FRESH_PCT, true);
+    let speedup = hash_only.as_secs_f64() / range_index.as_secs_f64().max(1e-9);
+    let fresh_regressed = speedup < factor;
+    regressions += usize::from(fresh_regressed);
+    println!(
+        "{:>12} {:>15.3} {:>17.3} {:>7.2}x{}",
+        format!("{FRESH_PCT}%"),
+        hash_only.as_secs_f64() * 1e3,
+        range_index.as_secs_f64() * 1e3,
+        speedup,
+        if fresh_regressed {
+            "  << REGRESSION: range pushdown no longer pays"
+        } else {
+            ""
+        }
+    );
+    (regressions, 2)
 }
 
 /// Connection-scaling gate (`--connection-gate`): measure the active

@@ -15,14 +15,23 @@
 //! <path>` overrides the output path. The file is written atomically
 //! (temp file + rename), so a crash or concurrent reader never sees a
 //! torn document.
+//!
+//! `--range-guard <size>` additionally runs the range-guard selectivity
+//! sweep (1%/10%/50% selective comparison guards, hash-only plans vs
+//! ordered-index range scans) at the given base size and records it in
+//! the document's `"range_guard"` section.
 
 use birds_benchmarks::emit::write_atomic;
 use birds_benchmarks::figure6::{sweep, to_json, upsert_run, Figure6View};
+use birds_benchmarks::range_guard;
+
+const RANGE_GUARD_PCTS: [u32; 3] = [1, 10, 50];
 
 fn main() {
     let mut emit_json = false;
     let mut label: Option<String> = None;
     let mut out_path = String::from("BENCH_figure6.json");
+    let mut range_guard_size: Option<usize> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -30,6 +39,16 @@ fn main() {
             "--emit-json" => emit_json = true,
             "--label" => label = Some(require_value(args.next(), "--label")),
             "--out" => out_path = require_value(args.next(), "--out"),
+            "--range-guard" => {
+                range_guard_size = Some(
+                    require_value(args.next(), "--range-guard")
+                        .parse()
+                        .unwrap_or_else(|_| {
+                            eprintln!("--range-guard needs a base size (tuples)");
+                            std::process::exit(2);
+                        }),
+                )
+            }
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag '{flag}'");
                 std::process::exit(2);
@@ -82,13 +101,34 @@ fn main() {
         results.push((view, points));
     }
 
+    let range_points = range_guard_size.map(|n| {
+        println!("== range_guard (base size {n}) ==");
+        println!(
+            "{:>12} {:>10} {:>15} {:>17} {:>8}",
+            "selectivity", "threshold", "hash-only (ms)", "range-index (ms)", "speedup"
+        );
+        let points = range_guard::sweep(n, &RANGE_GUARD_PCTS);
+        for p in &points {
+            println!(
+                "{:>11}% {:>10} {:>15.2} {:>17.2} {:>7.1}x",
+                p.selectivity_pct,
+                p.threshold,
+                p.hash_only.as_secs_f64() * 1e3,
+                p.range_index.as_secs_f64() * 1e3,
+                p.speedup()
+            );
+        }
+        println!();
+        (n, points)
+    });
+
     if emit_json {
         let label = label.unwrap_or_else(|| "current".to_owned());
         // Merge into an existing trajectory file (the committed baseline
         // holds runs that cannot be regenerated; a run with the same
         // label is replaced); start a fresh document otherwise. An
         // existing file this writer doesn't recognize is left untouched.
-        let json = match std::fs::read_to_string(&out_path) {
+        let mut json = match std::fs::read_to_string(&out_path) {
             Ok(existing) => match upsert_run(&existing, &label, &results) {
                 Some(merged) => merged,
                 None => {
@@ -108,6 +148,10 @@ fn main() {
                 std::process::exit(1);
             }
         };
+        if let Some((n, points)) = &range_points {
+            json = range_guard::upsert_run(&json, &label, *n, points)
+                .expect("document was just validated/emitted as figure6");
+        }
         write_atomic(&out_path, &json).expect("write benchmark JSON");
         println!("wrote {out_path}");
     }

@@ -37,9 +37,11 @@ pub mod corpus;
 pub mod datagen;
 pub mod emit;
 pub mod figure6;
+pub mod range_guard;
 pub mod table1;
 pub mod throughput;
 
 pub use corpus::{entries, entry, CorpusEntry, RelSpec, SourceKind};
 pub use figure6::{Figure6Point, Figure6View};
+pub use range_guard::RangeGuardPoint;
 pub use table1::{run_table1, Table1Row};

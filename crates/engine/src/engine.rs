@@ -110,6 +110,14 @@ impl Engine {
         self.plan_cache.clear();
     }
 
+    /// Enable or disable range pushdown for plans compiled from now on
+    /// (enabled by default). Toggling drops already-compiled plans —
+    /// they embed the old setting. Used by benchmarks to measure the
+    /// hash-only baseline.
+    pub fn set_range_pushdown(&mut self, on: bool) {
+        self.plan_cache.set_range_pushdown(on);
+    }
+
     /// The dependency footprint of a registered view (see
     /// [`ViewFootprint`]); `None` for unknown names.
     pub fn view_footprint(&self, name: &str) -> Option<&ViewFootprint> {
@@ -386,6 +394,9 @@ impl Engine {
             .relation_mut(name)
             .ok_or_else(|| EngineError::NotAView(name.to_owned()))?;
         target.replace_all(tuples)?;
+        // Refreshes follow direct base-table mutation, which can change
+        // relation sizes wholesale; cached join orders are stale.
+        self.clear_plan_cache();
         Ok(())
     }
 
@@ -1443,5 +1454,32 @@ mod tests {
             engine.plan_cache().misses(),
             engine.plan_cache().len() as u64
         );
+    }
+
+    #[test]
+    fn refresh_view_drops_stale_plans() {
+        // refresh_view follows direct base-table mutation; join orders
+        // planned against the old sizes must not survive it.
+        let mut engine = union_engine(StrategyMode::Incremental);
+        engine.execute("INSERT INTO v VALUES (3);").unwrap();
+        assert!(!engine.plan_cache().is_empty());
+        engine.refresh_view("v").unwrap();
+        assert!(engine.plan_cache().is_empty());
+    }
+
+    #[test]
+    fn range_pushdown_toggle_drops_plans() {
+        let mut engine = union_engine(StrategyMode::Incremental);
+        engine.execute("INSERT INTO v VALUES (3);").unwrap();
+        assert!(!engine.plan_cache().is_empty());
+        engine.set_range_pushdown(false);
+        assert!(engine.plan_cache().is_empty(), "setting changed");
+        engine.set_range_pushdown(false);
+        engine.execute("INSERT INTO v VALUES (5);").unwrap();
+        let planned = engine.plan_cache().len();
+        engine.set_range_pushdown(false); // same value: plans survive
+        assert_eq!(engine.plan_cache().len(), planned);
+        // The engine still computes the same results either way.
+        assert!(engine.relation("v").unwrap().contains(&tuple![5]));
     }
 }

@@ -123,6 +123,43 @@ impl<'a> EvalContext<'a> {
         Ok(()) // unknown relations are reported later by the evaluator
     }
 
+    /// Ensure an ordered index over `col` exists on the named relation —
+    /// the range-scan analogue of [`EvalContext::ensure_index`], with one
+    /// difference: overlay relations (view deltas, updated views, IDB
+    /// strata) are per-evaluation temporaries, so building a tree over
+    /// one would cost more than the single scan it replaces. Range
+    /// probes against an overlay find no ordered index and take the
+    /// evaluator's residual-filter fallback instead — same results,
+    /// no per-update O(n log n) index build.
+    pub fn ensure_ordered_index(&mut self, name: &str, col: usize) -> StoreResult<()> {
+        if self.overlay.contains_key(name) {
+            return Ok(());
+        }
+        if let Some(rel) = self.base.relation_mut(name) {
+            return rel.ensure_ordered_index(col);
+        }
+        Ok(()) // unknown relations are reported later by the evaluator
+    }
+
+    /// Is range pushdown enabled for plans compiled through this
+    /// context's cache?
+    pub fn range_pushdown(&self) -> bool {
+        match &self.plans {
+            Plans::Owned(c) => c.range_pushdown(),
+            Plans::Shared(c) => c.range_pushdown(),
+        }
+    }
+
+    /// Distinct-key count of an existing index over `col` on the named
+    /// relation (the planner's selectivity input); `None` when the
+    /// relation is unknown or the column has no index yet.
+    pub fn relation_ndv(&self, name: &str, col: usize) -> Option<usize> {
+        self.overlay
+            .get(name)
+            .or_else(|| self.base.relation(name))
+            .and_then(|rel| rel.distinct_keys(&[col]))
+    }
+
     /// Remove and return an overlay relation.
     pub fn take_overlay(&mut self, name: &str) -> Option<Relation> {
         self.overlay.remove(name)

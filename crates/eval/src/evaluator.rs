@@ -8,10 +8,11 @@
 
 use crate::context::EvalContext;
 use crate::error::{EvalError, EvalResult};
-use crate::plan::{AtomStep, HeadTerm, RulePlan, SlotTerm, StepOp};
-use birds_datalog::{check_nonrecursive, stratify, Head, PredRef, Program, Rule};
+use crate::plan::{AtomStep, HeadTerm, RangeGuard, RulePlan, SlotTerm, StepOp};
+use birds_datalog::{check_nonrecursive, stratify, CmpOp, Head, PredRef, Program, Rule};
 use birds_store::{FxHashSet, Relation, Tuple, Value};
 use std::collections::{BTreeMap, HashSet};
+use std::ops::Bound;
 
 /// The IDB relations produced by a program run.
 #[derive(Debug, Default)]
@@ -162,6 +163,9 @@ fn eval_rule(
     for (name, cols) in &plan.index_requests {
         ctx.ensure_index(name, cols)?;
     }
+    for (name, col) in &plan.ordered_requests {
+        ctx.ensure_ordered_index(name, *col)?;
+    }
     let mut frame: Vec<Option<Value>> = vec![None; plan.nslots];
     // One probe-key scratch buffer for the whole rule execution: filled,
     // consumed by the store call, and cleared at every atom step instead
@@ -241,6 +245,55 @@ fn atom_exists(
     rel.probe(&a.probe_cols, scratch).next().is_some()
 }
 
+/// Fold resolved range guards into one interval over the guarded
+/// column. Returns `None` when the bounds don't all share one sort —
+/// the caller must fall back to per-tuple filtering so the cross-sort
+/// comparison surfaces as the runtime error it is.
+fn guard_interval(resolved: &[(CmpOp, Value)]) -> Option<(Bound<Value>, Bound<Value>)> {
+    let mut lo: Bound<Value> = Bound::Unbounded;
+    let mut hi: Bound<Value> = Bound::Unbounded;
+    for &(op, v) in resolved {
+        match op {
+            CmpOp::Gt => tighten(&mut lo, Bound::Excluded(v), true)?,
+            CmpOp::Ge => tighten(&mut lo, Bound::Included(v), true)?,
+            CmpOp::Lt => tighten(&mut hi, Bound::Excluded(v), false)?,
+            CmpOp::Le => tighten(&mut hi, Bound::Included(v), false)?,
+            CmpOp::Eq => unreachable!("range guards are order comparisons"),
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Keep the stricter of `cur` and a finite `new` bound: the greater
+/// lower bound / smaller upper bound, with exclusion winning value
+/// ties. `None` on a cross-sort pair.
+fn tighten(cur: &mut Bound<Value>, new: Bound<Value>, lower: bool) -> Option<()> {
+    let (Bound::Included(n) | Bound::Excluded(n)) = new else {
+        unreachable!("guards always carry a finite bound")
+    };
+    match &*cur {
+        Bound::Unbounded => *cur = new,
+        Bound::Included(c) | Bound::Excluded(c) => match c.same_sort_cmp(&n)? {
+            std::cmp::Ordering::Less => {
+                if lower {
+                    *cur = new;
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                if !lower {
+                    *cur = new;
+                }
+            }
+            std::cmp::Ordering::Equal => {
+                if matches!(new, Bound::Excluded(_)) {
+                    *cur = new;
+                }
+            }
+        },
+    }
+    Some(())
+}
+
 /// Recursive execution of plan steps. Returns `Ok(true)` to continue
 /// enumerating derivations, `Ok(false)` once the sink asks to stop.
 #[allow(clippy::too_many_arguments)]
@@ -280,6 +333,76 @@ fn step(
                 }
                 if !step(rule, plan, idx + 1, ctx, frame, scratch, sink)? {
                     return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        StepOp::RangeScan {
+            atom: a,
+            col,
+            guards,
+        } => {
+            let rel = ctx
+                .relation(&a.rel)
+                .ok_or_else(|| EvalError::UnknownRelation(a.rel.clone()))?;
+            // Bounds resolve once per activation (they are constants or
+            // slots bound before this scan).
+            let resolved: Vec<(CmpOp, Value)> = guards
+                .iter()
+                .map(|g: &RangeGuard| (g.op, resolve(&g.bound, frame)))
+                .collect();
+            let range = guard_interval(&resolved).and_then(|(lo, hi)| {
+                // `range_probe` answers only from a sort-homogeneous
+                // ordered index matching the bounds' sort; anything else
+                // is `None` and takes the filter fallback below.
+                rel.range_probe(*col, lo, hi)
+            });
+            if let Some(matches) = range {
+                // Index path: every yielded tuple satisfies all guards
+                // by construction, and no comparison can sort-error
+                // (column and bounds share one sort).
+                'range: for tuple in matches {
+                    for &(c, slot) in &a.bind {
+                        frame[slot] = Some(tuple[c]);
+                    }
+                    for &(c, slot) in &a.check {
+                        if frame[slot] != Some(tuple[c]) {
+                            continue 'range;
+                        }
+                    }
+                    if !step(rule, plan, idx + 1, ctx, frame, scratch, sink)? {
+                        return Ok(false);
+                    }
+                }
+            } else {
+                // Filter fallback: scan, then apply the guards per tuple
+                // after the intra-atom checks, in guard order — exactly
+                // the residual Compare steps of the un-pushed plan,
+                // including their cross-sort errors.
+                'scan: for tuple in rel.iter() {
+                    for &(c, slot) in &a.bind {
+                        frame[slot] = Some(tuple[c]);
+                    }
+                    for &(c, slot) in &a.check {
+                        if frame[slot] != Some(tuple[c]) {
+                            continue 'scan;
+                        }
+                    }
+                    for &(op, bound) in &resolved {
+                        let cv = tuple[*col];
+                        let res = op
+                            .eval(&cv, &bound)
+                            .ok_or_else(|| EvalError::SortMismatch {
+                                rule: rule.to_string(),
+                                detail: format!("{cv} {} {bound}", op.symbol()),
+                            })?;
+                        if !res {
+                            continue 'scan;
+                        }
+                    }
+                    if !step(rule, plan, idx + 1, ctx, frame, scratch, sink)? {
+                        return Ok(false);
+                    }
                 }
             }
             Ok(true)
@@ -575,5 +698,105 @@ mod tests {
         let o = out.relation(&PredRef::plain("o")).unwrap();
         assert_eq!(o.len(), 1);
         assert!(o.contains(&tuple!["X"]));
+    }
+
+    #[test]
+    fn range_scan_honors_boundary_ties() {
+        // >= and <= must include the bound value itself; > and < must not.
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r", 1, (0..10_i64).map(|i| tuple![i])).unwrap())
+            .unwrap();
+        let program = parse_program(
+            "
+            ge(X) :- r(X), X >= 7.
+            gt(X) :- r(X), X > 7.
+            le(X) :- r(X), X <= 2.
+            lt(X) :- r(X), X < 2.
+            band(X) :- r(X), X >= 3, X <= 5.
+            ",
+        )
+        .unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        let lens: Vec<usize> = ["ge", "gt", "le", "lt", "band"]
+            .iter()
+            .map(|n| out.relation(&PredRef::plain(*n)).unwrap().len())
+            .collect();
+        assert_eq!(lens, vec![3, 2, 3, 2, 3]);
+        assert!(out
+            .relation(&PredRef::plain("ge"))
+            .unwrap()
+            .contains(&tuple![7]));
+        assert!(!out
+            .relation(&PredRef::plain("gt"))
+            .unwrap()
+            .contains(&tuple![7]));
+        assert!(out
+            .relation(&PredRef::plain("band"))
+            .unwrap()
+            .contains(&tuple![3]));
+        assert!(out
+            .relation(&PredRef::plain("band"))
+            .unwrap()
+            .contains(&tuple![5]));
+    }
+
+    #[test]
+    fn range_scan_string_order_matches_filter() {
+        // ISO dates are interned strings; the ordered index must agree
+        // with lexicographic comparison, bounds included.
+        let mut db = Database::new();
+        db.add_relation(
+            Relation::with_tuples(
+                "p",
+                1,
+                vec![
+                    tuple!["1961-12-31"],
+                    tuple!["1962-01-01"],
+                    tuple!["1962-07-15"],
+                    tuple!["1962-12-31"],
+                    tuple!["1963-01-01"],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let program =
+            parse_program("y62(B) :- p(B), B >= '1962-01-01', not B > '1962-12-31'.").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        let r = out.relation(&PredRef::plain("y62")).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&tuple!["1962-01-01"]) && r.contains(&tuple!["1962-12-31"]));
+    }
+
+    #[test]
+    fn range_scan_over_mixed_sort_column_still_errors() {
+        // A column holding both ints and strings can't use the ordered
+        // index; the fallback filter must reproduce the reference
+        // cross-sort error instead of silently skipping tuples.
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r", 1, vec![tuple![1], tuple!["abc"]]).unwrap())
+            .unwrap();
+        let program = parse_program("h(X) :- r(X), X > 5.").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        assert!(matches!(
+            evaluate_program(&program, &mut ctx),
+            Err(EvalError::SortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn range_scan_matches_filter_on_empty_interval() {
+        // Contradictory guards compile to an empty interval, which must
+        // not panic (BTreeMap::range rejects inverted ranges) and must
+        // yield nothing, like the reference filter would.
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r", 1, (0..10_i64).map(|i| tuple![i])).unwrap())
+            .unwrap();
+        let program = parse_program("h(X) :- r(X), X > 5, X < 3.").unwrap();
+        let mut ctx = EvalContext::new(&mut db);
+        let out = evaluate_program(&program, &mut ctx).unwrap();
+        assert!(out.relation(&PredRef::plain("h")).unwrap().is_empty());
     }
 }

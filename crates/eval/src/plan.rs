@@ -21,8 +21,25 @@
 //! session and re-executed from its compiled form on every subsequent
 //! update.
 //!
-//! Planning also records which `(relation, columns)` hash indexes the
-//! execution will probe so the evaluator can build them up front.
+//! ## Range pushdown
+//!
+//! A full-relation `Scan` followed by a comparison filter over one of
+//! the scan's freshly-bound variables (`big(I, P), P > 1000`) is the
+//! classic selection cliff: `O(|big|)` per activation no matter how
+//! selective the guard is. When the scanned relation can carry an
+//! ordered index, the planner absorbs such guards *into* the scan and
+//! compiles a [`StepOp::RangeScan`] instead: the evaluator range-probes
+//! an ordered index and touches only the matching tuples, falling back
+//! to scan-and-filter when the column turns out to be mixed-type at run
+//! time (preserving cross-sort comparison errors exactly). Absorption
+//! takes the maximal *prefix* of the ready-to-place literals that are
+//! eligible guards on one column — stopping at the first placeable
+//! non-guard literal — so the per-tuple evaluation order (and therefore
+//! error behaviour) is identical to the un-pushed plan.
+//!
+//! Planning also records which `(relation, columns)` hash indexes and
+//! `(relation, column)` ordered indexes the execution will probe so the
+//! evaluator can build them up front.
 
 use crate::context::EvalContext;
 use crate::error::{EvalError, EvalResult};
@@ -37,6 +54,9 @@ pub enum StepKind {
     /// Positive atom that binds at least one new variable: iterate probe
     /// results.
     Join,
+    /// Positive atom driven by an ordered-index range probe, with one or
+    /// more comparison guards folded into the scan.
+    RangeJoin,
     /// Positive atom whose non-anonymous variables are all bound:
     /// existence check.
     ExistsCheck,
@@ -97,6 +117,27 @@ pub struct AtomStep {
     pub arity: usize,
 }
 
+/// One comparison guard absorbed into a [`StepOp::RangeScan`]: the
+/// scanned column must satisfy `column ⟨op⟩ bound`.
+///
+/// Guards are stored **normalized**: `op` is one of `Lt`/`Le`/`Gt`/`Ge`
+/// with the scanned column always on the left and never negated (the
+/// planner rewrites `not P < k` to `P >= k` and flips sides as needed),
+/// so the evaluator folds them into a half-open interval without
+/// re-deriving orientation. Guard order is the order the residual
+/// `Compare` steps would have run in, which the filter fallback relies
+/// on to reproduce cross-sort errors exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeGuard {
+    /// Normalized comparison (`Lt`, `Le`, `Gt` or `Ge`).
+    pub op: CmpOp,
+    /// The bound: a constant or a slot bound before the scan.
+    pub bound: SlotTerm,
+    /// Index into `rule.body` of the comparison literal this guard
+    /// covers (the literal gets no step of its own).
+    pub literal: usize,
+}
+
 /// The operation a step performs, with all operands slot-resolved. The
 /// execution mode is part of the variant, so a plan cannot pair an atom
 /// payload with a builtin mode (or vice versa) — there is no defensive
@@ -106,6 +147,21 @@ pub enum StepOp {
     /// Positive atom that binds at least one new variable: iterate probe
     /// results (`Join`).
     Scan(AtomStep),
+    /// Full-relation scan with comparison guards pushed into it
+    /// (`RangeJoin`): the evaluator range-probes an ordered index on
+    /// `col` when the column is sort-homogeneous, and otherwise scans
+    /// and applies the guards per tuple (after the atom's intra-atom
+    /// checks, in guard order). The guards' body literals are covered by
+    /// this step — they get no residual `Compare`.
+    RangeScan {
+        /// The compiled atom (always `probe_cols.is_empty()` — pushdown
+        /// only replaces full scans).
+        atom: AtomStep,
+        /// The guarded column of the atom.
+        col: usize,
+        /// Absorbed guards, in residual-evaluation order.
+        guards: Vec<RangeGuard>,
+    },
     /// Atom with every named variable bound: (non-)existence probe
     /// (`ExistsCheck` / `NegCheck`).
     Check {
@@ -148,6 +204,7 @@ impl Step {
     pub fn kind(&self) -> StepKind {
         match &self.op {
             StepOp::Scan(_) => StepKind::Join,
+            StepOp::RangeScan { .. } => StepKind::RangeJoin,
             StepOp::Check { negated: false, .. } => StepKind::ExistsCheck,
             StepOp::Check { negated: true, .. } => StepKind::NegCheck,
             StepOp::Compare { .. } => StepKind::Filter,
@@ -168,15 +225,20 @@ impl Step {
 /// A complete compiled plan for one rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RulePlan {
-    /// Ordered steps covering every body literal exactly once.
+    /// Ordered steps covering every body literal exactly once — a
+    /// [`StepOp::RangeScan`] covers its atom literal *and* each absorbed
+    /// comparison literal.
     pub steps: Vec<Step>,
     /// Compiled head template; `None` for `⊥` heads (constraints emit a
     /// nullary witness).
     pub head: Option<Vec<HeadTerm>>,
     /// Number of register slots the frame needs.
     pub nslots: usize,
-    /// `(relation flat name, columns)` indexes the plan will probe.
+    /// `(relation flat name, columns)` hash indexes the plan will probe.
     pub index_requests: Vec<(String, Vec<usize>)>,
+    /// `(relation flat name, column)` ordered indexes the plan's range
+    /// scans will probe.
+    pub ordered_requests: Vec<(String, usize)>,
 }
 
 /// A cache of compiled [`RulePlan`]s keyed by rule identity (structural
@@ -191,17 +253,47 @@ pub struct RulePlan {
 /// The cache is `Clone` (plans are `Arc`-shared, so cloning is shallow):
 /// when an engine is split into footprint shards, each shard starts from
 /// a clone of the session cache and keeps every warm-up plan.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct PlanCache {
     plans: HashMap<Rule, Arc<RulePlan>>,
     hits: u64,
     misses: u64,
+    /// Whether newly compiled plans may push comparison guards into
+    /// range scans (on by default; benchmarks flip it off to measure
+    /// the hash-only baseline).
+    range_pushdown: bool,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            plans: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            range_pushdown: true,
+        }
+    }
 }
 
 impl PlanCache {
     /// Empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Is range pushdown enabled for plans compiled through this cache?
+    pub fn range_pushdown(&self) -> bool {
+        self.range_pushdown
+    }
+
+    /// Enable or disable range pushdown. Changing the setting drops every
+    /// compiled plan — cached plans embed the decision, so a stale plan
+    /// would silently keep the old behaviour.
+    pub fn set_range_pushdown(&mut self, on: bool) {
+        if self.range_pushdown != on {
+            self.plans.clear();
+        }
+        self.range_pushdown = on;
     }
 
     /// Number of distinct rules with a compiled plan.
@@ -351,6 +443,124 @@ fn compile_atom(atom: &Atom, probe_cols: Vec<usize>, slots: &mut SlotMap, join: 
     }
 }
 
+/// Swap the sides of a comparison (`a < b` ⇔ `b > a`).
+fn swap_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+    }
+}
+
+/// The complement of a comparison (`not (a < b)` ⇔ `a >= b`). Only
+/// defined for the four order operators.
+fn negate_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Eq => unreachable!("equality guards are not range guards"),
+    }
+}
+
+/// Would phase 1 place this literal right now (all operands bound)?
+/// Mirrors the phase-1 readiness tests: atoms with every named variable
+/// bound, builtins with both sides resolvable, and grounding equalities
+/// (which bind a fresh slot, so absorption must stop at them).
+fn placeable(lit: &Literal, slots: &SlotMap) -> bool {
+    match lit {
+        Literal::Atom { atom, .. } => atom.terms.iter().all(|t| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => t.is_anonymous() || slots.get(v).is_some(),
+        }),
+        Literal::Builtin {
+            op, left, right, ..
+        } => {
+            let l = slot_term(left, slots);
+            let r = slot_term(right, slots);
+            l.is_some() && r.is_some() || (*op == CmpOp::Eq && (l.is_some() || r.is_some()))
+        }
+    }
+}
+
+/// Try to absorb comparison guards into a freshly compiled full scan.
+///
+/// Walks `remaining` in order — the order phase 1 would place the now
+/// ready literals in — and takes the maximal prefix of *placeable*
+/// literals that are eligible guards on a single freshly-bound column:
+/// a non-negated or negated order comparison with one side bound by this
+/// scan and the other side a constant or earlier-bound slot. The walk
+/// stops at the first placeable literal that is anything else, so the
+/// residual per-tuple evaluation order is untouched. Absorbed literals
+/// are removed from `remaining`. Returns `None` when no guard is
+/// absorbable.
+fn absorb_range_guards(
+    rule: &Rule,
+    compiled: &AtomStep,
+    remaining: &mut Vec<usize>,
+    slots: &SlotMap,
+) -> Option<(usize, Vec<RangeGuard>)> {
+    let fresh_col_of = |term: &SlotTerm| -> Option<usize> {
+        let SlotTerm::Slot(s) = term else { return None };
+        compiled
+            .bind
+            .iter()
+            .find(|&&(_, slot)| slot == *s)
+            .map(|&(col, _)| col)
+    };
+    let is_fresh = |term: &SlotTerm| fresh_col_of(term).is_some();
+    let mut chosen: Option<usize> = None;
+    let mut guards = Vec::new();
+    let mut i = 0;
+    while i < remaining.len() {
+        let li = remaining[i];
+        let lit = &rule.body[li];
+        if !placeable(lit, slots) {
+            i += 1;
+            continue;
+        }
+        let Literal::Builtin {
+            op,
+            left,
+            right,
+            negated,
+        } = lit
+        else {
+            break; // a ready check would run before later guards
+        };
+        let (Some(l), Some(r)) = (slot_term(left, slots), slot_term(right, slots)) else {
+            break; // a grounding equality binds a slot: stop
+        };
+        if *op == CmpOp::Eq {
+            break; // (in)equality filter, not a range guard
+        }
+        // Orient the guard as `column ⟨op⟩ bound`; exactly one side must
+        // be bound by this scan.
+        let (col, op, bound) = match (fresh_col_of(&l), is_fresh(&r)) {
+            (Some(col), false) => (col, *op, r),
+            (None, true) => match fresh_col_of(&r) {
+                Some(col) => (col, swap_cmp(*op), l),
+                None => break,
+            },
+            _ => break, // both fresh (X < Y) or neither: leave as Compare
+        };
+        if *chosen.get_or_insert(col) != col {
+            break; // guards on a second column stay residual Compares
+        }
+        let op = if *negated { negate_cmp(op) } else { op };
+        guards.push(RangeGuard {
+            op,
+            bound,
+            literal: li,
+        });
+        remaining.remove(i);
+    }
+    chosen.map(|col| (col, guards))
+}
+
 /// Plan a rule against the current context (relation sizes drive the
 /// greedy choice; all body relations must already exist).
 pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
@@ -358,6 +568,7 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
     let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
     let mut steps: Vec<Step> = Vec::with_capacity(rule.body.len());
     let mut index_requests = Vec::new();
+    let mut ordered_requests: Vec<(String, usize)> = Vec::new();
 
     let push_atom_step = |literal: usize,
                           op: StepOp,
@@ -453,8 +664,16 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
             break;
         }
 
-        // Phase 2: choose the next positive atom to join.
-        let mut best: Option<(usize, usize, usize, usize)> = None; // (pos in remaining, li, bound count, size)
+        // Phase 2: choose the next positive atom to join. Candidates are
+        // ranked by (indexable, estimated cardinality, bound positions,
+        // raw size): a bound position means the scan becomes an index
+        // probe, and the *estimated* cardinality refines raw relation
+        // size by the selectivity of those probes — size divided by the
+        // distinct-key count of each bound column's existing index
+        // (columns without an index contribute no refinement, so before
+        // any index exists the ranking degenerates to the old
+        // size-driven order).
+        let mut best: Option<(usize, usize, usize, usize, usize)> = None; // (pos, li, nbound, est, size)
         for (pos, &li) in remaining.iter().enumerate() {
             if let Literal::Atom {
                 atom,
@@ -465,24 +684,41 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
                 let size = ctx
                     .relation_len(&flat)
                     .ok_or_else(|| EvalError::UnknownRelation(flat.clone()))?;
-                let nbound = bound_positions(&atom.terms, &slots).len();
+                let bound = bound_positions(&atom.terms, &slots);
+                let nbound = bound.len();
+                let mut est = size;
+                for &c in &bound {
+                    if let Some(refined) = ctx
+                        .relation_ndv(&flat, c)
+                        .and_then(|ndv| est.checked_div(ndv))
+                    {
+                        est = refined.max(1);
+                    }
+                }
                 let better = match best {
                     None => true,
-                    Some((_, _, best_bound, best_size)) => {
-                        // Prefer: at least one bound position (indexable),
-                        // then smaller relation, then more bound positions.
+                    Some((_, _, best_bound, best_est, best_size)) => {
                         let cand_indexed = nbound > 0;
                         let best_indexed = best_bound > 0;
-                        (cand_indexed, std::cmp::Reverse(size), nbound)
-                            > (best_indexed, std::cmp::Reverse(best_size), best_bound)
+                        (
+                            cand_indexed,
+                            std::cmp::Reverse(est),
+                            nbound,
+                            std::cmp::Reverse(size),
+                        ) > (
+                            best_indexed,
+                            std::cmp::Reverse(best_est),
+                            best_bound,
+                            std::cmp::Reverse(best_size),
+                        )
                     }
                 };
                 if better {
-                    best = Some((pos, li, nbound, size));
+                    best = Some((pos, li, nbound, est, size));
                 }
             }
         }
-        let Some((pos, li, _, _)) = best else {
+        let Some((pos, li, _, _, _)) = best else {
             // Only negated atoms / builtins with unbound variables remain.
             let lit = &rule.body[remaining[0]];
             let var = lit
@@ -501,8 +737,28 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
         };
         let cols = bound_positions(&atom.terms, &slots);
         let compiled = compile_atom(atom, cols, &mut slots, true);
-        push_atom_step(li, StepOp::Scan(compiled), &mut steps, &mut index_requests);
         remaining.remove(pos);
+        // Range pushdown: a full scan whose fresh variables feed
+        // now-ready comparison guards becomes a RangeScan (partial
+        // probes are already O(bucket); only full scans have the
+        // selection cliff worth absorbing).
+        if ctx.range_pushdown() && compiled.probe_cols.is_empty() {
+            if let Some((col, guards)) =
+                absorb_range_guards(rule, &compiled, &mut remaining, &slots)
+            {
+                ordered_requests.push((compiled.rel.clone(), col));
+                steps.push(Step {
+                    literal: li,
+                    op: StepOp::RangeScan {
+                        atom: compiled,
+                        col,
+                        guards,
+                    },
+                });
+                continue;
+            }
+        }
+        push_atom_step(li, StepOp::Scan(compiled), &mut steps, &mut index_requests);
     }
 
     // Compile the head template against the final slot assignment.
@@ -527,6 +783,7 @@ pub fn plan_rule(rule: &Rule, ctx: &EvalContext) -> EvalResult<RulePlan> {
         head,
         nslots: slots.len(),
         index_requests,
+        ordered_requests,
     })
 }
 
@@ -652,6 +909,143 @@ mod tests {
         let rule = parse_rule("h(X) :- r(X, 7).").unwrap();
         let plan = plan_rule(&rule, &ctx).unwrap();
         assert_eq!(plan.steps[0].probe_cols(), &[1]);
+    }
+
+    #[test]
+    fn comparison_guard_compiles_to_range_scan() {
+        let mut db = db_sizes(&[("items", 2, 100)]);
+        let ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(I) :- items(I, P), P > 50.").unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
+        assert_eq!(plan.steps.len(), 1, "the Compare is elided");
+        assert_eq!(plan.steps[0].kind(), StepKind::RangeJoin);
+        let StepOp::RangeScan { col, guards, .. } = &plan.steps[0].op else {
+            panic!("range scan expected");
+        };
+        assert_eq!(*col, 1);
+        assert_eq!(guards.len(), 1);
+        assert_eq!(guards[0].op, CmpOp::Gt);
+        assert_eq!(guards[0].literal, 1);
+        assert!(matches!(guards[0].bound, SlotTerm::Const(_)));
+        assert_eq!(plan.ordered_requests, vec![("items".to_string(), 1)]);
+        assert!(plan.index_requests.is_empty());
+    }
+
+    #[test]
+    fn negated_and_swapped_guards_normalize() {
+        let mut db = db_sizes(&[("items", 2, 100)]);
+        let ctx = ctx_with(&mut db);
+        // `not P > 50` is `P <= 50`; `10 < P` is `P > 10`.
+        let rule = parse_rule("h(I) :- items(I, P), not P > 50, 10 < P.").unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
+        assert_eq!(plan.steps.len(), 1, "both guards absorbed");
+        let StepOp::RangeScan { guards, .. } = &plan.steps[0].op else {
+            panic!("range scan expected");
+        };
+        assert_eq!(
+            guards.iter().map(|g| g.op).collect::<Vec<_>>(),
+            vec![CmpOp::Le, CmpOp::Gt]
+        );
+    }
+
+    #[test]
+    fn absorption_stops_at_a_ready_check() {
+        // `not s(X)` becomes placeable as soon as the scan binds X and
+        // would run *before* the guard; absorbing the guard past it
+        // would reorder per-tuple evaluation, so pushdown must not fire.
+        let mut db = db_sizes(&[("r", 1, 10), ("s", 1, 10)]);
+        let ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(X) :- r(X), not s(X), X > 5.").unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
+        assert_eq!(
+            plan.steps.iter().map(Step::kind).collect::<Vec<_>>(),
+            vec![StepKind::Join, StepKind::NegCheck, StepKind::Filter]
+        );
+        assert!(plan.ordered_requests.is_empty());
+    }
+
+    #[test]
+    fn guard_against_earlier_bound_slot_is_absorbed() {
+        let mut db = db_sizes(&[("r", 1, 2), ("s", 1, 100)]);
+        let ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(X, Y) :- r(X), s(Y), Y > X.").unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
+        assert_eq!(plan.steps.len(), 2);
+        let StepOp::RangeScan { guards, .. } = &plan.steps[1].op else {
+            panic!("second scan absorbs the guard, got {:?}", plan.steps[1].op);
+        };
+        assert!(matches!(guards[0].bound, SlotTerm::Slot(_)));
+    }
+
+    #[test]
+    fn guard_on_second_column_stays_residual() {
+        let mut db = db_sizes(&[("r", 2, 100)]);
+        let ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(A, B) :- r(A, B), A > 1, B > 2.").unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
+        let StepOp::RangeScan { col, guards, .. } = &plan.steps[0].op else {
+            panic!("range scan expected");
+        };
+        assert_eq!((*col, guards.len()), (0, 1));
+        assert_eq!(plan.steps[1].kind(), StepKind::Filter);
+    }
+
+    #[test]
+    fn both_sides_fresh_is_not_a_guard() {
+        let mut db = db_sizes(&[("r", 2, 100)]);
+        let ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(A, B) :- r(A, B), A < B.").unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
+        assert_eq!(
+            plan.steps.iter().map(Step::kind).collect::<Vec<_>>(),
+            vec![StepKind::Join, StepKind::Filter]
+        );
+    }
+
+    #[test]
+    fn pushdown_can_be_disabled() {
+        let mut db = db_sizes(&[("items", 2, 100)]);
+        let mut cache = PlanCache::new();
+        cache.set_range_pushdown(false);
+        let mut ctx = EvalContext::with_plan_cache(&mut db, &mut cache);
+        let rule = parse_rule("h(I) :- items(I, P), P > 50.").unwrap();
+        let plan = ctx.plan_for(&rule).unwrap();
+        assert_eq!(
+            plan.steps.iter().map(Step::kind).collect::<Vec<_>>(),
+            vec![StepKind::Join, StepKind::Filter],
+            "hash-only baseline keeps the scan+filter shape"
+        );
+        assert!(plan.ordered_requests.is_empty());
+    }
+
+    #[test]
+    fn toggling_pushdown_drops_compiled_plans() {
+        let mut cache = PlanCache::new();
+        let mut db = db_sizes(&[("r", 2, 50)]);
+        let rule = parse_rule("h(X) :- r(X, 7).").unwrap();
+        {
+            let mut ctx = EvalContext::with_plan_cache(&mut db, &mut cache);
+            ctx.plan_for(&rule).unwrap();
+        }
+        assert_eq!(cache.len(), 1);
+        cache.set_range_pushdown(false);
+        assert!(cache.is_empty(), "stale plans embed the old setting");
+        cache.set_range_pushdown(false); // no-op: same setting
+    }
+
+    #[test]
+    fn selectivity_estimate_prefers_the_more_selective_probe() {
+        // Both `big` and `mid` are probed on a bound column. `big` has
+        // 400 tuples but a unique-key index (est 1); `mid` has 100
+        // tuples and no index (est 100). Raw size ordering would join
+        // `mid` first; the ndv-refined estimate must pick `big`.
+        let mut db = db_sizes(&[("k", 1, 2), ("big", 2, 400), ("mid", 2, 100)]);
+        db.relation_mut("big").unwrap().ensure_index(&[0]).unwrap();
+        let ctx = ctx_with(&mut db);
+        let rule = parse_rule("h(X) :- k(X), big(X, A), mid(X, B).").unwrap();
+        let plan = plan_rule(&rule, &ctx).unwrap();
+        let order: Vec<usize> = plan.steps.iter().map(|s| s.literal).collect();
+        assert_eq!(order, vec![0, 1, 2], "k, then big (est 1), then mid");
     }
 
     #[test]

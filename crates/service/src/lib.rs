@@ -96,5 +96,7 @@ pub use json::Json;
 pub use locks::{LockId, LockManager};
 pub use protocol::{dispatch, Envelope, Request};
 pub use server::{LocalClient, Server, ServerConfig};
-pub use service::{CommitOutcome, DurabilityConfig, ExecOutcome, Service, ServiceConfig, Session};
+pub use service::{
+    CommitOutcome, DurabilityConfig, ExecOutcome, RelationStats, Service, ServiceConfig, Session,
+};
 pub use snapshot::{ServiceSnapshot, ShardSnapshot};

@@ -459,10 +459,15 @@ fn stats_response(service: &Service, pending: usize) -> Json {
     let relations: Vec<Json> = service
         .relation_stats()
         .into_iter()
-        .map(|(name, tuples)| {
+        .map(|stats| {
             Json::Obj(vec![
-                ("name".to_owned(), Json::str(name)),
-                ("tuples".to_owned(), Json::Int(tuples as i64)),
+                ("name".to_owned(), Json::str(stats.name)),
+                ("tuples".to_owned(), Json::Int(stats.tuples as i64)),
+                ("index_hits".to_owned(), Json::Int(stats.index_hits as i64)),
+                (
+                    "index_misses".to_owned(),
+                    Json::Int(stats.index_misses as i64),
+                ),
             ])
         })
         .collect();

@@ -318,6 +318,10 @@ mod tests {
         assert!(applied.contains("\"applied\": true"), "{applied}");
         let stats = send(r#"{"op":"stats"}"#);
         assert!(stats.contains("\"commits\": 1"), "{stats}");
+        assert!(
+            stats.contains("\"index_hits\"") && stats.contains("\"index_misses\""),
+            "per-relation probe counters missing: {stats}"
+        );
         assert!(send("garbage").contains("\"ok\": false"));
         assert!(send(r#"{"op":"quit"}"#).contains("\"bye\": true"));
 

@@ -112,6 +112,22 @@ impl DurabilityConfig {
     }
 }
 
+/// One relation's statistics as of its last published snapshot: tuple
+/// count plus cumulative index probe counters (see
+/// [`Service::relation_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationStats {
+    /// Relation name.
+    pub name: String,
+    /// Tuple count at the snapshot's commit boundary.
+    pub tuples: usize,
+    /// Probes served by a secondary index (hash or ordered).
+    pub index_hits: u64,
+    /// Probes that fell back to a full scan — a climbing value means
+    /// the planner requested an index the relation never built.
+    pub index_misses: u64,
+}
+
 /// The durable half of a running service: one segment writer per shard
 /// (same indexing as the lock manager) plus checkpoint bookkeeping.
 struct WalState {
@@ -298,6 +314,10 @@ impl Service {
                     }
                 }
                 start_seq = recovery.max_seq;
+                // Replay can grow relations far past the sizes the
+                // snapshot restore planned against; drop those plans so
+                // the first post-recovery evaluation sees real sizes.
+                engine.clear_plan_cache();
                 Some(d)
             }
         };
@@ -479,16 +499,24 @@ impl Service {
         self.snapshot().view_names()
     }
 
-    /// `(name, tuple count)` of every relation, in name order — from
-    /// the published snapshots, no shard lock taken. The counts are a
-    /// consistent cut (see [`Service::snapshot`]).
-    pub fn relation_stats(&self) -> Vec<(String, usize)> {
+    /// Statistics for every relation, in name order — from the
+    /// published snapshots, no shard lock taken. The counts are a
+    /// consistent cut (see [`Service::snapshot`]); the index hit/miss
+    /// counters are cumulative as of each relation's last publication,
+    /// so a climbing miss count flags a probe path that fell back to a
+    /// full scan (planner/registration drift) instead of failing silently.
+    pub fn relation_stats(&self) -> Vec<RelationStats> {
         let snapshot = self.snapshot();
-        let mut stats: Vec<(String, usize)> = snapshot
+        let mut stats: Vec<RelationStats> = snapshot
             .relations()
-            .map(|rel| (rel.name().to_owned(), rel.len()))
+            .map(|rel| RelationStats {
+                name: rel.name().to_owned(),
+                tuples: rel.len(),
+                index_hits: rel.index_hits(),
+                index_misses: rel.index_misses(),
+            })
             .collect();
-        stats.sort();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
         stats
     }
 

@@ -325,7 +325,27 @@ fn view_names_and_relation_stats_walk_shards_without_a_barrier() {
     let service = Service::new(disjoint_engine(2));
     assert_eq!(service.view_names(), vec!["v0".to_owned(), "v1".to_owned()]);
     let stats = service.relation_stats();
-    let names: Vec<&str> = stats.iter().map(|(n, _)| n.as_str()).collect();
+    let names: Vec<&str> = stats.iter().map(|s| s.name.as_str()).collect();
     assert_eq!(names, vec!["a0", "a1", "b0", "b1", "v0", "v1", "zfree"]);
-    assert!(stats.iter().all(|(_, count)| *count >= 1));
+    assert!(stats.iter().all(|s| s.tuples >= 1));
+}
+
+#[test]
+fn relation_stats_surface_index_probe_counters() {
+    // An incremental update probes source relations through their
+    // registration-time indexes; the published snapshot must carry the
+    // cumulative hit counters, and none of the probes may have fallen
+    // back to a full scan (that would mean the planner requested an
+    // index nothing built — the drift these counters exist to expose).
+    let service = Service::new(disjoint_engine(1));
+    let mut session = service.session();
+    session.execute("INSERT INTO v0 VALUES (7);").unwrap();
+    session.execute("DELETE FROM v0 WHERE a = 1;").unwrap();
+    let stats = service.relation_stats();
+    let hits: u64 = stats.iter().map(|s| s.index_hits).sum();
+    assert!(hits > 0, "no probe was served by an index: {stats:?}");
+    assert!(
+        stats.iter().all(|s| s.index_misses == 0),
+        "silent scan fallback: {stats:?}"
+    );
 }

@@ -33,11 +33,38 @@
 //! Published versions never observe in-progress mutations. Secondary
 //! indexes are *not* part of a version — they are an evaluator-side
 //! acceleration structure and stay owned by the live relation.
+//!
+//! ## Index kinds
+//!
+//! Two kinds of secondary index are maintained, both incrementally:
+//!
+//! - **Hash indexes** over arbitrary column subsets
+//!   ([`Relation::ensure_index`] / [`Relation::probe`]) serve equality
+//!   probes in `O(1)`.
+//! - **Ordered indexes** over single columns
+//!   ([`Relation::ensure_ordered_index`] / [`Relation::range_probe`]) —
+//!   a `BTreeMap<Value, set>` per column — serve *range* probes
+//!   (`col < k`, `col >= k`, …) in `O(log n + matches)`. They are the
+//!   substitute for the B-tree indexes the paper's PostgreSQL setup
+//!   leans on for comparison guards. `Value`'s total order is sort-major
+//!   (Int < Float < Str < Bool), so a range probe is only answered when
+//!   the indexed column is homogeneous in the bound's sort — mixed-type
+//!   columns make [`Relation::range_probe`] return `None` and the caller
+//!   falls back to a scan-and-filter, preserving comparison semantics
+//!   (cross-sort comparisons are runtime errors upstream).
+//!
+//! Probes count **hits** (served by an index) and **misses** (fell back
+//! to a linear scan); see [`Relation::index_hits`]. The counters make
+//! planner/registration drift — a plan probing a column nobody indexed —
+//! observable instead of a silent O(n) cliff.
 
 use crate::error::{StoreError, StoreResult};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A relation instance: a named finite set of same-arity tuples.
@@ -53,11 +80,27 @@ pub struct Relation {
     /// Secondary hash indexes keyed by column subset. Maintained under all
     /// mutations. `Vec<usize>` keys are sorted, deduplicated column lists.
     indexes: FxHashMap<Vec<usize>, FxHashMap<Vec<Value>, FxHashSet<Tuple>>>,
+    /// Ordered (B-tree) indexes keyed by single column, for range probes.
+    /// Maintained under all mutations, exactly like the hash indexes.
+    ordered: FxHashMap<usize, BTreeMap<Value, FxHashSet<Tuple>>>,
+    /// Probe hit/miss counters (shared so `&self` probes can count).
+    stats: Arc<IndexCounters>,
     /// Left-right publication state: `None` until the first
     /// [`Relation::version`] call (no logging cost for never-versioned
     /// relations, e.g. evaluator delta overlays). Boxed — it is two
     /// pointers of payload on the always-allocated path otherwise.
     versions: Option<Box<VersionBuffers>>,
+}
+
+/// Probe accounting: how often this relation's probes were served by an
+/// index versus falling back to a linear scan. Interior-mutable
+/// (`&self` probes count) and `Arc`-shared so clones of a relation keep
+/// feeding the same counters. Relaxed ordering: the counters are
+/// diagnostics, not synchronization.
+#[derive(Debug, Default)]
+struct IndexCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 /// One effective mutation, replayed into a shadow buffer at publication
@@ -158,6 +201,11 @@ pub struct RelationVersion {
     name: String,
     arity: usize,
     tuples: Arc<FxHashSet<Tuple>>,
+    /// Cumulative index probe hits of the source relation, as of
+    /// publication (see [`Relation::index_hits`]).
+    index_hits: u64,
+    /// Cumulative scan-fallback probe misses, as of publication.
+    index_misses: u64,
 }
 
 impl RelationVersion {
@@ -196,6 +244,18 @@ impl RelationVersion {
         &self.tuples
     }
 
+    /// Index probe hits of the source relation as of publication.
+    pub fn index_hits(&self) -> u64 {
+        self.index_hits
+    }
+
+    /// Scan-fallback probe misses of the source relation as of
+    /// publication. A nonzero value flags planner/registration drift: a
+    /// compiled plan probed columns nobody built an index for.
+    pub fn index_misses(&self) -> u64 {
+        self.index_misses
+    }
+
     /// Rebuild a live [`Relation`] sharing this version's tuple set (no
     /// indexes, no tuple copying — the checkpoint/restore path uses this).
     pub fn to_relation(&self) -> Relation {
@@ -204,6 +264,8 @@ impl RelationVersion {
             arity: self.arity,
             tuples: Arc::clone(&self.tuples),
             indexes: FxHashMap::default(),
+            ordered: FxHashMap::default(),
+            stats: Arc::default(),
             versions: None,
         }
     }
@@ -217,6 +279,8 @@ impl Relation {
             arity,
             tuples: Arc::new(FxHashSet::default()),
             indexes: FxHashMap::default(),
+            ordered: FxHashMap::default(),
+            stats: Arc::default(),
             versions: None,
         }
     }
@@ -265,6 +329,8 @@ impl Relation {
             arity,
             tuples: Arc::new(tuples),
             indexes: FxHashMap::default(),
+            ordered: FxHashMap::default(),
+            stats: Arc::default(),
             versions: None,
         })
     }
@@ -324,7 +390,7 @@ impl Relation {
         // Fast path: with no registered indexes (bulk loads, overlay delta
         // relations) a single hash-set insert both tests membership and
         // stores the tuple — no re-projection, no second lookup.
-        if self.indexes.is_empty() {
+        if self.indexes.is_empty() && self.ordered.is_empty() {
             return Ok(match &mut self.versions {
                 None => Arc::make_mut(&mut self.tuples).insert(t),
                 Some(vb) => {
@@ -341,6 +407,9 @@ impl Relation {
         }
         for (cols, index) in self.indexes.iter_mut() {
             index.entry(t.project(cols)).or_default().insert(t.clone());
+        }
+        for (&col, tree) in self.ordered.iter_mut() {
+            tree.entry(t[col]).or_default().insert(t.clone());
         }
         if let Some(vb) = &mut self.versions {
             vb.push(Op::Insert(t.clone()));
@@ -365,6 +434,15 @@ impl Relation {
                 bucket.remove(t);
                 if bucket.is_empty() {
                     index.remove(&key);
+                }
+            }
+        }
+        for (&col, tree) in self.ordered.iter_mut() {
+            let key = t[col];
+            if let Some(bucket) = tree.get_mut(&key) {
+                bucket.remove(t);
+                if bucket.is_empty() {
+                    tree.remove(&key);
                 }
             }
         }
@@ -414,12 +492,16 @@ impl Relation {
         debug_assert_eq!(cols.len(), key.len());
         let (norm_cols, norm_key) = normalize_probe(cols, key);
         if let Some(index) = self.indexes.get(&norm_cols) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
             match index.get(&norm_key) {
                 Some(bucket) => Box::new(bucket.iter()),
                 None => Box::new(std::iter::empty()),
             }
         } else {
-            // Correct-but-slow fallback: linear scan.
+            // Correct-but-slow fallback: linear scan. Counted as a miss so
+            // the drift (a plan probing columns nobody indexed) shows up
+            // in `stats` instead of hiding as a latency cliff.
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
             let cols: Vec<usize> = cols.to_vec();
             let key: Vec<Value> = key.to_vec();
             Box::new(
@@ -428,6 +510,128 @@ impl Relation {
                     .filter(move |t| cols.iter().zip(&key).all(|(&c, v)| &t[c] == v)),
             )
         }
+    }
+
+    /// Register (and build, if absent) an ordered index on one column.
+    ///
+    /// The index is a `BTreeMap` from column value to the tuples holding
+    /// it, maintained incrementally under inserts and deletes exactly
+    /// like the hash indexes. It serves [`Relation::range_probe`].
+    pub fn ensure_ordered_index(&mut self, col: usize) -> StoreResult<()> {
+        if col >= self.arity {
+            return Err(StoreError::BadIndexColumns {
+                relation: self.name.clone(),
+                arity: self.arity,
+            });
+        }
+        if self.ordered.contains_key(&col) {
+            return Ok(());
+        }
+        let mut tree: BTreeMap<Value, FxHashSet<Tuple>> = BTreeMap::new();
+        for t in self.tuples.iter() {
+            tree.entry(t[col]).or_default().insert(t.clone());
+        }
+        self.ordered.insert(col, tree);
+        Ok(())
+    }
+
+    /// `true` if an ordered index over exactly this column is registered.
+    pub fn has_ordered_index(&self, col: usize) -> bool {
+        self.ordered.contains_key(&col)
+    }
+
+    /// Range-probe an ordered index: all tuples whose value in `col`
+    /// falls within `(lo, hi)`.
+    ///
+    /// Returns `None` — and counts a probe miss — when the probe cannot
+    /// be answered from an index: no ordered index on `col`, or the
+    /// indexed column is not homogeneous in the bounds' sort. `Value`'s
+    /// total order is sort-major, so a range over a mixed-type column
+    /// would silently skip tuples whose comparison against the bound is
+    /// a *sort error* upstream; the caller must fall back to
+    /// scan-and-filter to preserve those semantics. At least one bound
+    /// must be finite (both-unbounded callers should just scan).
+    ///
+    /// An empty interval (`lo > hi`, or touching exclusive bounds) yields
+    /// an empty iterator.
+    pub fn range_probe(
+        &self,
+        col: usize,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+    ) -> Option<Box<dyn Iterator<Item = &Tuple> + '_>> {
+        let Some(tree) = self.ordered.get(&col) else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let sort = match (&lo, &hi) {
+            (Bound::Included(v) | Bound::Excluded(v), _)
+            | (_, Bound::Included(v) | Bound::Excluded(v)) => v.sort(),
+            (Bound::Unbounded, Bound::Unbounded) => {
+                debug_assert!(false, "range_probe needs at least one finite bound");
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        // Sort-homogeneity check in O(log n): keys are sort-major ordered,
+        // so first and last key sharing the bound's sort means every key
+        // does. (An empty index is trivially homogeneous — no tuples, no
+        // skipped comparisons.)
+        let homogeneous = match (tree.first_key_value(), tree.last_key_value()) {
+            (Some((first, _)), Some((last, _))) => first.sort() == sort && last.sort() == sort,
+            _ => true,
+        };
+        let same_sort_bounds = |b: &Bound<Value>| match b {
+            Bound::Included(v) | Bound::Excluded(v) => v.sort() == sort,
+            Bound::Unbounded => true,
+        };
+        if !homogeneous || !same_sort_bounds(&lo) || !same_sort_bounds(&hi) {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        // `BTreeMap::range` panics on inverted or empty exclusive ranges;
+        // detect them first (the guards may genuinely be contradictory,
+        // e.g. `X > 9, X < 3` — the right answer is "no tuples").
+        let empty = match (&lo, &hi) {
+            (Bound::Included(a), Bound::Included(b)) => a > b,
+            (Bound::Included(a), Bound::Excluded(b))
+            | (Bound::Excluded(a), Bound::Included(b))
+            | (Bound::Excluded(a), Bound::Excluded(b)) => a >= b,
+            _ => false,
+        };
+        if empty {
+            return Some(Box::new(std::iter::empty()));
+        }
+        Some(Box::new(
+            tree.range((lo, hi)).flat_map(|(_, bucket)| bucket.iter()),
+        ))
+    }
+
+    /// Number of distinct keys in an existing index over `cols` (hash
+    /// first, then single-column ordered); `None` when no such index
+    /// exists. The planner's selectivity estimate divides relation size
+    /// by this.
+    pub fn distinct_keys(&self, cols: &[usize]) -> Option<usize> {
+        let key = normalize_cols(cols);
+        if let Some(index) = self.indexes.get(&key) {
+            return Some(index.len());
+        }
+        if let [col] = key[..] {
+            return self.ordered.get(&col).map(BTreeMap::len);
+        }
+        None
+    }
+
+    /// Cumulative probes served by an index (hash or ordered).
+    pub fn index_hits(&self) -> u64 {
+        self.stats.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative probes that fell back to a linear scan (missing index,
+    /// or an ordered probe over a mixed-type column).
+    pub fn index_misses(&self) -> u64 {
+        self.stats.misses.load(Ordering::Relaxed)
     }
 
     /// Remove all tuples (indexes stay registered but become empty).
@@ -446,6 +650,9 @@ impl Relation {
         }
         for index in self.indexes.values_mut() {
             index.clear();
+        }
+        for tree in self.ordered.values_mut() {
+            tree.clear();
         }
     }
 
@@ -476,6 +683,8 @@ impl Relation {
             name: self.name.clone(),
             arity: self.arity,
             tuples,
+            index_hits: self.index_hits(),
+            index_misses: self.index_misses(),
         }
     }
 
@@ -499,10 +708,12 @@ impl Relation {
         // left-right protocol instead of logging every tuple.
         self.versions = None;
         let cols: Vec<Vec<usize>> = self.indexes.keys().cloned().collect();
+        let ordered_cols: Vec<usize> = self.ordered.keys().copied().collect();
         // Build the fresh set aside and swap it in, so a shared (published)
         // old set is neither cloned nor disturbed.
         let mut fresh = FxHashSet::default();
         self.indexes.clear();
+        self.ordered.clear();
         for t in tuples {
             if t.arity() != self.arity {
                 return Err(StoreError::ArityMismatch {
@@ -516,6 +727,9 @@ impl Relation {
         self.tuples = Arc::new(fresh);
         for c in cols {
             self.ensure_index(&c)?;
+        }
+        for c in ordered_cols {
+            self.ensure_ordered_index(c)?;
         }
         Ok(())
     }
@@ -799,5 +1013,158 @@ mod tests {
         assert_eq!(r.probe(&[0], &[seven]).count(), 1);
         let one = Value::int(1);
         assert_eq!(r.probe(&[0], &[one]).count(), 0);
+    }
+
+    fn ints(ns: &[i64]) -> Relation {
+        Relation::with_tuples("n", 2, ns.iter().map(|&i| tuple![i, i * 10])).unwrap()
+    }
+
+    #[test]
+    fn range_probe_inclusive_and_exclusive_bounds() {
+        let mut r = ints(&[1, 2, 3, 4, 5]);
+        r.ensure_ordered_index(0).unwrap();
+        let vals = |lo: Bound<Value>, hi: Bound<Value>| -> Vec<i64> {
+            let mut v: Vec<i64> = r
+                .range_probe(0, lo, hi)
+                .expect("homogeneous int column")
+                .map(|t| match t[0] {
+                    Value::Int(i) => i,
+                    _ => unreachable!(),
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let k = |i: i64| Value::int(i);
+        assert_eq!(vals(Bound::Excluded(k(2)), Bound::Unbounded), vec![3, 4, 5]);
+        assert_eq!(
+            vals(Bound::Included(k(2)), Bound::Unbounded),
+            vec![2, 3, 4, 5]
+        );
+        assert_eq!(vals(Bound::Unbounded, Bound::Excluded(k(3))), vec![1, 2]);
+        assert_eq!(
+            vals(Bound::Included(k(2)), Bound::Included(k(4))),
+            vec![2, 3, 4]
+        );
+        // Empty and inverted intervals yield nothing (and must not panic).
+        assert_eq!(
+            vals(Bound::Excluded(k(3)), Bound::Excluded(k(3))),
+            Vec::<i64>::new()
+        );
+        assert_eq!(
+            vals(Bound::Included(k(9)), Bound::Included(k(1))),
+            Vec::<i64>::new()
+        );
+    }
+
+    #[test]
+    fn range_probe_is_maintained_under_mutation() {
+        let mut r = ints(&[1, 5]);
+        r.ensure_ordered_index(0).unwrap();
+        r.insert(tuple![3, 30]).unwrap();
+        r.remove(&tuple![5, 50]);
+        let hits: Vec<&Tuple> = r
+            .range_probe(0, Bound::Excluded(Value::int(1)), Bound::Unbounded)
+            .unwrap()
+            .collect();
+        assert_eq!(hits, vec![&tuple![3, 30]]);
+    }
+
+    #[test]
+    fn range_probe_refuses_mixed_sort_columns() {
+        let mut r = Relation::with_tuples("m", 1, vec![tuple![1], tuple!["x"]]).unwrap();
+        r.ensure_ordered_index(0).unwrap();
+        assert!(
+            r.range_probe(0, Bound::Excluded(Value::int(0)), Bound::Unbounded)
+                .is_none(),
+            "mixed-sort column must fall back to filter"
+        );
+        // Bound sort differing from a homogeneous column also refuses.
+        let mut s = ints(&[1, 2]);
+        s.ensure_ordered_index(0).unwrap();
+        assert!(s
+            .range_probe(0, Bound::Excluded(Value::str("a")), Bound::Unbounded)
+            .is_none());
+    }
+
+    #[test]
+    fn range_probe_preserves_string_lexicographic_order() {
+        let mut r = Relation::with_tuples(
+            "d",
+            1,
+            vec![
+                tuple!["2020-01-15"],
+                tuple!["2020-06-01"],
+                tuple!["2021-03-09"],
+            ],
+        )
+        .unwrap();
+        r.ensure_ordered_index(0).unwrap();
+        let hits: Vec<&Tuple> = r
+            .range_probe(
+                0,
+                Bound::Included(Value::str("2020-06-01")),
+                Bound::Excluded(Value::str("2021-01-01")),
+            )
+            .unwrap()
+            .collect();
+        assert_eq!(hits, vec![&tuple!["2020-06-01"]]);
+    }
+
+    #[test]
+    fn ordered_index_survives_clear_and_replace_all() {
+        let mut r = ints(&[1, 2, 3]);
+        r.ensure_ordered_index(0).unwrap();
+        r.clear();
+        assert!(r.has_ordered_index(0));
+        assert_eq!(
+            r.range_probe(0, Bound::Unbounded, Bound::Included(Value::int(9)))
+                .unwrap()
+                .count(),
+            0
+        );
+        r.replace_all(vec![tuple![7, 70], tuple![8, 80]]).unwrap();
+        assert_eq!(
+            r.range_probe(0, Bound::Excluded(Value::int(7)), Bound::Unbounded)
+                .unwrap()
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn probe_counters_track_hits_and_misses() {
+        let mut r = rel();
+        assert_eq!((r.index_hits(), r.index_misses()), (0, 0));
+        let one = Value::int(1);
+        r.probe(&[0], &[one]).count(); // no index yet: scan fallback
+        assert_eq!((r.index_hits(), r.index_misses()), (0, 1));
+        r.ensure_index(&[0]).unwrap();
+        r.probe(&[0], &[one]).count();
+        assert_eq!((r.index_hits(), r.index_misses()), (1, 1));
+        // Ordered probes count too: a miss without the index, a hit with.
+        assert!(r
+            .range_probe(1, Bound::Excluded(Value::str("a")), Bound::Unbounded)
+            .is_none());
+        assert_eq!((r.index_hits(), r.index_misses()), (1, 2));
+        r.ensure_ordered_index(1).unwrap();
+        r.range_probe(1, Bound::Excluded(Value::str("a")), Bound::Unbounded)
+            .unwrap()
+            .count();
+        assert_eq!((r.index_hits(), r.index_misses()), (2, 2));
+        // Versions snapshot the counters at publication time.
+        let v = r.version();
+        assert_eq!((v.index_hits(), v.index_misses()), (2, 2));
+    }
+
+    #[test]
+    fn distinct_keys_reports_index_cardinality() {
+        let mut r = ints(&[1, 1, 2, 3]); // tuples (1,10),(2,20),(3,30)
+        assert_eq!(r.distinct_keys(&[0]), None, "no index, no estimate");
+        r.ensure_index(&[0]).unwrap();
+        assert_eq!(r.distinct_keys(&[0]), Some(3));
+        r.ensure_ordered_index(1).unwrap();
+        assert_eq!(r.distinct_keys(&[1]), Some(3), "ordered index counts too");
+        assert_eq!(r.distinct_keys(&[0, 1]), None);
     }
 }

@@ -11,7 +11,7 @@
 
 use birds::benchmarks::corpus;
 use birds::datalog::{stratify, CmpOp, Head, Literal, Program, Rule, Term};
-use birds::eval::{evaluate_program, violated_constraints, EvalContext};
+use birds::eval::{evaluate_program, violated_constraints, EvalContext, PlanCache};
 use birds::store::{Database, Relation, Schema, Tuple, Value, ValueSort};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -310,8 +310,14 @@ fn random_relation(schema: &Schema, n: usize, rng: &mut StdRng) -> Relation {
 // The equivalence harness.
 // ---------------------------------------------------------------------
 
-fn slot_eval(program: &Program, db: &mut Database) -> BTreeMap<String, BTreeSet<Tuple>> {
-    let mut ctx = EvalContext::new(db);
+fn slot_eval(
+    program: &Program,
+    db: &mut Database,
+    range_pushdown: bool,
+) -> BTreeMap<String, BTreeSet<Tuple>> {
+    let mut cache = PlanCache::new();
+    cache.set_range_pushdown(range_pushdown);
+    let mut ctx = EvalContext::with_plan_cache(db, &mut cache);
     let out = evaluate_program(program, &mut ctx).expect("slot evaluation succeeds");
     out.relations
         .into_iter()
@@ -319,12 +325,22 @@ fn slot_eval(program: &Program, db: &mut Database) -> BTreeMap<String, BTreeSet<
         .collect()
 }
 
+/// Three-way differential: the reference interpreter, the slot
+/// evaluator with range pushdown (the default), and the slot evaluator
+/// forced onto the hash-only scan+filter plans must all agree
+/// bit-identically — so every `RangeScan` plan is checked against both
+/// independent scan+filter implementations.
 fn assert_equivalent(label: &str, program: &Program, db: &mut Database) {
     let expected = ref_eval_program(program, db);
-    let got = slot_eval(program, db);
+    let pushed = slot_eval(program, db, true);
     assert_eq!(
-        got, expected,
-        "{label}: slot-based evaluator diverges from reference semantics"
+        pushed, expected,
+        "{label}: range-pushdown evaluation diverges from reference semantics"
+    );
+    let filtered = slot_eval(program, db, false);
+    assert_eq!(
+        filtered, expected,
+        "{label}: scan+filter evaluation diverges from reference semantics"
     );
 }
 
@@ -435,6 +451,101 @@ fn edge_case_programs_match_reference_semantics() {
             .unwrap();
             assert_equivalent(
                 &format!("edge program #{i} (seed {seed})"),
+                &program,
+                &mut db,
+            );
+        }
+    }
+}
+
+#[test]
+fn range_pushdown_programs_match_reference_semantics() {
+    // Programs whose comparison guards all compile to `RangeScan` steps
+    // under pushdown: negated comparisons, boundary ties at the bound
+    // value, multi-guard intervals, guards against earlier-bound
+    // variables, and empty/contradictory intervals. Int columns draw
+    // from 0..8 (see `random_value`), so constants 0/3/5/7 exercise
+    // ties and both empty and full ranges.
+    use birds::datalog::parse_program;
+    let programs = [
+        // boundary ties: >= and <= at values that occur in the data
+        "h(X, Y) :- r(X, Y), Y >= 3, Y <= 5.",
+        "h(X, Y) :- r(X, Y), X >= 0, Y <= 7.",
+        // negated comparisons (complement intervals)
+        "h(X) :- r(X, Y), not Y >= 4.",
+        "h(X) :- s(X), not X < 3, not X > 5.",
+        // guard against an earlier-bound variable, not a constant
+        "h(X, Y) :- s(X), r(X, Y), Y > X.",
+        "h(X, Y) :- s(X), r(Y, _), not Y <= X.",
+        // contradictory and always-true intervals
+        "h(X, Y) :- r(X, Y), Y > 5, Y < 3.",
+        "h(X, Y) :- r(X, Y), Y >= 0.",
+        // guards on two different columns of one scan: first is pushed,
+        // second stays a residual filter
+        "h(X, Y) :- r(X, Y), X > 1, Y > 1.",
+        // interval + equality-join interplay across strata
+        "m(Y) :- r(_, Y), Y > 2. h(Y) :- m(Y), not Y >= 6.",
+    ];
+    for (i, text) in programs.iter().enumerate() {
+        let program = parse_program(text).unwrap();
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(0x5CA1E ^ (i as u64) << 16 ^ seed);
+            let mut db = Database::new();
+            db.add_relation(random_relation(
+                &Schema::new("r", vec![("a", ValueSort::Int), ("b", ValueSort::Int)]),
+                24,
+                &mut rng,
+            ))
+            .unwrap();
+            db.add_relation(random_relation(
+                &Schema::new("s", vec![("a", ValueSort::Int)]),
+                12,
+                &mut rng,
+            ))
+            .unwrap();
+            assert_equivalent(
+                &format!("range program #{i} (seed {seed})"),
+                &program,
+                &mut db,
+            );
+        }
+    }
+}
+
+#[test]
+fn range_pushdown_string_and_date_ordering_matches_reference() {
+    // The ordered index ranges over interned strings; lexicographic
+    // order makes ISO dates comparable. The pool in `random_value`
+    // mixes dates, short strings, and "" so ties and boundaries at
+    // every rank are exercised.
+    use birds::datalog::parse_program;
+    let programs = [
+        "h(X) :- d(X), X >= '1962-01-01', not X > '1962-12-31'.",
+        "h(X) :- d(X), X > 'a', X < 'd'.",
+        "h(X) :- d(X), not X < 'b'.",
+        "h(X, Y) :- e(X, Y), Y >= 'a', not Y >= 'c'.",
+        // empty-string boundary: everything is >= "", nothing is < ""
+        "h(X) :- d(X), X >= ''. g(X) :- d(X), X < ''.",
+    ];
+    for (i, text) in programs.iter().enumerate() {
+        let program = parse_program(text).unwrap();
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(0xDA7E ^ (i as u64) << 16 ^ seed);
+            let mut db = Database::new();
+            db.add_relation(random_relation(
+                &Schema::new("d", vec![("a", ValueSort::Str)]),
+                20,
+                &mut rng,
+            ))
+            .unwrap();
+            db.add_relation(random_relation(
+                &Schema::new("e", vec![("a", ValueSort::Int), ("b", ValueSort::Str)]),
+                20,
+                &mut rng,
+            ))
+            .unwrap();
+            assert_equivalent(
+                &format!("string range program #{i} (seed {seed})"),
                 &program,
                 &mut db,
             );
