@@ -3,10 +3,12 @@
 use crate::algorithm2::derive_view_delta;
 use crate::error::{EngineError, EngineResult};
 use birds_core::{incrementalize, validate, UpdateStrategy};
-use birds_datalog::{DeltaKind, Literal, PredRef, Program, Rule};
+use birds_datalog::{parse_program, DeltaKind, Literal, PredRef, Program, Rule};
 use birds_eval::{evaluate_program, evaluate_query, rule_has_witness, EvalContext, PlanCache};
 use birds_sql::{parse_script, DmlStatement};
-use birds_store::{Database, Delta, DeltaSet, Relation, RelationVersion, Schema, Tuple};
+use birds_store::{
+    Database, DatabaseSchema, Delta, DeltaSet, Relation, RelationVersion, Schema, Tuple,
+};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -58,6 +60,29 @@ struct RegisteredView {
     incremental: Option<Program>,
     mode: StrategyMode,
     footprint: ViewFootprint,
+}
+
+/// A registered view reduced to its persistable essence: schemas plus
+/// the program *texts* (Datalog `Display` round-trips through the
+/// parser, so text is the canonical serialization). Everything a fresh
+/// engine needs to re-register the view with
+/// [`Engine::register_definition`] — the WAL logs these for runtime
+/// registrations and checkpoints snapshot the live set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDefinition {
+    /// Schemas of the strategy's source relations, in declaration order.
+    pub sources: Vec<Schema>,
+    /// Schema of the view relation.
+    pub view: Schema,
+    /// Putback program source (delta rules, intermediates, constraints).
+    pub putdelta: String,
+    /// The expected get the strategy was registered with, if any.
+    pub expected_get: Option<String>,
+    /// The get program the view was actually materialized from (derived
+    /// by validation, or the accepted expected get).
+    pub get: String,
+    /// Execution mode of the registered strategy.
+    pub mode: StrategyMode,
 }
 
 /// In-process updatable-view database.
@@ -260,6 +285,128 @@ impl Engine {
         self.views.get(name).map(|rv| &rv.strategy.view)
     }
 
+    /// The persistable [`ViewDefinition`] of a registered view.
+    pub fn view_definition(&self, name: &str) -> Option<ViewDefinition> {
+        self.views.get(name).map(|rv| ViewDefinition {
+            sources: rv.strategy.source_schema.relations.clone(),
+            view: rv.strategy.view.clone(),
+            putdelta: rv.strategy.putdelta.to_string(),
+            expected_get: rv.strategy.expected_get.as_ref().map(Program::to_string),
+            get: rv.get.to_string(),
+            mode: rv.mode,
+        })
+    }
+
+    /// Persistable definitions of every registered view, in **dependency
+    /// order**: a view whose footprint closure contains another view
+    /// (i.e. whose commits can cascade into it) comes after that
+    /// sub-view, so replaying the list through
+    /// [`Engine::register_definition`] re-registers cascade targets
+    /// before the views that depend on them. (Name order is *not*
+    /// dependency order.)
+    pub fn view_definitions(&self) -> Vec<ViewDefinition> {
+        let mut ordered: Vec<&str> = Vec::new();
+        let mut visiting: BTreeSet<&str> = BTreeSet::new();
+        fn visit<'a>(
+            name: &'a str,
+            views: &'a BTreeMap<String, RegisteredView>,
+            ordered: &mut Vec<&'a str>,
+            visiting: &mut BTreeSet<&'a str>,
+        ) {
+            if ordered.contains(&name) || !visiting.insert(name) {
+                return;
+            }
+            if let Some(rv) = views.get(name) {
+                for dep in &rv.footprint.closure {
+                    if dep != name && views.contains_key(dep) {
+                        visit(dep, views, ordered, visiting);
+                    }
+                }
+                ordered.push(name);
+            }
+            visiting.remove(name);
+        }
+        for name in self.views.keys() {
+            visit(name, &self.views, &mut ordered, &mut visiting);
+        }
+        ordered
+            .into_iter()
+            .map(|n| self.view_definition(n).expect("ordered names are views"))
+            .collect()
+    }
+
+    /// Re-register a view from its persisted [`ViewDefinition`] — the
+    /// replay half of [`Engine::view_definitions`]. Shape checks re-run
+    /// (the texts were produced by a strategy that passed them); the
+    /// solver does not, making replay deterministic and cheap.
+    pub fn register_definition(&mut self, def: &ViewDefinition) -> EngineResult<()> {
+        let mut source_schema = DatabaseSchema::new();
+        source_schema.relations = def.sources.clone();
+        let strategy = UpdateStrategy::new(
+            source_schema,
+            def.view.clone(),
+            parse_program(&def.putdelta).map_err(|e| EngineError::Registration(e.to_string()))?,
+            def.expected_get
+                .as_deref()
+                .map(parse_program)
+                .transpose()
+                .map_err(|e| EngineError::Registration(e.to_string()))?,
+        )
+        .map_err(|e| EngineError::Registration(e.to_string()))?;
+        let get = parse_program(&def.get).map_err(|e| EngineError::Registration(e.to_string()))?;
+        self.register_view_unchecked(strategy, get, def.mode)
+    }
+
+    /// Merge footprint components back into one engine — the inverse of
+    /// [`Engine::split_components`] for an arbitrary (non-empty) subset
+    /// of components. This is what lets a live service re-shard a
+    /// *subset* of its topology: take only the affected components,
+    /// merge, mutate the view set, and re-split, while disjoint
+    /// components stay untouched (and unlocked).
+    pub fn merge(components: impl IntoIterator<Item = Engine>) -> EngineResult<Engine> {
+        let mut iter = components.into_iter();
+        let mut merged = iter
+            .next()
+            .ok_or_else(|| EngineError::Registration("cannot merge zero components".into()))?;
+        for component in iter {
+            merged.absorb(component)?;
+        }
+        Ok(merged)
+    }
+
+    /// Deregister a view: drop its strategy and its materialized
+    /// relation. The view's source relations stay (they may hold data
+    /// and other views may read them); on a re-split they become free
+    /// relations. Fails without modifying anything when the view is a
+    /// cascade target of another registered view — that view's delta
+    /// rules write into this one, so removing it would break the
+    /// dependent's update path.
+    pub fn unregister_view(&mut self, name: &str) -> EngineResult<()> {
+        if !self.views.contains_key(name) {
+            return Err(EngineError::NotAView(name.to_owned()));
+        }
+        if let Some(dependent) = self.dependent_view(name) {
+            return Err(EngineError::Registration(format!(
+                "view '{name}' is in the footprint of view '{dependent}'"
+            )));
+        }
+        self.views.remove(name);
+        self.db.remove_relation(name);
+        // Compiled plans may probe the removed relation by name.
+        self.clear_plan_cache();
+        Ok(())
+    }
+
+    /// The name of a registered view (other than `name` itself) whose
+    /// footprint closure contains `name`, if any — i.e. a view whose
+    /// commits may cascade into or read `name`.
+    pub fn dependent_view(&self, name: &str) -> Option<&str> {
+        self.views
+            .iter()
+            .find(|(other, rv)| other.as_str() != name && rv.footprint.closure.contains(name))
+            .map(|(other, _)| other.as_str())
+    }
+
     /// Register an updatable view after validating its strategy
     /// (Algorithm 1). The view is materialized from the derived (or
     /// accepted expected) get. Fails when validation rejects the strategy.
@@ -323,41 +470,17 @@ impl Engine {
                 .map_err(|e| EngineError::Store(e.to_string()))?;
         }
         self.db.set_relation(rel);
-        let incremental = if mode == StrategyMode::Incremental {
-            Some(incrementalize(&strategy).map_err(|e| EngineError::Registration(e.to_string()))?)
-        } else {
-            None
+        // Failures past this point must not leak the half-registered
+        // view relation into the database — a live service re-splits the
+        // engine after a failed registration and a leaked relation would
+        // silently become a free singleton shard.
+        let incremental = match self.warm_up_registration(&name, &strategy, mode) {
+            Ok(incremental) => incremental,
+            Err(e) => {
+                self.db.remove_relation(&name);
+                return Err(e);
+            }
         };
-        // Warm-up evaluation with an empty view delta: forces the planner
-        // to build every base-table index the strategy's plans probe, so
-        // the first real update doesn't pay an O(|S|) index build (the
-        // paper's PostgreSQL setup has its B-trees before measuring). The
-        // warm-up also populates the session plan cache: the delta
-        // relations are empty — the smallest they will ever be — so the
-        // greedy planner pins exactly the delta-driven join orders that
-        // subsequent updates want, and real updates replay compiled plans.
-        {
-            let t = std::time::Instant::now();
-            let program = incremental.as_ref().unwrap_or(&strategy.putdelta);
-            let mut ctx = EvalContext::with_plan_cache(&mut self.db, &mut self.plan_cache);
-            if let Some(sink) = self.read_trace.as_deref() {
-                ctx.trace_reads_into(sink);
-            }
-            if mode == StrategyMode::Incremental {
-                ctx.insert_overlay(Relation::new(
-                    PredRef::ins(&name).flat_name(),
-                    strategy.view.arity(),
-                ));
-                ctx.insert_overlay(Relation::new(
-                    PredRef::del(&name).flat_name(),
-                    strategy.view.arity(),
-                ));
-            }
-            let _ = evaluate_program(program, &mut ctx)?;
-            if std::env::var_os("BIRDS_ENGINE_DEBUG").is_some() {
-                eprintln!("[engine] warm-up ({mode:?}): {:?}", t.elapsed());
-            }
-        }
         let footprint = compute_footprint(&self.db, &self.views, &strategy, &get, &incremental);
         self.views.insert(
             name,
@@ -370,6 +493,52 @@ impl Engine {
             },
         );
         Ok(())
+    }
+
+    /// Incrementalize (when asked) and run the warm-up evaluation for a
+    /// view being registered. Factored out of
+    /// [`Engine::register_view_unchecked`] so the caller can roll the
+    /// materialized relation back if either step fails.
+    fn warm_up_registration(
+        &mut self,
+        name: &str,
+        strategy: &UpdateStrategy,
+        mode: StrategyMode,
+    ) -> EngineResult<Option<Program>> {
+        let incremental = if mode == StrategyMode::Incremental {
+            Some(incrementalize(strategy).map_err(|e| EngineError::Registration(e.to_string()))?)
+        } else {
+            None
+        };
+        // Warm-up evaluation with an empty view delta: forces the planner
+        // to build every base-table index the strategy's plans probe, so
+        // the first real update doesn't pay an O(|S|) index build (the
+        // paper's PostgreSQL setup has its B-trees before measuring). The
+        // warm-up also populates the session plan cache: the delta
+        // relations are empty — the smallest they will ever be — so the
+        // greedy planner pins exactly the delta-driven join orders that
+        // subsequent updates want, and real updates replay compiled plans.
+        let t = std::time::Instant::now();
+        let program = incremental.as_ref().unwrap_or(&strategy.putdelta);
+        let mut ctx = EvalContext::with_plan_cache(&mut self.db, &mut self.plan_cache);
+        if let Some(sink) = self.read_trace.as_deref() {
+            ctx.trace_reads_into(sink);
+        }
+        if mode == StrategyMode::Incremental {
+            ctx.insert_overlay(Relation::new(
+                PredRef::ins(name).flat_name(),
+                strategy.view.arity(),
+            ));
+            ctx.insert_overlay(Relation::new(
+                PredRef::del(name).flat_name(),
+                strategy.view.arity(),
+            ));
+        }
+        let _ = evaluate_program(program, &mut ctx)?;
+        if std::env::var_os("BIRDS_ENGINE_DEBUG").is_some() {
+            eprintln!("[engine] warm-up ({mode:?}): {:?}", t.elapsed());
+        }
+        Ok(incremental)
     }
 
     /// Re-materialize a registered view from its get definition (used
@@ -922,6 +1091,35 @@ fn compute_footprint(
         writes,
         closure,
     }
+}
+
+/// Every stored-relation name an *incoming* strategy could read or
+/// write — the preview half of `compute_footprint`, computable
+/// **before** the view exists anywhere. A live service intersects this
+/// set with its relation→shard route to find the shards a registration
+/// must quiesce; disjoint shards keep committing. Conservative: the set
+/// may include intermediate-predicate names that are not stored
+/// relations (the route intersection discards them), but it can never
+/// miss a stored relation the registered view's footprint will contain,
+/// because the footprint is computed from exactly these programs.
+pub fn strategy_touches(strategy: &UpdateStrategy, get: &Program) -> BTreeSet<String> {
+    let mut touched = strategy.read_relations();
+    touched.extend(strategy.write_relations());
+    touched.insert(strategy.view.name.clone());
+    for schema in &strategy.source_schema.relations {
+        touched.insert(schema.name.clone());
+    }
+    let mut visit = |program: &Program| {
+        for pred in program.all_body_predicates() {
+            touched.insert(pred.name.clone());
+        }
+    };
+    visit(&strategy.putdelta);
+    visit(get);
+    if let Some(expected) = &strategy.expected_get {
+        visit(expected);
+    }
+    touched
 }
 
 /// Collect the evaluator's delta-predicate outputs into a `DeltaSet`.

@@ -27,6 +27,8 @@ pub mod error;
 pub mod snapshot;
 
 pub use algorithm2::derive_view_delta;
-pub use engine::{Engine, ExecutionStats, StrategyMode, ViewFootprint};
+pub use engine::{
+    strategy_touches, Engine, ExecutionStats, StrategyMode, ViewDefinition, ViewFootprint,
+};
 pub use error::{EngineError, EngineResult};
 pub use snapshot::{read_snapshot, write_snapshot, SNAPSHOT_MAGIC};

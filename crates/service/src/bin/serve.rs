@@ -35,13 +35,37 @@
 //! On startup the server recovers the latest snapshot and replays the
 //! WAL in global commit-seq order, discarding torn tails by CRC.
 //!
-//! The demo database is the paper's Example 3.1: `v = r1 ∪ r2` with the
-//! programmed strategy (deletions remove from whichever table held the
-//! tuple; insertions go to `r1`), registered in incremental mode.
+//! Schema: `--strategy FILE` loads a JSON catalogue instead of the
+//! built-in demo — base tables plus update strategies:
+//!
+//! ```json
+//! {"tables": [{"name":"r1","columns":[["a","int"]]},
+//!             {"name":"r2","columns":[["a","int"]]}],
+//!  "views":  [{"view":{"name":"v","columns":[["a","int"]]},
+//!              "sources":[{"name":"r1","columns":[["a","int"]]},
+//!                         {"name":"r2","columns":[["a","int"]]}],
+//!              "putdelta":"-r1(X) :- r1(X), not v(X). …",
+//!              "mode":"incremental"}]}
+//! ```
+//!
+//! The views go through the **live** registration path
+//! (`Service::register_view` — validation, quiesce, WAL logging) after
+//! the service is up, exactly like a runtime `register` request; on a
+//! recovered data directory a view that already exists (replayed from
+//! the WAL or the checkpoint manifest) is tolerated and skipped. More
+//! views can be added at runtime with the protocol's `register` op.
+//!
+//! Without `--strategy`, the demo database is the paper's Example 3.1:
+//! `v = r1 ∪ r2` with the programmed strategy (deletions remove from
+//! whichever table held the tuple; insertions go to `r1`), registered
+//! in incremental mode.
 
 use birds_core::UpdateStrategy;
 use birds_engine::{Engine, StrategyMode};
-use birds_service::{DurabilityConfig, Server, ServerConfig, Service, ServiceConfig};
+use birds_service::protocol::{schema_from_json, spec_from_json};
+use birds_service::{
+    DurabilityConfig, Json, Server, ServerConfig, Service, ServiceConfig, ServiceError,
+};
 use birds_store::{tuple, Database, DatabaseSchema, Relation, Schema, SortKind};
 use birds_wal::FsyncPolicy;
 use std::io::{BufRead, BufReader, Write};
@@ -54,10 +78,12 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::default();
     let mut checkpoint_every: Option<u64> = None;
+    let mut strategy_file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => listen = require_value(args.next(), "--listen"),
+            "--strategy" => strategy_file = Some(require_value(args.next(), "--strategy")),
             "--connect" => connect = Some(require_value(args.next(), "--connect")),
             "--max-conns" => {
                 config.max_conns = Some(parse_flag(args.next(), "--max-conns", "an integer"))
@@ -87,7 +113,7 @@ fn main() {
                     "usage: birds-serve [--listen ADDR] [--workers N] [--max-conns N]\n\
                      \x20                 [--exit-after N] [--backlog N] [--max-line BYTES]\n\
                      \x20                 [--data-dir DIR] [--fsync always|epoch|off]\n\
-                     \x20                 [--checkpoint-every N]\n\
+                     \x20                 [--checkpoint-every N] [--strategy FILE]\n\
                      \x20      birds-serve --connect ADDR   (client mode, script on stdin)"
                 );
                 return;
@@ -102,7 +128,14 @@ fn main() {
     if let Some(addr) = connect {
         run_client(&addr);
     } else {
-        run_server(&listen, config, data_dir, fsync, checkpoint_every);
+        run_server(
+            &listen,
+            config,
+            data_dir,
+            fsync,
+            checkpoint_every,
+            strategy_file,
+        );
     }
 }
 
@@ -112,16 +145,25 @@ fn run_server(
     data_dir: Option<String>,
     fsync: FsyncPolicy,
     checkpoint_every: Option<u64>,
+    strategy_file: Option<String>,
 ) {
+    // With `--strategy`, the seed engine is just the catalogue's base
+    // tables; the views register through the live path below (same code
+    // as a runtime `register` request). Without it, the built-in demo.
+    let catalogue = strategy_file.map(|path| load_catalogue(&path));
+    let seed = match &catalogue {
+        Some(catalogue) => catalogue_engine(catalogue),
+        None => demo_engine(),
+    };
     let service = match data_dir {
-        None => Service::new(demo_engine()),
+        None => Service::new(seed),
         Some(dir) => {
             let mut durability = DurabilityConfig::new(&dir);
             durability.fsync = fsync;
             if let Some(every) = checkpoint_every {
                 durability.checkpoint_every = (every > 0).then_some(every);
             }
-            match Service::open(demo_engine(), ServiceConfig::default(), durability) {
+            match Service::open(seed, ServiceConfig::default(), durability) {
                 Ok(service) => {
                     println!(
                         "recovered {} committed transactions from {dir} (fsync {fsync})",
@@ -136,6 +178,9 @@ fn run_server(
             }
         }
     };
+    if let Some(catalogue) = catalogue {
+        register_catalogue_views(&service, &catalogue);
+    }
     let server = Server::spawn_config(listen, service, config).unwrap_or_else(|e| {
         eprintln!("cannot listen on {listen}: {e}");
         std::process::exit(1);
@@ -182,6 +227,91 @@ fn run_client(addr: &str) {
     let _ = writer.flush();
     let mut bye = String::new();
     let _ = responses.read_line(&mut bye);
+}
+
+/// Load and parse a `--strategy` catalogue file (exits on failure —
+/// a misdeclared catalogue must not silently serve the demo schema).
+fn load_catalogue(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read strategy file {path}: {e}");
+        std::process::exit(1);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("strategy file {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Build the seed engine from the catalogue's `"tables"`: every base
+/// relation declared empty (contents come from recovery or from
+/// runtime inserts). Views are *not* registered here — they go through
+/// the live path once the service is up.
+fn catalogue_engine(catalogue: &Json) -> Engine {
+    let mut db = Database::new();
+    let tables = catalogue
+        .get("tables")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| {
+            eprintln!("strategy file needs an array field 'tables'");
+            std::process::exit(1);
+        });
+    for table in tables {
+        let schema = schema_from_json(table).unwrap_or_else(|e| {
+            eprintln!("bad table declaration: {e}");
+            std::process::exit(1);
+        });
+        db.add_relation(
+            Relation::with_tuples(&schema.name, schema.arity(), vec![])
+                .expect("empty relation is well-formed"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot declare table '{}': {e}", schema.name);
+            std::process::exit(1);
+        });
+    }
+    Engine::new(db)
+}
+
+/// Register the catalogue's `"views"` through the live registration
+/// path — validation, quiesce barrier, WAL logging — exactly like a
+/// runtime `register` request. `ViewExists` is tolerated: on a
+/// recovered data directory the WAL replay or the checkpoint manifest
+/// may have re-created the view already.
+fn register_catalogue_views(service: &Service, catalogue: &Json) {
+    let Some(views) = catalogue.get("views").and_then(Json::as_arr) else {
+        return;
+    };
+    for view in views {
+        let spec = spec_from_json(view).unwrap_or_else(|e| {
+            eprintln!("bad view declaration: {e}");
+            std::process::exit(1);
+        });
+        let mode = match view.get("mode").and_then(Json::as_str) {
+            None | Some("incremental") => StrategyMode::Incremental,
+            Some("original") => StrategyMode::Original,
+            Some(other) => {
+                eprintln!("view '{}': unknown mode '{other}'", spec.view.name);
+                std::process::exit(1);
+            }
+        };
+        let strategy = match spec.to_strategy() {
+            Ok(strategy) => strategy,
+            Err(e) => {
+                eprintln!("view '{}': {e}", spec.view.name);
+                std::process::exit(1);
+            }
+        };
+        match service.register_view(strategy, mode) {
+            Ok(seq) => println!("registered view '{}' (commit seq {seq})", spec.view.name),
+            Err(ServiceError::ViewExists(name)) => {
+                println!("view '{name}' already registered (recovered)")
+            }
+            Err(e) => {
+                eprintln!("cannot register view '{}': {e}", spec.view.name);
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Example 3.1: `v = r1 ∪ r2`, seeded with r1 = {1}, r2 = {2, 4}.

@@ -23,6 +23,18 @@
 //!   is what the write path checks; reads use the service-level
 //!   [`ServiceError::UnknownRelation`], since any relation (base table
 //!   or view) is readable.
+//! * **Registration rejections** — a live `register` / `unregister`
+//!   was refused before touching the topology:
+//!   [`ServiceError::ViewExists`] (the view name is already registered
+//!   — idempotent retries can treat it as success),
+//!   [`ServiceError::InvalidStrategy`] (the strategy failed shape
+//!   checks or the solver's validation; carries the reason verbatim),
+//!   and [`ServiceError::RelationConflict`] (the name collides with an
+//!   existing base relation, a named source relation conflicts with a
+//!   live relation's arity, or an unregister targets a view another
+//!   view's footprint still depends on). All three leave every shard
+//!   exactly as it was: pre-checks run before the quiesce barrier, and
+//!   an engine-side failure re-splits the merged component unchanged.
 //! * **Service faults** — the operator (or the service's own healing)
 //!   must act: [`ServiceError::Poisoned`] (a request thread panicked
 //!   holding an internal primitive; the data itself recovers) and
@@ -93,6 +105,23 @@ pub enum ServiceError {
     /// durable** — it may or may not have applied in memory, exactly
     /// like a commit interrupted by a crash.
     Durability(String),
+    /// A `register` named a view that is already registered. The live
+    /// topology is unchanged; a client retrying a registration may
+    /// treat this as success if the definition matches what it sent.
+    ViewExists(String),
+    /// A `register` carried a strategy that failed validation — shape
+    /// checks (safety, non-recursion, delta-rule targets) or the
+    /// solver's well-behavedness analysis. Nothing was registered.
+    InvalidStrategy {
+        /// The validator's reason, verbatim.
+        reason: String,
+    },
+    /// A registration or deregistration conflicts with the live
+    /// relation catalogue: the view name collides with an existing
+    /// non-view relation, a declared source exists with a different
+    /// arity, or the unregistered view is still in another view's
+    /// footprint closure. Carries the conflicting relation name.
+    RelationConflict(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -118,6 +147,15 @@ impl fmt::Display for ServiceError {
                 write!(f, "internal error: poisoned {what}")
             }
             ServiceError::Durability(m) => write!(f, "durability error: {m}"),
+            ServiceError::ViewExists(name) => {
+                write!(f, "view '{name}' is already registered")
+            }
+            ServiceError::InvalidStrategy { reason } => {
+                write!(f, "invalid strategy: {reason}")
+            }
+            ServiceError::RelationConflict(name) => {
+                write!(f, "relation conflict on '{name}'")
+            }
         }
     }
 }

@@ -14,12 +14,14 @@
 //! direct reads of it never contend with view traffic.
 //!
 //! The [`ShardMap`] is the routing half: an immutable relation-name →
-//! [`LockId`] table built once at service construction (the view
-//! catalogue is fixed for the service's lifetime), consulted without any
-//! lock.
+//! [`LockId`] table, consulted without any lock. Immutable does not
+//! mean frozen: live view registration builds a *successor* map
+//! (`ShardMap::successor`) with the affected names re-routed and
+//! atomically swaps the `Arc` holding it — every request loads the
+//! current map once and routes against a consistent generation.
 
 use crate::error::{ServiceError, ServiceResult};
-use crate::locks::{LockId, LockManager};
+use crate::locks::LockId;
 use birds_engine::{Engine, EngineError};
 use std::collections::HashMap;
 
@@ -35,7 +37,7 @@ impl ShardMap {
     }
 
     /// The lock set of a commit touching `views`: the owning shard of
-    /// each name, deduplicated (sorted by [`LockManager::write_set`]).
+    /// each name, deduplicated (sorted by `LockManager::write_set`).
     /// Unknown names are a typed error — the engine would reject them as
     /// `NotAView` anyway, so the commit fails before taking any lock.
     pub fn lock_set<'a>(
@@ -60,11 +62,47 @@ impl ShardMap {
     pub fn is_empty(&self) -> bool {
         self.route.is_empty()
     }
+
+    /// All routed names and their shards (unordered).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, LockId)> {
+        self.route.iter().map(|(name, id)| (name.as_str(), *id))
+    }
+
+    /// The distinct shard ids this map routes to, ascending.
+    pub fn shard_ids(&self) -> Vec<LockId> {
+        let mut ids: Vec<LockId> = self.route.values().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Build the successor map of a live re-shard: every name currently
+    /// routed to one of the `retired` shards is dropped, then each
+    /// replacement component's names are routed to its new id. Names on
+    /// surviving shards keep their routes (and their slot `Arc`s).
+    pub(crate) fn successor<'a>(
+        &self,
+        retired: &[LockId],
+        replacements: impl IntoIterator<Item = (&'a Engine, LockId)>,
+    ) -> ShardMap {
+        let mut route: HashMap<String, LockId> = self
+            .route
+            .iter()
+            .filter(|(_, id)| !retired.contains(id))
+            .map(|(name, id)| (name.clone(), *id))
+            .collect();
+        for (component, id) in replacements {
+            for name in component.database().names() {
+                route.insert(name.to_owned(), id);
+            }
+        }
+        ShardMap { route }
+    }
 }
 
 /// Split `engine` into its footprint components and build the shard
 /// routing table: component `i` becomes lock slot `i`.
-pub fn partition(engine: Engine) -> (LockManager<Engine>, ShardMap) {
+pub fn partition(engine: Engine) -> (Vec<Engine>, ShardMap) {
     let components = engine.split_components();
     let mut route = HashMap::new();
     for (index, component) in components.iter().enumerate() {
@@ -72,5 +110,5 @@ pub fn partition(engine: Engine) -> (LockManager<Engine>, ShardMap) {
             route.insert(name.to_owned(), LockId::new(index));
         }
     }
-    (LockManager::new(components), ShardMap { route })
+    (components, ShardMap { route })
 }

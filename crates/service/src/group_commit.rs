@@ -113,6 +113,13 @@ impl PendingTx {
         })
     }
 
+    /// The view every statement of this transaction targets — the
+    /// routing key a live re-shard uses to move a queued transaction to
+    /// its new shard's committer.
+    pub(crate) fn view(&self) -> &str {
+        &self.view
+    }
+
     /// Take the finished result, `Ok(None)` while still pending. A
     /// poisoned slot means the epoch leader panicked mid-fill; surface
     /// that as a typed error rather than propagating the panic.
@@ -125,7 +132,9 @@ impl PendingTx {
         }
     }
 
-    fn fill(&self, result: TxResult) {
+    /// Deliver the result. `pub(crate)` so a live re-shard can fail a
+    /// queued transaction whose view was just unregistered.
+    pub(crate) fn fill(&self, result: TxResult) {
         if let Ok(mut slot) = self.result.lock() {
             *slot = Some(result);
         }
@@ -135,9 +144,25 @@ impl PendingTx {
 }
 
 /// Per-shard queue of pending autocommit transactions.
+///
+/// A committer belongs to one topology generation. When a live re-shard
+/// retires its shard, the registrar **closes** the queue under the same
+/// mutex it drains it with ([`GroupCommitter::close_and_drain`]) and
+/// moves every queued transaction to the successor topology's
+/// committers — so a transaction is only ever queued in a committer
+/// whose shard is live, and an enqueue that raced the close is told so
+/// ([`GroupCommitter::enqueue`] returns `false`) and retries against
+/// the current topology.
 #[derive(Default)]
 pub(crate) struct GroupCommitter {
-    queue: Mutex<VecDeque<Arc<PendingTx>>>,
+    queue: Mutex<CommitterQueue>,
+}
+
+#[derive(Default)]
+struct CommitterQueue {
+    pending: VecDeque<Arc<PendingTx>>,
+    /// Set once, by the re-shard that retired this committer's shard.
+    closed: bool,
 }
 
 impl GroupCommitter {
@@ -145,13 +170,19 @@ impl GroupCommitter {
         GroupCommitter::default()
     }
 
-    /// Queue a transaction for the next epoch.
-    pub(crate) fn enqueue(&self, tx: Arc<PendingTx>) -> ServiceResult<()> {
-        self.queue
+    /// Queue a transaction for the next epoch. Returns `false` (without
+    /// queueing) when the committer was closed by a live re-shard — the
+    /// submitter reloads the topology and enqueues there instead.
+    pub(crate) fn enqueue(&self, tx: Arc<PendingTx>) -> ServiceResult<bool> {
+        let mut queue = self
+            .queue
             .lock()
-            .map_err(|_| ServiceError::Poisoned("group-commit queue".into()))?
-            .push_back(tx);
-        Ok(())
+            .map_err(|_| ServiceError::Poisoned("group-commit queue".into()))?;
+        if queue.closed {
+            return Ok(false);
+        }
+        queue.pending.push_back(tx);
+        Ok(true)
     }
 
     /// Drain everything queued right now (the epoch of whichever leader
@@ -162,7 +193,19 @@ impl GroupCommitter {
             .queue
             .lock()
             .map_err(|_| ServiceError::Poisoned("group-commit queue".into()))?;
-        Ok(queue.drain(..).collect())
+        Ok(queue.pending.drain(..).collect())
+    }
+
+    /// Close the committer and hand back whatever was queued — called
+    /// exactly once, by the re-shard retiring this committer's shard,
+    /// while that shard's write lock is held. Close and drain happen
+    /// under one mutex acquisition, so no transaction can slip in
+    /// between them; poisoning is recovered (the queue is structurally
+    /// sound either way) because the re-shard must complete.
+    pub(crate) fn close_and_drain(&self) -> Vec<Arc<PendingTx>> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.closed = true;
+        queue.pending.drain(..).collect()
     }
 }
 
@@ -237,7 +280,7 @@ pub(crate) fn process_epoch(
                     // the batch-commit path; such a transaction's seq is
                     // not persisted (see `Service::commits`).
                     (Some(wal), Some(delta)) => wal
-                        .append(&WalRecord {
+                        .append(&WalRecord::Commit {
                             seqs: seqs.clone(),
                             deltas: vec![(view.clone(), delta)],
                         })
@@ -276,7 +319,7 @@ pub(crate) fn process_epoch(
                             max_applied = Some(seq);
                             let logged = match (wal, log_copy) {
                                 (Some(wal), Some(delta)) => wal
-                                    .append(&WalRecord {
+                                    .append(&WalRecord::Commit {
                                         seqs: vec![seq],
                                         deltas: vec![(tx.view.clone(), delta)],
                                     })

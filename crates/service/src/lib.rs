@@ -50,6 +50,15 @@
 //!   snapshot-then-truncate checkpointing ([`Service::checkpoint`],
 //!   automatic every `checkpoint_every` commits). Group-commit epochs
 //!   double as WAL batch boundaries (Obladi, arXiv:1809.10559).
+//! * **Dynamic registration** ([`Service::register_view`] /
+//!   [`Service::unregister_view`], PR 10) — views are registered and
+//!   deregistered on the **live** service: the strategy is validated
+//!   (Algorithm 1), only the shards its footprint touches quiesce while
+//!   the topology re-shards (commits elsewhere proceed), the
+//!   registration is WAL-logged in commit order and snapshotted into
+//!   the checkpoint manifest, so runtime-registered views survive crash
+//!   recovery. Exposed over the wire as the `register` / `unregister` /
+//!   `validate` protocol ops.
 //! * [`protocol`] / [`Server`] — a line-delimited JSON protocol over TCP
 //!   (the `birds-serve` binary) with per-request `id` echo for
 //!   pipelining and a hard request-size cap (oversized lines are
@@ -94,7 +103,7 @@ pub use error::{ServiceError, ServiceResult};
 pub use footprint::ShardMap;
 pub use json::Json;
 pub use locks::{LockId, LockManager};
-pub use protocol::{dispatch, Envelope, Request};
+pub use protocol::{dispatch, Envelope, Request, StrategySpec};
 pub use server::{LocalClient, Server, ServerConfig};
 pub use service::{
     CommitOutcome, DurabilityConfig, ExecOutcome, RelationStats, Service, ServiceConfig, Session,

@@ -26,9 +26,21 @@
 //! queue) surface [`crate::ServiceError::Poisoned`] instead — see
 //! [`crate::group_commit`].
 //!
+//! Successor managers: live re-sharding (dynamic view registration, see
+//! `Service::register_view`) replaces the topology while commits on
+//! untouched shards are in flight. Slots are therefore individually
+//! `Arc`-shared: a successor manager built with
+//! `LockManager::from_slots` *reuses* the slot `Arc`s of surviving
+//! shards, so a thread blocked on (or holding) a surviving shard's lock
+//! under the old manager is blocked on the *same* lock in the new one.
+//! LockIds stay globally consistent across generations — id `i` always
+//! names the same `Arc` in every manager that carries it — which is what
+//! keeps ascending-order acquisition deadlock-free even when old-
+//! and new-generation threads interleave.
+//!
 //! [`Engine`]: birds_engine::Engine
 
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Identifier of one lock slot. Ids are dense indices; their `Ord` is
 /// the global acquisition order.
@@ -50,16 +62,36 @@ impl LockId {
 }
 
 /// A fixed set of reader-writer locks acquired in global id order.
+///
+/// Slots are `Arc`-shared so a successor manager (live re-sharding) can
+/// carry surviving slots over by reference — see the module docs.
 pub struct LockManager<T> {
-    slots: Vec<RwLock<T>>,
+    slots: Vec<Arc<RwLock<T>>>,
 }
 
 impl<T> LockManager<T> {
     /// One lock per item; ids are handed out in `items` order.
     pub fn new(items: Vec<T>) -> Self {
         LockManager {
-            slots: items.into_iter().map(RwLock::new).collect(),
+            slots: items
+                .into_iter()
+                .map(|item| Arc::new(RwLock::new(item)))
+                .collect(),
         }
+    }
+
+    /// Build a successor manager from pre-shared slots: surviving slots
+    /// of the predecessor (same `Arc`, same id) plus freshly allocated
+    /// ones. Crate-internal — only re-sharding code may construct
+    /// managers whose ids must stay consistent with a predecessor's.
+    pub(crate) fn from_slots(slots: Vec<Arc<RwLock<T>>>) -> Self {
+        LockManager { slots }
+    }
+
+    /// The shared slot behind `id` — for carrying a surviving shard's
+    /// lock into a successor manager.
+    pub(crate) fn slot(&self, id: LockId) -> Arc<RwLock<T>> {
+        Arc::clone(&self.slots[id.0])
     }
 
     /// Number of lock slots.
@@ -109,10 +141,20 @@ impl<T> LockManager<T> {
     }
 
     /// Tear down the manager and recover the slot contents in id order.
+    ///
+    /// Panics if any slot is still shared with another manager
+    /// generation — callers tear down only after every predecessor
+    /// topology has been dropped (the service guarantees this by
+    /// consuming its last `Arc<Topology>`).
     pub fn into_inner(self) -> Vec<T> {
         self.slots
             .into_iter()
-            .map(|slot| slot.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .map(|slot| {
+                Arc::try_unwrap(slot)
+                    .unwrap_or_else(|_| panic!("lock slot still shared during teardown"))
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+            })
             .collect()
     }
 }

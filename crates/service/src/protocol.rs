@@ -13,7 +13,36 @@
 //! | `{"op":"query","relation":"v"}`           | `{"ok":true,"relation":"v","tuples":[[…],…]}`                 |
 //! | `{"op":"stats"}`                          | `{"ok":true,"commits":n,"views":[…],"relations":[…]}`         |
 //! | `{"op":"checkpoint"}`                     | `{"ok":true,"watermark":n}` (durable servers only)            |
+//! | `{"op":"register",…}`                     | `{"ok":true,"registered":"v","commit_seq":n,"shards":n}`      |
+//! | `{"op":"unregister","view":"v"}`          | `{"ok":true,"unregistered":"v","commit_seq":n,"shards":n}`    |
+//! | `{"op":"validate",…}`                     | `{"ok":true,"valid":true}` or `{"ok":true,"valid":false,"reason":"…"}` |
 //! | `{"op":"quit"}`                           | `{"ok":true,"bye":true}` and the connection closes            |
+//!
+//! **Dynamic registration (PR 10).** `register` carries a full update
+//! strategy and registers it on the **live** service — only the shards
+//! the new view's footprint touches quiesce; everything else keeps
+//! committing (see `birds_service::Service::register_view`). The
+//! payload:
+//!
+//! ```json
+//! {"op":"register",
+//!  "view":    {"name":"v","columns":[["a","int"]]},
+//!  "sources": [{"name":"r1","columns":[["a","int"]]},
+//!              {"name":"r2","columns":[["a","int"]]}],
+//!  "putdelta": "-r1(X) :- r1(X), not v(X). …",
+//!  "expected_get": null,
+//!  "mode": "incremental"}
+//! ```
+//!
+//! Column sorts are `"int"`, `"float"`, `"string"`, `"bool"`; `"mode"`
+//! is `"incremental"` (default) or `"original"`; `"expected_get"` is an
+//! optional Datalog program defining the view. `validate` takes the
+//! same payload minus `"mode"` and runs the full well-behavedness
+//! analysis (Algorithm 1) **statelessly** — nothing is registered, and
+//! an ill-formed strategy reports `valid:false` rather than a protocol
+//! error. Typed registration rejections (`view 'v' is already
+//! registered`, `invalid strategy: …`, `relation conflict on '…'`)
+//! come back as ordinary `{"ok":false,"error":"…"}` responses.
 //!
 //! Errors never close the connection (except transport failures):
 //! `{"ok":false,"error":"…"}`.
@@ -59,8 +88,9 @@
 use crate::error::ServiceError;
 use crate::json::Json;
 use crate::service::{CommitOutcome, ExecOutcome, Service, Session};
-use birds_engine::ExecutionStats;
-use birds_store::{Tuple, Value};
+use birds_core::UpdateStrategy;
+use birds_engine::{ExecutionStats, StrategyMode};
+use birds_store::{DatabaseSchema, Schema, SortKind, Tuple, Value};
 
 /// A decoded protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,8 +119,183 @@ pub enum Request {
     /// operator's lever for bounding the WAL and for healing a sealed
     /// writer without a restart.
     Checkpoint,
+    /// Register an update strategy as a live view (PR 10): validates,
+    /// quiesces only the affected shards, re-shards, logs to the WAL.
+    Register {
+        /// The strategy payload (view + sources + putdelta program).
+        spec: StrategySpec,
+        /// Evaluation mode for the putback program.
+        mode: StrategyMode,
+    },
+    /// Deregister a live view (inverse of `register`).
+    Unregister {
+        /// The view to deregister.
+        view: String,
+    },
+    /// Statelessly run the well-behavedness analysis (Algorithm 1) on a
+    /// strategy without registering anything.
+    Validate {
+        /// The strategy payload.
+        spec: StrategySpec,
+    },
     /// Close the session.
     Quit,
+}
+
+/// The wire form of an update strategy: the `register` / `validate`
+/// payload, before it is parsed into a [`UpdateStrategy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategySpec {
+    /// Schema of the view relation.
+    pub view: Schema,
+    /// Schemas of the source relations, in declaration order.
+    pub sources: Vec<Schema>,
+    /// The putback (putdelta) program, as Datalog source text.
+    pub putdelta: String,
+    /// Optional expected view definition (rules with head `v`).
+    pub expected_get: Option<String>,
+}
+
+impl StrategySpec {
+    /// Parse the wire payload into a shape-checked [`UpdateStrategy`].
+    pub fn to_strategy(&self) -> Result<UpdateStrategy, ServiceError> {
+        UpdateStrategy::parse(
+            DatabaseSchema {
+                relations: self.sources.clone(),
+            },
+            self.view.clone(),
+            &self.putdelta,
+            self.expected_get.as_deref(),
+        )
+        .map_err(|e| ServiceError::InvalidStrategy {
+            reason: e.to_string(),
+        })
+    }
+}
+
+fn sort_to_str(sort: SortKind) -> &'static str {
+    match sort {
+        SortKind::Int => "int",
+        SortKind::Float => "float",
+        SortKind::Str => "string",
+        SortKind::Bool => "bool",
+    }
+}
+
+fn sort_from_str(s: &str) -> Result<SortKind, ServiceError> {
+    match s {
+        "int" => Ok(SortKind::Int),
+        "float" => Ok(SortKind::Float),
+        "string" => Ok(SortKind::Str),
+        "bool" => Ok(SortKind::Bool),
+        other => Err(ServiceError::Protocol(format!(
+            "unknown column sort '{other}' (expected int|float|string|bool)"
+        ))),
+    }
+}
+
+fn schema_to_json(schema: &Schema) -> Json {
+    Json::Obj(vec![
+        ("name".to_owned(), Json::str(schema.name.clone())),
+        (
+            "columns".to_owned(),
+            Json::Arr(
+                schema
+                    .attributes
+                    .iter()
+                    .map(|attr| {
+                        Json::Arr(vec![
+                            Json::str(attr.name.clone()),
+                            Json::str(sort_to_str(attr.sort)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode `{"name":…,"columns":[[name, sort],…]}` into a [`Schema`].
+pub fn schema_from_json(doc: &Json) -> Result<Schema, ServiceError> {
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::Protocol("relation needs a string field 'name'".into()))?;
+    let columns = doc
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServiceError::Protocol("relation needs an array field 'columns'".into()))?;
+    let mut attrs: Vec<(&str, SortKind)> = Vec::with_capacity(columns.len());
+    for column in columns {
+        let pair = column
+            .as_arr()
+            .filter(|pair| pair.len() == 2)
+            .ok_or_else(|| {
+                ServiceError::Protocol("each column must be a [name, sort] pair".into())
+            })?;
+        let col_name = pair[0]
+            .as_str()
+            .ok_or_else(|| ServiceError::Protocol("column name must be a string".into()))?;
+        let sort = pair[1]
+            .as_str()
+            .ok_or_else(|| ServiceError::Protocol("column sort must be a string".into()))
+            .and_then(sort_from_str)?;
+        attrs.push((col_name, sort));
+    }
+    Ok(Schema::new(name, attrs))
+}
+
+/// Decode a `register` / `validate` payload (everything but `op` and
+/// `mode`) into a [`StrategySpec`].
+pub fn spec_from_json(doc: &Json) -> Result<StrategySpec, ServiceError> {
+    let view = doc
+        .get("view")
+        .ok_or_else(|| ServiceError::Protocol("missing object field 'view'".into()))
+        .and_then(schema_from_json)?;
+    let sources = doc
+        .get("sources")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServiceError::Protocol("missing array field 'sources'".into()))?
+        .iter()
+        .map(schema_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let putdelta = doc
+        .get("putdelta")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::Protocol("missing string field 'putdelta'".into()))?
+        .to_owned();
+    let expected_get = match doc.get("expected_get") {
+        None | Some(Json::Null) => None,
+        Some(value) => Some(
+            value
+                .as_str()
+                .ok_or_else(|| {
+                    ServiceError::Protocol("'expected_get' must be a string or null".into())
+                })?
+                .to_owned(),
+        ),
+    };
+    Ok(StrategySpec {
+        view,
+        sources,
+        putdelta,
+        expected_get,
+    })
+}
+
+fn spec_fields(spec: &StrategySpec) -> Vec<(String, Json)> {
+    let mut fields = vec![
+        ("view".to_owned(), schema_to_json(&spec.view)),
+        (
+            "sources".to_owned(),
+            Json::Arr(spec.sources.iter().map(schema_to_json).collect()),
+        ),
+        ("putdelta".to_owned(), Json::str(spec.putdelta.clone())),
+    ];
+    if let Some(get) = &spec.expected_get {
+        fields.push(("expected_get".to_owned(), Json::str(get.clone())));
+    }
+    fields
 }
 
 impl Request {
@@ -135,6 +340,32 @@ impl Request {
             }
             "stats" => Ok(Request::Stats),
             "checkpoint" => Ok(Request::Checkpoint),
+            "register" => {
+                let spec = spec_from_json(doc)?;
+                let mode = match doc.get("mode").and_then(Json::as_str) {
+                    None | Some("incremental") => StrategyMode::Incremental,
+                    Some("original") => StrategyMode::Original,
+                    Some(other) => {
+                        return Err(ServiceError::Protocol(format!(
+                            "unknown mode '{other}' (expected incremental|original)"
+                        )))
+                    }
+                };
+                Ok(Request::Register { spec, mode })
+            }
+            "unregister" => {
+                let view = doc
+                    .get("view")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        ServiceError::Protocol("'unregister' needs a string field 'view'".into())
+                    })?
+                    .to_owned();
+                Ok(Request::Unregister { view })
+            }
+            "validate" => Ok(Request::Validate {
+                spec: spec_from_json(doc)?,
+            }),
             "quit" => Ok(Request::Quit),
             other => Err(ServiceError::Protocol(format!("unknown op '{other}'"))),
         }
@@ -156,6 +387,11 @@ impl Request {
         match self {
             Request::Begin | Request::Commit | Request::Rollback => true,
             Request::Execute { .. } => in_batch,
+            // Topology changes run FIFO on the session lane so a client
+            // that pipelines `register` followed by writes to the new
+            // view observes its own registration. (The service layer
+            // additionally serializes registrations globally.)
+            Request::Register { .. } | Request::Unregister { .. } => true,
             _ => false,
         }
     }
@@ -184,6 +420,9 @@ impl Request {
                 Request::Query { .. } => "query",
                 Request::Stats => "stats",
                 Request::Checkpoint => "checkpoint",
+                Request::Register { .. } => "register",
+                Request::Unregister { .. } => "unregister",
+                Request::Validate { .. } => "validate",
                 Request::Quit => "quit",
             }),
         )];
@@ -192,6 +431,20 @@ impl Request {
             Request::Query { relation } => {
                 fields.push(("relation".to_owned(), Json::str(relation.clone())))
             }
+            Request::Register { spec, mode } => {
+                fields.extend(spec_fields(spec));
+                fields.push((
+                    "mode".to_owned(),
+                    Json::str(match mode {
+                        StrategyMode::Incremental => "incremental",
+                        StrategyMode::Original => "original",
+                    }),
+                ));
+            }
+            Request::Unregister { view } => {
+                fields.push(("view".to_owned(), Json::str(view.clone())))
+            }
+            Request::Validate { spec } => fields.extend(spec_fields(spec)),
             _ => {}
         }
         Json::Obj(fields).to_compact()
@@ -436,6 +689,28 @@ pub fn dispatch(session: &mut Session, request: &Request) -> Json {
             .service()
             .checkpoint()
             .map(|watermark| ok(vec![("watermark".to_owned(), Json::Int(watermark as i64))])),
+        Request::Register { spec, mode } => spec.to_strategy().and_then(|strategy| {
+            let service = session.service();
+            let seq = service.register_view(strategy, *mode)?;
+            Ok(ok(vec![
+                ("registered".to_owned(), Json::str(spec.view.name.clone())),
+                ("commit_seq".to_owned(), Json::Int(seq as i64)),
+                ("shards".to_owned(), Json::Int(service.shard_count() as i64)),
+            ]))
+        }),
+        Request::Unregister { view } => {
+            let service = session.service();
+            service.unregister_view(view).map(|seq| {
+                ok(vec![
+                    ("unregistered".to_owned(), Json::str(view.clone())),
+                    ("commit_seq".to_owned(), Json::Int(seq as i64)),
+                    ("shards".to_owned(), Json::Int(service.shard_count() as i64)),
+                ])
+            })
+        }
+        // Stateless by design: an ill-formed or ill-behaved strategy is
+        // the *answer* (`valid:false`), not an error.
+        Request::Validate { spec } => Ok(validate_response(spec)),
         Request::Quit => Ok(quit_response()),
     };
     result.unwrap_or_else(|e| error_response(&e))
@@ -445,6 +720,32 @@ pub fn dispatch(session: &mut Session, request: &Request) -> Json {
 /// transport closes after writing it).
 pub(crate) fn quit_response() -> Json {
     ok(vec![("bye".to_owned(), Json::Bool(true))])
+}
+
+/// The `validate` reply: parse the payload, run Algorithm 1, and report
+/// the verdict. Every strategy-level failure — bad shape, unsafe rules,
+/// a GetPut/PutGet counterexample — is a `valid:false` verdict with the
+/// analysis's reason; only malformed *JSON* is a protocol error (caught
+/// upstream at request parse time).
+fn validate_response(spec: &StrategySpec) -> Json {
+    let verdict = spec
+        .to_strategy()
+        .and_then(|strategy| {
+            birds_core::validate(&strategy).map_err(|e| ServiceError::InvalidStrategy {
+                reason: e.to_string(),
+            })
+        })
+        .map(|report| (report.valid, report.reason));
+    let (valid, reason) = match verdict {
+        Ok((valid, reason)) => (valid, reason),
+        Err(ServiceError::InvalidStrategy { reason }) => (false, Some(reason)),
+        Err(e) => (false, Some(e.to_string())),
+    };
+    let mut fields = vec![("valid".to_owned(), Json::Bool(valid))];
+    if let Some(reason) = reason {
+        fields.push(("reason".to_owned(), Json::str(reason)));
+    }
+    ok(fields)
 }
 
 /// The `stats` reply. Lock-free on purpose: `view_names` /
@@ -506,6 +807,21 @@ pub(crate) fn stateless_response(service: &Service, request: &Request, pending: 
 mod tests {
     use super::*;
 
+    fn union_spec() -> StrategySpec {
+        StrategySpec {
+            view: Schema::new("v", vec![("a", SortKind::Int)]),
+            sources: vec![
+                Schema::new("r1", vec![("a", SortKind::Int)]),
+                Schema::new("r2", vec![("a", SortKind::Int)]),
+            ],
+            putdelta: "-r1(X) :- r1(X), not v(X).\n\
+                       -r2(X) :- r2(X), not v(X).\n\
+                       +r1(X) :- v(X), not r1(X), not r2(X)."
+                .to_owned(),
+            expected_get: None,
+        }
+    }
+
     #[test]
     fn requests_round_trip_through_encode_parse() {
         let requests = [
@@ -521,6 +837,21 @@ mod tests {
             },
             Request::Stats,
             Request::Checkpoint,
+            Request::Register {
+                spec: union_spec(),
+                mode: StrategyMode::Incremental,
+            },
+            Request::Register {
+                spec: StrategySpec {
+                    expected_get: Some("v(X) :- r1(X). v(X) :- r2(X).".to_owned()),
+                    ..union_spec()
+                },
+                mode: StrategyMode::Original,
+            },
+            Request::Unregister {
+                view: "v".to_owned(),
+            },
+            Request::Validate { spec: union_spec() },
             Request::Quit,
         ];
         for r in requests {
@@ -539,6 +870,10 @@ mod tests {
             r#"{"op":"nope"}"#,
             r#"{"op":"execute"}"#,
             r#"{"op":"query"}"#,
+            r#"{"op":"unregister"}"#,
+            r#"{"op":"register"}"#,
+            r#"{"op":"register","view":{"name":"v","columns":[["a","int"]]},"sources":[],"putdelta":"x","mode":"sometimes"}"#,
+            r#"{"op":"validate","view":{"name":"v","columns":[["a","nope"]]},"sources":[],"putdelta":"x"}"#,
         ] {
             assert!(
                 matches!(Request::parse(line), Err(ServiceError::Protocol(_))),

@@ -1,5 +1,7 @@
 //! The thread-safe, multi-session service over [`birds_engine::Engine`] —
-//! footprint-sharded since PR 4, with MVCC snapshot reads since PR 6.
+//! footprint-sharded since PR 4, MVCC snapshot reads since PR 6, and
+//! **dynamically re-shardable** since PR 10: views can be registered
+//! and deregistered on a live service.
 //!
 //! At construction the engine is split along **view dependency
 //! footprints** into independently locked components
@@ -8,25 +10,58 @@
 //! its own shard's write lock and commits on disjoint views proceed in
 //! parallel. Lock sets are always acquired in global [`LockId`] order
 //! ([`crate::locks`]), which makes overlapping commits deadlock-free by
-//! construction. The engine-wide `RwLock` of PR 3 is gone; what remains
-//! global is the **commit sequence** — every transaction still gets a
-//! unique, dense serial number, assigned while its footprint is locked,
-//! so the concurrent history stays equivalent to the serial replay in
-//! commit order (the stress suite's linearizability check).
+//! construction. What remains global is the **commit sequence** — every
+//! transaction still gets a unique, dense serial number, assigned while
+//! its footprint is locked, so the concurrent history stays equivalent
+//! to the serial replay in commit order.
+//!
+//! ## Live topology
+//!
+//! The sharded state — lock slots, routing table, group-commit queues,
+//! snapshot cells, WAL segment writers — lives in one `Topology`
+//! value behind an `Arc` that every request loads exactly once
+//! (`Service::topology`). Dynamic registration
+//! ([`Service::register_view`] / [`Service::unregister_view`]) builds a
+//! *successor* topology and swaps the `Arc`: the quiesce barrier is the
+//! write locks of **only the shards the new view's footprint touches**
+//! (computed by [`birds_engine::strategy_touches`] before any lock is
+//! taken); disjoint shards keep committing throughout. The affected
+//! shards' engines are taken out of their slots (which become `None` —
+//! permanently, for a retired generation), merged
+//! ([`Engine::merge`]), mutated, re-split, and installed under **fresh**
+//! slot `Arc`s, so a stale thread that raced the swap can never touch a
+//! new engine through an old lock set: it finds `None`, reloads the
+//! topology, and retries. Surviving shards carry their slot, cell and
+//! committer `Arc`s across generations unchanged — `LockId` *i* names
+//! the same lock in every generation, which keeps ascending-order
+//! acquisition deadlock-free even when old- and new-generation threads
+//! interleave.
+//!
+//! Lock order across the subsystem: checkpoint lock → registration
+//! lock → shard locks (ascending) → WAL writer mutex. Registrations
+//! serialize on the registration lock; checkpoints freeze the
+//! registration set for their whole duration by taking that lock too.
 //!
 //! ## Invariants
 //!
 //! * **Commit-seq assignment**: seqs come from one global counter,
 //!   bumped only while the commit's footprint is write-locked, so
 //!   per-shard seq order equals application order and the global order
-//!   is a valid serial history.
+//!   is a valid serial history. Registrations consume a seq from the
+//!   same counter while holding every affected shard's write lock, so
+//!   the WAL's interleaving of topology changes and commits is exact.
 //! * **Snapshot visibility**: every commit publishes each touched
 //!   shard's [`ShardSnapshot`] *before releasing its locks and before
 //!   acknowledging any client* — a client that saw `Ok` finds its write
 //!   on the lock-free read path, and a reader never sees a commit's
-//!   effects before that commit's WAL record was appended.
+//!   effects before that commit's WAL record was appended. A
+//!   registration publishes every replacement shard's snapshot (tagged
+//!   with the registration's seq) *before* the topology swap, so both
+//!   generations are consistent cuts at every instant.
 //! * **Durability coupling**: on a durable service, no result slot is
-//!   filled until the epoch-end fsync ran (see [`crate::group_commit`]).
+//!   filled until the epoch-end fsync ran (see [`crate::group_commit`]),
+//!   and a registration is installed only after its
+//!   [`WalRecord::Register`] reached the log.
 //!
 //! ## Read path
 //!
@@ -54,13 +89,19 @@ use crate::footprint::{partition, ShardMap};
 use crate::group_commit::{EpochWal, GroupCommitter, PendingTx};
 use crate::locks::{LockId, LockManager};
 use crate::snapshot::{ServiceSnapshot, ShardSnapshot, SnapshotCell};
-use birds_engine::{Engine, EngineError, ExecutionStats};
+use birds_core::UpdateStrategy;
+use birds_engine::{
+    strategy_touches, Engine, EngineError, ExecutionStats, StrategyMode, ViewDefinition,
+};
 use birds_sql::{parse_script, DmlStatement};
 use birds_store::{Database, Delta, Relation, RelationVersion, Tuple};
-use birds_wal::{FsyncPolicy, SegmentWriter, WalRecord, DEFAULT_SEGMENT_BYTES};
+use birds_wal::{
+    FsyncPolicy, Registration, SegmentWriter, ViewDef, WalRecord, DEFAULT_SEGMENT_BYTES,
+};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockWriteGuard};
 use std::time::Duration;
 
 /// Service tuning knobs.
@@ -128,19 +169,208 @@ pub struct RelationStats {
     pub index_misses: u64,
 }
 
-/// The durable half of a running service: one segment writer per shard
-/// (same indexing as the lock manager) plus checkpoint bookkeeping.
+/// The durable half of a running service: the data directory plus
+/// checkpoint bookkeeping. The per-shard segment writers live in the
+/// `Topology` (they are re-seated when a live re-shard grows the
+/// shard set).
 struct WalState {
-    writers: Vec<Mutex<SegmentWriter>>,
     fsync: FsyncPolicy,
     data_dir: PathBuf,
     checkpoint_every: Option<u64>,
+    /// Segment rotation threshold — kept so a live registration can open
+    /// writers for freshly minted shard slots.
+    segment_bytes: u64,
     commits_since_checkpoint: AtomicU64,
     /// Serializes checkpointers (the shard locks alone would let two
     /// checkpoints interleave their snapshot/truncate halves).
     checkpoint_lock: Mutex<()>,
     /// Consecutive failed emergency-heal checkpoints (log throttling).
     heal_failures: AtomicU64,
+}
+
+/// One generation of the sharded state. Every request loads the current
+/// generation exactly once (`Service::topology`) and works against a
+/// consistent quintuple; a live re-shard builds a successor and swaps
+/// the `Arc` while holding the affected shards' write locks.
+///
+/// All five vectors are indexed by [`LockId`]; a retired slot (its
+/// engine merged away by a re-shard that didn't reuse the index) holds
+/// `None` forever and is never routed to.
+struct Topology {
+    /// One engine component (and one reader-writer lock) per footprint
+    /// shard; slot order is [`LockId`] order. `None` marks a retired
+    /// slot — a stale thread that finds it reloads the topology.
+    shards: LockManager<Option<Engine>>,
+    /// Relation name → owning shard (shared with every
+    /// [`ServiceSnapshot`] handed out).
+    route: Arc<ShardMap>,
+    /// One group-commit queue per shard. A retired shard's committer is
+    /// closed by the re-shard that retired it; its queued transactions
+    /// migrate to the successor's committers.
+    committers: Vec<Arc<GroupCommitter>>,
+    /// One published-snapshot cell per shard; the entire lock-free read
+    /// path hangs off these. Survivors share cells across generations.
+    cells: Vec<Arc<SnapshotCell>>,
+    /// One WAL segment writer per shard (empty on in-memory services).
+    /// Shared across generations so a surviving shard's log continues
+    /// seamlessly through a re-shard.
+    writers: Vec<Arc<Mutex<SegmentWriter>>>,
+}
+
+struct ServiceInner {
+    /// The current topology generation. The `RwLock` guards only the
+    /// `Arc` pointer (clone on load, store on swap) — never engine work.
+    topology: RwLock<Arc<Topology>>,
+    /// Serializes topology changes (register/unregister). Held for the
+    /// whole re-shard; checkpoints take it too, freezing the
+    /// registration set while the manifest is written.
+    registration_lock: Mutex<()>,
+    commit_seq: AtomicU64,
+    /// Seqlock over *multi-shard* snapshot publication: odd while a
+    /// multi-shard commit is swapping several cells, bumped to even
+    /// when done. Single-shard commits never touch it — they commute
+    /// with each other, so any mix of their publications is a
+    /// consistent cut; only a multi-shard commit can establish a
+    /// cross-shard invariant that a reader must not see half of.
+    publication_seq: AtomicU64,
+    /// Serializes multi-shard publications. Two batch commits with
+    /// *disjoint* multi-shard footprints hold disjoint shard locks, so
+    /// without this their seqlock brackets would interleave — two
+    /// opening increments make the counter even again (0→1→2) while
+    /// both are still mid-swap, and a reader could assemble a torn
+    /// cut. Held only around the pointer swaps (no engine work), so
+    /// the cost is negligible.
+    publication_lock: Mutex<()>,
+    config: ServiceConfig,
+    /// `Some` when the service is durable ([`Service::open`]).
+    wal: Option<WalState>,
+}
+
+/// Why a successor topology could not be installed.
+enum InstallError {
+    /// Nothing was installed and nothing durable was written; the merged
+    /// engine (mutation already reverted by the caller) comes back for
+    /// reseating into the still-held guards. Boxed: the error path
+    /// carries a whole engine, the `Ok` path should stay thin.
+    Aborted(Box<Engine>, ServiceError),
+}
+
+/// Convert an engine-side view definition into its WAL form.
+fn def_to_wal(def: &ViewDefinition) -> ViewDef {
+    ViewDef {
+        sources: def.sources.clone(),
+        view: def.view.clone(),
+        putdelta: def.putdelta.clone(),
+        expected_get: def.expected_get.clone(),
+        get: def.get.clone(),
+        incremental: def.mode == StrategyMode::Incremental,
+    }
+}
+
+/// Convert a WAL view definition back into the engine's form.
+fn def_from_wal(def: &ViewDef) -> ViewDefinition {
+    ViewDefinition {
+        sources: def.sources.clone(),
+        view: def.view.clone(),
+        putdelta: def.putdelta.clone(),
+        expected_get: def.expected_get.clone(),
+        get: def.get.clone(),
+        mode: if def.incremental {
+            StrategyMode::Incremental
+        } else {
+            StrategyMode::Original
+        },
+    }
+}
+
+/// Reconcile the caller-provided engine's view set with a checkpoint
+/// manifest: the manifest is authoritative. Views the engine registered
+/// that the manifest doesn't carry (or carries with a different
+/// definition) are dropped — as a fixpoint, because a view can only be
+/// unregistered once nothing depends on it — and manifest views the
+/// engine lacks are registered in manifest (dependency) order.
+fn reconcile_views(engine: &mut Engine, manifest: &[ViewDef]) -> ServiceResult<()> {
+    let manifest_defs: BTreeMap<&str, ViewDefinition> = manifest
+        .iter()
+        .map(|def| (def.view.name.as_str(), def_from_wal(def)))
+        .collect();
+    loop {
+        let stale: Vec<String> = engine
+            .view_definitions()
+            .into_iter()
+            .filter(|def| manifest_defs.get(def.view.name.as_str()) != Some(def))
+            .map(|def| def.view.name)
+            .collect();
+        if stale.is_empty() {
+            break;
+        }
+        let mut progress = false;
+        for name in &stale {
+            if engine.unregister_view(name).is_ok() {
+                progress = true;
+            }
+        }
+        if !progress {
+            return Err(ServiceError::Durability(format!(
+                "snapshot manifest reconciliation stalled on views {stale:?} \
+                 (circular footprint dependency)"
+            )));
+        }
+    }
+    for def in manifest {
+        if !engine.is_view(&def.view.name) {
+            engine
+                .register_definition(&def_from_wal(def))
+                .map_err(|e| {
+                    ServiceError::Durability(format!(
+                        "re-registering view '{}' from the snapshot manifest: {e}",
+                        def.view.name
+                    ))
+                })?;
+        }
+    }
+    Ok(())
+}
+
+/// Replay one recovered WAL record into the engine.
+fn replay_record(engine: &mut Engine, record: WalRecord) -> ServiceResult<()> {
+    match record {
+        WalRecord::Commit { seqs, deltas } => {
+            let seq = seqs.first().copied().unwrap_or(0);
+            for (view, delta) in deltas {
+                engine.apply_delta(&view, delta).map_err(|e| {
+                    ServiceError::Durability(format!("replaying commit seq {seq}: {e}"))
+                })?;
+            }
+        }
+        WalRecord::Register(reg) => {
+            // A view the engine already carries (the operator's startup
+            // code re-registered it, or the checkpoint manifest did) is
+            // not registered twice — the logged definition prevails at
+            // the checkpoint that wrote it.
+            if !engine.is_view(&reg.def.view.name) {
+                engine
+                    .register_definition(&def_from_wal(&reg.def))
+                    .map_err(|e| {
+                        ServiceError::Durability(format!(
+                            "replaying registration of view '{}' (seq {}): {e}",
+                            reg.def.view.name, reg.seq
+                        ))
+                    })?;
+            }
+        }
+        WalRecord::Unregister { seq, view } => match engine.unregister_view(&view) {
+            // Already absent: the checkpoint manifest (or the operator's
+            // engine) never had it — the unregister is a no-op on replay.
+            Ok(()) | Err(EngineError::NotAView(_)) => {}
+            Err(e) => {
+                return Err(ServiceError::Durability(format!(
+                    "replaying deregistration of view '{view}' (seq {seq}): {e}"
+                )))
+            }
+        },
+    }
+    Ok(())
 }
 
 /// Outcome of a [`Session::execute`] call.
@@ -176,39 +406,6 @@ pub struct Service {
     inner: Arc<ServiceInner>,
 }
 
-struct ServiceInner {
-    /// One engine component (and one reader-writer lock) per footprint
-    /// shard; slot order is [`LockId`] order.
-    shards: LockManager<Engine>,
-    /// Relation name → owning shard (shared with every
-    /// [`ServiceSnapshot`] handed out).
-    route: Arc<ShardMap>,
-    /// One group-commit queue per shard (same indexing as `shards`).
-    committers: Vec<GroupCommitter>,
-    /// One published-snapshot cell per shard (same indexing as
-    /// `shards`); the entire lock-free read path hangs off these.
-    cells: Vec<SnapshotCell>,
-    commit_seq: AtomicU64,
-    /// Seqlock over *multi-shard* snapshot publication: odd while a
-    /// multi-shard commit is swapping several cells, bumped to even
-    /// when done. Single-shard commits never touch it — they commute
-    /// with each other, so any mix of their publications is a
-    /// consistent cut; only a multi-shard commit can establish a
-    /// cross-shard invariant that a reader must not see half of.
-    publication_seq: AtomicU64,
-    /// Serializes multi-shard publications. Two batch commits with
-    /// *disjoint* multi-shard footprints hold disjoint shard locks, so
-    /// without this their seqlock brackets would interleave — two
-    /// opening increments make the counter even again (0→1→2) while
-    /// both are still mid-swap, and a reader could assemble a torn
-    /// cut. Held only around the pointer swaps (no engine work), so
-    /// the cost is negligible.
-    publication_lock: Mutex<()>,
-    config: ServiceConfig,
-    /// `Some` when the service is durable ([`Service::open`]).
-    wal: Option<WalState>,
-}
-
 impl Service {
     /// Wrap an engine (typically with views already registered),
     /// splitting it into footprint shards with the default config.
@@ -225,16 +422,16 @@ impl Service {
     /// snapshot, then the WAL in global commit-seq order), then serve
     /// with write-ahead logging on every commit path.
     ///
-    /// `engine` must be built by the same registration code that built
-    /// it originally — the same base tables and views in the same order.
-    /// Recovery restores relation *contents* from the snapshot (a
-    /// registration mismatch is a typed error, not silent corruption)
-    /// and replays each logged epoch's net per-view deltas through the
-    /// deterministic [`Engine::apply_delta`] path, merging the per-shard
-    /// logs by first member commit seq — which, because seqs are
-    /// assigned under the commit's shard locks, is exactly the global
-    /// commit order. Torn record tails (a crash mid-append) are
-    /// CRC-detected and truncated.
+    /// `engine` provides the base tables (and any statically registered
+    /// views). Recovery first reconciles the engine's view set against
+    /// the checkpoint's **registration manifest** (runtime-registered
+    /// views survive restarts even when the startup code doesn't know
+    /// them; a definition the manifest carries wins over the caller's),
+    /// restores relation *contents* from the snapshot, then replays the
+    /// WAL — commits through the deterministic [`Engine::apply_delta`]
+    /// path, interleaved with logged registrations and deregistrations
+    /// in exact global commit-seq order. Torn record tails (a crash
+    /// mid-append) are CRC-detected and truncated.
     ///
     /// ```
     /// # use birds_core::UpdateStrategy;
@@ -303,15 +500,21 @@ impl Service {
                 let recovery = birds_wal::recover(&d.data_dir)
                     .map_err(|e| ServiceError::Durability(e.to_string()))?;
                 if let Some(body) = &recovery.snapshot {
-                    engine.restore(&body[..])?;
+                    if body.starts_with(&birds_engine::SNAPSHOT_MAGIC) {
+                        // Pre-manifest snapshot (written before dynamic
+                        // registration existed): the caller's engine
+                        // defines the view set, as it always did.
+                        engine.restore(&body[..])?;
+                    } else {
+                        let (defs, consumed) = birds_wal::decode_view_defs(body).map_err(|e| {
+                            ServiceError::Durability(format!("checkpoint manifest: {e}"))
+                        })?;
+                        reconcile_views(&mut engine, &defs)?;
+                        engine.restore(&body[consumed..])?;
+                    }
                 }
                 for record in recovery.records {
-                    let seq = record.first_seq();
-                    for (view, delta) in record.deltas {
-                        engine.apply_delta(&view, delta).map_err(|e| {
-                            ServiceError::Durability(format!("replaying commit seq {seq}: {e}"))
-                        })?;
-                    }
+                    replay_record(&mut engine, record)?;
                 }
                 start_seq = recovery.max_seq;
                 // Replay can grow relations far past the sizes the
@@ -321,41 +524,57 @@ impl Service {
                 Some(d)
             }
         };
-        let (shards, route) = partition(engine);
-        let wal = match durability {
-            None => None,
+        let (components, route) = partition(engine);
+        let shard_count = components.len();
+        let (wal, writers) = match durability {
+            None => (None, Vec::new()),
             Some(d) => {
-                let writers = (0..shards.len())
+                let writers = (0..shard_count)
                     .map(|shard| {
-                        SegmentWriter::open(&d.data_dir, shard, d.segment_bytes).map(Mutex::new)
+                        SegmentWriter::open(&d.data_dir, shard, d.segment_bytes)
+                            .map(|writer| Arc::new(Mutex::new(writer)))
                     })
                     .collect::<Result<Vec<_>, _>>()
                     .map_err(|e| ServiceError::Durability(e.to_string()))?;
-                Some(WalState {
+                (
+                    Some(WalState {
+                        fsync: d.fsync,
+                        data_dir: d.data_dir,
+                        checkpoint_every: d.checkpoint_every,
+                        segment_bytes: d.segment_bytes,
+                        commits_since_checkpoint: AtomicU64::new(0),
+                        checkpoint_lock: Mutex::new(()),
+                        heal_failures: AtomicU64::new(0),
+                    }),
                     writers,
-                    fsync: d.fsync,
-                    data_dir: d.data_dir,
-                    checkpoint_every: d.checkpoint_every,
-                    commits_since_checkpoint: AtomicU64::new(0),
-                    checkpoint_lock: Mutex::new(()),
-                    heal_failures: AtomicU64::new(0),
-                })
+                )
             }
         };
-        let committers = (0..shards.len()).map(|_| GroupCommitter::new()).collect();
+        let committers = (0..shard_count)
+            .map(|_| Arc::new(GroupCommitter::new()))
+            .collect();
+        let shards = LockManager::new(components.into_iter().map(Some).collect());
         // Initial snapshot publication: every shard's image as of the
         // recovered (or zero) commit seq. Nothing is shared yet, so no
         // locks are needed.
-        let cells = shards
+        let cells: Vec<Arc<SnapshotCell>> = shards
             .ids()
-            .map(|id| SnapshotCell::new(ShardSnapshot::capture(&mut shards.write(id), start_seq)))
+            .map(|id| {
+                let mut slot = shards.write(id);
+                let engine = slot.as_mut().expect("fresh slots are live");
+                Arc::new(SnapshotCell::new(ShardSnapshot::capture(engine, start_seq)))
+            })
             .collect();
         Ok(Service {
             inner: Arc::new(ServiceInner {
-                shards,
-                route: Arc::new(route),
-                committers,
-                cells,
+                topology: RwLock::new(Arc::new(Topology {
+                    shards,
+                    route: Arc::new(route),
+                    committers,
+                    cells,
+                    writers,
+                })),
+                registration_lock: Mutex::new(()),
                 commit_seq: AtomicU64::new(start_seq),
                 publication_seq: AtomicU64::new(0),
                 publication_lock: Mutex::new(()),
@@ -363,6 +582,17 @@ impl Service {
                 wal,
             }),
         })
+    }
+
+    /// Load the current topology generation (one `Arc` clone under a
+    /// pointer-only lock). Every request works against the generation
+    /// it loaded; a re-shard mid-request is detected by the `None` slot
+    /// of a retired shard, upon which the request reloads and retries.
+    fn topology(&self) -> Arc<Topology> {
+        match self.inner.topology.read() {
+            Ok(topology) => Arc::clone(&topology),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
     }
 
     /// Open a new session in autocommit mode.
@@ -373,12 +603,15 @@ impl Service {
         }
     }
 
-    /// Number of footprint shards (disjoint views land in different
-    /// shards and commit in parallel).
+    /// Number of **live** footprint shards (disjoint views land in
+    /// different shards and commit in parallel). Retired lock slots —
+    /// left behind by live re-shards — are not counted.
     pub fn shard_count(&self) -> usize {
-        self.inner.shards.len()
+        self.topology().route.shard_ids().len()
     }
+}
 
+impl Service {
     /// Assemble a consistent, **lock-free** snapshot over every shard —
     /// the MVCC read entry point. The returned [`ServiceSnapshot`] is an
     /// owned value: pin it as long as you like; it observes none of the
@@ -389,7 +622,9 @@ impl Service {
     /// independently (they commute, so any mix of cells is a consistent
     /// cut); only multi-shard commits bracket their publication with the
     /// publication seqlock, and assembly retries the cheap pointer
-    /// collection while one is in flight.
+    /// collection while one is in flight. A live re-shard swaps the
+    /// whole topology `Arc` atomically, so assembly sees either
+    /// generation in full — never a mix.
     ///
     /// ```
     /// # use birds_service::Service;
@@ -406,11 +641,11 @@ impl Service {
     /// assert!(pinned.relation("nope").is_none());
     /// ```
     pub fn snapshot(&self) -> ServiceSnapshot {
-        let cells = &self.inner.cells;
-        if cells.len() <= 1 {
+        let topo = self.topology();
+        if topo.cells.len() <= 1 {
             // A single cell load is trivially consistent.
-            let shards = cells.iter().map(SnapshotCell::load).collect();
-            return ServiceSnapshot::new(shards, Arc::clone(&self.inner.route));
+            let shards = topo.cells.iter().map(|cell| cell.load()).collect();
+            return ServiceSnapshot::new(shards, Arc::clone(&topo.route));
         }
         let mut spins = 0u32;
         loop {
@@ -430,9 +665,9 @@ impl Service {
                 }
                 continue;
             }
-            let shards: Vec<_> = cells.iter().map(SnapshotCell::load).collect();
+            let shards: Vec<_> = topo.cells.iter().map(|cell| cell.load()).collect();
             if self.inner.publication_seq.load(Ordering::Acquire) == before {
-                return ServiceSnapshot::new(shards, Arc::clone(&self.inner.route));
+                return ServiceSnapshot::new(shards, Arc::clone(&topo.route));
             }
         }
     }
@@ -479,12 +714,12 @@ impl Service {
     /// # Ok::<(), birds_service::ServiceError>(())
     /// ```
     pub fn query(&self, relation: &str) -> ServiceResult<Vec<Tuple>> {
-        let shard = self
-            .inner
+        let topo = self.topology();
+        let shard = topo
             .route
             .shard_of(relation)
             .ok_or_else(|| ServiceError::UnknownRelation(relation.to_owned()))?;
-        let snapshot = self.inner.cells[shard.index()].load();
+        let snapshot = topo.cells[shard.index()].load();
         let rel = snapshot
             .relation(relation)
             .ok_or_else(|| ServiceError::UnknownRelation(relation.to_owned()))?;
@@ -522,12 +757,34 @@ impl Service {
 
     /// Test hook: hold the write lock of the shard owning `relation`,
     /// simulating a long-running commit there. Lets tests prove that
-    /// the lock-free read path does not serialize behind writers (and
-    /// that single-shard reads on *other* shards never did).
+    /// the lock-free read path does not serialize behind writers — and,
+    /// since PR 10, that a registration quiescing this shard blocks
+    /// while commits on *other* shards proceed.
     #[doc(hidden)]
-    pub fn debug_write_lock_shard(&self, relation: &str) -> Option<impl Drop + '_> {
-        let shard = self.inner.route.shard_of(relation)?;
-        Some(self.inner.shards.write(shard))
+    pub fn debug_write_lock_shard(&self, relation: &str) -> Option<impl Drop> {
+        /// Owns both the guard and the slot `Arc` it borrows from; the
+        /// declaration order makes the guard drop first.
+        struct ShardWriteGuard {
+            _guard: RwLockWriteGuard<'static, Option<Engine>>,
+            _slot: Arc<RwLock<Option<Engine>>>,
+        }
+        impl Drop for ShardWriteGuard {
+            fn drop(&mut self) {}
+        }
+        let topo = self.topology();
+        let shard = topo.route.shard_of(relation)?;
+        let slot = topo.shards.slot(shard);
+        let guard = slot.write().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: the transmute erases the guard's borrow of the local
+        // `slot` binding so both can move into the struct together; the
+        // struct keeps the `Arc` alive for as long as the guard exists,
+        // and the field order drops the guard first.
+        let guard: RwLockWriteGuard<'static, Option<Engine>> =
+            unsafe { std::mem::transmute(guard) };
+        Some(ShardWriteGuard {
+            _guard: guard,
+            _slot: slot,
+        })
     }
 
     /// Bench hook: the pre-MVCC read path — acquire the owning shard's
@@ -536,26 +793,51 @@ impl Service {
     /// baseline against the lock-free [`Service::query`].
     #[doc(hidden)]
     pub fn debug_query_locked(&self, relation: &str) -> ServiceResult<Vec<Tuple>> {
-        let shard = self
-            .inner
-            .route
-            .shard_of(relation)
-            .ok_or_else(|| ServiceError::UnknownRelation(relation.to_owned()))?;
-        let engine = self.inner.shards.read(shard);
-        let rel = engine
-            .relation(relation)
-            .ok_or_else(|| ServiceError::UnknownRelation(relation.to_owned()))?;
-        let mut tuples: Vec<Tuple> = rel.iter().cloned().collect();
-        tuples.sort();
-        Ok(tuples)
+        loop {
+            let topo = self.topology();
+            let shard = topo
+                .route
+                .shard_of(relation)
+                .ok_or_else(|| ServiceError::UnknownRelation(relation.to_owned()))?;
+            let slot = topo.shards.read(shard);
+            let Some(engine) = slot.as_ref() else {
+                // Raced a live re-shard into a retired slot: reload.
+                drop(slot);
+                std::thread::yield_now();
+                continue;
+            };
+            let rel = engine
+                .relation(relation)
+                .ok_or_else(|| ServiceError::UnknownRelation(relation.to_owned()))?;
+            let mut tuples: Vec<Tuple> = rel.iter().cloned().collect();
+            tuples.sort();
+            return Ok(tuples);
+        }
+    }
+
+    /// Test hook: drain the engines' shared read-trace sink (enable it
+    /// with [`Engine::set_read_trace`] before constructing the
+    /// service). All shards share one sink `Arc`, so draining any live
+    /// shard drains them all — used by the footprint-conformance tests
+    /// to assert a commit read only relations inside its locked shards.
+    #[doc(hidden)]
+    pub fn debug_take_read_trace(&self) -> BTreeSet<String> {
+        let topo = self.topology();
+        for id in topo.shards.ids() {
+            let mut slot = topo.shards.write(id);
+            if let Some(engine) = slot.as_mut() {
+                return engine.take_read_trace();
+            }
+        }
+        BTreeSet::new()
     }
 
     /// Publish `shard`'s current image at high-water seq `commit_seq`.
     /// Must be called while the shard's write lock is held (the `engine`
     /// reference is the proof), so publications are ordered like
     /// commits.
-    fn publish_shard(&self, shard: LockId, engine: &mut Engine, commit_seq: u64) {
-        self.inner.cells[shard.index()].publish(ShardSnapshot::capture(engine, commit_seq));
+    fn publish_shard(&self, topo: &Topology, shard: LockId, engine: &mut Engine, commit_seq: u64) {
+        topo.cells[shard.index()].publish(ShardSnapshot::capture(engine, commit_seq));
     }
 
     /// Publish every shard in a batch commit's footprint. With a new
@@ -567,7 +849,8 @@ impl Service {
     /// never assembles half of one.
     fn publish_guarded(
         &self,
-        guards: &mut [(LockId, std::sync::RwLockWriteGuard<'_, Engine>)],
+        topo: &Topology,
+        guards: &mut [(LockId, RwLockWriteGuard<'_, Option<Engine>>)],
         seq: Option<u64>,
     ) {
         let multi = guards.len() > 1;
@@ -586,9 +869,10 @@ impl Service {
             // Odd: publication in flight.
             self.inner.publication_seq.fetch_add(1, Ordering::AcqRel);
         }
-        for (id, engine) in guards.iter_mut() {
-            let seq = seq.unwrap_or_else(|| self.inner.cells[id.index()].load().commit_seq());
-            self.publish_shard(*id, engine, seq);
+        for (id, slot) in guards.iter_mut() {
+            let publish_seq = seq.unwrap_or_else(|| topo.cells[id.index()].load().commit_seq());
+            let engine = slot.as_mut().expect("commit holds live slots");
+            self.publish_shard(topo, *id, engine, publish_seq);
         }
         if multi {
             // Even: done.
@@ -596,17 +880,19 @@ impl Service {
         }
     }
 
-    /// Number of committed transactions (autocommit scripts and batch
-    /// commits both count) since the service started — on a durable
-    /// service, since the data directory was created.
+    /// Number of committed transactions (autocommit scripts, batch
+    /// commits and topology registrations all count) since the service
+    /// started — on a durable service, since the data directory was
+    /// created.
     ///
     /// Seq-stability caveat: a transaction with **no durable effect**
     /// (an empty script, an empty batch, a net delta that cancels to
-    /// nothing) consumes a commit seq but writes no WAL record — some
-    /// of those paths hold no shard lock, so logging them could not
-    /// preserve per-shard append order. After a crash the sequence
-    /// resumes from the highest *logged* seq, so no-op transactions'
-    /// seqs may be reassigned; every effectful commit's seq is stable.
+    /// nothing, an aborted registration) consumes a commit seq but
+    /// writes no WAL record — some of those paths hold no shard lock,
+    /// so logging them could not preserve per-shard append order. After
+    /// a crash the sequence resumes from the highest *logged* seq, so
+    /// no-op transactions' seqs may be reassigned; every effectful
+    /// commit's seq is stable.
     pub fn commits(&self) -> u64 {
         self.inner.commit_seq.load(Ordering::SeqCst)
     }
@@ -617,8 +903,15 @@ impl Service {
     pub fn into_engine(self) -> Result<Engine, Service> {
         match Arc::try_unwrap(self.inner) {
             Ok(inner) => {
+                let topology = match inner.topology.into_inner() {
+                    Ok(topology) => topology,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                let topology = Arc::try_unwrap(topology)
+                    .unwrap_or_else(|_| panic!("topology still shared during teardown"));
                 let mut merged = Engine::new(Database::new());
-                for component in inner.shards.into_inner() {
+                // Retired slots hold `None` and contribute nothing.
+                for component in topology.shards.into_inner().into_iter().flatten() {
                     merged
                         .absorb(component)
                         .expect("footprint shards are disjoint by construction");
@@ -642,13 +935,25 @@ impl Service {
     /// contend for epoch leadership until the result slot fills.
     fn submit_autocommit(
         &self,
-        shard: LockId,
         view: String,
         statements: Vec<DmlStatement>,
     ) -> ServiceResult<(u64, ExecutionStats)> {
-        let committer = &self.inner.committers[shard.index()];
         let tx = PendingTx::new(view, statements);
-        committer.enqueue(tx.clone())?;
+        let mut topo = self.topology();
+        let mut shard = loop {
+            let Some(shard) = topo.route.shard_of(tx.view()) else {
+                return Err(ServiceError::Engine(EngineError::NotAView(
+                    tx.view().to_owned(),
+                )));
+            };
+            if topo.committers[shard.index()].enqueue(Arc::clone(&tx))? {
+                break shard;
+            }
+            // The committer was closed by a live re-shard that raced our
+            // topology load; reload and enqueue in the successor.
+            std::thread::yield_now();
+            topo = self.topology();
+        };
         let window = self.inner.config.epoch_window;
         let mut result = None;
         if !window.is_zero() {
@@ -661,24 +966,42 @@ impl Service {
         let result = match result {
             Some(result) => result,
             None => loop {
+                let mut stale = false;
                 {
-                    let mut engine = self.inner.shards.write(shard);
-                    let epoch = committer.drain()?;
-                    if !epoch.is_empty() {
-                        let epoch_wal = self.inner.wal.as_ref().map(|wal| EpochWal {
-                            writer: &wal.writers[shard.index()],
-                            fsync: wal.fsync,
-                        });
-                        crate::group_commit::process_epoch(
-                            &mut engine,
-                            &self.inner.commit_seq,
-                            epoch,
-                            epoch_wal.as_ref(),
-                            // Single-shard publication: no seqlock
-                            // bracket needed (see `publication_seq`).
-                            |engine, seq| self.publish_shard(shard, engine, seq),
-                        );
+                    let mut slot = topo.shards.write(shard);
+                    match slot.as_mut() {
+                        Some(engine) => {
+                            let epoch = topo.committers[shard.index()].drain()?;
+                            if !epoch.is_empty() {
+                                let epoch_wal = self.inner.wal.as_ref().map(|wal| EpochWal {
+                                    writer: &topo.writers[shard.index()],
+                                    fsync: wal.fsync,
+                                });
+                                crate::group_commit::process_epoch(
+                                    engine,
+                                    &self.inner.commit_seq,
+                                    epoch,
+                                    epoch_wal.as_ref(),
+                                    // Single-shard publication: no seqlock
+                                    // bracket needed (see `publication_seq`).
+                                    |engine, seq| self.publish_shard(&topo, shard, engine, seq),
+                                );
+                            }
+                        }
+                        // The shard was retired by a live re-shard while
+                        // we blocked on its lock; the registrar migrated
+                        // (or failed) our queued transaction.
+                        None => stale = true,
                     }
+                }
+                if stale {
+                    topo = self.topology();
+                    if let Some(successor) = topo.route.shard_of(tx.view()) {
+                        shard = successor;
+                    }
+                    // An unroutable view means an unregister raced us;
+                    // the registrar failed our transaction, so the next
+                    // `take_result` breaks out.
                 }
                 if let Some(result) = tx.take_result()? {
                     break result;
@@ -718,7 +1041,8 @@ impl Service {
         let Some(wal) = &self.inner.wal else {
             return;
         };
-        let any_sealed = wal.writers.iter().any(|writer| {
+        let topo = self.topology();
+        let any_sealed = topo.writers.iter().any(|writer| {
             writer
                 .lock()
                 .map(|writer| writer.is_sealed())
@@ -786,6 +1110,12 @@ impl Service {
     /// written. Returns the watermark. Fails with
     /// [`ServiceError::Durability`] on an in-memory service.
     ///
+    /// The snapshot file leads with a **registration manifest**: the
+    /// full live view-definition set, so a restart reconstructs
+    /// runtime-registered views before restoring relation contents.
+    /// The registration lock is held for the whole checkpoint, freezing
+    /// the view set the manifest describes.
+    ///
     /// Each shard's write lock is taken *briefly*, one shard at a time
     /// (never all together), only to pair the shard's current snapshot
     /// pointer with a fresh WAL segment: records already in the log are
@@ -804,11 +1134,17 @@ impl Service {
         self.checkpoint_locked(wal, &guard)
     }
 
-    fn checkpoint_locked(
-        &self,
-        wal: &WalState,
-        _guard: &std::sync::MutexGuard<'_, ()>,
-    ) -> ServiceResult<u64> {
+    fn checkpoint_locked(&self, wal: &WalState, _guard: &MutexGuard<'_, ()>) -> ServiceResult<u64> {
+        // Freeze the topology for the whole checkpoint: the manifest,
+        // the captured images and the rotated segments must all describe
+        // one registration generation. (Lock order: checkpoint lock →
+        // registration lock → shard locks → writer mutex.)
+        let _registrar = self
+            .inner
+            .registration_lock
+            .lock()
+            .map_err(|_| ServiceError::Poisoned("registration lock".into()))?;
+        let topo = self.topology();
         // The watermark is read *before* any shard is visited: every
         // commit that starts after this line gets a larger seq, and its
         // record lands either in a segment we keep (replayed) or — if
@@ -819,22 +1155,23 @@ impl Service {
         let watermark = self.inner.commit_seq.load(Ordering::SeqCst);
         // Phase 1 — per shard, ascending, briefly under the shard's
         // write lock: pair the published snapshot with a fresh WAL
-        // segment. The lock orders us against commits (apply → append →
-        // publish all happen inside one critical section), so every
-        // record already in the closed segments is covered by the
-        // snapshot we load here. A sealed writer (earlier IO failure —
-        // its tail may be torn) cannot be rotated; its whole series is
-        // instead deleted after the snapshot renames, which also
-        // unseals it. (Lock order: checkpoint lock, then shard lock,
-        // then writer mutex — the same order commits use, minus the
-        // checkpoint lock they never take.)
-        let mut images: Vec<Arc<ShardSnapshot>> = Vec::with_capacity(self.inner.cells.len());
+        // segment, and collect the shard's live view definitions for
+        // the manifest (per-shard dependency order is global dependency
+        // order, because a footprint closure never crosses a shard). A
+        // sealed writer (earlier IO failure — its tail may be torn)
+        // cannot be rotated; its whole series is instead deleted after
+        // the snapshot renames, which also unseals it.
+        let mut images: Vec<Arc<ShardSnapshot>> = Vec::with_capacity(topo.cells.len());
+        let mut defs: Vec<ViewDef> = Vec::new();
         let mut closed_segments: Vec<PathBuf> = Vec::new();
         let mut sealed_shards: Vec<usize> = Vec::new();
-        for id in self.inner.shards.ids() {
-            let _engine = self.inner.shards.write(id);
-            let image = self.inner.cells[id.index()].load();
-            let mut writer = wal.writers[id.index()]
+        for id in topo.shards.ids() {
+            let slot = topo.shards.write(id);
+            let image = topo.cells[id.index()].load();
+            if let Some(engine) = slot.as_ref() {
+                defs.extend(engine.view_definitions().iter().map(def_to_wal));
+            }
+            let mut writer = topo.writers[id.index()]
                 .lock()
                 .map_err(|_| ServiceError::Poisoned("wal segment writer".into()))?;
             if writer.is_sealed() {
@@ -848,15 +1185,18 @@ impl Service {
             }
             images.push(image);
         }
-        // Phase 2 — lock-free: serialize the captured images. Commits
-        // on every shard proceed concurrently; publications refresh the
-        // other version buffer, so the captured images stay stable.
+        // Phase 2 — lock-free: serialize the manifest, then the captured
+        // images. Commits on every shard proceed concurrently;
+        // publications refresh the other version buffer, so the captured
+        // images stay stable.
+        let manifest = birds_wal::encode_view_defs(&defs);
         let relations: Vec<Relation> = images
             .iter()
             .flat_map(|image| image.relations().map(RelationVersion::to_relation))
             .collect();
         let relation_refs: Vec<&Relation> = relations.iter().collect();
         birds_wal::write_snapshot_file(&wal.data_dir, watermark, |mut w| {
+            w.write_all(&manifest)?;
             birds_engine::write_snapshot(&mut w, &relation_refs)
                 .map_err(|e| std::io::Error::other(e.to_string()))
         })
@@ -874,7 +1214,7 @@ impl Service {
             // appends, and `reset` both clears the damaged series and
             // unseals (subsequent commits start a clean log whose every
             // record is > watermark).
-            wal.writers[index]
+            topo.writers[index]
                 .lock()
                 .map_err(|_| ServiceError::Poisoned("wal segment writer".into()))?
                 .reset()
@@ -887,6 +1227,451 @@ impl Service {
     /// The data directory of a durable service (`None` when in-memory).
     pub fn data_dir(&self) -> Option<&std::path::Path> {
         self.inner.wal.as_ref().map(|wal| wal.data_dir.as_path())
+    }
+}
+
+impl Service {
+    /// Register a new updatable view on the **live** service.
+    ///
+    /// The strategy is validated first (same checks as the stateless
+    /// `validate` protocol op); then the quiesce barrier takes the write
+    /// locks of exactly the shards the view's footprint touches —
+    /// commits on every other shard proceed throughout. The affected
+    /// engines are merged, the view is registered and materialized, the
+    /// component is re-split, a [`WalRecord::Register`] is appended
+    /// (durable services), and the successor topology is swapped in.
+    /// Returns the registration's commit seq.
+    ///
+    /// Failures leave the service exactly as it was; see the error
+    /// taxonomy in [`crate::error`] for the typed rejections
+    /// ([`ServiceError::ViewExists`], [`ServiceError::InvalidStrategy`],
+    /// [`ServiceError::RelationConflict`]).
+    ///
+    /// ```
+    /// use birds_core::UpdateStrategy;
+    /// use birds_engine::{Engine, StrategyMode};
+    /// use birds_service::Service;
+    /// use birds_store::{tuple, Database, DatabaseSchema, Relation, Schema, SortKind};
+    ///
+    /// let mut db = Database::new();
+    /// db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap())
+    ///     .unwrap();
+    /// db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2]]).unwrap())
+    ///     .unwrap();
+    /// let service = Service::new(Engine::new(db));
+    /// assert_eq!(service.shard_count(), 2); // two free relations, two shards
+    ///
+    /// let strategy = UpdateStrategy::parse(
+    ///     DatabaseSchema::new()
+    ///         .with(Schema::new("r1", vec![("a", SortKind::Int)]))
+    ///         .with(Schema::new("r2", vec![("a", SortKind::Int)])),
+    ///     Schema::new("v", vec![("a", SortKind::Int)]),
+    ///     "-r1(X) :- r1(X), not v(X).
+    ///      -r2(X) :- r2(X), not v(X).
+    ///      +r1(X) :- v(X), not r1(X), not r2(X).",
+    ///     None,
+    /// )
+    /// .unwrap();
+    /// service.register_view(strategy, StrategyMode::Incremental)?;
+    ///
+    /// assert_eq!(service.shard_count(), 1); // r1, r2 and v now share a footprint
+    /// let mut session = service.session();
+    /// session.execute("INSERT INTO v VALUES (7);")?;
+    /// assert_eq!(service.query("v")?, vec![tuple![1], tuple![2], tuple![7]]);
+    /// # Ok::<(), birds_service::ServiceError>(())
+    /// ```
+    pub fn register_view(
+        &self,
+        strategy: UpdateStrategy,
+        mode: StrategyMode,
+    ) -> ServiceResult<u64> {
+        self.register_view_with_quiesce_hook(strategy, mode, || {})
+    }
+
+    /// Test hook: [`Service::register_view`] with a callback invoked
+    /// *while the quiesce barrier is held* (affected shards
+    /// write-locked, successor not yet installed) — lets tests pin down
+    /// that disjoint shards keep committing through the window.
+    #[doc(hidden)]
+    pub fn register_view_with_quiesce_hook(
+        &self,
+        strategy: UpdateStrategy,
+        mode: StrategyMode,
+        quiesce_hook: impl FnOnce(),
+    ) -> ServiceResult<u64> {
+        let result = {
+            let _registrar = self
+                .inner
+                .registration_lock
+                .lock()
+                .map_err(|_| ServiceError::Poisoned("registration lock".into()))?;
+            self.register_view_locked(strategy, mode, quiesce_hook)
+        };
+        // Registration consumed a durable commit seq; run the same
+        // post-commit bookkeeping as the write paths (checkpoint
+        // threshold, emergency heal) with no locks held.
+        match &result {
+            Ok(_) => self.after_durable_commit(1),
+            Err(ServiceError::Durability(_)) => self.heal_after_durability_failure(),
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// Deregister a live view: its materialized contents are dropped,
+    /// its former footprint re-splits (typically growing the shard
+    /// count), and a [`WalRecord::Unregister`] is logged. Fails with
+    /// `Engine(NotAView)` for names that aren't registered views and
+    /// with [`ServiceError::RelationConflict`] if another view's
+    /// footprint still depends on this one (the error carries the
+    /// dependent view's name). Returns the deregistration's commit seq.
+    pub fn unregister_view(&self, view: &str) -> ServiceResult<u64> {
+        let result = {
+            let _registrar = self
+                .inner
+                .registration_lock
+                .lock()
+                .map_err(|_| ServiceError::Poisoned("registration lock".into()))?;
+            self.unregister_view_locked(view)
+        };
+        match &result {
+            Ok(_) => self.after_durable_commit(1),
+            Err(ServiceError::Durability(_)) => self.heal_after_durability_failure(),
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn register_view_locked(
+        &self,
+        strategy: UpdateStrategy,
+        mode: StrategyMode,
+        quiesce_hook: impl FnOnce(),
+    ) -> ServiceResult<u64> {
+        let topo = self.topology();
+        let name = strategy.view.name.clone();
+        // Pre-checks against the published catalogue — no lock taken,
+        // and the registration lock guarantees no concurrent
+        // registration invalidates them before we quiesce.
+        if let Some(shard) = topo.route.shard_of(&name) {
+            return Err(if topo.cells[shard.index()].load().is_view(&name) {
+                ServiceError::ViewExists(name)
+            } else {
+                ServiceError::RelationConflict(name)
+            });
+        }
+        for schema in &strategy.source_schema.relations {
+            let Some(shard) = topo.route.shard_of(&schema.name) else {
+                return Err(ServiceError::InvalidStrategy {
+                    reason: format!("source relation '{}' does not exist", schema.name),
+                });
+            };
+            let live_arity = topo.cells[shard.index()]
+                .load()
+                .relation(&schema.name)
+                .map(RelationVersion::arity);
+            if live_arity != Some(schema.arity()) {
+                return Err(ServiceError::RelationConflict(schema.name.clone()));
+            }
+        }
+        // Full validation — shape checks plus the solver's
+        // well-behavedness analysis — before any shard is disturbed.
+        // The derived get program doubles as the footprint input.
+        let report =
+            birds_core::validate(&strategy).map_err(|e| ServiceError::InvalidStrategy {
+                reason: e.to_string(),
+            })?;
+        if !report.valid {
+            return Err(ServiceError::InvalidStrategy {
+                reason: report
+                    .reason
+                    .unwrap_or_else(|| "strategy failed validation".into()),
+            });
+        }
+        let get = report
+            .derived_get
+            .expect("valid reports carry a view definition");
+        // The quiesce set: every live shard owning a relation the new
+        // view's closure touches. Relations the footprint names but no
+        // shard owns are impossible here (sources were checked; the
+        // view name is fresh and joins whatever shard the merge lands
+        // in).
+        let mut affected: Vec<LockId> = strategy_touches(&strategy, &get)
+            .iter()
+            .filter_map(|relation| topo.route.shard_of(relation))
+            .collect();
+        affected.sort();
+        affected.dedup();
+        // Quiesce: write-lock exactly the affected shards (ascending —
+        // deadlock-free against every commit). Disjoint shards are
+        // untouched and keep committing.
+        let mut guards = topo.shards.write_set(affected.clone());
+        quiesce_hook();
+        let components: Vec<Engine> = guards
+            .iter_mut()
+            .map(|(_, slot)| slot.take().expect("routed shards are live"))
+            .collect();
+        let mut merged =
+            Engine::merge(components).expect("affected shards are disjoint by construction");
+        if let Err(e) = merged.register_view_unchecked(strategy, get, mode) {
+            // Materialization can still fail (e.g. the putdelta program
+            // errors on the live contents); the engine rolled the
+            // registration back, so re-seating restores the exact
+            // pre-call topology.
+            self.reseat(&topo, &mut guards, merged);
+            return Err(ServiceError::InvalidStrategy {
+                reason: e.to_string(),
+            });
+        }
+        let def = merged
+            .view_definition(&name)
+            .expect("freshly registered view has a definition");
+        let seq = self.next_commit_seq();
+        let record = WalRecord::Register(Box::new(Registration {
+            seq,
+            def: def_to_wal(&def),
+        }));
+        match self.install_successor(&topo, &affected, merged, seq, &record) {
+            Ok(()) => Ok(seq),
+            Err(InstallError::Aborted(mut merged, e)) => {
+                merged
+                    .unregister_view(&name)
+                    .expect("aborted registration unwinds cleanly");
+                self.reseat(&topo, &mut guards, *merged);
+                Err(e)
+            }
+        }
+    }
+
+    fn unregister_view_locked(&self, view: &str) -> ServiceResult<u64> {
+        let topo = self.topology();
+        let Some(shard) = topo.route.shard_of(view) else {
+            return Err(ServiceError::Engine(EngineError::NotAView(view.to_owned())));
+        };
+        let mut guards = topo.shards.write_set(vec![shard]);
+        let mut merged = guards[0].1.take().expect("routed shards are live");
+        if !merged.is_view(view) {
+            let err = ServiceError::Engine(EngineError::NotAView(view.to_owned()));
+            self.reseat(&topo, &mut guards, merged);
+            return Err(err);
+        }
+        if let Some(dependent) = merged.dependent_view(view).map(String::from) {
+            // Another view's footprint closure still reaches this one
+            // (its get or putdelta reads it): dropping it would leave
+            // that view's strategy dangling.
+            self.reseat(&topo, &mut guards, merged);
+            return Err(ServiceError::RelationConflict(dependent));
+        }
+        let def = merged
+            .view_definition(view)
+            .expect("live view has a definition");
+        merged
+            .unregister_view(view)
+            .expect("pre-checked deregistration succeeds");
+        let seq = self.next_commit_seq();
+        let record = WalRecord::Unregister {
+            seq,
+            view: view.to_owned(),
+        };
+        match self.install_successor(&topo, &[shard], merged, seq, &record) {
+            Ok(()) => Ok(seq),
+            Err(InstallError::Aborted(mut merged, e)) => {
+                merged
+                    .register_definition(&def)
+                    .expect("aborted deregistration unwinds cleanly");
+                self.reseat(&topo, &mut guards, *merged);
+                Err(e)
+            }
+        }
+    }
+
+    /// Put the components of `merged` back into the (still write-locked)
+    /// slots they were taken from — the failure path of a registration.
+    /// Because the mutation was unwound first, the components re-split
+    /// exactly like the original partition and land in their original
+    /// slots.
+    fn reseat(
+        &self,
+        topo: &Topology,
+        guards: &mut [(LockId, RwLockWriteGuard<'_, Option<Engine>>)],
+        merged: Engine,
+    ) {
+        for component in merged.split_components() {
+            let name = component
+                .database()
+                .names()
+                .next()
+                .expect("footprint components are non-empty")
+                .to_owned();
+            let id = topo
+                .route
+                .shard_of(&name)
+                .expect("reseated components match the live route");
+            let (_, slot) = guards
+                .iter_mut()
+                .find(|(guard_id, _)| *guard_id == id)
+                .expect("reseated components stay within the quiesced set");
+            debug_assert!(slot.is_none(), "reseat into a non-empty slot");
+            **slot = Some(component);
+        }
+    }
+
+    /// Build and swap in the successor topology: split `merged`, assign
+    /// shard ids (retired ids are reused in ascending order, overflow
+    /// gets fresh ids), log `record` to the WAL, publish the replacement
+    /// shards' snapshots at `seq`, migrate the retired committers'
+    /// queued transactions, and atomically store the new `Topology`.
+    ///
+    /// On failure (WAL segment open or record append) **nothing is
+    /// installed**: the caller gets the re-merged engine back to unwind
+    /// and reseat — installing a registration whose WAL record never
+    /// landed would strand every later commit on these shards behind a
+    /// record recovery cannot replay.
+    fn install_successor(
+        &self,
+        topo: &Topology,
+        retired: &[LockId],
+        merged: Engine,
+        seq: u64,
+        record: &WalRecord,
+    ) -> Result<(), InstallError> {
+        let components = merged.split_components();
+        let old_len = topo.shards.len();
+        // Ids for the new components: reuse the retired slots' indices
+        // first (ascending), then extend past the current topology.
+        let mut new_ids: Vec<LockId> = Vec::with_capacity(components.len());
+        let mut reuse = retired.iter().copied();
+        let mut fresh = old_len..;
+        for _ in 0..components.len() {
+            new_ids.push(match reuse.next() {
+                Some(id) => id,
+                None => LockId::new(fresh.next().expect("usize range is unbounded")),
+            });
+        }
+        let new_len = old_len.max(new_ids.last().map_or(0, |id| id.index() + 1));
+        let mut writers = topo.writers.clone();
+        if let Some(wal) = &self.inner.wal {
+            for index in writers.len()..new_len {
+                match SegmentWriter::open(&wal.data_dir, index, wal.segment_bytes) {
+                    Ok(writer) => writers.push(Arc::new(Mutex::new(writer))),
+                    Err(e) => {
+                        return Err(InstallError::Aborted(
+                            Box::new(
+                                Engine::merge(components)
+                                    .expect("components of one engine are disjoint"),
+                            ),
+                            ServiceError::Durability(format!(
+                                "opening wal segment for new shard: {e}"
+                            )),
+                        ))
+                    }
+                }
+            }
+            // Log the registration to the first retired shard's existing
+            // writer: its segment series already holds every earlier
+            // record of that shard, the shard's locks are held (no
+            // concurrent append), and seq exceeds every seq previously
+            // logged there — per-shard monotonicity is preserved. The
+            // record must be durable *before* the swap: after the swap,
+            // commits through the new view would be unreplayable without
+            // it.
+            let log_slot = retired[0];
+            let epoch_wal = EpochWal {
+                writer: &writers[log_slot.index()],
+                fsync: wal.fsync,
+            };
+            if let Err(e) = epoch_wal
+                .append(record)
+                .and_then(|()| epoch_wal.sync_epoch())
+            {
+                return Err(InstallError::Aborted(
+                    Box::new(
+                        Engine::merge(components).expect("components of one engine are disjoint"),
+                    ),
+                    e,
+                ));
+            }
+        }
+        // The successor route (built before the components move).
+        let route = Arc::new(
+            topo.route
+                .successor(retired, components.iter().zip(new_ids.iter().copied())),
+        );
+        let mut replacements: BTreeMap<usize, Engine> = new_ids
+            .iter()
+            .map(|id| id.index())
+            .zip(components)
+            .collect();
+        let mut slots = Vec::with_capacity(new_len);
+        let mut cells = Vec::with_capacity(new_len);
+        let mut committers = Vec::with_capacity(new_len);
+        for index in 0..new_len {
+            if let Some(mut component) = replacements.remove(&index) {
+                // Replacement shard: FRESH slot/cell/committer Arcs, so
+                // an old-generation thread still holding the previous
+                // generation's lock set can never reach this engine.
+                // Published before the swap, so the new generation is a
+                // consistent cut the moment it becomes visible.
+                cells.push(Arc::new(SnapshotCell::new(ShardSnapshot::capture(
+                    &mut component,
+                    seq,
+                ))));
+                slots.push(Arc::new(RwLock::new(Some(component))));
+                committers.push(Arc::new(GroupCommitter::new()));
+            } else if retired.iter().any(|id| id.index() == index) {
+                // Retired without replacement: the slot stays `None`
+                // forever (in this and all later generations unless a
+                // future re-shard reuses the index with fresh Arcs).
+                cells.push(Arc::new(SnapshotCell::new(ShardSnapshot::empty(seq))));
+                slots.push(Arc::new(RwLock::new(None)));
+                committers.push(Arc::new(GroupCommitter::new()));
+            } else if index < old_len {
+                // Survivor: same Arcs across generations — LockId
+                // identity is what keeps ascending lock order global.
+                slots.push(topo.shards.slot(LockId::new(index)));
+                cells.push(Arc::clone(&topo.cells[index]));
+                committers.push(Arc::clone(&topo.committers[index]));
+            } else {
+                unreachable!("extended indices always carry a replacement");
+            }
+        }
+        // Close the retired committers and migrate their queued
+        // transactions into the successor queues *before* the swap: a
+        // submitter that already enqueued against the old topology gets
+        // carried over (or failed), never stranded. New submitters that
+        // load the old topology after this find the committer closed and
+        // reload.
+        for id in retired {
+            for orphan in topo.committers[id.index()].close_and_drain() {
+                match route.shard_of(orphan.view()) {
+                    Some(successor) => {
+                        if !matches!(
+                            committers[successor.index()].enqueue(Arc::clone(&orphan)),
+                            Ok(true)
+                        ) {
+                            orphan.fill(Err(ServiceError::Poisoned("group-commit queue".into())));
+                        }
+                    }
+                    // The view vanished (this very unregister): fail the
+                    // transaction the same way a fresh submit would.
+                    None => orphan.fill(Err(ServiceError::Engine(EngineError::NotAView(
+                        orphan.view().to_owned(),
+                    )))),
+                }
+            }
+        }
+        let successor = Arc::new(Topology {
+            shards: LockManager::from_slots(slots),
+            route,
+            committers,
+            cells,
+            writers,
+        });
+        match self.inner.topology.write() {
+            Ok(mut current) => *current = successor,
+            Err(poisoned) => *poisoned.into_inner() = successor,
+        }
+        Ok(())
     }
 }
 
@@ -944,11 +1729,7 @@ impl Session {
                         "a transaction must target a single view".into(),
                     )));
                 }
-                let shard =
-                    self.service.inner.route.shard_of(&table).ok_or_else(|| {
-                        ServiceError::Engine(EngineError::NotAView(table.clone()))
-                    })?;
-                let (_seq, stats) = self.service.submit_autocommit(shard, table, statements)?;
+                let (_seq, stats) = self.service.submit_autocommit(table, statements)?;
                 Ok(ExecOutcome::Applied(stats))
             }
         }
@@ -1042,15 +1823,34 @@ impl Session {
                 None => groups.push((stmt.table().to_owned(), vec![stmt])),
             }
         }
-        let views = groups.len();
+        loop {
+            // The commit's footprint: the owning shard of every target
+            // view, write-locked in global id order (deadlock-free;
+            // commits on disjoint shards don't contend at all). A `None`
+            // slot means a live re-shard retired the generation while we
+            // blocked — reload the topology and re-resolve.
+            let topo = self.service.topology();
+            let lock_set = topo
+                .route
+                .lock_set(groups.iter().map(|(view, _)| view.as_str()))?;
+            let guards = topo.shards.write_set(lock_set);
+            if guards.iter().any(|(_, slot)| slot.is_none()) {
+                drop(guards);
+                std::thread::yield_now();
+                continue;
+            }
+            return self.commit_locked(&topo, guards, &groups, statement_count);
+        }
+    }
+
+    fn commit_locked(
+        &mut self,
+        topo: &Topology,
+        mut guards: Vec<(LockId, RwLockWriteGuard<'_, Option<Engine>>)>,
+        groups: &[(String, Vec<DmlStatement>)],
+        statement_count: usize,
+    ) -> ServiceResult<CommitOutcome> {
         let inner = &self.service.inner;
-        // The commit's footprint: the owning shard of every target view,
-        // write-locked in global id order (deadlock-free; commits on
-        // disjoint shards don't contend at all).
-        let lock_set = inner
-            .route
-            .lock_set(groups.iter().map(|(view, _)| view.as_str()))?;
-        let mut guards = inner.shards.write_set(lock_set);
         let mut total = ExecutionStats::default();
         // The applied per-view net deltas, in application order — the
         // WAL record for this commit.
@@ -1060,14 +1860,14 @@ impl Session {
         let mut any_applied = false;
         let mut failure: Option<ServiceError> = None;
         for (view, group) in groups {
-            let shard = inner
+            let shard = topo
                 .route
-                .shard_of(&view)
+                .shard_of(view)
                 .expect("lock_set resolved every view");
             let engine = guards
                 .iter_mut()
                 .find(|(id, _)| *id == shard)
-                .map(|(_, guard)| &mut **guard)
+                .map(|(_, guard)| guard.as_mut().expect("commit holds live slots"))
                 .expect("footprint guards cover every target view");
             // Derive against the in-lock state so earlier groups'
             // cascades are visible, then apply in one pass. The derived
@@ -1075,14 +1875,14 @@ impl Session {
             // exactly what gets applied — the replay-log entry (cloned
             // only on durable services; the in-memory hot path applies
             // by value).
-            let result = engine.derive_delta(&view, &group).and_then(|delta| {
+            let result = engine.derive_delta(view, group).and_then(|delta| {
                 let log_copy = inner
                     .wal
                     .is_some()
                     .then(|| delta.clone())
                     .filter(|d| !d.is_empty());
                 engine
-                    .apply_delta(&view, delta)
+                    .apply_delta(view, delta)
                     .map(|stats| (log_copy, stats))
             });
             match result {
@@ -1092,7 +1892,7 @@ impl Session {
                     total.source_delta_size += stats.source_delta_size;
                     total.cascades += stats.cascades;
                     if let Some(delta) = log_copy {
-                        applied.push((view, delta));
+                        applied.push((view.clone(), delta));
                     }
                 }
                 Err(e) => {
@@ -1110,7 +1910,7 @@ impl Session {
                 // *unchanged* high-water seq before the locks drop —
                 // the lock-free read path must keep matching memory.
                 if any_applied {
-                    self.service.publish_guarded(&mut guards, None);
+                    self.service.publish_guarded(topo, &mut guards, None);
                 }
                 return Err(e.clone());
             }
@@ -1125,11 +1925,11 @@ impl Session {
                 // committer's `EpochWal` — this one-record commit is its
                 // own epoch.
                 let epoch_wal = EpochWal {
-                    writer: &wal.writers[guards[0].0.index()],
+                    writer: &topo.writers[guards[0].0.index()],
                     fsync: wal.fsync,
                 };
                 let logged = epoch_wal
-                    .append(&WalRecord {
+                    .append(&WalRecord::Commit {
                         seqs: vec![commit_seq],
                         deltas: applied,
                     })
@@ -1139,7 +1939,8 @@ impl Session {
                     // the engine-level failure (if any) still wins the
                     // error report; otherwise surface the WAL failure.
                     // Memory did change, so publish before unlocking.
-                    self.service.publish_guarded(&mut guards, Some(commit_seq));
+                    self.service
+                        .publish_guarded(topo, &mut guards, Some(commit_seq));
                     drop(guards);
                     self.service.heal_after_durability_failure();
                     return Err(failure.unwrap_or(e));
@@ -1150,7 +1951,8 @@ impl Session {
         // the WAL append, before the locks drop and before the caller
         // learns the outcome (read-your-writes on the lock-free path).
         if any_applied {
-            self.service.publish_guarded(&mut guards, Some(commit_seq));
+            self.service
+                .publish_guarded(topo, &mut guards, Some(commit_seq));
         }
         drop(guards);
         match failure {
@@ -1160,7 +1962,7 @@ impl Session {
                 Ok(CommitOutcome {
                     commit_seq,
                     statements: statement_count,
-                    views,
+                    views: groups.len(),
                     stats: total,
                 })
             }
@@ -1182,13 +1984,9 @@ mod tests {
     use birds_engine::StrategyMode;
     use birds_store::{tuple, Database, DatabaseSchema, Relation, Schema, SortKind};
 
-    fn union_service() -> Service {
-        let mut db = Database::new();
-        db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap())
-            .unwrap();
-        db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap())
-            .unwrap();
-        let strategy = UpdateStrategy::parse(
+    /// The union-view strategy `v = r1 ∪ r2` over unary int sources.
+    fn union_strategy() -> UpdateStrategy {
+        UpdateStrategy::parse(
             DatabaseSchema::new()
                 .with(Schema::new("r1", vec![("a", SortKind::Int)]))
                 .with(Schema::new("r2", vec![("a", SortKind::Int)])),
@@ -1200,10 +1998,22 @@ mod tests {
             ",
             None,
         )
-        .unwrap();
-        let mut engine = Engine::new(db);
+        .unwrap()
+    }
+
+    fn union_database() -> Database {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap())
+            .unwrap();
+        db.add_relation(Relation::with_tuples("r2", 1, vec![tuple![2], tuple![4]]).unwrap())
+            .unwrap();
+        db
+    }
+
+    fn union_service() -> Service {
+        let mut engine = Engine::new(union_database());
         engine
-            .register_view(strategy, StrategyMode::Incremental)
+            .register_view(union_strategy(), StrategyMode::Incremental)
             .unwrap();
         Service::new(engine)
     }
@@ -1363,5 +2173,137 @@ mod tests {
             assert_eq!(view.relation("r2").unwrap().len(), 2);
             assert!(view.relation("nope").is_none());
         });
+    }
+
+    // ---- dynamic registration ------------------------------------
+
+    #[test]
+    fn register_view_live_merges_shards_and_serves_writes() {
+        // Start with NO views: two free relations, two shards.
+        let service = Service::new(Engine::new(union_database()));
+        assert_eq!(service.shard_count(), 2);
+
+        let seq = service
+            .register_view(union_strategy(), StrategyMode::Incremental)
+            .unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(service.shard_count(), 1);
+        assert_eq!(service.view_names(), vec!["v".to_owned()]);
+
+        // The new view is immediately writable through the normal path.
+        let mut session = service.session();
+        session.execute("INSERT INTO v VALUES (7);").unwrap();
+        assert_eq!(
+            service.query("v").unwrap(),
+            vec![tuple![1], tuple![2], tuple![4], tuple![7]]
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let service = union_service();
+        let err = service
+            .register_view(union_strategy(), StrategyMode::Incremental)
+            .unwrap_err();
+        assert_eq!(err, ServiceError::ViewExists("v".into()));
+        assert_eq!(service.shard_count(), 1);
+    }
+
+    #[test]
+    fn view_name_colliding_with_base_relation_is_rejected() {
+        // A "view" named like the live base relation r1, sourced from r2.
+        let service = Service::new(Engine::new(union_database()));
+        let strategy = UpdateStrategy::parse(
+            DatabaseSchema::new().with(Schema::new("r2", vec![("a", SortKind::Int)])),
+            Schema::new("r1", vec![("a", SortKind::Int)]),
+            "
+            -r2(X) :- r2(X), not r1(X).
+            +r2(X) :- r1(X), not r2(X).
+            ",
+            None,
+        )
+        .unwrap();
+        let err = service
+            .register_view(strategy, StrategyMode::Incremental)
+            .unwrap_err();
+        assert_eq!(err, ServiceError::RelationConflict("r1".into()));
+    }
+
+    #[test]
+    fn missing_source_relation_is_invalid_strategy() {
+        let mut db = Database::new();
+        db.add_relation(Relation::with_tuples("r1", 1, vec![tuple![1]]).unwrap())
+            .unwrap();
+        let service = Service::new(Engine::new(db)); // no r2
+        let err = service
+            .register_view(union_strategy(), StrategyMode::Incremental)
+            .unwrap_err();
+        match err {
+            ServiceError::InvalidStrategy { reason } => {
+                assert!(reason.contains("does not exist"), "reason: {reason}")
+            }
+            other => panic!("expected InvalidStrategy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_arity_mismatch_is_a_relation_conflict() {
+        // Live r2 is unary; the strategy declares it binary.
+        let service = Service::new(Engine::new(union_database()));
+        let strategy = UpdateStrategy::parse(
+            DatabaseSchema::new().with(Schema::new(
+                "r2",
+                vec![("a", SortKind::Int), ("b", SortKind::Int)],
+            )),
+            Schema::new("v2", vec![("a", SortKind::Int), ("b", SortKind::Int)]),
+            "
+            -r2(X, Y) :- r2(X, Y), not v2(X, Y).
+            +r2(X, Y) :- v2(X, Y), not r2(X, Y).
+            ",
+            None,
+        )
+        .unwrap();
+        let err = service
+            .register_view(strategy, StrategyMode::Incremental)
+            .unwrap_err();
+        assert_eq!(err, ServiceError::RelationConflict("r2".into()));
+    }
+
+    #[test]
+    fn unregister_view_splits_shards_and_forgets_the_view() {
+        let service = union_service();
+        assert_eq!(service.shard_count(), 1);
+        service.unregister_view("v").unwrap();
+        // r1 and r2 are free again: two shards, no views.
+        assert_eq!(service.shard_count(), 2);
+        assert!(service.view_names().is_empty());
+        assert_eq!(
+            service.query("v"),
+            Err(ServiceError::UnknownRelation("v".into()))
+        );
+        // Base contents survive, and re-registration works.
+        assert_eq!(service.query("r1").unwrap(), vec![tuple![1]]);
+        service
+            .register_view(union_strategy(), StrategyMode::Incremental)
+            .unwrap();
+        assert_eq!(service.shard_count(), 1);
+        assert_eq!(
+            service.query("v").unwrap(),
+            vec![tuple![1], tuple![2], tuple![4]]
+        );
+    }
+
+    #[test]
+    fn unregister_unknown_view_is_rejected() {
+        let service = union_service();
+        assert_eq!(
+            service.unregister_view("nope"),
+            Err(ServiceError::Engine(EngineError::NotAView("nope".into())))
+        );
+        // A base relation is not an updatable view either.
+        assert_eq!(
+            service.unregister_view("r1"),
+            Err(ServiceError::Engine(EngineError::NotAView("r1".into())))
+        );
     }
 }

@@ -84,6 +84,19 @@ impl ShardSnapshot {
         }
     }
 
+    /// An empty image — what a *retired* shard slot publishes after a
+    /// live re-shard moved its relations elsewhere. No route entry ever
+    /// points at a retired slot, so the image is unreachable through
+    /// normal reads; it exists so whole-service assembly stays a plain
+    /// per-slot pointer collection.
+    pub(crate) fn empty(commit_seq: u64) -> ShardSnapshot {
+        ShardSnapshot {
+            commit_seq,
+            relations: Vec::new(),
+            views: Vec::new(),
+        }
+    }
+
     /// The shard's high-water commit seq (see the visibility rule in
     /// the module docs).
     pub fn commit_seq(&self) -> u64 {

@@ -121,6 +121,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // Primitives.
 // ---------------------------------------------------------------------------
 
+/// Append a single byte (tags and flags).
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
 /// Append a `u32` (little-endian).
 pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());

@@ -48,7 +48,7 @@ pub mod segment;
 pub mod snapshot_file;
 
 pub use error::{WalError, WalResult};
-pub use record::WalRecord;
+pub use record::{decode_view_defs, encode_view_defs, Registration, ViewDef, WalRecord};
 pub use recovery::{recover, Recovery};
 pub use segment::{SegmentWriter, DEFAULT_SEGMENT_BYTES, WAL_MAGIC};
 pub use snapshot_file::{read_snapshot_file, write_snapshot_file, SNAPSHOT_FILE};

@@ -153,7 +153,7 @@ mod tests {
     fn record(seqs: &[u64]) -> WalRecord {
         let mut d = Delta::new();
         d.push_insert(tuple![seqs[0] as i64]);
-        WalRecord {
+        WalRecord::Commit {
             seqs: seqs.to_vec(),
             deltas: vec![("v".to_owned(), d)],
         }

@@ -376,7 +376,7 @@ mod tests {
     fn record(seq: u64) -> WalRecord {
         let mut d = Delta::new();
         d.push_insert(tuple![seq as i64]);
-        WalRecord {
+        WalRecord::Commit {
             seqs: vec![seq],
             deltas: vec![("v".to_owned(), d)],
         }
